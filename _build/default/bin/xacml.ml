@@ -1,0 +1,490 @@
+(* xacml — command-line front end to the library.
+
+   Subcommands:
+     gen      generate a synthetic workload document
+     stats    document characteristics + per-layout index overhead
+     publish  encode (Skip index) and encrypt a document into a container
+     verify   check a container's integrity
+     view     evaluate an authorized view / query over a container
+*)
+
+open Cmdliner
+module Tree = Xmlac_xml.Tree
+module Writer = Xmlac_xml.Writer
+module Layout = Xmlac_skip_index.Layout
+module Container = Xmlac_crypto.Secure_container
+module Policy = Xmlac_core.Policy
+module Rule = Xmlac_core.Rule
+module Session = Xmlac_soe.Session
+module Channel = Xmlac_soe.Channel
+module Cost_model = Xmlac_soe.Cost_model
+module W = Xmlac_workload
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+(* a 24-byte 3DES key derived from a passphrase *)
+let key_of_passphrase pass =
+  let h1 = Xmlac_crypto.Sha1.digest pass in
+  let h2 = Xmlac_crypto.Sha1.digest (pass ^ "/2") in
+  Xmlac_crypto.Des.Triple.key_of_string (String.sub (h1 ^ h2) 0 24)
+
+(* Common arguments --------------------------------------------------------- *)
+
+let input_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Input file.")
+
+let output_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file.")
+
+let passphrase_arg =
+  Arg.(
+    value
+    & opt string "xmlac-demo-passphrase"
+    & info [ "k"; "key" ] ~docv:"PASSPHRASE"
+        ~doc:"Passphrase from which the 3DES document key is derived.")
+
+let layout_conv =
+  let parse s =
+    match Layout.of_string (String.uppercase_ascii s) with
+    | Some l -> Ok l
+    | None -> Error (`Msg (Printf.sprintf "unknown layout %S" s))
+  in
+  Arg.conv (parse, fun ppf l -> Fmt.string ppf (Layout.to_string l))
+
+let scheme_conv =
+  let parse s =
+    match Container.scheme_of_string (String.uppercase_ascii s) with
+    | Some x -> Ok x
+    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  Arg.conv (parse, fun ppf s -> Fmt.string ppf (Container.scheme_to_string s))
+
+(* gen ----------------------------------------------------------------------- *)
+
+let gen_cmd =
+  let kind_conv =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "hospital" -> Ok W.Datasets.Hospital_doc
+      | "wsu" -> Ok W.Datasets.Wsu
+      | "sigmod" -> Ok W.Datasets.Sigmod
+      | "treebank" -> Ok W.Datasets.Treebank
+      | _ -> Error (`Msg "kind must be hospital|wsu|sigmod|treebank")
+    in
+    Arg.conv (parse, fun ppf k -> Fmt.string ppf (W.Datasets.name k))
+  in
+  let kind =
+    Arg.(
+      value
+      & opt kind_conv W.Datasets.Hospital_doc
+      & info [ "kind" ] ~docv:"KIND" ~doc:"hospital, wsu, sigmod or treebank.")
+  in
+  let bytes =
+    Arg.(
+      value & opt int 500_000
+      & info [ "bytes" ] ~docv:"N" ~doc:"Approximate XML size to generate.")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  in
+  let run kind bytes seed output =
+    let doc = W.Datasets.generate kind ~seed ~target_bytes:bytes in
+    write_file output (Writer.tree_to_string ~indent:true doc);
+    Printf.printf "wrote %s (%d elements)\n" output (Tree.count_elements doc)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic workload document.")
+    Term.(const run $ kind $ bytes $ seed $ output_arg)
+
+(* stats ---------------------------------------------------------------------- *)
+
+let stats_cmd =
+  let run input =
+    let doc = Tree.parse ~strip_whitespace:true (read_file input) in
+    let c = W.Datasets.characteristics ~name:(Filename.basename input) doc in
+    Fmt.pr "%a@." W.Datasets.pp_characteristics c;
+    Fmt.pr "@.Index storage overhead (Figure 8 metric):@.";
+    List.iter
+      (fun s -> Fmt.pr "  %a@." Xmlac_skip_index.Stats.pp s)
+      (Xmlac_skip_index.Stats.measure_all doc)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Document characteristics and per-layout index overheads.")
+    Term.(const run $ input_arg)
+
+(* publish -------------------------------------------------------------------- *)
+
+let publish_cmd =
+  let layout =
+    Arg.(
+      value & opt layout_conv Layout.Tcsbr
+      & info [ "layout" ] ~docv:"LAYOUT" ~doc:"NC, TC, TCS, TCSB or TCSBR.")
+  in
+  let scheme =
+    Arg.(
+      value
+      & opt scheme_conv Container.Ecb_mht
+      & info [ "scheme" ] ~docv:"SCHEME" ~doc:"ECB, CBC-SHA, CBC-SHAC or ECB-MHT.")
+  in
+  let run input output layout scheme pass =
+    let doc = Tree.parse ~strip_whitespace:true (read_file input) in
+    (* the Skip index represents elements and text only; attributes become
+       child elements, as the paper's model treats them *)
+    let doc = Tree.attributes_to_elements doc in
+    let encoded = Xmlac_skip_index.Encoder.encode ~layout doc in
+    let container =
+      Container.encrypt ~scheme ~key:(key_of_passphrase pass) encoded
+    in
+    write_file output (Container.to_bytes container);
+    Printf.printf "encoded %d bytes (%s), container %d bytes (%s), %d chunks\n"
+      (String.length encoded) (Layout.to_string layout)
+      (String.length (Container.to_bytes container))
+      (Container.scheme_to_string scheme)
+      (Container.chunk_count container)
+  in
+  Cmd.v
+    (Cmd.info "publish" ~doc:"Skip-index-encode and encrypt a document.")
+    Term.(const run $ input_arg $ output_arg $ layout $ scheme $ passphrase_arg)
+
+(* verify --------------------------------------------------------------------- *)
+
+let verify_cmd =
+  let run input pass =
+    let container = Container.of_bytes (read_file input) in
+    match
+      Container.decrypt_all container ~key:(key_of_passphrase pass) ~verify:true
+    with
+    | exception Container.Integrity_failure reason ->
+        Printf.printf "INTEGRITY FAILURE: %s\n" reason;
+        exit 1
+    | payload ->
+        Printf.printf "ok: %d chunks, %d payload bytes verified (%s)\n"
+          (Container.chunk_count container)
+          (String.length payload)
+          (Container.scheme_to_string (Container.scheme container))
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Decrypt and integrity-check a whole container.")
+    Term.(const run $ input_arg $ passphrase_arg)
+
+(* view ----------------------------------------------------------------------- *)
+
+let view_cmd =
+  let rules =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "r"; "rule" ] ~docv:"RULE"
+          ~doc:
+            "Access rule: a sign (+ or -) followed by an XPath, e.g. \
+             '+//meeting' or '-//private'. Repeatable.")
+  in
+  let policy_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "policy" ] ~docv:"FILE"
+          ~doc:
+            "Policy file: one rule per line, '<id> <+|-> <xpath>', # \
+             comments allowed. Combined with any --rule options.")
+  in
+  let query =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "q"; "query" ] ~docv:"XPATH" ~doc:"Optional query on the view.")
+  in
+  let user =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "user" ] ~docv:"NAME" ~doc:"Value for the USER variable.")
+  in
+  let dummy =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dummy" ] ~docv:"NAME"
+          ~doc:"Rename structural-only (denied) elements to NAME.")
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print SOE cost statistics.")
+  in
+  let run input pass rules policy_file query user dummy stats_flag =
+    let container = Container.of_bytes (read_file input) in
+    let parse_rule i spec =
+      if String.length spec < 2 then failwith "rule too short"
+      else
+        let sign =
+          match spec.[0] with
+          | '+' -> Rule.Permit
+          | '-' -> Rule.Deny
+          | _ -> failwith "rule must start with + or -"
+        in
+        Rule.parse ~id:(Printf.sprintf "cli%d" i) ~sign
+          (String.sub spec 1 (String.length spec - 1))
+    in
+    let file_rules =
+      match policy_file with
+      | None -> []
+      | Some f -> (
+          match Policy.of_string (read_file f) with
+          | Ok p -> Policy.rules p
+          | Error e -> failwith e)
+    in
+    let cli_rules = List.mapi parse_rule rules in
+    if file_rules = [] && cli_rules = [] then
+      failwith "no rules: give --rule and/or --policy";
+    let policy = Policy.make (file_rules @ cli_rules) in
+    let policy =
+      match user with
+      | Some u -> Policy.resolve_user ~user:u policy
+      | None -> policy
+    in
+    let query = Option.map Xmlac_xpath.Parse.path query in
+    let key = key_of_passphrase pass in
+    let counters = Channel.fresh_counters () in
+    let source = Channel.source ~container ~key counters in
+    let decoder = Xmlac_skip_index.Decoder.of_source source in
+    let result =
+      Xmlac_core.Evaluator.run ?query ?dummy_denied:dummy ~policy
+        (Xmlac_core.Input.of_decoder decoder)
+    in
+    (match Xmlac_core.Evaluator.view_tree result with
+    | None -> prerr_endline "(nothing authorized)"
+    | Some view -> print_endline (Writer.tree_to_string ~indent:true view));
+    if stats_flag then begin
+      let s = result.Xmlac_core.Evaluator.stats in
+      let b =
+        Cost_model.breakdown
+          (Cost_model.of_context Cost_model.Hardware)
+          ~bytes_in:counters.Channel.bytes_to_soe
+          ~bytes_decrypted:counters.Channel.bytes_decrypted
+          ~bytes_hashed:counters.Channel.bytes_hashed
+          ~transitions:s.Xmlac_core.Evaluator.transitions
+          ~events:s.Xmlac_core.Evaluator.events_in
+      in
+      Fmt.epr "bytes to SOE: %d, decrypted: %d, hashed: %d@."
+        counters.Channel.bytes_to_soe counters.Channel.bytes_decrypted
+        counters.Channel.bytes_hashed;
+      Fmt.epr "events: %d, transitions: %d, skips: %d, pending subtrees: %d@."
+        s.Xmlac_core.Evaluator.events_in s.Xmlac_core.Evaluator.transitions
+        (s.Xmlac_core.Evaluator.open_skips + s.Xmlac_core.Evaluator.rest_skips)
+        s.Xmlac_core.Evaluator.pending_subtrees;
+      Fmt.epr "simulated smart card: %a@." Cost_model.pp_breakdown b
+    end
+  in
+  Cmd.v
+    (Cmd.info "view"
+       ~doc:"Evaluate an authorized view (and optional query) of a container.")
+    Term.(
+      const run $ input_arg $ passphrase_arg $ rules $ policy_file $ query
+      $ user $ dummy $ stats_flag)
+
+(* license -------------------------------------------------------------------- *)
+
+let soe_key_arg =
+  Arg.(
+    value
+    & opt string "xmlac-demo-soe-key"
+    & info [ "soe-key" ] ~docv:"PASSPHRASE"
+        ~doc:"Passphrase of the device's SOE master key (seals licenses).")
+
+let license_cmd =
+  let subject =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "subject" ] ~docv:"NAME" ~doc:"Subject the license is issued to.")
+  in
+  let rules =
+    Arg.(
+      non_empty
+      & opt_all string []
+      & info [ "r"; "rule" ] ~docv:"RULE"
+          ~doc:"Signed rule, e.g. '+//Admin' (repeatable; USER allowed).")
+  in
+  let valid_until =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "valid-until" ] ~docv:"N" ~doc:"Issuer-defined expiry stamp.")
+  in
+  let run output subject rules valid_until doc_pass soe_pass =
+    let parse_rule i spec =
+      let sign =
+        match spec.[0] with
+        | '+' -> Xmlac_core.Rule.Permit
+        | '-' -> Xmlac_core.Rule.Deny
+        | _ -> failwith "rule must start with + or -"
+      in
+      (Printf.sprintf "L%d" i, sign, String.sub spec 1 (String.length spec - 1))
+    in
+    let h1 = Xmlac_crypto.Sha1.digest doc_pass in
+    let h2 = Xmlac_crypto.Sha1.digest (doc_pass ^ "/2") in
+    let lic =
+      Xmlac_soe.License.make ?valid_until ~subject
+        ~document_key:(String.sub (h1 ^ h2) 0 24)
+        (List.mapi parse_rule rules)
+    in
+    write_file output
+      (Xmlac_soe.License.seal ~soe_key:(key_of_passphrase soe_pass) lic);
+    Printf.printf "sealed license for %s (%d rules) -> %s\n" subject
+      (List.length rules) output
+  in
+  Cmd.v
+    (Cmd.info "license"
+       ~doc:"Issue a sealed license (rules + document key) for a subject.")
+    Term.(
+      const run $ output_arg $ subject $ rules $ valid_until $ passphrase_arg
+      $ soe_key_arg)
+
+let unlock_cmd =
+  let license_file =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "license" ] ~docv:"FILE" ~doc:"Sealed license file.")
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print SOE cost statistics.")
+  in
+  let run input license_file soe_pass stats_flag =
+    let container = Container.of_bytes (read_file input) in
+    match
+      Xmlac_soe.License.unseal
+        ~soe_key:(key_of_passphrase soe_pass)
+        (read_file license_file)
+    with
+    | Error e ->
+        Printf.eprintf "license rejected: %s\n" e;
+        exit 1
+    | Ok lic ->
+        let counters = Channel.fresh_counters () in
+        let source =
+          Channel.source ~container ~key:(Xmlac_soe.License.key lic) counters
+        in
+        let decoder = Xmlac_skip_index.Decoder.of_source source in
+        let result =
+          Xmlac_core.Evaluator.run
+            ~policy:(Xmlac_soe.License.policy lic)
+            (Xmlac_core.Input.of_decoder decoder)
+        in
+        (match Xmlac_core.Evaluator.view_tree result with
+        | None -> prerr_endline "(nothing authorized)"
+        | Some view -> print_endline (Writer.tree_to_string ~indent:true view));
+        if stats_flag then
+          Fmt.epr "subject %s: %d events in, %d out, %d bytes to SOE@."
+            lic.Xmlac_soe.License.subject
+            result.Xmlac_core.Evaluator.stats.Xmlac_core.Evaluator.events_in
+            result.Xmlac_core.Evaluator.stats.Xmlac_core.Evaluator.events_out
+            counters.Channel.bytes_to_soe
+  in
+  Cmd.v
+    (Cmd.info "unlock"
+       ~doc:"Evaluate a container using a sealed license (rules + key).")
+    Term.(const run $ input_arg $ license_file $ soe_key_arg $ stats_flag)
+
+(* update --------------------------------------------------------------------- *)
+
+let update_cmd =
+  let parse_path s =
+    if s = "" then []
+    else List.map int_of_string (String.split_on_char '.' s)
+  in
+  let delete =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "delete" ] ~docv:"PATH"
+          ~doc:"Delete the subtree at PATH (dot-separated child indexes).")
+  in
+  let set_text =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "set-text" ] ~docv:"PATH=TEXT" ~doc:"Replace a text node.")
+  in
+  let run input output pass delete set_text =
+    let container = Container.of_bytes (read_file input) in
+    let key = key_of_passphrase pass in
+    let encoded = Container.decrypt_all container ~key ~verify:true in
+    let layout =
+      (Xmlac_skip_index.Encoder.read_header
+         (Xmlac_skip_index.Bitio.Reader.of_string encoded))
+        .Xmlac_skip_index.Encoder.layout
+    in
+    let operation =
+      match (delete, set_text) with
+      | Some p, None -> Xmlac_skip_index.Update.Delete_subtree (parse_path p)
+      | None, Some spec -> (
+          match String.index_opt spec '=' with
+          | Some i ->
+              Xmlac_skip_index.Update.Set_text
+                ( parse_path (String.sub spec 0 i),
+                  String.sub spec (i + 1) (String.length spec - i - 1) )
+          | None -> failwith "--set-text expects PATH=TEXT")
+      | _ -> failwith "exactly one of --delete / --set-text is required"
+    in
+    let encoded', cost =
+      Xmlac_skip_index.Update.update_encoded ~layout
+        ~chunk_size:(Container.chunk_size container)
+        encoded operation
+    in
+    let container' =
+      Container.encrypt
+        ~chunk_size:(Container.chunk_size container)
+        ~fragment_size:(Container.fragment_size container)
+        ~scheme:(Container.scheme container) ~key encoded'
+    in
+    write_file output (Container.to_bytes container');
+    Printf.printf
+      "updated: %d -> %d bytes; rewrote %d bytes (%d chunks to re-encrypt%s)\n"
+      cost.Xmlac_skip_index.Update.old_bytes
+      cost.Xmlac_skip_index.Update.new_bytes
+      cost.Xmlac_skip_index.Update.rewritten_bytes
+      cost.Xmlac_skip_index.Update.chunks_to_reencrypt
+      (if cost.Xmlac_skip_index.Update.dictionary_changed then
+         ", dictionary changed"
+       else "")
+  in
+  Cmd.v
+    (Cmd.info "update"
+       ~doc:"Edit an encrypted document in place and report the update cost.")
+    Term.(const run $ input_arg $ output_arg $ passphrase_arg $ delete $ set_text)
+
+let () =
+  let doc =
+    "client-based access control for XML documents (Bouganim, Dang Ngoc & \
+     Pucheral, VLDB 2004)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "xacml" ~version:"1.0.0" ~doc)
+          [
+            gen_cmd;
+            stats_cmd;
+            publish_cmd;
+            verify_cmd;
+            view_cmd;
+            license_cmd;
+            unlock_cmd;
+            update_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/hospital.ml: List Printf String Xmlac_core Xmlac_skip_index Xmlac_soe Xmlac_workload Xmlac_xml

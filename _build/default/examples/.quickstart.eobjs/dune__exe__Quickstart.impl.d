@@ -1,0 +1,1 @@
+examples/quickstart.ml: Fmt Printf String Xmlac_core Xmlac_crypto Xmlac_skip_index Xmlac_soe Xmlac_xml

@@ -1,0 +1,63 @@
+(* Pull context: a query is evaluated together with the access rules, and
+   the Skip index prunes everything outside both the authorized view and
+   the query scope. This example compares the layouts (TC: no skipping,
+   TCS: sizes only, TCSBR: the full Skip index) on the same query — a
+   small ablation of the paper's Section 4 design.
+
+   Run with:  dune exec examples/streaming_query.exe *)
+
+module Writer = Xmlac_xml.Writer
+module Layout = Xmlac_skip_index.Layout
+module Session = Xmlac_soe.Session
+module Channel = Xmlac_soe.Channel
+module Cost_model = Xmlac_soe.Cost_model
+module Evaluator = Xmlac_core.Evaluator
+module W = Xmlac_workload
+
+let () =
+  let doc = W.Hospital.generate_sized ~seed:7 ~target_bytes:300_000 () in
+  let policy = W.Profiles.doctor ~user:W.Hospital.full_time_physician in
+  let query = W.Profiles.age_query ~threshold:60 in
+  Printf.printf
+    "Doctor view ∩ query %s over a %d KB hospital document\n\n"
+    (Xmlac_xpath.Parse.to_string query)
+    (String.length (Writer.tree_to_string doc) / 1024);
+
+  let config = Session.default_config () in
+  Printf.printf "%-7s %10s %10s %10s %10s %10s\n" "Layout" "enc(KB)" "read(KB)"
+    "time(s)" "skips" "result(KB)";
+  let results =
+    List.map
+      (fun layout ->
+        let published = Session.publish config ~layout doc in
+        let m = Session.evaluate ~query config published policy in
+        Printf.printf "%-7s %10.1f %10.1f %10.2f %10d %10.1f\n"
+          (Layout.to_string layout)
+          (float_of_int published.Session.encoded_bytes /. 1024.)
+          (float_of_int m.Session.counters.Channel.bytes_to_soe /. 1024.)
+          m.Session.breakdown.Cost_model.total_s
+          (m.Session.eval.Evaluator.open_skips + m.Session.eval.Evaluator.rest_skips)
+          (float_of_int m.Session.result_bytes /. 1024.);
+        Writer.events_to_string m.Session.events)
+      [ Layout.Tc; Layout.Tcs; Layout.Tcsb; Layout.Tcsbr ]
+  in
+  (match results with
+  | first :: rest when List.for_all (String.equal first) rest ->
+      print_endline "\nAll layouts deliver byte-identical results;"
+  | _ -> print_endline "\n!!! layouts disagree (this must not happen);");
+  print_endline "only the cost changes: sizes enable skipping, bitmaps make";
+  print_endline "skipping decisions fire early (DescTag filtering), and the";
+  print_endline "recursive encoding keeps the index small.";
+
+  (* The pending-predicate machinery at work: a predicate seen *after* the
+     subtree it conditions. *)
+  print_endline "\n--- Pending predicates ---";
+  let published = Session.publish config ~layout:Layout.Tcsbr doc in
+  let researcher = W.Profiles.researcher () in
+  let m = Session.evaluate config published researcher in
+  Printf.printf
+    "researcher run: %d subtrees skipped pending, %d read back once their\n\
+     condition resolved, %d pending output items buffered at peak\n"
+    m.Session.eval.Evaluator.pending_subtrees
+    m.Session.eval.Evaluator.readback_subtrees
+    m.Session.eval.Evaluator.pending_items_peak

@@ -1,0 +1,1 @@
+lib/core/ara.ml: Array Fmt List Printf Rule String Xmlac_xpath

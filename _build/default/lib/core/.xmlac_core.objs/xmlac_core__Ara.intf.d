@@ -1,0 +1,1 @@
+lib/core/ara.mli: Format Rule Xmlac_xpath

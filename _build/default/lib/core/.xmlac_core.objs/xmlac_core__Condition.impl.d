@@ -1,0 +1,1 @@
+lib/core/condition.ml: Fmt List

@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Array Condition List

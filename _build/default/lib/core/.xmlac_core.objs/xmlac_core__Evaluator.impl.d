@@ -1,0 +1,1 @@
+lib/core/evaluator.ml: Ara Array Buffer Condition Conflict Hashtbl Input Lazy List Option Policy Rule Set String Xmlac_xml Xmlac_xpath

@@ -1,0 +1,1 @@
+lib/core/evaluator.mli: Conflict Input Policy Rule Xmlac_xml Xmlac_xpath

@@ -1,0 +1,1 @@
+lib/core/input.ml: Xmlac_skip_index Xmlac_xml

@@ -1,0 +1,1 @@
+lib/core/oracle.ml: List Option Policy Rule Set Xmlac_xml Xmlac_xpath

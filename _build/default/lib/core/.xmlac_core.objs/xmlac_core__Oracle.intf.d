@@ -1,0 +1,1 @@
+lib/core/oracle.mli: Policy Xmlac_xml Xmlac_xpath

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Fmt List Printf Result Rule String Xmlac_xpath

@@ -1,0 +1,130 @@
+module Ast = Xmlac_xpath.Ast
+
+type label = Tag of string | Star
+type source = Rule_src of Rule.t | Query_src of Ast.t
+
+type pstep = { p_label : label; p_descend : bool }
+
+type pred = {
+  pred_id : int;
+  psteps : pstep array;
+  pcondition : (Ast.comparison * Ast.literal) option;
+}
+
+type nstep = { n_label : label; n_descend : bool; anchors : int list }
+
+type t = {
+  ara_id : int;
+  source : source;
+  nsteps : nstep array;
+  preds : pred array;
+}
+
+let label_of_test = function Ast.Wildcard -> Star | Ast.Name n -> Tag n
+
+let check_no_user (path : Ast.t) id =
+  let pred_has_user (p : Ast.predicate) =
+    match p.condition with Some (_, Ast.User) -> true | _ -> false
+  in
+  let has_user =
+    List.exists
+      (fun (s : Ast.step) -> List.exists pred_has_user s.predicates)
+      path.steps
+  in
+  if has_user then
+    invalid_arg
+      (Printf.sprintf "Ara.compile: rule %s has an unresolved USER literal" id)
+
+let compile ~ara_id source =
+  let path, id =
+    match source with
+    | Rule_src r -> (r.Rule.path, r.Rule.id)
+    | Query_src q -> (q, "query")
+  in
+  if not (Ast.is_linear path) then
+    invalid_arg
+      (Printf.sprintf
+         "Ara.compile: %s has nested predicates (not supported in streaming)"
+         id);
+  check_no_user path id;
+  let preds = ref [] in
+  let next_pred = ref 0 in
+  let nsteps =
+    List.map
+      (fun (s : Ast.step) ->
+        let anchors =
+          List.map
+            (fun (p : Ast.predicate) ->
+              let pid = !next_pred in
+              incr next_pred;
+              preds :=
+                {
+                  pred_id = pid;
+                  psteps =
+                    Array.of_list
+                      (List.map
+                         (fun (ps : Ast.step) ->
+                           {
+                             p_label = label_of_test ps.test;
+                             p_descend = ps.axis = Ast.Descendant;
+                           })
+                         p.path);
+                  pcondition = p.condition;
+                }
+                :: !preds;
+              pid)
+            s.predicates
+        in
+        {
+          n_label = label_of_test s.test;
+          n_descend = s.axis = Ast.Descendant;
+          anchors;
+        })
+      path.steps
+    |> Array.of_list
+  in
+  {
+    ara_id;
+    source;
+    nsteps;
+    preds = Array.of_list (List.rev !preds);
+  }
+
+let is_query t = match t.source with Query_src _ -> true | Rule_src _ -> false
+
+let sign t =
+  match t.source with Rule_src r -> r.Rule.sign | Query_src _ -> Rule.Permit
+
+let rule_id t =
+  match t.source with Rule_src r -> r.Rule.id | Query_src _ -> "<query>"
+
+let nav_length t = Array.length t.nsteps
+
+let labels_from steps ~from_state get_label =
+  let acc = ref [] in
+  for i = from_state to Array.length steps - 1 do
+    match get_label steps.(i) with
+    | Tag n -> acc := n :: !acc
+    | Star -> ()
+  done;
+  List.sort_uniq String.compare !acc
+
+let remaining_nav_labels t ~from_state =
+  labels_from t.nsteps ~from_state (fun (s : nstep) -> s.n_label)
+
+let remaining_pred_labels p ~from_state =
+  labels_from p.psteps ~from_state (fun (s : pstep) -> s.p_label)
+
+let pp_label ppf = function
+  | Tag n -> Fmt.string ppf n
+  | Star -> Fmt.string ppf "*"
+
+let pp ppf t =
+  Fmt.pf ppf "ARA %s:" (rule_id t);
+  Array.iter
+    (fun s ->
+      Fmt.pf ppf " %s%a%s"
+        (if s.n_descend then "//" else "/")
+        pp_label s.n_label
+        (match s.anchors with [] -> "" | l -> Printf.sprintf "[%d preds]" (List.length l)))
+    t.nsteps

@@ -1,0 +1,52 @@
+(** Access Rule Automata (paper Section 3.1): the non-deterministic
+    automaton compiled from each rule's (or query's) XPath expression. The
+    navigational path is a chain of states; predicate paths branch off the
+    state their step anchors at. The descendant axis becomes a self-loop on
+    the source state, realized by the evaluator keeping tokens alive across
+    stack levels. *)
+
+type label = Tag of string | Star
+
+type source = Rule_src of Rule.t | Query_src of Xmlac_xpath.Ast.t
+
+type pstep = { p_label : label; p_descend : bool }
+
+type pred = {
+  pred_id : int;  (** index within the owning automaton *)
+  psteps : pstep array;
+  pcondition : (Xmlac_xpath.Ast.comparison * Xmlac_xpath.Ast.literal) option;
+}
+
+type nstep = {
+  n_label : label;
+  n_descend : bool;  (** the axis {e into} this step *)
+  anchors : int list;  (** predicate ids anchored after matching this step *)
+}
+
+type t = {
+  ara_id : int;  (** unique within a compiled policy *)
+  source : source;
+  nsteps : nstep array;
+  preds : pred array;
+}
+
+val compile : ara_id:int -> source -> t
+(** @raise Invalid_argument on non-linear predicates or unresolved USER
+    literals (resolve the policy first). *)
+
+val is_query : t -> bool
+val sign : t -> Rule.sign
+(** The rule's sign; queries report [Permit]. *)
+
+val rule_id : t -> string
+
+val nav_length : t -> int
+
+val remaining_nav_labels : t -> from_state:int -> string list
+(** Concrete labels still to be matched by the navigational path after
+    [from_state] steps have been matched — the [RemainingLabels] of the
+    paper's SkipSubtree test (wildcards impose no label). *)
+
+val remaining_pred_labels : pred -> from_state:int -> string list
+
+val pp : Format.formatter -> t -> unit

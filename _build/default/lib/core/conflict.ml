@@ -1,0 +1,63 @@
+type status =
+  | Positive_active
+  | Positive_pending
+  | Negative_active
+  | Negative_pending
+
+type decision = Permit | Deny | Pending
+
+(* Figure 4, with AS[0] the implicit closed policy. [levels] comes ordered
+   shallow-to-deep; the recursion starts from the deepest level. *)
+let decide_node levels =
+  let stack = Array.of_list ([] :: levels) in
+  (* stack.(0) plays AS[0] *)
+  let mem s depth = List.mem s stack.(depth) in
+  let rec decide depth =
+    if depth = 0 then Deny (* line 1: closed policy *)
+    else if mem Negative_active depth then Deny (* line 2 *)
+    else if mem Positive_active depth && not (mem Negative_pending depth) then
+      Permit (* lines 3-4 *)
+    else
+      match decide (depth - 1) with
+      | Permit
+        when List.for_all
+               (fun s -> s = Positive_active || s = Positive_pending)
+               stack.(depth) ->
+          (* lines 5-6: only positive statuses here, and the level below
+             already permits: pending resolutions cannot change the outcome *)
+          Permit
+      | Deny
+        when (not (mem Positive_pending depth))
+             && not (mem Positive_active depth) ->
+          (* lines 7-8: no positive rule at this level could overturn the
+             denial (a positive-active one could, if the same level's
+             negative-pending rule resolves to inapplicable) *)
+          Deny
+      | Permit | Deny | Pending -> Pending (* line 9 *)
+  in
+  decide (Array.length stack - 1)
+
+(* The evaluator's formulation: per level, delivery =
+   ¬(any negative applies) ∧ ((any positive applies) ∨ delivery below). *)
+let decide_node_via_conditions levels =
+  let status_expr = function
+    | Positive_active | Negative_active -> Condition.tru
+    | Positive_pending | Negative_pending -> Condition.atom_expr (Condition.atom ())
+  in
+  let expr =
+    List.fold_left
+      (fun below level ->
+        let pos, neg =
+          List.partition
+            (fun s -> s = Positive_active || s = Positive_pending)
+            level
+        in
+        let pos = Condition.disj (List.map status_expr pos) in
+        let neg = Condition.disj (List.map status_expr neg) in
+        Condition.conj [ Condition.neg neg; Condition.disj [ pos; below ] ])
+      Condition.fls levels
+  in
+  match Condition.eval expr with
+  | Condition.True -> Permit
+  | Condition.False -> Deny
+  | Condition.Unknown -> Pending

@@ -1,0 +1,28 @@
+(** The paper's conflict-resolution algorithm (Figure 4), transcribed
+    literally over abstract Authorization-Stack statuses.
+
+    The streaming evaluator does not call this function: it builds an
+    equivalent three-valued {!Condition.t} incrementally (which is what
+    makes pending management compositional). This module exists to state —
+    and property-test — that equivalence, and to decide subtrees
+    (Figure 5's precondition). *)
+
+type status =
+  | Positive_active  (** ⊕ *)
+  | Positive_pending  (** ⊕? *)
+  | Negative_active  (** ⊖ *)
+  | Negative_pending  (** ⊖? *)
+
+type decision = Permit | Deny | Pending
+
+val decide_node : status list list -> decision
+(** [decide_node levels] — [levels] are the Authorization Stack levels from
+    the shallowest (document root) to the deepest (current node); the
+    implicit negative-active closed-policy rule sits below them all.
+    Transcription of Figure 4. *)
+
+val decide_node_via_conditions : status list list -> decision
+(** The same decision computed by building the delivery condition the
+    evaluator uses (every pending status becoming a fresh unresolved atom)
+    and evaluating it in three-valued logic. Exists so tests can check it
+    always equals {!decide_node}. *)

@@ -1,0 +1,62 @@
+module Event = Xmlac_xml.Event
+module Decoder = Xmlac_skip_index.Decoder
+
+type subtree_thunk = unit -> Event.t list
+
+type t = {
+  next : unit -> Event.t option;
+  can_skip : bool;
+  desc_tags : unit -> string list option;
+  skip : unit -> subtree_thunk option;
+  skip_rest : unit -> subtree_thunk option;
+}
+
+let of_events events =
+  let rest = ref events in
+  {
+    next =
+      (fun () ->
+        match !rest with
+        | [] -> None
+        | e :: tl ->
+            rest := tl;
+            Some e);
+    can_skip = false;
+    desc_tags = (fun () -> None);
+    skip = (fun () -> None);
+    skip_rest = (fun () -> None);
+  }
+
+let of_string s =
+  let cursor = Xmlac_xml.Parser.cursor s in
+  {
+    next = (fun () -> Xmlac_xml.Parser.next cursor);
+    can_skip = false;
+    desc_tags = (fun () -> None);
+    skip = (fun () -> None);
+    skip_rest = (fun () -> None);
+  }
+
+let of_decoder dec =
+  {
+    next = (fun () -> Decoder.next dec);
+    can_skip = Decoder.can_skip dec;
+    desc_tags = (fun () -> Decoder.descendant_tags dec);
+    skip =
+      (fun () ->
+        if not (Decoder.can_skip dec) then None
+        else begin
+          let handle = Decoder.subtree_handle dec in
+          Decoder.skip dec;
+          Some (fun () -> Decoder.read_subtree dec handle)
+        end);
+    skip_rest =
+      (fun () ->
+        if not (Decoder.can_skip dec) then None
+        else
+          match Decoder.rest_handle dec with
+          | None -> None
+          | Some handle ->
+              Decoder.skip_rest dec;
+              Some (fun () -> Decoder.read_range dec handle));
+  }

@@ -1,0 +1,36 @@
+(** Abstract document input for the streaming evaluator.
+
+    The evaluator consumes open/text/close events and, when the underlying
+    representation allows it, can skip subtrees by byte count and read
+    skipped ranges back later (pending delivery). Three implementations:
+
+    - {!of_events}: a plain event stream — no skipping, no descendant-tag
+      information (the Brute-Force baseline shape);
+    - {!of_decoder}: a Skip-index decoder, over any byte source — including
+      the SOE's decrypting channel, which is where skipping translates into
+      saved communication and decryption. *)
+
+type subtree_thunk = unit -> Xmlac_xml.Event.t list
+(** Lazily reads back a skipped range (pending delivery). For a skipped
+    element this includes its Start/End events; for a skipped
+    rest-of-content range it is the bare content events. *)
+
+type t = {
+  next : unit -> Xmlac_xml.Event.t option;
+  can_skip : bool;
+  desc_tags : unit -> string list option;
+      (** right after a [Start]: the DescTag set of the just-opened element;
+          [None] when unavailable *)
+  skip : unit -> subtree_thunk option;
+      (** right after a [Start]: skip the whole element content (its [End]
+          still follows); [None] when the input cannot skip — the caller
+          must then keep consuming events *)
+  skip_rest : unit -> subtree_thunk option;
+      (** skip the remaining content of the innermost open element *)
+}
+
+val of_events : Xmlac_xml.Event.t list -> t
+val of_string : string -> t
+(** Parse an XML document lazily. *)
+
+val of_decoder : Xmlac_skip_index.Decoder.t -> t

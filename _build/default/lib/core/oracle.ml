@@ -1,0 +1,97 @@
+module Tree = Xmlac_xml.Tree
+module Dom_eval = Xmlac_xpath.Dom_eval
+
+type decision = { id : Dom_eval.node_id; permitted : bool }
+
+module Id_set = Set.Make (struct
+  type t = Dom_eval.node_id
+
+  let compare = Dom_eval.compare_id
+end)
+
+(* Direct matches of every rule, as id sets. *)
+let rule_matches policy tree =
+  List.map
+    (fun (r : Rule.t) -> (r.sign, Id_set.of_list (Dom_eval.select r.path tree)))
+    (Policy.rules policy)
+
+(* DFS computing each element's decision: the nearest level (self upward)
+   with a directly-applying rule decides; denial wins inside a level; no
+   rule anywhere means deny (closed policy). *)
+let decisions policy tree =
+  let matches = rule_matches policy tree in
+  let acc = ref [] in
+  let rec go id node inherited =
+    match node with
+    | Tree.Text _ -> ()
+    | Tree.Element { children; _ } ->
+        let here = List.filter (fun (_, set) -> Id_set.mem id set) matches in
+        let permitted =
+          if here = [] then inherited
+          else not (List.exists (fun (sign, _) -> sign = Rule.Deny) here)
+        in
+        acc := { id; permitted } :: !acc;
+        List.iteri (fun i child -> go (id @ [ i ]) child permitted) children
+  in
+  go [] tree false;
+  List.rev !acc
+
+let permitted_set policy tree =
+  List.fold_left
+    (fun set d -> if d.permitted then Id_set.add d.id set else set)
+    Id_set.empty (decisions policy tree)
+
+(* Prune a tree to [keep]: an element survives when kept or when a
+   descendant survives; its texts survive only when it is kept itself.
+   Structural-only elements may be renamed to [dummy_denied]. *)
+let prune ?dummy_denied ~keep tree =
+  let rec go id node =
+    match node with
+    | Tree.Text _ -> None (* texts are handled by their parent *)
+    | Tree.Element { tag; attributes; children } ->
+        let self_kept = keep id in
+        let surviving =
+          List.mapi (fun i child -> (i, child)) children
+          |> List.filter_map (fun (i, child) ->
+                 match child with
+                 | Tree.Text s -> if self_kept then Some (Tree.Text s) else None
+                 | Tree.Element _ -> go (id @ [ i ]) child)
+        in
+        if self_kept || surviving <> [] then begin
+          let tag =
+            if self_kept then tag
+            else Option.value dummy_denied ~default:tag
+          in
+          let attributes = if self_kept then attributes else [] in
+          Some (Tree.Element { tag; attributes; children = surviving })
+        end
+        else None
+  in
+  go [] tree
+
+let authorized_view ?dummy_denied policy tree =
+  let keep_set = permitted_set policy tree in
+  prune ?dummy_denied ~keep:(fun id -> Id_set.mem id keep_set) tree
+
+let query_view ?dummy_denied ~query policy tree =
+  let permitted = permitted_set policy tree in
+  (* Queries run over the authorized view, so a step may match any element
+     present in it: a permitted element or a structural ancestor of one. *)
+  let in_view =
+    Id_set.fold
+      (fun id acc ->
+        List.fold_left (fun acc a -> Id_set.add a acc) (Id_set.add id acc)
+          (Dom_eval.ancestors id))
+      permitted Id_set.empty
+  in
+  let matches =
+    Dom_eval.select_filtered ~filter:(fun id -> Id_set.mem id in_view) query
+      tree
+  in
+  (* delivered: permitted nodes lying at or below a query match *)
+  let in_scope id =
+    List.exists (fun m -> m = id || Dom_eval.is_ancestor m id) matches
+  in
+  prune ?dummy_denied
+    ~keep:(fun id -> Id_set.mem id permitted && in_scope id)
+    tree

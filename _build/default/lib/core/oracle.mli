@@ -1,0 +1,41 @@
+(** Reference (DOM-based, non-streaming) implementation of the access
+    control semantics of Section 2. It materializes the whole document —
+    exactly what the SOE cannot do — and exists to {e define} the semantics:
+    the streaming evaluator is property-tested equal to it.
+
+    Semantics implemented:
+    - rule propagation: a rule applies to the nodes matched by its object
+      and to all their descendants;
+    - Most-Specific-Object-Takes-Precedence: the decision for a node is
+      taken at the deepest ancestor-or-self where some rule applies
+      directly;
+    - Denial-Takes-Precedence among the rules of that level;
+    - closed policy: no applicable rule means deny;
+    - the Structural rule: ancestors of a delivered node are delivered,
+      their names optionally replaced by a dummy;
+    - queries are evaluated over the authorized view: each step of the
+      query (navigational or inside a predicate) may only match an element
+      {e present in the view} — a permitted element or a structural
+      ancestor of one — while value comparisons read the original text
+      (names are matched before any dummy renaming, which is a rendering
+      concern of the untrusted client). *)
+
+type decision = { id : Xmlac_xpath.Dom_eval.node_id; permitted : bool }
+
+val decisions : Policy.t -> Xmlac_xml.Tree.t -> decision list
+(** Per-element decisions, in document order. *)
+
+val authorized_view :
+  ?dummy_denied:string -> Policy.t -> Xmlac_xml.Tree.t -> Xmlac_xml.Tree.t option
+(** The authorized view: permitted nodes, their text, and the structural
+    path leading to them. [None] when nothing at all is delivered. When
+    [dummy_denied] is given, structural-only elements are renamed to it. *)
+
+val query_view :
+  ?dummy_denied:string ->
+  query:Xmlac_xpath.Ast.t ->
+  Policy.t ->
+  Xmlac_xml.Tree.t ->
+  Xmlac_xml.Tree.t option
+(** The authorized result of a query: the part of the authorized view lying
+    below query matches, plus structural paths. *)

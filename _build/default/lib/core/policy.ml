@@ -1,0 +1,105 @@
+type t = { rules : Rule.t list }
+
+let make rules =
+  let ids = List.map (fun (r : Rule.t) -> r.id) rules in
+  if List.length (List.sort_uniq String.compare ids) <> List.length ids then
+    invalid_arg "Policy.make: duplicate rule ids";
+  { rules }
+
+let of_specs specs =
+  make (List.map (fun (id, sign, path) -> Rule.parse ~id ~sign path) specs)
+
+let rules t = t.rules
+let empty = { rules = [] }
+
+let to_string t =
+  String.concat ""
+    (List.map
+       (fun (r : Rule.t) ->
+         Printf.sprintf "%s %s %s\n" r.id
+           (match r.sign with Rule.Permit -> "+" | Rule.Deny -> "-")
+           (Xmlac_xpath.Parse.to_string r.path))
+       t.rules)
+
+let of_string text =
+  let parse_line lineno line =
+    let line =
+      match String.index_opt line '#' with
+      | Some i -> String.sub line 0 i
+      | None -> line
+    in
+    let line = String.trim line in
+    if line = "" then Ok None
+    else
+      match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+      | id :: sign :: rest when rest <> [] ->
+          let sign =
+            match sign with
+            | "+" -> Ok Rule.Permit
+            | "-" -> Ok Rule.Deny
+            | s -> Error (Printf.sprintf "line %d: bad sign %S" lineno s)
+          in
+          Result.bind sign (fun sign ->
+              let path = String.concat " " rest in
+              match Xmlac_xpath.Parse.path path with
+              | p -> Ok (Some (Rule.make ~id ~sign p))
+              | exception Xmlac_xpath.Parse.Error (msg, _) ->
+                  Error (Printf.sprintf "line %d: %s" lineno msg))
+      | _ -> Error (Printf.sprintf "line %d: expected '<id> <+|-> <xpath>'" lineno)
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go i acc = function
+    | [] -> Ok { rules = List.rev acc }
+    | line :: rest -> (
+        match parse_line i line with
+        | Ok None -> go (i + 1) acc rest
+        | Ok (Some r) -> go (i + 1) (r :: acc) rest
+        | Error e -> Error e)
+  in
+  match go 1 [] lines with
+  | Ok p -> ( match make p.rules with p -> Ok p | exception Invalid_argument e -> Error e)
+  | Error e -> Error e
+
+let resolve_user ~user t = { rules = List.map (Rule.resolve_user ~user) t.rules }
+
+let streaming_compatible t =
+  let offending =
+    List.find_opt
+      (fun (r : Rule.t) -> not (Xmlac_xpath.Ast.is_linear r.path))
+      t.rules
+  in
+  match offending with
+  | None -> Ok ()
+  | Some r ->
+      Error
+        (Printf.sprintf
+           "rule %s has a nested predicate, unsupported by the streaming \
+            evaluator"
+           r.id)
+
+let minimize t =
+  let has_opposite sign = List.exists (fun (r : Rule.t) -> r.sign <> sign) t.rules in
+  (* [r] can justify dropping [s]: same sign and r ⊇ s, and either they are
+     exact duplicates (always safe) or no opposite-sign rule exists that
+     could make the containment-based elimination unsound (the paper's
+     strong condition, taken conservatively). *)
+  let keeps (r : Rule.t) (s : Rule.t) =
+    r.id <> s.id && r.sign = s.sign
+    && Xmlac_xpath.Containment.contains r.path s.path
+    && (Xmlac_xpath.Ast.equal r.path s.path || not (has_opposite s.sign))
+  in
+  (* remove one rule at a time against the currently-kept set, until no rule
+     is removable; one-at-a-time prevents two equal rules from removing each
+     other *)
+  let rec go kept removed =
+    match
+      List.find_opt (fun s -> List.exists (fun r -> keeps r s) kept) kept
+    with
+    | None -> (kept, List.rev removed)
+    | Some s ->
+        go (List.filter (fun (r : Rule.t) -> r.id <> s.id) kept) (s :: removed)
+  in
+  let kept, removed = go t.rules [] in
+  ({ rules = kept }, removed)
+
+let pp ppf t = Fmt.pf ppf "@[<v>%a@]" (Fmt.list Rule.pp) t.rules

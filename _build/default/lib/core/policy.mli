@@ -1,0 +1,36 @@
+(** Access control policies: the set of rules attached to a (subject,
+    document) pair. The policy is {e closed}: any node not covered by a rule
+    is denied. *)
+
+type t
+
+val make : Rule.t list -> t
+(** Rule ids must be distinct. @raise Invalid_argument otherwise. *)
+
+val of_specs : (string * Rule.sign * string) list -> t
+(** [(id, sign, xpath)] triples. @raise Xmlac_xpath.Parse.Error *)
+
+val of_string : string -> (t, string) result
+(** Parse the textual policy format: one rule per line,
+    [<id> <+|-> <xpath>]; blank lines and [#]-comments ignored. Inverse of
+    {!to_string}. *)
+
+val to_string : t -> string
+
+val rules : t -> Rule.t list
+val empty : t
+val resolve_user : user:string -> t -> t
+
+val streaming_compatible : t -> (unit, string) result
+(** The streaming evaluator supports linear predicates only (no predicate
+    nested inside a predicate path — the shape of the paper's Access Rule
+    Automata). [Error reason] names the offending rule. *)
+
+val minimize : t -> t * Rule.t list
+(** Static optimization (paper Section 3.3): drop rules that provably cannot
+    change any decision — exact duplicates of a same-sign rule, and rules
+    contained in a same-sign rule when the policy has no opposite-sign rule
+    that could interfere. Conservative: uses the sound containment test.
+    Returns the reduced policy and the eliminated rules. *)
+
+val pp : Format.formatter -> t -> unit

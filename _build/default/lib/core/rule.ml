@@ -1,0 +1,15 @@
+type sign = Permit | Deny
+
+type t = { id : string; sign : sign; path : Xmlac_xpath.Ast.t }
+
+let make ~id ~sign path = { id; sign; path }
+let parse ~id ~sign s = { id; sign; path = Xmlac_xpath.Parse.path s }
+
+let resolve_user ~user t =
+  { t with path = Xmlac_xpath.Ast.resolve_user ~user t.path }
+
+let sign_to_string = function Permit -> "+" | Deny -> "-"
+
+let pp ppf t =
+  Fmt.pf ppf "%s: %s%s" t.id (sign_to_string t.sign)
+    (Xmlac_xpath.Parse.to_string t.path)

@@ -1,0 +1,20 @@
+(** Access control rules: the paper's 3-uple <sign, subject, object> with
+    the subject factored out into the enclosing {!Policy.t} (a policy is
+    the set of rules attached to one subject for one document). *)
+
+type sign = Permit | Deny
+
+type t = {
+  id : string;  (** e.g. "D2" in the paper's examples *)
+  sign : sign;
+  path : Xmlac_xpath.Ast.t;  (** the rule's object, in XP{[],*,//} *)
+}
+
+val make : id:string -> sign:sign -> Xmlac_xpath.Ast.t -> t
+
+val parse : id:string -> sign:sign -> string -> t
+(** Parse the object from its XPath syntax. @raise Xmlac_xpath.Parse.Error *)
+
+val resolve_user : user:string -> t -> t
+val sign_to_string : sign -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/crypto/merkle.ml: Array Hashtbl List Option Sha1

@@ -1,0 +1,1 @@
+lib/crypto/modes.ml: Bytes Des Int64 String

@@ -1,0 +1,1 @@
+lib/crypto/secure_container.ml: Array Buffer Bytes Char Int64 Merkle Modes Printf Sha1 String

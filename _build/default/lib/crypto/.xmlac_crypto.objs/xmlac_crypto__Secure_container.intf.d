@@ -1,0 +1,1 @@
+lib/crypto/secure_container.mli: Des

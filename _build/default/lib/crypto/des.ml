@@ -1,0 +1,238 @@
+(* Table-driven DES. All FIPS tables use 1-based bit numbering counted from
+   the most significant bit; the generic permutation builders below share
+   that convention. 32- and 48-bit quantities live in native ints (>= 63
+   bits); full 64-bit blocks use int64 only at the block boundary. *)
+
+let block_size = 8
+
+(* FIPS 46-3 tables ------------------------------------------------------- *)
+
+let initial_permutation =
+  [| 58; 50; 42; 34; 26; 18; 10; 2; 60; 52; 44; 36; 28; 20; 12; 4;
+     62; 54; 46; 38; 30; 22; 14; 6; 64; 56; 48; 40; 32; 24; 16; 8;
+     57; 49; 41; 33; 25; 17;  9; 1; 59; 51; 43; 35; 27; 19; 11; 3;
+     61; 53; 45; 37; 29; 21; 13; 5; 63; 55; 47; 39; 31; 23; 15; 7 |]
+
+let final_permutation =
+  [| 40; 8; 48; 16; 56; 24; 64; 32; 39; 7; 47; 15; 55; 23; 63; 31;
+     38; 6; 46; 14; 54; 22; 62; 30; 37; 5; 45; 13; 53; 21; 61; 29;
+     36; 4; 44; 12; 52; 20; 60; 28; 35; 3; 43; 11; 51; 19; 59; 27;
+     34; 2; 42; 10; 50; 18; 58; 26; 33; 1; 41;  9; 49; 17; 57; 25 |]
+
+let expansion =
+  [| 32; 1; 2; 3; 4; 5; 4; 5; 6; 7; 8; 9; 8; 9; 10; 11; 12; 13;
+     12; 13; 14; 15; 16; 17; 16; 17; 18; 19; 20; 21; 20; 21; 22; 23; 24; 25;
+     24; 25; 26; 27; 28; 29; 28; 29; 30; 31; 32; 1 |]
+
+let permutation_p =
+  [| 16; 7; 20; 21; 29; 12; 28; 17; 1; 15; 23; 26; 5; 18; 31; 10;
+     2; 8; 24; 14; 32; 27; 3; 9; 19; 13; 30; 6; 22; 11; 4; 25 |]
+
+let pc1 =
+  [| 57; 49; 41; 33; 25; 17;  9;  1; 58; 50; 42; 34; 26; 18;
+     10;  2; 59; 51; 43; 35; 27; 19; 11;  3; 60; 52; 44; 36;
+     63; 55; 47; 39; 31; 23; 15;  7; 62; 54; 46; 38; 30; 22;
+     14;  6; 61; 53; 45; 37; 29; 21; 13;  5; 28; 20; 12;  4 |]
+
+let pc2 =
+  [| 14; 17; 11; 24;  1;  5;  3; 28; 15;  6; 21; 10;
+     23; 19; 12;  4; 26;  8; 16;  7; 27; 20; 13;  2;
+     41; 52; 31; 37; 47; 55; 30; 40; 51; 45; 33; 48;
+     44; 49; 39; 56; 34; 53; 46; 42; 50; 36; 29; 32 |]
+
+let key_shifts = [| 1; 1; 2; 2; 2; 2; 2; 2; 1; 2; 2; 2; 2; 2; 2; 1 |]
+
+let sboxes =
+  [|
+    [| 14; 4; 13; 1; 2; 15; 11; 8; 3; 10; 6; 12; 5; 9; 0; 7;
+       0; 15; 7; 4; 14; 2; 13; 1; 10; 6; 12; 11; 9; 5; 3; 8;
+       4; 1; 14; 8; 13; 6; 2; 11; 15; 12; 9; 7; 3; 10; 5; 0;
+       15; 12; 8; 2; 4; 9; 1; 7; 5; 11; 3; 14; 10; 0; 6; 13 |];
+    [| 15; 1; 8; 14; 6; 11; 3; 4; 9; 7; 2; 13; 12; 0; 5; 10;
+       3; 13; 4; 7; 15; 2; 8; 14; 12; 0; 1; 10; 6; 9; 11; 5;
+       0; 14; 7; 11; 10; 4; 13; 1; 5; 8; 12; 6; 9; 3; 2; 15;
+       13; 8; 10; 1; 3; 15; 4; 2; 11; 6; 7; 12; 0; 5; 14; 9 |];
+    [| 10; 0; 9; 14; 6; 3; 15; 5; 1; 13; 12; 7; 11; 4; 2; 8;
+       13; 7; 0; 9; 3; 4; 6; 10; 2; 8; 5; 14; 12; 11; 15; 1;
+       13; 6; 4; 9; 8; 15; 3; 0; 11; 1; 2; 12; 5; 10; 14; 7;
+       1; 10; 13; 0; 6; 9; 8; 7; 4; 15; 14; 3; 11; 5; 2; 12 |];
+    [| 7; 13; 14; 3; 0; 6; 9; 10; 1; 2; 8; 5; 11; 12; 4; 15;
+       13; 8; 11; 5; 6; 15; 0; 3; 4; 7; 2; 12; 1; 10; 14; 9;
+       10; 6; 9; 0; 12; 11; 7; 13; 15; 1; 3; 14; 5; 2; 8; 4;
+       3; 15; 0; 6; 10; 1; 13; 8; 9; 4; 5; 11; 12; 7; 2; 14 |];
+    [| 2; 12; 4; 1; 7; 10; 11; 6; 8; 5; 3; 15; 13; 0; 14; 9;
+       14; 11; 2; 12; 4; 7; 13; 1; 5; 0; 15; 10; 3; 9; 8; 6;
+       4; 2; 1; 11; 10; 13; 7; 8; 15; 9; 12; 5; 6; 3; 0; 14;
+       11; 8; 12; 7; 1; 14; 2; 13; 6; 15; 0; 9; 10; 4; 5; 3 |];
+    [| 12; 1; 10; 15; 9; 2; 6; 8; 0; 13; 3; 4; 14; 7; 5; 11;
+       10; 15; 4; 2; 7; 12; 9; 5; 6; 1; 13; 14; 0; 11; 3; 8;
+       9; 14; 15; 5; 2; 8; 12; 3; 7; 0; 4; 10; 1; 13; 11; 6;
+       4; 3; 2; 12; 9; 5; 15; 10; 11; 14; 1; 7; 6; 0; 8; 13 |];
+    [| 4; 11; 2; 14; 15; 0; 8; 13; 3; 12; 9; 7; 5; 10; 6; 1;
+       13; 0; 11; 7; 4; 9; 1; 10; 14; 3; 5; 12; 2; 15; 8; 6;
+       1; 4; 11; 13; 12; 3; 7; 14; 10; 15; 6; 8; 0; 5; 9; 2;
+       6; 11; 13; 8; 1; 4; 10; 7; 9; 5; 0; 15; 14; 2; 3; 12 |];
+    [| 13; 2; 8; 4; 6; 15; 11; 1; 10; 9; 3; 14; 5; 0; 12; 7;
+       1; 15; 13; 8; 10; 3; 7; 4; 12; 5; 6; 11; 0; 14; 9; 2;
+       7; 11; 4; 1; 9; 12; 14; 2; 0; 6; 10; 13; 15; 3; 5; 8;
+       2; 1; 14; 7; 4; 10; 8; 13; 15; 12; 9; 0; 3; 5; 6; 11 |];
+  |]
+
+(* Generic (slow) permutation over int64-held bit strings, 1-based MSB-first
+   numbering. Used to build fast tables and for the per-key schedule. *)
+let permute_generic spec ~in_width ~out_width (x : int64) : int64 =
+  let out = ref 0L in
+  let out_bits = out_width in
+  Array.iteri
+    (fun j src ->
+      let bit = Int64.to_int (Int64.logand (Int64.shift_right_logical x (in_width - src)) 1L) in
+      if bit = 1 then
+        out := Int64.logor !out (Int64.shift_left 1L (out_bits - (j + 1))))
+    spec;
+  !out
+
+(* Fast byte-indexed permutation tables: table.(byte_index).(byte_value)
+   gives the contribution of that input byte to the permuted output. *)
+let build_perm_table spec ~in_width ~out_width =
+  let nbytes = (in_width + 7) / 8 in
+  let table = Array.make_matrix nbytes 256 0L in
+  for byte = 0 to nbytes - 1 do
+    for v = 0 to 255 do
+      let x = Int64.shift_left (Int64.of_int v) (in_width - (8 * (byte + 1))) in
+      table.(byte).(v) <- permute_generic spec ~in_width ~out_width x
+    done
+  done;
+  table
+
+let apply_perm64 table (x : int64) : int64 =
+  let out = ref 0L in
+  for byte = 0 to Array.length table - 1 do
+    let v = Int64.to_int (Int64.logand (Int64.shift_right_logical x (56 - (8 * byte))) 0xFFL) in
+    out := Int64.logor !out table.(byte).(v)
+  done;
+  !out
+
+let ip_table = build_perm_table initial_permutation ~in_width:64 ~out_width:64
+let fp_table = build_perm_table final_permutation ~in_width:64 ~out_width:64
+
+(* Expansion of the 32-bit half into 48 bits, as a native-int table. *)
+let e_table =
+  let t64 = build_perm_table expansion ~in_width:32 ~out_width:48 in
+  Array.map (Array.map Int64.to_int) t64
+
+let expand (r : int) : int =
+  e_table.(0).((r lsr 24) land 0xFF)
+  lor e_table.(1).((r lsr 16) land 0xFF)
+  lor e_table.(2).((r lsr 8) land 0xFF)
+  lor e_table.(3).(r land 0xFF)
+
+(* Combined S-box + P permutation tables: sp.(i).(six_bits) is P applied to
+   S-box i's output placed at its position in the 32-bit word. *)
+let sp_tables =
+  let sp = Array.make_matrix 8 64 0 in
+  for i = 0 to 7 do
+    for v = 0 to 63 do
+      (* group bits b1..b6 MSB-first: row = b1 b6, column = b2 b3 b4 b5 *)
+      let row = (((v lsr 5) land 1) lsl 1) lor (v land 1) in
+      let col = (v lsr 1) land 0xF in
+      let s_out = sboxes.(i).((row * 16) + col) in
+      let placed = Int64.of_int (s_out lsl (32 - (4 * (i + 1)))) in
+      sp.(i).(v) <-
+        Int64.to_int (permute_generic permutation_p ~in_width:32 ~out_width:32 placed)
+    done
+  done;
+  sp
+
+let feistel (r : int) (subkey : int) : int =
+  let x = expand r lxor subkey in
+  sp_tables.(0).((x lsr 42) land 63)
+  lor sp_tables.(1).((x lsr 36) land 63)
+  lor sp_tables.(2).((x lsr 30) land 63)
+  lor sp_tables.(3).((x lsr 24) land 63)
+  lor sp_tables.(4).((x lsr 18) land 63)
+  lor sp_tables.(5).((x lsr 12) land 63)
+  lor sp_tables.(6).((x lsr 6) land 63)
+  lor sp_tables.(7).(x land 63)
+
+(* Key schedule ----------------------------------------------------------- *)
+
+type key = int array  (* 16 subkeys of 48 bits each, in native ints *)
+
+let rotl28 x n = ((x lsl n) lor (x lsr (28 - n))) land 0xFFFFFFF
+
+let key_of_string k =
+  if String.length k <> 8 then invalid_arg "Des.key_of_string: need 8 bytes";
+  let k64 = ref 0L in
+  String.iter (fun c -> k64 := Int64.logor (Int64.shift_left !k64 8) (Int64.of_int (Char.code c))) k;
+  let cd = permute_generic pc1 ~in_width:64 ~out_width:56 !k64 in
+  let c = ref (Int64.to_int (Int64.shift_right_logical cd 28)) in
+  let d = ref (Int64.to_int (Int64.logand cd 0xFFFFFFFL)) in
+  Array.map
+    (fun shift ->
+      c := rotl28 !c shift;
+      d := rotl28 !d shift;
+      let cd56 = Int64.logor (Int64.shift_left (Int64.of_int !c) 28) (Int64.of_int !d) in
+      Int64.to_int (permute_generic pc2 ~in_width:56 ~out_width:48 cd56))
+    key_shifts
+
+(* Block operations ------------------------------------------------------- *)
+
+let crypt_block subkeys ~decrypt (block : int64) : int64 =
+  let ip = apply_perm64 ip_table block in
+  let l = ref (Int64.to_int (Int64.shift_right_logical ip 32) land 0xFFFFFFFF) in
+  let r = ref (Int64.to_int (Int64.logand ip 0xFFFFFFFFL)) in
+  for round = 0 to 15 do
+    let k = if decrypt then subkeys.(15 - round) else subkeys.(round) in
+    let next_r = !l lxor feistel !r k in
+    l := !r;
+    r := next_r
+  done;
+  (* preoutput is R16 ‖ L16 *)
+  let pre = Int64.logor (Int64.shift_left (Int64.of_int !r) 32) (Int64.of_int !l) in
+  apply_perm64 fp_table pre
+
+let encrypt_block key block = crypt_block key ~decrypt:false block
+let decrypt_block key block = crypt_block key ~decrypt:true block
+
+let block_of_bytes s ~pos =
+  let v = ref 0L in
+  for i = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (Char.code s.[pos + i]))
+  done;
+  !v
+
+let block_to_bytes b ~pos (v : int64) =
+  for i = 0 to 7 do
+    Bytes.set b (pos + i)
+      (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * (7 - i))) 0xFFL)))
+  done
+
+module Triple = struct
+  let des_encrypt = encrypt_block
+  let des_decrypt = decrypt_block
+
+  type nonrec key = { k1 : key; k2 : key; k3 : key }
+
+  let key_of_string s =
+    match String.length s with
+    | 8 ->
+        let k = key_of_string s in
+        { k1 = k; k2 = k; k3 = k }
+    | 16 ->
+        let k1 = key_of_string (String.sub s 0 8) in
+        let k2 = key_of_string (String.sub s 8 8) in
+        { k1; k2; k3 = k1 }
+    | 24 ->
+        {
+          k1 = key_of_string (String.sub s 0 8);
+          k2 = key_of_string (String.sub s 8 8);
+          k3 = key_of_string (String.sub s 16 8);
+        }
+    | _ -> invalid_arg "Des.Triple.key_of_string: need 8, 16 or 24 bytes"
+
+  let encrypt_block { k1; k2; k3 } b =
+    des_encrypt k3 (des_decrypt k2 (des_encrypt k1 b))
+
+  let decrypt_block { k1; k2; k3 } b =
+    des_decrypt k1 (des_encrypt k2 (des_decrypt k3 b))
+end

@@ -1,0 +1,36 @@
+(** DES and Triple-DES (FIPS 46-3), implemented from scratch.
+
+    The paper encrypts documents with hardwired 3DES on the smart card; here
+    the block cipher is software but the SOE cost model charges decrypted
+    bytes at the paper's Table 1 rates, so its wall-clock speed never enters
+    reported results. The implementation is table-driven (combined S+P
+    lookup tables) and validated against FIPS test vectors. *)
+
+val block_size : int
+(** 8 bytes. *)
+
+type key
+
+val key_of_string : string -> key
+(** [key_of_string k] expands an 8-byte key (parity bits ignored).
+    @raise Invalid_argument if [k] is not 8 bytes. *)
+
+val encrypt_block : key -> int64 -> int64
+val decrypt_block : key -> int64 -> int64
+
+val block_of_bytes : string -> pos:int -> int64
+(** Big-endian load of 8 bytes. *)
+
+val block_to_bytes : Bytes.t -> pos:int -> int64 -> unit
+
+(** Triple DES in EDE mode with three independent subkeys. *)
+module Triple : sig
+  type key
+
+  val key_of_string : string -> key
+  (** 24-byte key = k1 ‖ k2 ‖ k3; 8-byte and 16-byte keys are also accepted
+      (k1=k2=k3, resp. k3=k1). @raise Invalid_argument otherwise. *)
+
+  val encrypt_block : key -> int64 -> int64
+  val decrypt_block : key -> int64 -> int64
+end

@@ -1,0 +1,92 @@
+type cipher = { encrypt : int64 -> int64; decrypt : int64 -> int64 }
+
+let of_des k =
+  { encrypt = Des.encrypt_block k; decrypt = Des.decrypt_block k }
+
+let of_triple_des k =
+  {
+    encrypt = Des.Triple.encrypt_block k;
+    decrypt = Des.Triple.decrypt_block k;
+  }
+
+let check_aligned name s =
+  if String.length s mod 8 <> 0 then
+    invalid_arg (name ^ ": length must be a multiple of 8")
+
+let map_blocks f s =
+  let out = Bytes.create (String.length s) in
+  let nblocks = String.length s / 8 in
+  for i = 0 to nblocks - 1 do
+    Des.block_to_bytes out ~pos:(8 * i) (f i (Des.block_of_bytes s ~pos:(8 * i)))
+  done;
+  Bytes.to_string out
+
+let ecb_encrypt c s =
+  check_aligned "Modes.ecb_encrypt" s;
+  map_blocks (fun _ b -> c.encrypt b) s
+
+let ecb_decrypt c s =
+  check_aligned "Modes.ecb_decrypt" s;
+  map_blocks (fun _ b -> c.decrypt b) s
+
+let cbc_encrypt c ~iv s =
+  check_aligned "Modes.cbc_encrypt" s;
+  let prev = ref iv in
+  map_blocks
+    (fun _ b ->
+      let e = c.encrypt (Int64.logxor b !prev) in
+      prev := e;
+      e)
+    s
+
+let cbc_decrypt c ~iv s =
+  check_aligned "Modes.cbc_decrypt" s;
+  let prev = ref iv in
+  map_blocks
+    (fun _ b ->
+      let p = Int64.logxor (c.decrypt b) !prev in
+      prev := b;
+      p)
+    s
+
+let position_mask ~base i = Int64.of_int (base + (8 * i))
+
+let positional_encrypt c ~base s =
+  check_aligned "Modes.positional_encrypt" s;
+  if base mod 8 <> 0 then invalid_arg "Modes.positional_encrypt: unaligned base";
+  map_blocks (fun i b -> c.encrypt (Int64.logxor b (position_mask ~base i))) s
+
+let positional_decrypt c ~base s =
+  check_aligned "Modes.positional_decrypt" s;
+  if base mod 8 <> 0 then invalid_arg "Modes.positional_decrypt: unaligned base";
+  map_blocks (fun i b -> Int64.logxor (c.decrypt b) (position_mask ~base i)) s
+
+let positional_decrypt_sub c ~base s ~pos ~len =
+  if pos mod 8 <> 0 || len mod 8 <> 0 then
+    invalid_arg "Modes.positional_decrypt_sub: unaligned range";
+  if pos < 0 || pos + len > String.length s then
+    invalid_arg "Modes.positional_decrypt_sub: range out of bounds";
+  positional_decrypt c ~base:(base + pos) (String.sub s pos len)
+
+let pad s =
+  let n = String.length s in
+  let padded = 8 * ((n / 8) + 1) in
+  let b = Bytes.make padded '\000' in
+  Bytes.blit_string s 0 b 0 n;
+  Bytes.set b n '\x80';
+  Bytes.to_string b
+
+let unpad s =
+  let rec find i =
+    if i < 0 then invalid_arg "Modes.unpad: no padding marker"
+    else
+      match s.[i] with
+      | '\000' -> find (i - 1)
+      | '\x80' -> i
+      | _ -> invalid_arg "Modes.unpad: malformed padding"
+  in
+  let n = String.length s in
+  if n = 0 || n mod 8 <> 0 then invalid_arg "Modes.unpad: bad length";
+  let marker = find (n - 1) in
+  if n - marker > 8 then invalid_arg "Modes.unpad: padding too long";
+  String.sub s 0 marker

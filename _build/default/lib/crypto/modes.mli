@@ -1,0 +1,40 @@
+(** Block-cipher modes of operation used by the paper (Appendix A):
+
+    - plain ECB — leaks equal blocks, kept as the insecure baseline;
+    - CBC — the classic alternative, penalizing random access;
+    - positional ECB — the paper's scheme: each 8-byte block is XORed with
+      its absolute position in the document before ECB encryption, so equal
+      plaintexts yield different ciphertexts while any block remains
+      independently decryptable. *)
+
+type cipher = { encrypt : int64 -> int64; decrypt : int64 -> int64 }
+
+val of_des : Des.key -> cipher
+val of_triple_des : Des.Triple.key -> cipher
+
+val ecb_encrypt : cipher -> string -> string
+(** @raise Invalid_argument if the length is not a multiple of 8. *)
+
+val ecb_decrypt : cipher -> string -> string
+
+val cbc_encrypt : cipher -> iv:int64 -> string -> string
+val cbc_decrypt : cipher -> iv:int64 -> string -> string
+
+val positional_encrypt : cipher -> base:int -> string -> string
+(** [base] is the absolute byte offset of the buffer's first byte in the
+    document; it must be 8-byte aligned. *)
+
+val positional_decrypt : cipher -> base:int -> string -> string
+
+val positional_decrypt_sub :
+  cipher -> base:int -> string -> pos:int -> len:int -> string
+(** Decrypt [len] bytes at [pos] inside a ciphertext buffer whose first byte
+    has absolute offset [base]; [pos] and [len] must be 8-byte aligned —
+    this is the random access the positional scheme enables. *)
+
+val pad : string -> string
+(** ISO/IEC 7816-4: append 0x80 then zeros up to a multiple of 8 (always
+    appends at least one byte). *)
+
+val unpad : string -> string
+(** @raise Invalid_argument on malformed padding. *)

@@ -1,0 +1,257 @@
+type scheme = Ecb | Cbc_sha | Cbc_shac | Ecb_mht
+
+exception Integrity_failure of string
+
+let scheme_to_string = function
+  | Ecb -> "ECB"
+  | Cbc_sha -> "CBC-SHA"
+  | Cbc_shac -> "CBC-SHAC"
+  | Ecb_mht -> "ECB-MHT"
+
+let scheme_of_string = function
+  | "ECB" -> Some Ecb
+  | "CBC-SHA" -> Some Cbc_sha
+  | "CBC-SHAC" -> Some Cbc_shac
+  | "ECB-MHT" -> Some Ecb_mht
+  | _ -> None
+
+let all_schemes = [ Ecb; Cbc_sha; Cbc_shac; Ecb_mht ]
+
+let scheme_byte = function Ecb -> 0 | Cbc_sha -> 1 | Cbc_shac -> 2 | Ecb_mht -> 3
+
+let scheme_of_byte = function
+  | 0 -> Ecb
+  | 1 -> Cbc_sha
+  | 2 -> Cbc_shac
+  | 3 -> Ecb_mht
+  | b -> invalid_arg (Printf.sprintf "Secure_container: unknown scheme byte %d" b)
+
+type t = {
+  scheme : scheme;
+  chunk_size : int;
+  fragment_size : int;
+  payload_len : int;
+  chunks : string array;  (* ciphertext, each exactly chunk_size bytes *)
+  digests : string array;  (* encrypted digest blobs, "" for Ecb *)
+}
+
+let chunk_size t = t.chunk_size
+let fragment_size t = t.fragment_size
+let fragments_per_chunk t = t.chunk_size / t.fragment_size
+let scheme t = t.scheme
+let payload_length t = t.payload_len
+let chunk_count t = Array.length t.chunks
+let ciphertext_bytes t = Array.length t.chunks * t.chunk_size
+
+let digest_bytes t =
+  Array.fold_left (fun acc d -> acc + String.length d) 0 t.digests
+
+(* Encrypted digests live in a disjoint position space so their blocks can
+   never be confused with payload blocks. *)
+let digest_blob_size = 24 (* 20-byte SHA-1 padded to three DES blocks *)
+let digest_position_base chunk = (1 lsl 40) + (chunk * digest_blob_size)
+
+let magic = "XACR1"
+let header_size = String.length magic + 1 + 4 + 4 + 8
+
+let be_bytes value width =
+  String.init width (fun i -> Char.chr ((value lsr (8 * (width - 1 - i))) land 0xFF))
+
+let be_value s pos width =
+  let v = ref 0 in
+  for i = 0 to width - 1 do
+    v := (!v lsl 8) lor Char.code s.[pos + i]
+  done;
+  !v
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(* Every digest binds the container geometry, so header tampering (e.g.
+   truncating the payload length) is detected like any other corruption. *)
+let header_tag t =
+  be_bytes (scheme_byte t.scheme) 1
+  ^ be_bytes t.chunk_size 4 ^ be_bytes t.fragment_size 4
+  ^ be_bytes t.payload_len 8
+
+let chunk_payload_digest t ~chunk ~data =
+  Sha1.digest (header_tag t ^ be_bytes chunk 8 ^ data)
+
+let expected_digest_of_plain t ~chunk ~plain = chunk_payload_digest t ~chunk ~data:plain
+let expected_digest_of_cipher t ~chunk ~cipher = chunk_payload_digest t ~chunk ~data:cipher
+
+let fragment_leaf_hash t ~chunk ~fragment ~cipher =
+  ignore t;
+  Sha1.digest (be_bytes chunk 4 ^ be_bytes fragment 4 ^ cipher)
+
+let seal_root t ~chunk ~root = chunk_payload_digest t ~chunk ~data:root
+
+let mht_root t ~chunk ~cipher =
+  let m = fragments_per_chunk t in
+  let leaves =
+    Array.init m (fun i ->
+        fragment_leaf_hash t ~chunk ~fragment:i
+          ~cipher:(String.sub cipher (i * t.fragment_size) t.fragment_size))
+  in
+  Merkle.root_of_leaves leaves
+
+let clear_digest t ~key:_ ~chunk ~plain ~cipher =
+  match t.scheme with
+  | Ecb -> ""
+  | Cbc_sha -> expected_digest_of_plain t ~chunk ~plain
+  | Cbc_shac -> expected_digest_of_cipher t ~chunk ~cipher
+  | Ecb_mht -> seal_root t ~chunk ~root:(mht_root t ~chunk ~cipher)
+
+let encrypt_digest ~key ~chunk digest =
+  if digest = "" then ""
+  else begin
+    let padded = digest ^ String.make (digest_blob_size - String.length digest) '\000' in
+    Modes.positional_encrypt (Modes.of_triple_des key)
+      ~base:(digest_position_base chunk) padded
+  end
+
+let decrypt_digest t ~key chunk =
+  match t.digests.(chunk) with
+  | "" -> invalid_arg "Secure_container.decrypt_digest: scheme has no digests"
+  | blob ->
+      let plain =
+        Modes.positional_decrypt (Modes.of_triple_des key)
+          ~base:(digest_position_base chunk) blob
+      in
+      String.sub plain 0 Sha1.digest_size
+
+let encrypt ?(chunk_size = 2048) ?(fragment_size = 256) ~scheme ~key payload =
+  if chunk_size mod 8 <> 0 || fragment_size mod 8 <> 0 then
+    invalid_arg "Secure_container.encrypt: sizes must be multiples of 8";
+  if chunk_size mod fragment_size <> 0
+     || not (is_power_of_two (chunk_size / fragment_size)) then
+    invalid_arg
+      "Secure_container.encrypt: chunk/fragment ratio must be a power of two";
+  let payload_len = String.length payload in
+  let nchunks = max 1 ((payload_len + chunk_size - 1) / chunk_size) in
+  let padded = payload ^ String.make ((nchunks * chunk_size) - payload_len) '\000' in
+  let cipher = Modes.of_triple_des key in
+  let t =
+    {
+      scheme;
+      chunk_size;
+      fragment_size;
+      payload_len;
+      chunks = Array.make nchunks "";
+      digests = Array.make nchunks "";
+    }
+  in
+  for i = 0 to nchunks - 1 do
+    let plain = String.sub padded (i * chunk_size) chunk_size in
+    let encrypted =
+      match scheme with
+      | Ecb | Ecb_mht ->
+          Modes.positional_encrypt cipher ~base:(i * chunk_size) plain
+      | Cbc_sha | Cbc_shac ->
+          Modes.cbc_encrypt cipher ~iv:(Int64.of_int i) plain
+    in
+    t.chunks.(i) <- encrypted;
+    t.digests.(i) <-
+      encrypt_digest ~key ~chunk:i
+        (clear_digest t ~key ~chunk:i ~plain ~cipher:encrypted)
+  done;
+  t
+
+let to_bytes t =
+  let b = Buffer.create (header_size + ciphertext_bytes t + digest_bytes t) in
+  Buffer.add_string b magic;
+  Buffer.add_char b (Char.chr (scheme_byte t.scheme));
+  Buffer.add_string b (be_bytes t.chunk_size 4);
+  Buffer.add_string b (be_bytes t.fragment_size 4);
+  Buffer.add_string b (be_bytes t.payload_len 8);
+  Array.iteri
+    (fun i chunk ->
+      Buffer.add_string b chunk;
+      Buffer.add_string b t.digests.(i))
+    t.chunks;
+  Buffer.contents b
+
+let of_bytes s =
+  if String.length s < header_size then
+    invalid_arg "Secure_container.of_bytes: truncated header";
+  if String.sub s 0 (String.length magic) <> magic then
+    invalid_arg "Secure_container.of_bytes: bad magic";
+  let scheme = scheme_of_byte (Char.code s.[String.length magic]) in
+  let chunk_size = be_value s 6 4 in
+  let fragment_size = be_value s 10 4 in
+  let payload_len = be_value s 14 8 in
+  if
+    chunk_size <= 0 || fragment_size <= 0
+    || chunk_size mod 8 <> 0 || fragment_size mod 8 <> 0
+    || chunk_size mod fragment_size <> 0
+    || not (is_power_of_two (chunk_size / fragment_size))
+  then invalid_arg "Secure_container.of_bytes: bad sizes";
+  let nchunks = max 1 ((payload_len + chunk_size - 1) / chunk_size) in
+  let blob = if scheme = Ecb then 0 else digest_blob_size in
+  let expected = header_size + (nchunks * (chunk_size + blob)) in
+  if String.length s <> expected then
+    invalid_arg "Secure_container.of_bytes: bad total length";
+  let chunks =
+    Array.init nchunks (fun i ->
+        String.sub s (header_size + (i * (chunk_size + blob))) chunk_size)
+  in
+  let digests =
+    Array.init nchunks (fun i ->
+        if blob = 0 then ""
+        else String.sub s (header_size + (i * (chunk_size + blob)) + chunk_size) blob)
+  in
+  { scheme; chunk_size; fragment_size; payload_len; chunks; digests }
+
+let chunk_ciphertext t i = t.chunks.(i)
+let encrypted_digest t i = t.digests.(i)
+
+let fragment_ciphertext t ~chunk ~fragment =
+  String.sub t.chunks.(chunk) (fragment * t.fragment_size) t.fragment_size
+
+let substitute_block t ~chunk ~block replacement =
+  if String.length replacement <> 8 then
+    invalid_arg "Secure_container.substitute_block: need 8 bytes";
+  let chunks = Array.copy t.chunks in
+  let b = Bytes.of_string chunks.(chunk) in
+  Bytes.blit_string replacement 0 b (8 * block) 8;
+  chunks.(chunk) <- Bytes.to_string b;
+  { t with chunks }
+
+let decrypt_chunk t ~key i =
+  let cipher = Modes.of_triple_des key in
+  match t.scheme with
+  | Ecb | Ecb_mht ->
+      Modes.positional_decrypt cipher ~base:(i * t.chunk_size) t.chunks.(i)
+  | Cbc_sha | Cbc_shac ->
+      Modes.cbc_decrypt cipher ~iv:(Int64.of_int i) t.chunks.(i)
+
+let decrypt_fragment t ~key ~chunk ~fragment ~cipher =
+  match t.scheme with
+  | Cbc_sha | Cbc_shac ->
+      invalid_arg "Secure_container.decrypt_fragment: CBC has no random access"
+  | Ecb | Ecb_mht ->
+      Modes.positional_decrypt (Modes.of_triple_des key)
+        ~base:((chunk * t.chunk_size) + (fragment * t.fragment_size))
+        cipher
+
+let verify_chunk t ~key i ~plain =
+  match t.scheme with
+  | Ecb -> ()
+  | _ ->
+      let expected =
+        match t.scheme with
+        | Ecb -> assert false
+        | Cbc_sha -> expected_digest_of_plain t ~chunk:i ~plain
+        | Cbc_shac -> expected_digest_of_cipher t ~chunk:i ~cipher:t.chunks.(i)
+        | Ecb_mht -> seal_root t ~chunk:i ~root:(mht_root t ~chunk:i ~cipher:t.chunks.(i))
+      in
+      if not (String.equal expected (decrypt_digest t ~key i)) then
+        raise (Integrity_failure (Printf.sprintf "chunk %d digest mismatch" i))
+
+let decrypt_all t ~key ~verify =
+  let b = Buffer.create (ciphertext_bytes t) in
+  for i = 0 to chunk_count t - 1 do
+    let plain = decrypt_chunk t ~key i in
+    if verify then verify_chunk t ~key i ~plain;
+    Buffer.add_string b plain
+  done;
+  String.sub (Buffer.contents b) 0 t.payload_len

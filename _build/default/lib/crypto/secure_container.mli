@@ -1,0 +1,104 @@
+(** The encrypted document container (paper Section 6 and Appendix A).
+
+    A payload (here: a skip-index-encoded XML document) is split into
+    {e chunks} (default 2 KB), divided into {e fragments} (default 256 B),
+    themselves made of 8-byte cipher {e blocks}. Four schemes are compared
+    in the paper's Figure 11:
+
+    - [Ecb]: positional-ECB encryption, no integrity (confidentiality only);
+    - [Cbc_sha]: CBC per chunk + SHA-1 digest of the {e plaintext} chunk —
+      verifying any byte forces the SOE to fetch and decrypt the whole chunk;
+    - [Cbc_shac]: CBC + SHA-1 digest of the {e ciphertext} chunk — the SOE
+      hashes ciphertext from the accessed position to the chunk end, the
+      terminal supplying the intermediate hash state of the prefix;
+    - [Ecb_mht]: the paper's scheme — positional ECB + a Merkle hash tree
+      over ciphertext fragments, allowing verified random access at
+      fragment granularity.
+
+    Chunk digests embed the chunk index, and every digest is encrypted, so
+    block/chunk substitutions and tampering are detectable by the SOE. *)
+
+type scheme = Ecb | Cbc_sha | Cbc_shac | Ecb_mht
+
+val scheme_to_string : scheme -> string
+val scheme_of_string : string -> scheme option
+val all_schemes : scheme list
+
+type t
+
+val chunk_size : t -> int
+val fragment_size : t -> int
+val fragments_per_chunk : t -> int
+val scheme : t -> scheme
+val payload_length : t -> int
+(** Length of the original plaintext payload in bytes. *)
+
+val chunk_count : t -> int
+val ciphertext_bytes : t -> int
+(** Total encrypted payload size (excludes digests). *)
+
+val digest_bytes : t -> int
+(** Total size of the (encrypted) chunk digests. *)
+
+val encrypt :
+  ?chunk_size:int ->
+  ?fragment_size:int ->
+  scheme:scheme ->
+  key:Des.Triple.key ->
+  string ->
+  t
+(** Build a container. [chunk_size] (default 2048) must be a multiple of
+    [fragment_size] (default 256) with a power-of-two ratio; both must be
+    multiples of 8. *)
+
+val to_bytes : t -> string
+(** Serialized container (header + chunks), as stored on the server /
+    untrusted terminal. *)
+
+val of_bytes : string -> t
+(** Parse a serialized container without verifying anything (the terminal
+    side). @raise Invalid_argument on malformed headers. *)
+
+(** {2 Terminal-side accessors (no secrets involved)} *)
+
+val chunk_ciphertext : t -> int -> string
+(** Encrypted payload of a chunk (without its digest). The last chunk is
+    padded to a whole number of fragments. *)
+
+val encrypted_digest : t -> int -> string
+(** The encrypted digest blob of a chunk ("" for [Ecb]). *)
+
+val fragment_ciphertext : t -> chunk:int -> fragment:int -> string
+
+val substitute_block : t -> chunk:int -> block:int -> string -> t
+(** Tamper helper for tests: replace one 8-byte ciphertext block. *)
+
+(** {2 SOE-side primitives (hold the key)} *)
+
+val decrypt_digest : t -> key:Des.Triple.key -> int -> string
+(** Decrypt the 20-byte chunk digest of chunk [i]. *)
+
+val expected_digest_of_plain : t -> chunk:int -> plain:string -> string
+val expected_digest_of_cipher : t -> chunk:int -> cipher:string -> string
+val fragment_leaf_hash : t -> chunk:int -> fragment:int -> cipher:string -> string
+
+val seal_root : t -> chunk:int -> root:string -> string
+(** The stored ECB-MHT chunk digest: the Merkle root hashed together with
+    the container geometry (scheme, chunk/fragment sizes, payload length),
+    so header tampering is detected like payload tampering. *)
+
+val decrypt_chunk : t -> key:Des.Triple.key -> int -> string
+(** Decrypt a full chunk's payload (positional ECB or CBC according to the
+    scheme); the caller strips padding via {!payload_length}. *)
+
+val decrypt_fragment :
+  t -> key:Des.Triple.key -> chunk:int -> fragment:int -> cipher:string -> string
+(** Decrypt one fragment given its ciphertext. Only valid for the ECB-based
+    schemes (random access); @raise Invalid_argument for CBC schemes. *)
+
+val decrypt_all : t -> key:Des.Triple.key -> verify:bool -> string
+(** Whole-document decryption (and digest verification when [verify]);
+    returns the payload. @raise Integrity_failure when a digest check
+    fails. *)
+
+exception Integrity_failure of string

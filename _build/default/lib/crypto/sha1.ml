@@ -1,0 +1,189 @@
+(* SHA-1 over 32-bit words represented as OCaml native ints masked to 32
+   bits (the native int is at least 63 bits wide on all supported
+   platforms). *)
+
+let digest_size = 20
+let mask32 = 0xFFFFFFFF
+
+type ctx = {
+  mutable h0 : int;
+  mutable h1 : int;
+  mutable h2 : int;
+  mutable h3 : int;
+  mutable h4 : int;
+  mutable total : int;  (* message bytes fed so far *)
+  block : Bytes.t;  (* 64-byte block buffer *)
+  mutable fill : int;  (* bytes currently in [block] *)
+}
+
+let init () =
+  {
+    h0 = 0x67452301;
+    h1 = 0xEFCDAB89;
+    h2 = 0x98BADCFE;
+    h3 = 0x10325476;
+    h4 = 0xC3D2E1F0;
+    total = 0;
+    block = Bytes.create 64;
+    fill = 0;
+  }
+
+let copy c = { c with block = Bytes.copy c.block }
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
+
+let w = Array.make 80 0
+
+let process_block c (b : Bytes.t) off =
+  for i = 0 to 15 do
+    w.(i) <-
+      (Char.code (Bytes.get b (off + (4 * i))) lsl 24)
+      lor (Char.code (Bytes.get b (off + (4 * i) + 1)) lsl 16)
+      lor (Char.code (Bytes.get b (off + (4 * i) + 2)) lsl 8)
+      lor Char.code (Bytes.get b (off + (4 * i) + 3))
+  done;
+  for i = 16 to 79 do
+    w.(i) <- rotl (w.(i - 3) lxor w.(i - 8) lxor w.(i - 14) lxor w.(i - 16)) 1
+  done;
+  let a = ref c.h0 and b' = ref c.h1 and c' = ref c.h2 in
+  let d = ref c.h3 and e = ref c.h4 in
+  for i = 0 to 79 do
+    let f, k =
+      if i < 20 then ((!b' land !c') lor (lnot !b' land !d) land mask32, 0x5A827999)
+      else if i < 40 then (!b' lxor !c' lxor !d, 0x6ED9EBA1)
+      else if i < 60 then
+        ((!b' land !c') lor (!b' land !d) lor (!c' land !d), 0x8F1BBCDC)
+      else (!b' lxor !c' lxor !d, 0xCA62C1D6)
+    in
+    let tmp = (rotl !a 5 + (f land mask32) + !e + k + w.(i)) land mask32 in
+    e := !d;
+    d := !c';
+    c' := rotl !b' 30;
+    b' := !a;
+    a := tmp
+  done;
+  c.h0 <- (c.h0 + !a) land mask32;
+  c.h1 <- (c.h1 + !b') land mask32;
+  c.h2 <- (c.h2 + !c') land mask32;
+  c.h3 <- (c.h3 + !d) land mask32;
+  c.h4 <- (c.h4 + !e) land mask32
+
+let feed_sub c s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Sha1.feed_sub";
+  c.total <- c.total + len;
+  let remaining = ref len and src = ref pos in
+  (* top up a partial block first *)
+  if c.fill > 0 then begin
+    let take = min !remaining (64 - c.fill) in
+    Bytes.blit_string s !src c.block c.fill take;
+    c.fill <- c.fill + take;
+    src := !src + take;
+    remaining := !remaining - take;
+    if c.fill = 64 then begin
+      process_block c c.block 0;
+      c.fill <- 0
+    end
+  end;
+  while !remaining >= 64 do
+    Bytes.blit_string s !src c.block 0 64;
+    process_block c c.block 0;
+    src := !src + 64;
+    remaining := !remaining - 64
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit_string s !src c.block c.fill !remaining;
+    c.fill <- c.fill + !remaining
+  end
+
+let feed c s = feed_sub c s ~pos:0 ~len:(String.length s)
+
+let finalize c =
+  let c = copy c in
+  let bit_len = c.total * 8 in
+  (* padding: 0x80, zeros, 64-bit big-endian length *)
+  let pad_len =
+    let r = (c.total + 1 + 8) mod 64 in
+    if r = 0 then 1 + 8 else 1 + 8 + (64 - r)
+  in
+  let padding = Bytes.make pad_len '\000' in
+  Bytes.set padding 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set padding
+      (pad_len - 1 - i)
+      (Char.chr ((bit_len lsr (8 * i)) land 0xFF))
+  done;
+  feed c (Bytes.to_string padding);
+  assert (c.fill = 0);
+  let out = Bytes.create 20 in
+  let put i v =
+    Bytes.set out (4 * i) (Char.chr ((v lsr 24) land 0xFF));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set out ((4 * i) + 3) (Char.chr (v land 0xFF))
+  in
+  put 0 c.h0;
+  put 1 c.h1;
+  put 2 c.h2;
+  put 3 c.h3;
+  put 4 c.h4;
+  Bytes.to_string out
+
+let digest s =
+  let c = init () in
+  feed c s;
+  finalize c
+
+let hex s =
+  let b = Buffer.create (2 * String.length s) in
+  String.iter (fun ch -> Buffer.add_string b (Printf.sprintf "%02x" (Char.code ch))) s;
+  Buffer.contents b
+
+(* State serialization: 5 x 4-byte words, 8-byte total, 1-byte fill, fill
+   bytes of pending block. *)
+let export_state c =
+  let b = Buffer.create 40 in
+  let word v =
+    Buffer.add_char b (Char.chr ((v lsr 24) land 0xFF));
+    Buffer.add_char b (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char b (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char b (Char.chr (v land 0xFF))
+  in
+  word c.h0;
+  word c.h1;
+  word c.h2;
+  word c.h3;
+  word c.h4;
+  for i = 7 downto 0 do
+    Buffer.add_char b (Char.chr ((c.total lsr (8 * i)) land 0xFF))
+  done;
+  Buffer.add_char b (Char.chr c.fill);
+  Buffer.add_string b (Bytes.sub_string c.block 0 c.fill);
+  Buffer.contents b
+
+let import_state s =
+  let min_len = 20 + 8 + 1 in
+  if String.length s < min_len then invalid_arg "Sha1.import_state: truncated";
+  let word i =
+    (Char.code s.[i] lsl 24)
+    lor (Char.code s.[i + 1] lsl 16)
+    lor (Char.code s.[i + 2] lsl 8)
+    lor Char.code s.[i + 3]
+  in
+  let total = ref 0 in
+  for i = 20 to 27 do
+    total := (!total lsl 8) lor Char.code s.[i]
+  done;
+  let fill = Char.code s.[28] in
+  if fill > 63 || String.length s <> min_len + fill then
+    invalid_arg "Sha1.import_state: malformed";
+  let c = init () in
+  c.h0 <- word 0;
+  c.h1 <- word 4;
+  c.h2 <- word 8;
+  c.h3 <- word 12;
+  c.h4 <- word 16;
+  c.total <- !total;
+  c.fill <- fill;
+  Bytes.blit_string s 29 c.block 0 fill;
+  c

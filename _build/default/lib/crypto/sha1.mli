@@ -1,0 +1,33 @@
+(** SHA-1 (FIPS 180-1), implemented from scratch for the sealed environment.
+
+    The paper uses SHA-1 for chunk digests and Merkle hash trees. SHA-1 is
+    no longer collision-resistant by modern standards; it is kept here for
+    fidelity to the paper (the integrity layer is parametric in nothing but
+    the 20-byte digest size). *)
+
+val digest_size : int
+(** 20 bytes. *)
+
+val digest : string -> string
+(** [digest msg] is the 20-byte binary SHA-1 of [msg]. *)
+
+val hex : string -> string
+(** Lowercase hexadecimal of a binary string. *)
+
+type ctx
+(** Incremental hashing context — the SOE checks integrity incrementally and
+    the terminal ships intermediate states (Appendix A's basic solution). *)
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val feed_sub : ctx -> string -> pos:int -> len:int -> unit
+val finalize : ctx -> string
+val copy : ctx -> ctx
+
+val export_state : ctx -> string
+(** Serialized mid-stream state (chaining value + byte count + pending
+    partial block): what the untrusted terminal transmits to the SOE so that
+    hashing can resume inside the secure environment. *)
+
+val import_state : string -> ctx
+(** @raise Invalid_argument on a malformed state blob. *)

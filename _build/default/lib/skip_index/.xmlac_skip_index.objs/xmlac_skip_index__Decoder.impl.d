@@ -1,0 +1,1 @@
+lib/skip_index/decoder.ml: Array Bitio Dict Encoder Fun Hashtbl Layout List String Wire Xmlac_xml

@@ -1,0 +1,1 @@
+lib/skip_index/decoder.mli: Dict Encoder Layout Xmlac_xml

@@ -1,0 +1,1 @@
+lib/skip_index/dict.ml: Array Bitio Hashtbl List String Xmlac_xml

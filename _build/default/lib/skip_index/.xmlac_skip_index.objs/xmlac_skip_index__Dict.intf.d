@@ -1,0 +1,1 @@
+lib/skip_index/dict.mli: Bitio Xmlac_xml

@@ -1,0 +1,1 @@
+lib/skip_index/encoder.ml: Array Bitio Dict Fun Int Layout List Set String Wire Xmlac_xml

@@ -1,0 +1,1 @@
+lib/skip_index/encoder.mli: Bitio Dict Layout Xmlac_xml

@@ -1,0 +1,1 @@
+lib/skip_index/layout.mli:

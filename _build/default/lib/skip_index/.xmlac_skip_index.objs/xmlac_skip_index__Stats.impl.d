@@ -1,0 +1,1 @@
+lib/skip_index/stats.ml: Encoder Float Fmt Layout List String Xmlac_xml

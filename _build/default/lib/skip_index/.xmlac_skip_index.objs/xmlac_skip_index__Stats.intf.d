@@ -1,0 +1,1 @@
+lib/skip_index/stats.mli: Format Layout Xmlac_xml

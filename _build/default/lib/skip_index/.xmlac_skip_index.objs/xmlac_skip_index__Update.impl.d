@@ -1,0 +1,1 @@
+lib/skip_index/update.ml: Decoder Dict Encoder Hashtbl Layout List String Xmlac_xml

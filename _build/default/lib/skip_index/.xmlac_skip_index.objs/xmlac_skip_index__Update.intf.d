@@ -1,0 +1,1 @@
+lib/skip_index/update.mli: Layout Xmlac_xml

@@ -1,0 +1,143 @@
+let bits_for_value n =
+  if n < 0 then invalid_arg "Bitio.bits_for_value: negative";
+  let rec go bits limit = if n < limit then bits else go (bits + 1) (limit * 2) in
+  go 0 1
+
+let bits_for_index m =
+  if m <= 0 then invalid_arg "Bitio.bits_for_index: empty set";
+  bits_for_value (m - 1)
+
+let varint_length v =
+  if v < 0 then invalid_arg "Bitio.varint_length: negative";
+  let rec go n v = if v < 128 then n else go (n + 1) (v lsr 7) in
+  go 1 v
+
+module Writer = struct
+  type t = {
+    buf : Buffer.t;
+    mutable acc : int;  (* pending bits, MSB side unused *)
+    mutable acc_bits : int;
+  }
+
+  let create () = { buf = Buffer.create 256; acc = 0; acc_bits = 0 }
+
+  let flush_full_bytes w =
+    while w.acc_bits >= 8 do
+      let byte = (w.acc lsr (w.acc_bits - 8)) land 0xFF in
+      Buffer.add_char w.buf (Char.chr byte);
+      w.acc_bits <- w.acc_bits - 8;
+      w.acc <- w.acc land ((1 lsl w.acc_bits) - 1)
+    done
+
+  let bits w ~width v =
+    if width < 0 || width > 57 then invalid_arg "Bitio.Writer.bits: bad width";
+    if width > 0 then begin
+      if v < 0 || (width < 62 && v lsr width <> 0) then
+        invalid_arg "Bitio.Writer.bits: value does not fit";
+      w.acc <- (w.acc lsl width) lor v;
+      w.acc_bits <- w.acc_bits + width;
+      flush_full_bytes w
+    end
+
+  let align w =
+    if w.acc_bits > 0 then begin
+      let pad = 8 - w.acc_bits in
+      w.acc <- w.acc lsl pad;
+      w.acc_bits <- 8;
+      flush_full_bytes w
+    end
+
+  let varint w v =
+    if v < 0 then invalid_arg "Bitio.Writer.varint: negative";
+    align w;
+    let rec go v =
+      if v < 128 then Buffer.add_char w.buf (Char.chr v)
+      else begin
+        Buffer.add_char w.buf (Char.chr (128 lor (v land 0x7F)));
+        go (v lsr 7)
+      end
+    in
+    go v
+
+  let bytes w s =
+    align w;
+    Buffer.add_string w.buf s
+
+  let length w = Buffer.length w.buf + if w.acc_bits > 0 then 1 else 0
+
+  let contents w =
+    align w;
+    Buffer.contents w.buf
+end
+
+module Reader = struct
+  type t = {
+    read : pos:int -> len:int -> string;
+    length : int;
+    mutable pos : int;  (* next unread byte *)
+    mutable acc : int;  (* bits read from [pos-?] not yet consumed *)
+    mutable acc_bits : int;
+  }
+
+  let create ~read ~length = { read; length; pos = 0; acc = 0; acc_bits = 0 }
+
+  let of_string s =
+    create
+      ~read:(fun ~pos ~len -> String.sub s pos len)
+      ~length:(String.length s)
+
+  let position r =
+    (* the logical position counts partially-consumed bytes as consumed *)
+    r.pos
+
+  let seek r pos =
+    if pos < 0 || pos > r.length then invalid_arg "Bitio.Reader.seek";
+    r.pos <- pos;
+    r.acc <- 0;
+    r.acc_bits <- 0
+
+  let at_end r = r.pos >= r.length && r.acc_bits = 0
+  let length r = r.length
+
+  let refill r =
+    if r.pos >= r.length then invalid_arg "Bitio.Reader: read past end";
+    let s = r.read ~pos:r.pos ~len:1 in
+    r.acc <- (r.acc lsl 8) lor Char.code s.[0];
+    r.acc_bits <- r.acc_bits + 8;
+    r.pos <- r.pos + 1
+
+  let bits r ~width =
+    if width < 0 || width > 57 then invalid_arg "Bitio.Reader.bits: bad width";
+    if width = 0 then 0
+    else begin
+      while r.acc_bits < width do
+        refill r
+      done;
+      let v = (r.acc lsr (r.acc_bits - width)) land ((1 lsl width) - 1) in
+      r.acc_bits <- r.acc_bits - width;
+      r.acc <- r.acc land ((1 lsl r.acc_bits) - 1);
+      v
+    end
+
+  let align r =
+    r.acc <- 0;
+    r.acc_bits <- 0
+
+  let varint r =
+    align r;
+    let rec go shift acc =
+      if r.pos >= r.length then invalid_arg "Bitio.Reader.varint: truncated";
+      let b = Char.code (r.read ~pos:r.pos ~len:1).[0] in
+      r.pos <- r.pos + 1;
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let bytes r n =
+    align r;
+    if r.pos + n > r.length then invalid_arg "Bitio.Reader.bytes: truncated";
+    let s = r.read ~pos:r.pos ~len:n in
+    r.pos <- r.pos + n;
+    s
+end

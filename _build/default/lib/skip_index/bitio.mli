@@ -1,0 +1,66 @@
+(** Bit-level encoding primitives for the Skip index.
+
+    Element metadata is bit-packed MSB-first and padded to a byte frontier
+    (the paper: "the metadata need be aligned on a byte frontier"), so every
+    node encoding starts at a byte boundary — a requirement for byte-level
+    subtree skipping and for the 8-byte-aligned encrypted random accesses. *)
+
+val bits_for_value : int -> int
+(** [bits_for_value n] — bits needed to represent any value in [0..n]
+    (0 when [n = 0]). *)
+
+val bits_for_index : int -> int
+(** [bits_for_index m] — bits needed to index a set of [m] elements
+    (0 when [m <= 1]). @raise Invalid_argument when [m <= 0]. *)
+
+val varint_length : int -> int
+(** Encoded size in bytes of an unsigned LEB128 integer. *)
+
+module Writer : sig
+  type t
+
+  val create : unit -> t
+  val bits : t -> width:int -> int -> unit
+  (** Append [width] bits (MSB first). [width] may be 0. *)
+
+  val align : t -> unit
+  (** Pad with zero bits to the next byte frontier. *)
+
+  val varint : t -> int -> unit
+  (** Append an unsigned LEB128 integer (aligns first). *)
+
+  val bytes : t -> string -> unit
+  (** Append raw bytes (aligns first). *)
+
+  val length : t -> int
+  (** Bytes written so far, counting a partial byte as one. *)
+
+  val contents : t -> string
+end
+
+module Reader : sig
+  type t
+
+  val create : read:(pos:int -> len:int -> string) -> length:int -> t
+  (** A reader over an abstract byte source (a plain string in tests, the
+      decrypting SOE channel in production). *)
+
+  val of_string : string -> t
+
+  val position : t -> int
+  (** Current byte position ([align]ed readers only advance past whole
+      bytes once re-aligned). *)
+
+  val seek : t -> int -> unit
+  (** Jump to an absolute byte position (discards partial-byte state). *)
+
+  val at_end : t -> bool
+  val length : t -> int
+
+  val bits : t -> width:int -> int
+  (** Read [width] bits MSB-first. @raise Invalid_argument past the end. *)
+
+  val align : t -> unit
+  val varint : t -> int
+  val bytes : t -> int -> string
+end

@@ -1,0 +1,309 @@
+module Event = Xmlac_xml.Event
+
+type source = { read : pos:int -> len:int -> string; length : int }
+
+let source_of_string s =
+  { read = (fun ~pos ~len -> String.sub s pos len); length = String.length s }
+
+type frame = {
+  tag : string;
+  set : int array;  (* DescTag of this element; [||] for leaves / no bitmap *)
+  has_set : bool;  (* false when the layout records no bitmaps *)
+  size : int;  (* content size in bytes; -1 when unknown (TC layout) *)
+  content_start : int;
+  end_pos : int;  (* content_start + size; -1 when unknown *)
+}
+
+type t = {
+  source : source;
+  reader : Bitio.Reader.t;
+  hdr : Encoder.header;
+  dict : Dict.t;
+  full_set : int array;
+  mutable stack : frame list;
+  mutable after_start : bool;  (* the last event was a Start *)
+  mutable finished : bool;
+}
+
+let reader_of_source source =
+  Bitio.Reader.create ~read:source.read ~length:source.length
+
+let of_source source =
+  let reader = reader_of_source source in
+  let hdr = Encoder.read_header reader in
+  match hdr.Encoder.dict with
+  | None ->
+      invalid_arg "Skip_index.Decoder: the NC layout has no binary body"
+  | Some dict ->
+      {
+        source;
+        reader;
+        hdr;
+        dict;
+        full_set = Array.init (Dict.size dict) Fun.id;
+        stack = [];
+        after_start = false;
+        finished = false;
+      }
+
+let of_string s = of_source (source_of_string s)
+
+let layout t = t.hdr.Encoder.layout
+let dict t = t.dict
+let header t = t.hdr
+let position t = Bitio.Reader.position t.reader
+let can_skip t = Layout.has_sizes (layout t)
+
+(* Decoding context for children of the current innermost element. *)
+let parent_context t =
+  match t.stack with
+  | [] -> (t.full_set, true, t.hdr.Encoder.body_size)
+  | f :: _ -> (f.set, f.has_set, f.size)
+
+let read_bitmap t reference =
+  let selected = ref [] in
+  Array.iter
+    (fun tag_idx ->
+      if Bitio.Reader.bits t.reader ~width:1 = 1 then
+        selected := tag_idx :: !selected)
+    reference;
+  Array.of_list (List.rev !selected)
+
+let read_element t kind =
+  let parent_set, parent_has_set, parent_size = parent_context t in
+  let lay = layout t in
+  let dict_size = Dict.size t.dict in
+  let tag_idx =
+    match lay with
+    | Layout.Tcsbr ->
+        if not parent_has_set then
+          invalid_arg "Skip_index.Decoder: missing parent tag set";
+        let w = Bitio.bits_for_index (Array.length parent_set) in
+        parent_set.(Bitio.Reader.bits t.reader ~width:w)
+    | _ -> Bitio.Reader.bits t.reader ~width:(Bitio.bits_for_index dict_size)
+  in
+  let size =
+    match lay with
+    | Layout.Tc -> -1
+    | Layout.Tcs | Layout.Tcsb ->
+        Bitio.Reader.bits t.reader
+          ~width:(Bitio.bits_for_value t.hdr.Encoder.body_size)
+    | Layout.Tcsbr ->
+        if parent_size < 0 then
+          invalid_arg "Skip_index.Decoder: missing parent size";
+        Bitio.Reader.bits t.reader ~width:(Bitio.bits_for_value parent_size)
+    | Layout.Nc -> assert false
+  in
+  let set, has_set =
+    (* a leaf has no element children, so its DescTag set is known to be
+       empty in every layout *)
+    if kind = Wire.kind_leaf then ([||], true)
+    else
+      match lay with
+      | Layout.Tcsbr -> (read_bitmap t parent_set, true)
+      | Layout.Tcsb -> (read_bitmap t t.full_set, true)
+      | Layout.Tc | Layout.Tcs -> ([||], false)
+      | Layout.Nc -> assert false
+  in
+  Bitio.Reader.align t.reader;
+  let content_start = Bitio.Reader.position t.reader in
+  let tag = Dict.tag t.dict tag_idx in
+  let frame =
+    {
+      tag;
+      set;
+      has_set;
+      size;
+      content_start;
+      end_pos = (if size < 0 then -1 else content_start + size);
+    }
+  in
+  t.stack <- frame :: t.stack;
+  t.after_start <- true;
+  Event.Start { tag; attributes = [] }
+
+let next t : Event.t option =
+  if t.finished then None
+  else begin
+    let pop () =
+      match t.stack with
+      | [] -> assert false
+      | f :: rest ->
+          t.stack <- rest;
+          if rest = [] then t.finished <- true;
+          t.after_start <- false;
+          Some (Event.End f.tag)
+    in
+    (* implicit close: reached the end of the innermost element's content *)
+    match t.stack with
+    | f :: _ when f.end_pos >= 0 && position t >= f.end_pos -> pop ()
+    | _ ->
+        if Bitio.Reader.at_end t.reader then
+          if t.stack = [] then None
+          else invalid_arg "Skip_index.Decoder: truncated body"
+        else begin
+          let kind = Bitio.Reader.bits t.reader ~width:2 in
+          if kind = Wire.kind_text then begin
+            let len = Bitio.Reader.varint t.reader in
+            let s = Bitio.Reader.bytes t.reader len in
+            t.after_start <- false;
+            Some (Event.Text s)
+          end
+          else if kind = Wire.kind_close then begin
+            (* the closing marker occupies a full padded byte *)
+            Bitio.Reader.align t.reader;
+            pop ()
+          end
+          else Some (read_element t kind)
+        end
+  end
+
+let top_frame_after_start t =
+  if not t.after_start then
+    invalid_arg "Skip_index.Decoder: not positioned right after a Start event";
+  match t.stack with [] -> assert false | f :: _ -> f
+
+let descendant_tags t =
+  if not t.after_start then None
+  else
+    match t.stack with
+    | f :: _ when f.has_set ->
+        Some (Array.to_list (Array.map (Dict.tag t.dict) f.set))
+    | _ -> None
+
+let descendant_tag_set t =
+  if not t.after_start then None
+  else
+    match t.stack with
+    | f :: _ when f.has_set ->
+        let table = Hashtbl.create (Array.length f.set * 2) in
+        Array.iter (fun i -> Hashtbl.replace table (Dict.tag t.dict i) ()) f.set;
+        Some (fun tag -> Hashtbl.mem table tag)
+    | _ -> None
+
+let skip t =
+  let f = top_frame_after_start t in
+  if f.end_pos < 0 then
+    invalid_arg "Skip_index.Decoder: this layout cannot skip";
+  Bitio.Reader.seek t.reader f.end_pos;
+  t.after_start <- false
+
+type subtree_handle = {
+  h_tag : string;
+  h_set : int array;
+  h_has_set : bool;
+  h_size : int;
+  h_content_start : int;
+}
+
+let subtree_handle t =
+  let f = top_frame_after_start t in
+  if f.end_pos < 0 then
+    invalid_arg "Skip_index.Decoder: this layout records no subtree sizes";
+  {
+    h_tag = f.tag;
+    h_set = f.set;
+    h_has_set = f.has_set;
+    h_size = f.size;
+    h_content_start = f.content_start;
+  }
+
+let handle_tag h = h.h_tag
+let handle_size h = h.h_size
+
+type range_handle = {
+  r_set : int array;
+  r_has_set : bool;
+  r_parent_size : int;  (* full content size of the parent, for field widths *)
+  r_start : int;
+  r_end : int;
+}
+
+let rest_handle t =
+  match t.stack with
+  | [] -> None
+  | f :: _ ->
+      if f.end_pos < 0 then None
+      else
+        Some
+          {
+            r_set = f.set;
+            r_has_set = f.has_set;
+            r_parent_size = f.size;
+            r_start = Bitio.Reader.position t.reader;
+            r_end = f.end_pos;
+          }
+
+let skip_rest t =
+  match t.stack with
+  | [] -> invalid_arg "Skip_index.Decoder.skip_rest: no open element"
+  | f :: _ ->
+      if f.end_pos < 0 then
+        invalid_arg "Skip_index.Decoder.skip_rest: this layout cannot skip";
+      Bitio.Reader.seek t.reader f.end_pos;
+      t.after_start <- false
+
+let range_size h = h.r_end - h.r_start
+
+let read_subtree t h =
+  let sub =
+    {
+      source = t.source;
+      reader = reader_of_source t.source;
+      hdr = t.hdr;
+      dict = t.dict;
+      full_set = t.full_set;
+      stack =
+        [
+          {
+            tag = h.h_tag;
+            set = h.h_set;
+            has_set = h.h_has_set;
+            size = h.h_size;
+            content_start = h.h_content_start;
+            end_pos = h.h_content_start + h.h_size;
+          };
+        ];
+      after_start = true;
+      finished = false;
+    }
+  in
+  Bitio.Reader.seek sub.reader h.h_content_start;
+  let rec drain acc =
+    match next sub with None -> List.rev acc | Some e -> drain (e :: acc)
+  in
+  Event.Start { tag = h.h_tag; attributes = [] } :: drain []
+
+let read_range t h =
+  (* a synthetic frame bounds the range; its closing event is dropped *)
+  let sentinel = "#range" in
+  let sub =
+    {
+      source = t.source;
+      reader = reader_of_source t.source;
+      hdr = t.hdr;
+      dict = t.dict;
+      full_set = t.full_set;
+      stack =
+        [
+          {
+            tag = sentinel;
+            set = h.r_set;
+            has_set = h.r_has_set;
+            size = h.r_parent_size;
+            content_start = h.r_start;
+            end_pos = h.r_end;
+          };
+        ];
+      after_start = false;
+      finished = false;
+    }
+  in
+  Bitio.Reader.seek sub.reader h.r_start;
+  let rec drain acc =
+    match next sub with
+    | None -> List.rev acc
+    | Some (Event.End tag) when tag == sentinel && sub.finished -> List.rev acc
+    | Some e -> drain (e :: acc)
+  in
+  drain []

@@ -1,0 +1,92 @@
+(** Streaming Skip-index decoder (paper Section 4.1, "Decoding the document
+    structure"). The decoder keeps an internal SkipStack holding, for every
+    open element, its descendant-tag set and subtree size, and exposes:
+
+    - the usual open/text/close event stream;
+    - [descendant_tags], the {e DescTag} information the evaluator's
+      [SkipSubtree] decision needs;
+    - [skip], which jumps over the content of the current element without
+      reading (hence, in the encrypted setting, without transferring or
+      decrypting) a single byte of it;
+    - [subtree_handle]/[read_subtree], random re-entry into a previously
+      skipped subtree — used to deliver pending parts (Section 5).
+
+    The byte source is abstract so the same decoder runs over a plain
+    in-memory string or over the SOE's decrypting, integrity-checking
+    channel. *)
+
+type source = { read : pos:int -> len:int -> string; length : int }
+
+val source_of_string : string -> source
+
+type t
+
+val of_source : source -> t
+(** Reads and validates the header. @raise Invalid_argument on malformed
+    input or on the NC layout (which has no binary body; parse its XML text
+    directly instead). *)
+
+val of_string : string -> t
+
+val layout : t -> Layout.t
+val dict : t -> Dict.t
+val header : t -> Encoder.header
+
+val next : t -> Xmlac_xml.Event.t option
+(** Next event; [None] once the root element has been closed. *)
+
+val descendant_tags : t -> string list option
+(** After a [Start] event: the tags that can appear below the element just
+    opened ([None] when the layout does not record bitmaps, or for the
+    instant after non-[Start] events). *)
+
+val descendant_tag_set : t -> (string -> bool) option
+(** Same information as a membership test (constant-time). *)
+
+val can_skip : t -> bool
+(** Whether the layout records subtree sizes. *)
+
+val skip : t -> unit
+(** Immediately after a [Start] event: jump over the whole content of the
+    element just opened; the matching [End] event is still delivered by the
+    following [next]. @raise Invalid_argument if the layout cannot skip or
+    if not positioned right after a [Start]. *)
+
+val position : t -> int
+(** Current absolute byte position in the encoded document (monotone except
+    across {!skip}/{!read_subtree}). *)
+
+type subtree_handle
+(** Captured right after a [Start] event; identifies the element's content
+    byte range plus the decoding context needed to re-enter it later. *)
+
+val subtree_handle : t -> subtree_handle
+(** @raise Invalid_argument if not right after a [Start], or if the layout
+    does not record sizes. *)
+
+val handle_tag : subtree_handle -> string
+val handle_size : subtree_handle -> int
+
+val read_subtree : t -> subtree_handle -> Xmlac_xml.Event.t list
+(** Decode the full subtree (including its own [Start]/[End] events) from a
+    handle, through the same byte source, without disturbing the main
+    cursor. *)
+
+type range_handle
+(** A byte range of consecutive sibling nodes inside an open element —
+    captured before skipping the {e remaining} content of that element
+    (the paper triggers skipping decisions on close events too). *)
+
+val rest_handle : t -> range_handle option
+(** The remaining unread content of the innermost open element. [None] when
+    no element is open or when the layout records no sizes. *)
+
+val range_size : range_handle -> int
+
+val skip_rest : t -> unit
+(** Jump to the end of the innermost open element's content; the matching
+    [End] is delivered by the following {!next}. @raise Invalid_argument
+    when the layout cannot skip. *)
+
+val read_range : t -> range_handle -> Xmlac_xml.Event.t list
+(** Decode the nodes of a captured range (no enclosing element events). *)

@@ -1,0 +1,34 @@
+type t = { tags : string array; by_name : (string, int) Hashtbl.t }
+
+let of_sorted_array tags =
+  let by_name = Hashtbl.create (Array.length tags * 2) in
+  Array.iteri (fun i tag -> Hashtbl.replace by_name tag i) tags;
+  { tags; by_name }
+
+let of_tags list =
+  of_sorted_array (Array.of_list (List.sort_uniq String.compare list))
+
+let of_tree tree = of_sorted_array (Array.of_list (Xmlac_xml.Tree.distinct_tags tree))
+
+let size d = Array.length d.tags
+let index d tag = Hashtbl.find d.by_name tag
+let index_opt d tag = Hashtbl.find_opt d.by_name tag
+let tag d i = d.tags.(i)
+let tags d = d.tags
+
+let write w d =
+  Bitio.Writer.varint w (Array.length d.tags);
+  Array.iter
+    (fun tag ->
+      Bitio.Writer.varint w (String.length tag);
+      Bitio.Writer.bytes w tag)
+    d.tags
+
+let read r =
+  let n = Bitio.Reader.varint r in
+  let tags =
+    Array.init n (fun _ ->
+        let len = Bitio.Reader.varint r in
+        Bitio.Reader.bytes r len)
+  in
+  of_sorted_array tags

@@ -1,0 +1,20 @@
+(** The tag dictionary shared by all compressed layouts (paper Section 4.1:
+    "the document structure is compressed thanks to a dictionary of tags").
+    Tags are sorted, so a dictionary is canonical for a given tag set. *)
+
+type t
+
+val of_tags : string list -> t
+(** Builds a dictionary from (possibly duplicated) tags. *)
+
+val of_tree : Xmlac_xml.Tree.t -> t
+val size : t -> int
+val index : t -> string -> int
+(** @raise Not_found for a tag outside the dictionary. *)
+
+val index_opt : t -> string -> int option
+val tag : t -> int -> string
+val tags : t -> string array
+
+val write : Bitio.Writer.t -> t -> unit
+val read : Bitio.Reader.t -> t

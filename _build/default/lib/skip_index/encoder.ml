@@ -1,0 +1,242 @@
+module Tree = Xmlac_xml.Tree
+
+type header = {
+  layout : Layout.t;
+  dict : Dict.t option;
+  element_count : int;
+  body_start : int;
+  body_size : int;
+}
+
+(* Annotated tree: dictionary indices, descendant-tag sets (sorted arrays of
+   dictionary indices, strict descendants only) and mutable subtree sizes
+   refined by the fixpoint. *)
+type anode =
+  | Elem of {
+      tag : int;
+      desctag : int array;
+      mutable size : int;  (* byte length of the encoded children *)
+      children : anode array;
+    }
+  | Text of string
+
+module Int_set = Set.Make (Int)
+
+let annotate dict tree =
+  let rec go = function
+    | Tree.Text s -> (Text s, Int_set.empty)
+    | Tree.Element { tag; attributes; children } ->
+        if attributes <> [] then
+          invalid_arg "Skip_index.Encoder: attributes are not representable";
+        let annotated = List.map go children in
+        let desc =
+          List.fold_left
+            (fun acc (child, child_desc) ->
+              match child with
+              | Elem e -> Int_set.add e.tag (Int_set.union child_desc acc)
+              | Text _ -> acc)
+            Int_set.empty annotated
+        in
+        ( Elem
+            {
+              tag = Dict.index dict tag;
+              desctag = Array.of_list (Int_set.elements desc);
+              size = 0;
+              children = Array.of_list (List.map fst annotated);
+            },
+          desc )
+  in
+  fst (go tree)
+
+(* Position of [v] in a sorted array. *)
+let index_in_set set v =
+  let rec go lo hi =
+    if lo >= hi then invalid_arg "Skip_index.Encoder: tag not in parent set"
+    else
+      let mid = (lo + hi) / 2 in
+      if set.(mid) = v then mid else if set.(mid) < v then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length set)
+
+let is_intermediate = function
+  | Elem { desctag; _ } -> Array.length desctag > 0
+  | Text _ -> false
+
+(* Field widths for one element, given its parent's context. In the
+   recursive layout both derive from the parent; otherwise they are global.
+   [global_size_width] is the width used by TCS/TCSB (derived from the whole
+   body size). *)
+let element_widths layout ~dict_size ~global_size_width ~parent_set ~parent_size node =
+  match node with
+  | Text _ -> invalid_arg "element_widths: text"
+  | Elem _ -> (
+      match layout with
+      | Layout.Nc -> invalid_arg "element_widths: NC"
+      | Layout.Tc -> (Bitio.bits_for_index dict_size, 0, 0)
+      | Layout.Tcs -> (Bitio.bits_for_index dict_size, global_size_width, 0)
+      | Layout.Tcsb ->
+          ( Bitio.bits_for_index dict_size,
+            global_size_width,
+            if is_intermediate node then dict_size else 0 )
+      | Layout.Tcsbr ->
+          ( Bitio.bits_for_index (Array.length parent_set),
+            Bitio.bits_for_value parent_size,
+            if is_intermediate node then Array.length parent_set else 0 ))
+
+let header_bytes_of_bits bits = (bits + 7) / 8
+
+(* One fixpoint round: recompute every element's encoded-children size using
+   the sizes of the previous round for field widths. Returns the body size
+   (the encoded size of the root node). *)
+let fixpoint_round layout ~dict_size ~global_size_width ~full_set ~prev_body root =
+  let rec enc_size ~parent_set ~parent_size node =
+    match node with
+    | Text s -> Wire.text_overhead (String.length s) + String.length s
+    | Elem e ->
+        let prev_self = e.size in
+        let tag_w, size_w, bitmap_w =
+          element_widths layout ~dict_size ~global_size_width ~parent_set
+            ~parent_size node
+        in
+        let header = header_bytes_of_bits (2 + tag_w + size_w + bitmap_w) in
+        let content =
+          Array.fold_left
+            (fun acc child ->
+              acc + enc_size ~parent_set:e.desctag ~parent_size:prev_self child)
+            0 e.children
+        in
+        e.size <- content;
+        let close = if layout = Layout.Tc then 1 else 0 in
+        header + content + close
+  in
+  enc_size ~parent_set:full_set ~parent_size:prev_body root
+
+let resolve_sizes layout ~dict_size ~full_set root =
+  let prev_body = ref 0 in
+  let stable = ref false in
+  let rounds = ref 0 in
+  let body = ref 0 in
+  while not !stable do
+    incr rounds;
+    if !rounds > 64 then failwith "Skip_index.Encoder: size fixpoint diverged";
+    let global_size_width = Bitio.bits_for_value !prev_body in
+    let snapshot =
+      (* body size and all element sizes from the previous round *)
+      !prev_body
+    in
+    body :=
+      fixpoint_round layout ~dict_size ~global_size_width ~full_set
+        ~prev_body:snapshot root;
+    if !body = !prev_body then stable := true else prev_body := !body
+  done;
+  !body
+
+(* A second full pass after the fixpoint converges would find all sizes
+   unchanged, so the sizes stored in the nodes are consistent with the
+   widths derived from them. *)
+
+let write_body layout ~dict_size ~body_size ~full_set w root =
+  let global_size_width = Bitio.bits_for_value body_size in
+  let rec emit ~parent_set ~parent_size node =
+    match node with
+    | Text s ->
+        Bitio.Writer.bits w ~width:2 Wire.kind_text;
+        Bitio.Writer.varint w (String.length s);
+        Bitio.Writer.bytes w s
+    | Elem e ->
+        let tag_w, size_w, bitmap_w =
+          element_widths layout ~dict_size ~global_size_width ~parent_set
+            ~parent_size node
+        in
+        let kind =
+          if is_intermediate node then Wire.kind_intermediate else Wire.kind_leaf
+        in
+        Bitio.Writer.bits w ~width:2 kind;
+        let tag_code =
+          match layout with
+          | Layout.Tcsbr -> index_in_set parent_set e.tag
+          | _ -> e.tag
+        in
+        Bitio.Writer.bits w ~width:tag_w tag_code;
+        Bitio.Writer.bits w ~width:size_w e.size;
+        if bitmap_w > 0 then begin
+          (* one membership bit per tag of the reference set, MSB first;
+             written bit by bit since the set can exceed the word size *)
+          let member = Int_set.of_seq (Array.to_seq e.desctag) in
+          let reference =
+            match layout with
+            | Layout.Tcsbr -> parent_set
+            | _ -> Array.init dict_size Fun.id
+          in
+          Array.iter
+            (fun t ->
+              Bitio.Writer.bits w ~width:1 (if Int_set.mem t member then 1 else 0))
+            reference
+        end;
+        Bitio.Writer.align w;
+        Array.iter (emit ~parent_set:e.desctag ~parent_size:e.size) e.children;
+        if layout = Layout.Tc then begin
+          Bitio.Writer.bits w ~width:2 Wire.kind_close;
+          Bitio.Writer.align w
+        end
+  in
+  emit ~parent_set:full_set ~parent_size:body_size root
+
+let encode ~layout tree =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.bytes w Wire.magic;
+  Bitio.Writer.bits w ~width:8 (Layout.to_byte layout);
+  (match layout with
+  | Layout.Nc ->
+      let xml = Xmlac_xml.Writer.tree_to_string tree in
+      Bitio.Writer.varint w (Tree.count_elements tree);
+      Bitio.Writer.varint w (String.length xml);
+      Bitio.Writer.bytes w xml
+  | _ ->
+      let dict = Dict.of_tree tree in
+      let full_set = Array.init (Dict.size dict) Fun.id in
+      let root = annotate dict tree in
+      let body_size =
+        if Layout.has_sizes layout then
+          resolve_sizes layout ~dict_size:(Dict.size dict) ~full_set root
+        else
+          (* no size fields: a single sizing pass suffices *)
+          fixpoint_round layout ~dict_size:(Dict.size dict)
+            ~global_size_width:0 ~full_set ~prev_body:0 root
+      in
+      Dict.write w dict;
+      Bitio.Writer.varint w (Tree.count_elements tree);
+      Bitio.Writer.varint w body_size;
+      write_body layout ~dict_size:(Dict.size dict) ~body_size ~full_set w root);
+  Bitio.Writer.contents w
+
+let read_header r =
+  let m = Bitio.Reader.bytes r (String.length Wire.magic) in
+  if m <> Wire.magic then invalid_arg "Skip_index: bad magic";
+  let layout =
+    match Layout.of_byte (Bitio.Reader.bits r ~width:8) with
+    | Some l -> l
+    | None -> invalid_arg "Skip_index: unknown layout"
+  in
+  match layout with
+  | Layout.Nc ->
+      let element_count = Bitio.Reader.varint r in
+      let body_size = Bitio.Reader.varint r in
+      {
+        layout;
+        dict = None;
+        element_count;
+        body_start = Bitio.Reader.position r;
+        body_size;
+      }
+  | _ ->
+      let dict = Dict.read r in
+      let element_count = Bitio.Reader.varint r in
+      let body_size = Bitio.Reader.varint r in
+      {
+        layout;
+        dict = Some dict;
+        element_count;
+        body_start = Bitio.Reader.position r;
+        body_size;
+      }

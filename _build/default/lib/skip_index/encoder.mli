@@ -1,0 +1,29 @@
+(** Skip-index encoder (paper Section 4.1): turns an XML tree into the
+    compact byte encoding of one of the five {!Layout} variants. The
+    encoding is what gets encrypted into the secure container; its byte
+    positions are what subtree skipping operates on.
+
+    For the recursive layout (TCSBR), the width of every metadata field of
+    an element is derived from its parent's descendant-tag set and subtree
+    size; mutually dependent sizes are resolved by a global fixpoint
+    (sizes only grow across iterations, so it converges).
+
+    Attributes are not representable (the paper treats them as elements and
+    "does not further discuss" them): use
+    {!Xmlac_xml.Tree.map_tags}-style preprocessing to fold them into child
+    elements first. @raise Invalid_argument on a tree with attributes. *)
+
+val encode : layout:Layout.t -> Xmlac_xml.Tree.t -> string
+(** Full encoded document: header (magic, layout, tag dictionary, body
+    length) followed by the body. *)
+
+type header = {
+  layout : Layout.t;
+  dict : Dict.t option;  (** [None] for the NC layout *)
+  element_count : int;
+  body_start : int;  (** byte offset of the body *)
+  body_size : int;
+}
+
+val read_header : Bitio.Reader.t -> header
+(** @raise Invalid_argument on a malformed header. *)

@@ -1,0 +1,29 @@
+type t = {
+  layout : Layout.t;
+  encoded_bytes : int;
+  text_bytes : int;
+  structure_bytes : int;
+  structure_over_text : float;
+}
+
+let measure ~layout tree =
+  let encoded = Encoder.encode ~layout tree in
+  let encoded_bytes = String.length encoded in
+  let text_bytes = Xmlac_xml.Tree.text_bytes tree in
+  let structure_bytes = encoded_bytes - text_bytes in
+  {
+    layout;
+    encoded_bytes;
+    text_bytes;
+    structure_bytes;
+    structure_over_text =
+      (if text_bytes = 0 then Float.infinity
+       else 100. *. float_of_int structure_bytes /. float_of_int text_bytes);
+  }
+
+let measure_all tree = List.map (fun layout -> measure ~layout tree) Layout.all
+
+let pp ppf t =
+  Fmt.pf ppf "%-6s %8d B encoded, %8d B text, %8d B structure (%.1f%%)"
+    (Layout.to_string t.layout)
+    t.encoded_bytes t.text_bytes t.structure_bytes t.structure_over_text

@@ -1,0 +1,17 @@
+(** Storage statistics for the Figure 8 experiment ("Index storage
+    overhead"): the size of a document's structural part relative to its
+    text, for each layout. *)
+
+type t = {
+  layout : Layout.t;
+  encoded_bytes : int;  (** total encoded document (header + body) *)
+  text_bytes : int;  (** raw text carried by the document *)
+  structure_bytes : int;  (** [encoded_bytes - text_bytes] *)
+  structure_over_text : float;  (** the paper's Y axis, in percent *)
+}
+
+val measure : layout:Layout.t -> Xmlac_xml.Tree.t -> t
+val measure_all : Xmlac_xml.Tree.t -> t list
+(** One measurement per layout, in {!Layout.all} order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,144 @@
+module Tree = Xmlac_xml.Tree
+
+type path = int list
+
+type operation =
+  | Replace_subtree of path * Tree.t
+  | Insert_child of path * int * Tree.t
+  | Delete_subtree of path
+  | Set_text of path * string
+
+let rec edit_at node path ~(f : Tree.t -> Tree.t option) : Tree.t option =
+  match path with
+  | [] -> f node
+  | i :: rest -> (
+      match node with
+      | Tree.Text _ -> invalid_arg "Update: path descends into a text node"
+      | Tree.Element { tag; attributes; children } ->
+          if i < 0 || i >= List.length children then
+            invalid_arg "Update: dangling path";
+          let children =
+            List.concat
+              (List.mapi
+                 (fun j child ->
+                   if j <> i then [ child ]
+                   else
+                     match edit_at child rest ~f with
+                     | Some c -> [ c ]
+                     | None -> [])
+                 children)
+          in
+          Some (Tree.Element { tag; attributes; children }))
+
+let apply_to_tree tree = function
+  | Replace_subtree (path, replacement) -> (
+      (match replacement with
+      | Tree.Text _ when path = [] ->
+          invalid_arg "Update: the root must stay an element"
+      | _ -> ());
+      match edit_at tree path ~f:(fun _ -> Some replacement) with
+      | Some t -> t
+      | None -> invalid_arg "Update: cannot delete the root")
+  | Delete_subtree path -> (
+      if path = [] then invalid_arg "Update: cannot delete the root";
+      match edit_at tree path ~f:(fun _ -> None) with
+      | Some t -> t
+      | None -> invalid_arg "Update: cannot delete the root")
+  | Insert_child (parent, index, node) -> (
+      let insert parent_node =
+        match parent_node with
+        | Tree.Text _ -> invalid_arg "Update: cannot insert under a text node"
+        | Tree.Element { tag; attributes; children } ->
+            let n = List.length children in
+            if index < 0 || index > n then invalid_arg "Update: bad insert index";
+            let before = List.filteri (fun j _ -> j < index) children in
+            let after = List.filteri (fun j _ -> j >= index) children in
+            Some (Tree.Element { tag; attributes; children = before @ [ node ] @ after })
+      in
+      match edit_at tree parent ~f:insert with
+      | Some t -> t
+      | None -> assert false)
+  | Set_text (path, text) -> (
+      let set node =
+        match node with
+        | Tree.Text _ -> Some (Tree.Text text)
+        | Tree.Element _ -> invalid_arg "Update: Set_text targets an element"
+      in
+      if path = [] then invalid_arg "Update: Set_text targets the root";
+      match edit_at tree path ~f:set with
+      | Some t -> t
+      | None -> assert false)
+
+let decode_tree encoded =
+  let dec = Decoder.of_string encoded in
+  let rec drain acc =
+    match Decoder.next dec with None -> List.rev acc | Some e -> drain (e :: acc)
+  in
+  Tree.of_events (drain [])
+
+type cost = {
+  old_bytes : int;
+  new_bytes : int;
+  unchanged_prefix : int;
+  unchanged_suffix : int;
+  rewritten_bytes : int;
+  chunks_to_reencrypt : int;
+  dictionary_changed : bool;
+}
+
+let common_prefix a b =
+  let n = min (String.length a) (String.length b) in
+  let rec go i = if i < n && a.[i] = b.[i] then go (i + 1) else i in
+  go 0
+
+let common_suffix ~bound a b =
+  let la = String.length a and lb = String.length b in
+  let n = min (min la lb) (min (la - bound) (lb - bound)) in
+  let rec go i =
+    if i < n && a.[la - 1 - i] = b.[lb - 1 - i] then go (i + 1) else i
+  in
+  go 0
+
+let update_encoded ?(chunk_size = 2048) ~layout encoded operation =
+  if layout = Layout.Nc then invalid_arg "Update: NC layout";
+  let tree = decode_tree encoded in
+  let old_dict = Dict.of_tree tree in
+  let tree' = apply_to_tree tree operation in
+  let new_dict = Dict.of_tree tree' in
+  let encoded' = Encoder.encode ~layout tree' in
+  let unchanged_prefix = common_prefix encoded encoded' in
+  let unchanged_suffix = common_suffix ~bound:unchanged_prefix encoded encoded' in
+  (* The container binds every cipher block to its absolute position, so
+     re-encryption is needed exactly where the new encoding differs from the
+     old one *at the same position* — a shifted tail counts in full, a
+     truncated tail costs nothing. *)
+  let old_len = String.length encoded and new_len = String.length encoded' in
+  let shared = min old_len new_len in
+  let rewritten_bytes = ref (max 0 (new_len - shared)) in
+  let chunks = Hashtbl.create 16 in
+  for i = shared to new_len - 1 do
+    Hashtbl.replace chunks (i / chunk_size) ()
+  done;
+  for i = 0 to shared - 1 do
+    if encoded.[i] <> encoded'.[i] then begin
+      incr rewritten_bytes;
+      Hashtbl.replace chunks (i / chunk_size) ()
+    end
+  done;
+  (* shrinking the document truncates trailing chunks: the last surviving
+     chunk must be re-sealed even if its bytes are unchanged *)
+  if new_len < old_len && new_len > 0 then
+    Hashtbl.replace chunks ((new_len - 1) / chunk_size) ();
+  let rewritten_bytes = !rewritten_bytes in
+  let chunks_to_reencrypt = Hashtbl.length chunks in
+  ( encoded',
+    {
+      old_bytes = String.length encoded;
+      new_bytes = String.length encoded';
+      unchanged_prefix;
+      unchanged_suffix;
+      rewritten_bytes;
+      chunks_to_reencrypt;
+      dictionary_changed =
+        Dict.tags old_dict <> Dict.tags new_dict;
+    } )

@@ -1,0 +1,56 @@
+(** Document updates over the Skip index (paper Section 4.1, "Updating the
+    document").
+
+    The recursive encoding makes updates non-local: changing a subtree
+    changes its ancestors' SubtreeSize fields; crossing a power of two
+    changes field widths in whole regions, and a tag-dictionary change
+    re-encodes everything. This module applies an update and {e measures}
+    that propagation: the new encoding is produced by re-encoding (always
+    correct), and the byte diff against the old encoding tells how much of
+    the document an in-place updater — and the re-encryption of the secure
+    container — would have to touch. *)
+
+type path = int list
+(** Child indexes among {e all} children (elements and texts), from the
+    root; [] designates the root element. *)
+
+type operation =
+  | Replace_subtree of path * Xmlac_xml.Tree.t
+  | Insert_child of path * int * Xmlac_xml.Tree.t
+      (** [Insert_child (parent, i, node)]: insert before child [i] of the
+          element at [parent]; [i] may equal the child count (append). *)
+  | Delete_subtree of path
+  | Set_text of path * string
+      (** Replace the text node at [path] (which must address a text). *)
+
+val apply_to_tree : Xmlac_xml.Tree.t -> operation -> Xmlac_xml.Tree.t
+(** Reference semantics. @raise Invalid_argument on a dangling path, on
+    deleting the root, or on a kind mismatch. *)
+
+type cost = {
+  old_bytes : int;
+  new_bytes : int;
+  unchanged_prefix : int;  (** leading bytes identical in both encodings *)
+  unchanged_suffix : int;  (** trailing identical bytes (non-overlapping) *)
+  rewritten_bytes : int;
+      (** bytes of the new encoding that differ from the old one at the same
+          absolute position (plus appended bytes): with position-bound
+          encryption this is exactly what must be re-encrypted — a shifted
+          tail counts in full, a truncated tail costs nothing *)
+  chunks_to_reencrypt : int;  (** container chunks covering those bytes *)
+  dictionary_changed : bool;  (** a tag entered or left the dictionary *)
+}
+
+val update_encoded :
+  ?chunk_size:int ->
+  layout:Layout.t ->
+  string ->
+  operation ->
+  string * cost
+(** Apply [operation] to an encoded document; returns the new encoding and
+    the update cost. [chunk_size] (default 2048) only affects
+    [chunks_to_reencrypt]. @raise Invalid_argument as {!apply_to_tree}, or
+    on the NC layout. *)
+
+val decode_tree : string -> Xmlac_xml.Tree.t
+(** Decode a whole encoded document back to a tree (any layout but NC). *)

@@ -1,0 +1,12 @@
+(* Shared wire-format constants. Every node encoding starts on a byte
+   frontier; its first two bits give the node kind. *)
+
+let magic = "XSKI"
+
+(* node kinds *)
+let kind_intermediate = 0  (* element with element children *)
+let kind_leaf = 1  (* element without element children *)
+let kind_text = 2
+let kind_close = 3  (* TC layout only: explicit closing marker *)
+
+let text_overhead len = 1 + Bitio.varint_length len

@@ -1,0 +1,1 @@
+lib/soe/channel.ml: Array Buffer Char Hashtbl List Printf String Xmlac_crypto Xmlac_skip_index

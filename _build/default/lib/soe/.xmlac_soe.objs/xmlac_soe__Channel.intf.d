@@ -1,0 +1,1 @@
+lib/soe/channel.mli: Xmlac_crypto Xmlac_skip_index

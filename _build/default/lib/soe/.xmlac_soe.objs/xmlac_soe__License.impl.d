@@ -1,0 +1,1 @@
+lib/soe/license.ml: Bytes List String Xmlac_core Xmlac_crypto Xmlac_skip_index Xmlac_xpath

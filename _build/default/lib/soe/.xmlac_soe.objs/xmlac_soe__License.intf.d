@@ -1,0 +1,1 @@
+lib/soe/license.mli: Xmlac_core Xmlac_crypto

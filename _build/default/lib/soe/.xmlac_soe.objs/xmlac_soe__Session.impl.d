@@ -1,0 +1,1 @@
+lib/soe/session.ml: Channel Cost_model String Xmlac_core Xmlac_crypto Xmlac_skip_index Xmlac_xml

@@ -1,0 +1,1 @@
+lib/soe/session.mli: Channel Cost_model Xmlac_core Xmlac_crypto Xmlac_skip_index Xmlac_xml Xmlac_xpath

@@ -1,0 +1,282 @@
+module C = Xmlac_crypto.Secure_container
+module Merkle = Xmlac_crypto.Merkle
+module Sha1 = Xmlac_crypto.Sha1
+
+type counters = {
+  mutable bytes_to_soe : int;
+  mutable bytes_decrypted : int;
+  mutable bytes_hashed : int;
+  mutable digests_decrypted : int;
+  mutable fragment_fetches : int;
+  mutable chunk_fetches : int;
+}
+
+let fresh_counters () =
+  {
+    bytes_to_soe = 0;
+    bytes_decrypted = 0;
+    bytes_hashed = 0;
+    digests_decrypted = 0;
+    fragment_fetches = 0;
+    chunk_fetches = 0;
+  }
+
+let digest_blob_bytes = 24
+let digest_bytes = 20
+let hash_state_bytes = 29 + 63 (* serialized mid-stream SHA-1 state, worst case *)
+
+let be_bytes value width =
+  String.init width (fun i -> Char.chr ((value lsr (8 * (width - 1 - i))) land 0xFF))
+
+(* Per-fragment SOE state: the verified ciphertext suffix received from the
+   terminal and the blocks decrypted so far. *)
+type frag_entry = {
+  mutable avail_from : int;  (* fragment-local byte offset; frag_size = none *)
+  mutable cipher_suffix : string;
+  plain_blocks : (int, string) Hashtbl.t;  (* fragment-local block index *)
+}
+
+let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
+  let scheme = C.scheme container in
+  let verify = verify && scheme <> C.Ecb in
+  let chunk_size = C.chunk_size container in
+  let frag_size = C.fragment_size container in
+  let frags_per_chunk = C.fragments_per_chunk container in
+  let payload_len = C.payload_length container in
+  let tree_levels =
+    let rec go l n = if n <= 1 then l else go (l + 1) (n / 2) in
+    go 0 frags_per_chunk
+  in
+  (* SOE-side caches, bounded like a smart card's RAM *)
+  let frag_cache : ((int * int) * frag_entry) list ref = ref [] in
+  (* CBC chunk cache: plaintext plus, for CBC-SHAC, which blocks have been
+     decrypted (CBC random access decrypts exactly the blocks it needs:
+     block i needs only ciphertext blocks i-1 and i) *)
+  let chunk_cache : (int * string * (int, unit) Hashtbl.t) option ref = ref None in
+  let root_cache : (int * string) option ref = ref None in
+  (* terminal-side memo of per-chunk fragment leaf hashes (the terminal is
+     an ordinary computer and caches freely) *)
+  let terminal_leaves : (int, string array) Hashtbl.t = Hashtbl.create 8 in
+  let leaves chunk =
+    match Hashtbl.find_opt terminal_leaves chunk with
+    | Some l -> l
+    | None ->
+        let l =
+          Array.init frags_per_chunk (fun i ->
+              C.fragment_leaf_hash container ~chunk ~fragment:i
+                ~cipher:(C.fragment_ciphertext container ~chunk ~fragment:i))
+        in
+        Hashtbl.replace terminal_leaves chunk l;
+        l
+  in
+  let chunk_digest chunk =
+    match !root_cache with
+    | Some (c, d) when c = chunk -> d
+    | _ ->
+        counters.bytes_to_soe <- counters.bytes_to_soe + digest_blob_bytes;
+        counters.bytes_decrypted <- counters.bytes_decrypted + digest_blob_bytes;
+        counters.digests_decrypted <- counters.digests_decrypted + 1;
+        let d = C.decrypt_digest container ~key chunk in
+        root_cache := Some (chunk, d);
+        d
+  in
+  let lookup_fragment chunk frag =
+    match List.assoc_opt (chunk, frag) !frag_cache with
+    | Some e -> e
+    | None ->
+        let e =
+          {
+            avail_from = frag_size;
+            cipher_suffix = "";
+            plain_blocks = Hashtbl.create 8;
+          }
+        in
+        frag_cache := ((chunk, frag), e) :: !frag_cache;
+        if List.length !frag_cache > cache_fragments then
+          frag_cache := List.filteri (fun i _ -> i < cache_fragments) !frag_cache;
+        e
+  in
+  (* Appendix A: to let the SOE verify a fragment it reads from byte [lo]
+     on, the terminal sends the ciphertext suffix, the intermediate SHA-1
+     state of the prefix (the leaf hash covers chunk and fragment ids plus
+     the whole fragment ciphertext), the Merkle sibling digests, and the
+     encrypted ChunkDigest. *)
+  let extend_suffix chunk frag entry lo =
+    let lo = lo / 8 * 8 in
+    if lo < entry.avail_from then begin
+      counters.fragment_fetches <- counters.fragment_fetches + 1;
+      let cipher = C.fragment_ciphertext container ~chunk ~fragment:frag in
+      let fetched = entry.avail_from - lo in
+      counters.bytes_to_soe <- counters.bytes_to_soe + fetched;
+      entry.cipher_suffix <- String.sub cipher lo (frag_size - lo);
+      let had = entry.avail_from < frag_size in
+      entry.avail_from <- lo;
+      if verify then begin
+        (* terminal: hash the prefix (ids + cipher[0..lo)) and export the
+           mid-state; SOE: resume, hash the suffix, recombine to the root *)
+        let tctx = Sha1.init () in
+        Sha1.feed tctx (be_bytes chunk 4);
+        Sha1.feed tctx (be_bytes frag 4);
+        Sha1.feed_sub tctx cipher ~pos:0 ~len:lo;
+        let state = Sha1.export_state tctx in
+        counters.bytes_to_soe <- counters.bytes_to_soe + hash_state_bytes;
+        let soe_ctx = Sha1.import_state state in
+        Sha1.feed soe_ctx entry.cipher_suffix;
+        let leaf = Sha1.finalize soe_ctx in
+        counters.bytes_hashed <-
+          counters.bytes_hashed + String.length entry.cipher_suffix;
+        (* re-verification when a suffix is extended backwards re-hashes;
+           the first fetch of a fragment pays the Merkle cover *)
+        if not had then begin
+          let cover =
+            Merkle.sibling_cover ~leaf_count:frags_per_chunk ~lo:frag ~hi:frag
+          in
+          counters.bytes_to_soe <-
+            counters.bytes_to_soe + (digest_bytes * List.length cover)
+        end;
+        let cover =
+          Merkle.sibling_cover ~leaf_count:frags_per_chunk ~lo:frag ~hi:frag
+        in
+        let supplied =
+          List.map (fun node -> (node, Merkle.node_hash (leaves chunk) node)) cover
+        in
+        counters.bytes_hashed <-
+          counters.bytes_hashed + (2 * digest_bytes * tree_levels);
+        let root =
+          match
+            Merkle.root_from_cover ~leaf_count:frags_per_chunk
+              ~known:[ (frag, leaf) ] ~supplied
+          with
+          | Some r -> r
+          | None -> raise (C.Integrity_failure "incomplete Merkle cover")
+        in
+        if
+          not
+            (String.equal
+               (C.seal_root container ~chunk ~root)
+               (chunk_digest chunk))
+        then
+          raise
+            (C.Integrity_failure
+               (Printf.sprintf "chunk %d fragment %d: Merkle root mismatch"
+                  chunk frag))
+      end
+    end
+  in
+  (* decrypt (and charge) one 8-byte block of a fragment, memoized *)
+  let fragment_block chunk frag entry b =
+    match Hashtbl.find_opt entry.plain_blocks b with
+    | Some p -> p
+    | None ->
+        let local = b * 8 in
+        if local < entry.avail_from then
+          (* can only happen through cache eviction followed by a backward
+             read; extend the suffix first *)
+          extend_suffix chunk frag entry local;
+        let cipher_block =
+          String.sub entry.cipher_suffix (local - entry.avail_from) 8
+        in
+        counters.bytes_decrypted <- counters.bytes_decrypted + 8;
+        let base = (chunk * chunk_size) + (frag * frag_size) + local in
+        let plain =
+          Xmlac_crypto.Modes.positional_decrypt
+            (Xmlac_crypto.Modes.of_triple_des key)
+            ~base cipher_block
+        in
+        Hashtbl.replace entry.plain_blocks b plain;
+        plain
+  in
+  (* read [lo, hi) within one fragment *)
+  let read_in_fragment chunk frag lo hi =
+    let entry = lookup_fragment chunk frag in
+    if verify then extend_suffix chunk frag entry lo
+    else if lo / 8 * 8 < entry.avail_from then begin
+      (* without integrity the terminal serves just the covering blocks *)
+      counters.fragment_fetches <- counters.fragment_fetches + 1;
+      let lo8 = lo / 8 * 8 in
+      counters.bytes_to_soe <- counters.bytes_to_soe + (entry.avail_from - lo8);
+      let cipher = C.fragment_ciphertext container ~chunk ~fragment:frag in
+      entry.cipher_suffix <- String.sub cipher lo8 (frag_size - lo8);
+      entry.avail_from <- lo8
+    end;
+    let buf = Buffer.create (hi - lo) in
+    for b = lo / 8 to (hi - 1) / 8 do
+      let plain = fragment_block chunk frag entry b in
+      let block_lo = b * 8 and block_hi = (b + 1) * 8 in
+      let from = max lo block_lo - block_lo in
+      let upto = min hi block_hi - block_lo in
+      Buffer.add_substring buf plain from (upto - from)
+    done;
+    Buffer.contents buf
+  in
+  (* CBC schemes: chunk granularity (no random access inside a chunk) *)
+  let fetch_chunk chunk =
+    match !chunk_cache with
+    | Some (c, plain, blocks) when c = chunk -> (plain, blocks)
+    | _ ->
+        counters.chunk_fetches <- counters.chunk_fetches + 1;
+        counters.bytes_to_soe <- counters.bytes_to_soe + chunk_size;
+        let plain = C.decrypt_chunk container ~key chunk in
+        (match scheme with
+        | C.Cbc_sha ->
+            counters.bytes_decrypted <- counters.bytes_decrypted + chunk_size;
+            if verify then begin
+              counters.bytes_hashed <- counters.bytes_hashed + chunk_size;
+              let expected = C.expected_digest_of_plain container ~chunk ~plain in
+              if not (String.equal expected (chunk_digest chunk)) then
+                raise
+                  (C.Integrity_failure
+                     (Printf.sprintf "chunk %d: plaintext digest mismatch" chunk))
+            end
+        | C.Cbc_shac ->
+            if verify then begin
+              counters.bytes_hashed <- counters.bytes_hashed + chunk_size;
+              let expected =
+                C.expected_digest_of_cipher container ~chunk
+                  ~cipher:(C.chunk_ciphertext container chunk)
+              in
+              if not (String.equal expected (chunk_digest chunk)) then
+                raise
+                  (C.Integrity_failure
+                     (Printf.sprintf "chunk %d: ciphertext digest mismatch" chunk))
+            end
+        | C.Ecb | C.Ecb_mht -> assert false);
+        let blocks = Hashtbl.create 32 in
+        chunk_cache := Some (chunk, plain, blocks);
+        (plain, blocks)
+  in
+  let read ~pos ~len =
+    if len = 0 then ""
+    else begin
+      let buf = Buffer.create len in
+      let remaining = ref len and cur = ref pos in
+      while !remaining > 0 do
+        let chunk = !cur / chunk_size in
+        let offset = !cur mod chunk_size in
+        (match scheme with
+        | C.Ecb | C.Ecb_mht ->
+            let frag = offset / frag_size in
+            let lo = offset mod frag_size in
+            let take = min !remaining (frag_size - lo) in
+            Buffer.add_string buf (read_in_fragment chunk frag lo (lo + take));
+            cur := !cur + take;
+            remaining := !remaining - take
+        | C.Cbc_sha | C.Cbc_shac ->
+            let take = min !remaining (chunk_size - offset) in
+            let plain, blocks = fetch_chunk chunk in
+            if scheme = C.Cbc_shac then
+              (* decrypt only the covering blocks, each charged once *)
+              for b = offset / 8 to (offset + take - 1) / 8 do
+                if not (Hashtbl.mem blocks b) then begin
+                  Hashtbl.replace blocks b ();
+                  counters.bytes_decrypted <- counters.bytes_decrypted + 8
+                end
+              done;
+            Buffer.add_substring buf plain offset take;
+            cur := !cur + take;
+            remaining := !remaining - take)
+      done;
+      Buffer.contents buf
+    end
+  in
+  { Xmlac_skip_index.Decoder.read; length = payload_len }

@@ -1,0 +1,42 @@
+(** The terminal ↔ SOE channel.
+
+    The untrusted terminal holds the encrypted container and serves the SOE
+    byte ranges of the payload. Depending on the container's integrity
+    scheme the SOE fetches fragments, Merkle sibling digests, intermediate
+    hash states or whole chunks, decrypts what it needs, and verifies every
+    byte before the evaluator sees it (Section 6 / Appendix A).
+
+    Every exchange is tallied in {!counters}; the {!Cost_model} turns the
+    tallies into simulated seconds. The cryptography is real: tampering with
+    the container makes reads raise {!Xmlac_crypto.Secure_container.Integrity_failure}. *)
+
+type counters = {
+  mutable bytes_to_soe : int;  (** payload + digest + hash-state bytes sent *)
+  mutable bytes_decrypted : int;
+  mutable bytes_hashed : int;  (** hashed inside the SOE *)
+  mutable digests_decrypted : int;
+  mutable fragment_fetches : int;
+  mutable chunk_fetches : int;
+}
+
+val fresh_counters : unit -> counters
+
+val source :
+  ?verify:bool ->
+  ?cache_fragments:int ->
+  container:Xmlac_crypto.Secure_container.t ->
+  key:Xmlac_crypto.Des.Triple.key ->
+  counters ->
+  Xmlac_skip_index.Decoder.source
+(** A byte source over the container's decrypted payload. [verify] defaults
+    to true (forced to false for the ECB scheme, which carries no digests).
+    [cache_fragments] bounds the SOE-side plaintext cache (default 8
+    fragments ≈ a 2 KB working set, the paper's smart-card scale).
+
+    Scheme behaviours:
+    - ECB: fetch + decrypt only the 8-byte-aligned blocks covering a read;
+    - ECB-MHT: fetch + decrypt covering fragments; verify each against the
+      chunk's Merkle root using terminal-supplied sibling digests;
+    - CBC-SHAC: fetch a whole chunk's ciphertext once, hash it inside the
+      SOE against the decrypted digest, then decrypt only requested blocks;
+    - CBC-SHA: fetch and decrypt a whole chunk, then hash its plaintext. *)

@@ -1,0 +1,133 @@
+module Bitio = Xmlac_skip_index.Bitio
+module Rule = Xmlac_core.Rule
+module Policy = Xmlac_core.Policy
+
+type t = {
+  subject : string;
+  rules : (string * Rule.sign * string) list;
+  document_key : string;
+  valid_until : int option;
+}
+
+let make ?valid_until ~subject ~document_key rules =
+  if String.length document_key <> 24 then
+    invalid_arg "License.make: document key must be 24 bytes";
+  (* validate rules eagerly: ids distinct, paths parseable *)
+  let t = { subject; rules; document_key; valid_until } in
+  let _ =
+    Policy.make
+      (List.map (fun (id, sign, path) -> Rule.parse ~id ~sign path) rules)
+  in
+  t
+
+let policy t =
+  Policy.resolve_user ~user:t.subject
+    (Policy.make
+       (List.map (fun (id, sign, path) -> Rule.parse ~id ~sign path) t.rules))
+
+let key t = Xmlac_crypto.Des.Triple.key_of_string t.document_key
+
+let is_valid_at t ~now =
+  match t.valid_until with None -> true | Some limit -> now <= limit
+
+(* Serialization ------------------------------------------------------------ *)
+
+let magic = "XLIC1"
+
+let serialize t =
+  let w = Bitio.Writer.create () in
+  Bitio.Writer.bytes w magic;
+  Bitio.Writer.varint w (String.length t.subject);
+  Bitio.Writer.bytes w t.subject;
+  Bitio.Writer.bytes w t.document_key;
+  (match t.valid_until with
+  | None -> Bitio.Writer.bits w ~width:8 0
+  | Some v ->
+      Bitio.Writer.bits w ~width:8 1;
+      Bitio.Writer.varint w v);
+  Bitio.Writer.varint w (List.length t.rules);
+  List.iter
+    (fun (id, sign, path) ->
+      Bitio.Writer.varint w (String.length id);
+      Bitio.Writer.bytes w id;
+      Bitio.Writer.bits w ~width:8 (match sign with Rule.Permit -> 1 | Rule.Deny -> 0);
+      Bitio.Writer.varint w (String.length path);
+      Bitio.Writer.bytes w path)
+    t.rules;
+  Bitio.Writer.contents w
+
+let deserialize payload =
+  try
+    let r = Bitio.Reader.of_string payload in
+    let m = Bitio.Reader.bytes r (String.length magic) in
+    if m <> magic then Error "bad license magic"
+    else begin
+      let subject = Bitio.Reader.bytes r (Bitio.Reader.varint r) in
+      let document_key = Bitio.Reader.bytes r 24 in
+      let valid_until =
+        match Bitio.Reader.bits r ~width:8 with
+        | 0 -> None
+        | _ -> Some (Bitio.Reader.varint r)
+      in
+      let n = Bitio.Reader.varint r in
+      let rules =
+        List.init n (fun _ ->
+            let id = Bitio.Reader.bytes r (Bitio.Reader.varint r) in
+            let sign =
+              if Bitio.Reader.bits r ~width:8 = 1 then Rule.Permit else Rule.Deny
+            in
+            let path = Bitio.Reader.bytes r (Bitio.Reader.varint r) in
+            (id, sign, path))
+      in
+      Ok (make ?valid_until ~subject ~document_key rules)
+    end
+  with
+  | Invalid_argument msg -> Error msg
+  | Xmlac_xpath.Parse.Error (msg, _) -> Error ("bad rule in license: " ^ msg)
+
+(* Sealing -------------------------------------------------------------------
+
+   tag = SHA1(K' ‖ payload ‖ K'), K' = the raw serialized key schedule is
+   not accessible, so the caller-level convention is: the authenticator key
+   is SHA1 of the sealing passphrase-derived 24 bytes — here we derive it
+   from an encrypted constant, which only the key holder can compute. *)
+
+let auth_tag ~soe_key payload =
+  (* a secret value derivable only with the key: E_k over two fixed blocks *)
+  let module D = Xmlac_crypto.Des.Triple in
+  let b = Bytes.create 16 in
+  Xmlac_crypto.Des.block_to_bytes b ~pos:0 (D.encrypt_block soe_key 0x584C494331L);
+  Xmlac_crypto.Des.block_to_bytes b ~pos:8 (D.encrypt_block soe_key 0x584C494332L);
+  let k = Bytes.to_string b in
+  Xmlac_crypto.Sha1.digest (k ^ payload ^ k)
+
+let seal ~soe_key t =
+  let payload = serialize t in
+  let tagged = payload ^ auth_tag ~soe_key payload in
+  Xmlac_crypto.Modes.positional_encrypt
+    (Xmlac_crypto.Modes.of_triple_des soe_key)
+    ~base:0
+    (Xmlac_crypto.Modes.pad tagged)
+
+let unseal ~soe_key blob =
+  if String.length blob = 0 || String.length blob mod 8 <> 0 then
+    Error "malformed license blob"
+  else
+    match
+      Xmlac_crypto.Modes.unpad
+        (Xmlac_crypto.Modes.positional_decrypt
+           (Xmlac_crypto.Modes.of_triple_des soe_key)
+           ~base:0 blob)
+    with
+    | exception Invalid_argument _ -> Error "license decryption failed"
+    | tagged ->
+        let n = String.length tagged in
+        if n < Xmlac_crypto.Sha1.digest_size then Error "license too short"
+        else begin
+          let payload = String.sub tagged 0 (n - Xmlac_crypto.Sha1.digest_size) in
+          let tag = String.sub tagged (n - Xmlac_crypto.Sha1.digest_size)
+              Xmlac_crypto.Sha1.digest_size in
+          if not (String.equal tag (auth_tag ~soe_key payload)) then
+            Error "license authentication failed"
+          else deserialize payload
+        end

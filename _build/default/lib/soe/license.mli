@@ -1,0 +1,45 @@
+(** Licenses: the sealed credential bundles the paper's architecture
+    assumes — "this access control policy as well as the key(s) required to
+    decrypt the document can be permanently hosted by the SOE, refreshed or
+    downloaded via a secure channel from different sources (trusted third
+    party, security server, parent or teacher, etc)."
+
+    A license carries, for one (subject, document) pair: the subject name,
+    the access-control rules, the 24-byte 3DES document key, and an
+    optional expiry. It travels sealed under a key only the issuing
+    authority and the target SOE share: encrypted with positional ECB and
+    authenticated with a keyed SHA-1 tag (an era-appropriate construction;
+    swap in a modern AEAD for production use). *)
+
+type t = {
+  subject : string;
+  rules : (string * Xmlac_core.Rule.sign * string) list;
+      (** (id, sign, xpath) — [USER] literals allowed; they resolve to
+          [subject] in {!policy} *)
+  document_key : string;  (** 24 bytes *)
+  valid_until : int option;  (** issuer-defined clock, e.g. epoch days *)
+}
+
+val make :
+  ?valid_until:int ->
+  subject:string ->
+  document_key:string ->
+  (string * Xmlac_core.Rule.sign * string) list ->
+  t
+(** @raise Invalid_argument if the key is not 24 bytes, or a rule does not
+    parse. *)
+
+val policy : t -> Xmlac_core.Policy.t
+(** The subject's policy, USER-resolved. *)
+
+val key : t -> Xmlac_crypto.Des.Triple.key
+
+val is_valid_at : t -> now:int -> bool
+
+val seal : soe_key:Xmlac_crypto.Des.Triple.key -> t -> string
+(** Serialize, authenticate and encrypt. *)
+
+val unseal :
+  soe_key:Xmlac_crypto.Des.Triple.key -> string -> (t, string) result
+(** Decrypt, check authenticity, deserialize. Any tampering — or the wrong
+    SOE key — yields [Error]. *)

@@ -1,0 +1,108 @@
+module Tree = Xmlac_xml.Tree
+module Layout = Xmlac_skip_index.Layout
+module Encoder = Xmlac_skip_index.Encoder
+module Decoder = Xmlac_skip_index.Decoder
+module Container = Xmlac_crypto.Secure_container
+module Evaluator = Xmlac_core.Evaluator
+module Input = Xmlac_core.Input
+
+type config = {
+  cost : Cost_model.t;
+  scheme : Container.scheme;
+  chunk_size : int;
+  fragment_size : int;
+  key : Xmlac_crypto.Des.Triple.key;
+}
+
+let default_config ?(context = Cost_model.Hardware)
+    ?(scheme = Container.Ecb_mht) () =
+  {
+    cost = Cost_model.of_context context;
+    scheme;
+    chunk_size = 2048;
+    fragment_size = 256;
+    key = Xmlac_crypto.Des.Triple.key_of_string "xmlac-demo-24-byte-key!!";
+  }
+
+type published = {
+  layout : Layout.t;
+  container : Container.t;
+  encoded_bytes : int;
+  source_text_bytes : int;
+}
+
+let publish config ~layout tree =
+  if layout = Layout.Nc then
+    invalid_arg "Session.publish: the NC layout cannot be evaluated";
+  let encoded = Encoder.encode ~layout tree in
+  let container =
+    Container.encrypt ~chunk_size:config.chunk_size
+      ~fragment_size:config.fragment_size ~scheme:config.scheme ~key:config.key
+      encoded
+  in
+  {
+    layout;
+    container;
+    encoded_bytes = String.length encoded;
+    source_text_bytes = Tree.text_bytes tree;
+  }
+
+type measurement = {
+  strategy : string;
+  counters : Channel.counters;
+  eval : Evaluator.stats;
+  result_bytes : int;
+  breakdown : Cost_model.breakdown;
+  events : Xmlac_xml.Event.t list;
+}
+
+let evaluate ?query ?(verify = true) ?strategy ?options config published policy =
+  let counters = Channel.fresh_counters () in
+  let source =
+    Channel.source ~verify ~container:published.container ~key:config.key
+      counters
+  in
+  let decoder = Decoder.of_source source in
+  let result = Evaluator.run ?query ?options ~policy (Input.of_decoder decoder) in
+  let result_bytes =
+    String.length (Xmlac_xml.Writer.events_to_string result.Evaluator.events)
+  in
+  let breakdown =
+    Cost_model.breakdown config.cost ~bytes_in:counters.Channel.bytes_to_soe
+      ~bytes_decrypted:counters.Channel.bytes_decrypted
+      ~bytes_hashed:counters.Channel.bytes_hashed
+      ~transitions:result.Evaluator.stats.Evaluator.transitions
+      ~events:result.Evaluator.stats.Evaluator.events_in
+  in
+  let strategy =
+    match strategy with
+    | Some s -> s
+    | None -> Layout.to_string published.layout
+  in
+  {
+    strategy;
+    counters;
+    eval = result.Evaluator.stats;
+    result_bytes;
+    breakdown;
+    events = result.Evaluator.events;
+  }
+
+let lwb ?(verify = true) config ~authorized_bytes =
+  let chunks = max 1 ((authorized_bytes + config.chunk_size - 1) / config.chunk_size) in
+  let digest_overhead = if verify then chunks * 24 else 0 in
+  let hashed = if verify then authorized_bytes else 0 in
+  Cost_model.breakdown config.cost
+    ~bytes_in:(authorized_bytes + digest_overhead)
+    ~bytes_decrypted:(authorized_bytes + digest_overhead)
+    ~bytes_hashed:hashed ~transitions:0 ~events:0
+
+let authorized_encoded_bytes ?query policy tree =
+  let view =
+    match query with
+    | None -> Xmlac_core.Oracle.authorized_view policy tree
+    | Some q -> Xmlac_core.Oracle.query_view ~query:q policy tree
+  in
+  match view with
+  | None -> 0
+  | Some v -> String.length (Encoder.encode ~layout:Layout.Tcsbr v)

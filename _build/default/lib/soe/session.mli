@@ -1,0 +1,72 @@
+(** End-to-end client sessions: publish (encode + encrypt) a document, then
+    evaluate an access-control policy (and optional query) inside the
+    simulated SOE, producing both the authorized output and the simulated
+    cost figures the paper's Section 7 charts.
+
+    Strategies measured by the paper:
+    - {e BF} (brute force): no index — the whole document enters the SOE
+      ({!publish} with the TC layout; nothing can be skipped);
+    - {e TCSBR}: the Skip index ({!publish} with the TCSBR layout);
+    - {e LWB}: the unreachable oracle bound — transfer and decrypt only the
+      authorized bytes ({!lwb}). *)
+
+type config = {
+  cost : Cost_model.t;
+  scheme : Xmlac_crypto.Secure_container.scheme;
+  chunk_size : int;
+  fragment_size : int;
+  key : Xmlac_crypto.Des.Triple.key;
+}
+
+val default_config :
+  ?context:Cost_model.context ->
+  ?scheme:Xmlac_crypto.Secure_container.scheme ->
+  unit ->
+  config
+(** Hardware smart-card context, ECB-MHT integrity, 2 KB chunks, 256 B
+    fragments, a fixed demo key. *)
+
+type published = {
+  layout : Xmlac_skip_index.Layout.t;
+  container : Xmlac_crypto.Secure_container.t;
+  encoded_bytes : int;  (** skip-index encoding size (before encryption) *)
+  source_text_bytes : int;
+}
+
+val publish :
+  config -> layout:Xmlac_skip_index.Layout.t -> Xmlac_xml.Tree.t -> published
+(** @raise Invalid_argument for the NC layout (it has no binary body). *)
+
+type measurement = {
+  strategy : string;
+  counters : Channel.counters;
+  eval : Xmlac_core.Evaluator.stats;
+  result_bytes : int;  (** serialized size of the authorized output *)
+  breakdown : Cost_model.breakdown;
+  events : Xmlac_xml.Event.t list;
+}
+
+val evaluate :
+  ?query:Xmlac_xpath.Ast.t ->
+  ?verify:bool ->
+  ?strategy:string ->
+  ?options:Xmlac_core.Evaluator.options ->
+  config ->
+  published ->
+  Xmlac_core.Policy.t ->
+  measurement
+(** Run the streaming evaluator over the encrypted container through the
+    SOE channel. [verify] (default true) enables integrity checking;
+    [options] exposes the evaluator's ablation switches.
+    @raise Xmlac_crypto.Secure_container.Integrity_failure on tampering. *)
+
+val lwb :
+  ?verify:bool -> config -> authorized_bytes:int -> Cost_model.breakdown
+(** The oracle lower bound: the time to transfer and decrypt only
+    [authorized_bytes] (plus, with [verify], the minimal integrity
+    overhead for the chunks those bytes span). *)
+
+val authorized_encoded_bytes :
+  ?query:Xmlac_xpath.Ast.t -> Xmlac_core.Policy.t -> Xmlac_xml.Tree.t -> int
+(** Size of the TCSBR encoding of the authorized view — what the LWB oracle
+    would have to read. 0 when the view is empty. *)

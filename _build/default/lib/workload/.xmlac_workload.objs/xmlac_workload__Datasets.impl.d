@@ -1,0 +1,1 @@
+lib/workload/datasets.ml: Array Fmt Hospital List Printf Prng String Xmlac_xml

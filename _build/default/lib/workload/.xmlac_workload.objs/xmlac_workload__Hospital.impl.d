@@ -1,0 +1,1 @@
+lib/workload/hospital.ml: Array List Printf Prng String Xmlac_xml

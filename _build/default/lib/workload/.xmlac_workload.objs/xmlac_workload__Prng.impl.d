@@ -1,0 +1,1 @@
+lib/workload/prng.ml: Array Char List Random String

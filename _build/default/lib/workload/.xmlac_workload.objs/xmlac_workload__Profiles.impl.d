@@ -1,0 +1,1 @@
+lib/workload/profiles.ml: Hospital List Printf Xmlac_core Xmlac_xpath

@@ -1,0 +1,1 @@
+lib/workload/profiles.mli: Xmlac_core Xmlac_xpath

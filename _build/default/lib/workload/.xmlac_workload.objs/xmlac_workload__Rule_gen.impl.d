@@ -1,0 +1,1 @@
+lib/workload/rule_gen.ml: Array List Printf Prng String Xmlac_core Xmlac_xml Xmlac_xpath

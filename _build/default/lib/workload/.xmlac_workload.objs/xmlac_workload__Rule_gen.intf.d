@@ -1,0 +1,1 @@
+lib/workload/rule_gen.mli: Xmlac_core Xmlac_xml

@@ -1,0 +1,169 @@
+module Tree = Xmlac_xml.Tree
+
+type kind = Wsu | Sigmod | Treebank | Hospital_doc
+
+let all = [ Wsu; Sigmod; Treebank; Hospital_doc ]
+
+let name = function
+  | Wsu -> "WSU"
+  | Sigmod -> "Sigmod"
+  | Treebank -> "Treebank"
+  | Hospital_doc -> "Hospital"
+
+let leaf tag text = Tree.element tag [ Tree.text text ]
+
+(* WSU: very flat (max depth 4, average ~3.1), 20 tags, a mass of tiny
+   elements — the paper measures its TCSBR structure at ~78% of the
+   document *)
+let wsu_generate rng ~courses =
+  let prefixes = [| "CS"; "EE"; "MA"; "PH"; "CH"; "BI" |] in
+  let course () =
+    let place =
+      (* the only depth-4 branch; present in roughly half the courses *)
+      if Prng.bool rng then
+        [
+          Tree.element "place"
+            [
+              leaf "bldg" (String.uppercase_ascii (Prng.word rng ~min:3 ~max:4));
+              leaf "room" (string_of_int (Prng.range rng 100 499));
+            ];
+        ]
+      else []
+    in
+    Tree.element "course"
+      ([
+         leaf "prefix" (Prng.choice rng prefixes);
+         leaf "crs" (string_of_int (Prng.range rng 100 599));
+         leaf "lab" (if Prng.bool rng then "L" else "");
+         leaf "title" (Prng.word rng ~min:4 ~max:14);
+         leaf "credit" (string_of_int (Prng.range rng 1 5));
+         leaf "sln" (string_of_int (Prng.range rng 10000 99999));
+         leaf "limit" (string_of_int (Prng.range rng 10 300));
+         leaf "enrolled" (string_of_int (Prng.range rng 0 300));
+         leaf "days" (Prng.choice rng [| "MWF"; "TTh"; "MW"; "F" |]);
+         leaf "start" (Printf.sprintf "%02d:30" (Prng.range rng 7 17));
+         leaf "end" (Printf.sprintf "%02d:20" (Prng.range rng 8 18));
+         leaf "instructor" (Prng.word rng ~min:4 ~max:9);
+       ]
+      @ place)
+  in
+  Tree.element "root" (List.init courses (fun _ -> course ()))
+
+(* Sigmod: regular depth-6 structure with 11 tags *)
+let sigmod_generate rng ~issues =
+  let article () =
+    Tree.element "article"
+      [
+        leaf "title" (Prng.sentence rng ~words:(Prng.range rng 4 10));
+        leaf "initPage" (string_of_int (Prng.range rng 1 400));
+        leaf "endPage" (string_of_int (Prng.range rng 1 420));
+        Tree.element "authors"
+          (List.init (Prng.range rng 1 4) (fun _ ->
+               leaf "author"
+                 (String.capitalize_ascii (Prng.word rng ~min:3 ~max:8)
+                 ^ " "
+                 ^ String.capitalize_ascii (Prng.word rng ~min:4 ~max:10))));
+      ]
+  in
+  let issue () =
+    Tree.element "issue"
+      [
+        leaf "volume" (string_of_int (Prng.range rng 1 30));
+        leaf "number" (string_of_int (Prng.range rng 1 4));
+        Tree.element "articles" (List.init (Prng.range rng 4 12) (fun _ -> article ()));
+      ]
+  in
+  Tree.element "SigmodRecord" (List.init issues (fun _ -> issue ()))
+
+(* Treebank: 250 recursive grammatical tags, deep skewed nesting. Texts
+   stand in for the (encrypted) words of the real corpus. *)
+let treebank_tags =
+  let base =
+    [| "S"; "NP"; "VP"; "PP"; "ADJP"; "ADVP"; "SBAR"; "WHNP"; "PRT"; "QP" |]
+  in
+  Array.init 250 (fun i ->
+      if i < Array.length base then base.(i)
+      else Printf.sprintf "%s_%d" base.(i mod Array.length base) (i / Array.length base))
+
+let treebank_generate rng ~sentences =
+  (* shallow side phrases hanging off a guaranteed-depth spine *)
+  let rec bush depth =
+    let tag = Prng.choice rng treebank_tags in
+    if depth <= 1 || Prng.chance rng 0.4 then
+      Tree.element tag [ Tree.text (Prng.word rng ~min:2 ~max:10) ]
+    else
+      Tree.element tag (List.init (Prng.range rng 1 2) (fun _ -> bush (depth - 1)))
+  in
+  let rec spine depth =
+    let tag = Prng.choice rng treebank_tags in
+    if depth <= 1 then Tree.element tag [ Tree.text (Prng.word rng ~min:2 ~max:10) ]
+    else begin
+      let core = spine (depth - 1) in
+      let extras = List.init (Prng.int rng 2) (fun _ -> bush (Prng.range rng 1 3)) in
+      Tree.element tag (if Prng.bool rng then core :: extras else extras @ [ core ])
+    end
+  in
+  let sentence () =
+    (* skewed: a few sentences are very deep, most are shallow *)
+    let depth = 3 + Prng.int rng (if Prng.chance rng 0.08 then 32 else 8) in
+    Tree.element "S" [ spine depth ]
+  in
+  Tree.element "FILE" (List.init sentences (fun _ -> sentence ()))
+
+let bytes_of tree = String.length (Xmlac_xml.Writer.tree_to_string tree)
+
+let scale_units ~sample_units ~sample_bytes ~target_bytes =
+  max 1 (target_bytes * sample_units / max 1 sample_bytes)
+
+let generate kind ~seed ~target_bytes =
+  let rng = Prng.make ~seed in
+  match kind with
+  | Hospital_doc -> Hospital.generate_sized ~seed ~target_bytes ()
+  | Wsu ->
+      let sample = wsu_generate (Prng.make ~seed) ~courses:50 in
+      let courses =
+        scale_units ~sample_units:50 ~sample_bytes:(bytes_of sample) ~target_bytes
+      in
+      wsu_generate rng ~courses
+  | Sigmod ->
+      let sample = sigmod_generate (Prng.make ~seed) ~issues:20 in
+      let issues =
+        scale_units ~sample_units:20 ~sample_bytes:(bytes_of sample) ~target_bytes
+      in
+      sigmod_generate rng ~issues
+  | Treebank ->
+      let sample = treebank_generate (Prng.make ~seed) ~sentences:50 in
+      let sentences =
+        scale_units ~sample_units:50 ~sample_bytes:(bytes_of sample) ~target_bytes
+      in
+      treebank_generate rng ~sentences
+
+type characteristics = {
+  name : string;
+  size_bytes : int;
+  text_bytes : int;
+  max_depth : int;
+  average_depth : float;
+  distinct_tags : int;
+  text_nodes : int;
+  elements : int;
+}
+
+let characteristics ~name tree =
+  {
+    name;
+    size_bytes = bytes_of tree;
+    text_bytes = Tree.text_bytes tree;
+    max_depth = Tree.max_depth tree;
+    average_depth = Tree.average_leaf_depth tree;
+    distinct_tags = List.length (Tree.distinct_tags tree);
+    text_nodes = Tree.count_text_nodes tree;
+    elements = Tree.count_elements tree;
+  }
+
+let pp_characteristics ppf c =
+  Fmt.pf ppf
+    "%-9s size %7dB, text %7dB, depth max %2d avg %4.1f, %3d tags, %6d \
+     texts, %6d elements"
+    c.name c.size_bytes c.text_bytes c.max_depth c.average_depth
+    c.distinct_tags c.text_nodes c.elements

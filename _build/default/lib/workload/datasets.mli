@@ -1,0 +1,35 @@
+(** Shape-preserving synthetic stand-ins for the three real datasets of the
+    paper's Table 2 (the UW XML repository is unavailable in this sealed
+    environment; the experiments depend on the documents' {e shape}
+    statistics, which these generators reproduce, scaled by
+    [target_bytes]):
+
+    - {e WSU} (university courses): flat (max depth 4), 20 tags, a large
+      number of very small elements — structure dominates text;
+    - {e Sigmod Record} (article index): regular, non-recursive, depth 6,
+      11 tags;
+    - {e Treebank} (tagged English sentences): 250 tags appearing
+      recursively, maximum depth tens of levels, deeply skewed. *)
+
+type kind = Wsu | Sigmod | Treebank | Hospital_doc
+
+val all : kind list
+val name : kind -> string
+
+val generate : kind -> seed:int -> target_bytes:int -> Xmlac_xml.Tree.t
+
+type characteristics = {
+  name : string;
+  size_bytes : int;  (** serialized XML size *)
+  text_bytes : int;
+  max_depth : int;
+  average_depth : float;
+  distinct_tags : int;
+  text_nodes : int;
+  elements : int;
+}
+
+val characteristics : name:string -> Xmlac_xml.Tree.t -> characteristics
+(** The Table 2 metrics of any document. *)
+
+val pp_characteristics : Format.formatter -> characteristics -> unit

@@ -1,0 +1,145 @@
+module Tree = Xmlac_xml.Tree
+
+type config = {
+  folders : int;
+  physicians : string array;
+  physician_weights : float array;
+  groups : int;
+  protocol_probability : float;
+  acts_min : int;
+  acts_max : int;
+  lab_results_min : int;
+  lab_results_max : int;
+  cholesterol_min : int;
+  cholesterol_max : int;
+  comment_words : int;
+}
+
+let default_physicians =
+  Array.init 50 (fun i -> Printf.sprintf "dr%02d" i)
+
+let default_config =
+  {
+    folders = 200;
+    physicians = default_physicians;
+    (* heavy-tailed: dr00 is the full-time physician (~10% of acts), dr49
+       barely practices *)
+    physician_weights =
+      Array.init (Array.length default_physicians) (fun i ->
+          1.0 /. float_of_int (i + 4));
+    groups = 10;
+    protocol_probability = 0.5;
+    acts_min = 1;
+    acts_max = 6;
+    lab_results_min = 1;
+    lab_results_max = 4;
+    (* the paper calls Cholesterol > 250 "a rather rare situation" *)
+    cholesterol_min = 120;
+    cholesterol_max = 280;
+    comment_words = 12;
+  }
+
+let full_time_physician = default_physicians.(0)
+let part_time_physician = default_physicians.(Array.length default_physicians - 1)
+
+let pick_physician rng config =
+  let total = Array.fold_left ( +. ) 0. config.physician_weights in
+  let x = Prng.float rng total in
+  let rec go i acc =
+    if i >= Array.length config.physicians - 1 then config.physicians.(i)
+    else
+      let acc = acc +. config.physician_weights.(i) in
+      if x < acc then config.physicians.(i) else go (i + 1) acc
+  in
+  go 0 0.
+
+let leaf tag text = Tree.element tag [ Tree.text text ]
+
+let date rng =
+  Printf.sprintf "%04d-%02d-%02d" (Prng.range rng 1995 2004)
+    (Prng.range rng 1 12) (Prng.range rng 1 28)
+
+let group_name i = Printf.sprintf "G%d" (i + 1)
+
+let admin rng =
+  Tree.element "Admin"
+    [
+      leaf "SSN" (Printf.sprintf "%09d" (Prng.int rng 1_000_000_000));
+      leaf "Fname" (String.capitalize_ascii (Prng.word rng ~min:3 ~max:8));
+      leaf "Lname" (String.capitalize_ascii (Prng.word rng ~min:4 ~max:10));
+      leaf "Age" (string_of_int (Prng.range rng 1 99));
+    ]
+
+let protocol rng config =
+  Tree.element "Protocol"
+    [
+      leaf "Id" (Printf.sprintf "P%06d" (Prng.int rng 1_000_000));
+      leaf "Type" (group_name (Prng.int rng config.groups));
+      leaf "Date" (date rng);
+      leaf "RPhys" (pick_physician rng config);
+    ]
+
+let act rng config =
+  Tree.element "Act"
+    [
+      leaf "Date" (date rng);
+      leaf "RPhys" (pick_physician rng config);
+      Tree.element "Details"
+        [
+          leaf "VitalSigns"
+            (Printf.sprintf "bp %d/%d pulse %d" (Prng.range rng 90 180)
+               (Prng.range rng 55 110) (Prng.range rng 45 120));
+          leaf "Symptoms" (Prng.sentence rng ~words:config.comment_words);
+          leaf "Diagnostic" (Prng.sentence rng ~words:(config.comment_words / 2));
+          leaf "Comments" (Prng.sentence rng ~words:config.comment_words);
+        ];
+    ]
+
+let lab_results rng config =
+  let g = Prng.int rng config.groups in
+  Tree.element "LabResults"
+    [
+      leaf "RPhys" (pick_physician rng config);
+      Tree.element (group_name g)
+        [
+          leaf "Cholesterol"
+            (string_of_int (Prng.range rng config.cholesterol_min config.cholesterol_max));
+          leaf "Hdl" (string_of_int (Prng.range rng 25 95));
+          leaf "Ldl" (string_of_int (Prng.range rng 60 220));
+          leaf "Notes" (Prng.sentence rng ~words:(config.comment_words / 2));
+        ];
+    ]
+
+let folder rng config =
+  let protocols =
+    if Prng.chance rng config.protocol_probability then
+      List.init (Prng.range rng 1 2) (fun _ -> protocol rng config)
+    else []
+  in
+  let acts =
+    List.init (Prng.range rng config.acts_min config.acts_max) (fun _ ->
+        act rng config)
+  in
+  let labs =
+    List.init
+      (Prng.range rng config.lab_results_min config.lab_results_max)
+      (fun _ -> lab_results rng config)
+  in
+  Tree.element "Folder"
+    ([ admin rng ] @ protocols
+    @ [ Tree.element "MedActs" acts; Tree.element "Analysis" labs ])
+
+let generate ?(config = default_config) ~seed () =
+  let rng = Prng.make ~seed in
+  Tree.element "Hospital"
+    (List.init config.folders (fun _ -> folder rng config))
+
+let generate_sized ?(config = default_config) ~seed ~target_bytes () =
+  (* estimate bytes per folder from a small sample, then generate *)
+  let sample = generate ~config:{ config with folders = 20 } ~seed () in
+  let sample_bytes =
+    String.length (Xmlac_xml.Writer.tree_to_string sample)
+  in
+  let per_folder = max 1 (sample_bytes / 20) in
+  let folders = max 1 (target_bytes / per_folder) in
+  generate ~config:{ config with folders } ~seed ()

@@ -1,0 +1,55 @@
+(** Synthetic generator for the paper's motivating Hospital document
+    (Figure 1). The paper generated its content with ToXgene ("real datasets
+    are very difficult to obtain in this area"); this is the equivalent
+    OCaml generator.
+
+    Schema (element names follow Figure 1 and the rule examples):
+    {v
+      Hospital
+        Folder*
+          Admin (SSN, Fname, Lname, Age)
+          Protocol*           — 0..protocols_max per folder
+            (Id, Type = G1..Gn, Date, RPhys)
+          MedActs
+            Act*              — Date, RPhys, Details (VitalSigns, Symptoms,
+                                 Diagnostic, Comments)
+          Analysis
+            LabResults*       — RPhys, then one group element Gk holding
+                                 Cholesterol and other measurements
+    v}
+
+    Physicians are drawn from a skewed distribution so that "full-time" and
+    "part-time" doctor profiles (Figure 10) see many resp. few matching
+    acts. *)
+
+type config = {
+  folders : int;
+  physicians : string array;
+  physician_weights : float array;  (** same length; need not be normalized *)
+  groups : int;  (** number of protocol groups G1..Gn (the paper uses 10) *)
+  protocol_probability : float;  (** chance a folder holds >= 1 protocol *)
+  acts_min : int;
+  acts_max : int;
+  lab_results_min : int;
+  lab_results_max : int;
+  cholesterol_min : int;
+  cholesterol_max : int;
+  comment_words : int;  (** verbosity of free-text fields *)
+}
+
+val default_config : config
+(** 50 physicians (heavy-tailed), 10 groups, 1–6 acts, 1–4 lab results,
+    cholesterol in 120..280 (the paper calls exceeding 250 "rather
+    rare"). *)
+
+val generate : ?config:config -> seed:int -> unit -> Xmlac_xml.Tree.t
+
+val generate_sized : ?config:config -> seed:int -> target_bytes:int -> unit -> Xmlac_xml.Tree.t
+(** Adjusts the folder count so the serialized document is roughly
+    [target_bytes] long. *)
+
+val full_time_physician : string
+(** The physician owning the largest share of acts. *)
+
+val part_time_physician : string
+(** The physician owning the smallest share. *)

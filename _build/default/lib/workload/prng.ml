@@ -1,0 +1,16 @@
+type t = Random.State.t
+
+let make ~seed = Random.State.make [| seed; 0x5eed; seed * 7919 |]
+let int t n = Random.State.int t n
+let range t lo hi = lo + Random.State.int t (hi - lo + 1)
+let float t x = Random.State.float t x
+let bool t = Random.State.bool t
+let chance t p = Random.State.float t 1.0 < p
+let choice t arr = arr.(Random.State.int t (Array.length arr))
+
+let word t ~min ~max =
+  let len = range t min max in
+  String.init len (fun _ -> Char.chr (Char.code 'a' + int t 26))
+
+let sentence t ~words =
+  String.concat " " (List.init words (fun _ -> word t ~min:2 ~max:9))

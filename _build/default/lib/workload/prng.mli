@@ -1,0 +1,23 @@
+(** Deterministic pseudo-random generation for workloads: every generator in
+    this library is a pure function of its seed, so experiments are
+    reproducible run to run. *)
+
+type t
+
+val make : seed:int -> t
+val int : t -> int -> int
+(** [int t n] — uniform in [0, n). *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] — uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+val bool : t -> bool
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val choice : t -> 'a array -> 'a
+val word : t -> min:int -> max:int -> string
+(** A lowercase pseudo-word. *)
+
+val sentence : t -> words:int -> string

@@ -1,0 +1,59 @@
+module Policy = Xmlac_core.Policy
+module Rule = Xmlac_core.Rule
+
+let secretary = Policy.of_specs [ ("S1", Rule.Permit, "//Admin") ]
+
+let doctor ~user =
+  Policy.resolve_user ~user
+    (Policy.of_specs
+       [
+         ("D1", Rule.Permit, "//Folder/Admin");
+         ("D2", Rule.Permit, "//MedActs[//RPhys = USER]");
+         ("D3", Rule.Deny, "//Act[RPhys != USER]/Details");
+         ("D4", Rule.Permit, "//Folder[MedActs//RPhys = USER]/Analysis");
+       ])
+
+let researcher ?(groups = [ 3 ]) () =
+  let base = [ ("R1", Rule.Permit, "//Folder[Protocol]//Age") ] in
+  let per_group =
+    List.concat_map
+      (fun k ->
+        let g = Printf.sprintf "G%d" k in
+        [
+          ( Printf.sprintf "R2-%s" g,
+            Rule.Permit,
+            Printf.sprintf "//Folder[Protocol/Type = %s]//LabResults//%s" g g );
+          ( Printf.sprintf "R3-%s" g,
+            Rule.Deny,
+            Printf.sprintf "//%s[Cholesterol > 250]" g );
+        ])
+      groups
+  in
+  Policy.of_specs (base @ per_group)
+
+type view =
+  | Sec
+  | Part_time_doctor
+  | Full_time_doctor
+  | Junior_researcher
+  | Senior_researcher
+
+let all_views =
+  [ Sec; Part_time_doctor; Full_time_doctor; Junior_researcher; Senior_researcher ]
+
+let view_name = function
+  | Sec -> "Sec"
+  | Part_time_doctor -> "PTD"
+  | Full_time_doctor -> "FTD"
+  | Junior_researcher -> "JR"
+  | Senior_researcher -> "SR"
+
+let view_policy = function
+  | Sec -> secretary
+  | Part_time_doctor -> doctor ~user:Hospital.part_time_physician
+  | Full_time_doctor -> doctor ~user:Hospital.full_time_physician
+  | Junior_researcher -> researcher ~groups:[ 3; 7 ] ()
+  | Senior_researcher -> researcher ~groups:[ 1; 2; 3; 4; 5; 6; 7; 8 ] ()
+
+let age_query ~threshold =
+  Xmlac_xpath.Parse.path (Printf.sprintf "//Folder[//Age > %d]" threshold)

@@ -1,0 +1,28 @@
+(** The access-control profiles of the paper's motivating example (Figure 1)
+    and the five query views of Figure 10, targeting the {!Hospital}
+    document. *)
+
+val secretary : Xmlac_core.Policy.t
+(** S1: ⊕ //Admin *)
+
+val doctor : user:string -> Xmlac_core.Policy.t
+(** D1: ⊕ //Folder/Admin; D2: ⊕ //MedActs\[//RPhys = USER\];
+    D3: ⊖ //Act\[RPhys != USER\]/Details;
+    D4: ⊕ //Folder\[MedActs//RPhys = USER\]/Analysis — with USER resolved. *)
+
+val researcher : ?groups:int list -> unit -> Xmlac_core.Policy.t
+(** R1: ⊕ //Folder\[Protocol\]//Age and, for every group [k] in [groups]
+    (default [\[3\]], the paper's G3):
+    R2k: ⊕ //Folder\[Protocol/Type = Gk\]//LabResults//Gk;
+    R3k: ⊖ //Gk\[Cholesterol > 250\].
+    The Figure 9 "complex" researcher uses [groups = \[1..10\]]. *)
+
+(** The five views of Figure 10. *)
+type view = Sec | Part_time_doctor | Full_time_doctor | Junior_researcher | Senior_researcher
+
+val all_views : view list
+val view_name : view -> string
+val view_policy : view -> Xmlac_core.Policy.t
+
+val age_query : threshold:int -> Xmlac_xpath.Ast.t
+(** Figure 10's query //Folder\[//Age > v\]. *)

@@ -1,0 +1,138 @@
+module Tree = Xmlac_xml.Tree
+module Ast = Xmlac_xpath.Ast
+module Rule = Xmlac_core.Rule
+
+type config = {
+  rules : int;
+  deny_fraction : float;
+  descendant_fraction : float;
+  wildcard_fraction : float;
+  predicate_fraction : float;
+}
+
+let default_config =
+  {
+    rules = 8;
+    deny_fraction = 0.25;
+    descendant_fraction = 0.4;
+    wildcard_fraction = 0.1;
+    predicate_fraction = 0.4;
+  }
+
+(* Sample a random root-to-element tag path by walking down the tree. *)
+let sample_path rng tree =
+  let rec walk node acc =
+    let elements =
+      List.filter
+        (function Tree.Element _ -> true | Tree.Text _ -> false)
+        (Tree.children node)
+    in
+    let acc =
+      match Tree.tag node with Some t -> t :: acc | None -> acc
+    in
+    if elements = [] || Prng.chance rng 0.35 then List.rev acc
+    else walk (Prng.choice rng (Array.of_list elements)) acc
+  in
+  walk tree []
+
+(* Candidate predicate: an existence or value test on a child leaf of the
+   last element of the path. *)
+let sample_predicate rng tree tags =
+  let rec descend node = function
+    | [] -> Some node
+    | tag :: rest -> (
+        match
+          List.find_opt
+            (fun c -> Tree.tag c = Some tag)
+            (Tree.children node)
+        with
+        | Some child -> descend child rest
+        | None -> None)
+  in
+  match descend tree (List.tl tags) with
+  | None -> None
+  | Some node -> (
+      let leaf_children =
+        List.filter_map
+          (fun c ->
+            match c with
+            | Tree.Element { tag; children = [ Tree.Text v ]; _ } -> Some (tag, v)
+            | _ -> None)
+          (Tree.children node)
+      in
+      match leaf_children with
+      | [] -> None
+      | _ ->
+          let tag, v = Prng.choice rng (Array.of_list leaf_children) in
+          let step = { Ast.axis = Ast.Child; test = Ast.Name tag; predicates = [] } in
+          let condition =
+            if Prng.chance rng 0.5 then None
+            else
+              match float_of_string_opt (String.trim v) with
+              | Some n ->
+                  Some
+                    ( Prng.choice rng [| Ast.Eq; Ast.Gt; Ast.Le; Ast.Neq |],
+                      Ast.Number n )
+              | None -> Some (Ast.Eq, Ast.String (String.trim v))
+          in
+          Some { Ast.path = [ step ]; condition })
+
+let path_of_tags rng config tree tags =
+  let n = List.length tags in
+  (* keep a random suffix of the full path, starting with // *)
+  let start = if n <= 1 then 0 else Prng.int rng n in
+  let suffix = List.filteri (fun i _ -> i >= start) tags in
+  let steps =
+    List.mapi
+      (fun i tag ->
+        let axis =
+          if i = 0 && start > 0 then Ast.Descendant
+          else if Prng.chance rng config.descendant_fraction then Ast.Descendant
+          else Ast.Child
+        in
+        let test =
+          if i < List.length suffix - 1 && Prng.chance rng config.wildcard_fraction
+          then Ast.Wildcard
+          else Ast.Name tag
+        in
+        { Ast.axis; test; predicates = [] })
+      suffix
+  in
+  let steps =
+    match steps with
+    | [] -> [ { Ast.axis = Ast.Descendant; test = Ast.Wildcard; predicates = [] } ]
+    | first :: rest ->
+        let first =
+          if start = 0 && first.Ast.axis = Ast.Child then first
+          else { first with Ast.axis = Ast.Descendant }
+        in
+        first :: rest
+  in
+  let steps =
+    if Prng.chance rng config.predicate_fraction then
+      match sample_predicate rng tree tags with
+      | Some p ->
+          let rec attach_last = function
+            | [] -> []
+            | [ last ] -> [ { last with Ast.predicates = [ p ] } ]
+            | s :: tl -> s :: attach_last tl
+          in
+          attach_last steps
+      | None -> steps
+    else steps
+  in
+  { Ast.steps }
+
+let generate ?(config = default_config) ~seed tree =
+  let rng = Prng.make ~seed in
+  let rules =
+    List.init config.rules (fun i ->
+        let tags = sample_path rng tree in
+        let path = path_of_tags rng config tree tags in
+        let sign =
+          if i > 0 && Prng.chance rng config.deny_fraction then Rule.Deny
+          else Rule.Permit
+        in
+        Rule.make ~id:(Printf.sprintf "RND%d" i) ~sign path)
+  in
+  Xmlac_core.Policy.make rules

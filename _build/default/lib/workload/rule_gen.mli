@@ -1,0 +1,20 @@
+(** Random access-control rule generation for the Figure 12 experiment
+    ("for these documents we generated random access rules (including //
+    and predicates)"). Rules are derived from paths that actually occur in
+    the document, so they have non-trivial selectivity. *)
+
+type config = {
+  rules : int;
+  deny_fraction : float;  (** share of negative rules *)
+  descendant_fraction : float;  (** chance a step uses [//] *)
+  wildcard_fraction : float;  (** chance a step is a wildcard *)
+  predicate_fraction : float;  (** chance a rule carries one predicate *)
+}
+
+val default_config : config
+(** 8 rules (the paper's Treebank policy size), 25% negative. *)
+
+val generate :
+  ?config:config -> seed:int -> Xmlac_xml.Tree.t -> Xmlac_core.Policy.t
+(** Rules built from randomly sampled document paths. The result is always
+    streaming-compatible (linear predicates only). *)

@@ -1,0 +1,1 @@
+lib/xml/tree.ml: Event Fmt List Parser Set String

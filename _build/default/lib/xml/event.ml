@@ -1,0 +1,44 @@
+type attribute = { name : string; value : string }
+
+type t =
+  | Start of { tag : string; attributes : attribute list }
+  | Text of string
+  | End of string
+
+let start ?(attributes = []) tag = Start { tag; attributes }
+let text s = Text s
+let end_ tag = End tag
+
+let tag = function
+  | Start { tag; _ } -> Some tag
+  | End tag -> Some tag
+  | Text _ -> None
+
+let equal a b =
+  match (a, b) with
+  | Start a, Start b ->
+      String.equal a.tag b.tag
+      && List.length a.attributes = List.length b.attributes
+      && List.for_all2
+           (fun x y -> String.equal x.name y.name && String.equal x.value y.value)
+           a.attributes b.attributes
+  | Text a, Text b -> String.equal a b
+  | End a, End b -> String.equal a b
+  | (Start _ | Text _ | End _), _ -> false
+
+let compare = Stdlib.compare
+
+let pp ppf = function
+  | Start { tag; attributes = [] } -> Fmt.pf ppf "<%s>" tag
+  | Start { tag; attributes } ->
+      let attr ppf { name; value } = Fmt.pf ppf " %s=%S" name value in
+      Fmt.pf ppf "<%s%a>" tag (Fmt.list ~sep:Fmt.nop attr) attributes
+  | Text s -> Fmt.pf ppf "%S" s
+  | End tag -> Fmt.pf ppf "</%s>" tag
+
+let to_string = Fmt.to_to_string pp
+
+let depth_after d = function
+  | Start _ -> d + 1
+  | End _ -> d - 1
+  | Text _ -> d

@@ -1,0 +1,29 @@
+(** Streaming XML events, the interface between the parser, the skip-index
+    decoder and the access-control evaluator.
+
+    The paper assumes "an event-based parser (e.g., SAX) raising open, value
+    and close events respectively for each opening, text and closing tag". *)
+
+type attribute = { name : string; value : string }
+
+type t =
+  | Start of { tag : string; attributes : attribute list }
+      (** opening tag, e.g. [<Folder id="1">] *)
+  | Text of string  (** text content between tags *)
+  | End of string  (** closing tag; carries the tag for well-formedness *)
+
+val start : ?attributes:attribute list -> string -> t
+val text : string -> t
+val end_ : string -> t
+
+val tag : t -> string option
+(** [tag e] is the element name of a [Start] or [End] event. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val depth_after : int -> t -> int
+(** [depth_after d e] is the element nesting depth after consuming [e] at
+    depth [d]: [Start] increments, [End] decrements, [Text] is neutral. *)

@@ -1,0 +1,147 @@
+type t =
+  | Element of { tag : string; attributes : Event.attribute list; children : t list }
+  | Text of string
+
+let element ?(attributes = []) tag children = Element { tag; attributes; children }
+let text s = Text s
+
+let tag = function Element { tag; _ } -> Some tag | Text _ -> None
+let children = function Element { children; _ } -> children | Text _ -> []
+
+let rec text_content = function
+  | Text s -> s
+  | Element { children; _ } -> String.concat "" (List.map text_content children)
+
+let rec equal a b =
+  match (a, b) with
+  | Text a, Text b -> String.equal a b
+  | Element a, Element b ->
+      String.equal a.tag b.tag
+      && List.length a.attributes = List.length b.attributes
+      && List.for_all2
+           (fun (x : Event.attribute) (y : Event.attribute) ->
+             String.equal x.name y.name && String.equal x.value y.value)
+           a.attributes b.attributes
+      && List.length a.children = List.length b.children
+      && List.for_all2 equal a.children b.children
+  | (Text _ | Element _), _ -> false
+
+let rec pp ppf = function
+  | Text s -> Fmt.pf ppf "%S" s
+  | Element { tag; attributes; children } ->
+      let attr ppf (a : Event.attribute) = Fmt.pf ppf " %s=%S" a.name a.value in
+      Fmt.pf ppf "@[<hv 2><%s%a>%a</%s>@]" tag
+        (Fmt.list ~sep:Fmt.nop attr)
+        attributes
+        (Fmt.list ~sep:Fmt.cut pp)
+        children tag
+
+let to_events t =
+  let rec go acc = function
+    | Text s -> Event.Text s :: acc
+    | Element { tag; attributes; children } ->
+        let acc = Event.Start { tag; attributes } :: acc in
+        let acc = List.fold_left go acc children in
+        Event.End tag :: acc
+  in
+  List.rev (go [] t)
+
+let of_events evs =
+  (* [stack] holds (tag, attributes, reversed children) frames. *)
+  let rec go stack evs =
+    match (evs, stack) with
+    | [], [] -> invalid_arg "Tree.of_events: empty stream"
+    | [], _ :: _ -> invalid_arg "Tree.of_events: unclosed elements"
+    | Event.Start { tag; attributes } :: rest, _ ->
+        go ((tag, attributes, ref []) :: stack) rest
+    | Event.Text s :: rest, (_, _, kids) :: _ ->
+        kids := Text s :: !kids;
+        go stack rest
+    | Event.Text _ :: _, [] -> invalid_arg "Tree.of_events: text outside root"
+    | Event.End name :: rest, (tag, attributes, kids) :: outer ->
+        if not (String.equal name tag) then
+          invalid_arg "Tree.of_events: mismatched end tag";
+        let node = Element { tag; attributes; children = List.rev !kids } in
+        (match outer with
+        | [] ->
+            if rest <> [] then invalid_arg "Tree.of_events: events after root"
+            else node
+        | (_, _, parent_kids) :: _ ->
+            parent_kids := node :: !parent_kids;
+            go outer rest)
+    | Event.End _ :: _, [] -> invalid_arg "Tree.of_events: end tag without start"
+  in
+  go [] evs
+
+let parse ?strip_whitespace s = of_events (Parser.events ?strip_whitespace s)
+
+let fold f init t =
+  let rec go acc node =
+    let acc = f acc node in
+    List.fold_left go acc (children node)
+  in
+  go init t
+
+let count_elements t =
+  fold (fun n -> function Element _ -> n + 1 | Text _ -> n) 0 t
+
+let count_text_nodes t =
+  fold (fun n -> function Text _ -> n + 1 | Element _ -> n) 0 t
+
+let text_bytes t =
+  fold (fun n -> function Text s -> n + String.length s | Element _ -> n) 0 t
+
+let rec max_depth = function
+  | Text _ -> 0
+  | Element { children; _ } ->
+      1 + List.fold_left (fun m c -> max m (max_depth c)) 0 children
+
+let average_leaf_depth t =
+  let rec go depth (count, total) = function
+    | Text _ -> (count, total)
+    | Element { children; _ } ->
+        let has_element_child =
+          List.exists (function Element _ -> true | Text _ -> false) children
+        in
+        if has_element_child then
+          List.fold_left (go (depth + 1)) (count, total) children
+        else (count + 1, total + depth)
+  in
+  let count, total = go 1 (0, 0) t in
+  if count = 0 then 0. else float_of_int total /. float_of_int count
+
+module String_set = Set.Make (String)
+
+let distinct_tags t =
+  let set =
+    fold
+      (fun acc -> function
+        | Element { tag; _ } -> String_set.add tag acc
+        | Text _ -> acc)
+      String_set.empty t
+  in
+  String_set.elements set
+
+let rec map_tags f = function
+  | Text s -> Text s
+  | Element { tag; attributes; children } ->
+      Element { tag = f tag; attributes; children = List.map (map_tags f) children }
+
+let rec attributes_to_elements ?(prefix = "attr-") = function
+  | Text s -> Text s
+  | Element { tag; attributes; children } ->
+      let attribute_elements =
+        List.map
+          (fun (a : Event.attribute) ->
+            Element
+              { tag = prefix ^ a.name; attributes = []; children = [ Text a.value ] })
+          attributes
+      in
+      Element
+        {
+          tag;
+          attributes = [];
+          children =
+            attribute_elements
+            @ List.map (attributes_to_elements ~prefix) children;
+        }

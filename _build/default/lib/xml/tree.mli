@@ -1,0 +1,58 @@
+(** In-memory XML trees.
+
+    Used on the publication side (encoding, encryption, workload generation)
+    and as the substrate of the reference access-control oracle. The
+    client-side evaluator itself never materializes trees. *)
+
+type t =
+  | Element of { tag : string; attributes : Event.attribute list; children : t list }
+  | Text of string
+
+val element : ?attributes:Event.attribute list -> string -> t list -> t
+val text : string -> t
+
+val tag : t -> string option
+val children : t -> t list
+
+val text_content : t -> string
+(** Concatenated text of all descendant text nodes, in document order. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val to_events : t -> Event.t list
+(** Document-order event stream of the tree. *)
+
+val of_events : Event.t list -> t
+(** Rebuild a tree from a well-formed event stream.
+    @raise Invalid_argument on ill-formed streams. *)
+
+val parse : ?strip_whitespace:bool -> string -> t
+(** Parse an XML document into a tree. @raise Parser.Malformed *)
+
+val count_elements : t -> int
+val count_text_nodes : t -> int
+
+val text_bytes : t -> int
+(** Total byte length of all text nodes (the paper's "text size"). *)
+
+val max_depth : t -> int
+(** Depth of the deepest element; a sole root has depth 1. *)
+
+val average_leaf_depth : t -> float
+(** Mean depth of elements without element children (paper Table 2 metric). *)
+
+val distinct_tags : t -> string list
+(** Sorted list of distinct element tags. *)
+
+val map_tags : (string -> string) -> t -> t
+
+val attributes_to_elements : ?prefix:string -> t -> t
+(** Fold every attribute into a leading child element named
+    [prefix ^ attribute_name] holding the value as text (default prefix
+    ["attr-"]). The paper's access-control model "handles attributes
+    similarly to elements"; this makes that concrete for pipelines — like
+    the Skip index — that only represent elements and text. *)
+
+val fold : ('a -> t -> 'a) -> 'a -> t -> 'a
+(** Pre-order fold over all nodes (elements and texts). *)

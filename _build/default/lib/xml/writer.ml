@@ -1,0 +1,84 @@
+let escape ~quote s =
+  let needs_escaping c =
+    c = '&' || c = '<' || c = '>' || (quote && c = '"')
+  in
+  if String.exists needs_escaping s then begin
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '&' -> Buffer.add_string b "&amp;"
+        | '<' -> Buffer.add_string b "&lt;"
+        | '>' -> Buffer.add_string b "&gt;"
+        | '"' when quote -> Buffer.add_string b "&quot;"
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  end
+  else s
+
+let escape_text = escape ~quote:false
+let escape_attribute = escape ~quote:true
+
+let add_attributes b attributes =
+  List.iter
+    (fun (a : Event.attribute) ->
+      Buffer.add_char b ' ';
+      Buffer.add_string b a.name;
+      Buffer.add_string b "=\"";
+      Buffer.add_string b (escape_attribute a.value);
+      Buffer.add_char b '"')
+    attributes
+
+let event_to_buffer b = function
+  | Event.Start { tag; attributes } ->
+      Buffer.add_char b '<';
+      Buffer.add_string b tag;
+      add_attributes b attributes;
+      Buffer.add_char b '>'
+  | Event.Text s -> Buffer.add_string b (escape_text s)
+  | Event.End tag ->
+      Buffer.add_string b "</";
+      Buffer.add_string b tag;
+      Buffer.add_char b '>'
+
+let events_to_string evs =
+  let b = Buffer.create 256 in
+  List.iter (event_to_buffer b) evs;
+  Buffer.contents b
+
+let tree_to_string ?(indent = false) t =
+  let b = Buffer.create 1024 in
+  if not indent then
+    List.iter (event_to_buffer b) (Tree.to_events t)
+  else begin
+    let pad depth =
+      Buffer.add_char b '\n';
+      for _ = 1 to depth do
+        Buffer.add_string b "  "
+      done
+    in
+    let rec go depth node =
+      match node with
+      | Tree.Text s -> Buffer.add_string b (escape_text s)
+      | Tree.Element { tag; attributes; children } ->
+          if depth > 0 then pad depth;
+          Buffer.add_char b '<';
+          Buffer.add_string b tag;
+          add_attributes b attributes;
+          if children = [] then Buffer.add_string b "/>"
+          else begin
+            Buffer.add_char b '>';
+            let only_text =
+              List.for_all (function Tree.Text _ -> true | _ -> false) children
+            in
+            List.iter (go (depth + 1)) children;
+            if not only_text then pad depth;
+            Buffer.add_string b "</";
+            Buffer.add_string b tag;
+            Buffer.add_char b '>'
+          end
+    in
+    go 0 t
+  end;
+  Buffer.contents b

@@ -1,0 +1,18 @@
+(** XML serialization with proper escaping. *)
+
+val escape_text : string -> string
+(** Escape [&], [<] and [>] for use as element content. *)
+
+val escape_attribute : string -> string
+(** Escape ampersand, angle brackets and the double quote for use inside a
+    double-quoted attribute. *)
+
+val event_to_buffer : Buffer.t -> Event.t -> unit
+
+val events_to_string : Event.t list -> string
+(** Serialize an event stream; the stream need not be well-formed (useful for
+    debugging partial streaming output). *)
+
+val tree_to_string : ?indent:bool -> Tree.t -> string
+(** Serialize a tree. With [indent] each element starts on its own line
+    (two-space indentation); text nodes are emitted inline, unindented. *)

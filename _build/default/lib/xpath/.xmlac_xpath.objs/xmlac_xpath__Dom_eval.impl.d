@@ -1,0 +1,1 @@
+lib/xpath/dom_eval.ml: Ast List Stdlib String Xmlac_xml

@@ -1,0 +1,1 @@
+lib/xpath/parse.ml: Ast Buffer Float Format List Printf String

@@ -1,0 +1,137 @@
+(* Tree-pattern representation: the absolute path becomes a chain hanging off
+   a virtual root; predicates become side branches; the last main-chain node
+   is the output node. *)
+
+type pnode = {
+  test : Ast.test option;  (* None for the virtual root *)
+  condition : (Ast.comparison * Ast.literal) option;
+  children : (Ast.axis * pnode) list;
+  output : bool;
+}
+
+let rec pattern_of_steps ~output steps : (Ast.axis * pnode) option =
+  match steps with
+  | [] -> None
+  | (s : Ast.step) :: rest ->
+      let below = pattern_of_steps ~output rest in
+      let predicate_branches =
+        List.filter_map
+          (fun (p : Ast.predicate) ->
+            pattern_of_predicate p)
+          s.predicates
+      in
+      let node =
+        {
+          test = Some s.test;
+          condition = None;
+          children =
+            (match below with
+            | None -> predicate_branches
+            | Some b -> b :: predicate_branches);
+          output = output && rest = [];
+        }
+      in
+      Some (s.axis, node)
+
+and pattern_of_predicate (p : Ast.predicate) : (Ast.axis * pnode) option =
+  (* attach the condition to the last node of the predicate path *)
+  let rec go = function
+    | [] -> None
+    | (s : Ast.step) :: rest ->
+        let below = go rest in
+        let branches =
+          List.filter_map pattern_of_predicate s.predicates
+        in
+        let node =
+          {
+            test = Some s.test;
+            condition = (if rest = [] then p.condition else None);
+            children =
+              (match below with None -> branches | Some b -> b :: branches);
+            output = false;
+          }
+        in
+        Some (s.axis, node)
+  in
+  go p.path
+
+let pattern_of_path (t : Ast.t) =
+  let children =
+    match pattern_of_steps ~output:true t.steps with
+    | None -> []
+    | Some b -> [ b ]
+  in
+  { test = None; condition = None; children; output = false }
+
+(* Condition implication ------------------------------------------------- *)
+
+let condition_implies a b =
+  match (b, a) with
+  | None, _ -> true
+  | Some _, None -> false
+  | Some (bop, blit), Some (aop, alit) -> (
+      if aop = bop && alit = blit then true
+      else
+        match (alit, blit) with
+        | Ast.Number x, Ast.Number y -> (
+            (* a: value ⊛ x  implies  b: value ⊛ y ? *)
+            match (aop, bop) with
+            | Ast.Eq, Ast.Eq -> x = y
+            | Ast.Eq, Ast.Neq -> x <> y
+            | Ast.Eq, Ast.Lt -> x < y
+            | Ast.Eq, Ast.Le -> x <= y
+            | Ast.Eq, Ast.Gt -> x > y
+            | Ast.Eq, Ast.Ge -> x >= y
+            | Ast.Lt, Ast.Lt -> x <= y
+            | Ast.Lt, Ast.Le -> x <= y
+            | Ast.Le, Ast.Le -> x <= y
+            | Ast.Le, Ast.Lt -> x < y
+            | Ast.Gt, Ast.Gt -> x >= y
+            | Ast.Gt, Ast.Ge -> x >= y
+            | Ast.Ge, Ast.Ge -> x >= y
+            | Ast.Ge, Ast.Gt -> x > y
+            | Ast.Lt, Ast.Neq -> y >= x
+            | Ast.Gt, Ast.Neq -> y <= x
+            | _ -> false)
+        | Ast.String x, Ast.String y -> (
+            match (aop, bop) with
+            | Ast.Eq, Ast.Neq -> not (String.equal x y)
+            | _ -> false)
+        | _ -> false)
+
+(* Homomorphism search ---------------------------------------------------- *)
+
+let test_compatible (r : Ast.test option) (s : Ast.test option) =
+  match (r, s) with
+  | None, None -> true
+  | None, Some _ | Some _, None -> false
+  | Some Ast.Wildcard, Some _ -> true
+  | Some (Ast.Name a), Some (Ast.Name b) -> String.equal a b
+  | Some (Ast.Name _), Some Ast.Wildcard -> false
+
+(* All pattern nodes of [s] reachable from [node] through >= 1 edges. *)
+let rec descendant_nodes node =
+  List.concat_map (fun (_, c) -> c :: descendant_nodes c) node.children
+
+let rec embeds (r : pnode) (s : pnode) =
+  test_compatible r.test s.test
+  && condition_implies s.condition r.condition
+  && (not r.output || s.output)
+  && List.for_all
+       (fun (axis, rc) ->
+         let candidates =
+           match axis with
+           | Ast.Child -> List.filter_map
+               (fun (a, c) -> if a = Ast.Child then Some c else None)
+               s.children
+           | Ast.Descendant -> descendant_nodes s
+         in
+         List.exists (embeds rc) candidates)
+       r.children
+
+let contains r s =
+  (* [r] contains [s]: homomorphism from r's pattern into s's pattern, with
+     output mapped to output. The generic [embeds] above only enforces that
+     output nodes land on output nodes, which suffices because each pattern
+     has exactly one output node on its main chain. *)
+  embeds (pattern_of_path r) (pattern_of_path s)

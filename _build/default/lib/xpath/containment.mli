@@ -1,0 +1,17 @@
+(** Sound (incomplete) containment test for the XPath fragment, based on the
+    canonical tree-pattern homomorphism. Containment for XP{[],*,//} is
+    co-NP-complete (Miklau & Suciu, cited by the paper), so the paper — and
+    this reproduction — only uses a sufficient condition, applied by the
+    static policy optimization of Section 3.3. *)
+
+val contains : Ast.t -> Ast.t -> bool
+(** [contains r s] is true when the test could prove that every node matched
+    by [s] is also matched by [r] (written S ⊑ R in the paper). A [false]
+    answer is inconclusive. *)
+
+val condition_implies :
+  (Ast.comparison * Ast.literal) option ->
+  (Ast.comparison * Ast.literal) option ->
+  bool
+(** [condition_implies a b]: any value satisfying [a] satisfies [b]
+    ([None] = no constraint). Exposed for tests. *)

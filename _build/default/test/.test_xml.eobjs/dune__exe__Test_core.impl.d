@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Ara Conflict Evaluator Fmt Input List Oracle Policy Printf QCheck2 QCheck_alcotest Rule String Testkit Xmlac_core Xmlac_skip_index Xmlac_workload Xmlac_xml Xmlac_xpath

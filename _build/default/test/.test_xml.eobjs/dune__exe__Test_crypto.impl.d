@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Array Bytes Char Des Int64 List Merkle Modes Printf QCheck2 QCheck_alcotest Secure_container Sha1 String Xmlac_crypto

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Lazy List Printf Xmlac_core Xmlac_crypto Xmlac_skip_index Xmlac_soe Xmlac_workload Xmlac_xml

@@ -1,0 +1,1 @@
+test/test_skip_index.ml: Alcotest Bitio Bytes Decoder Dict Encoder Layout List Option Printf QCheck2 QCheck_alcotest Stats String Testkit Update Xmlac_skip_index Xmlac_xml

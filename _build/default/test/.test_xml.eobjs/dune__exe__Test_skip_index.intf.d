@@ -1,0 +1,1 @@
+test/test_skip_index.mli:

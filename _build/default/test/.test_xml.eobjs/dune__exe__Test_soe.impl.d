@@ -1,0 +1,1 @@
+test/test_soe.ml: Alcotest Bytes Channel Char Cost_model License List Printf QCheck2 QCheck_alcotest Session String Testkit Xmlac_core Xmlac_crypto Xmlac_skip_index Xmlac_soe Xmlac_workload Xmlac_xml

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Datasets Hospital List Printf Profiles Rule_gen String Xmlac_core Xmlac_workload Xmlac_xml Xmlac_xpath

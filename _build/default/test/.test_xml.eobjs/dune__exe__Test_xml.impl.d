@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Bytes Event Fmt List Parser QCheck2 QCheck_alcotest String Testkit Tree Writer Xmlac_xml

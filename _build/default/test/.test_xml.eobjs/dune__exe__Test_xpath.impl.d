@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Ast Containment Dom_eval List Parse Printf QCheck2 QCheck_alcotest Testkit Xmlac_xml Xmlac_xpath

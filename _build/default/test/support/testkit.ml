@@ -1,0 +1,115 @@
+(* Shared QCheck2 generators: random XML trees over a small tag alphabet and
+   random XPath expressions over the same alphabet, so that paths and
+   documents collide often enough to exercise interesting cases. *)
+
+module Gen = QCheck2.Gen
+module Tree = Xmlac_xml.Tree
+module Ast = Xmlac_xpath.Ast
+
+let tag_alphabet = [ "a"; "b"; "c"; "d"; "e" ]
+let gen_tag = Gen.oneofl tag_alphabet
+
+(* Small integer-looking text values so numeric predicates have bite. *)
+let gen_text_value = Gen.map string_of_int (Gen.int_range 0 9)
+
+let gen_free_text =
+  Gen.oneof
+    [
+      gen_text_value;
+      Gen.small_string ~gen:(Gen.char_range 'a' 'z');
+      Gen.return "hello & <world>";
+    ]
+
+(* A tree of bounded depth and fanout. Text nodes are numeric-looking so
+   that value predicates match sometimes. *)
+let gen_tree : Tree.t Gen.t =
+  let open Gen in
+  let rec node depth =
+    if depth = 0 then
+      map (fun v -> Tree.element "leaf" [ Tree.text v ]) gen_text_value
+    else
+      gen_tag >>= fun tag ->
+      int_range 0 3 >>= fun fanout ->
+      list_size (return fanout)
+        (oneof
+           [
+             node (depth - 1);
+             map Tree.text gen_text_value;
+           ])
+      >>= fun children -> return (Tree.element tag children)
+  in
+  int_range 1 4 >>= node
+
+(* Trees with arbitrary (escapable) text, for parser/serializer roundtrips. *)
+let gen_tree_free_text : Tree.t Gen.t =
+  let open Gen in
+  let rec node depth =
+    gen_tag >>= fun tag ->
+    (if depth = 0 then return []
+     else
+       int_range 0 3 >>= fun fanout ->
+       list_size (return fanout)
+         (oneof [ node (depth - 1); map Tree.text gen_free_text ]))
+    >>= fun children -> return (Tree.element tag children)
+  in
+  int_range 0 3 >>= node
+
+let gen_axis = Gen.oneofa [| Ast.Child; Ast.Descendant |]
+
+let gen_test =
+  Gen.frequency [ (5, Gen.map Ast.name gen_tag); (1, Gen.return Ast.Wildcard) ]
+
+let gen_comparison =
+  Gen.oneofl [ Ast.Eq; Ast.Neq; Ast.Lt; Ast.Le; Ast.Gt; Ast.Ge ]
+
+let gen_literal =
+  Gen.oneof
+    [
+      Gen.map (fun n -> Ast.Number (float_of_int n)) (Gen.int_range 0 9);
+      Gen.map (fun s -> Ast.String s) gen_text_value;
+    ]
+
+let gen_predicate : Ast.predicate Gen.t =
+  let open Gen in
+  int_range 1 2 >>= fun len ->
+  list_size (return len)
+    (gen_axis >>= fun axis ->
+     gen_test >>= fun test -> return { Ast.axis; test; predicates = [] })
+  >>= fun path ->
+  oneof
+    [
+      return None;
+      map Option.some (pair gen_comparison gen_literal);
+    ]
+  >>= fun condition -> return { Ast.path; condition }
+
+let gen_step ~with_predicates : Ast.step Gen.t =
+  let open Gen in
+  gen_axis >>= fun axis ->
+  gen_test >>= fun test ->
+  (if with_predicates then
+     frequency [ (3, return []); (2, list_size (int_range 1 1) gen_predicate) ]
+   else return [])
+  >>= fun predicates -> return { Ast.axis; test; predicates }
+
+let gen_path ?(with_predicates = true) () : Ast.t Gen.t =
+  let open Gen in
+  int_range 1 3 >>= fun len ->
+  list_size (return len) (gen_step ~with_predicates) >>= fun steps ->
+  return { Ast.steps }
+
+(* Random rule sets: (sign, path) pairs. *)
+let gen_rule = Gen.pair Gen.bool (gen_path ())
+
+let gen_rules =
+  let open Gen in
+  int_range 1 5 >>= fun n -> list_size (return n) gen_rule
+
+let tree_print = Xmlac_xml.Writer.tree_to_string ~indent:false
+let path_print = Xmlac_xpath.Parse.to_string
+
+let rules_print rules =
+  String.concat "; "
+    (List.map
+       (fun (sign, p) -> (if sign then "+" else "-") ^ path_print p)
+       rules)

@@ -1,0 +1,484 @@
+(* Tests for the cryptographic substrate: SHA-1 and DES against published
+   vectors, mode properties, Merkle trees and the chunked secure container. *)
+
+open Xmlac_crypto
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+(* SHA-1 ------------------------------------------------------------------ *)
+
+let test_sha1_vectors () =
+  let cases =
+    [
+      ("", "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+      ("abc", "a9993e364706816aba3e25717850c26c9cd0d89d");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1" );
+      ( String.make 1000000 'a',
+        "34aa973cd4c4daa4f61eeb2bdbad27316534016f" );
+    ]
+  in
+  List.iter
+    (fun (msg, expected) ->
+      check string_t
+        (Printf.sprintf "sha1 of %d bytes" (String.length msg))
+        expected
+        (Sha1.hex (Sha1.digest msg)))
+    cases
+
+let test_sha1_incremental () =
+  let msg = String.init 1000 (fun i -> Char.chr (i mod 256)) in
+  let whole = Sha1.digest msg in
+  (* feed in uneven pieces *)
+  let c = Sha1.init () in
+  let rec go pos step =
+    if pos < String.length msg then begin
+      let len = min step (String.length msg - pos) in
+      Sha1.feed_sub c msg ~pos ~len;
+      go (pos + len) ((step * 2) + 1)
+    end
+  in
+  go 0 1;
+  check string_t "incremental = whole" (Sha1.hex whole) (Sha1.hex (Sha1.finalize c))
+
+let test_sha1_state_roundtrip () =
+  let msg = String.init 777 (fun i -> Char.chr ((i * 7) mod 256)) in
+  let c = Sha1.init () in
+  Sha1.feed_sub c msg ~pos:0 ~len:300;
+  let state = Sha1.export_state c in
+  let c' = Sha1.import_state state in
+  Sha1.feed_sub c' msg ~pos:300 ~len:477;
+  check string_t "resumed from exported state" (Sha1.hex (Sha1.digest msg))
+    (Sha1.hex (Sha1.finalize c'))
+
+let test_sha1_finalize_idempotent () =
+  let c = Sha1.init () in
+  Sha1.feed c "hello";
+  let d1 = Sha1.finalize c in
+  Sha1.feed c " world";
+  let d2 = Sha1.finalize c in
+  check string_t "finalize leaves ctx usable" (Sha1.hex (Sha1.digest "hello")) (Sha1.hex d1);
+  check string_t "continued feeding works" (Sha1.hex (Sha1.digest "hello world")) (Sha1.hex d2)
+
+let test_sha1_import_rejects_garbage () =
+  Alcotest.check_raises "truncated" (Invalid_argument "Sha1.import_state: truncated")
+    (fun () -> ignore (Sha1.import_state "short"));
+  let c = Sha1.init () in
+  Sha1.feed c "x";
+  let s = Sha1.export_state c in
+  Alcotest.check_raises "padded" (Invalid_argument "Sha1.import_state: malformed")
+    (fun () -> ignore (Sha1.import_state (s ^ "junk")))
+
+(* DES -------------------------------------------------------------------- *)
+
+let hex64 = Printf.sprintf "%016Lx"
+
+let test_des_vectors () =
+  (* (key, plaintext, ciphertext) triples from FIPS validation suites *)
+  let cases =
+    [
+      ("\x13\x34\x57\x79\x9B\xBC\xDF\xF1", 0x0123456789ABCDEFL, 0x85E813540F0AB405L);
+      ("\x01\x01\x01\x01\x01\x01\x01\x01", 0x0000000000000000L, 0x8CA64DE9C1B123A7L);
+      ("\xFE\xFE\xFE\xFE\xFE\xFE\xFE\xFE", 0xFFFFFFFFFFFFFFFFL, 0x7359B2163E4EDC58L);
+      ("\x30\x00\x00\x00\x00\x00\x00\x00", 0x1000000000000001L, 0x958E6E627A05557BL);
+      ("\x01\x23\x45\x67\x89\xAB\xCD\xEF", 0x1111111111111111L, 0x17668DFC7292532DL);
+      ("\xFE\xDC\xBA\x98\x76\x54\x32\x10", 0x0123456789ABCDEFL, 0xED39D950FA74BCC4L);
+    ]
+  in
+  List.iter
+    (fun (kb, pt, expected) ->
+      let k = Des.key_of_string kb in
+      check string_t "encrypt" (hex64 expected) (hex64 (Des.encrypt_block k pt));
+      check string_t "decrypt" (hex64 pt) (hex64 (Des.decrypt_block k expected)))
+    cases
+
+let test_triple_des_degenerates_to_des () =
+  let kb = "\x13\x34\x57\x79\x9B\xBC\xDF\xF1" in
+  let k1 = Des.key_of_string kb in
+  let k3 = Des.Triple.key_of_string kb in
+  let pt = 0xDEADBEEF01234567L in
+  check string_t "EDE with equal keys = single DES"
+    (hex64 (Des.encrypt_block k1 pt))
+    (hex64 (Des.Triple.encrypt_block k3 pt))
+
+let test_triple_des_two_key_form () =
+  let k16 = "\x01\x23\x45\x67\x89\xAB\xCD\xEF\xFE\xDC\xBA\x98\x76\x54\x32\x10" in
+  let k24 = k16 ^ String.sub k16 0 8 in
+  let a = Des.Triple.key_of_string k16 in
+  let b = Des.Triple.key_of_string k24 in
+  let pt = 0x0011223344556677L in
+  check string_t "16-byte key = k1k2k1"
+    (hex64 (Des.Triple.encrypt_block b pt))
+    (hex64 (Des.Triple.encrypt_block a pt))
+
+let test_key_length_checked () =
+  Alcotest.check_raises "des key" (Invalid_argument "Des.key_of_string: need 8 bytes")
+    (fun () -> ignore (Des.key_of_string "short"));
+  Alcotest.check_raises "3des key"
+    (Invalid_argument "Des.Triple.key_of_string: need 8, 16 or 24 bytes")
+    (fun () -> ignore (Des.Triple.key_of_string "123456789"))
+
+let des_complementation =
+  qtest "DES complementation property"
+    QCheck2.Gen.(pair (string_size (return 8)) int64)
+    (fun (kb, pt) ->
+      let complement s = String.map (fun c -> Char.chr (lnot (Char.code c) land 0xFF)) s in
+      let k = Des.key_of_string kb in
+      let kc = Des.key_of_string (complement kb) in
+      Int64.lognot (Des.encrypt_block k pt) = Des.encrypt_block kc (Int64.lognot pt))
+
+let des_roundtrip =
+  qtest "DES decrypt ∘ encrypt = id" QCheck2.Gen.(pair (string_size (return 8)) int64)
+    (fun (kb, pt) ->
+      let k = Des.key_of_string kb in
+      Des.decrypt_block k (Des.encrypt_block k pt) = pt)
+
+let triple_roundtrip =
+  qtest "3DES decrypt ∘ encrypt = id"
+    QCheck2.Gen.(pair (string_size (return 24)) int64)
+    (fun (kb, pt) ->
+      let k = Des.Triple.key_of_string kb in
+      Des.Triple.decrypt_block k (Des.Triple.encrypt_block k pt) = pt)
+
+(* Modes ------------------------------------------------------------------ *)
+
+let test_key () = Des.Triple.key_of_string "0123456789abcdefFEDCBA98"
+
+let aligned_string =
+  QCheck2.Gen.(
+    map
+      (fun (n, seed) ->
+        String.init (8 * (1 + (abs n mod 64))) (fun i -> Char.chr ((seed + (i * 31)) mod 256)))
+      (pair small_int small_int))
+
+let mode_roundtrips =
+  [
+    qtest "ECB roundtrip" aligned_string (fun s ->
+        let c = Modes.of_triple_des (test_key ()) in
+        Modes.ecb_decrypt c (Modes.ecb_encrypt c s) = s);
+    qtest "CBC roundtrip" aligned_string (fun s ->
+        let c = Modes.of_triple_des (test_key ()) in
+        Modes.cbc_decrypt c ~iv:42L (Modes.cbc_encrypt c ~iv:42L s) = s);
+    qtest "positional roundtrip" aligned_string (fun s ->
+        let c = Modes.of_triple_des (test_key ()) in
+        Modes.positional_decrypt c ~base:4096 (Modes.positional_encrypt c ~base:4096 s) = s);
+  ]
+
+let test_ecb_leaks_equal_blocks () =
+  let c = Modes.of_triple_des (test_key ()) in
+  let s = String.make 16 'A' in
+  let e = Modes.ecb_encrypt c s in
+  check bool_t "equal blocks leak under plain ECB" true
+    (String.sub e 0 8 = String.sub e 8 8)
+
+let test_positional_hides_equal_blocks () =
+  let c = Modes.of_triple_des (test_key ()) in
+  let s = String.make 16 'A' in
+  let e = Modes.positional_encrypt c ~base:0 s in
+  check bool_t "equal blocks differ under positional ECB" false
+    (String.sub e 0 8 = String.sub e 8 8)
+
+let test_positional_random_access () =
+  let c = Modes.of_triple_des (test_key ()) in
+  let s = String.init 256 (fun i -> Char.chr (i mod 256)) in
+  let e = Modes.positional_encrypt c ~base:1024 s in
+  let part = Modes.positional_decrypt_sub c ~base:1024 e ~pos:64 ~len:32 in
+  check string_t "random access decrypts the right window" (String.sub s 64 32) part
+
+let test_pad_unpad () =
+  for n = 0 to 20 do
+    let s = String.init n (fun i -> Char.chr (i + 65)) in
+    let p = Modes.pad s in
+    check int_t "padded length multiple of 8" 0 (String.length p mod 8);
+    check bool_t "padding grows" true (String.length p > n);
+    check string_t "unpad inverts pad" s (Modes.unpad p)
+  done
+
+let test_unpad_rejects_garbage () =
+  Alcotest.check_raises "bad length" (Invalid_argument "Modes.unpad: bad length")
+    (fun () -> ignore (Modes.unpad "1234567"));
+  Alcotest.check_raises "no marker" (Invalid_argument "Modes.unpad: no padding marker")
+    (fun () -> ignore (Modes.unpad (String.make 8 '\000')))
+
+(* Merkle ----------------------------------------------------------------- *)
+
+let leaves n = Array.init n (fun i -> Sha1.digest (Printf.sprintf "leaf-%d" i))
+
+let test_merkle_root_deterministic () =
+  let l = leaves 8 in
+  check string_t "same leaves, same root"
+    (Sha1.hex (Merkle.root_of_leaves l))
+    (Sha1.hex (Merkle.root_of_leaves (Array.copy l)))
+
+let test_merkle_rejects_non_power_of_two () =
+  Alcotest.check_raises "n=3"
+    (Invalid_argument "Merkle.root_of_leaves: leaf count must be a power of two")
+    (fun () -> ignore (Merkle.root_of_leaves (leaves 3)))
+
+let test_merkle_single_leaf () =
+  let l = leaves 1 in
+  check string_t "root of one leaf is the leaf" (Sha1.hex l.(0))
+    (Sha1.hex (Merkle.root_of_leaves l))
+
+let test_merkle_cover_matches_paper_figure () =
+  (* Figure F1: SOE reads fragment F3 (index 2) among 8; terminal sends
+     H4, H12, H5678. *)
+  let cover = Merkle.sibling_cover ~leaf_count:8 ~lo:2 ~hi:2 in
+  let expected = [ { Merkle.level = 0; index = 3 }; { level = 1; index = 0 }; { level = 2; index = 1 } ] in
+  check bool_t "cover = {H4, H12, H5678}" true
+    (List.sort compare cover = List.sort compare expected)
+
+let test_merkle_cover_verifies () =
+  let l = leaves 16 in
+  let root = Merkle.root_of_leaves l in
+  for lo = 0 to 15 do
+    for hi = lo to 15 do
+      let cover = Merkle.sibling_cover ~leaf_count:16 ~lo ~hi in
+      let supplied = List.map (fun n -> (n, Merkle.node_hash l n)) cover in
+      let known =
+        List.init (hi - lo + 1) (fun i -> (lo + i, l.(lo + i)))
+      in
+      match Merkle.root_from_cover ~leaf_count:16 ~known ~supplied with
+      | None -> Alcotest.failf "incomplete cover for [%d,%d]" lo hi
+      | Some r ->
+          if not (String.equal r root) then
+            Alcotest.failf "wrong root for [%d,%d]" lo hi
+    done
+  done
+
+let test_merkle_detects_wrong_leaf () =
+  let l = leaves 8 in
+  let root = Merkle.root_of_leaves l in
+  let cover = Merkle.sibling_cover ~leaf_count:8 ~lo:2 ~hi:2 in
+  let supplied = List.map (fun n -> (n, Merkle.node_hash l n)) cover in
+  let forged = Sha1.digest "forged" in
+  match Merkle.root_from_cover ~leaf_count:8 ~known:[ (2, forged) ] ~supplied with
+  | None -> Alcotest.fail "cover should be complete"
+  | Some r -> check bool_t "forged leaf changes root" false (String.equal r root)
+
+let merkle_cover_minimal =
+  qtest ~count:100 "cover size is logarithmic"
+    QCheck2.Gen.(pair (int_range 0 31) (int_range 0 31))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let cover = Merkle.sibling_cover ~leaf_count:32 ~lo ~hi in
+      List.length cover <= 2 * 5)
+
+(* Secure container ------------------------------------------------------- *)
+
+let payload n = String.init n (fun i -> Char.chr ((i * 131 + 7) mod 256))
+
+let container_roundtrip scheme () =
+  let key = test_key () in
+  List.iter
+    (fun n ->
+      let p = payload n in
+      let t = Secure_container.encrypt ~chunk_size:512 ~fragment_size:64 ~scheme ~key p in
+      check string_t
+        (Printf.sprintf "%s roundtrip %dB" (Secure_container.scheme_to_string scheme) n)
+        p
+        (Secure_container.decrypt_all t ~key ~verify:(scheme <> Secure_container.Ecb)))
+    [ 0; 1; 63; 512; 513; 5000 ]
+
+let container_serialization scheme () =
+  let key = test_key () in
+  let p = payload 3000 in
+  let t = Secure_container.encrypt ~chunk_size:512 ~fragment_size:64 ~scheme ~key p in
+  let bytes = Secure_container.to_bytes t in
+  let t' = Secure_container.of_bytes bytes in
+  check string_t "payload survives serialization" p
+    (Secure_container.decrypt_all t' ~key ~verify:(scheme <> Secure_container.Ecb))
+
+let tamper_detected scheme () =
+  let key = test_key () in
+  let p = payload 3000 in
+  let t = Secure_container.encrypt ~chunk_size:512 ~fragment_size:64 ~scheme ~key p in
+  let t' = Secure_container.substitute_block t ~chunk:2 ~block:5 (String.make 8 'X') in
+  match Secure_container.decrypt_all t' ~key ~verify:true with
+  | exception Secure_container.Integrity_failure _ -> ()
+  | _ -> Alcotest.fail "tampering not detected"
+
+let test_block_substitution_across_chunks_detected () =
+  (* swap identical positions between chunks: digests embed the chunk index
+     so this must fail even though each block is a valid ciphertext *)
+  let key = test_key () in
+  let p = payload 3000 in
+  let t =
+    Secure_container.encrypt ~chunk_size:512 ~fragment_size:64
+      ~scheme:Secure_container.Ecb_mht ~key p
+  in
+  let stolen = String.sub (Secure_container.chunk_ciphertext t 0) 0 8 in
+  let t' = Secure_container.substitute_block t ~chunk:1 ~block:0 stolen in
+  match Secure_container.decrypt_all t' ~key ~verify:true with
+  | exception Secure_container.Integrity_failure _ -> ()
+  | _ -> Alcotest.fail "cross-chunk substitution not detected"
+
+let test_ecb_scheme_has_no_integrity () =
+  let key = test_key () in
+  let p = payload 1000 in
+  let t =
+    Secure_container.encrypt ~chunk_size:512 ~fragment_size:64
+      ~scheme:Secure_container.Ecb ~key p
+  in
+  let t' = Secure_container.substitute_block t ~chunk:0 ~block:0 (String.make 8 'X') in
+  (* decrypts to garbage but does not raise: the baseline is not tamper-proof *)
+  let out = Secure_container.decrypt_all t' ~key ~verify:true in
+  check bool_t "silently corrupted" false (String.equal out p)
+
+let test_container_header_checks () =
+  Alcotest.check_raises "bad magic"
+    (Invalid_argument "Secure_container.of_bytes: bad magic")
+    (fun () -> ignore (Secure_container.of_bytes (String.make 64 'z')));
+  let key = test_key () in
+  let t =
+    Secure_container.encrypt ~scheme:Secure_container.Ecb_mht ~key (payload 100)
+  in
+  let b = Secure_container.to_bytes t in
+  Alcotest.check_raises "truncated body"
+    (Invalid_argument "Secure_container.of_bytes: bad total length")
+    (fun () -> ignore (Secure_container.of_bytes (String.sub b 0 (String.length b - 1))))
+
+let test_fragment_random_access () =
+  let key = test_key () in
+  let p = payload 4096 in
+  let t =
+    Secure_container.encrypt ~chunk_size:1024 ~fragment_size:128
+      ~scheme:Secure_container.Ecb_mht ~key p
+  in
+  let cipher = Secure_container.fragment_ciphertext t ~chunk:2 ~fragment:3 in
+  let plain = Secure_container.decrypt_fragment t ~key ~chunk:2 ~fragment:3 ~cipher in
+  check string_t "fragment decrypts to the right window"
+    (String.sub p ((2 * 1024) + (3 * 128)) 128)
+    plain
+
+let test_invalid_geometry_rejected () =
+  let key = test_key () in
+  Alcotest.check_raises "ratio not a power of two"
+    (Invalid_argument
+       "Secure_container.encrypt: chunk/fragment ratio must be a power of two")
+    (fun () ->
+      ignore
+        (Secure_container.encrypt ~chunk_size:768 ~fragment_size:256
+           ~scheme:Secure_container.Ecb_mht ~key "x"))
+
+let scheme_suites =
+  List.concat_map
+    (fun scheme ->
+      let name = Secure_container.scheme_to_string scheme in
+      [
+        Alcotest.test_case (name ^ " roundtrip") `Quick (container_roundtrip scheme);
+        Alcotest.test_case (name ^ " serialization") `Quick (container_serialization scheme);
+      ])
+    Secure_container.all_schemes
+  @ List.filter_map
+      (fun scheme ->
+        if scheme = Secure_container.Ecb then None
+        else
+          Some
+            (Alcotest.test_case
+               (Secure_container.scheme_to_string scheme ^ " tamper detection")
+               `Quick (tamper_detected scheme)))
+      Secure_container.all_schemes
+
+(* Fuzz: no silent corruption ----------------------------------------------- *)
+
+let prop_any_corruption_detected =
+  (* For every integrity-checked scheme: flipping any single byte anywhere
+     in the serialized container either fails parsing, fails verification,
+     or — if it only hit padding — still yields the exact payload. It must
+     never yield a different payload. *)
+  qtest ~count:300 "single-byte corruption never silently alters the payload"
+    QCheck2.Gen.(
+      triple
+        (oneofl [ Secure_container.Cbc_sha; Secure_container.Cbc_shac; Secure_container.Ecb_mht ])
+        (int_range 0 100_000) (int_range 1 255))
+    (fun (scheme, pos_seed, delta) ->
+      let key = test_key () in
+      let p = payload 2600 in
+      let t = Secure_container.encrypt ~chunk_size:512 ~fragment_size:64 ~scheme ~key p in
+      let raw = Secure_container.to_bytes t in
+      let pos = pos_seed mod String.length raw in
+      let b = Bytes.of_string raw in
+      Bytes.set b pos (Char.chr ((Char.code (Bytes.get b pos) + delta) land 0xFF));
+      match Secure_container.of_bytes (Bytes.to_string b) with
+      | exception Invalid_argument _ -> true
+      | t' -> (
+          match Secure_container.decrypt_all t' ~key ~verify:true with
+          | exception Secure_container.Integrity_failure _ -> true
+          | out -> String.equal out p))
+
+let prop_wrong_key_never_succeeds_quietly =
+  qtest ~count:100 "wrong key yields an integrity failure or garbage, never the payload"
+    QCheck2.Gen.(string_size (return 24))
+    (fun other_key_bytes ->
+      let key = test_key () in
+      let other = Des.Triple.key_of_string other_key_bytes in
+      let p = payload 1500 in
+      let t =
+        Secure_container.encrypt ~chunk_size:512 ~fragment_size:64
+          ~scheme:Secure_container.Ecb_mht ~key p
+      in
+      match Secure_container.decrypt_all t ~key:other ~verify:true with
+      | exception Secure_container.Integrity_failure _ -> true
+      | out -> not (String.equal out p))
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "sha1",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha1_vectors;
+          Alcotest.test_case "incremental feeding" `Quick test_sha1_incremental;
+          Alcotest.test_case "state export/import" `Quick test_sha1_state_roundtrip;
+          Alcotest.test_case "finalize is non-destructive" `Quick test_sha1_finalize_idempotent;
+          Alcotest.test_case "import rejects garbage" `Quick test_sha1_import_rejects_garbage;
+        ] );
+      ( "des",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_des_vectors;
+          Alcotest.test_case "3DES with equal keys = DES" `Quick test_triple_des_degenerates_to_des;
+          Alcotest.test_case "two-key 3DES" `Quick test_triple_des_two_key_form;
+          Alcotest.test_case "key length checks" `Quick test_key_length_checked;
+          des_complementation;
+          des_roundtrip;
+          triple_roundtrip;
+        ] );
+      ( "modes",
+        mode_roundtrips
+        @ [
+            Alcotest.test_case "plain ECB leaks" `Quick test_ecb_leaks_equal_blocks;
+            Alcotest.test_case "positional ECB hides" `Quick test_positional_hides_equal_blocks;
+            Alcotest.test_case "positional random access" `Quick test_positional_random_access;
+            Alcotest.test_case "pad/unpad" `Quick test_pad_unpad;
+            Alcotest.test_case "unpad rejects garbage" `Quick test_unpad_rejects_garbage;
+          ] );
+      ( "merkle",
+        [
+          Alcotest.test_case "deterministic root" `Quick test_merkle_root_deterministic;
+          Alcotest.test_case "rejects non-power-of-two" `Quick test_merkle_rejects_non_power_of_two;
+          Alcotest.test_case "single leaf" `Quick test_merkle_single_leaf;
+          Alcotest.test_case "paper Figure F1 cover" `Quick test_merkle_cover_matches_paper_figure;
+          Alcotest.test_case "all ranges verify" `Quick test_merkle_cover_verifies;
+          Alcotest.test_case "forged leaf detected" `Quick test_merkle_detects_wrong_leaf;
+          merkle_cover_minimal;
+        ] );
+      ( "container",
+        scheme_suites
+        @ [
+            Alcotest.test_case "cross-chunk substitution detected" `Quick
+              test_block_substitution_across_chunks_detected;
+            Alcotest.test_case "plain ECB gives no integrity" `Quick
+              test_ecb_scheme_has_no_integrity;
+            Alcotest.test_case "header validation" `Quick test_container_header_checks;
+            Alcotest.test_case "fragment random access" `Quick test_fragment_random_access;
+            Alcotest.test_case "geometry validation" `Quick test_invalid_geometry_rejected;
+          ] );
+      ( "fuzz",
+        [ prop_any_corruption_detected; prop_wrong_key_never_succeeds_quietly ] );
+    ]

@@ -1,0 +1,260 @@
+(* Tests for the workload generators: schema invariants of the synthetic
+   Hospital document, shape characteristics of the dataset stand-ins,
+   profile policies, and random rule generation. *)
+
+open Xmlac_workload
+module Tree = Xmlac_xml.Tree
+module Parse = Xmlac_xpath.Parse
+module Dom_eval = Xmlac_xpath.Dom_eval
+module Policy = Xmlac_core.Policy
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let hospital = Hospital.generate ~seed:11
+    ~config:{ Hospital.default_config with folders = 40 } ()
+
+let count path tree = List.length (Dom_eval.select (Parse.path path) tree)
+
+(* Hospital ----------------------------------------------------------------- *)
+
+let test_hospital_schema () =
+  let folders = count "//Folder" hospital in
+  check int_t "folder count" 40 folders;
+  check int_t "one Admin per folder" folders (count "//Folder/Admin" hospital);
+  check int_t "one Age per folder" folders (count "//Folder/Admin/Age" hospital);
+  check int_t "one MedActs per folder" folders (count "//Folder/MedActs" hospital);
+  check int_t "one Analysis per folder" folders (count "//Folder/Analysis" hospital);
+  check bool_t "acts exist" true (count "//MedActs/Act" hospital > folders / 2);
+  check bool_t "every act has details" true
+    (count "//Act" hospital = count "//Act/Details" hospital);
+  check bool_t "lab results carry groups" true
+    (count "//LabResults" hospital
+    = count "//LabResults/*[Cholesterol]" hospital)
+
+let test_hospital_determinism () =
+  let a = Hospital.generate ~seed:3 () in
+  let b = Hospital.generate ~seed:3 () in
+  let c = Hospital.generate ~seed:4 () in
+  check bool_t "same seed, same document" true (Tree.equal a b);
+  check bool_t "different seed, different document" false (Tree.equal a c)
+
+let test_hospital_sized () =
+  let doc = Hospital.generate_sized ~seed:5 ~target_bytes:300_000 () in
+  let bytes = String.length (Xmlac_xml.Writer.tree_to_string doc) in
+  check bool_t
+    (Printf.sprintf "sized within 40%% of target (got %d)" bytes)
+    true
+    (bytes > 180_000 && bytes < 420_000)
+
+let test_hospital_physician_skew () =
+  (* a larger sample makes the heavy-tailed physician distribution visible *)
+  let big =
+    Hospital.generate ~seed:23
+      ~config:{ Hospital.default_config with folders = 300 } ()
+  in
+  let physician_count who =
+    List.length
+      (List.filter
+         (fun id ->
+           match Dom_eval.node_at big id with
+           | Some n -> String.trim (Tree.text_content n) = who
+           | None -> false)
+         (Dom_eval.select (Parse.path "//Act/RPhys") big))
+  in
+  let ft = physician_count Hospital.full_time_physician in
+  let pt = physician_count Hospital.part_time_physician in
+  check bool_t
+    (Printf.sprintf "full-time sees many more acts (ft=%d pt=%d)" ft pt)
+    true
+    (ft > 3 * max 1 pt && ft >= 20)
+
+let test_hospital_ages_numeric () =
+  let ages = Dom_eval.select (Parse.path "//Age") hospital in
+  check bool_t "all ages parse in 1..99" true
+    (List.for_all
+       (fun id ->
+         match Dom_eval.node_at hospital id with
+         | Some n -> (
+             match int_of_string_opt (String.trim (Tree.text_content n)) with
+             | Some a -> a >= 1 && a <= 99
+             | None -> false)
+         | None -> false)
+       ages)
+
+(* Dataset stand-ins -------------------------------------------------------- *)
+
+let shape kind =
+  Datasets.characteristics ~name:(Datasets.name kind)
+    (Datasets.generate kind ~seed:1 ~target_bytes:120_000)
+
+let test_wsu_shape () =
+  let c = shape Datasets.Wsu in
+  check int_t "WSU max depth 4 (paper Table 2)" 4 c.Datasets.max_depth;
+  check bool_t "WSU around 20 tags" true
+    (c.Datasets.distinct_tags >= 12 && c.Datasets.distinct_tags <= 22);
+  check bool_t "WSU text share small" true
+    (float_of_int c.Datasets.text_bytes < 0.4 *. float_of_int c.Datasets.size_bytes)
+
+let test_sigmod_shape () =
+  let c = shape Datasets.Sigmod in
+  check int_t "Sigmod max depth 6" 6 c.Datasets.max_depth;
+  check bool_t "Sigmod around 11 tags" true
+    (c.Datasets.distinct_tags >= 9 && c.Datasets.distinct_tags <= 12)
+
+let test_treebank_shape () =
+  let c = shape Datasets.Treebank in
+  check bool_t
+    (Printf.sprintf "Treebank deep (got %d)" c.Datasets.max_depth)
+    true
+    (c.Datasets.max_depth >= 15 && c.Datasets.max_depth <= 40);
+  check bool_t
+    (Printf.sprintf "Treebank many tags (got %d)" c.Datasets.distinct_tags)
+    true
+    (c.Datasets.distinct_tags >= 120);
+  (* recursion: some tag appears nested within itself *)
+  let doc = Datasets.generate Datasets.Treebank ~seed:1 ~target_bytes:120_000 in
+  let recursive =
+    List.exists
+      (fun tag ->
+        count (Printf.sprintf "//%s//%s" tag tag) doc > 0)
+      [ "S"; "NP"; "VP" ]
+  in
+  check bool_t "Treebank tags recurse" true recursive
+
+let test_target_sizes_roughly_met () =
+  List.iter
+    (fun kind ->
+      let doc = Datasets.generate kind ~seed:2 ~target_bytes:200_000 in
+      let bytes = String.length (Xmlac_xml.Writer.tree_to_string doc) in
+      if not (bytes > 100_000 && bytes < 400_000) then
+        Alcotest.failf "%s: %d bytes for a 200000 target" (Datasets.name kind)
+          bytes)
+    Datasets.all
+
+(* Profiles ----------------------------------------------------------------- *)
+
+let test_profiles_compile () =
+  List.iter
+    (fun v ->
+      let p = Profiles.view_policy v in
+      match Policy.streaming_compatible p with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" (Profiles.view_name v) e)
+    Profiles.all_views
+
+let contains_substring hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_doctor_user_resolved () =
+  let p = Profiles.doctor ~user:"dr42" in
+  List.iter
+    (fun (r : Xmlac_core.Rule.t) ->
+      let s = Parse.to_string r.path in
+      check bool_t "no unresolved USER" false (contains_substring s "USER"))
+    (Policy.rules p)
+
+let test_researcher_group_count () =
+  let p = Profiles.researcher ~groups:[ 1; 2; 3 ] () in
+  check int_t "1 base + 2 per group" 7 (List.length (Policy.rules p))
+
+let test_profiles_select_different_views () =
+  let views =
+    List.map
+      (fun v ->
+        match
+          Xmlac_core.Oracle.authorized_view (Profiles.view_policy v) hospital
+        with
+        | None -> 0
+        | Some t -> String.length (Xmlac_xml.Writer.tree_to_string t))
+      Profiles.all_views
+  in
+  check bool_t "every view nonempty" true (List.for_all (fun n -> n > 0) views);
+  check bool_t "views have different sizes" true
+    (List.length (List.sort_uniq compare views) >= 4)
+
+let test_ftd_sees_more_than_ptd () =
+  let size v =
+    match
+      Xmlac_core.Oracle.authorized_view (Profiles.view_policy v) hospital
+    with
+    | None -> 0
+    | Some t -> String.length (Xmlac_xml.Writer.tree_to_string t)
+  in
+  check bool_t "full-time doctor sees more than part-time" true
+    (size Profiles.Full_time_doctor > size Profiles.Part_time_doctor)
+
+(* Random rules ------------------------------------------------------------- *)
+
+let test_rule_gen_properties () =
+  List.iter
+    (fun kind ->
+      let doc = Datasets.generate kind ~seed:3 ~target_bytes:60_000 in
+      let policy = Rule_gen.generate ~seed:9 doc in
+      check int_t
+        (Datasets.name kind ^ ": default rule count")
+        8
+        (List.length (Policy.rules policy));
+      (match Policy.streaming_compatible policy with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" (Datasets.name kind) e);
+      (* the rules must actually select something on their document *)
+      let matching =
+        List.filter
+          (fun (r : Xmlac_core.Rule.t) ->
+            Dom_eval.select r.path doc <> [])
+          (Policy.rules policy)
+      in
+      check bool_t
+        (Datasets.name kind ^ ": most rules select nodes")
+        true
+        (2 * List.length matching > List.length (Policy.rules policy)))
+    Datasets.all
+
+let test_rule_gen_deterministic () =
+  let doc = Datasets.generate Datasets.Sigmod ~seed:3 ~target_bytes:30_000 in
+  let p1 = Rule_gen.generate ~seed:5 doc in
+  let p2 = Rule_gen.generate ~seed:5 doc in
+  let render p =
+    String.concat ";"
+      (List.map
+         (fun (r : Xmlac_core.Rule.t) -> Parse.to_string r.path)
+         (Policy.rules p))
+  in
+  check Alcotest.string "same seed, same rules" (render p1) (render p2)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "hospital",
+        [
+          Alcotest.test_case "schema invariants" `Quick test_hospital_schema;
+          Alcotest.test_case "determinism" `Quick test_hospital_determinism;
+          Alcotest.test_case "sized generation" `Quick test_hospital_sized;
+          Alcotest.test_case "physician skew" `Quick test_hospital_physician_skew;
+          Alcotest.test_case "ages numeric" `Quick test_hospital_ages_numeric;
+        ] );
+      ( "datasets",
+        [
+          Alcotest.test_case "WSU shape" `Quick test_wsu_shape;
+          Alcotest.test_case "Sigmod shape" `Quick test_sigmod_shape;
+          Alcotest.test_case "Treebank shape" `Quick test_treebank_shape;
+          Alcotest.test_case "target sizes" `Quick test_target_sizes_roughly_met;
+        ] );
+      ( "profiles",
+        [
+          Alcotest.test_case "compile" `Quick test_profiles_compile;
+          Alcotest.test_case "USER resolved" `Quick test_doctor_user_resolved;
+          Alcotest.test_case "researcher groups" `Quick test_researcher_group_count;
+          Alcotest.test_case "views differ" `Quick test_profiles_select_different_views;
+          Alcotest.test_case "FTD > PTD" `Quick test_ftd_sees_more_than_ptd;
+        ] );
+      ( "rule-gen",
+        [
+          Alcotest.test_case "properties" `Quick test_rule_gen_properties;
+          Alcotest.test_case "determinism" `Quick test_rule_gen_deterministic;
+        ] );
+    ]

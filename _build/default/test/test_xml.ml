@@ -1,0 +1,259 @@
+(* Tests for the XML substrate: parser, tree, serializer. *)
+
+open Xmlac_xml
+
+let check = Alcotest.check
+let string_t = Alcotest.string
+let int_t = Alcotest.int
+
+let qtest ?(count = 300) name gen ?print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ?print gen prop)
+
+let events_of s = Parser.events s
+
+let event_list_t =
+  Alcotest.testable (Fmt.Dump.list Event.pp) (List.for_all2 Event.equal)
+
+(* Parsing ---------------------------------------------------------------- *)
+
+let test_basic_events () =
+  check event_list_t "simple document"
+    [
+      Event.start "a";
+      Event.start "b";
+      Event.text "hi";
+      Event.end_ "b";
+      Event.end_ "a";
+    ]
+    (events_of "<a><b>hi</b></a>")
+
+let test_attributes () =
+  check event_list_t "attributes parsed"
+    [
+      Event.start ~attributes:[ { name = "x"; value = "1" }; { name = "y"; value = "a<b" } ] "a";
+      Event.end_ "a";
+    ]
+    (events_of {|<a x="1" y='a&lt;b'></a>|})
+
+let test_empty_element () =
+  check event_list_t "self-closing tag"
+    [ Event.start "a"; Event.start "b"; Event.end_ "b"; Event.end_ "a" ]
+    (events_of "<a><b/></a>")
+
+let test_entities () =
+  check event_list_t "predefined and character entities"
+    [ Event.start "a"; Event.text "<&>'\"A \xE2\x82\xAC"; Event.end_ "a" ]
+    (events_of "<a>&lt;&amp;&gt;&apos;&quot;&#65; &#x20AC;</a>")
+
+let test_cdata () =
+  check event_list_t "CDATA is raw text"
+    [ Event.start "a"; Event.text "<not><parsed>&amp;"; Event.end_ "a" ]
+    (events_of "<a><![CDATA[<not><parsed>&amp;]]></a>")
+
+let test_comments_and_pi () =
+  check event_list_t "comments, PIs and prolog skipped"
+    [ Event.start "a"; Event.text "x"; Event.end_ "a" ]
+    (events_of "<?xml version=\"1.0\"?><!-- hi --><a><!-- inner -->x<?pi data?></a><!-- bye -->")
+
+let test_doctype_skipped () =
+  check event_list_t "doctype skipped"
+    [ Event.start "a"; Event.end_ "a" ]
+    (events_of "<!DOCTYPE a [ <!ELEMENT a EMPTY> ]><a></a>")
+
+let test_whitespace_stripping () =
+  check event_list_t "strip_whitespace drops blank text"
+    [ Event.start "a"; Event.start "b"; Event.end_ "b"; Event.end_ "a" ]
+    (Parser.events ~strip_whitespace:true "<a>\n  <b> </b>\n</a>");
+  check int_t "without stripping, blanks preserved" 7
+    (List.length (Parser.events "<a>\n  <b> </b>\n</a>"))
+
+let malformed_cases =
+  [
+    ("mismatched tags", "<a><b></a></b>");
+    ("unclosed root", "<a><b></b>");
+    ("text after root", "<a></a>junk");
+    ("second root", "<a></a><b></b>");
+    ("text before root", "oops<a></a>");
+    ("bad entity", "<a>&nosuch;</a>");
+    ("unterminated comment", "<a><!-- ...</a>");
+    ("unterminated cdata", "<a><![CDATA[x</a>");
+    ("eof in tag", "<a");
+    ("unquoted attribute", "<a x=1></a>");
+    ("duplicate attribute", {|<a x="1" x="2"></a>|});
+    ("lone end tag", "</a>");
+    ("empty input", "");
+    ("bare text", "hello");
+    ("lt in attribute", {|<a x="<"></a>|});
+  ]
+
+let test_malformed () =
+  List.iter
+    (fun (name, input) ->
+      match Parser.events input with
+      | exception Parser.Malformed _ -> ()
+      | evs ->
+          Alcotest.failf "%s: expected Malformed, got %d events" name
+            (List.length evs))
+    malformed_cases
+
+let test_malformed_offset_is_sane () =
+  match Parser.events "<a><b></c></a>" with
+  | exception Parser.Malformed (_, off) ->
+      if off < 0 || off > 14 then Alcotest.failf "offset out of range: %d" off
+  | _ -> Alcotest.fail "expected Malformed"
+
+(* Tree ------------------------------------------------------------------- *)
+
+let test_tree_roundtrip_events () =
+  let t =
+    Tree.element "a"
+      [
+        Tree.element "b" [ Tree.text "x" ];
+        Tree.text "y";
+        Tree.element "c" [];
+      ]
+  in
+  check Alcotest.bool "of_events inverts to_events" true
+    (Tree.equal t (Tree.of_events (Tree.to_events t)))
+
+let test_tree_stats () =
+  let t = Tree.parse "<a><b>xy</b><b><c>z</c></b></a>" in
+  check int_t "elements" 4 (Tree.count_elements t);
+  check int_t "text nodes" 2 (Tree.count_text_nodes t);
+  check int_t "text bytes" 3 (Tree.text_bytes t);
+  check int_t "max depth" 3 (Tree.max_depth t);
+  check (Alcotest.list string_t) "distinct tags" [ "a"; "b"; "c" ]
+    (Tree.distinct_tags t);
+  check string_t "text content" "xyz" (Tree.text_content t)
+
+let test_average_leaf_depth () =
+  let t = Tree.parse "<a><b/><c><d/></c></a>" in
+  (* leaves: b at depth 2, d at depth 3 *)
+  check (Alcotest.float 0.001) "average leaf depth" 2.5 (Tree.average_leaf_depth t)
+
+let test_map_tags () =
+  let t = Tree.parse "<a><b/></a>" in
+  let t' = Tree.map_tags String.uppercase_ascii t in
+  check (Alcotest.list string_t) "tags mapped" [ "A"; "B" ] (Tree.distinct_tags t')
+
+let test_attributes_to_elements () =
+  let t = Tree.parse {|<a x="1" y="2"><b z="3">t</b></a>|} in
+  check string_t "attributes folded"
+    "<a><attr-x>1</attr-x><attr-y>2</attr-y><b><attr-z>3</attr-z>t</b></a>"
+    (Writer.tree_to_string (Tree.attributes_to_elements t));
+  check string_t "custom prefix"
+    "<a><at.x>1</at.x><at.y>2</at.y><b><at.z>3</at.z>t</b></a>"
+    (Writer.tree_to_string (Tree.attributes_to_elements ~prefix:"at." t))
+
+(* Writer ----------------------------------------------------------------- *)
+
+let test_escaping () =
+  check string_t "text escaping" "a&amp;b&lt;c&gt;d" (Writer.escape_text "a&b<c>d");
+  check string_t "attribute escaping" "&quot;&amp;&lt;"
+    (Writer.escape_attribute "\"&<")
+
+let test_serialize () =
+  let t = Tree.parse "<a x=\"1\"><b>h&amp;i</b></a>" in
+  check string_t "serialized" "<a x=\"1\"><b>h&amp;i</b></a>"
+    (Writer.tree_to_string t)
+
+let test_indented_output_reparses () =
+  let t = Tree.parse "<a><b>t</b><c><d/></c></a>" in
+  let pretty = Writer.tree_to_string ~indent:true t in
+  let t' = Tree.parse ~strip_whitespace:true pretty in
+  check Alcotest.bool "indented output reparses to same tree" true (Tree.equal t t')
+
+(* Properties ------------------------------------------------------------- *)
+
+let prop_roundtrip =
+  qtest "parse ∘ print = id" Testkit.gen_tree_free_text ~print:Testkit.tree_print
+    (fun t ->
+      (* adjacent text nodes merge in XML, so normalize both sides through
+         an event print/parse once *)
+      let s = Writer.tree_to_string t in
+      let t' = Tree.parse s in
+      let s' = Writer.tree_to_string t' in
+      String.equal s s')
+
+let prop_event_depths_balance =
+  qtest "events balance to depth zero" Testkit.gen_tree_free_text
+    ~print:Testkit.tree_print (fun t ->
+      let final =
+        List.fold_left Event.depth_after 0 (Tree.to_events t)
+      in
+      final = 0)
+
+let prop_parser_never_crashes =
+  (* random byte soup: either a Malformed error or a well-formed stream *)
+  qtest ~count:1000 "parser total on arbitrary input"
+    QCheck2.Gen.(
+      oneof
+        [
+          string_printable;
+          small_string ~gen:(oneofl [ '<'; '>'; '&'; '"'; '/'; 'a'; ' '; '='; '!' ]);
+        ])
+    (fun input ->
+      match Parser.events input with
+      | exception Parser.Malformed _ -> true
+      | evs -> List.fold_left Event.depth_after 0 evs = 0)
+
+let prop_parser_survives_mutations =
+  (* valid documents with one byte flipped: still total *)
+  qtest ~count:500 "parser total on mutated documents"
+    QCheck2.Gen.(triple Testkit.gen_tree_free_text small_nat (char_range ' ' '~'))
+    (fun (tree, pos_seed, replacement) ->
+      let s = Writer.tree_to_string tree in
+      if String.length s = 0 then true
+      else begin
+        let b = Bytes.of_string s in
+        Bytes.set b (pos_seed mod Bytes.length b) replacement;
+        match Parser.events (Bytes.to_string b) with
+        | exception Parser.Malformed _ -> true
+        | evs -> List.fold_left Event.depth_after 0 evs = 0
+      end)
+
+let prop_text_preserved =
+  qtest "total text content preserved by print/parse" Testkit.gen_tree
+    ~print:Testkit.tree_print (fun t ->
+      let s = Writer.tree_to_string t in
+      String.equal (Tree.text_content t) (Tree.text_content (Tree.parse s)))
+
+let () =
+  Alcotest.run "xml"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "basic events" `Quick test_basic_events;
+          Alcotest.test_case "attributes" `Quick test_attributes;
+          Alcotest.test_case "empty element" `Quick test_empty_element;
+          Alcotest.test_case "entities" `Quick test_entities;
+          Alcotest.test_case "CDATA" `Quick test_cdata;
+          Alcotest.test_case "comments and PIs" `Quick test_comments_and_pi;
+          Alcotest.test_case "doctype" `Quick test_doctype_skipped;
+          Alcotest.test_case "whitespace stripping" `Quick test_whitespace_stripping;
+          Alcotest.test_case "malformed inputs rejected" `Quick test_malformed;
+          Alcotest.test_case "error offsets sane" `Quick test_malformed_offset_is_sane;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "event roundtrip" `Quick test_tree_roundtrip_events;
+          Alcotest.test_case "stats" `Quick test_tree_stats;
+          Alcotest.test_case "average leaf depth" `Quick test_average_leaf_depth;
+          Alcotest.test_case "map_tags" `Quick test_map_tags;
+          Alcotest.test_case "attributes to elements" `Quick test_attributes_to_elements;
+        ] );
+      ( "writer",
+        [
+          Alcotest.test_case "escaping" `Quick test_escaping;
+          Alcotest.test_case "serialize" `Quick test_serialize;
+          Alcotest.test_case "indent roundtrip" `Quick test_indented_output_reparses;
+        ] );
+      ( "properties",
+        [
+          prop_roundtrip;
+          prop_event_depths_balance;
+          prop_text_preserved;
+          prop_parser_never_crashes;
+          prop_parser_survives_mutations;
+        ] );
+    ]

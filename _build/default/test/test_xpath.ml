@@ -1,0 +1,328 @@
+(* Tests for the XPath fragment: parser/printer, DOM evaluation semantics,
+   containment. *)
+
+open Xmlac_xpath
+module Tree = Xmlac_xml.Tree
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+
+let qtest ?(count = 300) name gen ?print prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name ?print gen prop)
+
+let ids_t = Alcotest.(list (list int))
+
+let select s doc = Dom_eval.select (Parse.path s) (Tree.parse doc)
+
+(* Parser ----------------------------------------------------------------- *)
+
+let test_parse_shapes () =
+  let p = Parse.path "//Folder[Protocol/Type=G3]//LabResults" in
+  check Alcotest.int "two steps" 2 (List.length p.Ast.steps);
+  (match p.Ast.steps with
+  | [ s1; s2 ] ->
+      check bool_t "first descendant" true (s1.Ast.axis = Ast.Descendant);
+      check bool_t "second descendant" true (s2.Ast.axis = Ast.Descendant);
+      (match s1.Ast.predicates with
+      | [ pred ] ->
+          check Alcotest.int "predicate path length" 2 (List.length pred.Ast.path);
+          check bool_t "condition" true
+            (pred.Ast.condition = Some (Ast.Eq, Ast.String "G3"))
+      | _ -> Alcotest.fail "expected one predicate")
+  | _ -> Alcotest.fail "expected two steps");
+  let q = Parse.path "/a/*[//b = 250][c != USER]/d" in
+  check Alcotest.int "three steps" 3 (List.length q.Ast.steps)
+
+let test_parse_numbers_and_strings () =
+  let p = Parse.path "//x[a = 250]" in
+  (match (List.hd p.Ast.steps).Ast.predicates with
+  | [ { Ast.condition = Some (Ast.Eq, Ast.Number n); _ } ] ->
+      check (Alcotest.float 0.0) "numeric literal" 250.0 n
+  | _ -> Alcotest.fail "expected numeric condition");
+  let p = Parse.path "//x[a = '250']" in
+  match (List.hd p.Ast.steps).Ast.predicates with
+  | [ { Ast.condition = Some (Ast.Eq, Ast.String s); _ } ] ->
+      check Alcotest.string "quoted numeric stays a string" "250" s
+  | _ -> Alcotest.fail "expected string condition"
+
+let test_parse_user_literal () =
+  let p = Parse.path "//Act[RPhys != USER]/Details" in
+  (match (List.hd p.Ast.steps).Ast.predicates with
+  | [ { Ast.condition = Some (Ast.Neq, Ast.User); _ } ] -> ()
+  | _ -> Alcotest.fail "expected USER literal");
+  let resolved = Ast.resolve_user ~user:"dr.who" p in
+  match (List.hd resolved.Ast.steps).Ast.predicates with
+  | [ { Ast.condition = Some (Ast.Neq, Ast.String "dr.who"); _ } ] -> ()
+  | _ -> Alcotest.fail "USER not resolved"
+
+let test_parse_errors () =
+  List.iter
+    (fun s ->
+      match Parse.path s with
+      | exception Parse.Error _ -> ()
+      | _ -> Alcotest.failf "expected parse error for %S" s)
+    [ "a/b"; "/"; "//"; "/a["; "/a[]"; "/a[b=]"; "/a]"; "/a/b["; ""; "/a trailing" ]
+
+let prop_print_parse_roundtrip =
+  qtest "parse ∘ print = id" (Testkit.gen_path ()) ~print:Testkit.path_print
+    (fun p -> Ast.equal p (Parse.path (Parse.to_string p)))
+
+(* DOM evaluation --------------------------------------------------------- *)
+
+let doc =
+  "<r>\
+     <a><b>1</b><c><b>2</b></c></a>\
+     <a><b>3</b></a>\
+     <d><a><c>x</c></a></d>\
+   </r>"
+
+let test_child_axis () =
+  check ids_t "/r/a" [ [ 0 ]; [ 1 ] ] (select "/r/a" doc);
+  check ids_t "/r/a/b" [ [ 0; 0 ]; [ 1; 0 ] ] (select "/r/a/b" doc);
+  check ids_t "/x nothing" [] (select "/x" doc)
+
+let test_descendant_axis () =
+  check ids_t "//b: all three"
+    [ [ 0; 0 ]; [ 0; 1; 0 ]; [ 1; 0 ] ]
+    (select "//b" doc);
+  check ids_t "//a//b (proper descendants)"
+    [ [ 0; 0 ]; [ 0; 1; 0 ]; [ 1; 0 ] ]
+    (select "//a//b" doc);
+  check ids_t "//root itself matchable" [ [] ] (select "//r" doc)
+
+let test_wildcard () =
+  check ids_t "/r/*" [ [ 0 ]; [ 1 ]; [ 2 ] ] (select "/r/*" doc);
+  check ids_t "//d/*/c" [ [ 2; 0; 0 ] ] (select "//d/*/c" doc)
+
+let test_predicates_existence () =
+  check ids_t "a with c child" [ [ 0 ]; [ 2; 0 ] ] (select "//a[c]" doc);
+  check ids_t "a with b descendant" [ [ 0 ]; [ 1 ] ] (select "//a[//b]" doc)
+
+let test_predicates_values () =
+  check ids_t "b=2 under c" [ [ 0; 1 ] ] (select "//c[b = 2]" doc);
+  check ids_t "a[b=3]" [ [ 1 ] ] (select "//a[b = 3]" doc);
+  check ids_t "a[b>1]" [ [ 1 ] ] (select "//a[b > 1]" doc);
+  check ids_t "a[b>=1]" [ [ 0 ]; [ 1 ] ] (select "//a[b >= 1]" doc);
+  check ids_t "string compare" [ [ 2; 0 ] ] (select "//a[c = x]" doc)
+
+let test_predicate_on_unparseable_number () =
+  (* the <a> under <d> has c = "x", which does not parse as a number:
+     numeric comparisons (even !=) must not match through it, while the
+     first <a>'s c = "2" behaves numerically *)
+  check ids_t "numeric vs text" [] (select "//a[c = 0]" doc);
+  check ids_t "!= skips unparseable" [ [ 0 ] ] (select "//a[c != 0]" doc)
+
+let test_multiple_predicates () =
+  check ids_t "both must hold" [ [ 0 ] ] (select "//a[b = 1][c]" doc)
+
+let test_nested_predicates () =
+  check ids_t "predicate inside predicate" [ [ 0 ] ]
+    (select "//a[c[b = 2]]" doc)
+
+let test_text_content_concatenation () =
+  let d = "<r><a><b>1</b><b>2</b></a></r>" in
+  (* value of <a> is the concatenated text "12" *)
+  check ids_t "concatenated string value" [ [] ] (select "/r[a = 12]" d)
+
+let test_structural_relations () =
+  check bool_t "ancestor" true (Dom_eval.is_ancestor [ 0 ] [ 0; 1 ]);
+  check bool_t "not self" false (Dom_eval.is_ancestor [ 0 ] [ 0 ]);
+  check bool_t "not sibling" false (Dom_eval.is_ancestor [ 0 ] [ 1; 0 ]);
+  check ids_t "ancestors of [0;1;2]" [ []; [ 0 ]; [ 0; 1 ] ]
+    (Dom_eval.ancestors [ 0; 1; 2 ])
+
+let test_node_at () =
+  let t = Tree.parse doc in
+  (match Dom_eval.node_at t [ 0; 1; 0 ] with
+  | Some n -> check (Alcotest.option Alcotest.string) "tag" (Some "b") (Tree.tag n)
+  | None -> Alcotest.fail "node expected");
+  check bool_t "missing node" true (Dom_eval.node_at t [ 9 ] = None)
+
+let prop_select_ids_valid =
+  qtest "selected ids resolve to matching elements"
+    (QCheck2.Gen.pair Testkit.gen_tree (Testkit.gen_path ()))
+    ~print:(fun (t, p) -> Testkit.tree_print t ^ " | " ^ Testkit.path_print p)
+    (fun (t, p) ->
+      let ids = Dom_eval.select p t in
+      List.for_all
+        (fun id ->
+          match Dom_eval.node_at t id with
+          | Some (Tree.Element _) -> true
+          | _ -> false)
+        ids)
+
+let prop_descendant_superset_of_child =
+  qtest "//x ⊇ /r/x on any tree" Testkit.gen_tree ~print:Testkit.tree_print
+    (fun t ->
+      List.for_all
+        (fun tag ->
+          let desc = Dom_eval.select (Parse.path ("//" ^ tag)) t in
+          let child =
+            match Tree.tag t with
+            | Some root -> Dom_eval.select (Parse.path ("/" ^ root ^ "/" ^ tag)) t
+            | None -> []
+          in
+          List.for_all (fun id -> List.mem id desc) child)
+        Testkit.tag_alphabet)
+
+let prop_select_sorted_unique =
+  qtest "selection is in document order without duplicates"
+    (QCheck2.Gen.pair Testkit.gen_tree (Testkit.gen_path ()))
+    (fun (t, p) ->
+      let ids = Dom_eval.select p t in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> Dom_eval.compare_id a b < 0 && sorted rest
+        | _ -> true
+      in
+      sorted ids)
+
+(* Containment ------------------------------------------------------------ *)
+
+let contains a b = Containment.contains (Parse.path a) (Parse.path b)
+
+let test_containment_positive () =
+  List.iter
+    (fun (r, s) ->
+      if not (contains r s) then Alcotest.failf "%s should contain %s" r s)
+    [
+      ("//a", "/a");
+      ("//a", "//b/a");
+      ("/*", "/a");
+      ("//a", "//a[b]");
+      ("//a[b]", "//a[b]");
+      ("//a[b]", "//a[b = 3]");
+      ("/a//c", "/a/b/c");
+      ("//a[b > 2]", "//a[b > 5]");
+      ("//a[b >= 3]", "//a[b > 3]");
+      ("//a[b != 1]", "//a[b = 2]");
+      ("//*[c]", "//a[c/d]");
+    ]
+
+let test_containment_negative () =
+  List.iter
+    (fun (r, s) ->
+      if contains r s then Alcotest.failf "%s should not contain %s" r s)
+    [
+      ("/a", "//a");
+      ("//a/b", "//a//b");
+      ("//a[b]", "//a");
+      ("//a[b = 3]", "//a[b]");
+      ("//a[b > 5]", "//a[b > 2]");
+      ("/a", "/b");
+      ("/a", "/*");
+      ("//a[b = 1]", "//a[b != 1]");
+    ]
+
+let test_condition_implication_table () =
+  let open Xmlac_xpath.Ast in
+  let num op v = Some (op, Number v) in
+  let cases =
+    [
+      (* (a, b, a-implies-b) *)
+      (num Gt 300., num Gt 250., true);
+      (num Gt 250., num Gt 300., false);
+      (num Ge 300., num Gt 250., true);
+      (num Gt 250., num Ge 250., true);
+      (num Eq 300., num Gt 250., true);
+      (num Eq 200., num Gt 250., false);
+      (num Eq 200., num Neq 300., true);
+      (num Eq 200., num Le 200., true);
+      (num Lt 100., num Lt 200., true);
+      (num Lt 200., num Lt 100., false);
+      (num Lt 100., num Neq 150., true);
+      (num Gt 100., num Neq 50., true);
+      (Some (Eq, String "x"), Some (Neq, String "y"), true);
+      (Some (Eq, String "x"), Some (Neq, String "x"), false);
+      (num Gt 1., None, true);
+      (None, num Gt 1., false);
+      (None, None, true);
+    ]
+  in
+  List.iteri
+    (fun i (a, b, expected) ->
+      if Containment.condition_implies a b <> expected then
+        Alcotest.failf "implication case %d wrong" i)
+    cases
+
+let test_select_filtered () =
+  let t = Tree.parse "<r><a><b>1</b></a><a><b>2</b></a></r>" in
+  let all = Dom_eval.select (Parse.path "//b") t in
+  check Alcotest.int "unfiltered" 2 (List.length all);
+  (* forbid the first <a> subtree *)
+  let filter id = not (id = [ 0 ] || Dom_eval.is_ancestor [ 0 ] id) in
+  let filtered = Dom_eval.select_filtered ~filter (Parse.path "//b") t in
+  check ids_t "only the second b" [ [ 1; 0 ] ] filtered;
+  (* predicates are filtered too: a[b] fails when its only b is filtered *)
+  let filtered2 =
+    Dom_eval.select_filtered
+      ~filter:(fun id -> id <> [ 0; 0 ])
+      (Parse.path "/r/a[b]") t
+  in
+  check ids_t "predicate respects the filter" [ [ 1 ] ] filtered2
+
+let prop_containment_sound =
+  qtest ~count:200 "claimed containment holds on random documents"
+    (QCheck2.Gen.triple Testkit.gen_tree (Testkit.gen_path ()) (Testkit.gen_path ()))
+    ~print:(fun (t, r, s) ->
+      Printf.sprintf "%s | R=%s S=%s" (Testkit.tree_print t)
+        (Testkit.path_print r) (Testkit.path_print s))
+    (fun (t, r, s) ->
+      (not (Containment.contains r s))
+      ||
+      let rs = Dom_eval.select r t and ss = Dom_eval.select s t in
+      List.for_all (fun id -> List.mem id rs) ss)
+
+let prop_parser_total_on_garbage =
+  qtest ~count:1000 "xpath parser total on arbitrary input"
+    QCheck2.Gen.(
+      oneof
+        [
+          string_printable;
+          small_string
+            ~gen:(oneofl [ '/'; '['; ']'; '*'; '='; '<'; '>'; '!'; 'a'; '\''; ' ' ]);
+        ])
+    (fun input ->
+      match Parse.path input with
+      | exception Parse.Error _ -> true
+      | p -> Xmlac_xpath.Ast.size p >= 1)
+
+let () =
+  Alcotest.run "xpath"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "shapes" `Quick test_parse_shapes;
+          Alcotest.test_case "numbers vs strings" `Quick test_parse_numbers_and_strings;
+          Alcotest.test_case "USER literal" `Quick test_parse_user_literal;
+          Alcotest.test_case "syntax errors" `Quick test_parse_errors;
+          prop_print_parse_roundtrip;
+          prop_parser_total_on_garbage;
+        ] );
+      ( "dom-eval",
+        [
+          Alcotest.test_case "child axis" `Quick test_child_axis;
+          Alcotest.test_case "descendant axis" `Quick test_descendant_axis;
+          Alcotest.test_case "wildcard" `Quick test_wildcard;
+          Alcotest.test_case "existence predicates" `Quick test_predicates_existence;
+          Alcotest.test_case "value predicates" `Quick test_predicates_values;
+          Alcotest.test_case "unparseable numbers" `Quick test_predicate_on_unparseable_number;
+          Alcotest.test_case "multiple predicates" `Quick test_multiple_predicates;
+          Alcotest.test_case "nested predicates" `Quick test_nested_predicates;
+          Alcotest.test_case "string-value concatenation" `Quick test_text_content_concatenation;
+          Alcotest.test_case "ancestor relations" `Quick test_structural_relations;
+          Alcotest.test_case "node_at" `Quick test_node_at;
+          prop_select_ids_valid;
+          prop_descendant_superset_of_child;
+          prop_select_sorted_unique;
+        ] );
+      ( "containment",
+        [
+          Alcotest.test_case "positive cases" `Quick test_containment_positive;
+          Alcotest.test_case "negative cases" `Quick test_containment_negative;
+          Alcotest.test_case "condition implication table" `Quick
+            test_condition_implication_table;
+          prop_containment_sound;
+        ] );
+      ( "filtered-select",
+        [ Alcotest.test_case "filters apply everywhere" `Quick test_select_filtered ] );
+    ]
