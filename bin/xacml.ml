@@ -32,6 +32,15 @@ let write_file path contents =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc contents)
 
+(* bad command-line input: a one-line usage error on stderr, exit code 2,
+   no backtrace *)
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("xacml: " ^ msg);
+      exit 2)
+    fmt
+
 (* a 24-byte 3DES key derived from a passphrase *)
 let key_of_passphrase pass =
   let h1 = Xmlac_crypto.Sha1.digest pass in
@@ -230,16 +239,22 @@ let view_cmd =
   let run input pass rules policy_file query user dummy stats_flag =
     let container = Container.of_bytes (read_file input) in
     let parse_rule i spec =
-      if String.length spec < 2 then failwith "rule too short"
+      if String.length spec < 2 then
+        die "--rule %S: too short (expected +XPATH or -XPATH)" spec
       else
         let sign =
           match spec.[0] with
           | '+' -> Rule.Permit
           | '-' -> Rule.Deny
-          | _ -> failwith "rule must start with + or -"
+          | _ -> die "--rule %S: must start with + or -" spec
         in
-        Rule.parse ~id:(Printf.sprintf "cli%d" i) ~sign
-          (String.sub spec 1 (String.length spec - 1))
+        match
+          Rule.parse ~id:(Printf.sprintf "cli%d" i) ~sign
+            (String.sub spec 1 (String.length spec - 1))
+        with
+        | rule -> rule
+        | exception Xmlac_xpath.Parse.Error (reason, pos) ->
+            die "--rule %S: invalid XPath at %d: %s" spec pos reason
     in
     let file_rules =
       match policy_file with
@@ -247,11 +262,11 @@ let view_cmd =
       | Some f -> (
           match Policy.of_string (read_file f) with
           | Ok p -> Policy.rules p
-          | Error e -> failwith e)
+          | Error e -> die "--policy %s: %s" f e)
     in
     let cli_rules = List.mapi parse_rule rules in
     if file_rules = [] && cli_rules = [] then
-      failwith "no rules: give --rule and/or --policy";
+      die "no rules: give --rule and/or --policy";
     let policy = Policy.make (file_rules @ cli_rules) in
     let policy =
       match user with
@@ -329,11 +344,12 @@ let license_cmd =
   in
   let run output subject rules valid_until doc_pass soe_pass =
     let parse_rule i spec =
+      if spec = "" then die "--rule: empty rule (expected +XPATH or -XPATH)";
       let sign =
         match spec.[0] with
         | '+' -> Xmlac_core.Rule.Permit
         | '-' -> Xmlac_core.Rule.Deny
-        | _ -> failwith "rule must start with + or -"
+        | _ -> die "--rule %S: must start with + or -" spec
       in
       (Printf.sprintf "L%d" i, sign, String.sub spec 1 (String.length spec - 1))
     in
@@ -407,7 +423,13 @@ let unlock_cmd =
 let update_cmd =
   let parse_path s =
     if s = "" then []
-    else List.map int_of_string (String.split_on_char '.' s)
+    else
+      List.map
+        (fun seg ->
+          match int_of_string_opt seg with
+          | Some i when i >= 0 -> i
+          | _ -> die "bad path %S: expected dot-separated child indices" s)
+        (String.split_on_char '.' s)
   in
   let delete =
     Arg.(
@@ -440,8 +462,8 @@ let update_cmd =
               Xmlac_skip_index.Update.Set_text
                 ( parse_path (String.sub spec 0 i),
                   String.sub spec (i + 1) (String.length spec - i - 1) )
-          | None -> failwith "--set-text expects PATH=TEXT")
-      | _ -> failwith "exactly one of --delete / --set-text is required"
+          | None -> die "--set-text %S: expected PATH=TEXT" spec)
+      | _ -> die "exactly one of --delete / --set-text is required"
     in
     let encoded', cost =
       Xmlac_skip_index.Update.update_encoded ~layout
@@ -475,8 +497,15 @@ let () =
     "client-based access control for XML documents (Bouganim, Dang Ngoc & \
      Pucheral, VLDB 2004)"
   in
-  exit
-    (Cmd.eval
+  (* hostile or damaged data files surface as typed exceptions from the
+     libraries; report them like `verify` reports an integrity failure
+     (message + exit 1) rather than a backtrace *)
+  let report_data_error msg =
+    prerr_endline ("xacml: " ^ msg);
+    exit 1
+  in
+  match
+    Cmd.eval ~catch:false
        (Cmd.group (Cmd.info "xacml" ~version:"1.0.0" ~doc)
           [
             gen_cmd;
@@ -487,4 +516,17 @@ let () =
             license_cmd;
             unlock_cmd;
             update_cmd;
-          ]))
+          ])
+  with
+  | code -> exit code
+  | exception Container.Corrupt msg ->
+      report_data_error ("corrupt container: " ^ msg)
+  | exception Container.Integrity_failure msg ->
+      report_data_error ("integrity failure: " ^ msg)
+  | exception Xmlac_skip_index.Error.Error e ->
+      report_data_error (Xmlac_skip_index.Error.to_string e)
+  | exception Xmlac_xml.Parser.Malformed (reason, pos) ->
+      report_data_error (Printf.sprintf "malformed XML at byte %d: %s" pos reason)
+  | exception Xmlac_core.Error.Stream_error msg ->
+      report_data_error ("invalid event stream: " ^ msg)
+  | exception Sys_error msg -> report_data_error msg

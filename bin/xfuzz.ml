@@ -1,0 +1,65 @@
+(* xfuzz — differential fuzzing / fault-injection driver for the pipeline's
+   trust boundaries (see lib/fuzz and DESIGN.md "Error taxonomy & fuzzing").
+
+   Exit status: 0 when every input was handled by the robustness contract
+   (typed rejection or faithful view), 1 when any crash or oracle
+   divergence was found, 2 on usage errors. *)
+
+open Cmdliner
+module Harness = Xmlac_fuzz.Harness
+
+let run seed iterations corpus_dir quiet =
+  let progress ~done_ ~total =
+    if not quiet then Printf.eprintf "\rfuzz: %d/%d inputs%!" done_ total
+  in
+  let report = Harness.run ~progress ~seed ~iterations () in
+  if not quiet then prerr_newline ();
+  Printf.printf
+    "seed %d: %d inputs (%d mutated) — %d accepted, %d rejected, %d failures\n"
+    seed report.Harness.runs report.Harness.mutated report.Harness.accepted
+    report.Harness.rejected
+    (List.length report.Harness.failures);
+  List.iteri
+    (fun i f ->
+      if i < 20 then
+        Printf.printf "  FAIL [%s] %s (%d bytes, mutation %s)\n"
+          f.Harness.boundary f.Harness.detail
+          (String.length f.Harness.input)
+          f.Harness.mutation)
+    report.Harness.failures;
+  (match corpus_dir with
+  | Some dir ->
+      let saved = Harness.save_failures ~dir report in
+      List.iter (Printf.printf "  saved %s\n") saved
+  | None -> ());
+  if report.Harness.failures = [] then 0 else 1
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Campaign PRNG seed.")
+
+let iterations_t =
+  Arg.(
+    value
+    & opt int 2000
+    & info [ "iterations" ] ~docv:"N"
+        ~doc:"Number of mutated inputs (spread over the five boundaries).")
+
+let corpus_dir_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus-dir" ] ~docv:"DIR"
+        ~doc:"Save each failure's input bytes under $(docv) for triage.")
+
+let quiet_t =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"No progress output on stderr.")
+
+let cmd =
+  let doc =
+    "Differentially fuzz the streaming pipeline's trust boundaries."
+  in
+  Cmd.v
+    (Cmd.info "xfuzz" ~version:"1.0.0" ~doc)
+    Term.(const run $ seed_t $ iterations_t $ corpus_dir_t $ quiet_t)
+
+let () = exit (Cmd.eval' cmd)

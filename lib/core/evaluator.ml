@@ -158,6 +158,7 @@ type st = {
   mutable last_sweep_tick : int;
   mutable depth : int;
   mutable live : int;  (* tokens across all levels, kept incrementally *)
+  mutable root_closed : bool;  (* a top-level element has been closed *)
 }
 
 let label_matches label tag =
@@ -542,7 +543,15 @@ let strip_wrapper events =
 
 (* Event handlers ------------------------------------------------------------- *)
 
+(* Guards against event streams no well-formed document can produce (a
+   corrupt decoder or a hand-built event list): they raise the typed
+   {!Error.Stream_error} instead of tripping internal invariants. Past
+   them, [st.levels] always holds [st.depth + 1] entries and
+   [st.rule_exprs]/[st.interests]/[st.open_elems] hold [st.depth], so the
+   [assert false] arms on those stacks below are genuinely unreachable. *)
 let handle_open st tag attributes =
+  if st.depth = 0 && st.root_closed then
+    raise (Error.Stream_error "multiple root elements");
   let depth = st.depth + 1 in
   st.depth <- depth;
   let top = match st.levels with t :: _ -> t | [] -> assert false in
@@ -682,6 +691,9 @@ let handle_text st text =
           ignore (new_item st (K_text text) oe_delivery oe_item))
 
 let handle_close st =
+  if st.depth = 0 then
+    raise (Error.Stream_error "close event without a matching open");
+  if st.depth = 1 then st.root_closed <- true;
   let depth = st.depth in
   (* value scopes attached to the element being closed *)
   let closing, remaining =
@@ -816,6 +828,7 @@ let run ?query ?dummy_denied ?(options = default_options) ?on_deliver ?observer
       last_sweep_tick = 0;
       depth = 0;
       live = List.length initial_tokens;
+      root_closed = false;
     }
   in
   let rec loop () =
@@ -830,6 +843,10 @@ let run ?query ?dummy_denied ?(options = default_options) ?on_deliver ?observer
         loop ()
   in
   loop ();
+  if st.depth > 0 then
+    raise
+      (Error.Stream_error
+         (Printf.sprintf "input ended with %d unclosed elements" st.depth));
   (* at the end of the document every predicate scope has closed, so every
      condition is decided; a final sweep settles what is left *)
   st.resolution_tick <- st.resolution_tick + 1;
@@ -849,3 +866,15 @@ let run_events ?query ?dummy_denied ?options ?on_deliver ?observer ~policy
     events =
   run ?query ?dummy_denied ?options ?on_deliver ?observer ~policy
     (Input.of_events events)
+
+let run_result ?query ?dummy_denied ?options ?on_deliver ?observer ~policy
+    input =
+  match Policy.streaming_compatible policy with
+  | Error msg -> Error (Error.Policy_invalid msg)
+  | Ok () -> (
+      match
+        run ?query ?dummy_denied ?options ?on_deliver ?observer ~policy input
+      with
+      | r -> Ok r
+      | exception e -> (
+          match Error.of_exn e with Some err -> Error err | None -> raise e))

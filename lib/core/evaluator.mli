@@ -79,7 +79,25 @@ val run :
     number (the anchor). Pending parts therefore arrive out of order; the
     final [result.events] are exactly the deliveries sorted by sequence
     number, which is what the terminal-side reassembler produces.
-    @raise Invalid_argument on an unresolved or non-linear policy. *)
+    @raise Invalid_argument on an unresolved or non-linear policy.
+    @raise Error.Stream_error on an event stream no well-formed document
+    can produce (close without open, a second root element, input ending
+    with elements still open) — the typed rejection for a decoder whose
+    byte stream was corrupted in a way that still decodes. *)
+
+val run_result :
+  ?query:Xmlac_xpath.Ast.t ->
+  ?dummy_denied:string ->
+  ?options:options ->
+  ?on_deliver:(seq:int -> Xmlac_xml.Event.t list -> unit) ->
+  ?observer:(observation -> unit) ->
+  policy:Policy.t ->
+  Input.t ->
+  (result, Error.t) Stdlib.result
+(** {!run} as a trust-boundary entry point: incompatible policies and
+    every classifiable exception of the layers below (malformed XML,
+    corrupt skip index, invalid stream) come back as a typed [Error].
+    Exceptions that indicate internal bugs still escape. *)
 
 val view_tree : result -> Xmlac_xml.Tree.t option
 (** The delivered events as a tree ([None] when nothing was delivered). *)

@@ -1,6 +1,9 @@
 type scheme = Ecb | Cbc_sha | Cbc_shac | Ecb_mht
 
 exception Integrity_failure of string
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Corrupt msg)) fmt
 
 let scheme_to_string = function
   | Ecb -> "ECB"
@@ -24,7 +27,7 @@ let scheme_of_byte = function
   | 1 -> Cbc_sha
   | 2 -> Cbc_shac
   | 3 -> Ecb_mht
-  | b -> invalid_arg (Printf.sprintf "Secure_container: unknown scheme byte %d" b)
+  | b -> corrupt "unknown scheme byte %d" b
 
 type t = {
   scheme : scheme;
@@ -171,10 +174,8 @@ let to_bytes t =
   Buffer.contents b
 
 let of_bytes s =
-  if String.length s < header_size then
-    invalid_arg "Secure_container.of_bytes: truncated header";
-  if String.sub s 0 (String.length magic) <> magic then
-    invalid_arg "Secure_container.of_bytes: bad magic";
+  if String.length s < header_size then corrupt "truncated header";
+  if String.sub s 0 (String.length magic) <> magic then corrupt "bad magic";
   let scheme = scheme_of_byte (Char.code s.[String.length magic]) in
   let chunk_size = be_value s 6 4 in
   let fragment_size = be_value s 10 4 in
@@ -184,12 +185,16 @@ let of_bytes s =
     || chunk_size mod 8 <> 0 || fragment_size mod 8 <> 0
     || chunk_size mod fragment_size <> 0
     || not (is_power_of_two (chunk_size / fragment_size))
-  then invalid_arg "Secure_container.of_bytes: bad sizes";
+  then corrupt "bad chunk/fragment sizes";
+  (* an 8-byte field can overflow the OCaml integer into a negative value,
+     and the payload can never exceed its own container: both would
+     otherwise turn into out-of-bounds accesses during decryption *)
+  if payload_len < 0 || payload_len > String.length s then
+    corrupt "implausible payload length";
   let nchunks = max 1 ((payload_len + chunk_size - 1) / chunk_size) in
   let blob = if scheme = Ecb then 0 else digest_blob_size in
   let expected = header_size + (nchunks * (chunk_size + blob)) in
-  if String.length s <> expected then
-    invalid_arg "Secure_container.of_bytes: bad total length";
+  if String.length s <> expected then corrupt "bad total length";
   let chunks =
     Array.init nchunks (fun i ->
         String.sub s (header_size + (i * (chunk_size + blob))) chunk_size)
@@ -200,6 +205,9 @@ let of_bytes s =
         else String.sub s (header_size + (i * (chunk_size + blob)) + chunk_size) blob)
   in
   { scheme; chunk_size; fragment_size; payload_len; chunks; digests }
+
+let of_bytes_result s =
+  match of_bytes s with t -> Ok t | exception Corrupt msg -> Error msg
 
 let chunk_ciphertext t i = t.chunks.(i)
 let encrypted_digest t i = t.digests.(i)
@@ -234,16 +242,17 @@ let decrypt_fragment t ~key ~chunk ~fragment ~cipher =
         cipher
 
 let verify_chunk t ~key i ~plain =
-  match t.scheme with
-  | Ecb -> ()
-  | _ ->
-      let expected =
-        match t.scheme with
-        | Ecb -> assert false
-        | Cbc_sha -> expected_digest_of_plain t ~chunk:i ~plain
-        | Cbc_shac -> expected_digest_of_cipher t ~chunk:i ~cipher:t.chunks.(i)
-        | Ecb_mht -> seal_root t ~chunk:i ~root:(mht_root t ~chunk:i ~cipher:t.chunks.(i))
-      in
+  let expected =
+    match t.scheme with
+    | Ecb -> None (* no digests to check *)
+    | Cbc_sha -> Some (expected_digest_of_plain t ~chunk:i ~plain)
+    | Cbc_shac -> Some (expected_digest_of_cipher t ~chunk:i ~cipher:t.chunks.(i))
+    | Ecb_mht ->
+        Some (seal_root t ~chunk:i ~root:(mht_root t ~chunk:i ~cipher:t.chunks.(i)))
+  in
+  match expected with
+  | None -> ()
+  | Some expected ->
       if not (String.equal expected (decrypt_digest t ~key i)) then
         raise (Integrity_failure (Printf.sprintf "chunk %d digest mismatch" i))
 

@@ -57,7 +57,12 @@ val to_bytes : t -> string
 
 val of_bytes : string -> t
 (** Parse a serialized container without verifying anything (the terminal
-    side). @raise Invalid_argument on malformed headers. *)
+    side). @raise Corrupt on malformed headers — including oversized or
+    negative (integer-overflowed) payload lengths, which would otherwise
+    surface as out-of-bounds accesses during decryption. *)
+
+val of_bytes_result : string -> (t, string) result
+(** {!of_bytes} as a [result]; never raises. *)
 
 (** {2 Terminal-side accessors (no secrets involved)} *)
 
@@ -102,3 +107,9 @@ val decrypt_all : t -> key:Des.Triple.key -> verify:bool -> string
     fails. *)
 
 exception Integrity_failure of string
+(** A digest check failed: the container was tampered with (or the wrong
+    key was used). A {e typed rejection}, part of the security contract. *)
+
+exception Corrupt of string
+(** The container bytes are structurally malformed (parsing-time rejection,
+    before any cryptography runs). *)

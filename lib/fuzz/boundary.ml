@@ -1,0 +1,76 @@
+module C = Xmlac_crypto.Secure_container
+module Decoder = Xmlac_skip_index.Decoder
+
+type outcome = Accepted | Rejected of string | Crashed of string
+
+type id = Xml_parse | Skip_decode | Container | Channel_eval | Policy_text
+
+let all = [ Xml_parse; Skip_decode; Container; Channel_eval; Policy_text ]
+
+let id_name = function
+  | Xml_parse -> "xml-parse"
+  | Skip_decode -> "skip-decode"
+  | Container -> "container"
+  | Channel_eval -> "channel-eval"
+  | Policy_text -> "policy-text"
+
+(* The robustness contract: hostile bytes may only surface through these
+   typed channels. Anything else escaping a boundary is a crash — a bug in
+   the layer, not in the input. *)
+let classify = function
+  | Xmlac_xml.Parser.Malformed (reason, pos) ->
+      Rejected (Printf.sprintf "malformed XML at byte %d: %s" pos reason)
+  | Xmlac_xpath.Parse.Error (reason, pos) ->
+      Rejected (Printf.sprintf "invalid XPath at %d: %s" pos reason)
+  | Xmlac_skip_index.Error.Error e ->
+      Rejected (Xmlac_skip_index.Error.to_string e)
+  | Xmlac_core.Error.Stream_error msg ->
+      Rejected ("invalid event stream: " ^ msg)
+  | C.Corrupt msg -> Rejected ("corrupt container: " ^ msg)
+  | C.Integrity_failure msg -> Rejected ("integrity violation: " ^ msg)
+  | e -> Crashed (Printexc.to_string e)
+
+let run f = match f () with () -> Accepted | exception e -> classify e
+
+let xml_parse bytes =
+  run (fun () -> ignore (Xmlac_xml.Parser.events bytes))
+
+let skip_decode bytes =
+  run (fun () ->
+      let d = Decoder.of_string bytes in
+      let rec drain () =
+        match Decoder.next d with Some _ -> drain () | None -> ()
+      in
+      drain ())
+
+let container ~key bytes =
+  run (fun () ->
+      let t = C.of_bytes bytes in
+      ignore (C.decrypt_all t ~key ~verify:true))
+
+type eval_outcome = {
+  outcome : outcome;
+  view : Xmlac_xml.Event.t list option;
+      (** the delivered events when the pipeline accepted the input *)
+}
+
+let channel_eval ~key ~policy bytes =
+  match
+    let t = C.of_bytes bytes in
+    let counters = Xmlac_soe.Channel.fresh_counters () in
+    let source =
+      Xmlac_soe.Channel.source ~verify:true ~container:t ~key counters
+    in
+    let decoder = Decoder.of_source source in
+    let input = Xmlac_core.Input.of_decoder decoder in
+    let result = Xmlac_core.Evaluator.run ~policy input in
+    result.Xmlac_core.Evaluator.events
+  with
+  | events -> { outcome = Accepted; view = Some events }
+  | exception e -> { outcome = classify e; view = None }
+
+let policy_text text =
+  match Xmlac_core.Policy.of_string text with
+  | Ok _ -> Accepted
+  | Error msg -> Rejected msg
+  | exception e -> classify e

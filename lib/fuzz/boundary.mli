@@ -1,0 +1,48 @@
+(** The pipeline's trust boundaries, each wrapped as a total function over
+    arbitrary bytes.
+
+    Every runner enforces the same contract: hostile input comes back as
+    [Rejected] (a typed error was raised or returned), well-formed input as
+    [Accepted], and {e any other escaping exception} as [Crashed] — which
+    the harness reports as a bug. *)
+
+type outcome =
+  | Accepted
+  | Rejected of string  (** typed rejection, with the layer's message *)
+  | Crashed of string  (** an untyped exception escaped — a pipeline bug *)
+
+type id = Xml_parse | Skip_decode | Container | Channel_eval | Policy_text
+
+val all : id list
+val id_name : id -> string
+
+val classify : exn -> outcome
+(** Map the typed exceptions of every layer to [Rejected]; anything else to
+    [Crashed]. *)
+
+val xml_parse : string -> outcome
+(** Raw document bytes into {!Xmlac_xml.Parser}. *)
+
+val skip_decode : string -> outcome
+(** Encoded bytes into {!Xmlac_skip_index.Decoder}, drained to the end. *)
+
+val container : key:Xmlac_crypto.Des.Triple.key -> string -> outcome
+(** Serialized container bytes parsed and fully decrypted with
+    verification. *)
+
+type eval_outcome = {
+  outcome : outcome;
+  view : Xmlac_xml.Event.t list option;
+      (** the delivered events when the pipeline accepted the input *)
+}
+
+val channel_eval :
+  key:Xmlac_crypto.Des.Triple.key ->
+  policy:Xmlac_core.Policy.t ->
+  string ->
+  eval_outcome
+(** The full pipeline: container bytes → SOE channel (with integrity
+    verification) → skip-index decoder → streaming evaluator. *)
+
+val policy_text : string -> outcome
+(** Policy text into {!Xmlac_core.Policy.of_string}. *)

@@ -1,0 +1,248 @@
+module Prng = Xmlac_workload.Prng
+module Tree = Xmlac_xml.Tree
+module Layout = Xmlac_skip_index.Layout
+module Encoder = Xmlac_skip_index.Encoder
+module C = Xmlac_crypto.Secure_container
+
+(* 24-byte triple-DES key; its value is irrelevant to the campaign, only
+   that encryption and decryption agree on it *)
+let key = Xmlac_crypto.Des.Triple.key_of_string "xmlac-fuzz-24-byte-key!!"
+
+let binary_layouts = [ Layout.Tc; Layout.Tcs; Layout.Tcsb; Layout.Tcsbr ]
+
+type seed_entry = {
+  doc : Tree.t;
+  xml : string;
+  policy : Xmlac_core.Policy.t;
+  policy_src : string;
+  encodings : (Layout.t * string) list;
+  containers : (C.scheme * string) list;
+}
+
+let tiny_doc =
+  Tree.element "r"
+    [
+      Tree.element "a" [ Tree.text "x"; Tree.element "b" [] ];
+      Tree.element "a" ~attributes:[ { Xmlac_xml.Event.name = "k"; value = "v" } ] [ Tree.text "y" ];
+      Tree.element "c" [ Tree.element "a" [ Tree.text "z" ] ];
+    ]
+
+let seed_entry ~seed doc =
+  (* the skip index cannot represent attributes; normalize them away, as
+     the publishing pipeline does. Then canonicalize through one
+     serialize/parse round trip: generators may carry empty text nodes,
+     which no serialized document can represent, and the differential
+     oracle must judge the document a client can actually publish. *)
+  let doc = Tree.attributes_to_elements doc in
+  let xml = Xmlac_xml.Writer.tree_to_string doc in
+  let doc = Tree.parse xml in
+  let policy = Xmlac_workload.Rule_gen.generate ~seed doc in
+  let encodings =
+    List.map (fun l -> (l, Encoder.encode ~layout:l doc)) binary_layouts
+  in
+  (* small chunks and fragments so even tiny documents span several of
+     each, giving the boundary-corruption mutators seams to hit *)
+  let tcsbr = List.assoc Layout.Tcsbr encodings in
+  let containers =
+    List.map
+      (fun scheme ->
+        ( scheme,
+          C.to_bytes
+            (C.encrypt ~chunk_size:512 ~fragment_size:64 ~scheme ~key tcsbr)
+        ))
+      C.all_schemes
+  in
+  { doc; xml; policy; policy_src = Xmlac_core.Policy.to_string policy; encodings; containers }
+
+let seed_corpus ~seed =
+  let open Xmlac_workload.Datasets in
+  let doc kind bytes i = generate kind ~seed:(seed + i) ~target_bytes:bytes in
+  [
+    seed_entry ~seed tiny_doc;
+    seed_entry ~seed:(seed + 1) (doc Wsu 700 1);
+    seed_entry ~seed:(seed + 2) (doc Sigmod 900 2);
+    seed_entry ~seed:(seed + 3) (doc Treebank 700 3);
+  ]
+
+type failure = {
+  boundary : string;
+  mutation : string;  (** "seed" for unmutated differential runs *)
+  detail : string;
+  input : string;
+}
+
+type report = {
+  runs : int;  (** total inputs pushed through a boundary *)
+  mutated : int;  (** of which mutated *)
+  accepted : int;
+  rejected : int;
+  failures : failure list;  (** crashes and oracle divergences *)
+}
+
+let view_matches ~oracle events =
+  match (oracle, events) with
+  | None, [] -> true
+  | None, _ :: _ | Some _, [] -> false
+  | Some expected, (_ :: _ as evs) -> (
+      match Tree.of_events evs with
+      | tree -> Tree.equal expected tree
+      | exception _ -> false)
+
+let run ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~iterations () =
+  let rng = Prng.make ~seed in
+  let entries = Array.of_list (seed_corpus ~seed) in
+  let oracles =
+    Array.map
+      (fun e -> Xmlac_core.Oracle.authorized_view e.policy e.doc)
+      entries
+  in
+  let runs = ref 0
+  and mutated = ref 0
+  and accepted = ref 0
+  and rejected = ref 0
+  and failures = ref [] in
+  let record ~boundary ~mutation ~input outcome =
+    incr runs;
+    match (outcome : Boundary.outcome) with
+    | Accepted -> incr accepted
+    | Rejected _ -> incr rejected
+    | Crashed detail ->
+        failures := { boundary; mutation; detail; input } :: !failures
+  in
+  let diverged ~boundary ~mutation ~input detail =
+    failures := { boundary; mutation; detail; input } :: !failures
+  in
+
+  (* Phase 1 — differential sanity on unmutated seeds: every input
+     representation (raw XML, each skip-index layout, each encryption
+     scheme) must yield exactly the DOM oracle's authorized view. *)
+  Array.iteri
+    (fun i e ->
+      let oracle = oracles.(i) in
+      let check ~boundary ~input events =
+        if not (view_matches ~oracle events) then
+          diverged ~boundary ~mutation:"seed" ~input
+            "authorized view differs from the DOM oracle"
+      in
+      let eval input_s =
+        (Xmlac_core.Evaluator.run ~policy:e.policy input_s)
+          .Xmlac_core.Evaluator.events
+      in
+      incr runs;
+      check ~boundary:"xml-parse" ~input:e.xml
+        (eval (Xmlac_core.Input.of_string e.xml));
+      List.iter
+        (fun (layout, enc) ->
+          incr runs;
+          let decoder = Xmlac_skip_index.Decoder.of_string enc in
+          check
+            ~boundary:("skip-decode/" ^ Layout.to_string layout)
+            ~input:enc
+            (eval (Xmlac_core.Input.of_decoder decoder)))
+        e.encodings;
+      List.iter
+        (fun (scheme, bytes) ->
+          incr runs;
+          let r = Boundary.channel_eval ~key ~policy:e.policy bytes in
+          match r.Boundary.view with
+          | Some events ->
+              check
+                ~boundary:("channel-eval/" ^ C.scheme_to_string scheme)
+                ~input:bytes events
+          | None ->
+              diverged
+                ~boundary:("channel-eval/" ^ C.scheme_to_string scheme)
+                ~mutation:"seed" ~input:bytes
+                (match r.Boundary.outcome with
+                | Rejected msg -> "pristine container rejected: " ^ msg
+                | Crashed msg -> "pristine container crashed: " ^ msg
+                | Accepted -> "accepted without a view"))
+        e.containers)
+    entries;
+
+  (* Phase 2 — fault injection: mutated bytes into every trust boundary,
+     round-robin so a campaign of N iterations covers each boundary N/5
+     times. Invariant: typed rejection or a faithful view, never a crash. *)
+  let pick_entry () = entries.(Prng.int rng (Array.length entries)) in
+  for i = 0 to iterations - 1 do
+    incr mutated;
+    (match List.nth Boundary.all (i mod List.length Boundary.all) with
+    | Boundary.Xml_parse ->
+        let e = pick_entry () in
+        let input, mutation = Mutate.random rng e.xml in
+        record ~boundary:"xml-parse" ~mutation ~input
+          (Boundary.xml_parse input)
+    | Boundary.Skip_decode ->
+        let e = pick_entry () in
+        let layout, enc =
+          List.nth e.encodings (Prng.int rng (List.length e.encodings))
+        in
+        let input, mutation = Mutate.random rng enc in
+        record
+          ~boundary:("skip-decode/" ^ Layout.to_string layout)
+          ~mutation ~input
+          (Boundary.skip_decode input)
+    | Boundary.Container ->
+        let e = pick_entry () in
+        let scheme, bytes =
+          List.nth e.containers (Prng.int rng (List.length e.containers))
+        in
+        let input, mutation = Mutate.random rng bytes in
+        record
+          ~boundary:("container/" ^ C.scheme_to_string scheme)
+          ~mutation ~input
+          (Boundary.container ~key input)
+    | Boundary.Channel_eval ->
+        let ei = Prng.int rng (Array.length entries) in
+        let e = entries.(ei) in
+        let scheme, bytes =
+          List.nth e.containers (Prng.int rng (List.length e.containers))
+        in
+        let input, mutation = Mutate.random rng bytes in
+        let boundary = "channel-eval/" ^ C.scheme_to_string scheme in
+        let r = Boundary.channel_eval ~key ~policy:e.policy input in
+        record ~boundary ~mutation ~input r.Boundary.outcome;
+        (* accepted tampered bytes must still yield the oracle's view —
+           except under ECB, which promises no integrity *)
+        (match r.Boundary.view with
+        | Some events when scheme <> C.Ecb ->
+            if not (view_matches ~oracle:oracles.(ei) events) then
+              diverged ~boundary ~mutation ~input
+                "tampered container accepted with a wrong view"
+        | _ -> ())
+    | Boundary.Policy_text ->
+        let e = pick_entry () in
+        let input, mutation = Mutate.random rng e.policy_src in
+        record ~boundary:"policy-text" ~mutation ~input
+          (Boundary.policy_text input));
+    if (i + 1) mod 100 = 0 then progress ~done_:(i + 1) ~total:iterations
+  done;
+  {
+    runs = !runs;
+    mutated = !mutated;
+    accepted = !accepted;
+    rejected = !rejected;
+    failures = List.rev !failures;
+  }
+
+let save_failures ~dir report =
+  if report.failures = [] then []
+  else begin
+    (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
+    List.mapi
+      (fun i f ->
+        let safe =
+          String.map
+            (fun c ->
+              match c with
+              | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+              | _ -> '_')
+            f.boundary
+        in
+        let path = Filename.concat dir (Printf.sprintf "%s__%03d.bin" safe i) in
+        let oc = open_out_bin path in
+        output_string oc f.input;
+        close_out oc;
+        path)
+      report.failures
+  end

@@ -1,0 +1,39 @@
+(** The differential fuzzing / fault-injection campaign.
+
+    Seeds are structure-aware: real documents from
+    {!Xmlac_workload.Datasets} with random policies from
+    {!Xmlac_workload.Rule_gen}, encoded in every skip-index layout and
+    encrypted under every container scheme. Phase 1 checks the pristine
+    seeds differentially against the DOM oracle; phase 2 pushes
+    {!Mutate}-corrupted bytes through every {!Boundary}.
+
+    The campaign is a pure function of [seed] — a failure reproduces by
+    rerunning with the same seed and iteration count. *)
+
+type failure = {
+  boundary : string;
+  mutation : string;  (** "seed" for unmutated differential runs *)
+  detail : string;
+  input : string;  (** the offending bytes, for triage / corpus capture *)
+}
+
+type report = {
+  runs : int;  (** total inputs pushed through a boundary *)
+  mutated : int;  (** of which mutated *)
+  accepted : int;
+  rejected : int;
+  failures : failure list;  (** crashes and oracle divergences *)
+}
+
+val run :
+  ?progress:(done_:int -> total:int -> unit) ->
+  seed:int ->
+  iterations:int ->
+  unit ->
+  report
+(** Run phase 1 plus [iterations] mutated inputs, spread round-robin over
+    the five boundaries. *)
+
+val save_failures : dir:string -> report -> string list
+(** Write each failure's input bytes to [dir/<boundary>__NNN.bin]
+    (creating [dir]); returns the paths, for corpus triage. *)

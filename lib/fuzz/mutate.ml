@@ -1,0 +1,143 @@
+module Prng = Xmlac_workload.Prng
+
+type t = { name : string; apply : Prng.t -> string -> string }
+
+let random_byte rng =
+  (* biased towards the interesting corners: 0x00 and 0xFF exercise
+     length/continuation fields, arbitrary bytes exercise everything else *)
+  match Prng.int rng 4 with
+  | 0 -> '\x00'
+  | 1 -> '\xff'
+  | _ -> Char.chr (Prng.int rng 256)
+
+let truncate =
+  {
+    name = "truncate";
+    apply =
+      (fun rng s ->
+        let n = String.length s in
+        if n = 0 then s else String.sub s 0 (Prng.int rng n));
+  }
+
+let bit_flip =
+  {
+    name = "bit-flip";
+    apply =
+      (fun rng s ->
+        let n = String.length s in
+        if n = 0 then s
+        else begin
+          let b = Bytes.of_string s in
+          for _ = 1 to 1 + Prng.int rng 8 do
+            let i = Prng.int rng n in
+            let bit = 1 lsl Prng.int rng 8 in
+            Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor bit))
+          done;
+          Bytes.to_string b
+        end);
+  }
+
+let byte_set =
+  {
+    name = "byte-set";
+    apply =
+      (fun rng s ->
+        let n = String.length s in
+        if n = 0 then s
+        else begin
+          let b = Bytes.of_string s in
+          for _ = 1 to 1 + Prng.int rng 16 do
+            Bytes.set b (Prng.int rng n) (random_byte rng)
+          done;
+          Bytes.to_string b
+        end);
+  }
+
+let block_substitute =
+  {
+    name = "block-substitute";
+    apply =
+      (fun rng s ->
+        let n = String.length s in
+        if n < 2 then s
+        else begin
+          let len = min n (1 + Prng.int rng 64) in
+          let src = Prng.int rng (n - len + 1) in
+          let dst = Prng.int rng (n - len + 1) in
+          let b = Bytes.of_string s in
+          Bytes.blit_string s src b dst len;
+          Bytes.to_string b
+        end);
+  }
+
+let block_reorder =
+  {
+    name = "block-reorder";
+    apply =
+      (fun rng s ->
+        let n = String.length s in
+        if n < 4 then s
+        else begin
+          let len = min (n / 2) (1 + Prng.int rng 32) in
+          let a = Prng.int rng (n - (2 * len) + 1) in
+          let b_off = a + len + Prng.int rng (n - a - (2 * len) + 1) in
+          let b = Bytes.of_string s in
+          Bytes.blit_string s a b b_off len;
+          Bytes.blit_string s b_off b a len;
+          Bytes.to_string b
+        end);
+  }
+
+let chunk_boundary =
+  {
+    name = "chunk-boundary";
+    apply =
+      (fun rng s ->
+        let n = String.length s in
+        if n = 0 then s
+        else begin
+          (* hit the container's structural seams: the header, and
+             block / fragment / chunk alignment points *)
+          let unit = Prng.choice rng [| 1; 8; 64; 256; 512; 2048 |] in
+          let slots = max 1 (n / unit) in
+          let b = Bytes.of_string s in
+          for _ = 1 to 1 + Prng.int rng 3 do
+            let base = Prng.int rng slots * unit in
+            let i = base + Prng.int rng (min unit (n - base)) in
+            Bytes.set b (min i (n - 1)) (random_byte rng)
+          done;
+          Bytes.to_string b
+        end);
+  }
+
+let splice =
+  {
+    name = "splice";
+    apply =
+      (fun rng s ->
+        let n = String.length s in
+        if n < 2 then s
+        else
+          (* prefix of one copy glued to a suffix from elsewhere: shifts
+             every later field off its expected offset *)
+          let cut = 1 + Prng.int rng (n - 1) in
+          let from = Prng.int rng n in
+          String.sub s 0 cut ^ String.sub s from (n - from));
+  }
+
+let all =
+  [|
+    truncate; bit_flip; byte_set; block_substitute; block_reorder;
+    chunk_boundary; splice;
+  |]
+
+let random rng s =
+  let rounds = 1 + Prng.int rng 3 in
+  let names = ref [] in
+  let out = ref s in
+  for _ = 1 to rounds do
+    let m = Prng.choice rng all in
+    names := m.name :: !names;
+    out := m.apply rng !out
+  done;
+  (!out, String.concat "+" (List.rev !names))

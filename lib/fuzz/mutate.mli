@@ -1,0 +1,38 @@
+(** Byte-level mutators for the fault-injection harness.
+
+    All mutators are driven by the deterministic {!Xmlac_workload.Prng},
+    so a campaign is a pure function of its seed. They are
+    structure-oblivious on purpose: the pipeline's robustness contract is
+    about arbitrary hostile bytes, not merely slightly-wrong documents. *)
+
+type t = { name : string; apply : Xmlac_workload.Prng.t -> string -> string }
+
+val truncate : t
+(** Cut the input at a random point (models interrupted transfers). *)
+
+val bit_flip : t
+(** Flip 1–8 random bits. *)
+
+val byte_set : t
+(** Overwrite 1–16 random bytes, biased towards [0x00]/[0xFF]. *)
+
+val block_substitute : t
+(** Copy a random block over another position (models the block-substitution
+    attacks of the paper's Section 6). *)
+
+val block_reorder : t
+(** Swap two disjoint blocks. *)
+
+val chunk_boundary : t
+(** Corrupt bytes at structural seams: header region and 8 / 64 / 256 /
+    512 / 2048-byte alignment points (cipher blocks, fragments, chunks). *)
+
+val splice : t
+(** Glue a prefix to a suffix taken from elsewhere, shifting every later
+    field off its expected offset. *)
+
+val all : t array
+
+val random : Xmlac_workload.Prng.t -> string -> string * string
+(** Apply 1–3 randomly chosen mutators; returns the mutated bytes and a
+    ["name+name"] description of what was applied. *)

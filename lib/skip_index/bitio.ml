@@ -100,7 +100,7 @@ module Reader = struct
   let length r = r.length
 
   let refill r =
-    if r.pos >= r.length then invalid_arg "Bitio.Reader: read past end";
+    if r.pos >= r.length then Error.corrupt "read past end of input";
     let s = r.read ~pos:r.pos ~len:1 in
     r.acc <- (r.acc lsl 8) lor Char.code s.[0];
     r.acc_bits <- r.acc_bits + 8;
@@ -126,7 +126,11 @@ module Reader = struct
   let varint r =
     align r;
     let rec go shift acc =
-      if r.pos >= r.length then invalid_arg "Bitio.Reader.varint: truncated";
+      if r.pos >= r.length then Error.corrupt "truncated varint";
+      (* cap at 8 bytes of payload (2^56-1): far beyond any valid field,
+         and keeps hostile continuation-byte chains from overflowing the
+         OCaml integer into a negative value *)
+      if shift > 49 then Error.corrupt "varint too long";
       let b = Char.code (r.read ~pos:r.pos ~len:1).[0] in
       r.pos <- r.pos + 1;
       let acc = acc lor ((b land 0x7F) lsl shift) in
@@ -136,7 +140,7 @@ module Reader = struct
 
   let bytes r n =
     align r;
-    if r.pos + n > r.length then invalid_arg "Bitio.Reader.bytes: truncated";
+    if n < 0 || r.pos + n > r.length then Error.corrupt "truncated byte run";
     let s = r.read ~pos:r.pos ~len:n in
     r.pos <- r.pos + n;
     s

@@ -58,9 +58,18 @@ module Reader : sig
   val length : t -> int
 
   val bits : t -> width:int -> int
-  (** Read [width] bits MSB-first. @raise Invalid_argument past the end. *)
+  (** Read [width] bits MSB-first. @raise Error.Error ([Corrupt]) past the
+      end of the source; @raise Invalid_argument on a bad [width] (an API
+      error, not an input error). *)
 
   val align : t -> unit
+
   val varint : t -> int
+  (** Read an unsigned LEB128 integer. @raise Error.Error ([Corrupt]) when
+      truncated or longer than 8 payload bytes (hostile inputs could
+      otherwise overflow the OCaml integer). The result is always
+      non-negative and below [2^56]. *)
+
   val bytes : t -> int -> string
+  (** @raise Error.Error ([Corrupt]) when fewer than [n] bytes remain. *)
 end

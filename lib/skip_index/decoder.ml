@@ -33,7 +33,9 @@ let of_source source =
   let hdr = Encoder.read_header reader in
   match hdr.Encoder.dict with
   | None ->
-      invalid_arg "Skip_index.Decoder: the NC layout has no binary body"
+      (* a valid layout, but not one this decoder can stream: callers of the
+         binary decoder treat an NC payload like any other undecodable input *)
+      Error.corrupt "the NC layout has no binary body"
   | Some dict ->
       {
         source;
@@ -47,6 +49,8 @@ let of_source source =
       }
 
 let of_string s = of_source (source_of_string s)
+let of_source_result source = Error.guard (fun () -> of_source source)
+let of_string_result s = Error.guard (fun () -> of_string s)
 
 let layout t = t.hdr.Encoder.layout
 let dict t = t.dict
@@ -60,6 +64,13 @@ let parent_context t =
   | [] -> (t.full_set, true, t.hdr.Encoder.body_size)
   | f :: _ -> (f.set, f.has_set, f.size)
 
+(* Absolute end of the region a child encoding may occupy; -1 when the
+   layout records no sizes (TC). *)
+let parent_limit t =
+  match t.stack with
+  | [] -> t.hdr.Encoder.body_start + t.hdr.Encoder.body_size
+  | f :: _ -> f.end_pos
+
 let read_bitmap t reference =
   let selected = ref [] in
   Array.iter
@@ -69,6 +80,12 @@ let read_bitmap t reference =
     reference;
   Array.of_list (List.rev !selected)
 
+(* [of_source] refuses NC inputs, so [layout t] is never NC below; the
+   remaining [assert false] arms on NC are internal invariants, not
+   reachable from input bytes. All field values, however, COME from input
+   bytes: tag and size fields are range-checked here because their bit
+   widths usually allow values beyond the valid range (e.g. a 3-entry
+   dictionary is indexed by 2 bits that can also encode 3). *)
 let read_element t kind =
   let parent_set, parent_has_set, parent_size = parent_context t in
   let lay = layout t in
@@ -77,10 +94,23 @@ let read_element t kind =
     match lay with
     | Layout.Tcsbr ->
         if not parent_has_set then
-          invalid_arg "Skip_index.Decoder: missing parent tag set";
+          Error.corrupt "missing parent tag set";
+        if Array.length parent_set = 0 then
+          Error.corrupt "element inside content declared leaf-only";
         let w = Bitio.bits_for_index (Array.length parent_set) in
-        parent_set.(Bitio.Reader.bits t.reader ~width:w)
-    | _ -> Bitio.Reader.bits t.reader ~width:(Bitio.bits_for_index dict_size)
+        let i = Bitio.Reader.bits t.reader ~width:w in
+        if i >= Array.length parent_set then
+          Error.corrupt "tag code %d outside parent set of %d" i
+            (Array.length parent_set);
+        parent_set.(i)
+    | _ ->
+        if dict_size = 0 then Error.corrupt "element with an empty dictionary";
+        let i =
+          Bitio.Reader.bits t.reader ~width:(Bitio.bits_for_index dict_size)
+        in
+        if i >= dict_size then
+          Error.corrupt "tag index %d outside dictionary of %d" i dict_size;
+        i
   in
   let size =
     match lay with
@@ -89,8 +119,7 @@ let read_element t kind =
         Bitio.Reader.bits t.reader
           ~width:(Bitio.bits_for_value t.hdr.Encoder.body_size)
     | Layout.Tcsbr ->
-        if parent_size < 0 then
-          invalid_arg "Skip_index.Decoder: missing parent size";
+        if parent_size < 0 then Error.corrupt "missing parent size";
         Bitio.Reader.bits t.reader ~width:(Bitio.bits_for_value parent_size)
     | Layout.Nc -> assert false
   in
@@ -107,6 +136,14 @@ let read_element t kind =
   in
   Bitio.Reader.align t.reader;
   let content_start = Bitio.Reader.position t.reader in
+  (* a subtree must lie inside its parent's content (or the body, at the
+     root): anything else would let hostile sizes aim [skip]/[seek] outside
+     the valid region *)
+  (if size >= 0 then
+     let limit = parent_limit t in
+     if limit >= 0 && content_start + size > limit then
+       Error.corrupt "subtree size %d overruns its parent (at byte %d)" size
+         content_start);
   let tag = Dict.tag t.dict tag_idx in
   let frame =
     {
@@ -127,7 +164,7 @@ let next t : Event.t option =
   else begin
     let pop () =
       match t.stack with
-      | [] -> assert false
+      | [] -> Error.corrupt "close marker without an open element"
       | f :: rest ->
           t.stack <- rest;
           if rest = [] then t.finished <- true;
@@ -140,7 +177,8 @@ let next t : Event.t option =
     | _ ->
         if Bitio.Reader.at_end t.reader then
           if t.stack = [] then None
-          else invalid_arg "Skip_index.Decoder: truncated body"
+          else Error.corrupt "truncated body: %d elements still open"
+                 (List.length t.stack)
         else begin
           let kind = Bitio.Reader.bits t.reader ~width:2 in
           if kind = Wire.kind_text then begin
@@ -161,6 +199,8 @@ let next t : Event.t option =
 let top_frame_after_start t =
   if not t.after_start then
     invalid_arg "Skip_index.Decoder: not positioned right after a Start event";
+  (* internal invariant: [after_start] is only ever set by [read_element],
+     which pushes the frame it describes *)
   match t.stack with [] -> assert false | f :: _ -> f
 
 let descendant_tags t =
@@ -273,6 +313,14 @@ let read_subtree t h =
     match next sub with None -> List.rev acc | Some e -> drain (e :: acc)
   in
   Event.Start { tag = h.h_tag; attributes = [] } :: drain []
+
+let events_result s =
+  Error.guard (fun () ->
+      let t = of_string s in
+      let rec drain acc =
+        match next t with None -> List.rev acc | Some e -> drain (e :: acc)
+      in
+      drain [])
 
 let read_range t h =
   (* a synthetic frame bounds the range; its closing event is dropped *)

@@ -22,18 +22,30 @@ val source_of_string : string -> source
 type t
 
 val of_source : source -> t
-(** Reads and validates the header. @raise Invalid_argument on malformed
-    input or on the NC layout (which has no binary body; parse its XML text
-    directly instead). *)
+(** Reads and validates the header. @raise Error.Error ([Corrupt]) on
+    malformed input or on the NC layout (which has no binary body; parse
+    its XML text directly instead). *)
 
 val of_string : string -> t
+
+val of_source_result : source -> (t, Error.t) result
+val of_string_result : string -> (t, Error.t) result
+
+val events_result : string -> (Xmlac_xml.Event.t list, Error.t) result
+(** Decode a whole document. The decoder's trust-boundary contract: for any
+    byte string — hostile, truncated, bit-flipped — this returns either the
+    event stream or [Error (Corrupt _)]; it never raises. *)
 
 val layout : t -> Layout.t
 val dict : t -> Dict.t
 val header : t -> Encoder.header
 
 val next : t -> Xmlac_xml.Event.t option
-(** Next event; [None] once the root element has been closed. *)
+(** Next event; [None] once the root element has been closed.
+    @raise Error.Error ([Corrupt]) on malformed bytes: truncated body,
+    out-of-range tag or size fields, close markers with no open element.
+    The emitted stream is always balanced (every [Start] eventually gets
+    its [End]) unless that exception cuts it short. *)
 
 val descendant_tags : t -> string list option
 (** After a [Start] event: the tags that can appear below the element just

@@ -26,6 +26,11 @@ let write w d =
 
 let read r =
   let n = Bitio.Reader.varint r in
+  (* each entry takes at least one byte, so a count reaching beyond the
+     remaining input is necessarily corrupt — and must be caught before
+     Array.init tries to allocate it *)
+  if n > Bitio.Reader.length r - Bitio.Reader.position r then
+    Error.corrupt "tag dictionary announces %d entries, input too short" n;
   let tags =
     Array.init n (fun _ ->
         let len = Bitio.Reader.varint r in

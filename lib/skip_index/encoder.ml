@@ -118,7 +118,16 @@ let resolve_sizes layout ~dict_size ~full_set root =
   let body = ref 0 in
   while not !stable do
     incr rounds;
-    if !rounds > 64 then failwith "Skip_index.Encoder: size fixpoint diverged";
+    (* sizes only grow round to round and each growth widens some varint or
+       size field, so 64 rounds bound any document an OCaml string can hold;
+       the guard is a safety net against a broken sizing model, surfaced as
+       a typed error rather than a crash *)
+    if !rounds > 64 then
+      raise
+        (Error.Error
+           (Error.Encode_failure
+              (Printf.sprintf "size fixpoint did not converge after %d rounds"
+                 (!rounds - 1))));
     let global_size_width = Bitio.bits_for_value !prev_body in
     let snapshot =
       (* body size and all element sizes from the previous round *)
@@ -210,33 +219,41 @@ let encode ~layout tree =
       write_body layout ~dict_size:(Dict.size dict) ~body_size ~full_set w root);
   Bitio.Writer.contents w
 
+let encode_result ~layout tree =
+  match encode ~layout tree with
+  | s -> Ok s
+  | exception Error.Error e -> Error e
+
+(* Sanity bounds shared by both header shapes: the body must fit in the
+   source, and every element costs at least one encoded byte, so the
+   element count can never exceed the body size. Rejecting absurd values
+   here keeps all field widths derived from them within [Bitio]'s limits. *)
+let check_header_bounds r ~element_count ~body_size =
+  let body_start = Bitio.Reader.position r in
+  if body_size > Bitio.Reader.length r - body_start then
+    Error.corrupt "body size %d exceeds remaining input" body_size;
+  if element_count > body_size then
+    Error.corrupt "element count %d exceeds body size %d" element_count
+      body_size;
+  body_start
+
 let read_header r =
   let m = Bitio.Reader.bytes r (String.length Wire.magic) in
-  if m <> Wire.magic then invalid_arg "Skip_index: bad magic";
+  if m <> Wire.magic then Error.corrupt "bad magic";
   let layout =
     match Layout.of_byte (Bitio.Reader.bits r ~width:8) with
     | Some l -> l
-    | None -> invalid_arg "Skip_index: unknown layout"
+    | None -> Error.corrupt "unknown layout byte"
   in
   match layout with
   | Layout.Nc ->
       let element_count = Bitio.Reader.varint r in
       let body_size = Bitio.Reader.varint r in
-      {
-        layout;
-        dict = None;
-        element_count;
-        body_start = Bitio.Reader.position r;
-        body_size;
-      }
+      let body_start = check_header_bounds r ~element_count ~body_size in
+      { layout; dict = None; element_count; body_start; body_size }
   | _ ->
       let dict = Dict.read r in
       let element_count = Bitio.Reader.varint r in
       let body_size = Bitio.Reader.varint r in
-      {
-        layout;
-        dict = Some dict;
-        element_count;
-        body_start = Bitio.Reader.position r;
-        body_size;
-      }
+      let body_start = check_header_bounds r ~element_count ~body_size in
+      { layout; dict = Some dict; element_count; body_start; body_size }

@@ -15,7 +15,14 @@
 
 val encode : layout:Layout.t -> Xmlac_xml.Tree.t -> string
 (** Full encoded document: header (magic, layout, tag dictionary, body
-    length) followed by the body. *)
+    length) followed by the body. @raise Error.Error
+    ([Encode_failure]) if the size fixpoint fails to converge — never
+    expected in practice (sizes grow monotonically and are bounded), kept
+    as a typed safety net. *)
+
+val encode_result :
+  layout:Layout.t -> Xmlac_xml.Tree.t -> (string, Error.t) result
+(** {!encode} with the fixpoint safety net surfaced as a [result]. *)
 
 type header = {
   layout : Layout.t;
@@ -26,4 +33,6 @@ type header = {
 }
 
 val read_header : Bitio.Reader.t -> header
-(** @raise Invalid_argument on a malformed header. *)
+(** @raise Error.Error ([Corrupt]) on a malformed header: bad magic,
+    unknown layout, truncated dictionary, or size/count fields inconsistent
+    with the source length. *)

@@ -1,0 +1,11 @@
+type t = Corrupt of string | Encode_failure of string
+
+exception Error of t
+
+let to_string = function
+  | Corrupt msg -> Printf.sprintf "corrupt skip-index data: %s" msg
+  | Encode_failure msg -> Printf.sprintf "skip-index encoding failed: %s" msg
+
+let corrupt fmt = Printf.ksprintf (fun msg -> raise (Error (Corrupt msg))) fmt
+
+let guard f = match f () with v -> Ok v | exception Error e -> Error e

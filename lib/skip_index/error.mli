@@ -1,0 +1,25 @@
+(** Typed errors for the Skip-index library.
+
+    [Corrupt] covers every failure that hostile or damaged {e encoded input}
+    can provoke in the reader/decoder stack: bad magic, unknown layouts,
+    truncated bodies, oversized varints, out-of-range tag or size fields,
+    close markers without an open element. Decoding functions raise
+    {!Error}[ (Corrupt _)] on such input and nothing else — in particular,
+    never [Assert_failure] and never an out-of-bounds [Invalid_argument].
+    ([Invalid_argument] is still raised for {e API misuse}, e.g. skipping on
+    a layout without sizes, which no input bytes can trigger.)
+
+    [Encode_failure] covers encoder-side failures (size-fixpoint
+    divergence); see {!Encoder.encode_result}. *)
+
+type t = Corrupt of string | Encode_failure of string
+
+exception Error of t
+
+val to_string : t -> string
+
+val corrupt : ('a, unit, string, 'b) format4 -> 'a
+(** [corrupt fmt ...] raises {!Error}[ (Corrupt msg)]. *)
+
+val guard : (unit -> 'a) -> ('a, t) result
+(** Run a decoding thunk, catching {!Error}. *)

@@ -209,7 +209,35 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
     done;
     Buffer.contents buf
   in
-  (* CBC schemes: chunk granularity (no random access inside a chunk) *)
+  (* CBC schemes: chunk granularity (no random access inside a chunk).
+     Only the CBC branch of [read] calls [fetch_chunk]; the ECB-family arm
+     below is a no-op by construction, not a hidden verification skip. *)
+  let verify_cbc_chunk chunk plain =
+    match scheme with
+    | C.Cbc_sha ->
+        counters.bytes_decrypted <- counters.bytes_decrypted + chunk_size;
+        if verify then begin
+          counters.bytes_hashed <- counters.bytes_hashed + chunk_size;
+          let expected = C.expected_digest_of_plain container ~chunk ~plain in
+          if not (String.equal expected (chunk_digest chunk)) then
+            raise
+              (C.Integrity_failure
+                 (Printf.sprintf "chunk %d: plaintext digest mismatch" chunk))
+        end
+    | C.Cbc_shac ->
+        if verify then begin
+          counters.bytes_hashed <- counters.bytes_hashed + chunk_size;
+          let expected =
+            C.expected_digest_of_cipher container ~chunk
+              ~cipher:(C.chunk_ciphertext container chunk)
+          in
+          if not (String.equal expected (chunk_digest chunk)) then
+            raise
+              (C.Integrity_failure
+                 (Printf.sprintf "chunk %d: ciphertext digest mismatch" chunk))
+        end
+    | C.Ecb | C.Ecb_mht -> ()
+  in
   let fetch_chunk chunk =
     match !chunk_cache with
     | Some (c, plain, blocks) when c = chunk -> (plain, blocks)
@@ -217,30 +245,7 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
         counters.chunk_fetches <- counters.chunk_fetches + 1;
         counters.bytes_to_soe <- counters.bytes_to_soe + chunk_size;
         let plain = C.decrypt_chunk container ~key chunk in
-        (match scheme with
-        | C.Cbc_sha ->
-            counters.bytes_decrypted <- counters.bytes_decrypted + chunk_size;
-            if verify then begin
-              counters.bytes_hashed <- counters.bytes_hashed + chunk_size;
-              let expected = C.expected_digest_of_plain container ~chunk ~plain in
-              if not (String.equal expected (chunk_digest chunk)) then
-                raise
-                  (C.Integrity_failure
-                     (Printf.sprintf "chunk %d: plaintext digest mismatch" chunk))
-            end
-        | C.Cbc_shac ->
-            if verify then begin
-              counters.bytes_hashed <- counters.bytes_hashed + chunk_size;
-              let expected =
-                C.expected_digest_of_cipher container ~chunk
-                  ~cipher:(C.chunk_ciphertext container chunk)
-              in
-              if not (String.equal expected (chunk_digest chunk)) then
-                raise
-                  (C.Integrity_failure
-                     (Printf.sprintf "chunk %d: ciphertext digest mismatch" chunk))
-            end
-        | C.Ecb | C.Ecb_mht -> assert false);
+        verify_cbc_chunk chunk plain;
         let blocks = Hashtbl.create 32 in
         chunk_cache := Some (chunk, plain, blocks);
         (plain, blocks)

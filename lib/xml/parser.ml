@@ -315,6 +315,11 @@ let events ?strip_whitespace input =
   in
   loop []
 
+let events_result ?strip_whitespace input =
+  match events ?strip_whitespace input with
+  | evs -> Ok evs
+  | exception Malformed (reason, pos) -> Error (reason, pos)
+
 let fold ?strip_whitespace input ~init ~f =
   let c = cursor ?strip_whitespace input in
   let rec loop acc =

@@ -22,7 +22,14 @@ val next : cursor -> Event.t option
     @raise Malformed on ill-formed input. *)
 
 val events : ?strip_whitespace:bool -> string -> Event.t list
-(** Whole-document convenience wrapper around {!cursor}/{!next}. *)
+(** Whole-document convenience wrapper around {!cursor}/{!next}.
+    @raise Malformed on ill-formed input. *)
+
+val events_result :
+  ?strip_whitespace:bool -> string -> (Event.t list, string * int) result
+(** {!events} as a [result] — the trust-boundary entry point for untrusted
+    document bytes: never raises, [Error (reason, offset)] mirrors
+    {!Malformed}. *)
 
 val fold :
   ?strip_whitespace:bool -> string -> init:'a -> f:('a -> Event.t -> 'a) -> 'a

@@ -75,6 +75,13 @@ let of_events evs =
 
 let parse ?strip_whitespace s = of_events (Parser.events ?strip_whitespace s)
 
+let parse_result ?strip_whitespace s =
+  (* the parser only emits balanced single-root streams, so [of_events]
+     cannot reject what [events] accepted *)
+  match Parser.events_result ?strip_whitespace s with
+  | Ok evs -> Ok (of_events evs)
+  | Error e -> Error e
+
 let fold f init t =
   let rec go acc node =
     let acc = f acc node in

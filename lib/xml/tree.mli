@@ -30,6 +30,11 @@ val of_events : Event.t list -> t
 val parse : ?strip_whitespace:bool -> string -> t
 (** Parse an XML document into a tree. @raise Parser.Malformed *)
 
+val parse_result :
+  ?strip_whitespace:bool -> string -> (t, string * int) result
+(** {!parse} as a [result]; never raises — [Error (reason, offset)]
+    mirrors {!Parser.Malformed}. *)
+
 val count_elements : t -> int
 val count_text_nodes : t -> int
 

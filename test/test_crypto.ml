@@ -333,7 +333,7 @@ let test_ecb_scheme_has_no_integrity () =
 
 let test_container_header_checks () =
   Alcotest.check_raises "bad magic"
-    (Invalid_argument "Secure_container.of_bytes: bad magic")
+    (Secure_container.Corrupt "bad magic")
     (fun () -> ignore (Secure_container.of_bytes (String.make 64 'z')));
   let key = test_key () in
   let t =
@@ -341,8 +341,11 @@ let test_container_header_checks () =
   in
   let b = Secure_container.to_bytes t in
   Alcotest.check_raises "truncated body"
-    (Invalid_argument "Secure_container.of_bytes: bad total length")
-    (fun () -> ignore (Secure_container.of_bytes (String.sub b 0 (String.length b - 1))))
+    (Secure_container.Corrupt "bad total length")
+    (fun () -> ignore (Secure_container.of_bytes (String.sub b 0 (String.length b - 1))));
+  (match Secure_container.of_bytes_result (String.make 64 'z') with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "of_bytes_result accepted garbage")
 
 let test_fragment_random_access () =
   let key = test_key () in
@@ -407,7 +410,7 @@ let prop_any_corruption_detected =
       let b = Bytes.of_string raw in
       Bytes.set b pos (Char.chr ((Char.code (Bytes.get b pos) + delta) land 0xFF));
       match Secure_container.of_bytes (Bytes.to_string b) with
-      | exception Invalid_argument _ -> true
+      | exception Secure_container.Corrupt _ -> true
       | t' -> (
           match Secure_container.decrypt_all t' ~key ~verify:true with
           | exception Secure_container.Integrity_failure _ -> true

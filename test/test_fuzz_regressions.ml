@@ -1,0 +1,71 @@
+(* Replays the triaged regression corpus (test/corpus/, regenerable with
+   gen_corpus.exe) through the trust boundary named by each file's prefix.
+
+   Contract under test: every corpus input is hostile, so every boundary
+   must answer with a typed rejection — [Accepted] means a corrupt input
+   was swallowed, [Crashed] means an untyped exception escaped (the bug
+   class this corpus pinned down). *)
+
+module Boundary = Xmlac_fuzz.Boundary
+module C = Xmlac_crypto.Secure_container
+
+let corpus_dir = "corpus"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let key = Xmlac_crypto.Des.Triple.key_of_string "xmlac-fuzz-24-byte-key!!"
+
+let policy =
+  match Xmlac_core.Policy.of_string "p1 + //a\np2 - //b" with
+  | Ok p -> p
+  | Error e -> failwith e
+
+let corpus =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".bin")
+  |> List.sort compare
+
+let boundaries_of name : (string * (string -> Boundary.outcome)) list =
+  match String.index_opt name '_' with
+  | Some i -> (
+      match String.sub name 0 i with
+      | "xml" -> [ ("xml-parse", Boundary.xml_parse) ]
+      | "skip" -> [ ("skip-decode", Boundary.skip_decode) ]
+      | "container" ->
+          (* container bytes cross two boundaries: whole-document
+             decryption, and the streaming SOE channel + evaluator *)
+          [
+            ("container", Boundary.container ~key);
+            ( "channel-eval",
+              fun bytes ->
+                (Boundary.channel_eval ~key ~policy bytes).Boundary.outcome );
+          ]
+      | "policy" -> [ ("policy-text", Boundary.policy_text) ]
+      | p -> Alcotest.failf "unknown corpus prefix %S in %s" p name)
+  | None -> Alcotest.failf "corpus file %s has no boundary prefix" name
+
+let replay name () =
+  let bytes = read_file (Filename.concat corpus_dir name) in
+  List.iter
+    (fun (boundary, run) ->
+      match run bytes with
+      | Boundary.Rejected _ -> ()
+      | Boundary.Accepted ->
+          Alcotest.failf "%s: %s accepted a hostile input" name boundary
+      | Boundary.Crashed detail ->
+          Alcotest.failf "%s: %s crashed: %s" name boundary detail)
+    (boundaries_of name)
+
+let () =
+  if List.length corpus < 20 then
+    Alcotest.failf "regression corpus missing: found %d files in %s/"
+      (List.length corpus) corpus_dir;
+  Alcotest.run "fuzz_regressions"
+    [
+      ( "corpus",
+        List.map (fun f -> Alcotest.test_case f `Quick (replay f)) corpus );
+    ]

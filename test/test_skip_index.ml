@@ -75,7 +75,8 @@ let test_reader_seek () =
 let test_reader_bounds () =
   let r = Bitio.Reader.of_string "a" in
   ignore (Bitio.Reader.bits r ~width:8);
-  Alcotest.check_raises "past end" (Invalid_argument "Bitio.Reader: read past end")
+  Alcotest.check_raises "past end"
+    (Error.Error (Error.Corrupt "read past end of input"))
     (fun () -> ignore (Bitio.Reader.bits r ~width:1))
 
 (* Dictionary ------------------------------------------------------------- *)
@@ -148,7 +149,7 @@ let test_nc_is_xml () =
   let encoded = Encoder.encode ~layout:Layout.Nc tree in
   check bool_t "NC decoder refuses" true
     (match Decoder.of_string encoded with
-    | exception Invalid_argument _ -> true
+    | exception Error.Error (Error.Corrupt _) -> true
     | _ -> false);
   let hdr = Encoder.read_header (Bitio.Reader.of_string encoded) in
   check int_t "element count" 2 hdr.Encoder.element_count;
@@ -428,17 +429,17 @@ let test_decoder_rejects_corrupt_input () =
      let dec = Decoder.of_string (String.sub encoded 0 (String.length encoded - 3)) in
      drain dec
    with
-  | exception Invalid_argument _ -> ()
+  | exception Error.Error (Error.Corrupt _) -> ()
   | _ -> Alcotest.fail "truncated body accepted");
   (* bad magic *)
   (match Decoder.of_string ("ZZZZ" ^ String.sub encoded 4 (String.length encoded - 4)) with
-  | exception Invalid_argument _ -> ()
+  | exception Error.Error (Error.Corrupt _) -> ()
   | _ -> Alcotest.fail "bad magic accepted");
   (* unknown layout byte *)
   let b = Bytes.of_string encoded in
   Bytes.set b 4 '\255';
   match Decoder.of_string (Bytes.to_string b) with
-  | exception Invalid_argument _ -> ()
+  | exception Error.Error (Error.Corrupt _) -> ()
   | _ -> Alcotest.fail "unknown layout accepted"
 
 let test_fixpoint_on_power_of_two_boundaries () =
@@ -454,6 +455,38 @@ let test_fixpoint_on_power_of_two_boundaries () =
     if not (roundtrip_layout Layout.Tcsbr tree) then
       Alcotest.failf "fixpoint roundtrip failed at text length %d" len
   done
+
+let test_fixpoint_widening_path () =
+  (* bodies swept across 2^k boundaries force the fixpoint through its
+     widening rounds: a subtree size crossing a varint-width boundary grows
+     the header it is stored in, which can push the enclosing sizes — and
+     the body's own size width — over the next boundary in turn. Every
+     sweep point must converge to a typed Ok and roundtrip exactly. *)
+  List.iter
+    (fun base ->
+      for delta = -24 to 24 do
+        let len = max 2 (base + delta) in
+        let tree =
+          Tree.element "r"
+            [
+              Tree.element "a" [ Tree.text (String.make (len / 2) 'x') ];
+              Tree.element "b"
+                [ Tree.element "c" [ Tree.text (String.make (len - (len / 2)) 'y') ] ];
+            ]
+        in
+        List.iter
+          (fun layout ->
+            (match Encoder.encode_result ~layout tree with
+            | Ok _ -> ()
+            | Error e ->
+                Alcotest.failf "encode_result %s at %d: %s"
+                  (Layout.to_string layout) len (Error.to_string e));
+            if not (roundtrip_layout layout tree) then
+              Alcotest.failf "%s widening roundtrip failed at %d"
+                (Layout.to_string layout) len)
+          [ Layout.Tcs; Layout.Tcsb; Layout.Tcsbr ]
+      done)
+    [ 128; 256; 512; 1024 ]
 
 let test_huge_fanout_roundtrip () =
   let tree =
@@ -646,6 +679,8 @@ let () =
           Alcotest.test_case "corrupt input rejected" `Quick test_decoder_rejects_corrupt_input;
           Alcotest.test_case "size-field width boundaries" `Quick
             test_fixpoint_on_power_of_two_boundaries;
+          Alcotest.test_case "fixpoint widening path" `Quick
+            test_fixpoint_widening_path;
           Alcotest.test_case "wide documents" `Quick test_huge_fanout_roundtrip;
         ] );
       ( "updates",
