@@ -3,12 +3,18 @@
    kernels each experiment exercises.
 
    Usage:  dune exec bench/main.exe [-- --quick] [-- --no-bechamel]
+                                    [-- --json FILE]
 
    Simulated times use the Table 1 cost model (hardware smart-card context
    unless stated); wall-clock time of this process is never reported as a
    result. Paper reference numbers are printed next to ours: absolute
    values are not expected to match (scaled documents, synthetic data), the
-   shapes are. *)
+   shapes are.
+
+   --json FILE additionally writes a machine-readable report (see
+   Xmlac_obs.Bench_report, schema v1): one record per experiment row,
+   carrying its metrics and wall time. CI's perf gate (bench_gate.exe)
+   diffs that report against the committed BENCH_baseline.json. *)
 
 module Tree = Xmlac_xml.Tree
 module Writer = Xmlac_xml.Writer
@@ -22,9 +28,43 @@ module Session = Xmlac_soe.Session
 module Cost_model = Xmlac_soe.Cost_model
 module Channel = Xmlac_soe.Channel
 module W = Xmlac_workload
+module Metrics = Xmlac_obs.Metrics
+module Bench_report = Xmlac_obs.Bench_report
 
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let no_bechamel = Array.exists (( = ) "--no-bechamel") Sys.argv
+
+let json_path =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--json" then
+      if i + 1 < Array.length Sys.argv then Some Sys.argv.(i + 1)
+      else begin
+        prerr_endline "bench: --json needs a FILE argument";
+        exit 2
+      end
+    else find (i + 1)
+  in
+  find 1
+
+(* The machine-readable report: experiments call [record] once per row;
+   [run_experiment] times each experiment so records carry the wall-clock
+   elapsed within their experiment when they were emitted. *)
+let records : Bench_report.record list ref = ref []
+let experiment_span : Xmlac_obs.Span.t option ref = ref None
+
+let record ~name ~profile metrics =
+  let wall_s =
+    match !experiment_span with
+    | Some s -> Xmlac_obs.Span.elapsed s
+    | None -> 0.
+  in
+  records := { Bench_report.name; profile; metrics; wall_s } :: !records
+
+let run_experiment name f =
+  experiment_span := Some (Xmlac_obs.Span.start name);
+  f ();
+  experiment_span := None
 
 let scale n = if quick then n / 8 else n
 
@@ -80,9 +120,11 @@ let table1 () =
   Printf.printf "  %-28s %14s %14s\n" "Context" "Comm (MB/s)" "Decrypt (MB/s)";
   List.iter
     (fun (_, (c : Cost_model.t)) ->
-      Printf.printf "  %-28s %14.2f %14.2f\n" c.Cost_model.name
-        (c.Cost_model.comm_bytes_per_s /. (1024. *. 1024.))
-        (c.Cost_model.decrypt_bytes_per_s /. (1024. *. 1024.)))
+      let comm_mb = c.Cost_model.comm_bytes_per_s /. (1024. *. 1024.)
+      and dec_mb = c.Cost_model.decrypt_bytes_per_s /. (1024. *. 1024.) in
+      Printf.printf "  %-28s %14.2f %14.2f\n" c.Cost_model.name comm_mb dec_mb;
+      record ~name:"table1" ~profile:c.Cost_model.name
+        Metrics.[ float "comm_mb_s" comm_mb; float "decrypt_mb_s" dec_mb ])
     Cost_model.table1;
   note "paper: 0.5/0.15 (hardware), 0.1/1.2 (Internet), 10/1.2 (LAN)"
 
@@ -100,7 +142,18 @@ let table2 () =
         (kb c.W.Datasets.size_bytes)
         (kb c.W.Datasets.text_bytes)
         c.W.Datasets.max_depth c.W.Datasets.average_depth
-        c.W.Datasets.distinct_tags c.W.Datasets.text_nodes c.W.Datasets.elements)
+        c.W.Datasets.distinct_tags c.W.Datasets.text_nodes c.W.Datasets.elements;
+      record ~name:"table2" ~profile:c.W.Datasets.name
+        Metrics.
+          [
+            int "size_bytes" c.W.Datasets.size_bytes;
+            int "text_bytes" c.W.Datasets.text_bytes;
+            int "max_depth" c.W.Datasets.max_depth;
+            float "average_depth" c.W.Datasets.average_depth;
+            int "distinct_tags" c.W.Datasets.distinct_tags;
+            int "text_nodes" c.W.Datasets.text_nodes;
+            int "elements" c.W.Datasets.elements;
+          ])
     (Lazy.force documents);
   note "paper: WSU 1.3MB/depth 4/20 tags; Sigmod 350KB/6/11; Treebank 59MB/36/250;";
   note "       Hospital 3.6MB/8/89 (ours are scaled and synthetic)"
@@ -127,6 +180,16 @@ let fig8 () =
         all_measures;
       Printf.printf "\n")
     Layout.all;
+  List.iter
+    (fun (kind, measures) ->
+      record ~name:"fig8" ~profile:(W.Datasets.name kind)
+        (List.map
+           (fun (m : Stats.t) ->
+             Metrics.float
+               (String.lowercase_ascii (Layout.to_string m.Stats.layout))
+               m.Stats.structure_over_text)
+           measures))
+    all_measures;
   note "paper (WSU, Sigmod, Treebank, Hospital): NC 142/77/254/67; TC 16/15/38/11;";
   note "  TCS 24/36/106/16; TCSB 31/45/82(+big)/23(?); TCSBR 78/14/42/15 —";
   note "  expected shape: TC<<NC, TCS>TC, TCSB>TCS, TCSBR back near TC (except WSU)"
@@ -178,7 +241,17 @@ let fig9 () =
         (kb ix.Session.result_bytes)
         (pct b.Cost_model.communication_s)
         (pct b.Cost_model.decryption_s)
-        (pct b.Cost_model.access_control_s))
+        (pct b.Cost_model.access_control_s);
+      record ~name:"fig9" ~profile:pr_name
+        (Metrics.
+           [
+             float "bf_total_s" bf.Session.breakdown.Cost_model.total_s;
+             float "tcsbr_total_s" b.Cost_model.total_s;
+             float "lwb_total_s" lwb.Cost_model.total_s;
+             float "result_kb" (kb ix.Session.result_bytes);
+           ]
+        @ Metrics.prefix "tcsbr" (Session.metrics ix)
+        @ Metrics.prefix "bf" (Session.metrics bf)))
     (fig9_profiles ());
   note "paper (2.5MB doc): BF 19.5-20.4s; TCSBR 1.4/6.4/2.4s; LWB 1.8/5.8/1.3s;";
   note "  AC 2-15%% of total, decryption 53-60%%, communication 30-38%%"
@@ -206,7 +279,15 @@ let fig10 () =
           let m = Session.evaluate ~verify:false ~query config published policy in
           Printf.printf "  %8.1f %7.2f"
             (kb m.Session.result_bytes)
-            m.Session.breakdown.Cost_model.total_s)
+            m.Session.breakdown.Cost_model.total_s;
+          record ~name:"fig10"
+            ~profile:
+              (Printf.sprintf "%s/v%d" (W.Profiles.view_name view) threshold)
+            Metrics.
+              [
+                float "result_kb" (kb m.Session.result_bytes);
+                float "total_s" m.Session.breakdown.Cost_model.total_s;
+              ])
         W.Profiles.all_views;
       Printf.printf "\n")
     [ 95; 85; 70; 50; 25; 0 ];
@@ -220,29 +301,41 @@ let fig11 () =
   let doc = Lazy.force hospital in
   Printf.printf "  %-11s %10s %10s %10s %10s\n" "Profile" "ECB" "CBC-SHA"
     "CBC-SHAC" "ECB-MHT";
+  let scheme_key = function
+    | Container.Ecb -> "ecb_s"
+    | Container.Cbc_sha -> "cbc_sha_s"
+    | Container.Cbc_shac -> "cbc_shac_s"
+    | Container.Ecb_mht -> "ecb_mht_s"
+  in
   List.iter
     (fun { pr_name; pr_policy } ->
       Printf.printf "  %-11s" pr_name;
-      List.iter
-        (fun scheme ->
-          let config = Session.default_config ~scheme () in
-          let published =
-            publish_cached
-              (Printf.sprintf "hospital-%s" (Container.scheme_to_string scheme))
-              ~layout:Layout.Tcsbr doc
-          in
-          (* the per-scheme container must be encrypted under that scheme *)
-          let published =
-            if Container.scheme published.Session.container = scheme then published
-            else Session.publish config ~layout:Layout.Tcsbr doc
-          in
-          let m =
-            Session.evaluate ~verify:(scheme <> Container.Ecb) config published
-              pr_policy
-          in
-          Printf.printf " %10.2f" m.Session.breakdown.Cost_model.total_s)
-        [ Container.Ecb; Container.Cbc_sha; Container.Cbc_shac; Container.Ecb_mht ];
-      Printf.printf "\n")
+      let metrics =
+        List.map
+          (fun scheme ->
+            let config = Session.default_config ~scheme () in
+            let published =
+              publish_cached
+                (Printf.sprintf "hospital-%s" (Container.scheme_to_string scheme))
+                ~layout:Layout.Tcsbr doc
+            in
+            (* the per-scheme container must be encrypted under that scheme *)
+            let published =
+              if Container.scheme published.Session.container = scheme then
+                published
+              else Session.publish config ~layout:Layout.Tcsbr doc
+            in
+            let m =
+              Session.evaluate ~verify:(scheme <> Container.Ecb) config
+                published pr_policy
+            in
+            Printf.printf " %10.2f" m.Session.breakdown.Cost_model.total_s;
+            Metrics.float (scheme_key scheme)
+              m.Session.breakdown.Cost_model.total_s)
+          [ Container.Ecb; Container.Cbc_sha; Container.Cbc_shac; Container.Ecb_mht ]
+      in
+      Printf.printf "\n";
+      record ~name:"fig11" ~profile:pr_name metrics)
     (fig9_profiles ());
   note "paper (Sec/Doc/Res): ECB 1.4/6.4/2.4; CBC-SHA 3.4/18.6/8.5;";
   note "  CBC-SHAC 2.4(?)/12.6/5.2; ECB-MHT 1.9/8.5/3.3 — integrity via MHT";
@@ -298,7 +391,18 @@ let fig12 () =
             (throughput m_int.Session.breakdown.Cost_model.total_s)
             (throughput l_int)
             (throughput m_noint.Session.breakdown.Cost_model.total_s)
-            (throughput l_noint))
+            (throughput l_noint);
+          record ~name:"fig12" ~profile:label
+            Metrics.
+              [
+                float "tcsbr_int_kbps"
+                  (throughput m_int.Session.breakdown.Cost_model.total_s);
+                float "lwb_int_kbps" (throughput l_int);
+                float "tcsbr_kbps"
+                  (throughput m_noint.Session.breakdown.Cost_model.total_s);
+                float "lwb_kbps" (throughput l_noint);
+                float "result_kb" (kb result);
+              ])
         policies)
     rows;
   note "paper: 55-85 KB/s with integrity across all datasets (xDSL-era range";
@@ -311,19 +415,28 @@ let contexts () =
   let doc = Lazy.force hospital in
   Printf.printf "  %-11s %22s %22s %22s\n" "Profile"
     "Hardware (s)" "SW-Internet (s)" "SW-LAN (s)";
+  let context_key = function
+    | Cost_model.Hardware -> "hardware_s"
+    | Cost_model.Software_internet -> "sw_internet_s"
+    | Cost_model.Software_lan -> "sw_lan_s"
+  in
   List.iter
     (fun { pr_name; pr_policy } ->
       Printf.printf "  %-11s" pr_name;
-      List.iter
-        (fun context ->
-          let config = Session.default_config ~context () in
-          let published = publish_cached "hospital" ~layout:Layout.Tcsbr doc in
-          let m = Session.evaluate ~verify:false config published pr_policy in
-          let b = m.Session.breakdown in
-          Printf.printf "  %8.2f (comm %3.0f%%)" b.Cost_model.total_s
-            (100. *. b.Cost_model.communication_s /. b.Cost_model.total_s))
-        Cost_model.all_contexts;
-      Printf.printf "\n")
+      let metrics =
+        List.map
+          (fun context ->
+            let config = Session.default_config ~context () in
+            let published = publish_cached "hospital" ~layout:Layout.Tcsbr doc in
+            let m = Session.evaluate ~verify:false config published pr_policy in
+            let b = m.Session.breakdown in
+            Printf.printf "  %8.2f (comm %3.0f%%)" b.Cost_model.total_s
+              (100. *. b.Cost_model.communication_s /. b.Cost_model.total_s);
+            Metrics.float (context_key context) b.Cost_model.total_s)
+          Cost_model.all_contexts
+      in
+      Printf.printf "\n";
+      record ~name:"contexts" ~profile:pr_name metrics)
     (fig9_profiles ());
   note "paper Table 1: 'the numbers allow projecting the performance results";
   note "  on different target architectures' — the Internet context is";
@@ -338,40 +451,64 @@ let ablation () =
   let configs =
     [
       ( "no skipping at all",
+        "no_skipping_s",
         {
           Evaluator.enable_skipping = false;
           enable_rest_skips = false;
           enable_desctag_filter = false;
         } );
       ( "skips, no DescTag filter",
+        "skips_s",
         {
           Evaluator.enable_skipping = true;
           enable_rest_skips = false;
           enable_desctag_filter = false;
         } );
       ( "skips + DescTag filter",
+        "skips_desctag_s",
         {
           Evaluator.enable_skipping = true;
           enable_rest_skips = false;
           enable_desctag_filter = true;
         } );
-      ("full design (+tail skips)", Evaluator.default_options);
+      ("full design (+tail skips)", "full_s", Evaluator.default_options);
     ]
   in
   Printf.printf "  %-27s %12s %12s %12s\n" "Configuration" "Secretary(s)"
     "Doctor(s)" "Researcher(s)";
+  let per_profile : (string, (string * float) list ref) Hashtbl.t =
+    Hashtbl.create 4
+  in
   List.iter
-    (fun (name, options) ->
+    (fun (name, key, options) ->
       Printf.printf "  %-27s" name;
       List.iter
-        (fun { pr_policy; _ } ->
+        (fun { pr_name; pr_policy } ->
           let m =
             Session.evaluate ~verify:false ~options config published pr_policy
           in
-          Printf.printf " %12.2f" m.Session.breakdown.Cost_model.total_s)
+          let t = m.Session.breakdown.Cost_model.total_s in
+          let cell =
+            match Hashtbl.find_opt per_profile pr_name with
+            | Some r -> r
+            | None ->
+                let r = ref [] in
+                Hashtbl.add per_profile pr_name r;
+                r
+          in
+          cell := (key, t) :: !cell;
+          Printf.printf " %12.2f" t)
         (fig9_profiles ());
       Printf.printf "\n")
     configs;
+  List.iter
+    (fun { pr_name; _ } ->
+      match Hashtbl.find_opt per_profile pr_name with
+      | Some cell ->
+          record ~name:"ablation" ~profile:pr_name
+            (List.rev_map (fun (k, t) -> Metrics.float k t) !cell)
+      | None -> ())
+    (fig9_profiles ());
   note "the DescTag bitmaps are what makes skipping decisions fire (Sec. 4.2);";
   note "tail skips (close-event trigger) add a final increment (Sec. 3.3)"
 
@@ -390,7 +527,15 @@ let ablation_geometry () =
         (Printf.sprintf "%dB / %dB" chunk_size fragment_size)
         m.Session.breakdown.Cost_model.total_s
         (kb m.Session.counters.Channel.bytes_to_soe)
-        m.Session.counters.Channel.digests_decrypted)
+        m.Session.counters.Channel.digests_decrypted;
+      record ~name:"ablation_geometry"
+        ~profile:(Printf.sprintf "%d/%d" chunk_size fragment_size)
+        Metrics.
+          [
+            float "total_s" m.Session.breakdown.Cost_model.total_s;
+            int "bytes_to_soe" m.Session.counters.Channel.bytes_to_soe;
+            int "digests_decrypted" m.Session.counters.Channel.digests_decrypted;
+          ])
     [ (1024, 64); (2048, 128); (2048, 256); (4096, 256); (8192, 512) ];
   note "smaller fragments read less around skip targets but pay more Merkle";
   note "overhead; the paper's 2KB/256B sits near the sweet spot"
@@ -409,11 +554,24 @@ let memory_scaling () =
         (Session.evaluate ~verify:false config published policy).Session.eval
           .Evaluator.memory_peak_bytes
       in
-      Printf.printf "  %-12d %12d %14d %14d\n"
-        (String.length (Writer.tree_to_string doc) / 1024)
-        (Tree.count_elements doc)
-        (peak (W.Profiles.doctor ~user:W.Hospital.full_time_physician))
-        (peak (W.Profiles.researcher ~groups:[ 1; 2; 3; 4; 5 ] ())))
+      let doc_kb = String.length (Writer.tree_to_string doc) / 1024 in
+      let elements = Tree.count_elements doc in
+      let doctor_peak =
+        peak (W.Profiles.doctor ~user:W.Hospital.full_time_physician)
+      in
+      let researcher_peak =
+        peak (W.Profiles.researcher ~groups:[ 1; 2; 3; 4; 5 ] ())
+      in
+      Printf.printf "  %-12d %12d %14d %14d\n" doc_kb elements doctor_peak
+        researcher_peak;
+      record ~name:"memory_scaling" ~profile:(string_of_int target)
+        Metrics.
+          [
+            int "doc_kb" doc_kb;
+            int "elements" elements;
+            int "doctor_peak_bytes" doctor_peak;
+            int "researcher_peak_bytes" researcher_peak;
+          ])
     (List.map scale [ 100_000; 400_000; 1_600_000 ]);
   note "the paper's SOE has kilobytes of RAM: the evaluator's working set";
   note "  scales with depth, policy and pending work — not with document size"
@@ -455,7 +613,16 @@ let update_costs () =
       let _, cost = Update.update_encoded ~layout:Layout.Tcsbr encoded op in
       Printf.printf "  %-32s %10d %10d %8d %6s\n" name cost.Update.new_bytes
         cost.Update.rewritten_bytes cost.Update.chunks_to_reencrypt
-        (if cost.Update.dictionary_changed then "yes" else "no"))
+        (if cost.Update.dictionary_changed then "yes" else "no");
+      record ~name:"update_costs" ~profile:name
+        Metrics.
+          [
+            int "new_bytes" cost.Update.new_bytes;
+            int "rewritten_bytes" cost.Update.rewritten_bytes;
+            int "chunks_to_reencrypt" cost.Update.chunks_to_reencrypt;
+            int "dictionary_changed"
+              (if cost.Update.dictionary_changed then 1 else 0);
+          ])
     ops;
   note "paper: best case updates only ancestor SubtreeSizes; worst cases are a";
   note "  size crossing a power of two or a tag dictionary insertion/deletion"
@@ -534,7 +701,9 @@ let bechamel_suite () =
           match Analyze.OLS.estimates est with
           | Some (ns :: _) ->
               if ns > 1e6 then Printf.printf "  %-24s %12.3f ms/run\n" name (ns /. 1e6)
-              else Printf.printf "  %-24s %12.0f ns/run\n" name ns
+              else Printf.printf "  %-24s %12.0f ns/run\n" name ns;
+              record ~name:"bechamel" ~profile:name
+                Metrics.[ float "wall_ns_per_run" ns ]
           | _ -> Printf.printf "  %-24s (no estimate)\n" name)
       | None -> ())
     (List.sort compare names)
@@ -543,17 +712,31 @@ let () =
   Printf.printf
     "xmlac benchmark harness — reproducing Bouganim et al., VLDB 2004%s\n"
     (if quick then " (quick mode)" else "");
-  table1 ();
-  table2 ();
-  fig8 ();
-  fig9 ();
-  fig10 ();
-  fig11 ();
-  fig12 ();
-  contexts ();
-  ablation ();
-  ablation_geometry ();
-  memory_scaling ();
-  update_costs ();
-  if not no_bechamel then bechamel_suite ();
+  run_experiment "table1" table1;
+  run_experiment "table2" table2;
+  run_experiment "fig8" fig8;
+  run_experiment "fig9" fig9;
+  run_experiment "fig10" fig10;
+  run_experiment "fig11" fig11;
+  run_experiment "fig12" fig12;
+  run_experiment "contexts" contexts;
+  run_experiment "ablation" ablation;
+  run_experiment "ablation_geometry" ablation_geometry;
+  run_experiment "memory_scaling" memory_scaling;
+  run_experiment "update_costs" update_costs;
+  if not no_bechamel then run_experiment "bechamel" bechamel_suite;
+  (match json_path with
+  | None -> ()
+  | Some path ->
+      let report =
+        Bench_report.make
+          ~mode:(if quick then "quick" else "full")
+          (List.rev !records)
+      in
+      let oc = open_out path in
+      output_string oc (Bench_report.to_string report);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote %s (%d records)\n" path
+        (List.length report.Bench_report.records));
   Printf.printf "\ndone.\n"

@@ -236,7 +236,15 @@ let view_cmd =
   let stats_flag =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print SOE cost statistics.")
   in
-  let run input pass rules policy_file query user dummy stats_flag =
+  let trace_flag =
+    Arg.(
+      value & flag
+      & info [ "trace" ]
+          ~doc:
+            "Stream structured evaluator trace events (rule instances, \
+             decisions, skips, spans) to stderr, one line each.")
+  in
+  let run input pass rules policy_file query user dummy stats_flag trace_flag =
     let container = Container.of_bytes (read_file input) in
     let parse_rule i spec =
       if String.length spec < 2 then
@@ -278,9 +286,20 @@ let view_cmd =
     let counters = Channel.fresh_counters () in
     let source = Channel.source ~container ~key counters in
     let decoder = Xmlac_skip_index.Decoder.of_source source in
-    let result =
-      Xmlac_core.Evaluator.run ?query ?dummy_denied:dummy ~policy
-        (Xmlac_core.Input.of_decoder decoder)
+    if trace_flag then
+      Xmlac_obs.Trace.set_sink (Some Xmlac_obs.Trace.stderr_sink);
+    let observer =
+      if trace_flag then
+        Some
+          (fun obs ->
+            let name, fields = Xmlac_core.Evaluator.trace_observation obs in
+            Xmlac_obs.Trace.emit name fields)
+      else None
+    in
+    let result, wall_s =
+      Xmlac_obs.Span.time "xacml.view" (fun () ->
+          Xmlac_core.Evaluator.run ?query ?dummy_denied:dummy ?observer ~policy
+            (Xmlac_core.Input.of_decoder decoder))
     in
     (match Xmlac_core.Evaluator.view_tree result with
     | None -> prerr_endline "(nothing authorized)"
@@ -296,13 +315,17 @@ let view_cmd =
           ~transitions:s.Xmlac_core.Evaluator.transitions
           ~events:s.Xmlac_core.Evaluator.events_in
       in
-      Fmt.epr "bytes to SOE: %d, decrypted: %d, hashed: %d@."
-        counters.Channel.bytes_to_soe counters.Channel.bytes_decrypted
-        counters.Channel.bytes_hashed;
-      Fmt.epr "events: %d, transitions: %d, skips: %d, pending subtrees: %d@."
-        s.Xmlac_core.Evaluator.events_in s.Xmlac_core.Evaluator.transitions
-        (s.Xmlac_core.Evaluator.open_skips + s.Xmlac_core.Evaluator.rest_skips)
-        s.Xmlac_core.Evaluator.pending_subtrees;
+      let metrics =
+        let open Xmlac_obs.Metrics in
+        prefix "eval" (Xmlac_core.Evaluator.stats_metrics s)
+        @ prefix "index"
+            (Xmlac_skip_index.Decoder.stats_metrics
+               (Xmlac_skip_index.Decoder.stats decoder))
+        @ prefix "channel" (Channel.metrics counters)
+        @ prefix "cost" (Cost_model.breakdown_metrics b)
+        @ [ float "wall_s" wall_s ]
+      in
+      List.iter (Fmt.epr "%s@.") (Xmlac_obs.Metrics.render metrics);
       Fmt.epr "simulated smart card: %a@." Cost_model.pp_breakdown b
     end
   in
@@ -311,7 +334,7 @@ let view_cmd =
        ~doc:"Evaluate an authorized view (and optional query) of a container.")
     Term.(
       const run $ input_arg $ passphrase_arg $ rules $ policy_file $ query
-      $ user $ dummy $ stats_flag)
+      $ user $ dummy $ stats_flag $ trace_flag)
 
 (* license -------------------------------------------------------------------- *)
 
@@ -406,12 +429,17 @@ let unlock_cmd =
         (match Xmlac_core.Evaluator.view_tree result with
         | None -> prerr_endline "(nothing authorized)"
         | Some view -> print_endline (Writer.tree_to_string ~indent:true view));
-        if stats_flag then
-          Fmt.epr "subject %s: %d events in, %d out, %d bytes to SOE@."
-            lic.Xmlac_soe.License.subject
-            result.Xmlac_core.Evaluator.stats.Xmlac_core.Evaluator.events_in
-            result.Xmlac_core.Evaluator.stats.Xmlac_core.Evaluator.events_out
-            counters.Channel.bytes_to_soe
+        if stats_flag then begin
+          Fmt.epr "subject %s@." lic.Xmlac_soe.License.subject;
+          let metrics =
+            let open Xmlac_obs.Metrics in
+            prefix "eval"
+              (Xmlac_core.Evaluator.stats_metrics
+                 result.Xmlac_core.Evaluator.stats)
+            @ prefix "channel" (Channel.metrics counters)
+          in
+          List.iter (Fmt.epr "%s@.") (Xmlac_obs.Metrics.render metrics)
+        end
   in
   Cmd.v
     (Cmd.info "unlock"

@@ -8,7 +8,7 @@
 open Cmdliner
 module Harness = Xmlac_fuzz.Harness
 
-let run seed iterations corpus_dir quiet =
+let run seed iterations corpus_dir quiet stats =
   let progress ~done_ ~total =
     if not quiet then Printf.eprintf "\rfuzz: %d/%d inputs%!" done_ total
   in
@@ -19,6 +19,9 @@ let run seed iterations corpus_dir quiet =
     seed report.Harness.runs report.Harness.mutated report.Harness.accepted
     report.Harness.rejected
     (List.length report.Harness.failures);
+  if stats then
+    List.iter prerr_endline
+      (Xmlac_obs.Metrics.render (Harness.metrics report));
   List.iteri
     (fun i f ->
       if i < 20 then
@@ -54,12 +57,20 @@ let corpus_dir_t =
 let quiet_t =
   Arg.(value & flag & info [ "quiet" ] ~doc:"No progress output on stderr.")
 
+let stats_t =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print per-campaign counters (totals and per-boundary tallies) to \
+           stderr after the run.")
+
 let cmd =
   let doc =
     "Differentially fuzz the streaming pipeline's trust boundaries."
   in
   Cmd.v
     (Cmd.info "xfuzz" ~version:"1.0.0" ~doc)
-    Term.(const run $ seed_t $ iterations_t $ corpus_dir_t $ quiet_t)
+    Term.(const run $ seed_t $ iterations_t $ corpus_dir_t $ quiet_t $ stats_t)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,6 +5,7 @@ type stats = {
   mutable events_in : int;
   mutable transitions : int;
   mutable tokens_peak : int;
+  mutable depth_peak : int;
   mutable auth_pushes : int;
   mutable atoms_created : int;
   mutable open_skips : int;
@@ -22,6 +23,7 @@ let fresh_stats () =
     events_in = 0;
     transitions = 0;
     tokens_peak = 0;
+    depth_peak = 0;
     auth_pushes = 0;
     atoms_created = 0;
     open_skips = 0;
@@ -33,6 +35,25 @@ let fresh_stats () =
     first_output_at = -1;
     memory_peak_bytes = 0;
   }
+
+let stats_metrics (s : stats) : Xmlac_obs.Metrics.t =
+  Xmlac_obs.Metrics.
+    [
+      int "events_in" s.events_in;
+      int "transitions" s.transitions;
+      int "tokens_peak" s.tokens_peak;
+      int "depth_peak" s.depth_peak;
+      int "auth_pushes" s.auth_pushes;
+      int "atoms_created" s.atoms_created;
+      int "open_skips" s.open_skips;
+      int "rest_skips" s.rest_skips;
+      int "pending_subtrees" s.pending_subtrees;
+      int "readback_subtrees" s.readback_subtrees;
+      int "pending_items_peak" s.pending_items_peak;
+      int "events_out" s.events_out;
+      int "first_output_at" s.first_output_at;
+      int "memory_peak_bytes" s.memory_peak_bytes;
+    ]
 
 type options = {
   enable_skipping : bool;
@@ -48,6 +69,35 @@ type observation =
   | Obs_predicate_satisfied of { rule : string; anchor_depth : int }
   | Obs_decision of { tag : string; depth : int; decision : Conflict.decision }
   | Obs_skip of { depth : int; pending : bool }
+
+let trace_observation obs =
+  let module J = Xmlac_obs.Json in
+  match obs with
+  | Obs_instance { rule; sign; depth; pending } ->
+      ( "eval.instance",
+        [
+          ("rule", J.String rule);
+          ("sign", J.String (Rule.sign_to_string sign));
+          ("depth", J.Int depth);
+          ("pending", J.Bool pending);
+        ] )
+  | Obs_predicate_satisfied { rule; anchor_depth } ->
+      ( "eval.predicate_satisfied",
+        [ ("rule", J.String rule); ("anchor_depth", J.Int anchor_depth) ] )
+  | Obs_decision { tag; depth; decision } ->
+      ( "eval.decision",
+        [
+          ("tag", J.String tag);
+          ("depth", J.Int depth);
+          ( "decision",
+            J.String
+              (match decision with
+              | Conflict.Permit -> "permit"
+              | Conflict.Deny -> "deny"
+              | Conflict.Pending -> "pending") );
+        ] )
+  | Obs_skip { depth; pending } ->
+      ("eval.skip", [ ("depth", J.Int depth); ("pending", J.Bool pending) ])
 
 type result = { events : Event.t list; stats : stats }
 
@@ -554,6 +604,7 @@ let handle_open st tag attributes =
     raise (Error.Stream_error "multiple root elements");
   let depth = st.depth + 1 in
   st.depth <- depth;
+  if depth > st.stats.depth_peak then st.stats.depth_peak <- depth;
   let top = match st.levels with t :: _ -> t | [] -> assert false in
   let lvl = { nav = []; pred = [] } in
   (* pass A: rules *)

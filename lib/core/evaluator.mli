@@ -18,6 +18,7 @@ type stats = {
   mutable events_in : int;  (** input events consumed *)
   mutable transitions : int;  (** ARA transitions fired *)
   mutable tokens_peak : int;  (** max live tokens across all stack levels *)
+  mutable depth_peak : int;  (** max element-stack depth reached *)
   mutable auth_pushes : int;  (** rule/query instances registered *)
   mutable atoms_created : int;  (** pending predicate instances *)
   mutable open_skips : int;  (** subtrees skipped at their open event *)
@@ -33,6 +34,9 @@ type stats = {
           bookkeeping, predicate instances, value buffers) — the quantity
           the paper's smart-card RAM bounds *)
 }
+
+val stats_metrics : stats -> Xmlac_obs.Metrics.t
+(** Snapshot as named metrics, in declaration order. *)
 
 type options = {
   enable_skipping : bool;  (** use the input's byte-skipping at open events *)
@@ -58,6 +62,10 @@ type observation =
   | Obs_predicate_satisfied of { rule : string; anchor_depth : int }
   | Obs_decision of { tag : string; depth : int; decision : Conflict.decision }
   | Obs_skip of { depth : int; pending : bool }
+
+val trace_observation : observation -> string * (string * Xmlac_obs.Json.t) list
+(** An observation as a named trace event, ready for
+    [Xmlac_obs.Trace.emit] — the adapter CLI [--trace] flags use. *)
 
 type result = { events : Xmlac_xml.Event.t list; stats : stats }
 

@@ -71,13 +71,44 @@ type failure = {
   input : string;
 }
 
+type boundary_stats = {
+  b_name : string;
+  mutable b_runs : int;
+  mutable b_accepted : int;
+  mutable b_rejected : int;
+  mutable b_failures : int;
+}
+
 type report = {
   runs : int;  (** total inputs pushed through a boundary *)
   mutated : int;  (** of which mutated *)
   accepted : int;
   rejected : int;
   failures : failure list;  (** crashes and oracle divergences *)
+  per_boundary : boundary_stats list;  (** sorted by boundary name *)
+  wall_s : float;
 }
+
+let metrics report =
+  let open Xmlac_obs.Metrics in
+  [
+    int "runs" report.runs;
+    int "mutated" report.mutated;
+    int "accepted" report.accepted;
+    int "rejected" report.rejected;
+    int "failures" (List.length report.failures);
+  ]
+  @ List.concat_map
+      (fun b ->
+        prefix b.b_name
+          [
+            int "runs" b.b_runs;
+            int "accepted" b.b_accepted;
+            int "rejected" b.b_rejected;
+            int "failures" b.b_failures;
+          ])
+      report.per_boundary
+  @ [ float "wall_s" report.wall_s ]
 
 let view_matches ~oracle events =
   match (oracle, events) with
@@ -89,6 +120,7 @@ let view_matches ~oracle events =
       | exception _ -> false)
 
 let run ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~iterations () =
+  let span = Xmlac_obs.Span.start "fuzz.campaign" in
   let rng = Prng.make ~seed in
   let entries = Array.of_list (seed_corpus ~seed) in
   let oracles =
@@ -101,15 +133,41 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~iterations () =
   and accepted = ref 0
   and rejected = ref 0
   and failures = ref [] in
+  let boundary_tbl : (string, boundary_stats) Hashtbl.t = Hashtbl.create 16 in
+  let tally name =
+    match Hashtbl.find_opt boundary_tbl name with
+    | Some s -> s
+    | None ->
+        let s =
+          { b_name = name; b_runs = 0; b_accepted = 0; b_rejected = 0;
+            b_failures = 0 }
+        in
+        Hashtbl.add boundary_tbl name s;
+        s
+  in
+  (* phase-1 differential runs bypass [record]; count them here *)
+  let seed_run boundary =
+    incr runs;
+    let s = tally boundary in
+    s.b_runs <- s.b_runs + 1
+  in
   let record ~boundary ~mutation ~input outcome =
     incr runs;
+    let s = tally boundary in
+    s.b_runs <- s.b_runs + 1;
     match (outcome : Boundary.outcome) with
-    | Accepted -> incr accepted
-    | Rejected _ -> incr rejected
+    | Accepted ->
+        incr accepted;
+        s.b_accepted <- s.b_accepted + 1
+    | Rejected _ ->
+        incr rejected;
+        s.b_rejected <- s.b_rejected + 1
     | Crashed detail ->
+        s.b_failures <- s.b_failures + 1;
         failures := { boundary; mutation; detail; input } :: !failures
   in
   let diverged ~boundary ~mutation ~input detail =
+    (tally boundary).b_failures <- (tally boundary).b_failures + 1;
     failures := { boundary; mutation; detail; input } :: !failures
   in
 
@@ -120,7 +178,9 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~iterations () =
     (fun i e ->
       let oracle = oracles.(i) in
       let check ~boundary ~input events =
-        if not (view_matches ~oracle events) then
+        if view_matches ~oracle events then
+          (tally boundary).b_accepted <- (tally boundary).b_accepted + 1
+        else
           diverged ~boundary ~mutation:"seed" ~input
             "authorized view differs from the DOM oracle"
       in
@@ -128,21 +188,20 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~iterations () =
         (Xmlac_core.Evaluator.run ~policy:e.policy input_s)
           .Xmlac_core.Evaluator.events
       in
-      incr runs;
+      seed_run "xml-parse";
       check ~boundary:"xml-parse" ~input:e.xml
         (eval (Xmlac_core.Input.of_string e.xml));
       List.iter
         (fun (layout, enc) ->
-          incr runs;
+          let boundary = "skip-decode/" ^ Layout.to_string layout in
+          seed_run boundary;
           let decoder = Xmlac_skip_index.Decoder.of_string enc in
-          check
-            ~boundary:("skip-decode/" ^ Layout.to_string layout)
-            ~input:enc
+          check ~boundary ~input:enc
             (eval (Xmlac_core.Input.of_decoder decoder)))
         e.encodings;
       List.iter
         (fun (scheme, bytes) ->
-          incr runs;
+          seed_run ("channel-eval/" ^ C.scheme_to_string scheme);
           let r = Boundary.channel_eval ~key ~policy:e.policy bytes in
           match r.Boundary.view with
           | Some events ->
@@ -217,12 +276,18 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~iterations () =
           (Boundary.policy_text input));
     if (i + 1) mod 100 = 0 then progress ~done_:(i + 1) ~total:iterations
   done;
+  let per_boundary =
+    Hashtbl.fold (fun _ s acc -> s :: acc) boundary_tbl []
+    |> List.sort (fun a b -> compare a.b_name b.b_name)
+  in
   {
     runs = !runs;
     mutated = !mutated;
     accepted = !accepted;
     rejected = !rejected;
     failures = List.rev !failures;
+    per_boundary;
+    wall_s = Xmlac_obs.Span.elapsed span;
   }
 
 let save_failures ~dir report =

@@ -17,13 +17,28 @@ type failure = {
   input : string;  (** the offending bytes, for triage / corpus capture *)
 }
 
+type boundary_stats = {
+  b_name : string;  (** e.g. ["channel-eval/ECB-MHT"] *)
+  mutable b_runs : int;
+  mutable b_accepted : int;
+  mutable b_rejected : int;
+  mutable b_failures : int;  (** crashes plus oracle divergences *)
+}
+
 type report = {
   runs : int;  (** total inputs pushed through a boundary *)
   mutated : int;  (** of which mutated *)
   accepted : int;
   rejected : int;
   failures : failure list;  (** crashes and oracle divergences *)
+  per_boundary : boundary_stats list;  (** sorted by boundary name *)
+  wall_s : float;  (** wall-clock time of the whole campaign *)
 }
+
+val metrics : report -> Xmlac_obs.Metrics.t
+(** Campaign totals plus per-boundary tallies ([<boundary>.runs], …). The
+    top-level accepted/rejected totals cover only mutated inputs (as in the
+    report); per-boundary tallies cover both phases. *)
 
 val run :
   ?progress:(done_:int -> total:int -> unit) ->

@@ -1,0 +1,105 @@
+(* The versioned machine-readable bench document: one record per experiment
+   row (name + profile), carrying that row's metrics and the wall time of
+   the experiment that produced it. `bench/main.exe --json FILE` writes
+   this; `bench_gate.exe` and CI diff it against a committed baseline.
+
+   Schema v1:
+     { "schema_version": 1,
+       "generator": "...",
+       "mode": "quick" | "full",
+       "records": [
+         { "name": "fig9", "profile": "Doctor", "wall_s": 0.42,
+           "metrics": { "tcsbr.cost.total_s": 6.4, ... } }, ... ] }
+
+   Metric names are dotted; any name whose final segment starts with
+   "wall" is wall-clock (machine-dependent) and exempt from gating. *)
+
+let schema_version = 1
+
+type record = {
+  name : string;
+  profile : string;
+  metrics : Metrics.t;
+  wall_s : float;
+}
+
+type t = {
+  version : int;
+  generator : string;
+  mode : string;
+  records : record list;
+}
+
+let make ?(generator = "xmlac-bench") ~mode records =
+  { version = schema_version; generator; mode; records }
+
+let key r = r.name ^ "/" ^ r.profile
+
+let find t ~name ~profile =
+  List.find_opt (fun r -> r.name = name && r.profile = profile) t.records
+
+(* JSON ----------------------------------------------------------------- *)
+
+let record_to_json r =
+  Json.Obj
+    [
+      ("name", Json.String r.name);
+      ("profile", Json.String r.profile);
+      ("wall_s", Json.Float r.wall_s);
+      ("metrics", Metrics.to_json r.metrics);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema_version", Json.Int t.version);
+      ("generator", Json.String t.generator);
+      ("mode", Json.String t.mode);
+      ("records", Json.List (List.map record_to_json t.records));
+    ]
+
+let to_string t = Json.to_string ~pretty:true (to_json t)
+
+let ( let* ) = Result.bind
+
+let field ~what name conv j =
+  match Option.bind (Json.member name j) conv with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "%s: missing or mistyped %S" what name)
+
+let record_of_json j =
+  let what = "record" in
+  let* name = field ~what "name" Json.to_string_opt j in
+  let what = "record " ^ name in
+  let* profile = field ~what "profile" Json.to_string_opt j in
+  let* wall_s = field ~what "wall_s" Json.to_float_opt j in
+  let* metrics_json = field ~what "metrics" Option.some j in
+  let* metrics =
+    Result.map_error (fun e -> what ^ ": " ^ e) (Metrics.of_json metrics_json)
+  in
+  Ok { name; profile; metrics; wall_s }
+
+let of_json j =
+  let what = "bench report" in
+  let* version = field ~what "schema_version" Json.to_int_opt j in
+  if version <> schema_version then
+    Error
+      (Printf.sprintf "unsupported schema_version %d (this build reads %d)"
+         version schema_version)
+  else
+    let* generator = field ~what "generator" Json.to_string_opt j in
+    let* mode = field ~what "mode" Json.to_string_opt j in
+    let* records_json = field ~what "records" Json.to_list_opt j in
+    let* records =
+      List.fold_left
+        (fun acc j ->
+          let* acc = acc in
+          let* r = record_of_json j in
+          Ok (r :: acc))
+        (Ok []) records_json
+    in
+    Ok { version; generator; mode; records = List.rev records }
+
+let parse s =
+  let* j = Json.parse s in
+  of_json j

@@ -1,0 +1,16 @@
+(* Named monotonic counters. Hot paths that already keep a stats record of
+   mutable ints should keep doing so (a record field bump is the cheapest
+   possible counter); this type is for call sites that want a counter they
+   can hand around or collect into a [Metrics.t] without a record type of
+   their own. *)
+
+type t = { name : string; mutable value : int }
+
+let make name = { name; value = 0 }
+let incr c = c.value <- c.value + 1
+let add c n = c.value <- c.value + n
+let value c = c.value
+let name c = c.name
+let reset c = c.value <- 0
+let metric c = Metrics.int c.name c.value
+let metrics cs = List.map metric cs

@@ -1,0 +1,318 @@
+(* Minimal JSON — just enough for the machine-readable bench report and the
+   perf gate that consumes it. Deliberately dependency-free (the bench gate
+   must build on a bare switch). Integers stay distinct from floats so
+   counter metrics survive a write/parse round trip exactly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* Writing ------------------------------------------------------------------ *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* shortest representation that parses back to the same float and is valid
+   JSON (a bare "1." or "nan" is not) *)
+let float_literal f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s9 = Printf.sprintf "%.9g" f in
+    if float_of_string s9 = f then s9 else Printf.sprintf "%.17g" f
+
+let rec write ~indent ~level buf j =
+  let pad n = if indent then Buffer.add_string buf (String.make (2 * n) ' ') in
+  let newline () = if indent then Buffer.add_char buf '\n' in
+  match j with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_literal f)
+  | String s -> escape_into buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+      Buffer.add_char buf '[';
+      newline ();
+      List.iteri
+        (fun i item ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            newline ()
+          end;
+          pad (level + 1);
+          write ~indent ~level:(level + 1) buf item)
+        items;
+      newline ();
+      pad level;
+      Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      newline ();
+      List.iteri
+        (fun i (name, value) ->
+          if i > 0 then begin
+            Buffer.add_char buf ',';
+            newline ()
+          end;
+          pad (level + 1);
+          escape_into buf name;
+          Buffer.add_string buf (if indent then ": " else ":");
+          write ~indent ~level:(level + 1) buf value)
+        fields;
+      newline ();
+      pad level;
+      Buffer.add_char buf '}'
+
+let to_string ?(pretty = false) j =
+  let buf = Buffer.create 1024 in
+  write ~indent:pretty ~level:0 buf j;
+  if pretty then Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* Parsing ------------------------------------------------------------------ *)
+
+exception Parse_error of string * int
+
+let fail pos fmt = Printf.ksprintf (fun m -> raise (Parse_error (m, pos))) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    &&
+    match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | Some x -> fail c.pos "expected %C, found %C" ch x
+  | None -> fail c.pos "expected %C, found end of input" ch
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c.pos "invalid literal"
+
+(* encode one Unicode scalar value as UTF-8 *)
+let add_utf8 buf u =
+  if u < 0x80 then Buffer.add_char buf (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else if u < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex4 c =
+  if c.pos + 4 > String.length c.src then fail c.pos "truncated \\u escape";
+  let v = ref 0 in
+  for i = c.pos to c.pos + 3 do
+    let d =
+      match c.src.[i] with
+      | '0' .. '9' as ch -> Char.code ch - Char.code '0'
+      | 'a' .. 'f' as ch -> Char.code ch - Char.code 'a' + 10
+      | 'A' .. 'F' as ch -> Char.code ch - Char.code 'A' + 10
+      | ch -> fail i "bad hex digit %C in \\u escape" ch
+    in
+    v := (!v lsl 4) lor d
+  done;
+  c.pos <- c.pos + 4;
+  !v
+
+let parse_string c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if c.pos >= String.length c.src then fail c.pos "unterminated string";
+    match c.src.[c.pos] with
+    | '"' -> c.pos <- c.pos + 1
+    | '\\' ->
+        c.pos <- c.pos + 1;
+        (match peek c with
+        | Some '"' -> Buffer.add_char buf '"'; c.pos <- c.pos + 1
+        | Some '\\' -> Buffer.add_char buf '\\'; c.pos <- c.pos + 1
+        | Some '/' -> Buffer.add_char buf '/'; c.pos <- c.pos + 1
+        | Some 'n' -> Buffer.add_char buf '\n'; c.pos <- c.pos + 1
+        | Some 't' -> Buffer.add_char buf '\t'; c.pos <- c.pos + 1
+        | Some 'r' -> Buffer.add_char buf '\r'; c.pos <- c.pos + 1
+        | Some 'b' -> Buffer.add_char buf '\b'; c.pos <- c.pos + 1
+        | Some 'f' -> Buffer.add_char buf '\012'; c.pos <- c.pos + 1
+        | Some 'u' ->
+            c.pos <- c.pos + 1;
+            let u = hex4 c in
+            let u =
+              (* combine a surrogate pair when one follows *)
+              if
+                u >= 0xD800 && u <= 0xDBFF
+                && c.pos + 1 < String.length c.src
+                && c.src.[c.pos] = '\\'
+                && c.src.[c.pos + 1] = 'u'
+              then begin
+                c.pos <- c.pos + 2;
+                let lo = hex4 c in
+                if lo >= 0xDC00 && lo <= 0xDFFF then
+                  0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00)
+                else fail c.pos "unpaired surrogate"
+              end
+              else u
+            in
+            add_utf8 buf u
+        | _ -> fail c.pos "bad escape");
+        go ()
+    | ch ->
+        Buffer.add_char buf ch;
+        c.pos <- c.pos + 1;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while c.pos < String.length c.src && is_num c.src.[c.pos] do
+    c.pos <- c.pos + 1
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  let has ch = String.contains s ch in
+  if has '.' || has 'e' || has 'E' then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail start "bad number %S" s
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> Float f
+        | None -> fail start "bad number %S" s)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c.pos "unexpected end of input"
+  | Some '{' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        c.pos <- c.pos + 1;
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws c;
+          let name = parse_string c in
+          skip_ws c;
+          expect c ':';
+          let value = parse_value c in
+          fields := (name, value) :: !fields;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              members ()
+          | Some '}' -> c.pos <- c.pos + 1
+          | _ -> fail c.pos "expected ',' or '}'"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      c.pos <- c.pos + 1;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        c.pos <- c.pos + 1;
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value c in
+          items := v :: !items;
+          skip_ws c;
+          match peek c with
+          | Some ',' ->
+              c.pos <- c.pos + 1;
+              elements ()
+          | Some ']' -> c.pos <- c.pos + 1
+          | _ -> fail c.pos "expected ',' or ']'"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+  | Some '"' -> String (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c.pos "unexpected %C" ch
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+      skip_ws c;
+      if c.pos <> String.length s then
+        Error (Printf.sprintf "trailing garbage at byte %d" c.pos)
+      else Ok v
+  | exception Parse_error (msg, pos) ->
+      Error (Printf.sprintf "%s at byte %d" msg pos)
+
+(* Accessors ---------------------------------------------------------------- *)
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+
+let to_float_opt = function
+  | Float f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_string_opt = function String s -> Some s | _ -> None
+let to_list_opt = function List l -> Some l | _ -> None

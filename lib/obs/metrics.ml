@@ -1,0 +1,47 @@
+(* A metrics snapshot: an ordered list of named numbers. This is the
+   interchange format between component-local stats records (which stay
+   plain mutable records on the hot paths) and the three consumers: the
+   human `--stats` summary, the bench `--json` report, and the perf gate. *)
+
+type value = Int of int | Float of float
+type t = (string * value) list
+
+let int name v = (name, Int v)
+let float name v = (name, Float v)
+let prefix p m = List.map (fun (name, v) -> (p ^ "." ^ name, v)) m
+let find m name = List.assoc_opt name m
+let to_float = function Int i -> float_of_int i | Float f -> f
+
+let value_to_json = function Int i -> Json.Int i | Float f -> Json.Float f
+
+let to_json m = Json.Obj (List.map (fun (n, v) -> (n, value_to_json v)) m)
+
+let of_json = function
+  | Json.Obj fields ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | (name, Json.Int i) :: rest -> go ((name, Int i) :: acc) rest
+        | (name, Json.Float f) :: rest -> go ((name, Float f) :: acc) rest
+        | (name, Json.Null) :: rest ->
+            (* non-finite floats serialize as null; resurface as nan *)
+            go ((name, Float Float.nan) :: acc) rest
+        | (name, _) :: _ ->
+            Error (Printf.sprintf "metric %S: expected a number" name)
+      in
+      go [] fields
+  | _ -> Error "metrics: expected an object"
+
+let value_to_string = function
+  | Int i -> string_of_int i
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+      else Printf.sprintf "%.6g" f
+
+(* aligned "name value" lines for the human `--stats` summaries *)
+let render m =
+  let width =
+    List.fold_left (fun w (n, _) -> max w (String.length n)) 0 m
+  in
+  List.map
+    (fun (n, v) -> Printf.sprintf "%-*s %s" width n (value_to_string v))
+    m

@@ -1,0 +1,27 @@
+(* Wall-clock span timings. Simulated SOE costs come from the cost model,
+   never from these; spans time the *harness* (bench experiments, fuzz
+   campaigns) so machine-readable reports can carry real wall time next to
+   modeled time. *)
+
+type t = { name : string; started_at : float }
+
+let now () = Unix.gettimeofday ()
+
+let start name =
+  if Trace.enabled () then Trace.emit "span.start" [ ("name", Json.String name) ];
+  { name; started_at = now () }
+
+let elapsed t = now () -. t.started_at
+
+let finish t =
+  let e = elapsed t in
+  if Trace.enabled () then
+    Trace.emit "span.end"
+      [ ("name", Json.String t.name); ("wall_s", Json.Float e) ];
+  e
+
+(* run [f], returning its result and the wall seconds it took *)
+let time name f =
+  let s = start name in
+  let r = f () in
+  (r, finish s)

@@ -1,0 +1,26 @@
+(* Opt-in structured trace events. Counters are always on; traces cost one
+   ref read when disabled (the default) — hot paths must guard field
+   construction behind [enabled ()]. *)
+
+type event = { name : string; fields : (string * Json.t) list }
+
+let sink : (event -> unit) option ref = ref None
+let set_sink s = sink := s
+let enabled () = Option.is_some !sink
+
+let emit name fields =
+  match !sink with None -> () | Some f -> f { name; fields }
+
+let render e =
+  let field (name, v) =
+    let s =
+      match v with
+      | Json.String s -> s
+      | other -> Json.to_string other
+    in
+    Printf.sprintf "%s=%s" name s
+  in
+  String.concat " " (e.name :: List.map field e.fields)
+
+(* one line per event on stderr — the default sink for CLI --trace flags *)
+let stderr_sink e = prerr_endline ("trace: " ^ render e)

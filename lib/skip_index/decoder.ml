@@ -5,6 +5,40 @@ type source = { read : pos:int -> len:int -> string; length : int }
 let source_of_string s =
   { read = (fun ~pos ~len -> String.sub s pos len); length = String.length s }
 
+(* Byte-level skip accounting (the paper's Section 7 currency: how much of
+   the encoded document the SOE never has to examine). Shared by the
+   sub-decoders that re-read pending subtrees, so readback work is counted
+   against the same snapshot. *)
+type stats = {
+  mutable events_decoded : int;
+  mutable subtree_skips : int;  (* skip() calls: whole subtrees jumped over *)
+  mutable rest_skips : int;  (* skip_rest() calls: element tails jumped over *)
+  mutable bytes_skipped : int;  (* encoded bytes never streamed past *)
+  mutable readback_subtrees : int;  (* pending regions re-read after a skip *)
+  mutable readback_bytes : int;
+}
+
+let fresh_stats () =
+  {
+    events_decoded = 0;
+    subtree_skips = 0;
+    rest_skips = 0;
+    bytes_skipped = 0;
+    readback_subtrees = 0;
+    readback_bytes = 0;
+  }
+
+let stats_metrics (s : stats) : Xmlac_obs.Metrics.t =
+  Xmlac_obs.Metrics.
+    [
+      int "events_decoded" s.events_decoded;
+      int "subtree_skips" s.subtree_skips;
+      int "rest_skips" s.rest_skips;
+      int "bytes_skipped" s.bytes_skipped;
+      int "readback_subtrees" s.readback_subtrees;
+      int "readback_bytes" s.readback_bytes;
+    ]
+
 type frame = {
   tag : string;
   set : int array;  (* DescTag of this element; [||] for leaves / no bitmap *)
@@ -20,6 +54,7 @@ type t = {
   hdr : Encoder.header;
   dict : Dict.t;
   full_set : int array;
+  stats : stats;
   mutable stack : frame list;
   mutable after_start : bool;  (* the last event was a Start *)
   mutable finished : bool;
@@ -43,6 +78,7 @@ let of_source source =
         hdr;
         dict;
         full_set = Array.init (Dict.size dict) Fun.id;
+        stats = fresh_stats ();
         stack = [];
         after_start = false;
         finished = false;
@@ -55,6 +91,7 @@ let of_string_result s = Error.guard (fun () -> of_string s)
 let layout t = t.hdr.Encoder.layout
 let dict t = t.dict
 let header t = t.hdr
+let stats t = t.stats
 let position t = Bitio.Reader.position t.reader
 let can_skip t = Layout.has_sizes (layout t)
 
@@ -159,7 +196,12 @@ let read_element t kind =
   t.after_start <- true;
   Event.Start { tag; attributes = [] }
 
-let next t : Event.t option =
+let rec next t : Event.t option =
+  let e = next_raw t in
+  if e <> None then t.stats.events_decoded <- t.stats.events_decoded + 1;
+  e
+
+and next_raw t : Event.t option =
   if t.finished then None
   else begin
     let pop () =
@@ -225,6 +267,9 @@ let skip t =
   let f = top_frame_after_start t in
   if f.end_pos < 0 then
     invalid_arg "Skip_index.Decoder: this layout cannot skip";
+  t.stats.subtree_skips <- t.stats.subtree_skips + 1;
+  t.stats.bytes_skipped <-
+    t.stats.bytes_skipped + (f.end_pos - Bitio.Reader.position t.reader);
   Bitio.Reader.seek t.reader f.end_pos;
   t.after_start <- false
 
@@ -280,12 +325,17 @@ let skip_rest t =
   | f :: _ ->
       if f.end_pos < 0 then
         invalid_arg "Skip_index.Decoder.skip_rest: this layout cannot skip";
+      t.stats.rest_skips <- t.stats.rest_skips + 1;
+      t.stats.bytes_skipped <-
+        t.stats.bytes_skipped + (f.end_pos - Bitio.Reader.position t.reader);
       Bitio.Reader.seek t.reader f.end_pos;
       t.after_start <- false
 
 let range_size h = h.r_end - h.r_start
 
 let read_subtree t h =
+  t.stats.readback_subtrees <- t.stats.readback_subtrees + 1;
+  t.stats.readback_bytes <- t.stats.readback_bytes + h.h_size;
   let sub =
     {
       source = t.source;
@@ -293,6 +343,7 @@ let read_subtree t h =
       hdr = t.hdr;
       dict = t.dict;
       full_set = t.full_set;
+      stats = t.stats;
       stack =
         [
           {
@@ -323,6 +374,8 @@ let events_result s =
       drain [])
 
 let read_range t h =
+  t.stats.readback_subtrees <- t.stats.readback_subtrees + 1;
+  t.stats.readback_bytes <- t.stats.readback_bytes + range_size h;
   (* a synthetic frame bounds the range; its closing event is dropped *)
   let sentinel = "#range" in
   let sub =
@@ -332,6 +385,7 @@ let read_range t h =
       hdr = t.hdr;
       dict = t.dict;
       full_set = t.full_set;
+      stats = t.stats;
       stack =
         [
           {

@@ -40,6 +40,24 @@ val layout : t -> Layout.t
 val dict : t -> Dict.t
 val header : t -> Encoder.header
 
+(** Skip accounting: how much of the encoded document was jumped over
+    versus decoded, the Section 7 currency. Counters are always on (a
+    record-field bump per event/skip); sub-decoders created by
+    {!read_subtree}/{!read_range} charge the parent decoder's record, so
+    pending-delivery readback is visible in the same snapshot. *)
+type stats = {
+  mutable events_decoded : int;
+  mutable subtree_skips : int;
+  mutable rest_skips : int;
+  mutable bytes_skipped : int;
+  mutable readback_subtrees : int;
+  mutable readback_bytes : int;
+}
+
+val fresh_stats : unit -> stats
+val stats : t -> stats
+val stats_metrics : stats -> Xmlac_obs.Metrics.t
+
 val next : t -> Xmlac_xml.Event.t option
 (** Next event; [None] once the root element has been closed.
     @raise Error.Error ([Corrupt]) on malformed bytes: truncated body,

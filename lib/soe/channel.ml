@@ -6,7 +6,9 @@ type counters = {
   mutable bytes_to_soe : int;
   mutable bytes_decrypted : int;
   mutable bytes_hashed : int;
+  mutable blocks_decrypted : int;
   mutable digests_decrypted : int;
+  mutable hashes_verified : int;
   mutable fragment_fetches : int;
   mutable chunk_fetches : int;
 }
@@ -16,10 +18,25 @@ let fresh_counters () =
     bytes_to_soe = 0;
     bytes_decrypted = 0;
     bytes_hashed = 0;
+    blocks_decrypted = 0;
     digests_decrypted = 0;
+    hashes_verified = 0;
     fragment_fetches = 0;
     chunk_fetches = 0;
   }
+
+let metrics (c : counters) : Xmlac_obs.Metrics.t =
+  Xmlac_obs.Metrics.
+    [
+      int "bytes_to_soe" c.bytes_to_soe;
+      int "bytes_decrypted" c.bytes_decrypted;
+      int "bytes_hashed" c.bytes_hashed;
+      int "blocks_decrypted" c.blocks_decrypted;
+      int "digests_decrypted" c.digests_decrypted;
+      int "hashes_verified" c.hashes_verified;
+      int "fragment_fetches" c.fragment_fetches;
+      int "chunk_fetches" c.chunk_fetches;
+    ]
 
 let digest_blob_bytes = 24
 let digest_bytes = 20
@@ -75,6 +92,8 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
     | _ ->
         counters.bytes_to_soe <- counters.bytes_to_soe + digest_blob_bytes;
         counters.bytes_decrypted <- counters.bytes_decrypted + digest_blob_bytes;
+        counters.blocks_decrypted <-
+          counters.blocks_decrypted + (digest_blob_bytes / 8);
         counters.digests_decrypted <- counters.digests_decrypted + 1;
         let d = C.decrypt_digest container ~key chunk in
         root_cache := Some (chunk, d);
@@ -159,7 +178,8 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
           raise
             (C.Integrity_failure
                (Printf.sprintf "chunk %d fragment %d: Merkle root mismatch"
-                  chunk frag))
+                  chunk frag));
+        counters.hashes_verified <- counters.hashes_verified + 1
       end
     end
   in
@@ -177,6 +197,7 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
           String.sub entry.cipher_suffix (local - entry.avail_from) 8
         in
         counters.bytes_decrypted <- counters.bytes_decrypted + 8;
+        counters.blocks_decrypted <- counters.blocks_decrypted + 1;
         let base = (chunk * chunk_size) + (frag * frag_size) + local in
         let plain =
           Xmlac_crypto.Modes.positional_decrypt
@@ -216,13 +237,15 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
     match scheme with
     | C.Cbc_sha ->
         counters.bytes_decrypted <- counters.bytes_decrypted + chunk_size;
+        counters.blocks_decrypted <- counters.blocks_decrypted + (chunk_size / 8);
         if verify then begin
           counters.bytes_hashed <- counters.bytes_hashed + chunk_size;
           let expected = C.expected_digest_of_plain container ~chunk ~plain in
           if not (String.equal expected (chunk_digest chunk)) then
             raise
               (C.Integrity_failure
-                 (Printf.sprintf "chunk %d: plaintext digest mismatch" chunk))
+                 (Printf.sprintf "chunk %d: plaintext digest mismatch" chunk));
+          counters.hashes_verified <- counters.hashes_verified + 1
         end
     | C.Cbc_shac ->
         if verify then begin
@@ -234,7 +257,8 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
           if not (String.equal expected (chunk_digest chunk)) then
             raise
               (C.Integrity_failure
-                 (Printf.sprintf "chunk %d: ciphertext digest mismatch" chunk))
+                 (Printf.sprintf "chunk %d: ciphertext digest mismatch" chunk));
+          counters.hashes_verified <- counters.hashes_verified + 1
         end
     | C.Ecb | C.Ecb_mht -> ()
   in
@@ -274,7 +298,8 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
               for b = offset / 8 to (offset + take - 1) / 8 do
                 if not (Hashtbl.mem blocks b) then begin
                   Hashtbl.replace blocks b ();
-                  counters.bytes_decrypted <- counters.bytes_decrypted + 8
+                  counters.bytes_decrypted <- counters.bytes_decrypted + 8;
+                  counters.blocks_decrypted <- counters.blocks_decrypted + 1
                 end
               done;
             Buffer.add_substring buf plain offset take;

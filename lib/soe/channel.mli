@@ -14,12 +14,17 @@ type counters = {
   mutable bytes_to_soe : int;  (** payload + digest + hash-state bytes sent *)
   mutable bytes_decrypted : int;
   mutable bytes_hashed : int;  (** hashed inside the SOE *)
+  mutable blocks_decrypted : int;  (** 8-byte 3DES blocks (incl. digests) *)
   mutable digests_decrypted : int;
+  mutable hashes_verified : int;  (** integrity comparisons that passed *)
   mutable fragment_fetches : int;
   mutable chunk_fetches : int;
 }
 
 val fresh_counters : unit -> counters
+
+val metrics : counters -> Xmlac_obs.Metrics.t
+(** Snapshot as named metrics (for [--stats] summaries and bench records). *)
 
 val source :
   ?verify:bool ->

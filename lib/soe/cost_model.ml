@@ -76,6 +76,16 @@ let breakdown t ~bytes_in ~bytes_decrypted ~bytes_hashed ~transitions ~events =
     total_s = communication_s +. decryption_s +. access_control_s +. integrity_s;
   }
 
+let breakdown_metrics (b : breakdown) : Xmlac_obs.Metrics.t =
+  Xmlac_obs.Metrics.
+    [
+      float "communication_s" b.communication_s;
+      float "decryption_s" b.decryption_s;
+      float "access_control_s" b.access_control_s;
+      float "integrity_s" b.integrity_s;
+      float "total_s" b.total_s;
+    ]
+
 let pp_breakdown ppf b =
   Fmt.pf ppf "total %.3fs (comm %.3fs, decrypt %.3fs, AC %.3fs, integrity %.3fs)"
     b.total_s b.communication_s b.decryption_s b.access_control_s b.integrity_s

@@ -46,3 +46,6 @@ val breakdown :
   breakdown
 
 val pp_breakdown : Format.formatter -> breakdown -> unit
+
+val breakdown_metrics : breakdown -> Xmlac_obs.Metrics.t
+(** Modeled-time components as named metrics (seconds). *)

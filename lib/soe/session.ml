@@ -51,8 +51,10 @@ type measurement = {
   strategy : string;
   counters : Channel.counters;
   eval : Evaluator.stats;
+  index : Decoder.stats;
   result_bytes : int;
   breakdown : Cost_model.breakdown;
+  wall_s : float;
   events : Xmlac_xml.Event.t list;
 }
 
@@ -63,7 +65,10 @@ let evaluate ?query ?(verify = true) ?strategy ?options config published policy 
       counters
   in
   let decoder = Decoder.of_source source in
-  let result = Evaluator.run ?query ?options ~policy (Input.of_decoder decoder) in
+  let result, wall_s =
+    Xmlac_obs.Span.time "session.evaluate" (fun () ->
+        Evaluator.run ?query ?options ~policy (Input.of_decoder decoder))
+  in
   let result_bytes =
     String.length (Xmlac_xml.Writer.events_to_string result.Evaluator.events)
   in
@@ -83,10 +88,21 @@ let evaluate ?query ?(verify = true) ?strategy ?options config published policy 
     strategy;
     counters;
     eval = result.Evaluator.stats;
+    index = Decoder.stats decoder;
     result_bytes;
     breakdown;
+    wall_s;
     events = result.Evaluator.events;
   }
+
+let metrics (m : measurement) : Xmlac_obs.Metrics.t =
+  let open Xmlac_obs.Metrics in
+  [ int "result_bytes" m.result_bytes ]
+  @ prefix "eval" (Evaluator.stats_metrics m.eval)
+  @ prefix "index" (Decoder.stats_metrics m.index)
+  @ prefix "channel" (Channel.metrics m.counters)
+  @ prefix "cost" (Cost_model.breakdown_metrics m.breakdown)
+  @ [ float "wall_s" m.wall_s ]
 
 let lwb ?(verify = true) config ~authorized_bytes =
   let chunks = max 1 ((authorized_bytes + config.chunk_size - 1) / config.chunk_size) in

@@ -41,10 +41,18 @@ type measurement = {
   strategy : string;
   counters : Channel.counters;
   eval : Xmlac_core.Evaluator.stats;
+  index : Xmlac_skip_index.Decoder.stats;  (** skip/readback tallies *)
   result_bytes : int;  (** serialized size of the authorized output *)
   breakdown : Cost_model.breakdown;
+  wall_s : float;  (** wall-clock time of the evaluator run *)
   events : Xmlac_xml.Event.t list;
 }
+
+val metrics : measurement -> Xmlac_obs.Metrics.t
+(** Everything observable about one evaluation, namespaced: [result_bytes],
+    [eval.*] (evaluator stats), [index.*] (skip-index decoder stats),
+    [channel.*] (SOE channel counters), [cost.*] (modeled seconds), and
+    [wall_s] (wall-clock, exempt from perf gating). *)
 
 val evaluate :
   ?query:Xmlac_xpath.Ast.t ->

@@ -1,0 +1,338 @@
+(* Tests for the observability layer: JSON encode/parse round trips, the
+   metrics interchange format, deterministic hot-path counters on a known
+   document/policy pair, the bench-report schema, and the perf gate's drift
+   and shape checks — including that the committed BENCH_baseline.json
+   parses and gates cleanly against itself. *)
+
+open Xmlac_obs
+module Tree = Xmlac_xml.Tree
+module Layout = Xmlac_skip_index.Layout
+module Encoder = Xmlac_skip_index.Encoder
+module Decoder = Xmlac_skip_index.Decoder
+module Policy = Xmlac_core.Policy
+module Rule = Xmlac_core.Rule
+module Evaluator = Xmlac_core.Evaluator
+module Session = Xmlac_soe.Session
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+let string_t = Alcotest.string
+
+(* Json ------------------------------------------------------------------- *)
+
+let roundtrip j =
+  match Json.parse (Json.to_string j) with
+  | Ok j' -> j'
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bool", Json.Bool true);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5);
+        ("tiny", Json.Float 1e-9);
+        ("string", Json.String "a \"quoted\"\n\ttab \\ slash");
+        ("list", Json.List [ Json.Int 1; Json.Float 2.5; Json.String "x" ]);
+        ("nested", Json.Obj [ ("k", Json.List []) ]);
+      ]
+  in
+  check bool_t "object round-trips" true (roundtrip j = j);
+  (* compact and pretty print the same value *)
+  check bool_t "pretty round-trips" true
+    (Json.parse (Json.to_string ~pretty:true j) = Ok j)
+
+let test_json_escapes () =
+  (* \uXXXX escapes decode to UTF-8, including a surrogate pair *)
+  check bool_t "bmp escape" true
+    (Json.parse {|"é"|} = Ok (Json.String "\xc3\xa9"));
+  check bool_t "surrogate pair" true
+    (Json.parse {|"😀"|} = Ok (Json.String "\xf0\x9f\x98\x80"));
+  (match Json.parse "{\"a\": [1, 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated input must not parse");
+  match Json.parse "[1] trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage must not parse"
+
+let test_json_float_format () =
+  (* integral floats keep a decimal point so they reparse as floats *)
+  check string_t "integral float" "3.0" (Json.to_string (Json.Float 3.));
+  check bool_t "nan is null" true (Json.to_string (Json.Float Float.nan) = "null");
+  (* a value needing full precision survives *)
+  let f = 0.1 +. 0.2 in
+  check bool_t "precision kept" true (roundtrip (Json.Float f) = Json.Float f)
+
+(* Metrics ---------------------------------------------------------------- *)
+
+let test_metrics_roundtrip () =
+  let m =
+    Metrics.[ int "events" 1234; float "total_s" 0.125; float "nan" Float.nan ]
+  in
+  match Metrics.of_json (Metrics.to_json m) with
+  | Error e -> Alcotest.failf "metrics reparse: %s" e
+  | Ok m' ->
+      check int_t "same length" (List.length m) (List.length m');
+      check bool_t "int preserved" true
+        (Metrics.find m' "events" = Some (Metrics.Int 1234));
+      check bool_t "float preserved" true
+        (Metrics.find m' "total_s" = Some (Metrics.Float 0.125));
+      (* non-finite floats pass through null and resurface as nan *)
+      (match Metrics.find m' "nan" with
+      | Some (Metrics.Float f) -> check bool_t "nan resurfaces" true (Float.is_nan f)
+      | _ -> Alcotest.fail "nan metric lost")
+
+let test_metrics_prefix_render () =
+  let m = Metrics.(prefix "eval" [ int "events_in" 7 ]) in
+  check bool_t "prefix dots the name" true
+    (Metrics.find m "eval.events_in" = Some (Metrics.Int 7));
+  match Metrics.render Metrics.[ int "a" 1; float "wall_s" 0.5 ] with
+  | [ l1; _ ] ->
+      check bool_t "aligned name first" true
+        (String.length l1 > 0 && l1.[0] = 'a')
+  | _ -> Alcotest.fail "one line per metric"
+
+(* Counter / Span / Trace ------------------------------------------------- *)
+
+let test_counter () =
+  let c = Counter.make "widgets" in
+  Counter.incr c;
+  Counter.add c 4;
+  check int_t "value" 5 (Counter.value c);
+  check bool_t "metric" true (Counter.metric c = Metrics.int "widgets" 5);
+  Counter.reset c;
+  check int_t "reset" 0 (Counter.value c)
+
+let test_span_trace () =
+  let seen = ref [] in
+  Trace.set_sink (Some (fun e -> seen := e :: !seen));
+  Fun.protect
+    ~finally:(fun () -> Trace.set_sink None)
+    (fun () ->
+      check bool_t "enabled with a sink" true (Trace.enabled ());
+      let (), wall = Span.time "unit-test" (fun () -> ()) in
+      check bool_t "non-negative wall" true (wall >= 0.);
+      let names = List.rev_map (fun e -> e.Trace.name) !seen in
+      check bool_t "span start+end traced" true
+        (names = [ "span.start"; "span.end" ]));
+  check bool_t "disabled after unset" true (not (Trace.enabled ()))
+
+(* The evaluator observer adapter: observations become named trace events *)
+let test_trace_observation () =
+  let doc = Tree.parse "<r><a>x</a><b>y</b></r>" in
+  let policy = Policy.make [ Rule.parse ~id:"r1" ~sign:Rule.Permit "/r/a" ] in
+  let events = ref [] in
+  let observer obs =
+    let name, fields = Evaluator.trace_observation obs in
+    events := (name, fields) :: !events
+  in
+  let _ = Evaluator.run_events ~observer ~policy (Tree.to_events doc) in
+  let names = List.rev_map fst !events in
+  check bool_t "observations traced" true (names <> []);
+  check bool_t "decisions appear" true (List.mem "eval.decision" names);
+  check bool_t "instances appear" true (List.mem "eval.instance" names)
+
+(* Deterministic counters ------------------------------------------------- *)
+
+(* A fixed document/policy pair: the policy permits only /r/keep, so the
+   evaluator must skip the <blob> subtree at its open event. All asserted
+   values are exact: they derive from byte-exact encodings and counter
+   increments, not from timing. If an intentional encoder/evaluator change
+   shifts them, re-freeze by printing the metrics of this very pair. *)
+let known_doc () =
+  Tree.parse
+    "<r><blob><x>aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa</x><y>bbbb</y></blob><keep>hello</keep></r>"
+
+let known_policy () =
+  Policy.make [ Rule.parse ~id:"k1" ~sign:Rule.Permit "/r/keep" ]
+
+let test_decoder_counters () =
+  let doc = known_doc () in
+  let encoded = Encoder.encode ~layout:Layout.Tcsbr doc in
+  let decoder = Decoder.of_string encoded in
+  let result =
+    Evaluator.run ~policy:(known_policy ())
+      (Xmlac_core.Input.of_decoder decoder)
+  in
+  let s = Decoder.stats decoder in
+  check int_t "one subtree skipped" 1 s.Decoder.subtree_skips;
+  check int_t "skipped bytes" 44 s.Decoder.bytes_skipped;
+  check int_t "events decoded" 7 s.Decoder.events_decoded;
+  check int_t "no readback" 0 s.Decoder.readback_subtrees;
+  check int_t "evaluator saw the skip" 1
+    result.Evaluator.stats.Evaluator.open_skips;
+  (* the metrics snapshot mirrors the record *)
+  check bool_t "metrics mirror stats" true
+    (Metrics.find (Decoder.stats_metrics s) "subtree_skips"
+    = Some (Metrics.Int 1))
+
+let test_session_counters () =
+  let doc = known_doc () in
+  let config = Session.default_config () in
+  let published = Session.publish config ~layout:Layout.Tcsbr doc in
+  let m = Session.evaluate config published (known_policy ()) in
+  check int_t "one subtree skipped" 1 m.Session.index.Decoder.subtree_skips;
+  check int_t "blocks decrypted" 9
+    m.Session.counters.Xmlac_soe.Channel.blocks_decrypted;
+  check int_t "hashes verified" 1
+    m.Session.counters.Xmlac_soe.Channel.hashes_verified;
+  let metrics = Session.metrics m in
+  check bool_t "namespaced eval metric" true
+    (Metrics.find metrics "eval.open_skips" = Some (Metrics.Int 1));
+  check bool_t "namespaced channel metric" true
+    (Metrics.find metrics "channel.blocks_decrypted" = Some (Metrics.Int 9));
+  check bool_t "wall metric present" true
+    (Metrics.find metrics "wall_s" <> None);
+  (* the output itself is what the policy permits *)
+  check bool_t "view is /r/keep only" true
+    (Evaluator.view_tree
+       { Evaluator.events = m.Session.events; stats = m.Session.eval }
+    = Some (Tree.parse "<r><keep>hello</keep></r>"))
+
+(* Bench report + gate ---------------------------------------------------- *)
+
+let sample_record ?(tcsbr = 2.) ?(lwb = 1.) () =
+  {
+    Bench_report.name = "fig9";
+    profile = "Doctor";
+    metrics =
+      Metrics.
+        [
+          float "bf_total_s" 10.;
+          float "tcsbr_total_s" tcsbr;
+          float "lwb_total_s" lwb;
+          float "wall_s" 0.5;
+        ];
+    wall_s = 0.1;
+  }
+
+let sample_report ?tcsbr ?lwb () =
+  Bench_report.make ~mode:"quick" [ sample_record ?tcsbr ?lwb () ]
+
+let test_report_roundtrip () =
+  let r = sample_report () in
+  match Bench_report.parse (Bench_report.to_string r) with
+  | Error e -> Alcotest.failf "report reparse: %s" e
+  | Ok r' ->
+      check bool_t "round-trips exactly" true (r = r');
+      (* and the gate accepts the reparsed copy against the original *)
+      check int_t "self-gate is clean" 0
+        (List.length (Gate.check ~baseline:r ~current:r' ()))
+
+let test_gate_drift () =
+  let baseline = sample_report () in
+  let drifted = sample_report ~tcsbr:2.5 () in
+  let violations = Gate.check ~baseline ~current:drifted () in
+  check int_t "25% drift caught at 10% tolerance" 1 (List.length violations);
+  check int_t "but passes at 30% tolerance" 0
+    (List.length (Gate.check ~tolerance:0.3 ~baseline ~current:drifted ()));
+  (* wall-clock metrics never gate *)
+  let wall_only =
+    Bench_report.make ~mode:"quick"
+      [
+        {
+          (sample_record ()) with
+          Bench_report.metrics =
+            Metrics.
+              [
+                float "bf_total_s" 10.;
+                float "tcsbr_total_s" 2.;
+                float "lwb_total_s" 1.;
+                float "wall_s" 99.;
+              ];
+        };
+      ]
+  in
+  check int_t "wall drift ignored" 0
+    (List.length (Gate.check ~baseline ~current:wall_only ()))
+
+let test_gate_missing () =
+  let baseline = sample_report () in
+  let empty = Bench_report.make ~mode:"quick" [] in
+  check bool_t "missing record flagged" true
+    (Gate.check ~baseline ~current:empty () <> []);
+  let full = Bench_report.make ~mode:"full" [ sample_record () ] in
+  check bool_t "mode mismatch flagged" true
+    (Gate.check ~baseline ~current:full () <> [])
+
+let test_gate_shape () =
+  (* identical baseline and current, but the current report's own ordering
+     is broken: LWB must lower-bound TCSBR *)
+  let broken = sample_report ~tcsbr:1. ~lwb:2. () in
+  let violations = Gate.check ~baseline:broken ~current:broken () in
+  check bool_t "shape violation fires without drift" true (violations <> []);
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  check bool_t "violation names the metric" true
+    (List.exists
+       (fun v ->
+         v.Gate.where = "fig9/Doctor"
+         && contains (Format.asprintf "%a" Gate.pp_violation v) "lwb_total_s")
+       violations)
+
+(* The committed baseline: parses under this build's schema and gates
+   cleanly against itself (drift is trivially zero; shape orderings must
+   genuinely hold in the committed numbers). *)
+(* resolves under both `dune runtest` (cwd = _build/default/test) and
+   `dune exec test/test_obs.exe` (cwd = repo root): the binary sits in
+   _build/default/test, one level below the staged baseline *)
+let baseline_path =
+  Filename.concat
+    (Filename.dirname Sys.executable_name)
+    "../BENCH_baseline.json"
+
+let test_committed_baseline () =
+  let contents =
+    In_channel.with_open_bin baseline_path In_channel.input_all
+  in
+  match Bench_report.parse contents with
+  | Error e -> Alcotest.failf "BENCH_baseline.json: %s" e
+  | Ok report ->
+      check string_t "quick mode" "quick" report.Bench_report.mode;
+      check bool_t "has records" true (report.Bench_report.records <> []);
+      let violations = Gate.check ~baseline:report ~current:report () in
+      List.iter
+        (fun v -> Printf.printf "baseline violation: %s: %s\n" v.Gate.where v.Gate.detail)
+        violations;
+      check int_t "baseline self-gates clean" 0 (List.length violations)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "float format" `Quick test_json_float_format;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_metrics_roundtrip;
+          Alcotest.test_case "prefix+render" `Quick test_metrics_prefix_render;
+        ] );
+      ( "instruments",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "span+trace" `Quick test_span_trace;
+          Alcotest.test_case "trace observation" `Quick test_trace_observation;
+        ] );
+      ( "deterministic counters",
+        [
+          Alcotest.test_case "decoder" `Quick test_decoder_counters;
+          Alcotest.test_case "session" `Quick test_session_counters;
+        ] );
+      ( "gate",
+        [
+          Alcotest.test_case "report roundtrip" `Quick test_report_roundtrip;
+          Alcotest.test_case "drift" `Quick test_gate_drift;
+          Alcotest.test_case "missing" `Quick test_gate_missing;
+          Alcotest.test_case "shape" `Quick test_gate_shape;
+          Alcotest.test_case "committed baseline" `Quick test_committed_baseline;
+        ] );
+    ]
