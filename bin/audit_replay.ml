@@ -1,0 +1,162 @@
+(* audit_replay — oracle-checked replay of a prov.v1 provenance trace.
+
+   Re-reads a JSONL trace (captured with `xacml view --trace-out`, or
+   emitted by the fuzz harness next to a crasher) and cross-checks every
+   recorded decision against the DOM reference oracle on the original
+   document and policy. Exit codes: 0 = every decision agrees, 1 = the
+   trace diverges from the oracle (tampered or buggy), 2 = unusable
+   input. *)
+
+open Cmdliner
+module Tree = Xmlac_xml.Tree
+module Json = Xmlac_obs.Json
+module Provenance = Xmlac_core.Provenance
+module Audit = Xmlac_core.Audit
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("audit_replay: " ^ msg);
+      exit 2)
+    fmt
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> die "%s" msg
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+
+let doc_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "doc" ] ~docv:"FILE" ~doc:"The original XML document.")
+
+let policy_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "policy" ] ~docv:"FILE"
+        ~doc:"Policy file: one rule per line, '<id> <+|-> <xpath>'.")
+
+let user_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "user" ] ~docv:"NAME" ~doc:"Value for the USER variable.")
+
+let trace_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "trace" ] ~docv:"FILE" ~doc:"The prov.v1 JSONL trace to audit.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Only report violations.")
+
+(* Returns the records plus the query recorded in the prov.meta header.
+   Non-provenance events (spans, eval.* observations) are ignored; a
+   malformed provenance line is unusable input. *)
+let parse_trace text =
+  let records = ref [] in
+  let meta_query = ref None in
+  let seen_meta = ref false in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      if String.trim line <> "" then
+        match Json.parse line with
+        | Error e -> die "trace line %d: %s" lineno e
+        | Ok j -> (
+            match Option.bind (Json.member "event" j) Json.to_string_opt with
+            | None -> die "trace line %d: missing \"event\" field" lineno
+            | Some "prov.meta" -> (
+                seen_meta := true;
+                (match
+                   Option.bind (Json.member "schema" j) Json.to_string_opt
+                 with
+                | Some v when v = Provenance.schema_version -> ()
+                | Some v ->
+                    die "trace line %d: unsupported schema %S (want %S)" lineno
+                      v Provenance.schema_version
+                | None -> die "trace line %d: prov.meta without schema" lineno);
+                match
+                  Option.bind (Json.member "query" j) Json.to_string_opt
+                with
+                | Some q -> meta_query := Some q
+                | None -> ())
+            | Some name when String.length name >= 5
+                             && String.sub name 0 5 = "prov." -> (
+                match Provenance.record_of_json j with
+                | Ok r -> records := r :: !records
+                | Error e -> die "trace line %d: %s" lineno e)
+            | Some _ -> () (* span/eval event riding along in the file *)))
+    (String.split_on_char '\n' text);
+  if not !seen_meta then
+    die "trace has no prov.meta header — not a prov.v1 trace";
+  (List.rev !records, !meta_query)
+
+let run doc_file policy_file user trace_file quiet =
+  let doc =
+    match Tree.parse_result ~strip_whitespace:true (read_file doc_file) with
+    | Ok t -> Tree.attributes_to_elements t
+    | Error (reason, pos) ->
+        die "%s: malformed XML at byte %d: %s" doc_file pos reason
+  in
+  let policy =
+    match Xmlac_core.Policy.of_string (read_file policy_file) with
+    | Ok p -> p
+    | Error e -> die "%s: %s" policy_file e
+  in
+  let policy =
+    match user with
+    | Some u -> Xmlac_core.Policy.resolve_user ~user:u policy
+    | None -> policy
+  in
+  let records, meta_query = parse_trace (read_file trace_file) in
+  let query =
+    Option.map
+      (fun q ->
+        match Xmlac_xpath.Parse.path q with
+        | p -> p
+        | exception Xmlac_xpath.Parse.Error (reason, pos) ->
+            die "trace query %S: invalid XPath at %d: %s" q pos reason)
+      meta_query
+  in
+  let nodes, skips, chunks =
+    List.fold_left
+      (fun (n, s, c) r ->
+        match r with
+        | Provenance.Node _ -> (n + 1, s, c)
+        | Provenance.Skip _ -> (n, s + 1, c)
+        | Provenance.Chunk _ -> (n, s, c + 1))
+      (0, 0, 0) records
+  in
+  match Audit.check ?query ~policy ~doc records with
+  | [] ->
+      if not quiet then
+        Printf.printf
+          "audit ok: %d node, %d skip and %d chunk records agree with the \
+           oracle\n"
+          nodes skips chunks;
+      exit 0
+  | violations ->
+      Printf.printf "audit FAILED: %d violation(s)\n" (List.length violations);
+      List.iter
+        (fun (v : Audit.violation) ->
+          Printf.printf "  %s: %s\n" v.where v.detail)
+        violations;
+      exit 1
+
+let () =
+  let doc =
+    "replay a decision-provenance trace against the DOM reference oracle"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.v
+          (Cmd.info "audit_replay" ~version:"1.0.0" ~doc)
+          Term.(
+            const run $ doc_arg $ policy_arg $ user_arg $ trace_arg $ quiet_arg)))

@@ -84,6 +84,79 @@ let scheme_conv =
   in
   Arg.conv (parse, fun ppf s -> Fmt.string ppf (Container.scheme_to_string s))
 
+(* policy assembly, shared by view and explain *)
+
+let rules_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "r"; "rule" ] ~docv:"RULE"
+        ~doc:
+          "Access rule: a sign (+ or -) followed by an XPath, e.g. \
+           '+//meeting' or '-//private'. Repeatable.")
+
+let policy_file_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "policy" ] ~docv:"FILE"
+        ~doc:
+          "Policy file: one rule per line, '<id> <+|-> <xpath>', # \
+           comments allowed. Combined with any --rule options.")
+
+let query_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "q"; "query" ] ~docv:"XPATH" ~doc:"Optional query on the view.")
+
+let user_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "user" ] ~docv:"NAME" ~doc:"Value for the USER variable.")
+
+let parse_rule_spec i spec =
+  if String.length spec < 2 then
+    die "--rule %S: too short (expected +XPATH or -XPATH)" spec
+  else
+    let sign =
+      match spec.[0] with
+      | '+' -> Rule.Permit
+      | '-' -> Rule.Deny
+      | _ -> die "--rule %S: must start with + or -" spec
+    in
+    match
+      Rule.parse ~id:(Printf.sprintf "cli%d" i) ~sign
+        (String.sub spec 1 (String.length spec - 1))
+    with
+    | rule -> rule
+    | exception Xmlac_xpath.Parse.Error (reason, pos) ->
+        die "--rule %S: invalid XPath at %d: %s" spec pos reason
+
+let assemble_policy ~rules ~policy_file ~user =
+  let file_rules =
+    match policy_file with
+    | None -> []
+    | Some f -> (
+        match Policy.of_string (read_file f) with
+        | Ok p -> Policy.rules p
+        | Error e -> die "--policy %s: %s" f e)
+  in
+  let cli_rules = List.mapi parse_rule_spec rules in
+  if file_rules = [] && cli_rules = [] then
+    die "no rules: give --rule and/or --policy";
+  let policy = Policy.make (file_rules @ cli_rules) in
+  let policy =
+    match user with
+    | Some u -> Policy.resolve_user ~user:u policy
+    | None -> policy
+  in
+  (match Policy.streaming_compatible policy with
+  | Ok () -> ()
+  | Error msg -> die "policy: %s" msg);
+  policy
+
 (* gen ----------------------------------------------------------------------- *)
 
 let gen_cmd =
@@ -196,36 +269,6 @@ let verify_cmd =
 (* view ----------------------------------------------------------------------- *)
 
 let view_cmd =
-  let rules =
-    Arg.(
-      value
-      & opt_all string []
-      & info [ "r"; "rule" ] ~docv:"RULE"
-          ~doc:
-            "Access rule: a sign (+ or -) followed by an XPath, e.g. \
-             '+//meeting' or '-//private'. Repeatable.")
-  in
-  let policy_file =
-    Arg.(
-      value
-      & opt (some file) None
-      & info [ "policy" ] ~docv:"FILE"
-          ~doc:
-            "Policy file: one rule per line, '<id> <+|-> <xpath>', # \
-             comments allowed. Combined with any --rule options.")
-  in
-  let query =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "q"; "query" ] ~docv:"XPATH" ~doc:"Optional query on the view.")
-  in
-  let user =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "user" ] ~docv:"NAME" ~doc:"Value for the USER variable.")
-  in
   let dummy =
     Arg.(
       value
@@ -244,44 +287,21 @@ let view_cmd =
             "Stream structured evaluator trace events (rule instances, \
              decisions, skips, spans) to stderr, one line each.")
   in
-  let run input pass rules policy_file query user dummy stats_flag trace_flag =
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the full decision-provenance trace (prov.v1 JSONL: one \
+             record per node, skip and chunk verdict, plus evaluator \
+             events) to FILE, for xacml explain or audit_replay.")
+  in
+  let run input pass rules policy_file query_str user dummy stats_flag
+      trace_flag trace_out =
     let container = Container.of_bytes (read_file input) in
-    let parse_rule i spec =
-      if String.length spec < 2 then
-        die "--rule %S: too short (expected +XPATH or -XPATH)" spec
-      else
-        let sign =
-          match spec.[0] with
-          | '+' -> Rule.Permit
-          | '-' -> Rule.Deny
-          | _ -> die "--rule %S: must start with + or -" spec
-        in
-        match
-          Rule.parse ~id:(Printf.sprintf "cli%d" i) ~sign
-            (String.sub spec 1 (String.length spec - 1))
-        with
-        | rule -> rule
-        | exception Xmlac_xpath.Parse.Error (reason, pos) ->
-            die "--rule %S: invalid XPath at %d: %s" spec pos reason
-    in
-    let file_rules =
-      match policy_file with
-      | None -> []
-      | Some f -> (
-          match Policy.of_string (read_file f) with
-          | Ok p -> Policy.rules p
-          | Error e -> die "--policy %s: %s" f e)
-    in
-    let cli_rules = List.mapi parse_rule rules in
-    if file_rules = [] && cli_rules = [] then
-      die "no rules: give --rule and/or --policy";
-    let policy = Policy.make (file_rules @ cli_rules) in
-    let policy =
-      match user with
-      | Some u -> Policy.resolve_user ~user:u policy
-      | None -> policy
-    in
-    let query = Option.map Xmlac_xpath.Parse.path query in
+    let policy = assemble_policy ~rules ~policy_file ~user in
+    let query = Option.map Xmlac_xpath.Parse.path query_str in
     let key = key_of_passphrase pass in
     let counters = Channel.fresh_counters () in
     let source = Channel.source ~container ~key counters in
@@ -289,17 +309,44 @@ let view_cmd =
     if trace_flag then
       Xmlac_obs.Trace.set_sink (Some Xmlac_obs.Trace.stderr_sink);
     let observer =
-      if trace_flag then
+      if trace_flag || trace_out <> None then
         Some
           (fun obs ->
             let name, fields = Xmlac_core.Evaluator.trace_observation obs in
             Xmlac_obs.Trace.emit name fields)
       else None
     in
+    let prov =
+      Option.map (fun _ -> Xmlac_core.Provenance.collector ()) trace_out
+    in
+    let go () =
+      (match trace_out with
+      | Some _ ->
+          let name, fields =
+            Xmlac_core.Provenance.meta_event ?query:query_str ()
+          in
+          Xmlac_obs.Trace.emit name fields
+      | None -> ());
+      let result, wall_s =
+        Xmlac_obs.Span.time "xacml.view" (fun () ->
+            Xmlac_core.Evaluator.run ?query ?dummy_denied:dummy ?observer
+              ?provenance:prov ~policy
+              (Xmlac_core.Input.of_decoder decoder))
+      in
+      (match prov with
+      | Some coll ->
+          List.iter
+            (fun r ->
+              let name, fields = Xmlac_core.Provenance.record_event r in
+              Xmlac_obs.Trace.emit name fields)
+            (Xmlac_core.Provenance.records coll)
+      | None -> ());
+      (result, wall_s)
+    in
     let result, wall_s =
-      Xmlac_obs.Span.time "xacml.view" (fun () ->
-          Xmlac_core.Evaluator.run ?query ?dummy_denied:dummy ?observer ~policy
-            (Xmlac_core.Input.of_decoder decoder))
+      match trace_out with
+      | None -> go ()
+      | Some path -> Xmlac_obs.Trace.with_jsonl_file path go
     in
     (match Xmlac_core.Evaluator.view_tree result with
     | None -> prerr_endline "(nothing authorized)"
@@ -333,8 +380,62 @@ let view_cmd =
     (Cmd.info "view"
        ~doc:"Evaluate an authorized view (and optional query) of a container.")
     Term.(
-      const run $ input_arg $ passphrase_arg $ rules $ policy_file $ query
-      $ user $ dummy $ stats_flag $ trace_flag)
+      const run $ input_arg $ passphrase_arg $ rules_arg $ policy_file_arg
+      $ query_arg $ user_arg $ dummy $ stats_flag $ trace_flag $ trace_out)
+
+(* explain -------------------------------------------------------------------- *)
+
+let explain_cmd =
+  let node =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "node" ] ~docv:"XPATH"
+          ~doc:"The node(s) to explain, as an XPath over the document.")
+  in
+  let run input rules policy_file query_str user node =
+    (* same normalization as publish, so node ids line up with what the
+       evaluator sees *)
+    let doc =
+      Tree.attributes_to_elements
+        (Tree.parse ~strip_whitespace:true (read_file input))
+    in
+    let policy = assemble_policy ~rules ~policy_file ~user in
+    let query = Option.map Xmlac_xpath.Parse.path query_str in
+    let node_path =
+      match Xmlac_xpath.Parse.path node with
+      | p -> p
+      | exception Xmlac_xpath.Parse.Error (reason, pos) ->
+          die "--node %S: invalid XPath at %d: %s" node pos reason
+    in
+    let ids = Xmlac_xpath.Dom_eval.select node_path doc in
+    if ids = [] then begin
+      Printf.eprintf "xacml: --node %s matches no element\n" node;
+      exit 1
+    end;
+    let coll = Xmlac_core.Provenance.collector () in
+    ignore
+      (Xmlac_core.Evaluator.run ?query ~provenance:coll ~policy
+         (Xmlac_core.Input.of_events (Tree.to_events doc)));
+    let records = Xmlac_core.Provenance.records coll in
+    let cap = 20 in
+    List.iteri
+      (fun i id ->
+        if i < cap then
+          print_string (Xmlac_core.Audit.explain ~records id))
+      ids;
+    if List.length ids > cap then
+      Printf.printf "(and %d more matching nodes not shown)\n"
+        (List.length ids - cap)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+        "Explain why nodes of a document are delivered or denied under a \
+         policy: winning rule, conflict-resolution steps, stack snapshots.")
+    Term.(
+      const run $ input_arg $ rules_arg $ policy_file_arg $ query_arg
+      $ user_arg $ node)
 
 (* license -------------------------------------------------------------------- *)
 
@@ -541,6 +642,7 @@ let () =
             publish_cmd;
             verify_cmd;
             view_cmd;
+            explain_cmd;
             license_cmd;
             unlock_cmd;
             update_cmd;

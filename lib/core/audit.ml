@@ -1,0 +1,276 @@
+(* Audit replay: cross-check a recorded provenance trace against the DOM
+   reference oracle, and render human-readable "why" reports for `xacml
+   explain`. Divergence between what the trace claims and what the oracle
+   computes — a flipped verdict, a missing node, a skipped region whose
+   resolution disagrees — is a violation; so is any failed chunk-integrity
+   verdict. *)
+
+module Tree = Xmlac_xml.Tree
+module Dom_eval = Xmlac_xpath.Dom_eval
+
+type violation = { where : string; detail : string }
+
+let path_str = function
+  | [] -> "/"
+  | p -> "/" ^ String.concat "/" (List.map string_of_int p)
+
+let is_strict_prefix a b =
+  let rec go a b =
+    match (a, b) with
+    | [], [] -> false
+    | [], _ -> true
+    | _, [] -> false
+    | x :: a', y :: b' -> x = y && go a' b'
+  in
+  go a b
+
+module Id_map = Map.Make (struct
+  type t = Dom_eval.node_id
+
+  let compare = Dom_eval.compare_id
+end)
+
+let tag_at doc id =
+  match Dom_eval.node_at doc id with
+  | Some (Tree.Element { tag; _ }) -> Some tag
+  | _ -> None
+
+let check ?query ~policy ~doc records =
+  let violations = ref [] in
+  let bad where fmt =
+    Printf.ksprintf
+      (fun detail -> violations := { where; detail } :: !violations)
+      fmt
+  in
+  let oracle = Oracle.decisions policy doc in
+  let permitted =
+    List.fold_left
+      (fun m (d : Oracle.decision) -> Id_map.add d.id d.permitted m)
+      Id_map.empty oracle
+  in
+  let delivered =
+    List.fold_left
+      (fun m id -> Id_map.add id true m)
+      Id_map.empty
+      (Oracle.delivered_ids ?query policy doc)
+  in
+  let is_delivered id = Id_map.mem id delivered in
+  (* index the trace *)
+  let nodes = ref Id_map.empty in
+  let skips = ref [] in
+  List.iter
+    (fun r ->
+      match r with
+      | Provenance.Node n ->
+          let where = path_str n.Provenance.n_path in
+          if Id_map.mem n.Provenance.n_path !nodes then
+            bad where "duplicate node record"
+          else nodes := Id_map.add n.Provenance.n_path n !nodes
+      | Provenance.Skip s -> skips := s :: !skips
+      | Provenance.Chunk c ->
+          if not c.Provenance.c_ok then
+            bad
+              (Printf.sprintf "chunk %d" c.Provenance.c_chunk)
+              "integrity verdict failed: %s" c.Provenance.c_detail)
+    records;
+  let skips = List.rev !skips in
+  (* per-node checks against the oracle *)
+  Id_map.iter
+    (fun id (n : Provenance.node_record) ->
+      let where = path_str id in
+      match Id_map.find_opt id permitted with
+      | None -> bad where "trace records a node the document does not have"
+      | Some oracle_permitted -> (
+          (match tag_at doc id with
+          | Some tag when tag <> n.n_tag ->
+              bad where "tag mismatch: trace says %S, document has %S" n.n_tag
+                tag
+          | _ -> ());
+          (match n.n_rule_verdict with
+          | Provenance.Undecided -> bad where "rule verdict left undecided"
+          | Provenance.Permit when not oracle_permitted ->
+              bad where "trace says permit, oracle says deny"
+          | Provenance.Deny when oracle_permitted ->
+              bad where "trace says deny, oracle says permit"
+          | _ -> ());
+          match n.n_delivered with
+          | Provenance.Undecided -> bad where "delivery verdict left undecided"
+          | Provenance.Permit when not (is_delivered id) ->
+              bad where "trace says delivered, oracle says not delivered"
+          | Provenance.Deny when is_delivered id ->
+              bad where "trace says not delivered, oracle says delivered"
+          | _ -> ()))
+    !nodes;
+  (* skip checks: a skip record must sit on a real element and its final
+     resolution must match the oracle's verdict for the skipped region *)
+  List.iter
+    (fun (s : Provenance.skip_record) ->
+      let where = path_str s.k_path in
+      if not (Id_map.mem s.k_path permitted) then
+        bad where "skip record on a node the document does not have"
+      else if s.k_delivered = Provenance.Undecided then
+        bad where "skip resolution left undecided")
+    skips;
+  (* completeness: every document element is either recorded or lies under
+     a skipped region, and the most specific covering skip's resolution
+     must agree with the oracle about it. (A subtree skipped at its open
+     covers its descendants; a rest skip at X covers the remaining
+     children of X — both are "strictly below the skip path".) *)
+  List.iter
+    (fun (d : Oracle.decision) ->
+      if not (Id_map.mem d.id !nodes) then begin
+        let where = path_str d.id in
+        let covering =
+          List.filter
+            (fun (s : Provenance.skip_record) ->
+              is_strict_prefix s.k_path d.id)
+            skips
+        in
+        match
+          List.fold_left
+            (fun best (s : Provenance.skip_record) ->
+              match best with
+              | Some (b : Provenance.skip_record)
+                when List.length b.k_path >= List.length s.k_path ->
+                  best
+              | _ -> Some s)
+            None covering
+        with
+        | None -> bad where "element neither recorded nor under a skip"
+        | Some s ->
+            let expected = s.k_delivered = Provenance.Permit in
+            if expected <> is_delivered d.id then
+              bad where
+                "element under %s skip at %s resolved %s, but the oracle says \
+                 it is %sdelivered"
+                (Provenance.skip_kind_to_string s.k_kind)
+                (path_str s.k_path)
+                (Provenance.verdict_to_string s.k_delivered)
+                (if is_delivered d.id then "" else "not ")
+      end)
+    oracle;
+  List.rev !violations
+
+(* Explain ------------------------------------------------------------------ *)
+
+let verdict_word = function
+  | Provenance.Permit -> "DELIVERED"
+  | Provenance.Deny -> "DENIED"
+  | Provenance.Undecided -> "UNDECIDED"
+
+let sign_word = function Rule.Permit -> "permit" | Rule.Deny -> "deny"
+
+let status_word = function
+  | Provenance.Applies -> "applies"
+  | Provenance.Pending -> "pending"
+  | Provenance.Inapplicable -> "inapplicable"
+
+let render_step buf = function
+  | Provenance.Deny_wins { depth; tag; rule } ->
+      Printf.bprintf buf
+        "    - level <%s> (depth %d): rule %s applies — denial takes \
+         precedence => DENY\n"
+        tag depth rule
+  | Provenance.Permit_wins { depth; tag; rule } ->
+      Printf.bprintf buf
+        "    - level <%s> (depth %d): positive rule %s applies, no denial \
+         at this level => PERMIT\n"
+        tag depth rule
+  | Provenance.Inherit { depth; tag } ->
+      Printf.bprintf buf
+        "    - level <%s> (depth %d): no applicable rule — defer to \
+         ancestors\n"
+        tag depth
+  | Provenance.Closed_policy ->
+      Buffer.add_string buf
+        "    - closed policy: no rule applies on any level => DENY (default)\n"
+
+let render_node buf (n : Provenance.node_record) =
+  Printf.bprintf buf "node <%s> at %s (depth %d): %s\n" n.n_tag
+    (path_str n.n_path) n.n_depth
+    (verdict_word n.n_delivered);
+  (match n.n_winner with
+  | Some (rule, sign) ->
+      Printf.bprintf buf "  winning rule: %s (%s)\n" rule (sign_word sign)
+  | None -> Buffer.add_string buf "  winning rule: none (closed policy)\n");
+  if n.n_rule_verdict = Provenance.Permit && n.n_delivered = Provenance.Deny
+  then
+    Buffer.add_string buf
+      "  note: rule-permitted, but outside the query scope\n";
+  Buffer.add_string buf
+    "  conflict resolution (most specific level first):\n";
+  List.iter (render_step buf) n.n_steps;
+  Buffer.add_string buf "  authorization stack at open (root first):\n";
+  List.iter
+    (fun (f : Provenance.stack_frame) ->
+      Printf.bprintf buf "    depth %d <%s>:%s\n" f.f_depth f.f_tag
+        (if f.f_rules = [] then " (no rule instance)"
+         else
+           String.concat ""
+             (List.map
+                (fun (rule, sign, status) ->
+                  Printf.sprintf " %s[%s,%s]" rule (Rule.sign_to_string sign)
+                    (status_word status))
+                f.f_rules)))
+    n.n_auth_stack;
+  (match n.n_pending with
+  | [] -> ()
+  | pending ->
+      Printf.bprintf buf "  pending predicates at open:%s\n"
+        (String.concat ""
+           (List.map
+              (fun (rule, anchor) ->
+                Printf.sprintf " %s(anchor depth %d)" rule anchor)
+              pending)));
+  match n.n_tokens with
+  | [] -> ()
+  | tokens ->
+      Printf.bprintf buf "  live tokens below this element:%s\n"
+        (String.concat ""
+           (List.map
+              (fun (rule, matched, total) ->
+                Printf.sprintf " %s %d/%d" rule matched total)
+              tokens))
+
+let explain ~records id =
+  let buf = Buffer.create 256 in
+  let node =
+    List.find_opt
+      (function Provenance.Node n -> n.Provenance.n_path = id | _ -> false)
+      records
+  in
+  (match node with
+  | Some (Provenance.Node n) -> render_node buf n
+  | _ -> (
+      let covering =
+        List.filter_map
+          (function
+            | Provenance.Skip s
+              when is_strict_prefix s.Provenance.k_path id ->
+                Some s
+            | _ -> None)
+          records
+      in
+      match
+        List.fold_left
+          (fun best (s : Provenance.skip_record) ->
+            match best with
+            | Some (b : Provenance.skip_record)
+              when List.length b.k_path >= List.length s.k_path ->
+                best
+            | _ -> Some s)
+          None covering
+      with
+      | Some s ->
+          Printf.bprintf buf
+            "node at %s: inside a region skipped at <%s> %s (%s skip, %d \
+             bytes saved, %s): %s without parsing\n"
+            (path_str id) s.k_tag (path_str s.k_path)
+            (Provenance.skip_kind_to_string s.k_kind)
+            s.k_bytes_saved
+            (if s.k_pending_at_skip then "was pending" else "decided at skip")
+            (verdict_word s.k_delivered)
+      | None ->
+          Printf.bprintf buf "node at %s: no provenance recorded\n"
+            (path_str id)));
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Audit replay and explanation over {!Provenance} records.
+
+    {!check} makes provenance a correctness tool: every recorded decision
+    is cross-checked against the DOM reference oracle, so a trace captured
+    from the streaming evaluator both documents the run and proves it
+    agreed with the specification. {!explain} renders the human-readable
+    "why was this node delivered/denied" report behind [xacml explain]. *)
+
+type violation = { where : string; detail : string }
+
+val path_str : Xmlac_xpath.Dom_eval.node_id -> string
+(** ["/0/2/1"]; the root element is ["/"]. *)
+
+val check :
+  ?query:Xmlac_xpath.Ast.t ->
+  policy:Policy.t ->
+  doc:Xmlac_xml.Tree.t ->
+  Provenance.record list ->
+  violation list
+(** Violations of a trace against the oracle, in document order. Checked
+    per node: existence, tag, rule verdict vs {!Oracle.decisions}, delivery
+    verdict vs {!Oracle.delivered_ids}; per skip: existence and a decided
+    resolution; globally: every document element is recorded or covered by
+    a skip whose resolution matches the oracle (most specific skip wins),
+    duplicate records, failed chunk-integrity verdicts. An empty list means
+    the trace is consistent with the specification. *)
+
+val explain :
+  records:Provenance.record list -> Xmlac_xpath.Dom_eval.node_id -> string
+(** The report for one node: verdict, winning rule, conflict-resolution
+    steps, Authorization-Stack and pending snapshots — or the covering
+    skip when the node was never parsed. *)

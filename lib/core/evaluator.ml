@@ -188,6 +188,13 @@ type st = {
   dummy_denied : string option;
   on_deliver : (seq:int -> Event.t list -> unit) option;
   observer : (observation -> unit) option;
+  prov : Provenance.collector option;
+  (* node-id tracking (only maintained when [prov] is set): [path_rev] is
+     the current element's Dom_eval.node_id reversed; [sib_counts]'s head
+     is the ordinal the *next* child of the current element will get —
+     text nodes count, matching the DOM oracle's numbering *)
+  mutable path_rev : int list;
+  mutable sib_counts : int list;
   rule_aras : Ara.t list;
   query_ara : Ara.t option;
   stats : stats;
@@ -487,8 +494,8 @@ let advance_pred_tokens st ~top ~lvl ~tag ~depth ~node_expr ~want =
       end)
     top.pred
 
-(* Advance navigational tokens; returns the (sign, instance-expression)
-   pairs of instances completed at this element. *)
+(* Advance navigational tokens; returns the (rule, sign,
+   instance-expression) triples of instances completed at this element. *)
 let advance_nav_tokens st ~top ~lvl ~tag ~depth ~node_expr ~want =
   let completions = ref [] in
   List.iter
@@ -542,7 +549,8 @@ let advance_nav_tokens st ~top ~lvl ~tag ~depth ~node_expr ~want =
                    depth;
                    pending = Condition.eval inst = Condition.Unknown;
                  });
-            completions := (Ara.sign nt.nt_ara, inst) :: !completions
+            completions :=
+              (Ara.rule_id nt.nt_ara, Ara.sign nt.nt_ara, inst) :: !completions
           end
           else
             lvl.nav <-
@@ -599,12 +607,31 @@ let strip_wrapper events =
    them, [st.levels] always holds [st.depth + 1] entries and
    [st.rule_exprs]/[st.interests]/[st.open_elems] hold [st.depth], so the
    [assert false] arms on those stacks below are genuinely unreachable. *)
+(* unresolved predicate instances, as (rule, anchor depth), sorted for a
+   deterministic trace *)
+let pending_snapshot st =
+  Hashtbl.fold
+    (fun _ e acc ->
+      if Condition.is_resolved e.ae_atom then acc
+      else (e.ae_rule, e.ae_anchor_depth) :: acc)
+    st.registry []
+  |> List.sort compare
+
 let handle_open st tag attributes =
   if st.depth = 0 && st.root_closed then
     raise (Error.Stream_error "multiple root elements");
   let depth = st.depth + 1 in
   st.depth <- depth;
   if depth > st.stats.depth_peak then st.stats.depth_peak <- depth;
+  if st.prov <> None then (
+    match st.sib_counts with
+    | [] ->
+        (* the root element: node_id [] *)
+        st.path_rev <- [];
+        st.sib_counts <- [ 0 ]
+    | n :: rest ->
+        st.path_rev <- n :: st.path_rev;
+        st.sib_counts <- 0 :: (n + 1) :: rest);
   let top = match st.levels with t :: _ -> t | [] -> assert false in
   let lvl = { nav = []; pred = [] } in
   (* pass A: rules *)
@@ -616,12 +643,12 @@ let handle_open st tag attributes =
     ~want:(fun a -> not (Ara.is_query a));
   let pos =
     List.filter_map
-      (fun (s, e) -> if s = Rule.Permit then Some e else None)
+      (fun (_, s, e) -> if s = Rule.Permit then Some e else None)
       rule_completions
   in
   let neg =
     List.filter_map
-      (fun (s, e) -> if s = Rule.Deny then Some e else None)
+      (fun (_, s, e) -> if s = Rule.Deny then Some e else None)
       rule_completions
   in
   let parent_rule_expr =
@@ -662,7 +689,8 @@ let handle_open st tag attributes =
         let parent_interest =
           match st.interests with e :: _ -> e | [] -> Condition.fls
         in
-        Condition.disj (parent_interest :: List.map snd q_completions)
+        Condition.disj
+          (parent_interest :: List.map (fun (_, _, e) -> e) q_completions)
   in
   let delivery = Condition.conj [ rule_expr; interest ] in
   st.levels <- lvl :: st.levels;
@@ -709,6 +737,17 @@ let handle_open st tag attributes =
   if st.live > st.stats.tokens_peak then st.stats.tokens_peak <- st.live;
   note_memory st;
   prune_dead_pred_tokens st lvl;
+  (match st.prov with
+  | None -> ()
+  | Some coll ->
+      Provenance.note_open coll ~path:(List.rev st.path_rev) ~tag ~depth
+        ~delivery ~rule_expr ~completions:rule_completions
+        ~tokens:
+          (List.map
+             (fun nt ->
+               (Ara.rule_id nt.nt_ara, nt.nt_state, Ara.nav_length nt.nt_ara))
+             lvl.nav)
+        ~pending:(pending_snapshot st));
   if
     st.options.enable_skipping
     && lvl.nav = [] && lvl.pred = [] && st.scopes = []
@@ -716,11 +755,18 @@ let handle_open st tag attributes =
   then
     match st.input.Input.skip () with
     | None -> ()
-    | Some thunk -> (
+    | Some (thunk, bytes) -> (
         st.stats.open_skips <- st.stats.open_skips + 1;
         observe st
           (Obs_skip
              { depth; pending = Condition.eval delivery = Condition.Unknown });
+        (match st.prov with
+        | None -> ()
+        | Some coll ->
+            Provenance.note_skip coll ~path:(List.rev st.path_rev) ~tag ~depth
+              ~kind:Provenance.Skip_subtree
+              ~pending:(Condition.eval delivery = Condition.Unknown)
+              ~expr:delivery ~bytes);
         match Condition.eval delivery with
         | Condition.False -> () (* prohibited: dropped without being read *)
         | Condition.Unknown ->
@@ -732,6 +778,11 @@ let handle_open st tag attributes =
         | Condition.True -> assert false)
 
 let handle_text st text =
+  (* a text node takes a child ordinal too — keep node ids aligned *)
+  if st.prov <> None then (
+    match st.sib_counts with
+    | n :: rest -> st.sib_counts <- (n + 1) :: rest
+    | [] -> ());
   List.iter (fun scope -> Buffer.add_string scope.vs_buf text) st.scopes;
   match st.open_elems with
   | [] -> ()
@@ -791,6 +842,16 @@ let handle_close st =
       maybe_emit_end st oe_item
   | [] -> assert false);
   st.depth <- depth - 1;
+  (match st.prov with
+  | None -> ()
+  | Some coll ->
+      Provenance.note_close coll;
+      (match st.sib_counts with
+      | _ :: tl -> st.sib_counts <- tl
+      | [] -> ());
+      (match st.path_rev with
+      | _ :: tl -> st.path_rev <- tl
+      | [] -> ()));
   (* close-triggered skip: the rest of the parent's content may now be
      skippable (paper: "this algorithm should be triggered both on open and
      close events") *)
@@ -804,7 +865,7 @@ let handle_close st =
            && Condition.eval oe_delivery <> Condition.True -> (
         match st.input.Input.skip_rest () with
         | None -> ()
-        | Some thunk -> (
+        | Some (thunk, bytes) -> (
             st.stats.rest_skips <- st.stats.rest_skips + 1;
             observe st
               (Obs_skip
@@ -812,6 +873,18 @@ let handle_close st =
                    depth = st.depth;
                    pending = Condition.eval oe_delivery = Condition.Unknown;
                  });
+            (match st.prov with
+            | None -> ()
+            | Some coll ->
+                let parent_tag =
+                  match (get_item st oe_item).it_kind with
+                  | K_start k -> k.tag
+                  | _ -> assert false
+                in
+                Provenance.note_skip coll ~path:(List.rev st.path_rev)
+                  ~tag:parent_tag ~depth:st.depth ~kind:Provenance.Skip_rest
+                  ~pending:(Condition.eval oe_delivery = Condition.Unknown)
+                  ~expr:oe_delivery ~bytes);
             match Condition.eval oe_delivery with
             | Condition.False -> ()
             | Condition.Unknown ->
@@ -841,7 +914,7 @@ let compile_aras ?query policy =
   (rule_aras, query_ara)
 
 let run ?query ?dummy_denied ?(options = default_options) ?on_deliver ?observer
-    ~policy input =
+    ?provenance ~policy input =
   (match Policy.streaming_compatible policy with
   | Ok () -> ()
   | Error msg -> invalid_arg ("Evaluator.run: " ^ msg));
@@ -859,6 +932,9 @@ let run ?query ?dummy_denied ?(options = default_options) ?on_deliver ?observer
       dummy_denied;
       on_deliver;
       observer;
+      prov = provenance;
+      path_rev = [];
+      sib_counts = [];
       rule_aras;
       query_ara;
       stats = fresh_stats ();
@@ -913,18 +989,19 @@ let view_tree result =
   | [] -> None
   | evs -> Some (Xmlac_xml.Tree.of_events evs)
 
-let run_events ?query ?dummy_denied ?options ?on_deliver ?observer ~policy
-    events =
-  run ?query ?dummy_denied ?options ?on_deliver ?observer ~policy
+let run_events ?query ?dummy_denied ?options ?on_deliver ?observer ?provenance
+    ~policy events =
+  run ?query ?dummy_denied ?options ?on_deliver ?observer ?provenance ~policy
     (Input.of_events events)
 
-let run_result ?query ?dummy_denied ?options ?on_deliver ?observer ~policy
-    input =
+let run_result ?query ?dummy_denied ?options ?on_deliver ?observer ?provenance
+    ~policy input =
   match Policy.streaming_compatible policy with
   | Error msg -> Error (Error.Policy_invalid msg)
   | Ok () -> (
       match
-        run ?query ?dummy_denied ?options ?on_deliver ?observer ~policy input
+        run ?query ?dummy_denied ?options ?on_deliver ?observer ?provenance
+          ~policy input
       with
       | r -> Ok r
       | exception e -> (

@@ -75,6 +75,7 @@ val run :
   ?options:options ->
   ?on_deliver:(seq:int -> Xmlac_xml.Event.t list -> unit) ->
   ?observer:(observation -> unit) ->
+  ?provenance:Provenance.collector ->
   policy:Policy.t ->
   Input.t ->
   result
@@ -87,6 +88,10 @@ val run :
     number (the anchor). Pending parts therefore arrive out of order; the
     final [result.events] are exactly the deliveries sorted by sequence
     number, which is what the terminal-side reassembler produces.
+
+    [provenance] attaches a {!Provenance.collector}: the run then also
+    tracks DOM node ids and feeds the collector one entry per element and
+    per skip, to be finalized with {!Provenance.records} after the run.
     @raise Invalid_argument on an unresolved or non-linear policy.
     @raise Error.Stream_error on an event stream no well-formed document
     can produce (close without open, a second root element, input ending
@@ -99,6 +104,7 @@ val run_result :
   ?options:options ->
   ?on_deliver:(seq:int -> Xmlac_xml.Event.t list -> unit) ->
   ?observer:(observation -> unit) ->
+  ?provenance:Provenance.collector ->
   policy:Policy.t ->
   Input.t ->
   (result, Error.t) Stdlib.result
@@ -116,6 +122,7 @@ val run_events :
   ?options:options ->
   ?on_deliver:(seq:int -> Xmlac_xml.Event.t list -> unit) ->
   ?observer:(observation -> unit) ->
+  ?provenance:Provenance.collector ->
   policy:Policy.t ->
   Xmlac_xml.Event.t list ->
   result

@@ -7,8 +7,8 @@ type t = {
   next : unit -> Event.t option;
   can_skip : bool;
   desc_tags : unit -> string list option;
-  skip : unit -> subtree_thunk option;
-  skip_rest : unit -> subtree_thunk option;
+  skip : unit -> (subtree_thunk * int) option;
+  skip_rest : unit -> (subtree_thunk * int) option;
 }
 
 let of_events events =
@@ -48,7 +48,9 @@ let of_decoder dec =
         else begin
           let handle = Decoder.subtree_handle dec in
           Decoder.skip dec;
-          Some (fun () -> Decoder.read_subtree dec handle)
+          Some
+            ((fun () -> Decoder.read_subtree dec handle),
+             Decoder.handle_size handle)
         end);
     skip_rest =
       (fun () ->
@@ -58,5 +60,7 @@ let of_decoder dec =
           | None -> None
           | Some handle ->
               Decoder.skip_rest dec;
-              Some (fun () -> Decoder.read_range dec handle));
+              Some
+                ((fun () -> Decoder.read_range dec handle),
+                 Decoder.range_size handle));
   }

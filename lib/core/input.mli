@@ -21,11 +21,12 @@ type t = {
   desc_tags : unit -> string list option;
       (** right after a [Start]: the DescTag set of the just-opened element;
           [None] when unavailable *)
-  skip : unit -> subtree_thunk option;
+  skip : unit -> (subtree_thunk * int) option;
       (** right after a [Start]: skip the whole element content (its [End]
-          still follows); [None] when the input cannot skip — the caller
-          must then keep consuming events *)
-  skip_rest : unit -> subtree_thunk option;
+          still follows), returning the read-back thunk and the number of
+          encoded bytes skipped; [None] when the input cannot skip — the
+          caller must then keep consuming events *)
+  skip_rest : unit -> (subtree_thunk * int) option;
       (** skip the remaining content of the innermost open element *)
 }
 

@@ -73,10 +73,12 @@ let authorized_view ?dummy_denied policy tree =
   let keep_set = permitted_set policy tree in
   prune ?dummy_denied ~keep:(fun id -> Id_set.mem id keep_set) tree
 
-let query_view ?dummy_denied ~query policy tree =
+(* The delivery set of a query session: permitted nodes lying at or below
+   a query match, where the query runs over the authorized view — a step
+   may match any element present in it: a permitted element or a
+   structural ancestor of one. *)
+let query_scope ~query policy tree =
   let permitted = permitted_set policy tree in
-  (* Queries run over the authorized view, so a step may match any element
-     present in it: a permitted element or a structural ancestor of one. *)
   let in_view =
     Id_set.fold
       (fun id acc ->
@@ -88,10 +90,20 @@ let query_view ?dummy_denied ~query policy tree =
     Dom_eval.select_filtered ~filter:(fun id -> Id_set.mem id in_view) query
       tree
   in
-  (* delivered: permitted nodes lying at or below a query match *)
   let in_scope id =
     List.exists (fun m -> m = id || Dom_eval.is_ancestor m id) matches
   in
+  (permitted, in_scope)
+
+let query_view ?dummy_denied ~query policy tree =
+  let permitted, in_scope = query_scope ~query policy tree in
   prune ?dummy_denied
     ~keep:(fun id -> Id_set.mem id permitted && in_scope id)
     tree
+
+let delivered_ids ?query policy tree =
+  match query with
+  | None -> Id_set.elements (permitted_set policy tree)
+  | Some query ->
+      let permitted, in_scope = query_scope ~query policy tree in
+      Id_set.elements (Id_set.filter in_scope permitted)

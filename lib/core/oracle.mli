@@ -25,6 +25,16 @@ type decision = { id : Xmlac_xpath.Dom_eval.node_id; permitted : bool }
 val decisions : Policy.t -> Xmlac_xml.Tree.t -> decision list
 (** Per-element decisions, in document order. *)
 
+val delivered_ids :
+  ?query:Xmlac_xpath.Ast.t ->
+  Policy.t ->
+  Xmlac_xml.Tree.t ->
+  Xmlac_xpath.Dom_eval.node_id list
+(** Ids of the elements actually delivered (in document order): the
+    permitted ones, restricted — when [query] is given — to those at or
+    below a query match over the authorized view. The reference the audit
+    replay checks recorded [delivered] verdicts against. *)
+
 val authorized_view :
   ?dummy_denied:string -> Policy.t -> Xmlac_xml.Tree.t -> Xmlac_xml.Tree.t option
 (** The authorized view: permitted nodes, their text, and the structural

@@ -1,0 +1,536 @@
+(* Decision provenance (schema prov.v1): per-node records of *why* the
+   streaming evaluator delivered or denied each element — the winning rule,
+   the conflict-resolution path actually taken (Most-Specific-Object /
+   Denial-Takes-Precedence / closed policy), the Authorization-Stack and
+   pending-predicate snapshots at open time, the live ARA token states —
+   plus skip decisions with their byte savings and per-chunk integrity
+   verdicts from the SOE channel.
+
+   The evaluator feeds a {!collector} as it parses; conditions are stored
+   unevaluated (they may hinge on pending predicates) and only forced in
+   {!records}, after the run, when every atom is resolved. *)
+
+module Json = Xmlac_obs.Json
+
+let schema_version = "prov.v1"
+
+type verdict = Permit | Deny | Undecided
+type status = Applies | Pending | Inapplicable
+
+type step =
+  | Deny_wins of { depth : int; tag : string; rule : string }
+  | Permit_wins of { depth : int; tag : string; rule : string }
+  | Inherit of { depth : int; tag : string }
+  | Closed_policy
+
+type stack_frame = {
+  f_depth : int;
+  f_tag : string;
+  f_rules : (string * Rule.sign * status) list;
+}
+
+type node_record = {
+  n_path : int list;  (* Dom_eval.node_id: child ordinals from the root *)
+  n_tag : string;
+  n_depth : int;
+  n_rule_verdict : verdict;  (* rules only — what Oracle.decisions checks *)
+  n_delivered : verdict;  (* rules ∧ query interest *)
+  n_winner : (string * Rule.sign) option;
+  n_steps : step list;  (* most-specific level first *)
+  n_auth_stack : stack_frame list;  (* root-first, self last; open-time *)
+  n_pending : (string * int) list;  (* unresolved (rule, anchor depth) *)
+  n_tokens : (string * int * int) list;  (* live nav (rule, matched, total) *)
+}
+
+type skip_kind = Skip_subtree | Skip_rest
+
+type skip_record = {
+  k_path : int list;
+  k_tag : string;
+  k_depth : int;
+  k_kind : skip_kind;
+  k_pending_at_skip : bool;
+  k_delivered : verdict;  (* final resolution of the skipped region *)
+  k_bytes_saved : int;
+}
+
+type chunk_record = { c_chunk : int; c_ok : bool; c_detail : string }
+type record = Node of node_record | Skip of skip_record | Chunk of chunk_record
+
+(* Collector ---------------------------------------------------------------- *)
+
+type node_entry = {
+  e_path : int list;
+  e_tag : string;
+  e_depth : int;
+  e_delivery : Condition.t;
+  e_rule_expr : Condition.t;
+  e_own : (string * Rule.sign * Condition.t) list;  (* instances completed here *)
+  e_ancestors : node_entry list;  (* innermost first *)
+  e_auth_stack : stack_frame list;
+  e_pending : (string * int) list;
+  e_tokens : (string * int * int) list;
+}
+
+type entry =
+  | E_node of node_entry
+  | E_skip of {
+      s_path : int list;
+      s_tag : string;
+      s_depth : int;
+      s_kind : skip_kind;
+      s_pending : bool;
+      s_expr : Condition.t;
+      s_bytes : int;
+    }
+
+type collector = {
+  mutable entries : entry list;  (* reverse creation order *)
+  mutable stack : node_entry list;  (* open elements, innermost first *)
+}
+
+let collector () = { entries = []; stack = [] }
+
+let status_of_expr expr =
+  match Condition.eval expr with
+  | Condition.True -> Applies
+  | Condition.Unknown -> Pending
+  | Condition.False -> Inapplicable
+
+let frame_of entry =
+  {
+    f_depth = entry.e_depth;
+    f_tag = entry.e_tag;
+    f_rules =
+      List.map (fun (r, s, e) -> (r, s, status_of_expr e)) entry.e_own;
+  }
+
+let note_open coll ~path ~tag ~depth ~delivery ~rule_expr ~completions ~tokens
+    ~pending =
+  let ancestors = coll.stack in
+  let self =
+    {
+      e_path = path;
+      e_tag = tag;
+      e_depth = depth;
+      e_delivery = delivery;
+      e_rule_expr = rule_expr;
+      e_own = completions;
+      e_ancestors = ancestors;
+      e_auth_stack = [];
+      e_pending = pending;
+      e_tokens = tokens;
+    }
+  in
+  (* open-time snapshot of the Authorization Stack, root-first, self last *)
+  let stack_frames = List.rev_map frame_of (self :: ancestors) in
+  let self = { self with e_auth_stack = stack_frames } in
+  coll.stack <- self :: coll.stack;
+  coll.entries <- E_node self :: coll.entries
+
+let note_close coll =
+  match coll.stack with [] -> () | _ :: rest -> coll.stack <- rest
+
+let note_skip coll ~path ~tag ~depth ~kind ~pending ~expr ~bytes =
+  coll.entries <-
+    E_skip
+      {
+        s_path = path;
+        s_tag = tag;
+        s_depth = depth;
+        s_kind = kind;
+        s_pending = pending;
+        s_expr = expr;
+        s_bytes = bytes;
+      }
+    :: coll.entries
+
+(* Finalization ------------------------------------------------------------- *)
+
+let verdict_of expr =
+  match Condition.eval expr with
+  | Condition.True -> Permit
+  | Condition.False -> Deny
+  | Condition.Unknown -> Undecided
+
+(* Replay the conflict resolution of Section 2 over the final atom
+   resolutions: walk levels from the most specific (self) outwards; the
+   first level with a finally-applicable instance decides — denial takes
+   precedence inside the level — and no applicable instance anywhere is the
+   closed-policy denial. *)
+let resolve_conflict entry =
+  let rec go steps = function
+    | [] -> (List.rev (Closed_policy :: steps), None)
+    | lvl :: outer -> (
+        let applicable =
+          List.filter (fun (_, _, e) -> Condition.eval e = Condition.True)
+            lvl.e_own
+        in
+        let denial =
+          List.find_opt (fun (_, s, _) -> s = Rule.Deny) applicable
+        in
+        match (denial, applicable) with
+        | Some (rule, _, _), _ ->
+            ( List.rev
+                (Deny_wins { depth = lvl.e_depth; tag = lvl.e_tag; rule }
+                :: steps),
+              Some (rule, Rule.Deny) )
+        | None, (rule, _, _) :: _ ->
+            ( List.rev
+                (Permit_wins { depth = lvl.e_depth; tag = lvl.e_tag; rule }
+                :: steps),
+              Some (rule, Rule.Permit) )
+        | None, [] ->
+            go (Inherit { depth = lvl.e_depth; tag = lvl.e_tag } :: steps) outer
+        )
+  in
+  go [] (entry :: entry.e_ancestors)
+
+let finalize_node entry =
+  let steps, winner = resolve_conflict entry in
+  {
+    n_path = entry.e_path;
+    n_tag = entry.e_tag;
+    n_depth = entry.e_depth;
+    n_rule_verdict = verdict_of entry.e_rule_expr;
+    n_delivered = verdict_of entry.e_delivery;
+    n_winner = winner;
+    n_steps = steps;
+    n_auth_stack = entry.e_auth_stack;
+    n_pending = entry.e_pending;
+    n_tokens = entry.e_tokens;
+  }
+
+let records coll =
+  List.rev_map
+    (function
+      | E_node e -> Node (finalize_node e)
+      | E_skip s ->
+          Skip
+            {
+              k_path = s.s_path;
+              k_tag = s.s_tag;
+              k_depth = s.s_depth;
+              k_kind = s.s_kind;
+              k_pending_at_skip = s.s_pending;
+              k_delivered = verdict_of s.s_expr;
+              k_bytes_saved = s.s_bytes;
+            })
+    coll.entries
+
+(* JSON (prov.v1) ------------------------------------------------------------ *)
+
+let verdict_to_string = function
+  | Permit -> "permit"
+  | Deny -> "deny"
+  | Undecided -> "undecided"
+
+let verdict_of_string = function
+  | "permit" -> Ok Permit
+  | "deny" -> Ok Deny
+  | "undecided" -> Ok Undecided
+  | s -> Error (Printf.sprintf "unknown verdict %S" s)
+
+let status_to_string = function
+  | Applies -> "applies"
+  | Pending -> "pending"
+  | Inapplicable -> "inapplicable"
+
+let status_of_string = function
+  | "applies" -> Ok Applies
+  | "pending" -> Ok Pending
+  | "inapplicable" -> Ok Inapplicable
+  | s -> Error (Printf.sprintf "unknown status %S" s)
+
+let sign_of_string = function
+  | "+" -> Ok Rule.Permit
+  | "-" -> Ok Rule.Deny
+  | s -> Error (Printf.sprintf "unknown sign %S" s)
+
+let path_to_json p = Json.List (List.map (fun i -> Json.Int i) p)
+
+let step_to_json = function
+  | Deny_wins { depth; tag; rule } ->
+      Json.Obj
+        [
+          ("kind", Json.String "deny-wins");
+          ("depth", Json.Int depth);
+          ("tag", Json.String tag);
+          ("rule", Json.String rule);
+        ]
+  | Permit_wins { depth; tag; rule } ->
+      Json.Obj
+        [
+          ("kind", Json.String "permit-wins");
+          ("depth", Json.Int depth);
+          ("tag", Json.String tag);
+          ("rule", Json.String rule);
+        ]
+  | Inherit { depth; tag } ->
+      Json.Obj
+        [
+          ("kind", Json.String "inherit");
+          ("depth", Json.Int depth);
+          ("tag", Json.String tag);
+        ]
+  | Closed_policy -> Json.Obj [ ("kind", Json.String "closed-policy") ]
+
+let frame_to_json f =
+  Json.Obj
+    [
+      ("depth", Json.Int f.f_depth);
+      ("tag", Json.String f.f_tag);
+      ( "rules",
+        Json.List
+          (List.map
+             (fun (rule, sign, status) ->
+               Json.Obj
+                 [
+                   ("rule", Json.String rule);
+                   ("sign", Json.String (Rule.sign_to_string sign));
+                   ("status", Json.String (status_to_string status));
+                 ])
+             f.f_rules) );
+    ]
+
+let skip_kind_to_string = function
+  | Skip_subtree -> "subtree"
+  | Skip_rest -> "rest"
+
+let record_event = function
+  | Node n ->
+      ( "prov.node",
+        [
+          ("path", path_to_json n.n_path);
+          ("tag", Json.String n.n_tag);
+          ("depth", Json.Int n.n_depth);
+          ("rule_verdict", Json.String (verdict_to_string n.n_rule_verdict));
+          ("delivered", Json.String (verdict_to_string n.n_delivered));
+          ( "winner",
+            match n.n_winner with
+            | None -> Json.Null
+            | Some (rule, sign) ->
+                Json.Obj
+                  [
+                    ("rule", Json.String rule);
+                    ("sign", Json.String (Rule.sign_to_string sign));
+                  ] );
+          ("steps", Json.List (List.map step_to_json n.n_steps));
+          ("auth_stack", Json.List (List.map frame_to_json n.n_auth_stack));
+          ( "pending",
+            Json.List
+              (List.map
+                 (fun (rule, anchor) ->
+                   Json.Obj
+                     [
+                       ("rule", Json.String rule);
+                       ("anchor_depth", Json.Int anchor);
+                     ])
+                 n.n_pending) );
+          ( "tokens",
+            Json.List
+              (List.map
+                 (fun (rule, matched, total) ->
+                   Json.Obj
+                     [
+                       ("rule", Json.String rule);
+                       ("matched", Json.Int matched);
+                       ("steps", Json.Int total);
+                     ])
+                 n.n_tokens) );
+        ] )
+  | Skip k ->
+      ( "prov.skip",
+        [
+          ("path", path_to_json k.k_path);
+          ("tag", Json.String k.k_tag);
+          ("depth", Json.Int k.k_depth);
+          ("kind", Json.String (skip_kind_to_string k.k_kind));
+          ("pending_at_skip", Json.Bool k.k_pending_at_skip);
+          ("delivered", Json.String (verdict_to_string k.k_delivered));
+          ("bytes_saved", Json.Int k.k_bytes_saved);
+        ] )
+  | Chunk c ->
+      ( "prov.chunk",
+        [
+          ("chunk", Json.Int c.c_chunk);
+          ("ok", Json.Bool c.c_ok);
+          ("detail", Json.String c.c_detail);
+        ] )
+
+let record_to_json r =
+  let name, fields = record_event r in
+  Json.Obj (("event", Json.String name) :: fields)
+
+let meta_event ?query () =
+  ( "prov.meta",
+    ("schema", Json.String schema_version)
+    ::
+    (match query with
+    | None -> []
+    | Some q -> [ ("query", Json.String q) ]) )
+
+(* Parsing ------------------------------------------------------------------ *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let field name conv j =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S: wrong type" name))
+
+let str name j = field name Json.to_string_opt j
+let int_f name j = field name Json.to_int_opt j
+
+let bool_f name j =
+  field name (function Json.Bool b -> Some b | _ -> None) j
+
+let list_f name conv j =
+  let* l = field name Json.to_list_opt j in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | x :: rest ->
+        let* v = conv x in
+        go (v :: acc) rest
+  in
+  go [] l
+
+let path_of_json j =
+  list_f "path"
+    (fun v ->
+      match Json.to_int_opt v with
+      | Some i -> Ok i
+      | None -> Error "path: expected an integer")
+    j
+
+let step_of_json j =
+  let* kind = str "kind" j in
+  match kind with
+  | "deny-wins" ->
+      let* depth = int_f "depth" j in
+      let* tag = str "tag" j in
+      let* rule = str "rule" j in
+      Ok (Deny_wins { depth; tag; rule })
+  | "permit-wins" ->
+      let* depth = int_f "depth" j in
+      let* tag = str "tag" j in
+      let* rule = str "rule" j in
+      Ok (Permit_wins { depth; tag; rule })
+  | "inherit" ->
+      let* depth = int_f "depth" j in
+      let* tag = str "tag" j in
+      Ok (Inherit { depth; tag })
+  | "closed-policy" -> Ok Closed_policy
+  | s -> Error (Printf.sprintf "unknown step kind %S" s)
+
+let frame_of_json j =
+  let* depth = int_f "depth" j in
+  let* tag = str "tag" j in
+  let* rules =
+    list_f "rules"
+      (fun r ->
+        let* rule = str "rule" r in
+        let* sign = str "sign" r in
+        let* sign = sign_of_string sign in
+        let* status = str "status" r in
+        let* status = status_of_string status in
+        Ok (rule, sign, status))
+      j
+  in
+  Ok { f_depth = depth; f_tag = tag; f_rules = rules }
+
+let node_of_json j =
+  let* path = path_of_json j in
+  let* tag = str "tag" j in
+  let* depth = int_f "depth" j in
+  let* rule_verdict = str "rule_verdict" j in
+  let* rule_verdict = verdict_of_string rule_verdict in
+  let* delivered = str "delivered" j in
+  let* delivered = verdict_of_string delivered in
+  let* winner =
+    match Json.member "winner" j with
+    | None -> Error "missing field \"winner\""
+    | Some Json.Null -> Ok None
+    | Some w ->
+        let* rule = str "rule" w in
+        let* sign = str "sign" w in
+        let* sign = sign_of_string sign in
+        Ok (Some (rule, sign))
+  in
+  let* steps = list_f "steps" step_of_json j in
+  let* auth_stack = list_f "auth_stack" frame_of_json j in
+  let* pending =
+    list_f "pending"
+      (fun p ->
+        let* rule = str "rule" p in
+        let* anchor = int_f "anchor_depth" p in
+        Ok (rule, anchor))
+      j
+  in
+  let* tokens =
+    list_f "tokens"
+      (fun t ->
+        let* rule = str "rule" t in
+        let* matched = int_f "matched" t in
+        let* total = int_f "steps" t in
+        Ok (rule, matched, total))
+      j
+  in
+  Ok
+    (Node
+       {
+         n_path = path;
+         n_tag = tag;
+         n_depth = depth;
+         n_rule_verdict = rule_verdict;
+         n_delivered = delivered;
+         n_winner = winner;
+         n_steps = steps;
+         n_auth_stack = auth_stack;
+         n_pending = pending;
+         n_tokens = tokens;
+       })
+
+let skip_of_json j =
+  let* path = path_of_json j in
+  let* tag = str "tag" j in
+  let* depth = int_f "depth" j in
+  let* kind = str "kind" j in
+  let* kind =
+    match kind with
+    | "subtree" -> Ok Skip_subtree
+    | "rest" -> Ok Skip_rest
+    | s -> Error (Printf.sprintf "unknown skip kind %S" s)
+  in
+  let* pending = bool_f "pending_at_skip" j in
+  let* delivered = str "delivered" j in
+  let* delivered = verdict_of_string delivered in
+  let* bytes = int_f "bytes_saved" j in
+  Ok
+    (Skip
+       {
+         k_path = path;
+         k_tag = tag;
+         k_depth = depth;
+         k_kind = kind;
+         k_pending_at_skip = pending;
+         k_delivered = delivered;
+         k_bytes_saved = bytes;
+       })
+
+let chunk_of_json j =
+  let* chunk = int_f "chunk" j in
+  let* ok = bool_f "ok" j in
+  let* detail = str "detail" j in
+  Ok (Chunk { c_chunk = chunk; c_ok = ok; c_detail = detail })
+
+let record_of_json j =
+  let* event = str "event" j in
+  match event with
+  | "prov.node" -> node_of_json j
+  | "prov.skip" -> skip_of_json j
+  | "prov.chunk" -> chunk_of_json j
+  | s -> Error (Printf.sprintf "unknown provenance event %S" s)

@@ -1,0 +1,124 @@
+(** Decision provenance (schema [prov.v1]).
+
+    Records of {e why} the streaming evaluator delivered or denied each
+    element: the winning rule and its sign, the conflict-resolution path
+    actually taken (Most-Specific-Object, Denial-Takes-Precedence, closed
+    policy), the Authorization-Stack and pending-predicate snapshots at
+    open time, the live ARA token states, skip decisions with their byte
+    savings, and per-chunk integrity verdicts from the SOE channel.
+
+    The evaluator feeds a {!collector} while streaming; conditions are kept
+    unevaluated (they may hinge on pending predicates) and only forced by
+    {!records} after the run, when every atom is resolved. Records
+    serialize one-per-line through {!Xmlac_obs.Trace.jsonl_sink} and are
+    replayed against the DOM oracle by [bin/audit_replay]. *)
+
+val schema_version : string
+(** ["prov.v1"]. *)
+
+type verdict = Permit | Deny | Undecided
+(** [Undecided] only appears when a run was cut short (its atoms never
+    resolved) — the audit treats it as a violation. *)
+
+type status = Applies | Pending | Inapplicable
+(** Status of a rule instance on the Authorization Stack at the moment a
+    node was opened: already known to apply, still hanging on a pending
+    predicate, or known not to apply. *)
+
+type step =
+  | Deny_wins of { depth : int; tag : string; rule : string }
+  | Permit_wins of { depth : int; tag : string; rule : string }
+  | Inherit of { depth : int; tag : string }
+      (** no applicable instance at this level — defer to the ancestors *)
+  | Closed_policy  (** no applicable rule anywhere: denied by default *)
+
+type stack_frame = {
+  f_depth : int;
+  f_tag : string;
+  f_rules : (string * Rule.sign * status) list;
+}
+
+type node_record = {
+  n_path : int list;
+      (** {!Xmlac_xpath.Dom_eval.node_id}: child ordinals from the root *)
+  n_tag : string;
+  n_depth : int;
+  n_rule_verdict : verdict;
+      (** rules only — comparable to {!Oracle.decisions} *)
+  n_delivered : verdict;  (** rules ∧ query interest *)
+  n_winner : (string * Rule.sign) option;
+  n_steps : step list;  (** most-specific level first *)
+  n_auth_stack : stack_frame list;  (** root-first, self last; open-time *)
+  n_pending : (string * int) list;
+      (** unresolved predicate instances (rule, anchor depth) at open *)
+  n_tokens : (string * int * int) list;
+      (** live navigational tokens (rule, steps matched, total steps) *)
+}
+
+type skip_kind = Skip_subtree | Skip_rest
+
+type skip_record = {
+  k_path : int list;
+  k_tag : string;
+  k_depth : int;
+  k_kind : skip_kind;
+  k_pending_at_skip : bool;
+      (** true: skipped undecided, kept for possible retro-delivery *)
+  k_delivered : verdict;  (** final resolution of the skipped region *)
+  k_bytes_saved : int;  (** encoded bytes not parsed thanks to the skip *)
+}
+
+type chunk_record = { c_chunk : int; c_ok : bool; c_detail : string }
+type record = Node of node_record | Skip of skip_record | Chunk of chunk_record
+
+(** {1 Collection (used by {!Evaluator.run})} *)
+
+type collector
+
+val collector : unit -> collector
+
+val note_open :
+  collector ->
+  path:int list ->
+  tag:string ->
+  depth:int ->
+  delivery:Condition.t ->
+  rule_expr:Condition.t ->
+  completions:(string * Rule.sign * Condition.t) list ->
+  tokens:(string * int * int) list ->
+  pending:(string * int) list ->
+  unit
+
+val note_close : collector -> unit
+
+val note_skip :
+  collector ->
+  path:int list ->
+  tag:string ->
+  depth:int ->
+  kind:skip_kind ->
+  pending:bool ->
+  expr:Condition.t ->
+  bytes:int ->
+  unit
+
+val records : collector -> record list
+(** Finalized records in document order (nodes and skips interleaved as
+    encountered). Call after the run: conditions are evaluated now, so a
+    complete run yields [Permit]/[Deny] everywhere and an aborted one
+    leaves [Undecided]. *)
+
+(** {1 JSON (prov.v1)} *)
+
+val record_event : record -> string * (string * Xmlac_obs.Json.t) list
+(** Event name and fields, ready for {!Xmlac_obs.Trace.emit}. *)
+
+val record_to_json : record -> Xmlac_obs.Json.t
+val record_of_json : Xmlac_obs.Json.t -> (record, string) result
+
+val meta_event : ?query:string -> unit -> string * (string * Xmlac_obs.Json.t) list
+(** The [prov.meta] header line carrying the schema version and the query,
+    written first in every trace file. *)
+
+val verdict_to_string : verdict -> string
+val skip_kind_to_string : skip_kind -> string

@@ -54,7 +54,7 @@ type eval_outcome = {
       (** the delivered events when the pipeline accepted the input *)
 }
 
-let channel_eval ~key ~policy bytes =
+let channel_eval ?provenance ~key ~policy bytes =
   match
     let t = C.of_bytes bytes in
     let counters = Xmlac_soe.Channel.fresh_counters () in
@@ -63,7 +63,7 @@ let channel_eval ~key ~policy bytes =
     in
     let decoder = Decoder.of_source source in
     let input = Xmlac_core.Input.of_decoder decoder in
-    let result = Xmlac_core.Evaluator.run ~policy input in
+    let result = Xmlac_core.Evaluator.run ?provenance ~policy input in
     result.Xmlac_core.Evaluator.events
   with
   | events -> { outcome = Accepted; view = Some events }

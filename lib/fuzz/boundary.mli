@@ -37,12 +37,15 @@ type eval_outcome = {
 }
 
 val channel_eval :
+  ?provenance:Xmlac_core.Provenance.collector ->
   key:Xmlac_crypto.Des.Triple.key ->
   policy:Xmlac_core.Policy.t ->
   string ->
   eval_outcome
 (** The full pipeline: container bytes → SOE channel (with integrity
-    verification) → skip-index decoder → streaming evaluator. *)
+    verification) → skip-index decoder → streaming evaluator. Pass
+    [provenance] to capture decision records from the run — the harness
+    uses this to write a [.prov.jsonl] next to each saved crasher. *)
 
 val policy_text : string -> outcome
 (** Policy text into {!Xmlac_core.Policy.of_string}. *)

@@ -69,6 +69,9 @@ type failure = {
   mutation : string;  (** "seed" for unmutated differential runs *)
   detail : string;
   input : string;
+  policy_src : string option;
+      (** for channel-eval failures: the policy text of the run, so the
+          crasher can be replayed with provenance capture *)
 }
 
 type boundary_stats = {
@@ -151,7 +154,7 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~iterations () =
     let s = tally boundary in
     s.b_runs <- s.b_runs + 1
   in
-  let record ~boundary ~mutation ~input outcome =
+  let record ?policy ~boundary ~mutation ~input outcome =
     incr runs;
     let s = tally boundary in
     s.b_runs <- s.b_runs + 1;
@@ -164,11 +167,14 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~iterations () =
         s.b_rejected <- s.b_rejected + 1
     | Crashed detail ->
         s.b_failures <- s.b_failures + 1;
-        failures := { boundary; mutation; detail; input } :: !failures
+        failures :=
+          { boundary; mutation; detail; input; policy_src = policy }
+          :: !failures
   in
-  let diverged ~boundary ~mutation ~input detail =
+  let diverged ?policy ~boundary ~mutation ~input detail =
     (tally boundary).b_failures <- (tally boundary).b_failures + 1;
-    failures := { boundary; mutation; detail; input } :: !failures
+    failures :=
+      { boundary; mutation; detail; input; policy_src = policy } :: !failures
   in
 
   (* Phase 1 — differential sanity on unmutated seeds: every input
@@ -177,11 +183,11 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~iterations () =
   Array.iteri
     (fun i e ->
       let oracle = oracles.(i) in
-      let check ~boundary ~input events =
+      let check ?policy ~boundary ~input events =
         if view_matches ~oracle events then
           (tally boundary).b_accepted <- (tally boundary).b_accepted + 1
         else
-          diverged ~boundary ~mutation:"seed" ~input
+          diverged ?policy ~boundary ~mutation:"seed" ~input
             "authorized view differs from the DOM oracle"
       in
       let eval input_s =
@@ -205,11 +211,11 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~iterations () =
           let r = Boundary.channel_eval ~key ~policy:e.policy bytes in
           match r.Boundary.view with
           | Some events ->
-              check
+              check ~policy:e.policy_src
                 ~boundary:("channel-eval/" ^ C.scheme_to_string scheme)
                 ~input:bytes events
           | None ->
-              diverged
+              diverged ~policy:e.policy_src
                 ~boundary:("channel-eval/" ^ C.scheme_to_string scheme)
                 ~mutation:"seed" ~input:bytes
                 (match r.Boundary.outcome with
@@ -260,13 +266,14 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~iterations () =
         let input, mutation = Mutate.random rng bytes in
         let boundary = "channel-eval/" ^ C.scheme_to_string scheme in
         let r = Boundary.channel_eval ~key ~policy:e.policy input in
-        record ~boundary ~mutation ~input r.Boundary.outcome;
+        record ~policy:e.policy_src ~boundary ~mutation ~input
+          r.Boundary.outcome;
         (* accepted tampered bytes must still yield the oracle's view —
            except under ECB, which promises no integrity *)
         (match r.Boundary.view with
         | Some events when scheme <> C.Ecb ->
             if not (view_matches ~oracle:oracles.(ei) events) then
-              diverged ~boundary ~mutation ~input
+              diverged ~policy:e.policy_src ~boundary ~mutation ~input
                 "tampered container accepted with a wrong view"
         | _ -> ())
     | Boundary.Policy_text ->
@@ -290,24 +297,66 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~iterations () =
     wall_s = Xmlac_obs.Span.elapsed span;
   }
 
+(* Replay a channel-eval failure with a provenance collector and a
+   capturing Trace sink, rendering the decision trail as prov.v1 JSONL.
+   The replay tolerates the crash reproducing (that is the point); an
+   aborted run still yields the records completed before the abort. *)
+let failure_provenance f =
+  match f.policy_src with
+  | None -> None
+  | Some src -> (
+      match Xmlac_core.Policy.of_string src with
+      | Error _ | (exception _) -> None
+      | Ok policy ->
+          let module P = Xmlac_core.Provenance in
+          let module T = Xmlac_obs.Trace in
+          let buf = Buffer.create 4096 in
+          let add_event name fields =
+            Buffer.add_string buf (T.jsonl_line { T.name; fields });
+            Buffer.add_char buf '\n'
+          in
+          let meta_name, meta_fields = P.meta_event () in
+          add_event meta_name meta_fields;
+          let coll = P.collector () in
+          let previous = !T.sink in
+          T.set_sink (Some (fun e -> add_event e.T.name e.T.fields));
+          Fun.protect
+            ~finally:(fun () -> T.set_sink previous)
+            (fun () ->
+              ignore (Boundary.channel_eval ~provenance:coll ~key ~policy f.input));
+          List.iter
+            (fun r ->
+              let name, fields = P.record_event r in
+              add_event name fields)
+            (P.records coll);
+          Some (Buffer.contents buf))
+
 let save_failures ~dir report =
   if report.failures = [] then []
   else begin
     (if not (Sys.file_exists dir) then Sys.mkdir dir 0o755);
-    List.mapi
-      (fun i f ->
-        let safe =
-          String.map
-            (fun c ->
-              match c with
-              | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
-              | _ -> '_')
-            f.boundary
-        in
-        let path = Filename.concat dir (Printf.sprintf "%s__%03d.bin" safe i) in
-        let oc = open_out_bin path in
-        output_string oc f.input;
-        close_out oc;
-        path)
-      report.failures
+    List.concat
+      (List.mapi
+         (fun i f ->
+           let safe =
+             String.map
+               (fun c ->
+                 match c with
+                 | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+                 | _ -> '_')
+               f.boundary
+           in
+           let base = Filename.concat dir (Printf.sprintf "%s__%03d" safe i) in
+           let write ext contents =
+             let path = base ^ ext in
+             let oc = open_out_bin path in
+             output_string oc contents;
+             close_out oc;
+             path
+           in
+           let paths = [ write ".bin" f.input ] in
+           match failure_provenance f with
+           | Some jsonl -> paths @ [ write ".prov.jsonl" jsonl ]
+           | None -> paths)
+         report.failures)
   end

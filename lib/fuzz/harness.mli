@@ -15,6 +15,9 @@ type failure = {
   mutation : string;  (** "seed" for unmutated differential runs *)
   detail : string;
   input : string;  (** the offending bytes, for triage / corpus capture *)
+  policy_src : string option;
+      (** for channel-eval failures: the policy text of the failing run,
+          so the crasher can be replayed with provenance capture *)
 }
 
 type boundary_stats = {
@@ -51,4 +54,7 @@ val run :
 
 val save_failures : dir:string -> report -> string list
 (** Write each failure's input bytes to [dir/<boundary>__NNN.bin]
-    (creating [dir]); returns the paths, for corpus triage. *)
+    (creating [dir]); returns the paths, for corpus triage. Channel-eval
+    failures are additionally replayed with provenance capture, writing the
+    decision trail to [dir/<boundary>__NNN.prov.jsonl] next to the bytes —
+    the last records before the crash point at the hostile construct. *)

@@ -11,7 +11,9 @@ let start name =
   if Trace.enabled () then Trace.emit "span.start" [ ("name", Json.String name) ];
   { name; started_at = now () }
 
-let elapsed t = now () -. t.started_at
+(* clamped: the wall clock can step backwards (NTP), and a negative
+   duration would poison downstream sums and histograms *)
+let elapsed t = Float.max 0. (now () -. t.started_at)
 
 let finish t =
   let e = elapsed t in
@@ -20,8 +22,10 @@ let finish t =
       [ ("name", Json.String t.name); ("wall_s", Json.Float e) ];
   e
 
-(* run [f], returning its result and the wall seconds it took *)
+(* run [f], returning its result and the wall seconds it took; [span.end]
+   is emitted even when [f] raises, so traces of failed runs stay balanced *)
 let time name f =
   let s = start name in
-  let r = f () in
-  (r, finish s)
+  let wall = ref 0. in
+  let r = Fun.protect ~finally:(fun () -> wall := finish s) f in
+  (r, !wall)

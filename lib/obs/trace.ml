@@ -24,3 +24,42 @@ let render e =
 
 (* one line per event on stderr — the default sink for CLI --trace flags *)
 let stderr_sink e = prerr_endline ("trace: " ^ render e)
+
+(* one event as one compact JSON object: {"event":<name>, <fields>...} *)
+let jsonl_line e =
+  Json.to_string (Json.Obj (("event", Json.String e.name) :: e.fields))
+
+(* Buffered JSONL sink over an out_channel. Returns the sink and a flush
+   function; the caller owns the channel and must flush before closing. *)
+let jsonl_sink ?(buffer_bytes = 65536) oc =
+  let buf = Buffer.create (min buffer_bytes 65536) in
+  let flush_buf () =
+    Buffer.output_buffer oc buf;
+    Buffer.clear buf;
+    flush oc
+  in
+  let emit e =
+    Buffer.add_string buf (jsonl_line e);
+    Buffer.add_char buf '\n';
+    if Buffer.length buf >= buffer_bytes then flush_buf ()
+  in
+  (emit, flush_buf)
+
+(* Run [f] with a JSONL file sink installed, teeing to any sink that was
+   already set. The previous sink is restored — and the file flushed and
+   closed — even when [f] raises. *)
+let with_jsonl_file ?buffer_bytes path f =
+  let oc = open_out_bin path in
+  let emit, flush_buf = jsonl_sink ?buffer_bytes oc in
+  let previous = !sink in
+  let tee e =
+    emit e;
+    match previous with Some s -> s e | None -> ()
+  in
+  set_sink (Some tee);
+  Fun.protect
+    ~finally:(fun () ->
+      set_sink previous;
+      flush_buf ();
+      close_out oc)
+    f

@@ -11,6 +11,10 @@ type counters = {
   mutable hashes_verified : int;
   mutable fragment_fetches : int;
   mutable chunk_fetches : int;
+  crypto_hist : Xmlac_obs.Histogram.t;
+      (* wall time of each decrypt+verify unit (a chunk fetch or a fragment
+         suffix extension); "wall"-prefixed so its metrics escape the perf
+         gate *)
 }
 
 let fresh_counters () =
@@ -23,6 +27,7 @@ let fresh_counters () =
     hashes_verified = 0;
     fragment_fetches = 0;
     chunk_fetches = 0;
+    crypto_hist = Xmlac_obs.Histogram.make "wall_crypto";
   }
 
 let metrics (c : counters) : Xmlac_obs.Metrics.t =
@@ -37,6 +42,19 @@ let metrics (c : counters) : Xmlac_obs.Metrics.t =
       int "fragment_fetches" c.fragment_fetches;
       int "chunk_fetches" c.chunk_fetches;
     ]
+  @ Xmlac_obs.Histogram.metrics c.crypto_hist
+
+(* per-chunk integrity verdicts flow into the provenance trace when a sink
+   is installed; field construction stays behind [Trace.enabled] *)
+let emit_chunk_verdict ~chunk ~ok detail =
+  if Xmlac_obs.Trace.enabled () then begin
+    let name, fields =
+      Xmlac_core.Provenance.record_event
+        (Xmlac_core.Provenance.Chunk
+           { c_chunk = chunk; c_ok = ok; c_detail = detail })
+    in
+    Xmlac_obs.Trace.emit name fields
+  end
 
 let digest_blob_bytes = 24
 let digest_bytes = 20
@@ -123,6 +141,7 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
   let extend_suffix chunk frag entry lo =
     let lo = lo / 8 * 8 in
     if lo < entry.avail_from then begin
+      let t0 = Xmlac_obs.Span.now () in
       counters.fragment_fetches <- counters.fragment_fetches + 1;
       let cipher = C.fragment_ciphertext container ~chunk ~fragment:frag in
       let fetched = entry.avail_from - lo in
@@ -169,18 +188,23 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
           | Some r -> r
           | None -> raise (C.Integrity_failure "incomplete Merkle cover")
         in
-        if
-          not
-            (String.equal
-               (C.seal_root container ~chunk ~root)
-               (chunk_digest chunk))
-        then
+        let ok =
+          String.equal
+            (C.seal_root container ~chunk ~root)
+            (chunk_digest chunk)
+        in
+        emit_chunk_verdict ~chunk ~ok
+          (Printf.sprintf "fragment %d Merkle root %s" frag
+             (if ok then "verified" else "mismatch"));
+        if not ok then
           raise
             (C.Integrity_failure
                (Printf.sprintf "chunk %d fragment %d: Merkle root mismatch"
                   chunk frag));
         counters.hashes_verified <- counters.hashes_verified + 1
-      end
+      end;
+      Xmlac_obs.Histogram.observe counters.crypto_hist
+        (Xmlac_obs.Span.now () -. t0)
     end
   in
   (* decrypt (and charge) one 8-byte block of a fragment, memoized *)
@@ -241,7 +265,11 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
         if verify then begin
           counters.bytes_hashed <- counters.bytes_hashed + chunk_size;
           let expected = C.expected_digest_of_plain container ~chunk ~plain in
-          if not (String.equal expected (chunk_digest chunk)) then
+          let ok = String.equal expected (chunk_digest chunk) in
+          emit_chunk_verdict ~chunk ~ok
+            (Printf.sprintf "plaintext digest %s"
+               (if ok then "verified" else "mismatch"));
+          if not ok then
             raise
               (C.Integrity_failure
                  (Printf.sprintf "chunk %d: plaintext digest mismatch" chunk));
@@ -254,7 +282,11 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
             C.expected_digest_of_cipher container ~chunk
               ~cipher:(C.chunk_ciphertext container chunk)
           in
-          if not (String.equal expected (chunk_digest chunk)) then
+          let ok = String.equal expected (chunk_digest chunk) in
+          emit_chunk_verdict ~chunk ~ok
+            (Printf.sprintf "ciphertext digest %s"
+               (if ok then "verified" else "mismatch"));
+          if not ok then
             raise
               (C.Integrity_failure
                  (Printf.sprintf "chunk %d: ciphertext digest mismatch" chunk));
@@ -266,10 +298,13 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
     match !chunk_cache with
     | Some (c, plain, blocks) when c = chunk -> (plain, blocks)
     | _ ->
+        let t0 = Xmlac_obs.Span.now () in
         counters.chunk_fetches <- counters.chunk_fetches + 1;
         counters.bytes_to_soe <- counters.bytes_to_soe + chunk_size;
         let plain = C.decrypt_chunk container ~key chunk in
         verify_cbc_chunk chunk plain;
+        Xmlac_obs.Histogram.observe counters.crypto_hist
+          (Xmlac_obs.Span.now () -. t0);
         let blocks = Hashtbl.create 32 in
         chunk_cache := Some (chunk, plain, blocks);
         (plain, blocks)

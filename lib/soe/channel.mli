@@ -19,12 +19,22 @@ type counters = {
   mutable hashes_verified : int;  (** integrity comparisons that passed *)
   mutable fragment_fetches : int;
   mutable chunk_fetches : int;
+  crypto_hist : Xmlac_obs.Histogram.t;
+      (** wall-time of each decrypt+verify unit — a chunk fetch or a
+          fragment suffix extension; the ["wall_crypto_*"] metrics are
+          exempt from perf gating *)
 }
 
 val fresh_counters : unit -> counters
 
 val metrics : counters -> Xmlac_obs.Metrics.t
-(** Snapshot as named metrics (for [--stats] summaries and bench records). *)
+(** Snapshot as named metrics (for [--stats] summaries and bench records),
+    including the [wall_crypto] histogram.
+
+    When a {!Xmlac_obs.Trace} sink is installed, the channel also emits a
+    [prov.chunk] event for every integrity comparison (Merkle root or
+    chunk digest), carrying the verdict — the chunk records of the
+    provenance trace. *)
 
 val source :
   ?verify:bool ->

@@ -55,19 +55,41 @@ type measurement = {
   result_bytes : int;
   breakdown : Cost_model.breakdown;
   wall_s : float;
+  event_hist : Xmlac_obs.Histogram.t;
   events : Xmlac_xml.Event.t list;
 }
 
-let evaluate ?query ?(verify = true) ?strategy ?options config published policy =
+(* Wrap an input so the wall time between handing one event to the
+   evaluator and it asking for the next — the per-event evaluation cost,
+   channel reads included — lands in [hist]. *)
+let timed_input hist (input : Input.t) =
+  let handed_at = ref None in
+  {
+    input with
+    Input.next =
+      (fun () ->
+        (match !handed_at with
+        | Some t0 ->
+            Xmlac_obs.Histogram.observe hist (Xmlac_obs.Span.now () -. t0)
+        | None -> ());
+        let e = input.Input.next () in
+        handed_at := Some (Xmlac_obs.Span.now ());
+        e);
+  }
+
+let evaluate ?query ?(verify = true) ?strategy ?options ?provenance config
+    published policy =
   let counters = Channel.fresh_counters () in
   let source =
     Channel.source ~verify ~container:published.container ~key:config.key
       counters
   in
   let decoder = Decoder.of_source source in
+  let event_hist = Xmlac_obs.Histogram.make "wall_event" in
   let result, wall_s =
     Xmlac_obs.Span.time "session.evaluate" (fun () ->
-        Evaluator.run ?query ?options ~policy (Input.of_decoder decoder))
+        Evaluator.run ?query ?options ?provenance ~policy
+          (timed_input event_hist (Input.of_decoder decoder)))
   in
   let result_bytes =
     String.length (Xmlac_xml.Writer.events_to_string result.Evaluator.events)
@@ -92,6 +114,7 @@ let evaluate ?query ?(verify = true) ?strategy ?options config published policy 
     result_bytes;
     breakdown;
     wall_s;
+    event_hist;
     events = result.Evaluator.events;
   }
 
@@ -99,6 +122,7 @@ let metrics (m : measurement) : Xmlac_obs.Metrics.t =
   let open Xmlac_obs.Metrics in
   [ int "result_bytes" m.result_bytes ]
   @ prefix "eval" (Evaluator.stats_metrics m.eval)
+  @ prefix "eval" (Xmlac_obs.Histogram.metrics m.event_hist)
   @ prefix "index" (Decoder.stats_metrics m.index)
   @ prefix "channel" (Channel.metrics m.counters)
   @ prefix "cost" (Cost_model.breakdown_metrics m.breakdown)

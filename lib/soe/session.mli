@@ -45,6 +45,9 @@ type measurement = {
   result_bytes : int;  (** serialized size of the authorized output *)
   breakdown : Cost_model.breakdown;
   wall_s : float;  (** wall-clock time of the evaluator run *)
+  event_hist : Xmlac_obs.Histogram.t;
+      (** per-event evaluation latency (channel reads included); its
+          [wall_event_*] metrics are exempt from perf gating *)
   events : Xmlac_xml.Event.t list;
 }
 
@@ -59,13 +62,15 @@ val evaluate :
   ?verify:bool ->
   ?strategy:string ->
   ?options:Xmlac_core.Evaluator.options ->
+  ?provenance:Xmlac_core.Provenance.collector ->
   config ->
   published ->
   Xmlac_core.Policy.t ->
   measurement
 (** Run the streaming evaluator over the encrypted container through the
     SOE channel. [verify] (default true) enables integrity checking;
-    [options] exposes the evaluator's ablation switches.
+    [options] exposes the evaluator's ablation switches; [provenance]
+    threads a {!Xmlac_core.Provenance.collector} through to the evaluator.
     @raise Xmlac_crypto.Secure_container.Integrity_failure on tampering. *)
 
 val lwb :

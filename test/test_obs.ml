@@ -106,6 +106,51 @@ let test_counter () =
   Counter.reset c;
   check int_t "reset" 0 (Counter.value c)
 
+(* the wall clock can step backwards (NTP); elapsed must clamp to zero
+   rather than poison downstream sums and histograms *)
+let test_span_clamp () =
+  let future = { Span.name = "clamp"; started_at = Span.now () +. 3600. } in
+  check bool_t "backwards clock clamps to zero" true (Span.elapsed future = 0.)
+
+(* span.end is emitted even when the timed function raises, so traces of
+   failed runs stay balanced *)
+let test_span_end_on_raise () =
+  let seen = ref [] in
+  Trace.set_sink (Some (fun e -> seen := e :: !seen));
+  Fun.protect
+    ~finally:(fun () -> Trace.set_sink None)
+    (fun () ->
+      (match Span.time "boom" (fun () -> failwith "expected") with
+      | _ -> Alcotest.fail "exception must propagate"
+      | exception Failure _ -> ());
+      let names = List.rev_map (fun e -> e.Trace.name) !seen in
+      check bool_t "span.end emitted on raise" true
+        (names = [ "span.start"; "span.end" ]))
+
+let test_histogram () =
+  let h = Histogram.make "wall_test" in
+  check bool_t "empty quantile is zero" true (Histogram.quantile h 0.5 = 0.);
+  List.iter (Histogram.observe h) [ 1e-4; 1e-4; 1e-4; 0.1 ];
+  (* hostile observations are clamped, never dropped or propagated *)
+  Histogram.observe h (-1.);
+  Histogram.observe h Float.nan;
+  check int_t "count includes clamped values" 6 (Histogram.count h);
+  check bool_t "max is exact" true (Histogram.max_value h = 0.1);
+  let p50 = Histogram.quantile h 0.5 and p95 = Histogram.quantile h 0.95 in
+  check bool_t "quantiles are ordered" true
+    (p50 <= p95 && p95 <= Histogram.max_value h);
+  (* log buckets: the p50 upper bound is within 2x of the true median *)
+  check bool_t "p50 brackets the median" true (p50 >= 1e-4 && p50 <= 2e-4);
+  check bool_t "mean below max" true (Histogram.mean h <= 0.1);
+  let names = List.map fst (Histogram.metrics h) in
+  check bool_t "metric names carry the wall_ prefix" true
+    (List.for_all
+       (fun n -> String.length n >= 4 && String.sub n 0 4 = "wall")
+       names);
+  check bool_t "count metric present" true
+    (Metrics.find (Histogram.metrics h) "wall_test_count"
+    = Some (Metrics.Int 6))
+
 let test_span_trace () =
   let seen = ref [] in
   Trace.set_sink (Some (fun e -> seen := e :: !seen));
@@ -249,6 +294,28 @@ let test_gate_drift () =
   check int_t "wall drift ignored" 0
     (List.length (Gate.check ~baseline ~current:wall_only ()))
 
+(* histogram metrics are machine-dependent latencies; any metric whose
+   final dotted segment starts with "wall" must never gate *)
+let test_gate_hist_exempt () =
+  let with_hist p95 =
+    Bench_report.make ~mode:"quick"
+      [
+        {
+          (sample_record ()) with
+          Bench_report.metrics =
+            (sample_record ()).Bench_report.metrics
+            @ Metrics.
+                [
+                  float "tcsbr.eval.wall_event_p95_s" p95;
+                  int "tcsbr.eval.wall_event_count" 100;
+                ];
+        };
+      ]
+  in
+  check int_t "histogram drift ignored" 0
+    (List.length
+       (Gate.check ~baseline:(with_hist 0.001) ~current:(with_hist 0.9) ()))
+
 let test_gate_missing () =
   let baseline = sample_report () in
   let empty = Bench_report.make ~mode:"quick" [] in
@@ -300,7 +367,20 @@ let test_committed_baseline () =
       List.iter
         (fun v -> Printf.printf "baseline violation: %s: %s\n" v.Gate.where v.Gate.detail)
         violations;
-      check int_t "baseline self-gates clean" 0 (List.length violations)
+      check int_t "baseline self-gates clean" 0 (List.length violations);
+      (* the latency histograms ride along in the fig9 records *)
+      let fig9 =
+        List.find
+          (fun r -> r.Bench_report.name = "fig9")
+          report.Bench_report.records
+      in
+      check bool_t "event histogram in baseline" true
+        (Metrics.find fig9.Bench_report.metrics "tcsbr.eval.wall_event_count"
+        <> None);
+      check bool_t "crypto histogram in baseline" true
+        (Metrics.find fig9.Bench_report.metrics
+           "tcsbr.channel.wall_crypto_count"
+        <> None)
 
 let () =
   Alcotest.run "obs"
@@ -319,6 +399,9 @@ let () =
       ( "instruments",
         [
           Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "span clamp" `Quick test_span_clamp;
+          Alcotest.test_case "span end on raise" `Quick test_span_end_on_raise;
+          Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "span+trace" `Quick test_span_trace;
           Alcotest.test_case "trace observation" `Quick test_trace_observation;
         ] );
@@ -331,6 +414,7 @@ let () =
         [
           Alcotest.test_case "report roundtrip" `Quick test_report_roundtrip;
           Alcotest.test_case "drift" `Quick test_gate_drift;
+          Alcotest.test_case "histogram exempt" `Quick test_gate_hist_exempt;
           Alcotest.test_case "missing" `Quick test_gate_missing;
           Alcotest.test_case "shape" `Quick test_gate_shape;
           Alcotest.test_case "committed baseline" `Quick test_committed_baseline;

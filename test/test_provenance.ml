@@ -1,0 +1,296 @@
+(* Tests for the decision-provenance subsystem: prov.v1 JSON round trips,
+   byte-identical trace determinism, oracle-checked audit replay over
+   random document/policy pairs, tamper detection, the hospital example's
+   `xacml explain` reports, and the fuzz harness's crasher provenance
+   files. *)
+
+module Tree = Xmlac_xml.Tree
+module Layout = Xmlac_skip_index.Layout
+module Encoder = Xmlac_skip_index.Encoder
+module Decoder = Xmlac_skip_index.Decoder
+module Policy = Xmlac_core.Policy
+module Rule = Xmlac_core.Rule
+module Evaluator = Xmlac_core.Evaluator
+module Input = Xmlac_core.Input
+module Provenance = Xmlac_core.Provenance
+module Audit = Xmlac_core.Audit
+module Oracle = Xmlac_core.Oracle
+module Dom_eval = Xmlac_xpath.Dom_eval
+module Session = Xmlac_soe.Session
+module Json = Xmlac_obs.Json
+module Trace = Xmlac_obs.Trace
+module W = Xmlac_workload
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* canonicalize as the publishing pipeline does: attributes become elements
+   and the tree takes one serialize/parse round trip, so the oracle judges
+   the document the evaluator actually sees *)
+let canonical doc =
+  Tree.parse (Xmlac_xml.Writer.tree_to_string (Tree.attributes_to_elements doc))
+
+let decoder_input doc =
+  Input.of_decoder (Decoder.of_string (Encoder.encode ~layout:Layout.Tcsbr doc))
+
+let run_with_provenance ?query ~policy input =
+  let coll = Provenance.collector () in
+  let result = Evaluator.run ?query ~provenance:coll ~policy input in
+  (Provenance.records coll, result)
+
+let mem_id ids id = List.exists (fun i -> Dom_eval.compare_id i id = 0) ids
+
+(* JSON round trip --------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let doc = canonical (W.Hospital.generate_sized ~seed:7 ~target_bytes:8_000 ()) in
+  let policy = W.Profiles.doctor ~user:W.Hospital.full_time_physician in
+  let records, _ = run_with_provenance ~policy (decoder_input doc) in
+  check bool_t "has node records" true
+    (List.exists (function Provenance.Node _ -> true | _ -> false) records);
+  check bool_t "has skip records" true
+    (List.exists (function Provenance.Skip _ -> true | _ -> false) records);
+  List.iter
+    (fun r ->
+      let j = Provenance.record_to_json r in
+      match Json.parse (Json.to_string j) with
+      | Error e -> Alcotest.failf "reparse: %s" e
+      | Ok j' -> (
+          match Provenance.record_of_json j' with
+          | Ok r' ->
+              if r' <> r then Alcotest.fail "record changed across round trip"
+          | Error e -> Alcotest.failf "record_of_json: %s" e))
+    records
+
+(* Trace determinism -------------------------------------------------------- *)
+
+(* drop top-level fields whose name starts with "wall" — the only
+   nondeterministic payload a trace line may carry *)
+let strip_wall line =
+  match Json.parse line with
+  | Ok (Json.Obj fields) ->
+      Json.to_string
+        (Json.Obj
+           (List.filter
+              (fun (name, _) ->
+                not (String.length name >= 4 && String.sub name 0 4 = "wall"))
+              fields))
+  | _ -> line
+
+(* the full pipeline (publish, SOE channel, evaluator) into a JSONL trace
+   file, exactly as `xacml view --trace-out` does *)
+let capture_trace doc policy =
+  let tmp = Filename.temp_file "xmlac_prov" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      Trace.with_jsonl_file tmp (fun () ->
+          let name, fields = Provenance.meta_event () in
+          Trace.emit name fields;
+          let coll = Provenance.collector () in
+          let config = Session.default_config () in
+          let published = Session.publish config ~layout:Layout.Tcsbr doc in
+          let (_ : Session.measurement) =
+            Session.evaluate ~provenance:coll config published policy
+          in
+          List.iter
+            (fun r ->
+              let name, fields = Provenance.record_event r in
+              Trace.emit name fields)
+            (Provenance.records coll));
+      In_channel.with_open_bin tmp In_channel.input_all)
+
+let test_trace_determinism () =
+  let doc = canonical (W.Hospital.generate_sized ~seed:3 ~target_bytes:6_000 ()) in
+  let policy = W.Profiles.doctor ~user:W.Hospital.full_time_physician in
+  let t1 = capture_trace doc policy in
+  let t2 = capture_trace doc policy in
+  let norm t =
+    String.concat "\n" (List.map strip_wall (String.split_on_char '\n' t))
+  in
+  check bool_t "byte-identical after stripping wall fields" true
+    (norm t1 = norm t2);
+  check bool_t "meta header present" true
+    (contains t1 "\"schema\":\"prov.v1\"");
+  check bool_t "node records present" true
+    (contains t1 "\"event\":\"prov.node\"");
+  check bool_t "chunk records present" true
+    (contains t1 "\"event\":\"prov.chunk\"")
+
+(* Audit replay over random pairs ------------------------------------------- *)
+
+let test_random_replay () =
+  let kinds = W.Datasets.[ Wsu; Sigmod; Treebank; Hospital_doc ] in
+  let pairs = ref 0 in
+  List.iter
+    (fun kind ->
+      for seed = 0 to 12 do
+        let doc =
+          canonical (W.Datasets.generate kind ~seed ~target_bytes:700)
+        in
+        let policy = W.Rule_gen.generate ~seed doc in
+        let records, _ = run_with_provenance ~policy (decoder_input doc) in
+        (match Audit.check ~policy ~doc records with
+        | [] -> ()
+        | v :: _ ->
+            Alcotest.failf "%s seed %d: %s: %s" (W.Datasets.name kind) seed
+              v.Audit.where v.Audit.detail);
+        incr pairs
+      done)
+    kinds;
+  check bool_t "at least 50 pairs audited" true (!pairs >= 50)
+
+let test_tamper_detected () =
+  let doc = canonical (W.Hospital.generate_sized ~seed:7 ~target_bytes:6_000 ()) in
+  let policy = W.Profiles.doctor ~user:W.Hospital.full_time_physician in
+  let records, _ =
+    run_with_provenance ~policy (Input.of_events (Tree.to_events doc))
+  in
+  check int_t "clean trace audits clean" 0
+    (List.length (Audit.check ~policy ~doc records));
+  (* flip the delivery verdict on the first node record *)
+  let flipped = ref false in
+  let tampered =
+    List.map
+      (function
+        | Provenance.Node n when not !flipped ->
+            flipped := true;
+            Provenance.Node
+              {
+                n with
+                Provenance.n_delivered =
+                  (match n.Provenance.n_delivered with
+                  | Provenance.Permit -> Provenance.Deny
+                  | _ -> Provenance.Permit);
+              }
+        | r -> r)
+      records
+  in
+  check bool_t "flipped verdict caught" true
+    (Audit.check ~policy ~doc tampered <> []);
+  (* drop the root's node record: nothing skips over the root, so the
+     completeness pass must flag the hole *)
+  let dropped =
+    List.filter
+      (function Provenance.Node n -> n.Provenance.n_path <> [] | _ -> true)
+      records
+  in
+  check bool_t "missing record caught" true
+    (Audit.check ~policy ~doc dropped <> [])
+
+(* The hospital example's explanations -------------------------------------- *)
+
+let test_hospital_explain () =
+  let doc = canonical (W.Hospital.generate_sized ~seed:7 ~target_bytes:20_000 ()) in
+  let policy = W.Profiles.doctor ~user:W.Hospital.full_time_physician in
+  let records, _ =
+    run_with_provenance ~policy (Input.of_events (Tree.to_events doc))
+  in
+  let delivered = Oracle.delivered_ids policy doc in
+  let select s = Dom_eval.select (Xmlac_xpath.Parse.path s) doc in
+  (* a Details element on another physician's act: denied by D3 *)
+  (match
+     List.find_opt (fun id -> not (mem_id delivered id)) (select "//Act/Details")
+   with
+  | None ->
+      Alcotest.fail "expected a denied //Act/Details in the generated document"
+  | Some id ->
+      let report = Audit.explain ~records id in
+      check bool_t "denied report says DENIED" true (contains report "DENIED");
+      check bool_t "names the denying rule" true
+        (contains report "winning rule: D3 (deny)");
+      check bool_t "shows denial-takes-precedence" true
+        (contains report "denial takes precedence"));
+  (* an administrative part of a folder: delivered under D1 *)
+  match List.find_opt (mem_id delivered) (select "//Folder/Admin") with
+  | None -> Alcotest.fail "expected a delivered //Folder/Admin"
+  | Some id ->
+      let report = Audit.explain ~records id in
+      check bool_t "delivered report says DELIVERED" true
+        (contains report "DELIVERED");
+      check bool_t "names the permitting rule" true
+        (contains report "winning rule: D1 (permit)");
+      check bool_t "shows the permit step" true
+        (contains report "positive rule D1 applies")
+
+(* Fuzz crasher provenance --------------------------------------------------- *)
+
+let test_fuzz_crasher_provenance () =
+  let module H = Xmlac_fuzz.Harness in
+  let module C = Xmlac_crypto.Secure_container in
+  let doc = Tree.parse "<r><a>x</a><b>y</b></r>" in
+  let policy = Policy.make [ Rule.parse ~id:"p1" ~sign:Rule.Permit "/r/a" ] in
+  (* the harness's fixed campaign key, so the replay decrypts the bytes *)
+  let key = Xmlac_crypto.Des.Triple.key_of_string "xmlac-fuzz-24-byte-key!!" in
+  let bytes =
+    C.to_bytes
+      (C.encrypt ~chunk_size:512 ~fragment_size:64 ~scheme:C.Ecb_mht ~key
+         (Encoder.encode ~layout:Layout.Tcsbr doc))
+  in
+  let report =
+    {
+      H.runs = 1;
+      mutated = 0;
+      accepted = 0;
+      rejected = 0;
+      failures =
+        [
+          {
+            H.boundary = "channel-eval/ECB-MHT";
+            mutation = "seed";
+            detail = "synthetic failure for save_failures";
+            input = bytes;
+            policy_src = Some (Policy.to_string policy);
+          };
+        ];
+      per_boundary = [];
+      wall_s = 0.;
+    }
+  in
+  let dir = Filename.temp_file "xmlac_corpus" "" in
+  Sys.remove dir;
+  let saved = H.save_failures ~dir report in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Sys.remove saved;
+      Sys.rmdir dir)
+    (fun () ->
+      check int_t "bytes and provenance written" 2 (List.length saved);
+      let prov =
+        List.find (fun p -> Filename.check_suffix p ".prov.jsonl") saved
+      in
+      let contents = In_channel.with_open_bin prov In_channel.input_all in
+      check bool_t "meta header present" true
+        (contains contents "\"schema\":\"prov.v1\"");
+      check bool_t "node records captured" true
+        (contains contents "\"event\":\"prov.node\"");
+      check bool_t "chunk verdicts captured" true
+        (contains contents "\"event\":\"prov.chunk\""))
+
+let () =
+  Alcotest.run "provenance"
+    [
+      ( "schema",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "trace determinism" `Quick test_trace_determinism;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "random replay" `Quick test_random_replay;
+          Alcotest.test_case "tamper detected" `Quick test_tamper_detected;
+        ] );
+      ( "explain",
+        [ Alcotest.test_case "hospital example" `Quick test_hospital_explain ] );
+      ( "fuzz",
+        [
+          Alcotest.test_case "crasher provenance" `Quick
+            test_fuzz_crasher_provenance;
+        ] );
+    ]
