@@ -627,6 +627,53 @@ let update_costs () =
   note "paper: best case updates only ancestor SubtreeSizes; worst cases are a";
   note "  size crossing a power of two or a tag dictionary insertion/deletion"
 
+(* Remote terminal ---------------------------------------------------------- *)
+
+(* Not a paper figure: the wire subsystem's byte-accounting invariant. A
+   fault-free remote terminal must ship exactly the payload bytes the
+   in-process channel meters — the gate pins wire.payload_bytes equal to
+   channel.bytes_to_soe (both directions) — and the view must match. *)
+let remote () =
+  banner "Remote terminal (loopback wire, Secretary profile)";
+  let doc = Lazy.force hospital in
+  Printf.printf "  %-9s %12s %12s %9s\n" "Scheme" "payload(B)" "channel(B)"
+    "requests";
+  List.iter
+    (fun scheme ->
+      let config = Session.default_config ~scheme () in
+      let published =
+        let p =
+          publish_cached
+            (Printf.sprintf "hospital-%s" (Container.scheme_to_string scheme))
+            ~layout:Layout.Tcsbr doc
+        in
+        if Container.scheme p.Session.container = scheme then p
+        else Session.publish config ~layout:Layout.Tcsbr doc
+      in
+      let server = Xmlac_wire.Server.make published.Session.container in
+      let session =
+        Xmlac_soe.Remote.connect (Xmlac_wire.Server.loopback_connector server)
+      in
+      let local = Session.evaluate config published W.Profiles.secretary in
+      let m = Session.evaluate_remote config session W.Profiles.secretary in
+      Xmlac_soe.Remote.close session;
+      if m.Session.events <> local.Session.events then
+        failwith "remote view diverges from the in-process channel";
+      let w =
+        match m.Session.wire with Some w -> w | None -> assert false
+      in
+      Printf.printf "  %-9s %12d %12d %9d\n"
+        (Container.scheme_to_string scheme)
+        w.Xmlac_wire.Stats.payload_bytes
+        m.Session.counters.Channel.bytes_to_soe
+        w.Xmlac_wire.Stats.requests;
+      record ~name:"remote"
+        ~profile:(Container.scheme_to_string scheme)
+        (Session.metrics m))
+    Container.all_schemes;
+  note "wire payload equals the channel's bytes_to_soe under every scheme;";
+  note "  the perf gate holds the equality in both directions"
+
 (* Bechamel micro-benchmarks ------------------------------------------------ *)
 
 let bechamel_suite () =
@@ -724,6 +771,7 @@ let () =
   run_experiment "ablation_geometry" ablation_geometry;
   run_experiment "memory_scaling" memory_scaling;
   run_experiment "update_costs" update_costs;
+  run_experiment "remote" remote;
   if not no_bechamel then run_experiment "bechamel" bechamel_suite;
   (match json_path with
   | None -> ()

@@ -17,7 +17,9 @@ module Policy = Xmlac_core.Policy
 module Rule = Xmlac_core.Rule
 module Session = Xmlac_soe.Session
 module Channel = Xmlac_soe.Channel
+module Remote = Xmlac_soe.Remote
 module Cost_model = Xmlac_soe.Cost_model
+module Wire = Xmlac_wire
 module W = Xmlac_workload
 
 let read_file path =
@@ -68,6 +70,24 @@ let passphrase_arg =
     & info [ "k"; "key" ] ~docv:"PASSPHRASE"
         ~doc:"Passphrase from which the 3DES document key is derived.")
 
+(* view/unlock can read the container from a local file or fetch it from a
+   remote terminal; with --remote the input file is not needed *)
+let input_opt_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "i"; "input" ] ~docv:"FILE"
+        ~doc:"Input container file (omit when using --remote).")
+
+let remote_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "remote" ] ~docv:"ADDR"
+        ~doc:
+          "Fetch the container from a terminal at ADDR (unix:PATH or \
+           tcp:HOST:PORT, see xterminal) instead of a local file.")
+
 let layout_conv =
   let parse s =
     match Layout.of_string (String.uppercase_ascii s) with
@@ -83,6 +103,52 @@ let scheme_conv =
     | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
   in
   Arg.conv (parse, fun ppf s -> Fmt.string ppf (Container.scheme_to_string s))
+
+let expect_scheme_arg =
+  Arg.(
+    value
+    & opt (some scheme_conv) None
+    & info [ "expect-scheme" ] ~docv:"SCHEME"
+        ~doc:
+          "With --remote: refuse the handshake unless the terminal \
+           advertises SCHEME — guards against a terminal downgrading the \
+           integrity scheme.")
+
+(* Open the SOE byte source for view/unlock: a local container file or a
+   remote terminal session. Returns the source, the scheme it speaks, and
+   the session to close when done. *)
+let open_source ~input ~remote ~expect_scheme ~key counters =
+  match remote with
+  | Some addr_str ->
+      let addr =
+        match Wire.Transport.parse_addr addr_str with
+        | Ok a -> a
+        | Error e -> die "--remote %s" e
+      in
+      let r =
+        Remote.connect ?expect_scheme (fun () -> Wire.Transport.connect addr)
+      in
+      let source = Remote.source r ~key counters in
+      (source, (Remote.metadata r).Wire.Protocol.scheme, Some r)
+  | None -> (
+      match input with
+      | None -> die "no container: give --input FILE or --remote ADDR"
+      | Some f ->
+          let container = Container.of_bytes (read_file f) in
+          let source = Channel.source ~container ~key counters in
+          (source, Container.scheme container, None))
+
+(* the paper's schemes silently skip verification under plain ECB; say so
+   instead of letting --stats quietly report zero hashed bytes *)
+let warn_no_integrity ~scheme counters =
+  if
+    counters.Channel.verify_requested
+    && not counters.Channel.verify_active
+  then
+    Printf.eprintf
+      "xacml: note: %s supports no verification — integrity checking \
+       disabled for this run\n"
+      (Container.scheme_to_string scheme)
 
 (* policy assembly, shared by view and explain *)
 
@@ -297,14 +363,15 @@ let view_cmd =
              record per node, skip and chunk verdict, plus evaluator \
              events) to FILE, for xacml explain or audit_replay.")
   in
-  let run input pass rules policy_file query_str user dummy stats_flag
-      trace_flag trace_out =
-    let container = Container.of_bytes (read_file input) in
+  let run input pass remote expect_scheme rules policy_file query_str user
+      dummy stats_flag trace_flag trace_out =
     let policy = assemble_policy ~rules ~policy_file ~user in
     let query = Option.map Xmlac_xpath.Parse.path query_str in
     let key = key_of_passphrase pass in
     let counters = Channel.fresh_counters () in
-    let source = Channel.source ~container ~key counters in
+    let source, scheme, remote_session =
+      open_source ~input ~remote ~expect_scheme ~key counters
+    in
     let decoder = Xmlac_skip_index.Decoder.of_source source in
     if trace_flag then
       Xmlac_obs.Trace.set_sink (Some Xmlac_obs.Trace.stderr_sink);
@@ -351,6 +418,7 @@ let view_cmd =
     (match Xmlac_core.Evaluator.view_tree result with
     | None -> prerr_endline "(nothing authorized)"
     | Some view -> print_endline (Writer.tree_to_string ~indent:true view));
+    warn_no_integrity ~scheme counters;
     if stats_flag then begin
       let s = result.Xmlac_core.Evaluator.stats in
       let b =
@@ -369,19 +437,24 @@ let view_cmd =
             (Xmlac_skip_index.Decoder.stats_metrics
                (Xmlac_skip_index.Decoder.stats decoder))
         @ prefix "channel" (Channel.metrics counters)
+        @ (match remote_session with
+          | Some r -> prefix "wire" (Wire.Stats.metrics (Remote.wire_stats r))
+          | None -> [])
         @ prefix "cost" (Cost_model.breakdown_metrics b)
         @ [ float "wall_s" wall_s ]
       in
       List.iter (Fmt.epr "%s@.") (Xmlac_obs.Metrics.render metrics);
       Fmt.epr "simulated smart card: %a@." Cost_model.pp_breakdown b
-    end
+    end;
+    Option.iter Remote.close remote_session
   in
   Cmd.v
     (Cmd.info "view"
        ~doc:"Evaluate an authorized view (and optional query) of a container.")
     Term.(
-      const run $ input_arg $ passphrase_arg $ rules_arg $ policy_file_arg
-      $ query_arg $ user_arg $ dummy $ stats_flag $ trace_flag $ trace_out)
+      const run $ input_opt_arg $ passphrase_arg $ remote_arg
+      $ expect_scheme_arg $ rules_arg $ policy_file_arg $ query_arg $ user_arg
+      $ dummy $ stats_flag $ trace_flag $ trace_out)
 
 (* explain -------------------------------------------------------------------- *)
 
@@ -506,8 +579,7 @@ let unlock_cmd =
   let stats_flag =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print SOE cost statistics.")
   in
-  let run input license_file soe_pass stats_flag =
-    let container = Container.of_bytes (read_file input) in
+  let run input remote expect_scheme license_file soe_pass stats_flag =
     match
       Xmlac_soe.License.unseal
         ~soe_key:(key_of_passphrase soe_pass)
@@ -518,8 +590,9 @@ let unlock_cmd =
         exit 1
     | Ok lic ->
         let counters = Channel.fresh_counters () in
-        let source =
-          Channel.source ~container ~key:(Xmlac_soe.License.key lic) counters
+        let source, scheme, remote_session =
+          open_source ~input ~remote ~expect_scheme
+            ~key:(Xmlac_soe.License.key lic) counters
         in
         let decoder = Xmlac_skip_index.Decoder.of_source source in
         let result =
@@ -530,6 +603,7 @@ let unlock_cmd =
         (match Xmlac_core.Evaluator.view_tree result with
         | None -> prerr_endline "(nothing authorized)"
         | Some view -> print_endline (Writer.tree_to_string ~indent:true view));
+        warn_no_integrity ~scheme counters;
         if stats_flag then begin
           Fmt.epr "subject %s@." lic.Xmlac_soe.License.subject;
           let metrics =
@@ -538,14 +612,22 @@ let unlock_cmd =
               (Xmlac_core.Evaluator.stats_metrics
                  result.Xmlac_core.Evaluator.stats)
             @ prefix "channel" (Channel.metrics counters)
+            @
+            match remote_session with
+            | Some r ->
+                prefix "wire" (Wire.Stats.metrics (Remote.wire_stats r))
+            | None -> []
           in
           List.iter (Fmt.epr "%s@.") (Xmlac_obs.Metrics.render metrics)
-        end
+        end;
+        Option.iter Remote.close remote_session
   in
   Cmd.v
     (Cmd.info "unlock"
        ~doc:"Evaluate a container using a sealed license (rules + key).")
-    Term.(const run $ input_arg $ license_file $ soe_key_arg $ stats_flag)
+    Term.(
+      const run $ input_opt_arg $ remote_arg $ expect_scheme_arg
+      $ license_file $ soe_key_arg $ stats_flag)
 
 (* update --------------------------------------------------------------------- *)
 
@@ -659,4 +741,6 @@ let () =
       report_data_error (Printf.sprintf "malformed XML at byte %d: %s" pos reason)
   | exception Xmlac_core.Error.Stream_error msg ->
       report_data_error ("invalid event stream: " ^ msg)
+  | exception Wire.Error.Wire e ->
+      report_data_error ("remote terminal: " ^ Wire.Error.to_string e)
   | exception Sys_error msg -> report_data_error msg

@@ -45,7 +45,7 @@ let iterations_t =
     value
     & opt int 2000
     & info [ "iterations" ] ~docv:"N"
-        ~doc:"Number of mutated inputs (spread over the five boundaries).")
+        ~doc:"Number of mutated inputs (spread over the seven boundaries).")
 
 let corpus_dir_t =
   Arg.(

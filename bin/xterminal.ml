@@ -1,0 +1,104 @@
+(* xterminal — the untrusted terminal of the paper's architecture: holds a
+   published container (ciphertext only, no keys) and serves it to SOE
+   clients over the framed wire protocol, many sessions concurrently.
+
+     xterminal -i doc.xac --listen unix:/tmp/doc.sock
+     xacml view --remote unix:/tmp/doc.sock --rule '+//a'
+
+   SIGINT/SIGTERM stop the accept loop, drain in-flight sessions, unlink a
+   Unix socket file and exit 0. *)
+
+open Cmdliner
+module Wire = Xmlac_wire
+module Container = Xmlac_crypto.Secure_container
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("xterminal: " ^ msg);
+      exit 2)
+    fmt
+
+let input_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Published container to serve.")
+
+let listen_arg =
+  Arg.(
+    value
+    & opt string "tcp:127.0.0.1:0"
+    & info [ "listen" ] ~docv:"ADDR"
+        ~doc:
+          "Address to listen on: unix:PATH or tcp:HOST:PORT (port 0 picks \
+           a free port, printed on startup).")
+
+let sessions_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "sessions" ] ~docv:"N" ~doc:"Maximum concurrent sessions.")
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:"Per-connection read/write timeout.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print wire counters on shutdown (stderr).")
+
+let run input listen sessions timeout stats_flag =
+  let container =
+    match Container.of_bytes (read_file input) with
+    | c -> c
+    | exception Container.Corrupt msg -> die "%s: corrupt container: %s" input msg
+  in
+  let addr =
+    match Wire.Transport.parse_addr listen with
+    | Ok a -> a
+    | Error e -> die "--listen %s" e
+  in
+  let server = Wire.Server.make container in
+  let listener = Wire.Transport.listen addr in
+  let stop = ref false in
+  let on_signal _ = stop := true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  let meta = Wire.Server.metadata server in
+  Printf.printf "xterminal: serving %s (%s, %d chunks%s) on %s\n%!" input
+    (Container.scheme_to_string meta.Wire.Protocol.scheme)
+    meta.Wire.Protocol.chunk_count
+    (if meta.Wire.Protocol.integrity then "" else ", no integrity")
+    (Wire.Transport.addr_to_string (Wire.Transport.bound_addr listener));
+  (* the accept loop polls [stop], so a signal lands within ~0.2 s; a
+     transport error on a closed listener ends the loop the same way *)
+  (try Wire.Server.serve ~max_sessions:sessions ?timeout_s:timeout ~stop server listener
+   with Wire.Error.Wire _ -> ());
+  Wire.Transport.close_listener listener;
+  if stats_flag then begin
+    let metrics = Wire.Stats.metrics (Wire.Server.totals server) in
+    List.iter (Printf.eprintf "%s\n") (Xmlac_obs.Metrics.render metrics)
+  end
+
+let () =
+  let cmd =
+    Cmd.v
+      (Cmd.info "xterminal" ~version:"1.0.0"
+         ~doc:
+           "Serve a published container to SOE clients over the wire \
+            protocol (the untrusted terminal of the paper's architecture).")
+      Term.(
+        const run $ input_arg $ listen_arg $ sessions_arg $ timeout_arg
+        $ stats_arg)
+  in
+  exit (Cmd.eval cmd)

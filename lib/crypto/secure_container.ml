@@ -112,15 +112,24 @@ let encrypt_digest ~key ~chunk digest =
       ~base:(digest_position_base chunk) padded
   end
 
+(* Blob-taking variant: over the wire the digest arrives from an untrusted
+   terminal, so its size is validated as an integrity property, not assumed. *)
+let decrypt_digest_blob ~key ~chunk blob =
+  if String.length blob <> digest_blob_size then
+    raise
+      (Integrity_failure
+         (Printf.sprintf "chunk %d: digest blob of %d bytes, expected %d" chunk
+            (String.length blob) digest_blob_size));
+  let plain =
+    Modes.positional_decrypt (Modes.of_triple_des key)
+      ~base:(digest_position_base chunk) blob
+  in
+  String.sub plain 0 Sha1.digest_size
+
 let decrypt_digest t ~key chunk =
   match t.digests.(chunk) with
   | "" -> invalid_arg "Secure_container.decrypt_digest: scheme has no digests"
-  | blob ->
-      let plain =
-        Modes.positional_decrypt (Modes.of_triple_des key)
-          ~base:(digest_position_base chunk) blob
-      in
-      String.sub plain 0 Sha1.digest_size
+  | blob -> decrypt_digest_blob ~key ~chunk blob
 
 let encrypt ?(chunk_size = 2048) ?(fragment_size = 256) ~scheme ~key payload =
   if chunk_size mod 8 <> 0 || fragment_size mod 8 <> 0 then
@@ -209,6 +218,34 @@ let of_bytes s =
 let of_bytes_result s =
   match of_bytes s with t -> Ok t | exception Corrupt msg -> Error msg
 
+(* Caps on remotely-advertised geometry: a terminal's handshake is hostile
+   input, and [geometry] allocates [chunk_count] array slots, so both are
+   bounded well above any plausible document. *)
+let max_remote_chunks = 1 lsl 22
+
+let geometry ~scheme ~chunk_size ~fragment_size ~payload_length ~chunk_count =
+  if
+    chunk_size <= 0 || fragment_size <= 0
+    || chunk_size mod 8 <> 0
+    || fragment_size mod 8 <> 0
+    || chunk_size mod fragment_size <> 0
+    || not (is_power_of_two (chunk_size / fragment_size))
+  then Error "bad chunk/fragment sizes"
+  else if payload_length < 0 then Error "negative payload length"
+  else if chunk_count <> max 1 ((payload_length + chunk_size - 1) / chunk_size)
+  then Error "chunk count disagrees with payload length"
+  else if chunk_count > max_remote_chunks then Error "implausible chunk count"
+  else
+    Ok
+      {
+        scheme;
+        chunk_size;
+        fragment_size;
+        payload_len = payload_length;
+        chunks = Array.make chunk_count "";
+        digests = Array.make chunk_count "";
+      }
+
 let chunk_ciphertext t i = t.chunks.(i)
 let encrypted_digest t i = t.digests.(i)
 
@@ -224,13 +261,20 @@ let substitute_block t ~chunk ~block replacement =
   chunks.(chunk) <- Bytes.to_string b;
   { t with chunks }
 
-let decrypt_chunk t ~key i =
-  let cipher = Modes.of_triple_des key in
+let decrypt_chunk_cipher t ~key ~chunk ~cipher =
+  if String.length cipher <> t.chunk_size then
+    raise
+      (Integrity_failure
+         (Printf.sprintf "chunk %d: ciphertext of %d bytes, expected %d" chunk
+            (String.length cipher) t.chunk_size));
+  let c = Modes.of_triple_des key in
   match t.scheme with
   | Ecb | Ecb_mht ->
-      Modes.positional_decrypt cipher ~base:(i * t.chunk_size) t.chunks.(i)
-  | Cbc_sha | Cbc_shac ->
-      Modes.cbc_decrypt cipher ~iv:(Int64.of_int i) t.chunks.(i)
+      Modes.positional_decrypt c ~base:(chunk * t.chunk_size) cipher
+  | Cbc_sha | Cbc_shac -> Modes.cbc_decrypt c ~iv:(Int64.of_int chunk) cipher
+
+let decrypt_chunk t ~key i =
+  decrypt_chunk_cipher t ~key ~chunk:i ~cipher:t.chunks.(i)
 
 let decrypt_fragment t ~key ~chunk ~fragment ~cipher =
   match t.scheme with

@@ -64,6 +64,20 @@ val of_bytes : string -> t
 val of_bytes_result : string -> (t, string) result
 (** {!of_bytes} as a [result]; never raises. *)
 
+val geometry :
+  scheme:scheme ->
+  chunk_size:int ->
+  fragment_size:int ->
+  payload_length:int ->
+  chunk_count:int ->
+  (t, string) result
+(** A header-only container view for the SOE end of a remote session: the
+    geometry an untrusted terminal advertises in its wire handshake,
+    validated with the same rules as {!of_bytes} (plus plausibility caps on
+    the allocation-controlling [chunk_count]). The value carries no
+    ciphertext — payload bytes only ever reach the SOE through the wire,
+    via {!decrypt_digest_blob} and {!decrypt_chunk_cipher}. *)
+
 (** {2 Terminal-side accessors (no secrets involved)} *)
 
 val chunk_ciphertext : t -> int -> string
@@ -83,6 +97,11 @@ val substitute_block : t -> chunk:int -> block:int -> string -> t
 val decrypt_digest : t -> key:Des.Triple.key -> int -> string
 (** Decrypt the 20-byte chunk digest of chunk [i]. *)
 
+val decrypt_digest_blob : key:Des.Triple.key -> chunk:int -> string -> string
+(** Like {!decrypt_digest}, but taking the encrypted blob itself (as served
+    by a remote terminal). @raise Integrity_failure if the blob is not
+    exactly the 24-byte digest size. *)
+
 val expected_digest_of_plain : t -> chunk:int -> plain:string -> string
 val expected_digest_of_cipher : t -> chunk:int -> cipher:string -> string
 val fragment_leaf_hash : t -> chunk:int -> fragment:int -> cipher:string -> string
@@ -95,6 +114,12 @@ val seal_root : t -> chunk:int -> root:string -> string
 val decrypt_chunk : t -> key:Des.Triple.key -> int -> string
 (** Decrypt a full chunk's payload (positional ECB or CBC according to the
     scheme); the caller strips padding via {!payload_length}. *)
+
+val decrypt_chunk_cipher :
+  t -> key:Des.Triple.key -> chunk:int -> cipher:string -> string
+(** Like {!decrypt_chunk}, but taking the chunk ciphertext itself (as served
+    by a remote terminal). @raise Integrity_failure if [cipher] is not
+    exactly [chunk_size t] bytes. *)
 
 val decrypt_fragment :
   t -> key:Des.Triple.key -> chunk:int -> fragment:int -> cipher:string -> string

@@ -177,6 +177,11 @@ let import_state s =
   let fill = Char.code s.[28] in
   if fill > 63 || String.length s <> min_len + fill then
     invalid_arg "Sha1.import_state: malformed";
+  (* a genuine mid-state always has [fill = total mod 64]; anything else
+     (including an 8-byte total overflowing the OCaml int) would later land
+     the padding off a block boundary in [finalize] *)
+  if !total < 0 || !total land 63 <> fill then
+    invalid_arg "Sha1.import_state: malformed";
   let c = init () in
   c.h0 <- word 0;
   c.h1 <- word 4;

@@ -1,11 +1,28 @@
 module C = Xmlac_crypto.Secure_container
 module Decoder = Xmlac_skip_index.Decoder
+module Wire = Xmlac_wire
 
 type outcome = Accepted | Rejected of string | Crashed of string
 
-type id = Xml_parse | Skip_decode | Container | Channel_eval | Policy_text
+type id =
+  | Xml_parse
+  | Skip_decode
+  | Container
+  | Channel_eval
+  | Policy_text
+  | Wire_frame
+  | Remote_eval
 
-let all = [ Xml_parse; Skip_decode; Container; Channel_eval; Policy_text ]
+let all =
+  [
+    Xml_parse;
+    Skip_decode;
+    Container;
+    Channel_eval;
+    Policy_text;
+    Wire_frame;
+    Remote_eval;
+  ]
 
 let id_name = function
   | Xml_parse -> "xml-parse"
@@ -13,6 +30,8 @@ let id_name = function
   | Container -> "container"
   | Channel_eval -> "channel-eval"
   | Policy_text -> "policy-text"
+  | Wire_frame -> "wire-frame"
+  | Remote_eval -> "remote-eval"
 
 (* The robustness contract: hostile bytes may only surface through these
    typed channels. Anything else escaping a boundary is a crash — a bug in
@@ -28,6 +47,7 @@ let classify = function
       Rejected ("invalid event stream: " ^ msg)
   | C.Corrupt msg -> Rejected ("corrupt container: " ^ msg)
   | C.Integrity_failure msg -> Rejected ("integrity violation: " ^ msg)
+  | Wire.Error.Wire e -> Rejected ("wire error: " ^ Wire.Error.to_string e)
   | e -> Crashed (Printexc.to_string e)
 
 let run f = match f () with () -> Accepted | exception e -> classify e
@@ -74,3 +94,62 @@ let policy_text text =
   | Ok _ -> Accepted
   | Error msg -> Rejected msg
   | exception e -> classify e
+
+(* A tiny published container backing the wire-frame boundary: its only
+   job is giving [Server.handle_frame] something to serve; the hostile
+   part is the frame bytes, not the document. *)
+let wire_server =
+  lazy
+    (let doc = Xmlac_xml.Tree.parse "<r><a>hello</a><b>world</b></r>" in
+     let enc =
+       Xmlac_skip_index.Encoder.encode ~layout:Xmlac_skip_index.Layout.Tcsbr
+         doc
+     in
+     let key = Xmlac_crypto.Des.Triple.key_of_string "xmlac-fuzz-24-byte-key!!" in
+     Wire.Server.make
+       (C.encrypt ~chunk_size:512 ~fragment_size:64 ~scheme:C.Ecb_mht ~key enc))
+
+let wire_frame bytes =
+  (* the server is total on hostile request frames: any payload must come
+     back as a reply (possibly [Err]), never an exception *)
+  match Wire.Server.handle_frame (Lazy.force wire_server) bytes with
+  | exception e ->
+      Crashed ("terminal raised on a request frame: " ^ Printexc.to_string e)
+  | _reply, _closing ->
+      run (fun () ->
+          (* client-side decoders: typed rejection or a decoded value *)
+          (match Wire.Protocol.decode_response bytes with
+          | Wire.Protocol.Hello_ok meta ->
+              (* advertised geometry is hostile too; validation returns
+                 [Error], it must not raise *)
+              ignore (Wire.Protocol.metadata_geometry meta)
+          | _ -> ());
+          let payload, _next = Wire.Frame.split bytes ~off:0 in
+          ignore (Wire.Protocol.decode_request payload))
+
+let remote_eval ?plan ?rng ~key ~policy bytes =
+  match
+    let t = C.of_bytes bytes in
+    let server = Wire.Server.make t in
+    let connector () =
+      let inner = Wire.Server.loopback_connector server () in
+      match (plan, rng) with
+      | Some plan, Some rng -> fst (Wire.Fault.wrap ~rng ~plan inner)
+      | _ -> inner
+    in
+    let config =
+      { Wire.Client.default_config with attempts = 4; backoff_s = 0. }
+    in
+    let remote = Xmlac_soe.Remote.connect ~config connector in
+    Fun.protect
+      ~finally:(fun () -> Xmlac_soe.Remote.close remote)
+      (fun () ->
+        let counters = Xmlac_soe.Channel.fresh_counters () in
+        let source = Xmlac_soe.Remote.source ~verify:true remote ~key counters in
+        let decoder = Decoder.of_source source in
+        let input = Xmlac_core.Input.of_decoder decoder in
+        let result = Xmlac_core.Evaluator.run ~policy input in
+        result.Xmlac_core.Evaluator.events)
+  with
+  | events -> { outcome = Accepted; view = Some events }
+  | exception e -> { outcome = classify e; view = None }

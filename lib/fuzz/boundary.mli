@@ -11,7 +11,14 @@ type outcome =
   | Rejected of string  (** typed rejection, with the layer's message *)
   | Crashed of string  (** an untyped exception escaped — a pipeline bug *)
 
-type id = Xml_parse | Skip_decode | Container | Channel_eval | Policy_text
+type id =
+  | Xml_parse
+  | Skip_decode
+  | Container
+  | Channel_eval
+  | Policy_text
+  | Wire_frame
+  | Remote_eval
 
 val all : id list
 val id_name : id -> string
@@ -49,3 +56,26 @@ val channel_eval :
 
 val policy_text : string -> outcome
 (** Policy text into {!Xmlac_core.Policy.of_string}. *)
+
+val wire_frame : string -> outcome
+(** Raw frame/payload bytes into every wire decoder at once: the terminal's
+    [handle_frame] (which must be total — any exception is [Crashed]), the
+    client's response decoder (validating advertised metadata through
+    [metadata_geometry] when the bytes happen to spell a handshake), the
+    frame splitter, and the request decoder. *)
+
+val remote_eval :
+  ?plan:Xmlac_wire.Fault.plan ->
+  ?rng:(int -> int) ->
+  key:Xmlac_crypto.Des.Triple.key ->
+  policy:Xmlac_core.Policy.t ->
+  string ->
+  eval_outcome
+(** The full remote pipeline: container bytes served by an in-process
+    {!Xmlac_wire.Server} over loopback, fetched by the retrying wire
+    client, decrypted and verified in the SOE channel, evaluated. When
+    [plan] and [rng] are both given the transport is wrapped in
+    {!Xmlac_wire.Fault.wrap}, so replies are randomly truncated, corrupted,
+    replayed, duplicated or stalled; the client retries transient faults
+    (4 attempts, no backoff) and anything that still escapes must be a
+    typed error. *)

@@ -54,6 +54,49 @@ let seed_entry ~seed doc =
   in
   { doc; xml; policy; policy_src = Xmlac_core.Policy.to_string policy; encodings; containers }
 
+(* Plausible wire traffic for the frame-decoder boundary: one framed
+   encoding of every request and response shape (plus the bare payloads),
+   which Mutate then corrupts. *)
+let wire_seed_frames =
+  lazy
+    (let open Xmlac_wire.Protocol in
+     let reqs =
+       [
+         Hello { version };
+         Get_fragment { chunk = 1; fragment = 2; lo = 0; hi = 64 };
+         Get_chunk { chunk = 0 };
+         Get_digest { chunk = 3 };
+         Get_hash_state { chunk = 0; fragment = 1; upto = 32 };
+         Get_siblings { chunk = 2; fragment = 0 };
+         Bye;
+       ]
+     in
+     let resps =
+       [
+         Hello_ok
+           {
+             meta_version = version;
+             scheme = C.Ecb_mht;
+             chunk_size = 512;
+             fragment_size = 64;
+             payload_length = 2048;
+             chunk_count = 4;
+             integrity = true;
+           };
+         Fragment (String.make 64 '\x2a');
+         Chunk (String.make 512 '\x2a');
+         Digest (String.make 24 '\x2a');
+         Hash_state (String.make 29 '\x2a');
+         Siblings [ String.make 20 's'; String.make 20 't' ];
+         Bye_ok;
+         Err { code = 2; message = "chunk out of range" };
+       ]
+     in
+     let req_payloads = List.map encode_request reqs in
+     let resp_payloads = List.map encode_response resps in
+     let payloads = req_payloads @ resp_payloads in
+     Array.of_list (payloads @ List.map Xmlac_wire.Frame.encode payloads))
+
 let seed_corpus ~seed =
   let open Xmlac_workload.Datasets in
   let doc kind bytes i = generate kind ~seed:(seed + i) ~target_bytes:bytes in
@@ -222,11 +265,29 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~iterations () =
                 | Rejected msg -> "pristine container rejected: " ^ msg
                 | Crashed msg -> "pristine container crashed: " ^ msg
                 | Accepted -> "accepted without a view"))
+        e.containers;
+      (* the same containers through the wire: a fault-free remote terminal
+         must be observationally identical to the in-process channel *)
+      List.iter
+        (fun (scheme, bytes) ->
+          let boundary = "remote-eval/" ^ C.scheme_to_string scheme in
+          seed_run boundary;
+          let r = Boundary.remote_eval ~key ~policy:e.policy bytes in
+          match r.Boundary.view with
+          | Some events ->
+              check ~policy:e.policy_src ~boundary ~input:bytes events
+          | None ->
+              diverged ~policy:e.policy_src ~boundary ~mutation:"seed"
+                ~input:bytes
+                (match r.Boundary.outcome with
+                | Rejected msg -> "pristine remote terminal rejected: " ^ msg
+                | Crashed msg -> "pristine remote terminal crashed: " ^ msg
+                | Accepted -> "accepted without a view"))
         e.containers)
     entries;
 
   (* Phase 2 — fault injection: mutated bytes into every trust boundary,
-     round-robin so a campaign of N iterations covers each boundary N/5
+     round-robin so a campaign of N iterations covers each boundary N/7
      times. Invariant: typed rejection or a faithful view, never a crash. *)
   let pick_entry () = entries.(Prng.int rng (Array.length entries)) in
   for i = 0 to iterations - 1 do
@@ -280,7 +341,43 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~iterations () =
         let e = pick_entry () in
         let input, mutation = Mutate.random rng e.policy_src in
         record ~boundary:"policy-text" ~mutation ~input
-          (Boundary.policy_text input));
+          (Boundary.policy_text input)
+    | Boundary.Wire_frame ->
+        let frames = Lazy.force wire_seed_frames in
+        let frame = frames.(Prng.int rng (Array.length frames)) in
+        let input, mutation = Mutate.random rng frame in
+        record ~boundary:"wire-frame" ~mutation ~input
+          (Boundary.wire_frame input)
+    | Boundary.Remote_eval ->
+        let ei = Prng.int rng (Array.length entries) in
+        let e = entries.(ei) in
+        let scheme, bytes =
+          List.nth e.containers (Prng.int rng (List.length e.containers))
+        in
+        let boundary = "remote-eval/" ^ C.scheme_to_string scheme in
+        (* half the runs mutate the container the terminal serves, half
+           keep it pristine and let the transport misbehave instead *)
+        let input, mutation, plan =
+          if Prng.int rng 2 = 0 then
+            let input, mutation = Mutate.random rng bytes in
+            (input, mutation, None)
+          else (bytes, "wire-faults", Some Xmlac_wire.Fault.default_plan)
+        in
+        let r =
+          Boundary.remote_eval ?plan
+            ~rng:(fun n -> Prng.int rng n)
+            ~key ~policy:e.policy input
+        in
+        record ~policy:e.policy_src ~boundary ~mutation ~input
+          r.Boundary.outcome;
+        (* whatever survives retries and verification must still be the
+           oracle's view — except under ECB, which promises no integrity *)
+        (match r.Boundary.view with
+        | Some events when scheme <> C.Ecb ->
+            if not (view_matches ~oracle:oracles.(ei) events) then
+              diverged ~policy:e.policy_src ~boundary ~mutation ~input
+                "hostile remote terminal accepted with a wrong view"
+        | _ -> ()));
     if (i + 1) mod 100 = 0 then progress ~done_:(i + 1) ~total:iterations
   done;
   let per_boundary =

@@ -50,7 +50,7 @@ val run :
   unit ->
   report
 (** Run phase 1 plus [iterations] mutated inputs, spread round-robin over
-    the five boundaries. *)
+    the seven boundaries. *)
 
 val save_failures : dir:string -> report -> string list
 (** Write each failure's input bytes to [dir/<boundary>__NNN.bin]

@@ -110,6 +110,13 @@ let orderings = function
         le "lwb_int_kbps" "lwb_kbps";
       ]
   | "ablation" -> [ le "full_s" "no_skipping_s" ]
+  | "remote" ->
+      (* the wire ships exactly what the in-process channel meters: the
+         equality is pinned as an ordering in both directions *)
+      [
+        le "wire.payload_bytes" "channel.bytes_to_soe";
+        le "channel.bytes_to_soe" "wire.payload_bytes";
+      ]
   | _ -> []
 
 let shape_violations (report : Bench_report.t) =

@@ -11,6 +11,8 @@ type counters = {
   mutable hashes_verified : int;
   mutable fragment_fetches : int;
   mutable chunk_fetches : int;
+  mutable verify_requested : bool;
+  mutable verify_active : bool;
   crypto_hist : Xmlac_obs.Histogram.t;
       (* wall time of each decrypt+verify unit (a chunk fetch or a fragment
          suffix extension); "wall"-prefixed so its metrics escape the perf
@@ -27,6 +29,8 @@ let fresh_counters () =
     hashes_verified = 0;
     fragment_fetches = 0;
     chunk_fetches = 0;
+    verify_requested = false;
+    verify_active = false;
     crypto_hist = Xmlac_obs.Histogram.make "wall_crypto";
   }
 
@@ -41,6 +45,8 @@ let metrics (c : counters) : Xmlac_obs.Metrics.t =
       int "hashes_verified" c.hashes_verified;
       int "fragment_fetches" c.fragment_fetches;
       int "chunk_fetches" c.chunk_fetches;
+      int "verify_requested" (Bool.to_int c.verify_requested);
+      int "verify_active" (Bool.to_int c.verify_active);
     ]
   @ Xmlac_obs.Histogram.metrics c.crypto_hist
 
@@ -63,17 +69,85 @@ let hash_state_bytes = 29 + 63 (* serialized mid-stream SHA-1 state, worst case 
 let be_bytes value width =
   String.init width (fun i -> Char.chr ((value lsr (8 * (width - 1 - i))) land 0xFF))
 
+(* What the SOE asks of a terminal (paper Appendix A): ciphertext ranges,
+   whole chunks, encrypted chunk digests, intermediate hash states of
+   fragment prefixes, and Merkle sibling digests. The in-process
+   [local_terminal] answers from the container directly; a remote terminal
+   answers over the wire. Either way, nothing a terminal returns is trusted:
+   the SOE validates lengths and verifies cryptographically before use. *)
+type terminal = {
+  t_container : C.t;
+      (* for the local terminal, the full container; for a remote one, the
+         header-only geometry from the (validated) handshake *)
+  fetch_fragment : chunk:int -> fragment:int -> lo:int -> hi:int -> string;
+  fetch_chunk : chunk:int -> string;
+  fetch_digest : chunk:int -> string;
+  fetch_hash_state : chunk:int -> fragment:int -> upto:int -> string;
+  fetch_siblings : chunk:int -> fragment:int -> string list;
+}
+
+let local_terminal container =
+  (* terminal-side memo of per-chunk fragment leaf hashes (the terminal is
+     an ordinary computer and caches freely) *)
+  let terminal_leaves : (int, string array) Hashtbl.t = Hashtbl.create 8 in
+  let frags_per_chunk = C.fragments_per_chunk container in
+  let leaves chunk =
+    match Hashtbl.find_opt terminal_leaves chunk with
+    | Some l -> l
+    | None ->
+        let l =
+          Array.init frags_per_chunk (fun i ->
+              C.fragment_leaf_hash container ~chunk ~fragment:i
+                ~cipher:(C.fragment_ciphertext container ~chunk ~fragment:i))
+        in
+        Hashtbl.replace terminal_leaves chunk l;
+        l
+  in
+  {
+    t_container = container;
+    fetch_fragment =
+      (fun ~chunk ~fragment ~lo ~hi ->
+        let cipher = C.fragment_ciphertext container ~chunk ~fragment in
+        String.sub cipher lo (hi - lo));
+    fetch_chunk = (fun ~chunk -> C.chunk_ciphertext container chunk);
+    fetch_digest = (fun ~chunk -> C.encrypted_digest container chunk);
+    fetch_hash_state =
+      (fun ~chunk ~fragment ~upto ->
+        let cipher = C.fragment_ciphertext container ~chunk ~fragment in
+        let ctx = Sha1.init () in
+        Sha1.feed ctx (be_bytes chunk 4);
+        Sha1.feed ctx (be_bytes fragment 4);
+        Sha1.feed_sub ctx cipher ~pos:0 ~len:upto;
+        Sha1.export_state ctx);
+    fetch_siblings =
+      (fun ~chunk ~fragment ->
+        let cover =
+          Merkle.sibling_cover ~leaf_count:frags_per_chunk ~lo:fragment
+            ~hi:fragment
+        in
+        List.map (Merkle.node_hash (leaves chunk)) cover);
+  }
+
+let integrity fmt = Printf.ksprintf (fun m -> raise (C.Integrity_failure m)) fmt
+
 (* Per-fragment SOE state: the verified ciphertext suffix received from the
-   terminal and the blocks decrypted so far. *)
+   terminal, the blocks decrypted so far, and the sibling digests fetched
+   for this fragment (paid for once per cache lifetime). *)
 type frag_entry = {
   mutable avail_from : int;  (* fragment-local byte offset; frag_size = none *)
   mutable cipher_suffix : string;
+  mutable siblings : string list option;
   plain_blocks : (int, string) Hashtbl.t;  (* fragment-local block index *)
 }
 
-let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
+let source_of_terminal ?(verify = true) ?(cache_fragments = 8) ~terminal ~key
+    counters =
+  let container = terminal.t_container in
   let scheme = C.scheme container in
+  let verify_requested = verify in
   let verify = verify && scheme <> C.Ecb in
+  counters.verify_requested <- verify_requested;
+  counters.verify_active <- verify;
   let chunk_size = C.chunk_size container in
   let frag_size = C.fragment_size container in
   let frags_per_chunk = C.fragments_per_chunk container in
@@ -89,21 +163,6 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
      block i needs only ciphertext blocks i-1 and i) *)
   let chunk_cache : (int * string * (int, unit) Hashtbl.t) option ref = ref None in
   let root_cache : (int * string) option ref = ref None in
-  (* terminal-side memo of per-chunk fragment leaf hashes (the terminal is
-     an ordinary computer and caches freely) *)
-  let terminal_leaves : (int, string array) Hashtbl.t = Hashtbl.create 8 in
-  let leaves chunk =
-    match Hashtbl.find_opt terminal_leaves chunk with
-    | Some l -> l
-    | None ->
-        let l =
-          Array.init frags_per_chunk (fun i ->
-              C.fragment_leaf_hash container ~chunk ~fragment:i
-                ~cipher:(C.fragment_ciphertext container ~chunk ~fragment:i))
-        in
-        Hashtbl.replace terminal_leaves chunk l;
-        l
-  in
   let chunk_digest chunk =
     match !root_cache with
     | Some (c, d) when c = chunk -> d
@@ -113,7 +172,9 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
         counters.blocks_decrypted <-
           counters.blocks_decrypted + (digest_blob_bytes / 8);
         counters.digests_decrypted <- counters.digests_decrypted + 1;
-        let d = C.decrypt_digest container ~key chunk in
+        let blob = terminal.fetch_digest ~chunk in
+        (* validates the blob size before decrypting *)
+        let d = C.decrypt_digest_blob ~key ~chunk blob in
         root_cache := Some (chunk, d);
         d
   in
@@ -125,6 +186,7 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
           {
             avail_from = frag_size;
             cipher_suffix = "";
+            siblings = None;
             plain_blocks = Hashtbl.create 8;
           }
         in
@@ -132,6 +194,21 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
         if List.length !frag_cache > cache_fragments then
           frag_cache := List.filteri (fun i _ -> i < cache_fragments) !frag_cache;
         e
+  in
+  (* Fetch ciphertext [lo, avail_from) of a fragment and prepend it to the
+     entry's suffix. The served length is validated — a terminal that
+     answers with the wrong number of bytes is indistinguishable from a
+     tampering one. *)
+  let extend_cipher chunk frag entry lo =
+    let hi = entry.avail_from in
+    counters.fragment_fetches <- counters.fragment_fetches + 1;
+    let delta = terminal.fetch_fragment ~chunk ~fragment:frag ~lo ~hi in
+    if String.length delta <> hi - lo then
+      integrity "chunk %d fragment %d: served %d bytes for range [%d, %d)"
+        chunk frag (String.length delta) lo hi;
+    counters.bytes_to_soe <- counters.bytes_to_soe + (hi - lo);
+    entry.cipher_suffix <- delta ^ entry.cipher_suffix;
+    entry.avail_from <- lo
   in
   (* Appendix A: to let the SOE verify a fragment it reads from byte [lo]
      on, the terminal sends the ciphertext suffix, the intermediate SHA-1
@@ -142,42 +219,41 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
     let lo = lo / 8 * 8 in
     if lo < entry.avail_from then begin
       let t0 = Xmlac_obs.Span.now () in
-      counters.fragment_fetches <- counters.fragment_fetches + 1;
-      let cipher = C.fragment_ciphertext container ~chunk ~fragment:frag in
-      let fetched = entry.avail_from - lo in
-      counters.bytes_to_soe <- counters.bytes_to_soe + fetched;
-      entry.cipher_suffix <- String.sub cipher lo (frag_size - lo);
-      let had = entry.avail_from < frag_size in
-      entry.avail_from <- lo;
+      extend_cipher chunk frag entry lo;
       if verify then begin
         (* terminal: hash the prefix (ids + cipher[0..lo)) and export the
            mid-state; SOE: resume, hash the suffix, recombine to the root *)
-        let tctx = Sha1.init () in
-        Sha1.feed tctx (be_bytes chunk 4);
-        Sha1.feed tctx (be_bytes frag 4);
-        Sha1.feed_sub tctx cipher ~pos:0 ~len:lo;
-        let state = Sha1.export_state tctx in
+        let state = terminal.fetch_hash_state ~chunk ~fragment:frag ~upto:lo in
         counters.bytes_to_soe <- counters.bytes_to_soe + hash_state_bytes;
-        let soe_ctx = Sha1.import_state state in
+        let soe_ctx =
+          try Sha1.import_state state
+          with Invalid_argument _ ->
+            integrity "chunk %d fragment %d: malformed hash state" chunk frag
+        in
         Sha1.feed soe_ctx entry.cipher_suffix;
         let leaf = Sha1.finalize soe_ctx in
         counters.bytes_hashed <-
           counters.bytes_hashed + String.length entry.cipher_suffix;
-        (* re-verification when a suffix is extended backwards re-hashes;
-           the first fetch of a fragment pays the Merkle cover *)
-        if not had then begin
-          let cover =
-            Merkle.sibling_cover ~leaf_count:frags_per_chunk ~lo:frag ~hi:frag
-          in
-          counters.bytes_to_soe <-
-            counters.bytes_to_soe + (digest_bytes * List.length cover)
-        end;
         let cover =
           Merkle.sibling_cover ~leaf_count:frags_per_chunk ~lo:frag ~hi:frag
         in
-        let supplied =
-          List.map (fun node -> (node, Merkle.node_hash (leaves chunk) node)) cover
+        (* re-verification when a suffix is extended backwards re-hashes;
+           the first fetch of a fragment pays the Merkle cover *)
+        let digests =
+          match entry.siblings with
+          | Some ds -> ds
+          | None ->
+              let ds = terminal.fetch_siblings ~chunk ~fragment:frag in
+              if List.length ds <> List.length cover then
+                integrity
+                  "chunk %d fragment %d: %d sibling digests for a cover of %d"
+                  chunk frag (List.length ds) (List.length cover);
+              counters.bytes_to_soe <-
+                counters.bytes_to_soe + (digest_bytes * List.length ds);
+              entry.siblings <- Some ds;
+              ds
         in
+        let supplied = List.combine cover digests in
         counters.bytes_hashed <-
           counters.bytes_hashed + (2 * digest_bytes * tree_levels);
         let root =
@@ -197,10 +273,7 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
           (Printf.sprintf "fragment %d Merkle root %s" frag
              (if ok then "verified" else "mismatch"));
         if not ok then
-          raise
-            (C.Integrity_failure
-               (Printf.sprintf "chunk %d fragment %d: Merkle root mismatch"
-                  chunk frag));
+          integrity "chunk %d fragment %d: Merkle root mismatch" chunk frag;
         counters.hashes_verified <- counters.hashes_verified + 1
       end;
       Xmlac_obs.Histogram.observe counters.crypto_hist
@@ -235,15 +308,9 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
   let read_in_fragment chunk frag lo hi =
     let entry = lookup_fragment chunk frag in
     if verify then extend_suffix chunk frag entry lo
-    else if lo / 8 * 8 < entry.avail_from then begin
+    else if lo / 8 * 8 < entry.avail_from then
       (* without integrity the terminal serves just the covering blocks *)
-      counters.fragment_fetches <- counters.fragment_fetches + 1;
-      let lo8 = lo / 8 * 8 in
-      counters.bytes_to_soe <- counters.bytes_to_soe + (entry.avail_from - lo8);
-      let cipher = C.fragment_ciphertext container ~chunk ~fragment:frag in
-      entry.cipher_suffix <- String.sub cipher lo8 (frag_size - lo8);
-      entry.avail_from <- lo8
-    end;
+      extend_cipher chunk frag entry (lo / 8 * 8);
     let buf = Buffer.create (hi - lo) in
     for b = lo / 8 to (hi - 1) / 8 do
       let plain = fragment_block chunk frag entry b in
@@ -257,7 +324,7 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
   (* CBC schemes: chunk granularity (no random access inside a chunk).
      Only the CBC branch of [read] calls [fetch_chunk]; the ECB-family arm
      below is a no-op by construction, not a hidden verification skip. *)
-  let verify_cbc_chunk chunk plain =
+  let verify_cbc_chunk chunk ~plain ~cipher =
     match scheme with
     | C.Cbc_sha ->
         counters.bytes_decrypted <- counters.bytes_decrypted + chunk_size;
@@ -270,26 +337,19 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
             (Printf.sprintf "plaintext digest %s"
                (if ok then "verified" else "mismatch"));
           if not ok then
-            raise
-              (C.Integrity_failure
-                 (Printf.sprintf "chunk %d: plaintext digest mismatch" chunk));
+            integrity "chunk %d: plaintext digest mismatch" chunk;
           counters.hashes_verified <- counters.hashes_verified + 1
         end
     | C.Cbc_shac ->
         if verify then begin
           counters.bytes_hashed <- counters.bytes_hashed + chunk_size;
-          let expected =
-            C.expected_digest_of_cipher container ~chunk
-              ~cipher:(C.chunk_ciphertext container chunk)
-          in
+          let expected = C.expected_digest_of_cipher container ~chunk ~cipher in
           let ok = String.equal expected (chunk_digest chunk) in
           emit_chunk_verdict ~chunk ~ok
             (Printf.sprintf "ciphertext digest %s"
                (if ok then "verified" else "mismatch"));
           if not ok then
-            raise
-              (C.Integrity_failure
-                 (Printf.sprintf "chunk %d: ciphertext digest mismatch" chunk));
+            integrity "chunk %d: ciphertext digest mismatch" chunk;
           counters.hashes_verified <- counters.hashes_verified + 1
         end
     | C.Ecb | C.Ecb_mht -> ()
@@ -301,8 +361,10 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
         let t0 = Xmlac_obs.Span.now () in
         counters.chunk_fetches <- counters.chunk_fetches + 1;
         counters.bytes_to_soe <- counters.bytes_to_soe + chunk_size;
-        let plain = C.decrypt_chunk container ~key chunk in
-        verify_cbc_chunk chunk plain;
+        let cipher = terminal.fetch_chunk ~chunk in
+        (* validates the ciphertext size before decrypting *)
+        let plain = C.decrypt_chunk_cipher container ~key ~chunk ~cipher in
+        verify_cbc_chunk chunk ~plain ~cipher;
         Xmlac_obs.Histogram.observe counters.crypto_hist
           (Xmlac_obs.Span.now () -. t0);
         let blocks = Hashtbl.create 32 in
@@ -345,3 +407,7 @@ let source ?(verify = true) ?(cache_fragments = 8) ~container ~key counters =
     end
   in
   { Xmlac_skip_index.Decoder.read; length = payload_len }
+
+let source ?verify ?cache_fragments ~container ~key counters =
+  source_of_terminal ?verify ?cache_fragments
+    ~terminal:(local_terminal container) ~key counters

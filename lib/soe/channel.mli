@@ -6,6 +6,13 @@
     hash states or whole chunks, decrypts what it needs, and verifies every
     byte before the evaluator sees it (Section 6 / Appendix A).
 
+    The terminal is an abstract set of fetch operations ({!terminal}):
+    {!local_terminal} answers from a container in the same process (the
+    historical simulation), while {!Remote} builds one backed by the wire
+    protocol. The SOE side is identical either way — including its byte
+    accounting, so local and remote runs of the same query tally the same
+    [bytes_to_soe].
+
     Every exchange is tallied in {!counters}; the {!Cost_model} turns the
     tallies into simulated seconds. The cryptography is real: tampering with
     the container makes reads raise {!Xmlac_crypto.Secure_container.Integrity_failure}. *)
@@ -19,6 +26,11 @@ type counters = {
   mutable hashes_verified : int;  (** integrity comparisons that passed *)
   mutable fragment_fetches : int;
   mutable chunk_fetches : int;
+  mutable verify_requested : bool;  (** what the caller asked for *)
+  mutable verify_active : bool;
+      (** what actually ran: [false] under ECB even when requested, since
+          the scheme carries no digests — the downgrade is recorded here
+          (and in the remote handshake) instead of happening silently *)
   crypto_hist : Xmlac_obs.Histogram.t;
       (** wall-time of each decrypt+verify unit — a chunk fetch or a
           fragment suffix extension; the ["wall_crypto_*"] metrics are
@@ -29,24 +41,50 @@ val fresh_counters : unit -> counters
 
 val metrics : counters -> Xmlac_obs.Metrics.t
 (** Snapshot as named metrics (for [--stats] summaries and bench records),
-    including the [wall_crypto] histogram.
+    including the [wall_crypto] histogram and the [verify_requested] /
+    [verify_active] flags as 0/1 gauges.
 
     When a {!Xmlac_obs.Trace} sink is installed, the channel also emits a
     [prov.chunk] event for every integrity comparison (Merkle root or
     chunk digest), carrying the verdict — the chunk records of the
     provenance trace. *)
 
-val source :
+type terminal = {
+  t_container : Xmlac_crypto.Secure_container.t;
+      (** for the local terminal, the full container; for a remote one, the
+          header-only geometry from the (validated) handshake *)
+  fetch_fragment : chunk:int -> fragment:int -> lo:int -> hi:int -> string;
+      (** ciphertext bytes [\[lo, hi)] of one fragment *)
+  fetch_chunk : chunk:int -> string;  (** whole-chunk ciphertext *)
+  fetch_digest : chunk:int -> string;  (** the encrypted digest blob *)
+  fetch_hash_state : chunk:int -> fragment:int -> upto:int -> string;
+      (** serialized SHA-1 state after the leaf ids and cipher [\[0, upto)] *)
+  fetch_siblings : chunk:int -> fragment:int -> string list;
+      (** Merkle sibling digests for a one-leaf cover, in
+          {!Xmlac_crypto.Merkle.sibling_cover} order *)
+}
+(** What the SOE asks of a terminal. Nothing a terminal returns is trusted:
+    the channel validates every length and verifies cryptographically
+    before use, so a hostile implementation can cause at most a typed
+    failure. *)
+
+val local_terminal : Xmlac_crypto.Secure_container.t -> terminal
+(** The in-process terminal: serves the container directly and memoizes
+    per-chunk fragment leaf hashes (a terminal is an ordinary computer and
+    caches freely). *)
+
+val source_of_terminal :
   ?verify:bool ->
   ?cache_fragments:int ->
-  container:Xmlac_crypto.Secure_container.t ->
+  terminal:terminal ->
   key:Xmlac_crypto.Des.Triple.key ->
   counters ->
   Xmlac_skip_index.Decoder.source
-(** A byte source over the container's decrypted payload. [verify] defaults
-    to true (forced to false for the ECB scheme, which carries no digests).
-    [cache_fragments] bounds the SOE-side plaintext cache (default 8
-    fragments ≈ a 2 KB working set, the paper's smart-card scale).
+(** A byte source over the terminal's decrypted payload. [verify] defaults
+    to true (forced to false for the ECB scheme, which carries no digests —
+    recorded in [counters.verify_active]). [cache_fragments] bounds the
+    SOE-side plaintext cache (default 8 fragments ≈ a 2 KB working set, the
+    paper's smart-card scale).
 
     Scheme behaviours:
     - ECB: fetch + decrypt only the 8-byte-aligned blocks covering a read;
@@ -55,3 +93,12 @@ val source :
     - CBC-SHAC: fetch a whole chunk's ciphertext once, hash it inside the
       SOE against the decrypted digest, then decrypt only requested blocks;
     - CBC-SHA: fetch and decrypt a whole chunk, then hash its plaintext. *)
+
+val source :
+  ?verify:bool ->
+  ?cache_fragments:int ->
+  container:Xmlac_crypto.Secure_container.t ->
+  key:Xmlac_crypto.Des.Triple.key ->
+  counters ->
+  Xmlac_skip_index.Decoder.source
+(** [source_of_terminal] over [local_terminal container]. *)

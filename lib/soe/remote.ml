@@ -1,0 +1,53 @@
+module C = Xmlac_crypto.Secure_container
+module Wire = Xmlac_wire
+
+type t = { client : Wire.Client.t; terminal : Channel.terminal }
+
+let handshake_error fmt =
+  Printf.ksprintf
+    (fun m -> raise (Wire.Error.Wire (Wire.Error.Handshake m)))
+    fmt
+
+let connect ?config ?expect_scheme connector =
+  let client = Wire.Client.connect ?config connector in
+  let meta = Wire.Client.metadata client in
+  (match expect_scheme with
+  | Some s when s <> meta.Wire.Protocol.scheme ->
+      Wire.Client.close client;
+      handshake_error "terminal advertises scheme %s, expected %s"
+        (C.scheme_to_string meta.Wire.Protocol.scheme)
+        (C.scheme_to_string s)
+  | _ -> ());
+  match Wire.Protocol.metadata_geometry meta with
+  | Error msg ->
+      Wire.Client.close client;
+      handshake_error "%s" msg
+  | Ok container ->
+      let terminal =
+        {
+          Channel.t_container = container;
+          fetch_fragment =
+            (fun ~chunk ~fragment ~lo ~hi ->
+              Wire.Client.fetch_fragment client ~chunk ~fragment ~lo ~hi);
+          fetch_chunk = (fun ~chunk -> Wire.Client.fetch_chunk client ~chunk);
+          fetch_digest = (fun ~chunk -> Wire.Client.fetch_digest client ~chunk);
+          fetch_hash_state =
+            (fun ~chunk ~fragment ~upto ->
+              Wire.Client.fetch_hash_state client ~chunk ~fragment ~upto);
+          fetch_siblings =
+            (fun ~chunk ~fragment ->
+              Wire.Client.fetch_siblings client ~chunk ~fragment);
+        }
+      in
+      { client; terminal }
+
+let terminal t = t.terminal
+let metadata t = Wire.Client.metadata t.client
+let geometry t = t.terminal.Channel.t_container
+let wire_stats t = Wire.Client.stats t.client
+
+let source ?verify ?cache_fragments t ~key counters =
+  Channel.source_of_terminal ?verify ?cache_fragments ~terminal:t.terminal ~key
+    counters
+
+let close t = Wire.Client.close t.client

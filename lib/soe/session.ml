@@ -57,6 +57,7 @@ type measurement = {
   wall_s : float;
   event_hist : Xmlac_obs.Histogram.t;
   events : Xmlac_xml.Event.t list;
+  wire : Xmlac_wire.Stats.t option;
 }
 
 (* Wrap an input so the wall time between handing one event to the
@@ -77,13 +78,11 @@ let timed_input hist (input : Input.t) =
         e);
   }
 
-let evaluate ?query ?(verify = true) ?strategy ?options ?provenance config
-    published policy =
-  let counters = Channel.fresh_counters () in
-  let source =
-    Channel.source ~verify ~container:published.container ~key:config.key
-      counters
-  in
+(* Shared measurement body: run the evaluator over a prepared source and
+   collect every observable — identical for local and remote terminals, so
+   their measurements are directly comparable. *)
+let run_measurement ?query ?options ?provenance ~cost ~strategy ~wire ~counters
+    ~source policy =
   let decoder = Decoder.of_source source in
   let event_hist = Xmlac_obs.Histogram.make "wall_event" in
   let result, wall_s =
@@ -95,16 +94,11 @@ let evaluate ?query ?(verify = true) ?strategy ?options ?provenance config
     String.length (Xmlac_xml.Writer.events_to_string result.Evaluator.events)
   in
   let breakdown =
-    Cost_model.breakdown config.cost ~bytes_in:counters.Channel.bytes_to_soe
+    Cost_model.breakdown cost ~bytes_in:counters.Channel.bytes_to_soe
       ~bytes_decrypted:counters.Channel.bytes_decrypted
       ~bytes_hashed:counters.Channel.bytes_hashed
       ~transitions:result.Evaluator.stats.Evaluator.transitions
       ~events:result.Evaluator.stats.Evaluator.events_in
-  in
-  let strategy =
-    match strategy with
-    | Some s -> s
-    | None -> Layout.to_string published.layout
   in
   {
     strategy;
@@ -116,7 +110,30 @@ let evaluate ?query ?(verify = true) ?strategy ?options ?provenance config
     wall_s;
     event_hist;
     events = result.Evaluator.events;
+    wire;
   }
+
+let evaluate ?query ?(verify = true) ?strategy ?options ?provenance config
+    published policy =
+  let counters = Channel.fresh_counters () in
+  let source =
+    Channel.source ~verify ~container:published.container ~key:config.key
+      counters
+  in
+  let strategy =
+    match strategy with
+    | Some s -> s
+    | None -> Layout.to_string published.layout
+  in
+  run_measurement ?query ?options ?provenance ~cost:config.cost ~strategy
+    ~wire:None ~counters ~source policy
+
+let evaluate_remote ?query ?(verify = true) ?(strategy = "REMOTE") ?options
+    ?provenance config remote policy =
+  let counters = Channel.fresh_counters () in
+  let source = Remote.source ~verify remote ~key:config.key counters in
+  run_measurement ?query ?options ?provenance ~cost:config.cost ~strategy
+    ~wire:(Some (Remote.wire_stats remote)) ~counters ~source policy
 
 let metrics (m : measurement) : Xmlac_obs.Metrics.t =
   let open Xmlac_obs.Metrics in
@@ -126,6 +143,9 @@ let metrics (m : measurement) : Xmlac_obs.Metrics.t =
   @ prefix "index" (Decoder.stats_metrics m.index)
   @ prefix "channel" (Channel.metrics m.counters)
   @ prefix "cost" (Cost_model.breakdown_metrics m.breakdown)
+  @ (match m.wire with
+    | None -> []
+    | Some w -> prefix "wire" (Xmlac_wire.Stats.metrics w))
   @ [ float "wall_s" m.wall_s ]
 
 let lwb ?(verify = true) config ~authorized_bytes =

@@ -49,6 +49,9 @@ type measurement = {
       (** per-event evaluation latency (channel reads included); its
           [wall_event_*] metrics are exempt from perf gating *)
   events : Xmlac_xml.Event.t list;
+  wire : Xmlac_wire.Stats.t option;
+      (** wire-protocol counters when the terminal was remote; [None] for
+          the in-process channel *)
 }
 
 val metrics : measurement -> Xmlac_obs.Metrics.t
@@ -72,6 +75,26 @@ val evaluate :
     [options] exposes the evaluator's ablation switches; [provenance]
     threads a {!Xmlac_core.Provenance.collector} through to the evaluator.
     @raise Xmlac_crypto.Secure_container.Integrity_failure on tampering. *)
+
+val evaluate_remote :
+  ?query:Xmlac_xpath.Ast.t ->
+  ?verify:bool ->
+  ?strategy:string ->
+  ?options:Xmlac_core.Evaluator.options ->
+  ?provenance:Xmlac_core.Provenance.collector ->
+  config ->
+  Remote.t ->
+  Xmlac_core.Policy.t ->
+  measurement
+(** Like {!evaluate}, but over a {!Remote} terminal session: the container
+    geometry comes from the (validated) wire handshake, every fetch crosses
+    the wire, and the measurement carries the connection's
+    {!Xmlac_wire.Stats.t} (reported under [wire.*] by {!metrics}).
+    [strategy] defaults to ["REMOTE"].
+    @raise Xmlac_wire.Error.Wire on unrecoverable transport/protocol faults
+    (transient ones are retried inside the client).
+    @raise Xmlac_crypto.Secure_container.Integrity_failure on tampering —
+    never retried: a mismatching digest is an attack, not weather. *)
 
 val lwb :
   ?verify:bool -> config -> authorized_bytes:int -> Cost_model.breakdown

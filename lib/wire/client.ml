@@ -1,0 +1,188 @@
+type config = { attempts : int; backoff_s : float; max_payload : int }
+
+let default_config =
+  { attempts = 3; backoff_s = 0.05; max_payload = Frame.max_payload_default }
+
+type t = {
+  config : config;
+  connector : unit -> Transport.t;
+  mutable transport : Transport.t option;
+  mutable meta : Protocol.metadata option;
+  stats : Stats.t;
+}
+
+let stats t = t.stats
+
+let response_kind : Protocol.response -> string = function
+  | Hello_ok _ -> "hello"
+  | Fragment _ -> "fragment"
+  | Chunk _ -> "chunk"
+  | Digest _ -> "digest"
+  | Hash_state _ -> "hash state"
+  | Siblings _ -> "siblings"
+  | Bye_ok -> "bye"
+  | Err _ -> "error"
+
+let roundtrip t transport req =
+  let framed = Frame.encode (Protocol.encode_request req) in
+  Transport.write transport framed;
+  t.stats.requests <- t.stats.requests + 1;
+  t.stats.bytes_sent <- t.stats.bytes_sent + String.length framed;
+  let payload = Frame.read ~max_payload:t.config.max_payload transport in
+  t.stats.bytes_received <-
+    t.stats.bytes_received + Frame.header_bytes + String.length payload;
+  let resp = Protocol.decode_response payload in
+  t.stats.replies <- t.stats.replies + 1;
+  resp
+
+let handshake t transport =
+  match roundtrip t transport (Protocol.Hello { version = Protocol.version }) with
+  | Protocol.Hello_ok meta -> meta
+  | Protocol.Err { code; message } ->
+      raise
+        (Error.Wire
+           (Error.Handshake
+              (Printf.sprintf "terminal refused handshake (%d): %s" code message)))
+  | resp -> Error.protocolf "expected hello reply, got %s" (response_kind resp)
+
+let drop t =
+  (match t.transport with Some tr -> Transport.close tr | None -> ());
+  t.transport <- None
+
+let ensure t =
+  match t.transport with
+  | Some tr -> tr
+  | None -> (
+      let tr = t.connector () in
+      match handshake t tr with
+      | meta ->
+          (match t.meta with
+          | None -> t.meta <- Some meta
+          | Some m0 when m0 = meta -> ()
+          | Some _ ->
+              Transport.close tr;
+              raise
+                (Error.Wire
+                   (Error.Handshake "terminal metadata changed across reconnect")));
+          t.transport <- Some tr;
+          tr
+      | exception e ->
+          Transport.close tr;
+          raise e)
+
+(* Bounded retry with reconnect and exponential backoff. Sound because
+   every request is an idempotent read of immutable published data: a retry
+   can repeat work, never change state. The reply is decoded {e inside}
+   this region, so a stale or duplicated frame (a desynchronized stream)
+   retries on a fresh connection rather than poisoning the session. *)
+let retrying t f =
+  let rec go n =
+    match f () with
+    | v -> v
+    | exception (Error.Wire e as exn) ->
+        t.stats.wire_errors <- t.stats.wire_errors + 1;
+        if Error.retryable e && n < t.config.attempts then begin
+          t.stats.retries <- t.stats.retries + 1;
+          drop t;
+          t.stats.reconnects <- t.stats.reconnects + 1;
+          if t.config.backoff_s > 0. then
+            Unix.sleepf (t.config.backoff_s *. (2. ** float_of_int (n - 1)));
+          go (n + 1)
+        end
+        else raise exn
+  in
+  go 1
+
+let connect ?(config = default_config) connector =
+  let t =
+    { config; connector; transport = None; meta = None; stats = Stats.make () }
+  in
+  retrying t (fun () -> ignore (ensure t : Transport.t));
+  t
+
+let metadata t =
+  match t.meta with
+  | Some m -> m
+  | None -> assert false (* connect performed the handshake *)
+
+let call t req expect =
+  retrying t @@ fun () ->
+  let tr = ensure t in
+  let t0 = Xmlac_obs.Span.now () in
+  let resp = roundtrip t tr req in
+  Xmlac_obs.Histogram.observe t.stats.rtt_hist (Xmlac_obs.Span.now () -. t0);
+  match resp with
+  | Protocol.Err { code; message } ->
+      raise (Error.Wire (Error.Server { code; message }))
+  | resp -> expect resp
+
+(* Payload accounting mirrors the in-process channel's [bytes_to_soe]:
+   actual ciphertext/digest lengths, the constant padded hash-state size,
+   20 bytes per sibling digest. Charged only on success, once per
+   delivered answer — retries re-charge nothing. *)
+
+let fetch_fragment t ~chunk ~fragment ~lo ~hi =
+  let cipher =
+    call t
+      (Protocol.Get_fragment { chunk; fragment; lo; hi })
+      (function
+        | Protocol.Fragment c -> c
+        | r -> Error.protocolf "expected fragment reply, got %s" (response_kind r))
+  in
+  t.stats.payload_bytes <- t.stats.payload_bytes + String.length cipher;
+  cipher
+
+let fetch_chunk t ~chunk =
+  let cipher =
+    call t
+      (Protocol.Get_chunk { chunk })
+      (function
+        | Protocol.Chunk c -> c
+        | r -> Error.protocolf "expected chunk reply, got %s" (response_kind r))
+  in
+  t.stats.payload_bytes <- t.stats.payload_bytes + String.length cipher;
+  cipher
+
+let fetch_digest t ~chunk =
+  let blob =
+    call t
+      (Protocol.Get_digest { chunk })
+      (function
+        | Protocol.Digest b -> b
+        | r -> Error.protocolf "expected digest reply, got %s" (response_kind r))
+  in
+  t.stats.payload_bytes <- t.stats.payload_bytes + String.length blob;
+  blob
+
+let fetch_hash_state t ~chunk ~fragment ~upto =
+  let state =
+    call t
+      (Protocol.Get_hash_state { chunk; fragment; upto })
+      (function
+        | Protocol.Hash_state s -> s
+        | r ->
+            Error.protocolf "expected hash state reply, got %s" (response_kind r))
+  in
+  t.stats.payload_bytes <- t.stats.payload_bytes + Protocol.hash_state_wire_bytes;
+  state
+
+let fetch_siblings t ~chunk ~fragment =
+  let digests =
+    call t
+      (Protocol.Get_siblings { chunk; fragment })
+      (function
+        | Protocol.Siblings ds -> ds
+        | r ->
+            Error.protocolf "expected siblings reply, got %s" (response_kind r))
+  in
+  t.stats.payload_bytes <-
+    t.stats.payload_bytes + (20 * List.length digests);
+  digests
+
+let close t =
+  (match t.transport with
+  | Some tr -> (
+      try ignore (roundtrip t tr Protocol.Bye : Protocol.response)
+      with _ -> ())
+  | None -> ());
+  drop t

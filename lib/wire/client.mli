@@ -1,0 +1,51 @@
+(** The SOE side of a terminal connection.
+
+    The client treats the terminal as an adversary: every reply is decoded
+    and length-checked before use, transient faults (broken frames,
+    undecodable replies, dead or stalled connections) get a bounded
+    retry-with-reconnect — sound because every request is an idempotent
+    read of immutable published data — and anything that survives retries
+    surfaces as a typed {!Error.Wire}. Cryptographic verification of the
+    delivered bytes is {e not} done here: that is the channel's job, and
+    its failures ([Integrity_failure]) are terminal — never retried, since
+    a mismatching digest is an attack (or corruption), not weather. *)
+
+type config = {
+  attempts : int;  (** total tries per request (default 3) *)
+  backoff_s : float;
+      (** base of the exponential backoff between retries (default 0.05 s;
+          0 disables sleeping, for tests) *)
+  max_payload : int;  (** largest acceptable reply frame *)
+}
+
+val default_config : config
+
+type t
+
+val connect : ?config:config -> (unit -> Transport.t) -> t
+(** Connect and perform the version handshake (retried like any request).
+    The connector is kept for transparent reconnects; on reconnect the
+    terminal must advertise byte-identical metadata or the client refuses
+    with a [Handshake] error. *)
+
+val metadata : t -> Protocol.metadata
+
+val stats : t -> Stats.t
+
+val fetch_fragment :
+  t -> chunk:int -> fragment:int -> lo:int -> hi:int -> string
+(** Ciphertext bytes [\[lo, hi)] of a fragment, as served — the caller
+    validates the length against what it asked for. *)
+
+val fetch_chunk : t -> chunk:int -> string
+val fetch_digest : t -> chunk:int -> string
+
+val fetch_hash_state : t -> chunk:int -> fragment:int -> upto:int -> string
+(** Serialized SHA-1 state of the fragment prefix; charged to
+    [payload_bytes] at the constant padded wire size. *)
+
+val fetch_siblings : t -> chunk:int -> fragment:int -> string list
+(** Merkle sibling digests in {!Xmlac_crypto.Merkle.sibling_cover} order. *)
+
+val close : t -> unit
+(** Best-effort [Bye], then drop the connection. Idempotent. *)

@@ -1,0 +1,34 @@
+type t =
+  | Frame of string
+  | Protocol of string
+  | Transport of string
+  | Handshake of string
+  | Server of { code : int; message : string }
+
+exception Wire of t
+
+let to_string = function
+  | Frame msg -> "wire frame: " ^ msg
+  | Protocol msg -> "wire protocol: " ^ msg
+  | Transport msg -> "wire transport: " ^ msg
+  | Handshake msg -> "wire handshake: " ^ msg
+  | Server { code; message } ->
+      Printf.sprintf "terminal error %d: %s" code message
+
+(* Frame/protocol/transport faults are transient as far as the client can
+   tell (a flaky terminal, a dropped connection): reconnecting and
+   re-asking is safe because every request is an idempotent read. A
+   handshake refusal or an explicit terminal error is a decision, not a
+   fault — retrying would just repeat it. *)
+let retryable = function
+  | Frame _ | Protocol _ | Transport _ -> true
+  | Handshake _ | Server _ -> false
+
+let framef fmt = Printf.ksprintf (fun m -> raise (Wire (Frame m))) fmt
+let protocolf fmt = Printf.ksprintf (fun m -> raise (Wire (Protocol m))) fmt
+let transportf fmt = Printf.ksprintf (fun m -> raise (Wire (Transport m))) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Wire e -> Some ("Xmlac_wire.Error.Wire: " ^ to_string e)
+    | _ -> None)

@@ -1,0 +1,34 @@
+(** The typed error channel of the wire subsystem.
+
+    Everything hostile or broken between the SOE and the terminal — a
+    malformed frame, an undecodable message, a dead socket, a lying
+    handshake, an explicit terminal refusal — surfaces as [Wire], never as
+    an untyped exception. Cryptographic mismatches are {e not} wire errors:
+    they stay {!Xmlac_crypto.Secure_container.Integrity_failure}, raised by
+    the SOE after it has verified the bytes it was served. *)
+
+type t =
+  | Frame of string  (** framing layer: truncated/oversized/empty frames *)
+  | Protocol of string  (** a frame arrived but its payload is undecodable *)
+  | Transport of string  (** socket/loopback failure, timeout, peer close *)
+  | Handshake of string
+      (** the terminal's advertised metadata is unacceptable (bad version,
+          implausible geometry, scheme mismatch) *)
+  | Server of { code : int; message : string }
+      (** an explicit [Err] reply from the terminal *)
+
+exception Wire of t
+
+val to_string : t -> string
+
+val retryable : t -> bool
+(** Whether a bounded retry (with reconnect) is sound: true for
+    frame/protocol/transport faults — every request is an idempotent read —
+    and false for handshake refusals and server errors, which are
+    decisions, not faults. *)
+
+val framef : ('a, unit, string, 'b) format4 -> 'a
+(** Raise [Wire (Frame _)] with a formatted message. *)
+
+val protocolf : ('a, unit, string, 'b) format4 -> 'a
+val transportf : ('a, unit, string, 'b) format4 -> 'a

@@ -1,0 +1,63 @@
+let header_bytes = 4
+let max_payload_default = 1 lsl 20
+let max_request_payload = 4096
+
+let encode payload =
+  let n = String.length payload in
+  if n = 0 then invalid_arg "Frame.encode: empty payload";
+  if n > 0xFFFFFFFF then invalid_arg "Frame.encode: payload too large";
+  let b = Bytes.create (header_bytes + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.blit_string payload 0 b header_bytes n;
+  Bytes.unsafe_to_string b
+
+let read_exactly t buf len ~what =
+  let got = ref 0 in
+  while !got < len do
+    let n = Transport.read t buf !got (len - !got) in
+    if n <= 0 then
+      Error.framef "%s: connection closed mid-frame (%d/%d bytes of %s)"
+        (Transport.peer t) !got len what;
+    got := !got + n
+  done
+
+let read ?(max_payload = max_payload_default) t =
+  let header = Bytes.create header_bytes in
+  (* End-of-stream on the first header byte is a clean close (transport
+     level); anywhere later the frame itself is truncated. *)
+  let first = Transport.read t header 0 header_bytes in
+  if first <= 0 then
+    Error.transportf "%s: connection closed" (Transport.peer t);
+  let got = ref first in
+  while !got < header_bytes do
+    let n = Transport.read t header !got (header_bytes - !got) in
+    if n <= 0 then
+      Error.framef "%s: connection closed mid-frame (%d/%d bytes of header)"
+        (Transport.peer t) !got header_bytes;
+    got := !got + n
+  done;
+  let len = Int32.to_int (Bytes.get_int32_be header 0) land 0xFFFFFFFF in
+  if len = 0 then Error.framef "%s: empty frame" (Transport.peer t);
+  if len > max_payload then
+    Error.framef "%s: frame of %d bytes exceeds limit %d" (Transport.peer t)
+      len max_payload;
+  let payload = Bytes.create len in
+  read_exactly t payload len ~what:"payload";
+  Bytes.unsafe_to_string payload
+
+let write t payload = Transport.write t (encode payload)
+
+let split ?(max_payload = max_payload_default) buf ~off =
+  let avail = String.length buf - off in
+  if avail < header_bytes then
+    Error.framef "loopback: truncated frame header (%d bytes)" avail;
+  let len =
+    Int32.to_int (String.get_int32_be buf off) land 0xFFFFFFFF
+  in
+  if len = 0 then Error.framef "loopback: empty frame";
+  if len > max_payload then
+    Error.framef "loopback: frame of %d bytes exceeds limit %d" len max_payload;
+  if avail - header_bytes < len then
+    Error.framef "loopback: truncated frame body (%d/%d bytes)"
+      (avail - header_bytes) len;
+  (String.sub buf (off + header_bytes) len, off + header_bytes + len)

@@ -1,0 +1,30 @@
+(** Length-prefixed framing: every message on the wire is a big-endian
+    [u32] payload length followed by the payload. Zero-length and oversized
+    frames are rejected before any allocation proportional to the claimed
+    length beyond the limit. *)
+
+val header_bytes : int
+
+val max_payload_default : int
+(** What a {e client} will accept in a reply (1 MiB — must hold a chunk
+    plus slack). *)
+
+val max_request_payload : int
+(** What a {e server} will accept in a request (4 KiB — requests are tiny;
+    anything bigger is hostile). *)
+
+val encode : string -> string
+(** Prepend the length header. @raise Invalid_argument on an empty
+    payload (programming error, not wire input). *)
+
+val read : ?max_payload:int -> Transport.t -> string
+(** Read one frame. End-of-stream before the first header byte raises a
+    [Transport] error (clean close); end-of-stream anywhere later, an empty
+    frame, or a length above [max_payload] raise a [Frame] error. *)
+
+val write : Transport.t -> string -> unit
+
+val split : ?max_payload:int -> string -> off:int -> string * int
+(** Pure frame extraction from a buffer (used by the in-process loopback
+    and the fuzz boundary): returns the payload and the offset just past
+    it. Raises the same [Frame] errors as {!read}. *)

@@ -1,0 +1,87 @@
+(** The SOE ↔ terminal message vocabulary (one message per frame payload).
+
+    Every exchange the in-process channel performs against a container has a
+    request/response pair here: fragment ciphertext ranges and whole-chunk
+    ciphertext, encrypted chunk digests, intermediate SHA-1 states of
+    fragment prefixes, Merkle sibling digests, and the metadata handshake.
+
+    The first payload byte is the opcode (requests [0x01]–[0x07], responses
+    [0x81]–[0x87], error [0xFF]); integers are big-endian. Both decoders
+    treat their input as hostile — the server reads requests from an
+    arbitrary client, the client reads responses from an adversarial
+    terminal — and reject every structural violation with a typed
+    [{!Error.Wire} (Protocol _)]. *)
+
+module C = Xmlac_crypto.Secure_container
+
+val version : int
+val hello_magic : string
+
+val hash_state_wire_bytes : int
+(** 92: every [Hash_state] reply is zero-padded to the worst-case serialized
+    SHA-1 mid-state, so the wire cost of a hash state is the same constant
+    the in-process channel charges. *)
+
+val max_siblings : int
+(** Decode-time cap on a [Siblings] reply (bounds hostile allocation). *)
+
+type metadata = {
+  meta_version : int;
+  scheme : C.scheme;
+  chunk_size : int;
+  fragment_size : int;
+  payload_length : int;
+  chunk_count : int;
+  integrity : bool;
+      (** whether the published scheme supports verification at all — [false]
+          exactly for ECB, making the paper's silent verify-downgrade an
+          explicit, visible property of the handshake *)
+}
+
+type request =
+  | Hello of { version : int }
+  | Get_fragment of { chunk : int; fragment : int; lo : int; hi : int }
+      (** ciphertext bytes [\[lo, hi)] of one fragment *)
+  | Get_chunk of { chunk : int }  (** whole-chunk ciphertext (CBC schemes) *)
+  | Get_digest of { chunk : int }  (** the encrypted 24-byte digest blob *)
+  | Get_hash_state of { chunk : int; fragment : int; upto : int }
+      (** SHA-1 state after hashing the leaf ids and cipher [\[0, upto)] *)
+  | Get_siblings of { chunk : int; fragment : int }
+      (** Merkle sibling digests for a one-leaf cover, in
+          {!Xmlac_crypto.Merkle.sibling_cover} order *)
+  | Bye
+
+type response =
+  | Hello_ok of metadata
+  | Fragment of string
+  | Chunk of string
+  | Digest of string
+  | Hash_state of string
+  | Siblings of string list
+  | Bye_ok
+  | Err of { code : int; message : string }
+
+val err_bad_request : int
+val err_out_of_range : int
+val err_unsupported : int
+val err_internal : int
+
+val encode_request : request -> string
+val encode_response : response -> string
+
+val decode_request : string -> request
+(** @raise Error.Wire ([Protocol _]) on malformed input; never any other
+    exception. *)
+
+val decode_response : string -> response
+(** @raise Error.Wire ([Protocol _]) on malformed input; never any other
+    exception. *)
+
+val metadata_of_container : C.t -> metadata
+(** What a terminal advertises for a published container. *)
+
+val metadata_geometry : metadata -> (C.t, string) result
+(** Validate advertised metadata (protocol version, integrity-flag
+    consistency, container geometry via
+    {!Xmlac_crypto.Secure_container.geometry}) and build the header-only
+    container view the SOE decrypts against. *)

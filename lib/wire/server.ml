@@ -1,0 +1,291 @@
+module C = Xmlac_crypto.Secure_container
+module Merkle = Xmlac_crypto.Merkle
+module Sha1 = Xmlac_crypto.Sha1
+
+type t = {
+  container : C.t;
+  meta : Protocol.metadata;
+  (* memo of per-chunk fragment leaf hashes — the terminal is an ordinary
+     computer and caches freely, but sessions share it, hence the mutex *)
+  leaves_memo : (int, string array) Hashtbl.t;
+  memo_mutex : Mutex.t;
+  totals : Stats.t;
+  totals_mutex : Mutex.t;
+}
+
+let make container =
+  {
+    container;
+    meta = Protocol.metadata_of_container container;
+    leaves_memo = Hashtbl.create 8;
+    memo_mutex = Mutex.create ();
+    totals = Stats.make ();
+    totals_mutex = Mutex.create ();
+  }
+
+let metadata t = t.meta
+
+let totals t =
+  Mutex.lock t.totals_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.totals_mutex)
+    (fun () ->
+      let snapshot = Stats.make () in
+      Stats.add ~into:snapshot t.totals;
+      snapshot)
+
+let be_bytes value width =
+  String.init width (fun i ->
+      Char.chr ((value lsr (8 * (width - 1 - i))) land 0xFF))
+
+let leaves t chunk =
+  Mutex.lock t.memo_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.memo_mutex)
+    (fun () ->
+      match Hashtbl.find_opt t.leaves_memo chunk with
+      | Some l -> l
+      | None ->
+          let m = C.fragments_per_chunk t.container in
+          let l =
+            Array.init m (fun i ->
+                C.fragment_leaf_hash t.container ~chunk ~fragment:i
+                  ~cipher:
+                    (C.fragment_ciphertext t.container ~chunk ~fragment:i))
+          in
+          Hashtbl.replace t.leaves_memo chunk l;
+          l)
+
+let err code fmt = Printf.ksprintf (fun message -> Protocol.Err { code; message }) fmt
+
+let check_chunk t chunk k =
+  if chunk >= C.chunk_count t.container then
+    err Protocol.err_out_of_range "chunk %d out of range (%d chunks)" chunk
+      (C.chunk_count t.container)
+  else k ()
+
+let check_fragment t chunk fragment k =
+  check_chunk t chunk @@ fun () ->
+  if fragment >= C.fragments_per_chunk t.container then
+    err Protocol.err_out_of_range "fragment %d out of range (%d per chunk)"
+      fragment
+      (C.fragments_per_chunk t.container)
+  else k ()
+
+(* One decoded request -> one response. Total by construction for in-range
+   requests; the catch-all in [handle] turns anything unexpected into an
+   [Err] so a hostile request can never kill the session thread. *)
+let handle_request t req =
+  let scheme = C.scheme t.container in
+  match (req : Protocol.request) with
+  | Hello { version } ->
+      if version <> Protocol.version then
+        err Protocol.err_unsupported "unsupported protocol version %d" version
+      else Protocol.Hello_ok t.meta
+  | Get_fragment { chunk; fragment; lo; hi } -> (
+      match scheme with
+      | C.Cbc_sha | C.Cbc_shac ->
+          err Protocol.err_unsupported "no fragment access under %s"
+            (C.scheme_to_string scheme)
+      | C.Ecb | C.Ecb_mht ->
+          check_fragment t chunk fragment @@ fun () ->
+          if hi > C.fragment_size t.container then
+            err Protocol.err_out_of_range "range [%d, %d) exceeds fragment size %d"
+              lo hi
+              (C.fragment_size t.container)
+          else
+            let cipher = C.fragment_ciphertext t.container ~chunk ~fragment in
+            Protocol.Fragment (String.sub cipher lo (hi - lo)))
+  | Get_chunk { chunk } ->
+      check_chunk t chunk @@ fun () ->
+      Protocol.Chunk (C.chunk_ciphertext t.container chunk)
+  | Get_digest { chunk } ->
+      if scheme = C.Ecb then
+        err Protocol.err_unsupported "ECB containers carry no digests"
+      else
+        check_chunk t chunk @@ fun () ->
+        Protocol.Digest (C.encrypted_digest t.container chunk)
+  | Get_hash_state { chunk; fragment; upto } ->
+      if scheme <> C.Ecb_mht then
+        err Protocol.err_unsupported "no hash states under %s"
+          (C.scheme_to_string scheme)
+      else
+        check_fragment t chunk fragment @@ fun () ->
+        if upto > C.fragment_size t.container then
+          err Protocol.err_out_of_range "prefix length %d exceeds fragment size %d"
+            upto
+            (C.fragment_size t.container)
+        else begin
+          let cipher = C.fragment_ciphertext t.container ~chunk ~fragment in
+          let ctx = Sha1.init () in
+          Sha1.feed ctx (be_bytes chunk 4);
+          Sha1.feed ctx (be_bytes fragment 4);
+          Sha1.feed_sub ctx cipher ~pos:0 ~len:upto;
+          Protocol.Hash_state (Sha1.export_state ctx)
+        end
+  | Get_siblings { chunk; fragment } ->
+      if scheme <> C.Ecb_mht then
+        err Protocol.err_unsupported "no Merkle tree under %s"
+          (C.scheme_to_string scheme)
+      else
+        check_fragment t chunk fragment @@ fun () ->
+        let cover =
+          Merkle.sibling_cover
+            ~leaf_count:(C.fragments_per_chunk t.container)
+            ~lo:fragment ~hi:fragment
+        in
+        let l = leaves t chunk in
+        Protocol.Siblings (List.map (Merkle.node_hash l) cover)
+  | Bye -> Protocol.Bye_ok
+
+let handle t req =
+  match handle_request t req with
+  | resp -> (resp, req = Protocol.Bye)
+  | exception e ->
+      (err Protocol.err_internal "terminal failure: %s" (Printexc.to_string e),
+       false)
+
+(* One raw frame payload -> one encoded reply. Total: decode failures
+   become [Err] replies, so the fuzz boundary can assert that no byte
+   string whatsoever raises out of here. *)
+let handle_frame t payload =
+  match Protocol.decode_request payload with
+  | req ->
+      let resp, closing = handle t req in
+      (Protocol.encode_response resp, closing)
+  | exception Error.Wire e ->
+      ( Protocol.encode_response
+          (Protocol.Err
+             { code = Protocol.err_bad_request; message = Error.to_string e }),
+        false )
+
+let serve_connection t transport =
+  let stats = Stats.make () in
+  let rec loop () =
+    match Frame.read ~max_payload:Frame.max_request_payload transport with
+    | payload ->
+        stats.requests <- stats.requests + 1;
+        stats.bytes_received <-
+          stats.bytes_received + Frame.header_bytes + String.length payload;
+        let reply, closing = handle_frame t payload in
+        let framed = Frame.encode reply in
+        Transport.write transport framed;
+        stats.replies <- stats.replies + 1;
+        stats.bytes_sent <- stats.bytes_sent + String.length framed;
+        if not closing then loop ()
+    | exception Error.Wire (Error.Transport _) ->
+        (* peer closed or timed out: normal end of session *)
+        ()
+    | exception Error.Wire _ -> stats.wire_errors <- stats.wire_errors + 1
+  in
+  (try loop () with _ -> ());
+  Transport.close transport;
+  Mutex.lock t.totals_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.totals_mutex)
+    (fun () -> Stats.add ~into:t.totals stats)
+
+(* In-process terminal: requests are served synchronously inside the
+   client's write, replies drain from a per-connection outbox. Hermetic —
+   no sockets, no threads required — yet it exercises the full encode /
+   frame / decode path on both sides. *)
+let loopback_connector t () =
+  let outbox = ref "" in
+  let opos = ref 0 in
+  let finished = ref false in
+  let stats = Stats.make () in
+  let closed = ref false in
+  let append s = outbox := String.sub !outbox !opos (String.length !outbox - !opos) ^ s;
+    opos := 0
+  in
+  let write data =
+    if not (!finished || !closed) then begin
+      let off = ref 0 in
+      (try
+         while String.length data - !off > 0 && not !finished do
+           let payload, next =
+             Frame.split ~max_payload:Frame.max_request_payload data ~off:!off
+           in
+           off := next;
+           stats.requests <- stats.requests + 1;
+           stats.bytes_received <-
+             stats.bytes_received + Frame.header_bytes + String.length payload;
+           let reply, closing = handle_frame t payload in
+           let framed = Frame.encode reply in
+           append framed;
+           stats.replies <- stats.replies + 1;
+           stats.bytes_sent <- stats.bytes_sent + String.length framed;
+           if closing then finished := true
+         done
+       with Error.Wire _ ->
+         (* a client that cannot even frame its request gets cut off *)
+         stats.wire_errors <- stats.wire_errors + 1;
+         finished := true)
+    end
+  in
+  let read buf off len =
+    let avail = String.length !outbox - !opos in
+    if avail = 0 then 0
+    else begin
+      let n = min len avail in
+      Bytes.blit_string !outbox !opos buf off n;
+      opos := !opos + n;
+      n
+    end
+  in
+  let close () =
+    if not !closed then begin
+      closed := true;
+      Mutex.lock t.totals_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock t.totals_mutex)
+        (fun () -> Stats.add ~into:t.totals stats)
+    end
+  in
+  Transport.make ~read ~write ~close ~peer:"loopback"
+
+let serve ?(max_sessions = 64) ?timeout_s ?stop t listener =
+  let stopped () = match stop with Some r -> !r | None -> false in
+  let active = ref 0 in
+  let m = Mutex.create () in
+  let cond = Condition.create () in
+  let rec accept_loop () =
+    if not (stopped ()) then begin
+      Mutex.lock m;
+      while !active >= max_sessions do
+        Condition.wait cond m
+      done;
+      Mutex.unlock m;
+      (* poll so a flipped stop flag (or a closed listener) ends the loop
+         instead of blocking forever in accept *)
+      match
+        if Transport.wait_readable listener then
+          Some (Transport.accept ?timeout_s listener)
+        else None
+      with
+      | Some transport ->
+          Mutex.lock m;
+          incr active;
+          Mutex.unlock m;
+          let _ : Thread.t =
+            Thread.create
+              (fun () ->
+                serve_connection t transport;
+                Mutex.lock m;
+                decr active;
+                Condition.signal cond;
+                Mutex.unlock m)
+              ()
+          in
+          accept_loop ()
+      | None -> accept_loop ()
+      | exception Error.Wire _ -> (* listener closed: fall through to drain *)
+          ()
+    end
+  in
+  accept_loop ();
+  Mutex.lock m;
+  while !active > 0 do
+    Condition.wait cond m
+  done;
+  Mutex.unlock m

@@ -1,0 +1,47 @@
+(** The terminal server: serves a published container to concurrent SOE
+    sessions. The terminal holds only ciphertext — no keys, no plaintext —
+    so everything here is computable by the adversary too; the server's job
+    is availability and byte-accounting, not secrecy.
+
+    Request handling is {e total}: malformed frames and out-of-range or
+    scheme-inappropriate requests produce [Err] replies (or end the
+    session), never an exception escaping a session thread. *)
+
+type t
+
+val make : Xmlac_crypto.Secure_container.t -> t
+
+val metadata : t -> Protocol.metadata
+
+val totals : t -> Stats.t
+(** Snapshot of the merged per-connection stats of all finished sessions. *)
+
+val handle : t -> Protocol.request -> Protocol.response * bool
+(** Serve one decoded request; the flag is [true] when the session should
+    close (after [Bye]). Never raises. *)
+
+val handle_frame : t -> string -> string * bool
+(** Serve one raw frame payload (hostile bytes allowed): decode, handle,
+    encode. Never raises — undecodable requests get an [Err] reply. *)
+
+val serve_connection : t -> Transport.t -> unit
+(** Run one session to completion: read frames, reply, stop on [Bye] or
+    when the peer goes away. Merges the session's stats into {!totals}. *)
+
+val loopback_connector : t -> unit -> Transport.t
+(** A fresh in-process connection per call: requests are served
+    synchronously inside the client's write, replies drain from a
+    per-connection outbox. Hermetic (no sockets or threads) but exercises
+    the full encode/frame/decode path on both sides. *)
+
+val serve :
+  ?max_sessions:int ->
+  ?timeout_s:float ->
+  ?stop:bool ref ->
+  t ->
+  Transport.listener ->
+  unit
+(** Accept loop, one thread per connection, at most [max_sessions]
+    (default 64) concurrent. Polls the listener so it can notice a flipped
+    [stop] flag (or a closed listener) within ~0.2 s; returns once stopped
+    and all in-flight sessions have finished. *)

@@ -1,0 +1,58 @@
+type t = {
+  mutable requests : int;
+  mutable replies : int;
+  mutable retries : int;
+  mutable reconnects : int;
+  mutable wire_errors : int;
+  mutable payload_bytes : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  rtt_hist : Xmlac_obs.Histogram.t;
+      (* round-trip wall time per request; "wall"-prefixed so its derived
+         metrics escape the perf gate's drift check *)
+}
+
+let make () =
+  {
+    requests = 0;
+    replies = 0;
+    retries = 0;
+    reconnects = 0;
+    wire_errors = 0;
+    payload_bytes = 0;
+    bytes_sent = 0;
+    bytes_received = 0;
+    rtt_hist = Xmlac_obs.Histogram.make "wall_rtt";
+  }
+
+let metrics (s : t) : Xmlac_obs.Metrics.t =
+  Xmlac_obs.Metrics.
+    [
+      int "requests" s.requests;
+      int "replies" s.replies;
+      int "retries" s.retries;
+      int "reconnects" s.reconnects;
+      int "wire_errors" s.wire_errors;
+      int "payload_bytes" s.payload_bytes;
+      int "bytes_sent" s.bytes_sent;
+      int "bytes_received" s.bytes_received;
+    ]
+  @ Xmlac_obs.Histogram.metrics s.rtt_hist
+
+let add ~into (s : t) =
+  into.requests <- into.requests + s.requests;
+  into.replies <- into.replies + s.replies;
+  into.retries <- into.retries + s.retries;
+  into.reconnects <- into.reconnects + s.reconnects;
+  into.wire_errors <- into.wire_errors + s.wire_errors;
+  into.payload_bytes <- into.payload_bytes + s.payload_bytes;
+  into.bytes_sent <- into.bytes_sent + s.bytes_sent;
+  into.bytes_received <- into.bytes_received + s.bytes_received;
+  let open Xmlac_obs.Histogram in
+  into.rtt_hist.count <- into.rtt_hist.count + s.rtt_hist.count;
+  into.rtt_hist.sum <- into.rtt_hist.sum +. s.rtt_hist.sum;
+  if s.rtt_hist.max_value > into.rtt_hist.max_value then
+    into.rtt_hist.max_value <- s.rtt_hist.max_value;
+  Array.iteri
+    (fun i n -> into.rtt_hist.buckets.(i) <- into.rtt_hist.buckets.(i) + n)
+    s.rtt_hist.buckets

@@ -1,0 +1,28 @@
+(** Per-connection wire counters, kept by both ends: the client threads them
+    into {!Xmlac_soe.Session} metrics under a ["wire."] prefix, the server
+    merges per-connection stats into run totals for its [--stats] output.
+
+    [payload_bytes] counts reply bytes the way the in-process channel counts
+    [bytes_to_soe] (actual ciphertext/digest lengths, the constant padded
+    hash-state size, 20 bytes per sibling digest), so local and remote runs
+    of the same query are directly comparable — and the bench gate asserts
+    they are equal. [bytes_sent]/[bytes_received] count everything on the
+    wire, framing and opcodes included. *)
+
+type t = {
+  mutable requests : int;
+  mutable replies : int;
+  mutable retries : int;
+  mutable reconnects : int;
+  mutable wire_errors : int;
+  mutable payload_bytes : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+  rtt_hist : Xmlac_obs.Histogram.t;
+}
+
+val make : unit -> t
+val metrics : t -> Xmlac_obs.Metrics.t
+
+val add : into:t -> t -> unit
+(** Merge [s] into [into] (counters and the round-trip histogram). *)

@@ -1,0 +1,158 @@
+type addr = Unix_socket of string | Tcp of string * int
+
+type t = {
+  read : bytes -> int -> int -> int;
+  write : string -> unit;
+  close : unit -> unit;
+  peer : string;
+}
+
+let make ~read ~write ~close ~peer = { read; write; close; peer }
+let read t buf off len = t.read buf off len
+let write t s = t.write s
+let close t = try t.close () with _ -> ()
+let peer t = t.peer
+
+let addr_to_string = function
+  | Unix_socket path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+let parse_addr s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "address %S: expected unix:PATH or tcp:HOST:PORT" s)
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match kind with
+      | "unix" ->
+          if rest = "" then Error "address unix:: empty socket path"
+          else Ok (Unix_socket rest)
+      | "tcp" -> (
+          match String.rindex_opt rest ':' with
+          | None -> Error (Printf.sprintf "address %S: expected tcp:HOST:PORT" s)
+          | Some j -> (
+              let host = String.sub rest 0 j in
+              let port = String.sub rest (j + 1) (String.length rest - j - 1) in
+              match int_of_string_opt port with
+              | Some p when p >= 0 && p < 65536 && host <> "" ->
+                  Ok (Tcp (host, p))
+              | _ -> Error (Printf.sprintf "address %S: bad host or port" s)))
+      | _ ->
+          Error
+            (Printf.sprintf "address %S: unknown transport %S (use unix: or tcp:)"
+               s kind))
+
+let sockaddr_of_addr = function
+  | Unix_socket path -> Unix.ADDR_UNIX path
+  | Tcp (host, port) ->
+      let ip =
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found | Invalid_argument _ ->
+          Error.transportf "cannot resolve host %S" host
+      in
+      Unix.ADDR_INET (ip, port)
+
+let of_fd ?(timeout_s = 5.0) ~peer fd =
+  (try
+     Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+     Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
+   with Unix.Unix_error _ -> ());
+  let read buf off len =
+    try Unix.read fd buf off len
+    with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _) ->
+      Error.transportf "%s: read timed out" peer
+  in
+  let write s =
+    let b = Bytes.unsafe_of_string s in
+    let n = Bytes.length b in
+    let sent = ref 0 in
+    try
+      while !sent < n do
+        sent := !sent + Unix.write fd b !sent (n - !sent)
+      done
+    with
+    | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _) ->
+        Error.transportf "%s: write timed out" peer
+    | Unix.Unix_error (EPIPE, _, _) ->
+        Error.transportf "%s: peer closed connection" peer
+  in
+  let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+  make ~read ~write ~close ~peer
+
+let connect ?timeout_s addr =
+  let sockaddr = sockaddr_of_addr addr in
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (match Unix.connect fd sockaddr with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error.transportf "connect %s: %s" (addr_to_string addr)
+        (Unix.error_message e));
+  of_fd ?timeout_s ~peer:(addr_to_string addr) fd
+
+type listener = { lfd : Unix.file_descr; laddr : addr }
+
+let listen ?(backlog = 16) addr =
+  (match addr with
+  | Unix_socket path -> (
+      (* Remove a stale socket file from a previous run, but never a
+         non-socket file the user pointed us at by mistake. *)
+      match Unix.stat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+      | _ -> Error.transportf "listen %s: path exists and is not a socket" path
+      | exception Unix.Unix_error (ENOENT, _, _) -> ())
+  | Tcp _ -> ());
+  let sockaddr = sockaddr_of_addr addr in
+  let domain = Unix.domain_of_sockaddr sockaddr in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd sockaddr;
+     Unix.listen fd backlog
+   with Unix.Unix_error (e, _, _) ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     Error.transportf "listen %s: %s" (addr_to_string addr)
+       (Unix.error_message e));
+  let laddr =
+    match (addr, Unix.getsockname fd) with
+    | Tcp (host, 0), Unix.ADDR_INET (_, port) -> Tcp (host, port)
+    | _ -> addr
+  in
+  { lfd = fd; laddr }
+
+let bound_addr l = l.laddr
+
+let wait_readable ?(timeout_s = 0.2) l =
+  match Unix.select [ l.lfd ] [] [] timeout_s with
+  | [], _, _ -> false
+  | _ -> true
+  | exception Unix.Unix_error (e, _, _) ->
+      Error.transportf "select %s: %s" (addr_to_string l.laddr)
+        (Unix.error_message e)
+
+let accept ?timeout_s l =
+  match Unix.accept l.lfd with
+  | fd, sa ->
+      let peer =
+        match sa with
+        | Unix.ADDR_UNIX _ -> addr_to_string l.laddr
+        | Unix.ADDR_INET (ip, port) ->
+            Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr ip) port
+      in
+      of_fd ?timeout_s ~peer fd
+  | exception Unix.Unix_error (e, _, _) ->
+      Error.transportf "accept %s: %s" (addr_to_string l.laddr)
+        (Unix.error_message e)
+
+let close_listener l =
+  (try Unix.close l.lfd with Unix.Unix_error _ -> ());
+  match l.laddr with
+  | Unix_socket path -> (
+      match Unix.stat path with
+      | { Unix.st_kind = Unix.S_SOCK; _ } -> (
+          try Unix.unlink path with Unix.Unix_error _ -> ())
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ())
+  | Tcp _ -> ()

@@ -1,0 +1,60 @@
+(** Byte transports between the SOE and a terminal.
+
+    A transport is just a readable/writable byte stream: real sockets
+    (Unix-domain or TCP) for deployment, an in-process loopback (built by
+    {!Server.loopback_connector}) for hermetic tests, and a fault-injecting
+    wrapper ({!Fault.wrap}) for the adversarial harness. All failures
+    surface as [{!Error.Wire} (Transport _)]. *)
+
+type addr = Unix_socket of string | Tcp of string * int
+
+type t
+
+val make :
+  read:(bytes -> int -> int -> int) ->
+  write:(string -> unit) ->
+  close:(unit -> unit) ->
+  peer:string ->
+  t
+(** Build a transport from raw callbacks. [read buf off len] returns the
+    number of bytes read (0 at end of stream); [write] must write the whole
+    string or raise. *)
+
+val read : t -> bytes -> int -> int -> int
+val write : t -> string -> unit
+
+val close : t -> unit
+(** Idempotent; never raises. *)
+
+val peer : t -> string
+(** Human-readable peer label for error messages. *)
+
+val parse_addr : string -> (addr, string) result
+(** Parse ["unix:PATH"] or ["tcp:HOST:PORT"]. *)
+
+val addr_to_string : addr -> string
+
+val connect : ?timeout_s:float -> addr -> t
+(** Connect a socket transport. [timeout_s] (default 5.0) bounds each
+    read/write so a stalled terminal surfaces as a transport error instead
+    of hanging the SOE. *)
+
+type listener
+
+val listen : ?backlog:int -> addr -> listener
+(** Bind and listen. For [Unix_socket], a stale socket file left by a
+    previous run is removed; a non-socket file at that path is an error.
+    For [Tcp (_, 0)] the kernel picks a port — read it back with
+    {!bound_addr}. *)
+
+val bound_addr : listener -> addr
+
+val wait_readable : ?timeout_s:float -> listener -> bool
+(** Whether a connection is pending, waiting at most [timeout_s] (default
+    0.2 s) — lets an accept loop poll a stop flag instead of blocking
+    forever in [accept]. *)
+
+val accept : ?timeout_s:float -> listener -> t
+
+val close_listener : listener -> unit
+(** Close the listening socket and unlink a Unix socket file. *)

@@ -105,6 +105,33 @@ let cases : (string * string) list Lazy.t =
          (* ECB-MHT bytes relabelled as plain ECB: geometry no longer adds
             up and must be rejected before any decryption *)
          set_byte mht 5 '\x00' );
+       (* wire — hostile frames and replies against the terminal protocol;
+          the frame reader, both payload decoders and the metadata
+          validator must answer with a typed wire error, never an
+          exception or a hostile-sized allocation *)
+       ("wire__truncated_header.bin", "\x00\x00");
+       ("wire__empty_frame.bin", be_bytes 0 4);
+       ("wire__oversized_frame.bin", be_bytes (2 * 1024 * 1024) 4 ^ "x");
+       ("wire__truncated_body.bin", be_bytes 100 4 ^ "short");
+       ("wire__bad_opcode.bin", Xmlac_wire.Frame.encode "\x7f\x00\x00");
+       ("wire__hello_bad_magic.bin", Xmlac_wire.Frame.encode "\x01ZZTP\x00\x01");
+       (* a Siblings reply announcing 65535 digests *)
+       ("wire__siblings_bomb.bin", "\x86\xff\xff");
+       (* a Hash_state reply whose length field exceeds the padded size *)
+       ("wire__hash_state_oversize.bin", "\x85\x03\xe8" ^ String.make 92 '\x00');
+       (* a handshake advertising a geometry past the allocation cap *)
+       ( "wire__hello_bomb_metadata.bin",
+         Xmlac_wire.Protocol.encode_response
+           (Xmlac_wire.Protocol.Hello_ok
+              {
+                Xmlac_wire.Protocol.meta_version = 1;
+                scheme = C.Ecb_mht;
+                chunk_size = 512;
+                fragment_size = 64;
+                payload_length = ((1 lsl 22) + 1) * 512;
+                chunk_count = (1 lsl 22) + 1;
+                integrity = true;
+              }) );
        (* policy — Policy.of_string must return Error, never raise *)
        ("policy__bad_sign.bin", "p1 % //a\n");
        ("policy__bad_xpath.bin", "p1 + //a[[[\n");

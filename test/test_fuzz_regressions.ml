@@ -45,6 +45,7 @@ let boundaries_of name : (string * (string -> Boundary.outcome)) list =
                 (Boundary.channel_eval ~key ~policy bytes).Boundary.outcome );
           ]
       | "policy" -> [ ("policy-text", Boundary.policy_text) ]
+      | "wire" -> [ ("wire-frame", Boundary.wire_frame) ]
       | p -> Alcotest.failf "unknown corpus prefix %S in %s" p name)
   | None -> Alcotest.failf "corpus file %s has no boundary prefix" name
 

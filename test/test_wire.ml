@@ -1,0 +1,600 @@
+(* Tests for the remote-terminal subsystem: protocol codecs under hostile
+   bytes, loopback and socket equivalence with the in-process channel, the
+   reply tamper matrix, fault injection with retry, and concurrent
+   sessions against one server. *)
+
+open Xmlac_soe
+module Wire = Xmlac_wire
+module Container = Xmlac_crypto.Secure_container
+module Layout = Xmlac_skip_index.Layout
+module Hospital = Xmlac_workload.Hospital
+module Profiles = Xmlac_workload.Profiles
+
+let check = Alcotest.check
+let bool_t = Alcotest.bool
+let int_t = Alcotest.int
+
+let hospital =
+  Hospital.generate ~seed:11
+    ~config:{ Hospital.default_config with folders = 6 }
+    ()
+
+let cfg scheme =
+  let c = Session.default_config ~scheme () in
+  (* small chunks so even the 6-folder document spans several *)
+  { c with Session.chunk_size = 512; fragment_size = 64 }
+
+let events_string (m : Session.measurement) =
+  Xmlac_xml.Writer.events_to_string m.Session.events
+
+let wire_stats (m : Session.measurement) =
+  match m.Session.wire with
+  | Some w -> w
+  | None -> Alcotest.fail "remote measurement carries no wire stats"
+
+(* Protocol codecs -------------------------------------------------------- *)
+
+let sample_requests =
+  [
+    Wire.Protocol.Hello { version = Wire.Protocol.version };
+    Wire.Protocol.Get_fragment { chunk = 3; fragment = 7; lo = 8; hi = 64 };
+    Wire.Protocol.Get_chunk { chunk = 0 };
+    Wire.Protocol.Get_digest { chunk = 12 };
+    Wire.Protocol.Get_hash_state { chunk = 1; fragment = 2; upto = 56 };
+    Wire.Protocol.Get_siblings { chunk = 9; fragment = 0 };
+    Wire.Protocol.Bye;
+  ]
+
+let sample_responses =
+  [
+    Wire.Protocol.Hello_ok
+      {
+        Wire.Protocol.meta_version = 1;
+        scheme = Container.Ecb_mht;
+        chunk_size = 512;
+        fragment_size = 64;
+        payload_length = 5000;
+        chunk_count = 10;
+        integrity = true;
+      };
+    Wire.Protocol.Fragment (String.make 56 '\x42');
+    Wire.Protocol.Chunk (String.make 512 '\x17');
+    Wire.Protocol.Digest (String.make 24 '\x99');
+    Wire.Protocol.Hash_state (String.make 29 '\x01');
+    Wire.Protocol.Siblings [ String.make 20 'a'; String.make 20 'b' ];
+    Wire.Protocol.Bye_ok;
+    Wire.Protocol.Err { code = 2; message = "chunk 99 out of range" };
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      let again = Wire.Protocol.(decode_request (encode_request req)) in
+      check bool_t "request roundtrips" true (req = again))
+    sample_requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun resp ->
+      let again = Wire.Protocol.(decode_response (encode_response resp)) in
+      check bool_t "response roundtrips" true (resp = again))
+    sample_responses
+
+(* Any byte string fed to the decoders (or the frame splitter) yields a
+   value or a typed wire error; nothing else may escape. *)
+let decoders_total =
+  QCheck.Test.make ~count:500 ~name:"decoders are total on hostile bytes"
+    QCheck.(string_of_size Gen.(0 -- 64))
+    (fun s ->
+      let probe f = match f s with _ -> true | exception Wire.Error.Wire _ -> true in
+      probe Wire.Protocol.decode_request
+      && probe Wire.Protocol.decode_response
+      && (match Wire.Frame.split s ~off:0 with
+         | _ -> true
+         | exception Wire.Error.Wire _ -> true))
+
+let test_hash_state_padding () =
+  (* every encoded hash-state reply has the same size on the wire, whatever
+     the serialized state length — the constant the channel charges *)
+  let sizes =
+    List.map
+      (fun n ->
+        String.length
+          (Wire.Protocol.encode_response
+             (Wire.Protocol.Hash_state (String.make n 'x'))))
+      [ 29; 40; 92 ]
+  in
+  (match sizes with
+  | a :: rest -> List.iter (fun b -> check int_t "constant size" a b) rest
+  | [] -> ());
+  match
+    Wire.Protocol.(
+      decode_response (encode_response (Hash_state (String.make 37 'q'))))
+  with
+  | Wire.Protocol.Hash_state s -> check int_t "unpadded on decode" 37 (String.length s)
+  | _ -> Alcotest.fail "hash state did not roundtrip"
+
+let test_metadata_geometry_rejects () =
+  let meta chunk_count payload_length =
+    {
+      Wire.Protocol.meta_version = Wire.Protocol.version;
+      scheme = Container.Ecb_mht;
+      chunk_size = 512;
+      fragment_size = 64;
+      payload_length;
+      chunk_count;
+      integrity = true;
+    }
+  in
+  (match Wire.Protocol.metadata_geometry (meta 10 (10 * 512)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "honest metadata rejected: %s" e);
+  let rejected m = Result.is_error (Wire.Protocol.metadata_geometry m) in
+  check bool_t "allocation bomb rejected" true
+    (rejected (meta ((1 lsl 22) + 1) (((1 lsl 22) + 1) * 512)));
+  check bool_t "count/length disagreement rejected" true (rejected (meta 3 100));
+  check bool_t "wrong version rejected" true
+    (rejected { (meta 1 100) with Wire.Protocol.meta_version = 2 });
+  check bool_t "lying integrity flag rejected" true
+    (rejected { (meta 1 100) with Wire.Protocol.integrity = false })
+
+(* The server is total on hostile request frames: any payload gets a reply
+   (or closes the session), never an exception. *)
+let shared_server =
+  lazy
+    (let published =
+       Session.publish (cfg Container.Ecb_mht) ~layout:Layout.Tcsbr hospital
+     in
+     Wire.Server.make published.Session.container)
+
+let server_total =
+  QCheck.Test.make ~count:500 ~name:"server handles hostile request frames"
+    QCheck.(string_of_size Gen.(0 -- 32))
+    (fun s ->
+      QCheck.assume (String.length s > 0);
+      let server = Lazy.force shared_server in
+      let reply, _closing = Wire.Server.handle_frame server s in
+      match Wire.Protocol.decode_response reply with
+      | _ -> true
+      | exception Wire.Error.Wire _ -> false)
+
+(* Loopback equivalence --------------------------------------------------- *)
+
+let loopback_remote ?config:ccfg published =
+  let server = Wire.Server.make published.Session.container in
+  Remote.connect ?config:ccfg (Wire.Server.loopback_connector server)
+
+let test_loopback_equivalence scheme () =
+  let cfg = cfg scheme in
+  let published = Session.publish cfg ~layout:Layout.Tcsbr hospital in
+  let policy = Profiles.doctor ~user:"dr00" in
+  let local = Session.evaluate cfg published policy in
+  let remote = loopback_remote published in
+  let m = Session.evaluate_remote cfg remote policy in
+  let meta = Remote.metadata remote in
+  Remote.close remote;
+  check Alcotest.string "byte-identical output" (events_string local)
+    (events_string m);
+  check int_t "bytes_to_soe identical to in-process channel"
+    local.Session.counters.Channel.bytes_to_soe
+    m.Session.counters.Channel.bytes_to_soe;
+  let w = wire_stats m in
+  check int_t "wire payload bytes == channel bytes_to_soe"
+    m.Session.counters.Channel.bytes_to_soe w.Wire.Stats.payload_bytes;
+  check bool_t "no retries on an honest terminal" true (w.Wire.Stats.retries = 0);
+  check bool_t "verify_requested recorded" true
+    m.Session.counters.Channel.verify_requested;
+  check bool_t "verify_active reflects the scheme"
+    (scheme <> Container.Ecb)
+    m.Session.counters.Channel.verify_active;
+  check bool_t "handshake advertises integrity honestly"
+    (scheme <> Container.Ecb)
+    meta.Wire.Protocol.integrity
+
+let test_random_pairs () =
+  (* >= 25 random document/policy pairs, schemes rotating, each compared
+     byte-for-byte against the in-process channel *)
+  let pairs = ref 0 in
+  for seed = 0 to 8 do
+    let doc =
+      Hospital.generate ~seed
+        ~config:{ Hospital.default_config with folders = 3 + (seed mod 3) }
+        ()
+    in
+    let policies =
+      [
+        Profiles.secretary;
+        Profiles.doctor ~user:"dr00";
+        Xmlac_workload.Rule_gen.generate ~seed doc;
+      ]
+    in
+    List.iteri
+      (fun i policy ->
+        let scheme =
+          List.nth Container.all_schemes ((seed + i) mod 4)
+        in
+        let cfg = cfg scheme in
+        let published = Session.publish cfg ~layout:Layout.Tcsbr doc in
+        let local = Session.evaluate cfg published policy in
+        let remote = loopback_remote published in
+        let m = Session.evaluate_remote cfg remote policy in
+        Remote.close remote;
+        if not (String.equal (events_string local) (events_string m)) then
+          Alcotest.failf "seed %d policy %d (%s): remote diverges from local"
+            seed i
+            (Container.scheme_to_string scheme);
+        let w = wire_stats m in
+        if w.Wire.Stats.payload_bytes
+           <> m.Session.counters.Channel.bytes_to_soe
+        then
+          Alcotest.failf
+            "seed %d policy %d (%s): wire payload %d <> channel bytes %d" seed
+            i
+            (Container.scheme_to_string scheme)
+            w.Wire.Stats.payload_bytes
+            m.Session.counters.Channel.bytes_to_soe;
+        incr pairs)
+      policies
+  done;
+  check bool_t "at least 25 pairs exercised" true (!pairs >= 25)
+
+let test_out_of_range_is_server_error () =
+  let published =
+    Session.publish (cfg Container.Ecb_mht) ~layout:Layout.Tcsbr hospital
+  in
+  let server = Wire.Server.make published.Session.container in
+  let client =
+    Wire.Client.connect (Wire.Server.loopback_connector server)
+  in
+  (match Wire.Client.fetch_chunk client ~chunk:99999 with
+  | _ -> Alcotest.fail "out-of-range chunk was served"
+  | exception Wire.Error.Wire (Wire.Error.Server { code; _ }) ->
+      check int_t "out-of-range error code" Wire.Protocol.err_out_of_range code);
+  Wire.Client.close client
+
+(* Tamper matrix ---------------------------------------------------------- *)
+
+let flip i s =
+  let b = Bytes.of_string s in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x40));
+  Bytes.unsafe_to_string b
+
+let drop_last n s = String.sub s 0 (String.length s - n)
+
+(* Wrap a loopback connection so every reply payload passes through
+   [mutate_frame], which returns the raw frame to deliver. *)
+let mutating_connector server mutate_frame () =
+  let inner = Wire.Server.loopback_connector server () in
+  let pending = ref "" in
+  let pos = ref 0 in
+  let read buf off len =
+    if !pos >= String.length !pending then begin
+      let payload = Wire.Frame.read inner in
+      pending := mutate_frame payload;
+      pos := 0
+    end;
+    let avail = String.length !pending - !pos in
+    let n = min len avail in
+    Bytes.blit_string !pending !pos buf off n;
+    pos := !pos + n;
+    n
+  in
+  Wire.Transport.make ~read
+    ~write:(fun s -> Wire.Transport.write inner s)
+    ~close:(fun () -> Wire.Transport.close inner)
+    ~peer:"loopback+tamper"
+
+(* mutate the payload of replies with opcode [op], reframe everything *)
+let target op f payload =
+  Wire.Frame.encode
+    (if String.length payload > 0 && Char.code payload.[0] = op then f payload
+     else payload)
+
+let tamper_matrix =
+  [
+    (* name, scheme, frame mutation *)
+    ("fragment bytes", Container.Ecb_mht, target 0x82 (flip 1));
+    ("fragment short", Container.Ecb_mht, target 0x82 (drop_last 1));
+    ("chunk bytes", Container.Cbc_shac, target 0x83 (flip 9));
+    ("chunk plaintext digest", Container.Cbc_sha, target 0x83 (flip 9));
+    ("chunk length", Container.Cbc_sha, target 0x83 (drop_last 8));
+    ("digest blob", Container.Ecb_mht, target 0x84 (flip 1));
+    ("digest short", Container.Cbc_sha, target 0x84 (drop_last 1));
+    ("hash state bytes", Container.Ecb_mht, target 0x85 (flip 4));
+    ("hash state length field", Container.Ecb_mht, target 0x85 (flip 2));
+    (* serialized total no longer matches the buffered fill — used to trip
+       an assert inside SHA-1 finalization instead of a typed error *)
+    ( "hash state total desync",
+      Container.Ecb_mht,
+      target 0x85 (fun p ->
+          let b = Bytes.of_string p in
+          Bytes.set b 30 (Char.chr (Char.code p.[30] lxor 0x01));
+          Bytes.unsafe_to_string b) );
+    ("hash state fill desync", Container.Ecb_mht, target 0x85 (flip 31));
+    ("sibling digest", Container.Ecb_mht, target 0x86 (flip 3));
+    ("sibling count field", Container.Ecb_mht, target 0x86 (flip 2));
+    ( "sibling cover shrunk",
+      Container.Ecb_mht,
+      target 0x86 (fun p ->
+          (* patch the count down by one and drop the last digest: decodes
+             fine, but the cover no longer matches what the SOE computed *)
+          let b = Bytes.of_string (drop_last 20 p) in
+          let count = Char.code p.[2] - 1 in
+          Bytes.set b 2 (Char.chr count);
+          Bytes.unsafe_to_string b) );
+    ("frame header", Container.Ecb_mht, fun p -> flip 0 (Wire.Frame.encode p));
+    ("hello scheme byte", Container.Cbc_shac, target 0x81 (flip 3));
+  ]
+
+let test_tamper_matrix () =
+  List.iter
+    (fun (name, scheme, mutate_frame) ->
+      let cfg = cfg scheme in
+      let published = Session.publish cfg ~layout:Layout.Tcsbr hospital in
+      let server = Wire.Server.make published.Session.container in
+      let ccfg = { Wire.Client.default_config with backoff_s = 0. } in
+      match
+        let remote =
+          Remote.connect ~config:ccfg (mutating_connector server mutate_frame)
+        in
+        Session.evaluate_remote cfg remote Profiles.secretary
+      with
+      | _ -> Alcotest.failf "%s: tampered reply went unnoticed" name
+      | exception Container.Integrity_failure _ -> ()
+      | exception Wire.Error.Wire _ -> ()
+      (* anything else escapes and fails the test run *))
+    tamper_matrix
+
+let test_integrity_failure_not_retried () =
+  (* a cryptographic mismatch must surface immediately — zero retries *)
+  let cfg = cfg Container.Ecb_mht in
+  let published = Session.publish cfg ~layout:Layout.Tcsbr hospital in
+  let server = Wire.Server.make published.Session.container in
+  let remote =
+    Remote.connect
+      ~config:{ Wire.Client.default_config with backoff_s = 0. }
+      (mutating_connector server (target 0x82 (flip 1)))
+  in
+  (match Session.evaluate_remote cfg remote Profiles.secretary with
+  | _ -> Alcotest.fail "tampered fragment went unnoticed"
+  | exception Container.Integrity_failure _ -> ()
+  | exception Wire.Error.Wire _ ->
+      Alcotest.fail "integrity violation surfaced as a wire error");
+  let w = Remote.wire_stats remote in
+  check int_t "no retries for an integrity failure" 0 w.Wire.Stats.retries
+
+(* Fault injection -------------------------------------------------------- *)
+
+let test_transient_fault_retried () =
+  (* the first connection stalls; the retry reconnects and succeeds *)
+  let cfg = cfg Container.Ecb_mht in
+  let published = Session.publish cfg ~layout:Layout.Tcsbr hospital in
+  let local = Session.evaluate cfg published Profiles.secretary in
+  let server = Wire.Server.make published.Session.container in
+  let first = ref true in
+  let connector () =
+    let inner = Wire.Server.loopback_connector server () in
+    if !first then begin
+      first := false;
+      let t, _ =
+        Wire.Fault.wrap
+          ~rng:(fun _ -> 0)
+          ~plan:{ Wire.Fault.probability = 1.0; kinds = [ Wire.Fault.Stall ] }
+          inner
+      in
+      t
+    end
+    else inner
+  in
+  let remote =
+    Remote.connect
+      ~config:{ Wire.Client.default_config with backoff_s = 0. }
+      connector
+  in
+  let m = Session.evaluate_remote cfg remote Profiles.secretary in
+  Remote.close remote;
+  check Alcotest.string "output correct after retry" (events_string local)
+    (events_string m);
+  let w = wire_stats m in
+  check bool_t "the stall was retried" true (w.Wire.Stats.retries >= 1);
+  check bool_t "with a reconnect" true (w.Wire.Stats.reconnects >= 1)
+
+let test_persistent_stall_is_typed () =
+  let cfg = cfg Container.Ecb_mht in
+  let published = Session.publish cfg ~layout:Layout.Tcsbr hospital in
+  let server = Wire.Server.make published.Session.container in
+  let connector () =
+    let t, _ =
+      Wire.Fault.wrap
+        ~rng:(fun _ -> 0)
+        ~plan:{ Wire.Fault.probability = 1.0; kinds = [ Wire.Fault.Stall ] }
+        (Wire.Server.loopback_connector server ())
+    in
+    t
+  in
+  match
+    Remote.connect
+      ~config:{ Wire.Client.default_config with backoff_s = 0. }
+      connector
+  with
+  | _ -> Alcotest.fail "connect succeeded through a permanent stall"
+  | exception Wire.Error.Wire (Wire.Error.Transport _) -> ()
+  | exception Wire.Error.Wire e ->
+      Alcotest.failf "expected a transport error, got: %s" (Wire.Error.to_string e)
+
+let test_fault_sweep () =
+  (* adversarial sweep: random faults of every kind; each run either
+     produces byte-identical verified output or a typed error *)
+  let cfg = cfg Container.Ecb_mht in
+  let published = Session.publish cfg ~layout:Layout.Tcsbr hospital in
+  let reference =
+    events_string (Session.evaluate cfg published Profiles.secretary)
+  in
+  let server = Wire.Server.make published.Session.container in
+  let survived = ref 0 and rejected = ref 0 in
+  for seed = 0 to 29 do
+    let prng = Xmlac_workload.Prng.make ~seed in
+    let rng n = Xmlac_workload.Prng.int prng n in
+    let connector () =
+      let t, _ =
+        Wire.Fault.wrap ~rng
+          ~plan:{ Wire.Fault.probability = 0.2; kinds = Wire.Fault.all_kinds }
+          (Wire.Server.loopback_connector server ())
+      in
+      t
+    in
+    let ccfg =
+      { Wire.Client.default_config with backoff_s = 0.; attempts = 4 }
+    in
+    match
+      let remote = Remote.connect ~config:ccfg connector in
+      let m = Session.evaluate_remote cfg remote Profiles.secretary in
+      Remote.close remote;
+      m
+    with
+    | m ->
+        incr survived;
+        if not (String.equal reference (events_string m)) then
+          Alcotest.failf "seed %d: faults corrupted verified output" seed
+    | exception Wire.Error.Wire _ -> incr rejected
+    | exception Container.Integrity_failure _ -> incr rejected
+  done;
+  check int_t "every seed accounted for" 30 (!survived + !rejected);
+  check bool_t "some runs survive their faults" true (!survived > 0)
+
+(* Concurrency and sockets ------------------------------------------------ *)
+
+let test_concurrent_sessions () =
+  let cfg = cfg Container.Ecb_mht in
+  let published = Session.publish cfg ~layout:Layout.Tcsbr hospital in
+  let expected =
+    events_string (Session.evaluate cfg published Profiles.secretary)
+  in
+  let server = Wire.Server.make published.Session.container in
+  let n = 8 in
+  let results = Array.make n "" in
+  let failures = Array.make n None in
+  let worker i =
+    try
+      let remote = Remote.connect (Wire.Server.loopback_connector server) in
+      let m = Session.evaluate_remote cfg remote Profiles.secretary in
+      Remote.close remote;
+      results.(i) <- events_string m
+    with e -> failures.(i) <- Some e
+  in
+  let threads = List.init n (fun i -> Thread.create worker i) in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i -> function
+      | Some e -> Alcotest.failf "session %d failed: %s" i (Printexc.to_string e)
+      | None -> ())
+    failures;
+  Array.iteri
+    (fun i r ->
+      if not (String.equal expected r) then
+        Alcotest.failf "session %d diverges from the reference output" i)
+    results;
+  let totals = Wire.Server.totals server in
+  check bool_t "server tallied the sessions" true
+    (totals.Wire.Stats.requests > n)
+
+let socket_equivalence addr () =
+  let cfg = cfg Container.Ecb_mht in
+  let published = Session.publish cfg ~layout:Layout.Tcsbr hospital in
+  let expected =
+    events_string (Session.evaluate cfg published Profiles.secretary)
+  in
+  let server = Wire.Server.make published.Session.container in
+  let listener = Wire.Transport.listen addr in
+  let stop = ref false in
+  let server_thread =
+    Thread.create (fun () -> Wire.Server.serve ~stop server listener) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      stop := true;
+      Thread.join server_thread;
+      Wire.Transport.close_listener listener)
+    (fun () ->
+      let bound = Wire.Transport.bound_addr listener in
+      let remote = Remote.connect (fun () -> Wire.Transport.connect bound) in
+      let m = Session.evaluate_remote cfg remote Profiles.secretary in
+      Remote.close remote;
+      check Alcotest.string "socket output identical" expected (events_string m);
+      let w = wire_stats m in
+      check int_t "socket payload bytes == channel bytes"
+        m.Session.counters.Channel.bytes_to_soe w.Wire.Stats.payload_bytes)
+
+let test_unix_socket () =
+  let path =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "xmlac-wire-test-%d.sock" (Unix.getpid ()))
+  in
+  socket_equivalence (Wire.Transport.Unix_socket path) ();
+  check bool_t "socket file removed on shutdown" false (Sys.file_exists path)
+
+let test_tcp_socket () =
+  socket_equivalence (Wire.Transport.Tcp ("127.0.0.1", 0)) ()
+
+let test_parse_addr () =
+  (match Wire.Transport.parse_addr "unix:/tmp/t.sock" with
+  | Ok (Wire.Transport.Unix_socket p) -> check Alcotest.string "path" "/tmp/t.sock" p
+  | _ -> Alcotest.fail "unix addr");
+  (match Wire.Transport.parse_addr "tcp:127.0.0.1:8080" with
+  | Ok (Wire.Transport.Tcp (h, p)) ->
+      check Alcotest.string "host" "127.0.0.1" h;
+      check int_t "port" 8080 p
+  | _ -> Alcotest.fail "tcp addr");
+  List.iter
+    (fun s ->
+      match Wire.Transport.parse_addr s with
+      | Ok _ -> Alcotest.failf "bad address %S accepted" s
+      | Error _ -> ())
+    [ ""; "garbage"; "unix:"; "tcp:"; "tcp:host"; "tcp:host:notaport"; "tcp::99999999" ]
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "request roundtrip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick test_response_roundtrip;
+          Alcotest.test_case "hash state padding" `Quick test_hash_state_padding;
+          Alcotest.test_case "metadata validation" `Quick
+            test_metadata_geometry_rejects;
+          Alcotest.test_case "parse addr" `Quick test_parse_addr;
+          QCheck_alcotest.to_alcotest decoders_total;
+          QCheck_alcotest.to_alcotest server_total;
+        ] );
+      ( "loopback",
+        List.map
+          (fun scheme ->
+            Alcotest.test_case
+              (Container.scheme_to_string scheme ^ " equivalence")
+              `Quick
+              (test_loopback_equivalence scheme))
+          Container.all_schemes
+        @ [
+            Alcotest.test_case "25+ random pairs" `Slow test_random_pairs;
+            Alcotest.test_case "out of range -> server error" `Quick
+              test_out_of_range_is_server_error;
+          ] );
+      ( "adversarial",
+        [
+          Alcotest.test_case "tamper matrix" `Quick test_tamper_matrix;
+          Alcotest.test_case "integrity failure not retried" `Quick
+            test_integrity_failure_not_retried;
+          Alcotest.test_case "transient fault retried" `Quick
+            test_transient_fault_retried;
+          Alcotest.test_case "persistent stall is typed" `Quick
+            test_persistent_stall_is_typed;
+          Alcotest.test_case "fault sweep" `Slow test_fault_sweep;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "8 concurrent sessions" `Quick
+            test_concurrent_sessions;
+          Alcotest.test_case "unix socket" `Quick test_unix_socket;
+          Alcotest.test_case "tcp socket" `Quick test_tcp_socket;
+        ] );
+    ]
