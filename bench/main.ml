@@ -3,7 +3,7 @@
    kernels each experiment exercises.
 
    Usage:  dune exec bench/main.exe [-- --quick] [-- --no-bechamel]
-                                    [-- --json FILE]
+                                    [-- --json FILE] [-- --jobs N]
 
    Simulated times use the Table 1 cost model (hardware smart-card context
    unless stated); wall-clock time of this process is never reported as a
@@ -43,6 +43,26 @@ let json_path =
         prerr_endline "bench: --json needs a FILE argument";
         exit 2
       end
+    else find (i + 1)
+  in
+  find 1
+
+(* --jobs N runs every SOE evaluation with that many worker domains; the
+   report's deterministic counters are identical at any value (CI diffs
+   the wall-stripped reports of two job counts to prove it) *)
+let jobs =
+  let rec find i =
+    if i >= Array.length Sys.argv then 1
+    else if Sys.argv.(i) = "--jobs" then
+      match
+        if i + 1 < Array.length Sys.argv then
+          int_of_string_opt Sys.argv.(i + 1)
+        else None
+      with
+      | Some n when n >= 1 -> n
+      | _ ->
+          prerr_endline "bench: --jobs needs a positive integer";
+          exit 2
     else find (i + 1)
   in
   find 1
@@ -101,6 +121,15 @@ let hospital =
   lazy (List.assoc W.Datasets.Hospital_doc (Lazy.force documents))
 
 let config = Session.default_config ()
+
+(* every evaluation in the harness honours the global --jobs count *)
+let evaluate ?query ?verify ?strategy ?options config published policy =
+  Session.evaluate ?query ?verify ?strategy ?options ~jobs config published
+    policy
+
+let evaluate_remote ?query ?verify ?strategy ?options config session policy =
+  Session.evaluate_remote ?query ?verify ?strategy ?options ~jobs config
+    session policy
 
 let published_cache : (string, Session.published) Hashtbl.t = Hashtbl.create 8
 
@@ -228,8 +257,8 @@ let fig9 () =
     (fun { pr_name; pr_policy } ->
       let bf_pub = publish_cached "hospital" ~layout:Layout.Tc doc in
       let ix_pub = publish_cached "hospital" ~layout:Layout.Tcsbr doc in
-      let bf = Session.evaluate ~verify:false ~strategy:"BF" config bf_pub pr_policy in
-      let ix = Session.evaluate ~verify:false config ix_pub pr_policy in
+      let bf = evaluate ~verify:false ~strategy:"BF" config bf_pub pr_policy in
+      let ix = evaluate ~verify:false config ix_pub pr_policy in
       let authorized = Session.authorized_encoded_bytes pr_policy doc in
       let lwb = Session.lwb ~verify:false config ~authorized_bytes:authorized in
       let b = ix.Session.breakdown in
@@ -276,7 +305,7 @@ let fig10 () =
         (fun view ->
           let policy = W.Profiles.view_policy view in
           let query = W.Profiles.age_query ~threshold in
-          let m = Session.evaluate ~verify:false ~query config published policy in
+          let m = evaluate ~verify:false ~query config published policy in
           Printf.printf "  %8.1f %7.2f"
             (kb m.Session.result_bytes)
             m.Session.breakdown.Cost_model.total_s;
@@ -326,7 +355,7 @@ let fig11 () =
               else Session.publish config ~layout:Layout.Tcsbr doc
             in
             let m =
-              Session.evaluate ~verify:(scheme <> Container.Ecb) config
+              evaluate ~verify:(scheme <> Container.Ecb) config
                 published pr_policy
             in
             Printf.printf " %10.2f" m.Session.breakdown.Cost_model.total_s;
@@ -372,8 +401,8 @@ let fig12 () =
           (* the paper's throughput is the rate at which authorized data
              leaves the SOE: result bytes over total time. The LWB oracle
              reads only the authorized bytes of the *encoded* document. *)
-          let m_int = Session.evaluate ~verify:true config published policy in
-          let m_noint = Session.evaluate ~verify:false config published policy in
+          let m_int = evaluate ~verify:true config published policy in
+          let m_noint = evaluate ~verify:false config published policy in
           let result = m_int.Session.result_bytes in
           let authorized = Session.authorized_encoded_bytes policy doc in
           let throughput seconds =
@@ -428,7 +457,7 @@ let contexts () =
           (fun context ->
             let config = Session.default_config ~context () in
             let published = publish_cached "hospital" ~layout:Layout.Tcsbr doc in
-            let m = Session.evaluate ~verify:false config published pr_policy in
+            let m = evaluate ~verify:false config published pr_policy in
             let b = m.Session.breakdown in
             Printf.printf "  %8.2f (comm %3.0f%%)" b.Cost_model.total_s
               (100. *. b.Cost_model.communication_s /. b.Cost_model.total_s);
@@ -456,6 +485,7 @@ let ablation () =
           Evaluator.enable_skipping = false;
           enable_rest_skips = false;
           enable_desctag_filter = false;
+          enable_ara_memo = true;
         } );
       ( "skips, no DescTag filter",
         "skips_s",
@@ -463,6 +493,7 @@ let ablation () =
           Evaluator.enable_skipping = true;
           enable_rest_skips = false;
           enable_desctag_filter = false;
+          enable_ara_memo = true;
         } );
       ( "skips + DescTag filter",
         "skips_desctag_s",
@@ -470,6 +501,7 @@ let ablation () =
           Evaluator.enable_skipping = true;
           enable_rest_skips = false;
           enable_desctag_filter = true;
+          enable_ara_memo = true;
         } );
       ("full design (+tail skips)", "full_s", Evaluator.default_options);
     ]
@@ -485,7 +517,7 @@ let ablation () =
       List.iter
         (fun { pr_name; pr_policy } ->
           let m =
-            Session.evaluate ~verify:false ~options config published pr_policy
+            evaluate ~verify:false ~options config published pr_policy
           in
           let t = m.Session.breakdown.Cost_model.total_s in
           let cell =
@@ -522,7 +554,7 @@ let ablation_geometry () =
     (fun (chunk_size, fragment_size) ->
       let config = { config with Session.chunk_size; fragment_size } in
       let published = Session.publish config ~layout:Layout.Tcsbr doc in
-      let m = Session.evaluate config published policy in
+      let m = evaluate config published policy in
       Printf.printf "  %-22s %12.2f %12.1f %12d\n"
         (Printf.sprintf "%dB / %dB" chunk_size fragment_size)
         m.Session.breakdown.Cost_model.total_s
@@ -551,7 +583,7 @@ let memory_scaling () =
       let doc = W.Hospital.generate_sized ~seed:4 ~target_bytes:target () in
       let published = Session.publish config ~layout:Layout.Tcsbr doc in
       let peak policy =
-        (Session.evaluate ~verify:false config published policy).Session.eval
+        (evaluate ~verify:false config published policy).Session.eval
           .Evaluator.memory_peak_bytes
       in
       let doc_kb = String.length (Writer.tree_to_string doc) / 1024 in
@@ -654,8 +686,8 @@ let remote () =
       let session =
         Xmlac_soe.Remote.connect (Xmlac_wire.Server.loopback_connector server)
       in
-      let local = Session.evaluate config published W.Profiles.secretary in
-      let m = Session.evaluate_remote config session W.Profiles.secretary in
+      let local = evaluate config published W.Profiles.secretary in
+      let m = evaluate_remote config session W.Profiles.secretary in
       Xmlac_soe.Remote.close session;
       if m.Session.events <> local.Session.events then
         failwith "remote view diverges from the in-process channel";
@@ -673,6 +705,92 @@ let remote () =
     Container.all_schemes;
   note "wire payload equals the channel's bytes_to_soe under every scheme;";
   note "  the perf gate holds the equality in both directions"
+
+(* Decrypt-ahead pipeline ---------------------------------------------------- *)
+
+(* Not a paper figure: the worker-pool speedup on the channel's chunked
+   decrypt+verify path. Each row reads the full payload through the SOE
+   channel in 64 KB slabs at a given job count; the delivered bytes must
+   be identical at every count (checked by digest), only the wall time
+   may move. Wall metrics are exempt from gating; the byte counters and
+   cache tallies are gated like everywhere else. *)
+let pipeline () =
+  banner "Decrypt-ahead pipeline: full-payload channel reads vs worker domains";
+  let doc = Lazy.force hospital in
+  Printf.printf "  %-9s %5s %12s %10s %9s %10s\n" "Scheme" "jobs" "payload(B)"
+    "wall(s)" "speedup" "pool tasks";
+  List.iter
+    (fun scheme ->
+      let config = Session.default_config ~scheme () in
+      let published = Session.publish config ~layout:Layout.Tcsbr doc in
+      let container = published.Session.container in
+      let payload = Container.payload_length container in
+      let read_all counters pool =
+        let source =
+          Channel.source ?pool ~container ~key:config.Session.key counters
+        in
+        let buf = Buffer.create payload in
+        let slab = 65536 in
+        let pos = ref 0 in
+        while !pos < payload do
+          let n = min slab (payload - !pos) in
+          Buffer.add_string buf
+            (source.Xmlac_skip_index.Decoder.read ~pos:!pos ~len:n);
+          pos := !pos + n
+        done;
+        Xmlac_crypto.Sha1.digest (Buffer.contents buf)
+      in
+      let base_wall = ref 0.0 in
+      let base_digest = ref "" in
+      List.iter
+        (fun row_jobs ->
+          let counters = Channel.fresh_counters () in
+          (* domain spawn/join stays outside the timed region, like a
+             session that reuses its pool across reads *)
+          let timed_read pool =
+            Xmlac_obs.Span.time "pipeline.read" (fun () ->
+                read_all counters pool)
+          in
+          let digest, wall_s =
+            if row_jobs <= 1 then timed_read None
+            else
+              Xmlac_soe.Pool.with_pool ~jobs:row_jobs (fun p ->
+                  timed_read (Some p))
+          in
+          if row_jobs = 1 then begin
+            base_wall := wall_s;
+            base_digest := digest
+          end
+          else if digest <> !base_digest then
+            failwith "pipeline: delivered bytes diverge across job counts";
+          let speedup = !base_wall /. wall_s in
+          Printf.printf "  %-9s %5d %12d %10.3f %8.2fx %10s\n"
+            (Container.scheme_to_string scheme)
+            row_jobs payload wall_s speedup
+            (if row_jobs = 1 then "-" else "pooled");
+          record ~name:"pipeline"
+            ~profile:
+              (Printf.sprintf "%s_j%d"
+                 (String.lowercase_ascii (Container.scheme_to_string scheme))
+                 row_jobs)
+            (Metrics.
+               [
+                 int "payload_bytes" payload;
+                 int "bytes_decrypted"
+                   counters.Channel.bytes_decrypted;
+                 int "bytes_hashed" counters.Channel.bytes_hashed;
+               ]
+            @ Metrics.prefix "cache" (Channel.cache_metrics counters)
+            @ Metrics.
+                [
+                  int "pool.jobs" row_jobs;
+                  float "wall_read_s" wall_s;
+                  float "wall_speedup" speedup;
+                ]))
+        [ 1; 2; 4 ])
+    [ Container.Ecb_mht; Container.Cbc_shac ];
+  note "delivered bytes are digest-checked identical at every job count;";
+  note "  only wall time moves — the deterministic counters are gated as usual"
 
 (* Bechamel micro-benchmarks ------------------------------------------------ *)
 
@@ -725,7 +843,7 @@ let bechamel_suite () =
             fun () -> Xmlac_crypto.Modes.positional_encrypt cipher ~base:0 block));
       (* Figure 12: the whole SOE pipeline with integrity *)
       Test.make ~name:"f12:soe-session"
-        (Staged.stage (fun () -> Session.evaluate config published policy));
+        (Staged.stage (fun () -> evaluate config published policy));
     ]
   in
   let grouped = Test.make_grouped ~name:"xmlac" ~fmt:"%s/%s" tests in
@@ -772,6 +890,7 @@ let () =
   run_experiment "memory_scaling" memory_scaling;
   run_experiment "update_costs" update_costs;
   run_experiment "remote" remote;
+  run_experiment "pipeline" pipeline;
   if not no_bechamel then run_experiment "bechamel" bechamel_suite;
   (match json_path with
   | None -> ()

@@ -88,6 +88,31 @@ let remote_arg =
           "Fetch the container from a terminal at ADDR (unix:PATH or \
            tcp:HOST:PORT, see xterminal) instead of a local file.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the SOE's decrypt-ahead pipeline (default 1 = \
+           sequential). The delivered view and every deterministic counter \
+           are identical at any job count.")
+
+(* run [f] with the worker pool --jobs asks for (none when sequential) *)
+let with_jobs jobs f =
+  if jobs <= 1 then f None
+  else Xmlac_soe.Pool.with_pool ~jobs (fun pool -> f (Some pool))
+
+let pool_metrics ~jobs pool =
+  let open Xmlac_obs.Metrics in
+  prefix "pool"
+    [
+      int "jobs" jobs;
+      int "sections"
+        (match pool with None -> 0 | Some p -> Xmlac_soe.Pool.sections p);
+      int "tasks_run"
+        (match pool with None -> 0 | Some p -> Xmlac_soe.Pool.tasks_run p);
+    ]
+
 let layout_conv =
   let parse s =
     match Layout.of_string (String.uppercase_ascii s) with
@@ -117,7 +142,7 @@ let expect_scheme_arg =
 (* Open the SOE byte source for view/unlock: a local container file or a
    remote terminal session. Returns the source, the scheme it speaks, and
    the session to close when done. *)
-let open_source ~input ~remote ~expect_scheme ~key counters =
+let open_source ?pool ~input ~remote ~expect_scheme ~key counters =
   match remote with
   | Some addr_str ->
       let addr =
@@ -128,14 +153,14 @@ let open_source ~input ~remote ~expect_scheme ~key counters =
       let r =
         Remote.connect ?expect_scheme (fun () -> Wire.Transport.connect addr)
       in
-      let source = Remote.source r ~key counters in
+      let source = Remote.source ?pool r ~key counters in
       (source, (Remote.metadata r).Wire.Protocol.scheme, Some r)
   | None -> (
       match input with
       | None -> die "no container: give --input FILE or --remote ADDR"
       | Some f ->
           let container = Container.of_bytes (read_file f) in
-          let source = Channel.source ~container ~key counters in
+          let source = Channel.source ?pool ~container ~key counters in
           (source, Container.scheme container, None))
 
 (* the paper's schemes silently skip verification under plain ECB; say so
@@ -364,13 +389,14 @@ let view_cmd =
              events) to FILE, for xacml explain or audit_replay.")
   in
   let run input pass remote expect_scheme rules policy_file query_str user
-      dummy stats_flag trace_flag trace_out =
+      dummy stats_flag trace_flag trace_out jobs =
     let policy = assemble_policy ~rules ~policy_file ~user in
     let query = Option.map Xmlac_xpath.Parse.path query_str in
     let key = key_of_passphrase pass in
     let counters = Channel.fresh_counters () in
+    with_jobs jobs @@ fun pool ->
     let source, scheme, remote_session =
-      open_source ~input ~remote ~expect_scheme ~key counters
+      open_source ?pool ~input ~remote ~expect_scheme ~key counters
     in
     let decoder = Xmlac_skip_index.Decoder.of_source source in
     if trace_flag then
@@ -437,10 +463,12 @@ let view_cmd =
             (Xmlac_skip_index.Decoder.stats_metrics
                (Xmlac_skip_index.Decoder.stats decoder))
         @ prefix "channel" (Channel.metrics counters)
+        @ prefix "cache" (Channel.cache_metrics counters)
         @ (match remote_session with
           | Some r -> prefix "wire" (Wire.Stats.metrics (Remote.wire_stats r))
           | None -> [])
         @ prefix "cost" (Cost_model.breakdown_metrics b)
+        @ pool_metrics ~jobs pool
         @ [ float "wall_s" wall_s ]
       in
       List.iter (Fmt.epr "%s@.") (Xmlac_obs.Metrics.render metrics);
@@ -454,7 +482,7 @@ let view_cmd =
     Term.(
       const run $ input_opt_arg $ passphrase_arg $ remote_arg
       $ expect_scheme_arg $ rules_arg $ policy_file_arg $ query_arg $ user_arg
-      $ dummy $ stats_flag $ trace_flag $ trace_out)
+      $ dummy $ stats_flag $ trace_flag $ trace_out $ jobs_arg)
 
 (* explain -------------------------------------------------------------------- *)
 
@@ -579,7 +607,7 @@ let unlock_cmd =
   let stats_flag =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print SOE cost statistics.")
   in
-  let run input remote expect_scheme license_file soe_pass stats_flag =
+  let run input remote expect_scheme license_file soe_pass stats_flag jobs =
     match
       Xmlac_soe.License.unseal
         ~soe_key:(key_of_passphrase soe_pass)
@@ -590,8 +618,9 @@ let unlock_cmd =
         exit 1
     | Ok lic ->
         let counters = Channel.fresh_counters () in
+        with_jobs jobs @@ fun pool ->
         let source, scheme, remote_session =
-          open_source ~input ~remote ~expect_scheme
+          open_source ?pool ~input ~remote ~expect_scheme
             ~key:(Xmlac_soe.License.key lic) counters
         in
         let decoder = Xmlac_skip_index.Decoder.of_source source in
@@ -612,11 +641,12 @@ let unlock_cmd =
               (Xmlac_core.Evaluator.stats_metrics
                  result.Xmlac_core.Evaluator.stats)
             @ prefix "channel" (Channel.metrics counters)
-            @
-            match remote_session with
-            | Some r ->
-                prefix "wire" (Wire.Stats.metrics (Remote.wire_stats r))
-            | None -> []
+            @ prefix "cache" (Channel.cache_metrics counters)
+            @ (match remote_session with
+              | Some r ->
+                  prefix "wire" (Wire.Stats.metrics (Remote.wire_stats r))
+              | None -> [])
+            @ pool_metrics ~jobs pool
           in
           List.iter (Fmt.epr "%s@.") (Xmlac_obs.Metrics.render metrics)
         end;
@@ -627,7 +657,7 @@ let unlock_cmd =
        ~doc:"Evaluate a container using a sealed license (rules + key).")
     Term.(
       const run $ input_opt_arg $ remote_arg $ expect_scheme_arg
-      $ license_file $ soe_key_arg $ stats_flag)
+      $ license_file $ soe_key_arg $ stats_flag $ jobs_arg)
 
 (* update --------------------------------------------------------------------- *)
 

@@ -61,12 +61,62 @@ let positional_decrypt c ~base s =
   if base mod 8 <> 0 then invalid_arg "Modes.positional_decrypt: unaligned base";
   map_blocks (fun i b -> Int64.logxor (c.decrypt b) (position_mask ~base i)) s
 
+(* In-place variants: decrypt a slice of [src] straight into [dst] without
+   materialising an intermediate string. The hot read path decrypts one
+   8-byte block at a time, so avoiding a String.sub + fresh result string
+   per call is what kills the per-block churn. *)
+
+let check_into name ~src ~src_pos ~dst ~dst_pos ~len =
+  if len mod 8 <> 0 then invalid_arg (name ^ ": length must be a multiple of 8");
+  if src_pos < 0 || len < 0 || src_pos + len > String.length src then
+    invalid_arg (name ^ ": source range out of bounds");
+  if dst_pos < 0 || dst_pos + len > Bytes.length dst then
+    invalid_arg (name ^ ": destination range out of bounds")
+
+let ecb_decrypt_into c ~src ~src_pos ~dst ~dst_pos ~len =
+  check_into "Modes.ecb_decrypt_into" ~src ~src_pos ~dst ~dst_pos ~len;
+  for i = 0 to (len / 8) - 1 do
+    Des.block_to_bytes dst
+      ~pos:(dst_pos + (8 * i))
+      (c.decrypt (Des.block_of_bytes src ~pos:(src_pos + (8 * i))))
+  done
+
+let cbc_decrypt_into c ~iv ~src ~src_pos ~dst ~dst_pos ~len =
+  check_into "Modes.cbc_decrypt_into" ~src ~src_pos ~dst ~dst_pos ~len;
+  if src_pos mod 8 <> 0 then
+    invalid_arg "Modes.cbc_decrypt_into: unaligned source position";
+  let prev =
+    ref (if src_pos = 0 then iv else Des.block_of_bytes src ~pos:(src_pos - 8))
+  in
+  for i = 0 to (len / 8) - 1 do
+    let b = Des.block_of_bytes src ~pos:(src_pos + (8 * i)) in
+    Des.block_to_bytes dst
+      ~pos:(dst_pos + (8 * i))
+      (Int64.logxor (c.decrypt b) !prev);
+    prev := b
+  done
+
+let positional_decrypt_into c ~base ~src ~src_pos ~dst ~dst_pos ~len =
+  check_into "Modes.positional_decrypt_into" ~src ~src_pos ~dst ~dst_pos ~len;
+  if base mod 8 <> 0 then
+    invalid_arg "Modes.positional_decrypt_into: unaligned base";
+  for i = 0 to (len / 8) - 1 do
+    Des.block_to_bytes dst
+      ~pos:(dst_pos + (8 * i))
+      (Int64.logxor
+         (c.decrypt (Des.block_of_bytes src ~pos:(src_pos + (8 * i))))
+         (position_mask ~base i))
+  done
+
 let positional_decrypt_sub c ~base s ~pos ~len =
   if pos mod 8 <> 0 || len mod 8 <> 0 then
     invalid_arg "Modes.positional_decrypt_sub: unaligned range";
   if pos < 0 || pos + len > String.length s then
     invalid_arg "Modes.positional_decrypt_sub: range out of bounds";
-  positional_decrypt c ~base:(base + pos) (String.sub s pos len)
+  let out = Bytes.create len in
+  positional_decrypt_into c ~base:(base + pos) ~src:s ~src_pos:pos ~dst:out
+    ~dst_pos:0 ~len;
+  Bytes.unsafe_to_string out
 
 let pad s =
   let n = String.length s in

@@ -32,6 +32,47 @@ val positional_decrypt_sub :
     has absolute offset [base]; [pos] and [len] must be 8-byte aligned —
     this is the random access the positional scheme enables. *)
 
+val ecb_decrypt_into :
+  cipher ->
+  src:string ->
+  src_pos:int ->
+  dst:Bytes.t ->
+  dst_pos:int ->
+  len:int ->
+  unit
+(** Decrypt [len] bytes of [src] at [src_pos] straight into [dst] at
+    [dst_pos], with no intermediate allocation. [len] must be a multiple
+    of 8.
+    @raise Invalid_argument on misalignment or an out-of-bounds range. *)
+
+val cbc_decrypt_into :
+  cipher ->
+  iv:int64 ->
+  src:string ->
+  src_pos:int ->
+  dst:Bytes.t ->
+  dst_pos:int ->
+  len:int ->
+  unit
+(** CBC counterpart of {!ecb_decrypt_into}. [src_pos] must be 8-byte
+    aligned within the chunk ciphertext: the chaining value for the first
+    block is [iv] when [src_pos = 0] and the previous cipher block (read
+    from [src] at [src_pos - 8]) otherwise, so a chunk can be decrypted in
+    independent slices. *)
+
+val positional_decrypt_into :
+  cipher ->
+  base:int ->
+  src:string ->
+  src_pos:int ->
+  dst:Bytes.t ->
+  dst_pos:int ->
+  len:int ->
+  unit
+(** Positional counterpart of {!ecb_decrypt_into}. [base] is the absolute
+    document offset of [src.[src_pos]] (not of the buffer start) and must
+    be 8-byte aligned. *)
+
 val pad : string -> string
 (** ISO/IEC 7816-4: append 0x80 then zeros up to a multiple of 8 (always
     appends at least one byte). *)

@@ -77,14 +77,27 @@ let header_tag t =
   ^ be_bytes t.payload_len 8
 
 let chunk_payload_digest t ~chunk ~data =
-  Sha1.digest (header_tag t ^ be_bytes chunk 8 ^ data)
+  (* fed incrementally: concatenating would copy the whole chunk per digest *)
+  let ctx = Sha1.init () in
+  Sha1.feed ctx (header_tag t);
+  Sha1.feed ctx (be_bytes chunk 8);
+  Sha1.feed ctx data;
+  Sha1.finalize ctx
 
 let expected_digest_of_plain t ~chunk ~plain = chunk_payload_digest t ~chunk ~data:plain
 let expected_digest_of_cipher t ~chunk ~cipher = chunk_payload_digest t ~chunk ~data:cipher
 
-let fragment_leaf_hash t ~chunk ~fragment ~cipher =
+let fragment_leaf_hash_sub t ~chunk ~fragment ~cipher ~pos ~len =
   ignore t;
-  Sha1.digest (be_bytes chunk 4 ^ be_bytes fragment 4 ^ cipher)
+  let ctx = Sha1.init () in
+  Sha1.feed ctx (be_bytes chunk 4);
+  Sha1.feed ctx (be_bytes fragment 4);
+  Sha1.feed_sub ctx cipher ~pos ~len;
+  Sha1.finalize ctx
+
+let fragment_leaf_hash t ~chunk ~fragment ~cipher =
+  fragment_leaf_hash_sub t ~chunk ~fragment ~cipher ~pos:0
+    ~len:(String.length cipher)
 
 let seal_root t ~chunk ~root = chunk_payload_digest t ~chunk ~data:root
 
@@ -92,8 +105,8 @@ let mht_root t ~chunk ~cipher =
   let m = fragments_per_chunk t in
   let leaves =
     Array.init m (fun i ->
-        fragment_leaf_hash t ~chunk ~fragment:i
-          ~cipher:(String.sub cipher (i * t.fragment_size) t.fragment_size))
+        fragment_leaf_hash_sub t ~chunk ~fragment:i ~cipher
+          ~pos:(i * t.fragment_size) ~len:t.fragment_size)
   in
   Merkle.root_of_leaves leaves
 
@@ -261,17 +274,27 @@ let substitute_block t ~chunk ~block replacement =
   chunks.(chunk) <- Bytes.to_string b;
   { t with chunks }
 
-let decrypt_chunk_cipher t ~key ~chunk ~cipher =
+let decrypt_chunk_cipher_into t ~key ~chunk ~cipher ~dst =
   if String.length cipher <> t.chunk_size then
     raise
       (Integrity_failure
          (Printf.sprintf "chunk %d: ciphertext of %d bytes, expected %d" chunk
             (String.length cipher) t.chunk_size));
+  if Bytes.length dst < t.chunk_size then
+    invalid_arg "Secure_container.decrypt_chunk_cipher_into: destination too small";
   let c = Modes.of_triple_des key in
   match t.scheme with
   | Ecb | Ecb_mht ->
-      Modes.positional_decrypt c ~base:(chunk * t.chunk_size) cipher
-  | Cbc_sha | Cbc_shac -> Modes.cbc_decrypt c ~iv:(Int64.of_int chunk) cipher
+      Modes.positional_decrypt_into c ~base:(chunk * t.chunk_size) ~src:cipher
+        ~src_pos:0 ~dst ~dst_pos:0 ~len:t.chunk_size
+  | Cbc_sha | Cbc_shac ->
+      Modes.cbc_decrypt_into c ~iv:(Int64.of_int chunk) ~src:cipher ~src_pos:0
+        ~dst ~dst_pos:0 ~len:t.chunk_size
+
+let decrypt_chunk_cipher t ~key ~chunk ~cipher =
+  let dst = Bytes.create t.chunk_size in
+  decrypt_chunk_cipher_into t ~key ~chunk ~cipher ~dst;
+  Bytes.unsafe_to_string dst
 
 let decrypt_chunk t ~key i =
   decrypt_chunk_cipher t ~key ~chunk:i ~cipher:t.chunks.(i)

@@ -106,6 +106,12 @@ val expected_digest_of_plain : t -> chunk:int -> plain:string -> string
 val expected_digest_of_cipher : t -> chunk:int -> cipher:string -> string
 val fragment_leaf_hash : t -> chunk:int -> fragment:int -> cipher:string -> string
 
+val fragment_leaf_hash_sub :
+  t -> chunk:int -> fragment:int -> cipher:string -> pos:int -> len:int -> string
+(** {!fragment_leaf_hash} over the fragment's bytes at [\[pos, pos + len)]
+    of a larger ciphertext buffer (typically the whole chunk), so callers
+    iterating a chunk's fragments need not cut per-fragment copies. *)
+
 val seal_root : t -> chunk:int -> root:string -> string
 (** The stored ECB-MHT chunk digest: the Merkle root hashed together with
     the container geometry (scheme, chunk/fragment sizes, payload length),
@@ -120,6 +126,13 @@ val decrypt_chunk_cipher :
 (** Like {!decrypt_chunk}, but taking the chunk ciphertext itself (as served
     by a remote terminal). @raise Integrity_failure if [cipher] is not
     exactly [chunk_size t] bytes. *)
+
+val decrypt_chunk_cipher_into :
+  t -> key:Des.Triple.key -> chunk:int -> cipher:string -> dst:Bytes.t -> unit
+(** In-place variant of {!decrypt_chunk_cipher}: decrypts the whole chunk
+    into the first [chunk_size t] bytes of [dst] without allocating a
+    result string, so a session can reuse one plaintext buffer per chunk.
+    @raise Invalid_argument if [dst] is smaller than [chunk_size t]. *)
 
 val decrypt_fragment :
   t -> key:Des.Triple.key -> chunk:int -> fragment:int -> cipher:string -> string

@@ -14,6 +14,9 @@ type ctx = {
   mutable total : int;  (* message bytes fed so far *)
   block : Bytes.t;  (* 64-byte block buffer *)
   mutable fill : int;  (* bytes currently in [block] *)
+  w : int array;
+      (* per-context message schedule so concurrent computations on
+         separate domains never share scratch state *)
 }
 
 let init () =
@@ -26,15 +29,15 @@ let init () =
     total = 0;
     block = Bytes.create 64;
     fill = 0;
+    w = Array.make 80 0;
   }
 
-let copy c = { c with block = Bytes.copy c.block }
+let copy c = { c with block = Bytes.copy c.block; w = Array.make 80 0 }
 
 let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask32
 
-let w = Array.make 80 0
-
 let process_block c (b : Bytes.t) off =
+  let w = c.w in
   for i = 0 to 15 do
     w.(i) <-
       (Char.code (Bytes.get b (off + (4 * i))) lsl 24)

@@ -82,6 +82,7 @@ let wire_seed_frames =
              payload_length = 2048;
              chunk_count = 4;
              integrity = true;
+             batching = true;
            };
          Fragment (String.make 64 '\x2a');
          Chunk (String.make 512 '\x2a');

@@ -77,9 +77,31 @@ module Reader = struct
     mutable pos : int;  (* next unread byte *)
     mutable acc : int;  (* bits read from [pos-?] not yet consumed *)
     mutable acc_bits : int;
+    mutable buf : string;  (* readahead window *)
+    mutable buf_start : int;  (* absolute position of buf.[0] *)
   }
 
-  let create ~read ~length = { read; length; pos = 0; acc = 0; acc_bits = 0 }
+  let create ~read ~length =
+    { read; length; pos = 0; acc = 0; acc_bits = 0; buf = ""; buf_start = 0 }
+
+  (* One cipher block of readahead. Repeated single-byte reads (bit fields,
+     varints) land in the same 8-byte block, which the backing channel
+     fetches and decrypts whole in any case — so buffering exactly that
+     block skips a channel call per byte without changing what the channel
+     fetches, decrypts or charges. The payload is immutable, so the window
+     stays valid across seeks. *)
+  let block = 8
+
+  let fill r pos =
+    let start = pos - (pos mod block) in
+    let len = min block (r.length - start) in
+    r.buf <- r.read ~pos:start ~len;
+    r.buf_start <- start
+
+  let byte_at r pos =
+    if pos < r.buf_start || pos >= r.buf_start + String.length r.buf then
+      fill r pos;
+    Char.code r.buf.[pos - r.buf_start]
 
   let of_string s =
     create
@@ -101,8 +123,7 @@ module Reader = struct
 
   let refill r =
     if r.pos >= r.length then Error.corrupt "read past end of input";
-    let s = r.read ~pos:r.pos ~len:1 in
-    r.acc <- (r.acc lsl 8) lor Char.code s.[0];
+    r.acc <- (r.acc lsl 8) lor byte_at r r.pos;
     r.acc_bits <- r.acc_bits + 8;
     r.pos <- r.pos + 1
 
@@ -131,7 +152,7 @@ module Reader = struct
          and keeps hostile continuation-byte chains from overflowing the
          OCaml integer into a negative value *)
       if shift > 49 then Error.corrupt "varint too long";
-      let b = Char.code (r.read ~pos:r.pos ~len:1).[0] in
+      let b = byte_at r r.pos in
       r.pos <- r.pos + 1;
       let acc = acc lor ((b land 0x7F) lsl shift) in
       if b land 0x80 = 0 then acc else go (shift + 7) acc
@@ -141,7 +162,13 @@ module Reader = struct
   let bytes r n =
     align r;
     if n < 0 || r.pos + n > r.length then Error.corrupt "truncated byte run";
-    let s = r.read ~pos:r.pos ~len:n in
+    let s =
+      if
+        r.pos >= r.buf_start
+        && r.pos + n <= r.buf_start + String.length r.buf
+      then String.sub r.buf (r.pos - r.buf_start) n
+      else r.read ~pos:r.pos ~len:n
+    in
     r.pos <- r.pos + n;
     s
 end

@@ -333,13 +333,36 @@ let skip_rest t =
 
 let range_size h = h.r_end - h.r_start
 
+(* Readbacks re-read a pending region whose extent is already known, so
+   instead of dribbling byte-level reads through the backing channel, the
+   whole region is fetched as one slab — bulk reads are the channel
+   pipeline's best case — and the sub-decoder parses from memory. The slab
+   is block-aligned, so the channel fetches exactly the cipher blocks the
+   byte-level reads would have touched. A hostile size field that escapes
+   the region maps outside the slab and fails as typed corruption. *)
+let slab_source t ~start ~stop =
+  let lo = start - (start mod 8) in
+  let hi = min t.source.length ((stop + 7) / 8 * 8) in
+  let slab = t.source.read ~pos:lo ~len:(hi - lo) in
+  {
+    read =
+      (fun ~pos ~len ->
+        if pos < lo || pos + len > hi then
+          Error.corrupt "readback outside its region";
+        String.sub slab (pos - lo) len);
+    length = t.source.length;
+  }
+
 let read_subtree t h =
   t.stats.readback_subtrees <- t.stats.readback_subtrees + 1;
   t.stats.readback_bytes <- t.stats.readback_bytes + h.h_size;
   let sub =
     {
       source = t.source;
-      reader = reader_of_source t.source;
+      reader =
+        reader_of_source
+          (slab_source t ~start:h.h_content_start
+             ~stop:(h.h_content_start + h.h_size));
       hdr = t.hdr;
       dict = t.dict;
       full_set = t.full_set;
@@ -381,7 +404,7 @@ let read_range t h =
   let sub =
     {
       source = t.source;
-      reader = reader_of_source t.source;
+      reader = reader_of_source (slab_source t ~start:h.r_start ~stop:h.r_end);
       hdr = t.hdr;
       dict = t.dict;
       full_set = t.full_set;

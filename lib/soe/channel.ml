@@ -1,6 +1,7 @@
 module C = Xmlac_crypto.Secure_container
 module Merkle = Xmlac_crypto.Merkle
 module Sha1 = Xmlac_crypto.Sha1
+module Modes = Xmlac_crypto.Modes
 
 type counters = {
   mutable bytes_to_soe : int;
@@ -13,6 +14,10 @@ type counters = {
   mutable chunk_fetches : int;
   mutable verify_requested : bool;
   mutable verify_active : bool;
+  cache : Lru.stats;
+      (* hit/miss/evicted across the session's SOE caches (fragment, chunk,
+         digest); driven purely by the deterministic lookup sequence, so
+         gate-checked like the byte counters *)
   crypto_hist : Xmlac_obs.Histogram.t;
       (* wall time of each decrypt+verify unit (a chunk fetch or a fragment
          suffix extension); "wall"-prefixed so its metrics escape the perf
@@ -31,6 +36,7 @@ let fresh_counters () =
     chunk_fetches = 0;
     verify_requested = false;
     verify_active = false;
+    cache = Lru.fresh_stats ();
     crypto_hist = Xmlac_obs.Histogram.make "wall_crypto";
   }
 
@@ -49,6 +55,14 @@ let metrics (c : counters) : Xmlac_obs.Metrics.t =
       int "verify_active" (Bool.to_int c.verify_active);
     ]
   @ Xmlac_obs.Histogram.metrics c.crypto_hist
+
+let cache_metrics (c : counters) : Xmlac_obs.Metrics.t =
+  Xmlac_obs.Metrics.
+    [
+      int "hits" c.cache.Lru.hits;
+      int "misses" c.cache.Lru.misses;
+      int "evicted" c.cache.Lru.evicted;
+    ]
 
 (* per-chunk integrity verdicts flow into the provenance trace when a sink
    is installed; field construction stays behind [Trace.enabled] *)
@@ -69,6 +83,20 @@ let hash_state_bytes = 29 + 63 (* serialized mid-stream SHA-1 state, worst case 
 let be_bytes value width =
   String.init width (fun i -> Char.chr ((value lsr (8 * (width - 1 - i))) land 0xFF))
 
+type slice = { s_data : string; s_off : int }
+
+(* Requests the channel can coalesce into one terminal round trip, and
+   their replies. Mirrors the individual fetch operations below; the wire
+   Batch frame is the remote implementation. *)
+type fetch_req =
+  | Fetch_fragment of { chunk : int; fragment : int; lo : int; hi : int }
+  | Fetch_chunk of { chunk : int }
+  | Fetch_digest of { chunk : int }
+  | Fetch_hash_state of { chunk : int; fragment : int; upto : int }
+  | Fetch_siblings of { chunk : int; fragment : int }
+
+type fetch_reply = Bytes_reply of string | List_reply of string list
+
 (* What the SOE asks of a terminal (paper Appendix A): ciphertext ranges,
    whole chunks, encrypted chunk digests, intermediate hash states of
    fragment prefixes, and Merkle sibling digests. The in-process
@@ -79,11 +107,14 @@ type terminal = {
   t_container : C.t;
       (* for the local terminal, the full container; for a remote one, the
          header-only geometry from the (validated) handshake *)
-  fetch_fragment : chunk:int -> fragment:int -> lo:int -> hi:int -> string;
+  fetch_fragment : chunk:int -> fragment:int -> lo:int -> hi:int -> slice;
   fetch_chunk : chunk:int -> string;
   fetch_digest : chunk:int -> string;
   fetch_hash_state : chunk:int -> fragment:int -> upto:int -> string;
   fetch_siblings : chunk:int -> fragment:int -> string list;
+  fetch_many : (fetch_req list -> fetch_reply list) option;
+      (* several fetches in one round trip, replies in request order; None
+         when the terminal has no such fast path (local, or a v1.0 remote) *)
 }
 
 let local_terminal container =
@@ -91,15 +122,17 @@ let local_terminal container =
      an ordinary computer and caches freely) *)
   let terminal_leaves : (int, string array) Hashtbl.t = Hashtbl.create 8 in
   let frags_per_chunk = C.fragments_per_chunk container in
+  let frag_size = C.fragment_size container in
+  let leaf_hash chunk fragment =
+    C.fragment_leaf_hash_sub container ~chunk ~fragment
+      ~cipher:(C.chunk_ciphertext container chunk)
+      ~pos:(fragment * frag_size) ~len:frag_size
+  in
   let leaves chunk =
     match Hashtbl.find_opt terminal_leaves chunk with
     | Some l -> l
     | None ->
-        let l =
-          Array.init frags_per_chunk (fun i ->
-              C.fragment_leaf_hash container ~chunk ~fragment:i
-                ~cipher:(C.fragment_ciphertext container ~chunk ~fragment:i))
-        in
+        let l = Array.init frags_per_chunk (fun i -> leaf_hash chunk i) in
         Hashtbl.replace terminal_leaves chunk l;
         l
   in
@@ -107,17 +140,19 @@ let local_terminal container =
     t_container = container;
     fetch_fragment =
       (fun ~chunk ~fragment ~lo ~hi ->
-        let cipher = C.fragment_ciphertext container ~chunk ~fragment in
-        String.sub cipher lo (hi - lo));
+        ignore hi;
+        (* zero-copy: an offset view into the chunk ciphertext *)
+        { s_data = C.chunk_ciphertext container chunk;
+          s_off = (fragment * frag_size) + lo });
     fetch_chunk = (fun ~chunk -> C.chunk_ciphertext container chunk);
     fetch_digest = (fun ~chunk -> C.encrypted_digest container chunk);
     fetch_hash_state =
       (fun ~chunk ~fragment ~upto ->
-        let cipher = C.fragment_ciphertext container ~chunk ~fragment in
         let ctx = Sha1.init () in
         Sha1.feed ctx (be_bytes chunk 4);
         Sha1.feed ctx (be_bytes fragment 4);
-        Sha1.feed_sub ctx cipher ~pos:0 ~len:upto;
+        Sha1.feed_sub ctx (C.chunk_ciphertext container chunk)
+          ~pos:(fragment * frag_size) ~len:upto;
         Sha1.export_state ctx);
     fetch_siblings =
       (fun ~chunk ~fragment ->
@@ -126,22 +161,107 @@ let local_terminal container =
             ~hi:fragment
         in
         List.map (Merkle.node_hash (leaves chunk)) cover);
+    fetch_many = None;
   }
 
 let integrity fmt = Printf.ksprintf (fun m -> raise (C.Integrity_failure m)) fmt
 
-(* Per-fragment SOE state: the verified ciphertext suffix received from the
-   terminal, the blocks decrypted so far, and the sibling digests fetched
-   for this fragment (paid for once per cache lifetime). *)
+(* Per-fragment SOE state, in reusable buffers: the ciphertext suffix
+   received (and verified) so far lives in [fe_cipher] from [avail_from]
+   on; decrypted blocks live in [fe_plain] with one flag byte per 8-byte
+   block in [fe_flags]. Sibling digests are paid for once per cache
+   lifetime. *)
 type frag_entry = {
-  mutable avail_from : int;  (* fragment-local byte offset; frag_size = none *)
-  mutable cipher_suffix : string;
+  mutable avail_from : int; (* fragment-local byte offset; frag_size = none *)
+  fe_cipher : Bytes.t;
+  fe_plain : Bytes.t;
+  fe_flags : Bytes.t;
   mutable siblings : string list option;
-  plain_blocks : (int, string) Hashtbl.t;  (* fragment-local block index *)
 }
 
-let source_of_terminal ?(verify = true) ?(cache_fragments = 8) ~terminal ~key
-    counters =
+(* CBC chunk state: plaintext plus, for CBC-SHAC, which blocks have been
+   (accounting-wise) decrypted — CBC random access decrypts exactly the
+   blocks it needs: block i needs only ciphertext blocks i-1 and i. *)
+type chunk_entry = { ce_plain : Bytes.t; ce_flags : Bytes.t }
+
+(* One per-fragment slice of a read request, carried through the window's
+   fetch -> compute -> commit phases. Fields after [fu_out] are filled in
+   by the fetch (coordinator) and compute (worker) phases. *)
+type frag_unit = {
+  fu_chunk : int;
+  fu_frag : int;
+  fu_lo : int; (* fragment-local *)
+  fu_hi : int;
+  fu_out : int; (* offset in the result buffer *)
+  mutable fu_entry : frag_entry;
+  mutable fu_did_ext : bool;
+  mutable fu_ext : int; (* aligned lo of the extension *)
+  mutable fu_state : string; (* imported SHA-1 mid-state (verify) *)
+  mutable fu_digest : string; (* expected chunk digest (verify) *)
+  mutable fu_new_blocks : int;
+  mutable fu_ok : bool;
+  mutable fu_wall : float;
+}
+
+type chunk_unit = {
+  cu_chunk : int;
+  cu_off : int;
+  cu_take : int;
+  cu_out : int;
+  mutable cu_entry : chunk_entry;
+  mutable cu_cipher : string; (* "" on a cache hit *)
+  mutable cu_fresh : bool;
+  mutable cu_digest : string;
+  mutable cu_new_blocks : int;
+  mutable cu_ok : bool;
+  mutable cu_wall : float;
+}
+
+(* A list-backed simulation of an [Lru]'s key set, used by the prefetch
+   planner to predict — exactly — which fetches the coming window will
+   perform, without touching the real caches. Mirrors [Lru.find]'s
+   recency refresh and [Lru.insert]'s evict-beyond-capacity. *)
+module Shadow = struct
+  type 'k t = { mutable keys : 'k list; cap : int }
+
+  let of_lru lru = { keys = Lru.keys_mru lru; cap = Lru.capacity lru }
+
+  let find t k =
+    if List.mem k t.keys then begin
+      t.keys <- k :: List.filter (fun x -> x <> k) t.keys;
+      true
+    end
+    else false
+
+  let insert t k =
+    if List.mem k t.keys then
+      t.keys <- k :: List.filter (fun x -> x <> k) t.keys
+    else begin
+      t.keys <- k :: t.keys;
+      if List.length t.keys > t.cap then
+        t.keys <- List.filteri (fun i _ -> i < t.cap) t.keys
+    end
+end
+
+(* units processed per pipeline window: bounds decrypt-ahead memory, keeps
+   a worst-case Batch well under the wire's frame caps *)
+let window_units = 16
+
+let rec split_windows lst =
+  let rec take n acc rest =
+    match rest with
+    | [] -> (List.rev acc, [])
+    | _ when n = 0 -> (List.rev acc, rest)
+    | x :: tl -> take (n - 1) (x :: acc) tl
+  in
+  match lst with
+  | [] -> []
+  | _ ->
+      let w, rest = take window_units [] lst in
+      w :: split_windows rest
+
+let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
+    ?(cache_chunks = 1) ?pool ~terminal ~key counters =
   let container = terminal.t_container in
   let scheme = C.scheme container in
   let verify_requested = verify in
@@ -152,262 +272,540 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8) ~terminal ~key
   let frag_size = C.fragment_size container in
   let frags_per_chunk = C.fragments_per_chunk container in
   let payload_len = C.payload_length container in
+  let cipher = Modes.of_triple_des key in
+  (* one key schedule per source, not per decrypted block *)
   let tree_levels =
     let rec go l n = if n <= 1 then l else go (l + 1) (n / 2) in
     go 0 frags_per_chunk
   in
-  (* SOE-side caches, bounded like a smart card's RAM *)
-  let frag_cache : ((int * int) * frag_entry) list ref = ref [] in
-  (* CBC chunk cache: plaintext plus, for CBC-SHAC, which blocks have been
-     decrypted (CBC random access decrypts exactly the blocks it needs:
-     block i needs only ciphertext blocks i-1 and i) *)
-  let chunk_cache : (int * string * (int, unit) Hashtbl.t) option ref = ref None in
-  let root_cache : (int * string) option ref = ref None in
+  let run_tasks =
+    match pool with
+    | Some p -> fun tasks -> Pool.run p tasks
+    | None ->
+        (* inline, with the pool's run-everything-then-raise-first protocol
+           so failures are identical at any job count *)
+        fun tasks ->
+          let errors = Array.make (Array.length tasks) None in
+          Array.iteri
+            (fun i task -> try task () with e -> errors.(i) <- Some e)
+            tasks;
+          Array.iter (function Some e -> raise e | None -> ()) errors
+  in
+  (* SOE-side caches, bounded like a smart card's RAM, sharing one stats
+     record. All cache operations happen on the coordinator in unit order
+     (fetch phase), so hit/miss/evicted are independent of the job count. *)
+  let frag_cache : (int * int, frag_entry) Lru.t =
+    Lru.create ~capacity:cache_fragments ~stats:counters.cache
+  in
+  let chunk_cache : (int, chunk_entry) Lru.t =
+    Lru.create ~capacity:cache_chunks ~stats:counters.cache
+  in
+  let digest_cache : (int, string) Lru.t =
+    Lru.create ~capacity:1 ~stats:counters.cache
+  in
+  (* Prefetched replies for the current window, consumed in order by the
+     q_* fetchers below. The planner predicts fetches exactly; a mismatch
+     is a channel bug and fails loudly rather than desynchronizing the
+     byte accounting. *)
+  let prefetched : (fetch_req * fetch_reply) list ref = ref [] in
+  let take_prefetched req =
+    match !prefetched with
+    | (r, reply) :: rest when r = req ->
+        prefetched := rest;
+        Some reply
+    | [] -> None
+    | _ :: _ -> invalid_arg "Channel: prefetch desynchronized"
+  in
+  let q_fragment ~chunk ~fragment ~lo ~hi =
+    match take_prefetched (Fetch_fragment { chunk; fragment; lo; hi }) with
+    | Some (Bytes_reply s) -> { s_data = s; s_off = 0 }
+    | Some (List_reply _) -> invalid_arg "Channel: prefetch desynchronized"
+    | None -> terminal.fetch_fragment ~chunk ~fragment ~lo ~hi
+  in
+  let q_chunk ~chunk =
+    match take_prefetched (Fetch_chunk { chunk }) with
+    | Some (Bytes_reply s) -> s
+    | Some (List_reply _) -> invalid_arg "Channel: prefetch desynchronized"
+    | None -> terminal.fetch_chunk ~chunk
+  in
+  let q_digest ~chunk =
+    match take_prefetched (Fetch_digest { chunk }) with
+    | Some (Bytes_reply s) -> s
+    | Some (List_reply _) -> invalid_arg "Channel: prefetch desynchronized"
+    | None -> terminal.fetch_digest ~chunk
+  in
+  let q_state ~chunk ~fragment ~upto =
+    match take_prefetched (Fetch_hash_state { chunk; fragment; upto }) with
+    | Some (Bytes_reply s) -> s
+    | Some (List_reply _) -> invalid_arg "Channel: prefetch desynchronized"
+    | None -> terminal.fetch_hash_state ~chunk ~fragment ~upto
+  in
+  let q_siblings ~chunk ~fragment =
+    match take_prefetched (Fetch_siblings { chunk; fragment }) with
+    | Some (List_reply l) -> l
+    | Some (Bytes_reply _) -> invalid_arg "Channel: prefetch desynchronized"
+    | None -> terminal.fetch_siblings ~chunk ~fragment
+  in
   let chunk_digest chunk =
-    match !root_cache with
-    | Some (c, d) when c = chunk -> d
-    | _ ->
+    match Lru.find digest_cache chunk with
+    | Some d -> d
+    | None ->
         counters.bytes_to_soe <- counters.bytes_to_soe + digest_blob_bytes;
         counters.bytes_decrypted <- counters.bytes_decrypted + digest_blob_bytes;
         counters.blocks_decrypted <-
           counters.blocks_decrypted + (digest_blob_bytes / 8);
         counters.digests_decrypted <- counters.digests_decrypted + 1;
-        let blob = terminal.fetch_digest ~chunk in
+        let blob = q_digest ~chunk in
         (* validates the blob size before decrypting *)
         let d = C.decrypt_digest_blob ~key ~chunk blob in
-        root_cache := Some (chunk, d);
+        Lru.insert digest_cache chunk d;
         d
   in
-  let lookup_fragment chunk frag =
-    match List.assoc_opt (chunk, frag) !frag_cache with
-    | Some e -> e
-    | None ->
-        let e =
-          {
-            avail_from = frag_size;
-            cipher_suffix = "";
-            siblings = None;
-            plain_blocks = Hashtbl.create 8;
-          }
-        in
-        frag_cache := ((chunk, frag), e) :: !frag_cache;
-        if List.length !frag_cache > cache_fragments then
-          frag_cache := List.filteri (fun i _ -> i < cache_fragments) !frag_cache;
-        e
+  let cover_length frag =
+    List.length
+      (Merkle.sibling_cover ~leaf_count:frags_per_chunk ~lo:frag ~hi:frag)
   in
-  (* Fetch ciphertext [lo, avail_from) of a fragment and prepend it to the
-     entry's suffix. The served length is validated — a terminal that
-     answers with the wrong number of bytes is indistinguishable from a
-     tampering one. *)
-  let extend_cipher chunk frag entry lo =
-    let hi = entry.avail_from in
-    counters.fragment_fetches <- counters.fragment_fetches + 1;
-    let delta = terminal.fetch_fragment ~chunk ~fragment:frag ~lo ~hi in
-    if String.length delta <> hi - lo then
-      integrity "chunk %d fragment %d: served %d bytes for range [%d, %d)"
-        chunk frag (String.length delta) lo hi;
-    counters.bytes_to_soe <- counters.bytes_to_soe + (hi - lo);
-    entry.cipher_suffix <- delta ^ entry.cipher_suffix;
-    entry.avail_from <- lo
+
+  (* {2 ECB-family path: per-fragment units} *)
+  let new_frag_entry () =
+    {
+      avail_from = frag_size;
+      fe_cipher = Bytes.create frag_size;
+      fe_plain = Bytes.create frag_size;
+      fe_flags = Bytes.make (frag_size / 8) '\000';
+      siblings = None;
+    }
+  in
+  (* predict the window's terminal fetches by simulating the fetch phase's
+     cache transitions on shadows; used only when the terminal can batch *)
+  let plan_frag_window tuples =
+    let shadow_frag = Shadow.of_lru frag_cache in
+    let shadow_digest = Shadow.of_lru digest_cache in
+    let reqs = ref [] in
+    let push r = reqs := r :: !reqs in
+    List.iter
+      (fun (chunk, frag, lo, _hi, _out) ->
+        let key = (chunk, frag) in
+        let avail, sib_missing =
+          if Shadow.find shadow_frag key then
+            match Lru.peek frag_cache key with
+            | Some e -> (e.avail_from, e.siblings = None)
+            | None -> assert false (* shadow hit implies a live entry *)
+          else begin
+            Shadow.insert shadow_frag key;
+            (frag_size, true)
+          end
+        in
+        let aligned = lo / 8 * 8 in
+        if aligned < avail then begin
+          push (Fetch_fragment { chunk; fragment = frag; lo = aligned; hi = avail });
+          if verify then begin
+            push (Fetch_hash_state { chunk; fragment = frag; upto = aligned });
+            if sib_missing then push (Fetch_siblings { chunk; fragment = frag });
+            if not (Shadow.find shadow_digest chunk) then begin
+              Shadow.insert shadow_digest chunk;
+              push (Fetch_digest { chunk })
+            end
+          end
+        end)
+      tuples;
+    List.rev !reqs
   in
   (* Appendix A: to let the SOE verify a fragment it reads from byte [lo]
      on, the terminal sends the ciphertext suffix, the intermediate SHA-1
      state of the prefix (the leaf hash covers chunk and fragment ids plus
      the whole fragment ciphertext), the Merkle sibling digests, and the
-     encrypted ChunkDigest. *)
-  let extend_suffix chunk frag entry lo =
-    let lo = lo / 8 * 8 in
-    if lo < entry.avail_from then begin
-      let t0 = Xmlac_obs.Span.now () in
-      extend_cipher chunk frag entry lo;
+     encrypted ChunkDigest. The fetch phase gathers (and charges) all of
+     that on the coordinator; hashing, Merkle reconstruction and block
+     decryption run in the compute phase, possibly on worker domains. *)
+  let fetch_frag_unit (chunk, frag, lo, hi, out) =
+    let entry =
+      match Lru.find frag_cache (chunk, frag) with
+      | Some e -> e
+      | None ->
+          let e = new_frag_entry () in
+          Lru.insert frag_cache (chunk, frag) e;
+          e
+    in
+    let u =
+      {
+        fu_chunk = chunk;
+        fu_frag = frag;
+        fu_lo = lo;
+        fu_hi = hi;
+        fu_out = out;
+        fu_entry = entry;
+        fu_did_ext = false;
+        fu_ext = 0;
+        fu_state = "";
+        fu_digest = "";
+        fu_new_blocks = 0;
+        fu_ok = false;
+        fu_wall = 0.;
+      }
+    in
+    let aligned = lo / 8 * 8 in
+    if aligned < entry.avail_from then begin
+      let old_avail = entry.avail_from in
+      counters.fragment_fetches <- counters.fragment_fetches + 1;
+      let sl = q_fragment ~chunk ~fragment:frag ~lo:aligned ~hi:old_avail in
+      let served = String.length sl.s_data - sl.s_off in
+      if served < old_avail - aligned then
+        integrity "chunk %d fragment %d: served %d bytes for range [%d, %d)"
+          chunk frag served aligned old_avail;
+      counters.bytes_to_soe <- counters.bytes_to_soe + (old_avail - aligned);
+      Bytes.blit_string sl.s_data sl.s_off entry.fe_cipher aligned
+        (old_avail - aligned);
+      entry.avail_from <- aligned;
+      u.fu_did_ext <- true;
+      u.fu_ext <- aligned;
       if verify then begin
-        (* terminal: hash the prefix (ids + cipher[0..lo)) and export the
-           mid-state; SOE: resume, hash the suffix, recombine to the root *)
-        let state = terminal.fetch_hash_state ~chunk ~fragment:frag ~upto:lo in
+        let state = q_state ~chunk ~fragment:frag ~upto:aligned in
         counters.bytes_to_soe <- counters.bytes_to_soe + hash_state_bytes;
-        let soe_ctx =
-          try Sha1.import_state state
-          with Invalid_argument _ ->
-            integrity "chunk %d fragment %d: malformed hash state" chunk frag
-        in
-        Sha1.feed soe_ctx entry.cipher_suffix;
-        let leaf = Sha1.finalize soe_ctx in
-        counters.bytes_hashed <-
-          counters.bytes_hashed + String.length entry.cipher_suffix;
-        let cover =
-          Merkle.sibling_cover ~leaf_count:frags_per_chunk ~lo:frag ~hi:frag
-        in
-        (* re-verification when a suffix is extended backwards re-hashes;
-           the first fetch of a fragment pays the Merkle cover *)
-        let digests =
-          match entry.siblings with
-          | Some ds -> ds
-          | None ->
-              let ds = terminal.fetch_siblings ~chunk ~fragment:frag in
-              if List.length ds <> List.length cover then
-                integrity
-                  "chunk %d fragment %d: %d sibling digests for a cover of %d"
-                  chunk frag (List.length ds) (List.length cover);
-              counters.bytes_to_soe <-
-                counters.bytes_to_soe + (digest_bytes * List.length ds);
-              entry.siblings <- Some ds;
-              ds
-        in
-        let supplied = List.combine cover digests in
-        counters.bytes_hashed <-
-          counters.bytes_hashed + (2 * digest_bytes * tree_levels);
-        let root =
-          match
-            Merkle.root_from_cover ~leaf_count:frags_per_chunk
-              ~known:[ (frag, leaf) ] ~supplied
-          with
-          | Some r -> r
-          | None -> raise (C.Integrity_failure "incomplete Merkle cover")
-        in
-        let ok =
-          String.equal
-            (C.seal_root container ~chunk ~root)
-            (chunk_digest chunk)
-        in
-        emit_chunk_verdict ~chunk ~ok
-          (Printf.sprintf "fragment %d Merkle root %s" frag
-             (if ok then "verified" else "mismatch"));
-        if not ok then
-          integrity "chunk %d fragment %d: Merkle root mismatch" chunk frag;
-        counters.hashes_verified <- counters.hashes_verified + 1
-      end;
-      Xmlac_obs.Histogram.observe counters.crypto_hist
-        (Xmlac_obs.Span.now () -. t0)
+        u.fu_state <- state;
+        (match entry.siblings with
+        | Some _ -> ()
+        | None ->
+            let ds = q_siblings ~chunk ~fragment:frag in
+            let expect = cover_length frag in
+            if List.length ds <> expect then
+              integrity
+                "chunk %d fragment %d: %d sibling digests for a cover of %d"
+                chunk frag (List.length ds) expect;
+            counters.bytes_to_soe <-
+              counters.bytes_to_soe + (digest_bytes * List.length ds);
+            entry.siblings <- Some ds);
+        u.fu_digest <- chunk_digest chunk
+      end
+    end;
+    u
+  in
+  let frag_needs_compute u =
+    if u.fu_did_ext then true
+    else begin
+      let e = u.fu_entry in
+      let needed = ref false in
+      for b = u.fu_lo / 8 to (u.fu_hi - 1) / 8 do
+        if Bytes.get e.fe_flags b = '\000' then needed := true
+      done;
+      !needed
     end
   in
-  (* decrypt (and charge) one 8-byte block of a fragment, memoized *)
-  let fragment_block chunk frag entry b =
-    match Hashtbl.find_opt entry.plain_blocks b with
-    | Some p -> p
-    | None ->
-        let local = b * 8 in
-        if local < entry.avail_from then
-          (* can only happen through cache eviction followed by a backward
-             read; extend the suffix first *)
-          extend_suffix chunk frag entry local;
-        let cipher_block =
-          String.sub entry.cipher_suffix (local - entry.avail_from) 8
-        in
-        counters.bytes_decrypted <- counters.bytes_decrypted + 8;
-        counters.blocks_decrypted <- counters.blocks_decrypted + 1;
-        let base = (chunk * chunk_size) + (frag * frag_size) + local in
-        let plain =
-          Xmlac_crypto.Modes.positional_decrypt
-            (Xmlac_crypto.Modes.of_triple_des key)
-            ~base cipher_block
-        in
-        Hashtbl.replace entry.plain_blocks b plain;
-        plain
-  in
-  (* read [lo, hi) within one fragment *)
-  let read_in_fragment chunk frag lo hi =
-    let entry = lookup_fragment chunk frag in
-    if verify then extend_suffix chunk frag entry lo
-    else if lo / 8 * 8 < entry.avail_from then
-      (* without integrity the terminal serves just the covering blocks *)
-      extend_cipher chunk frag entry (lo / 8 * 8);
-    let buf = Buffer.create (hi - lo) in
-    for b = lo / 8 to (hi - 1) / 8 do
-      let plain = fragment_block chunk frag entry b in
-      let block_lo = b * 8 and block_hi = (b + 1) * 8 in
-      let from = max lo block_lo - block_lo in
-      let upto = min hi block_hi - block_lo in
-      Buffer.add_substring buf plain from (upto - from)
+  (* pure per-unit work: verify the extended suffix against the chunk
+     digest, decrypt the blocks covering the requested range. Touches only
+     this unit's entry, so units run concurrently; all counter charges
+     wait for the commit phase. *)
+  let compute_frag u () =
+    let t0 = Xmlac_obs.Span.now () in
+    let e = u.fu_entry in
+    if u.fu_did_ext && verify then begin
+      let ctx =
+        try Sha1.import_state u.fu_state
+        with Invalid_argument _ ->
+          integrity "chunk %d fragment %d: malformed hash state" u.fu_chunk
+            u.fu_frag
+      in
+      Sha1.feed_sub ctx
+        (Bytes.unsafe_to_string e.fe_cipher)
+        ~pos:u.fu_ext ~len:(frag_size - u.fu_ext);
+      let leaf = Sha1.finalize ctx in
+      let cover =
+        Merkle.sibling_cover ~leaf_count:frags_per_chunk ~lo:u.fu_frag
+          ~hi:u.fu_frag
+      in
+      let digests =
+        match e.siblings with Some ds -> ds | None -> assert false
+      in
+      let supplied = List.combine cover digests in
+      let root =
+        match
+          Merkle.root_from_cover ~leaf_count:frags_per_chunk
+            ~known:[ (u.fu_frag, leaf) ]
+            ~supplied
+        with
+        | Some r -> r
+        | None -> raise (C.Integrity_failure "incomplete Merkle cover")
+      in
+      u.fu_ok <-
+        String.equal
+          (C.seal_root container ~chunk:u.fu_chunk ~root)
+          u.fu_digest
+    end;
+    let src = Bytes.unsafe_to_string e.fe_cipher in
+    for b = u.fu_lo / 8 to (u.fu_hi - 1) / 8 do
+      if Bytes.get e.fe_flags b = '\000' then begin
+        Modes.positional_decrypt_into cipher
+          ~base:((u.fu_chunk * chunk_size) + (u.fu_frag * frag_size) + (b * 8))
+          ~src ~src_pos:(b * 8) ~dst:e.fe_plain ~dst_pos:(b * 8) ~len:8;
+        Bytes.set e.fe_flags b '\001';
+        u.fu_new_blocks <- u.fu_new_blocks + 1
+      end
     done;
-    Buffer.contents buf
+    u.fu_wall <- Xmlac_obs.Span.now () -. t0
   in
-  (* CBC schemes: chunk granularity (no random access inside a chunk).
-     Only the CBC branch of [read] calls [fetch_chunk]; the ECB-family arm
-     below is a no-op by construction, not a hidden verification skip. *)
-  let verify_cbc_chunk chunk ~plain ~cipher =
-    match scheme with
-    | C.Cbc_sha ->
-        counters.bytes_decrypted <- counters.bytes_decrypted + chunk_size;
-        counters.blocks_decrypted <- counters.blocks_decrypted + (chunk_size / 8);
-        if verify then begin
-          counters.bytes_hashed <- counters.bytes_hashed + chunk_size;
-          let expected = C.expected_digest_of_plain container ~chunk ~plain in
-          let ok = String.equal expected (chunk_digest chunk) in
-          emit_chunk_verdict ~chunk ~ok
-            (Printf.sprintf "plaintext digest %s"
-               (if ok then "verified" else "mismatch"));
-          if not ok then
-            integrity "chunk %d: plaintext digest mismatch" chunk;
-          counters.hashes_verified <- counters.hashes_verified + 1
+  let commit_frag out u =
+    let e = u.fu_entry in
+    if u.fu_did_ext && verify then begin
+      counters.bytes_hashed <-
+        counters.bytes_hashed + (frag_size - u.fu_ext)
+        + (2 * digest_bytes * tree_levels);
+      emit_chunk_verdict ~chunk:u.fu_chunk ~ok:u.fu_ok
+        (Printf.sprintf "fragment %d Merkle root %s" u.fu_frag
+           (if u.fu_ok then "verified" else "mismatch"));
+      if not u.fu_ok then
+        integrity "chunk %d fragment %d: Merkle root mismatch" u.fu_chunk
+          u.fu_frag;
+      counters.hashes_verified <- counters.hashes_verified + 1
+    end;
+    if u.fu_new_blocks > 0 then begin
+      counters.bytes_decrypted <- counters.bytes_decrypted + (8 * u.fu_new_blocks);
+      counters.blocks_decrypted <- counters.blocks_decrypted + u.fu_new_blocks
+    end;
+    if u.fu_did_ext && verify then
+      Xmlac_obs.Histogram.observe counters.crypto_hist u.fu_wall;
+    Bytes.blit e.fe_plain u.fu_lo out u.fu_out (u.fu_hi - u.fu_lo)
+  in
+  let process_frag_window out tuples =
+    (match terminal.fetch_many with
+    | Some fetch_many ->
+        let reqs = plan_frag_window tuples in
+        if List.length reqs >= 2 then
+          prefetched := List.combine reqs (fetch_many reqs)
+    | None -> ());
+    let units = List.map fetch_frag_unit tuples in
+    assert (!prefetched = []);
+    run_tasks
+      (Array.of_list
+         (List.filter_map
+            (fun u -> if frag_needs_compute u then Some (compute_frag u) else None)
+            units));
+    List.iter (commit_frag out) units
+  in
+  (* the hot case — a small read fully inside an already-decrypted
+     fragment — skips the window machinery: one counted cache hit, one
+     blit, nothing else, exactly like the general path would account it *)
+  let fast_frag_read out chunk frag lo hi =
+    match Lru.peek frag_cache (chunk, frag) with
+    | Some e ->
+        let ready = ref true in
+        for b = lo / 8 to (hi - 1) / 8 do
+          if Bytes.get e.fe_flags b = '\000' then ready := false
+        done;
+        if !ready then begin
+          ignore (Lru.find frag_cache (chunk, frag));
+          Bytes.blit e.fe_plain lo out 0 (hi - lo);
+          true
         end
-    | C.Cbc_shac ->
-        if verify then begin
-          counters.bytes_hashed <- counters.bytes_hashed + chunk_size;
-          let expected = C.expected_digest_of_cipher container ~chunk ~cipher in
-          let ok = String.equal expected (chunk_digest chunk) in
-          emit_chunk_verdict ~chunk ~ok
-            (Printf.sprintf "ciphertext digest %s"
-               (if ok then "verified" else "mismatch"));
-          if not ok then
-            integrity "chunk %d: ciphertext digest mismatch" chunk;
-          counters.hashes_verified <- counters.hashes_verified + 1
+        else false
+    | None -> false
+  in
+  let read_frags out ~pos ~len =
+    let rec split acc cur remaining out_off =
+      if remaining = 0 then List.rev acc
+      else begin
+        let chunk = cur / chunk_size in
+        let offset = cur mod chunk_size in
+        let frag = offset / frag_size in
+        let lo = offset mod frag_size in
+        let take = min remaining (frag_size - lo) in
+        split
+          ((chunk, frag, lo, lo + take, out_off) :: acc)
+          (cur + take) (remaining - take) (out_off + take)
+      end
+    in
+    match split [] pos len 0 with
+    | [ (chunk, frag, lo, hi, _) ] when fast_frag_read out chunk frag lo hi ->
+        ()
+    | tuples -> List.iter (process_frag_window out) (split_windows tuples)
+  in
+
+  (* {2 CBC path: per-chunk units (no random access inside a chunk)} *)
+  let plan_chunk_window tuples =
+    let shadow_chunk = Shadow.of_lru chunk_cache in
+    let shadow_digest = Shadow.of_lru digest_cache in
+    let reqs = ref [] in
+    let push r = reqs := r :: !reqs in
+    List.iter
+      (fun (chunk, _off, _take, _out) ->
+        if not (Shadow.find shadow_chunk chunk) then begin
+          Shadow.insert shadow_chunk chunk;
+          push (Fetch_chunk { chunk });
+          if verify && not (Shadow.find shadow_digest chunk) then begin
+            Shadow.insert shadow_digest chunk;
+            push (Fetch_digest { chunk })
+          end
+        end)
+      tuples;
+    List.rev !reqs
+  in
+  let fetch_chunk_unit (chunk, off, take, out) =
+    let entry, fresh, cipher_text =
+      match Lru.find chunk_cache chunk with
+      | Some e -> (e, false, "")
+      | None ->
+          let e =
+            {
+              ce_plain = Bytes.create chunk_size;
+              ce_flags = Bytes.make (chunk_size / 8) '\000';
+            }
+          in
+          counters.chunk_fetches <- counters.chunk_fetches + 1;
+          counters.bytes_to_soe <- counters.bytes_to_soe + chunk_size;
+          let cs = q_chunk ~chunk in
+          Lru.insert chunk_cache chunk e;
+          (e, true, cs)
+    in
+    let u =
+      {
+        cu_chunk = chunk;
+        cu_off = off;
+        cu_take = take;
+        cu_out = out;
+        cu_entry = entry;
+        cu_cipher = cipher_text;
+        cu_fresh = fresh;
+        cu_digest = "";
+        cu_new_blocks = 0;
+        cu_ok = false;
+        cu_wall = 0.;
+      }
+    in
+    if fresh && verify then u.cu_digest <- chunk_digest chunk;
+    u
+  in
+  let chunk_needs_compute u =
+    u.cu_fresh
+    ||
+    (scheme = C.Cbc_shac
+    &&
+    let e = u.cu_entry in
+    let needed = ref false in
+    for b = u.cu_off / 8 to (u.cu_off + u.cu_take - 1) / 8 do
+      if Bytes.get e.ce_flags b = '\000' then needed := true
+    done;
+    !needed)
+  in
+  let compute_chunk u () =
+    let t0 = Xmlac_obs.Span.now () in
+    let e = u.cu_entry in
+    if u.cu_fresh then begin
+      (* validates the ciphertext size before decrypting *)
+      C.decrypt_chunk_cipher_into container ~key ~chunk:u.cu_chunk
+        ~cipher:u.cu_cipher ~dst:e.ce_plain;
+      if verify then begin
+        let expected =
+          match scheme with
+          | C.Cbc_sha ->
+              C.expected_digest_of_plain container ~chunk:u.cu_chunk
+                ~plain:(Bytes.unsafe_to_string e.ce_plain)
+          | C.Cbc_shac ->
+              C.expected_digest_of_cipher container ~chunk:u.cu_chunk
+                ~cipher:u.cu_cipher
+          | C.Ecb | C.Ecb_mht -> assert false
+        in
+        u.cu_ok <- String.equal expected u.cu_digest
+      end
+    end;
+    if scheme = C.Cbc_shac then
+      for b = u.cu_off / 8 to (u.cu_off + u.cu_take - 1) / 8 do
+        if Bytes.get e.ce_flags b = '\000' then begin
+          Bytes.set e.ce_flags b '\001';
+          u.cu_new_blocks <- u.cu_new_blocks + 1
         end
-    | C.Ecb | C.Ecb_mht -> ()
+      done;
+    u.cu_wall <- Xmlac_obs.Span.now () -. t0
   in
-  let fetch_chunk chunk =
-    match !chunk_cache with
-    | Some (c, plain, blocks) when c = chunk -> (plain, blocks)
-    | _ ->
-        let t0 = Xmlac_obs.Span.now () in
-        counters.chunk_fetches <- counters.chunk_fetches + 1;
-        counters.bytes_to_soe <- counters.bytes_to_soe + chunk_size;
-        let cipher = terminal.fetch_chunk ~chunk in
-        (* validates the ciphertext size before decrypting *)
-        let plain = C.decrypt_chunk_cipher container ~key ~chunk ~cipher in
-        verify_cbc_chunk chunk ~plain ~cipher;
-        Xmlac_obs.Histogram.observe counters.crypto_hist
-          (Xmlac_obs.Span.now () -. t0);
-        let blocks = Hashtbl.create 32 in
-        chunk_cache := Some (chunk, plain, blocks);
-        (plain, blocks)
+  let commit_chunk out u =
+    let e = u.cu_entry in
+    if u.cu_fresh then begin
+      (match scheme with
+      | C.Cbc_sha ->
+          counters.bytes_decrypted <- counters.bytes_decrypted + chunk_size;
+          counters.blocks_decrypted <-
+            counters.blocks_decrypted + (chunk_size / 8)
+      | _ -> ());
+      if verify then begin
+        counters.bytes_hashed <- counters.bytes_hashed + chunk_size;
+        emit_chunk_verdict ~chunk:u.cu_chunk ~ok:u.cu_ok
+          (Printf.sprintf "%s digest %s"
+             (if scheme = C.Cbc_sha then "plaintext" else "ciphertext")
+             (if u.cu_ok then "verified" else "mismatch"));
+        if not u.cu_ok then
+          integrity "chunk %d: %s digest mismatch" u.cu_chunk
+            (if scheme = C.Cbc_sha then "plaintext" else "ciphertext");
+        counters.hashes_verified <- counters.hashes_verified + 1
+      end;
+      Xmlac_obs.Histogram.observe counters.crypto_hist u.cu_wall
+    end;
+    if u.cu_new_blocks > 0 then begin
+      counters.bytes_decrypted <- counters.bytes_decrypted + (8 * u.cu_new_blocks);
+      counters.blocks_decrypted <- counters.blocks_decrypted + u.cu_new_blocks
+    end;
+    Bytes.blit e.ce_plain u.cu_off out u.cu_out u.cu_take
   in
+  let process_chunk_window out tuples =
+    (match terminal.fetch_many with
+    | Some fetch_many ->
+        let reqs = plan_chunk_window tuples in
+        if List.length reqs >= 2 then
+          prefetched := List.combine reqs (fetch_many reqs)
+    | None -> ());
+    let units = List.map fetch_chunk_unit tuples in
+    assert (!prefetched = []);
+    run_tasks
+      (Array.of_list
+         (List.filter_map
+            (fun u ->
+              if chunk_needs_compute u then Some (compute_chunk u) else None)
+            units));
+    List.iter (commit_chunk out) units
+  in
+  let fast_chunk_read out chunk off take =
+    match Lru.peek chunk_cache chunk with
+    | Some e ->
+        let ready = ref true in
+        if scheme = C.Cbc_shac then
+          for b = off / 8 to (off + take - 1) / 8 do
+            if Bytes.get e.ce_flags b = '\000' then ready := false
+          done;
+        if !ready then begin
+          ignore (Lru.find chunk_cache chunk);
+          Bytes.blit e.ce_plain off out 0 take;
+          true
+        end
+        else false
+    | None -> false
+  in
+  let read_chunks out ~pos ~len =
+    let rec split acc cur remaining out_off =
+      if remaining = 0 then List.rev acc
+      else begin
+        let chunk = cur / chunk_size in
+        let offset = cur mod chunk_size in
+        let take = min remaining (chunk_size - offset) in
+        split
+          ((chunk, offset, take, out_off) :: acc)
+          (cur + take) (remaining - take) (out_off + take)
+      end
+    in
+    match split [] pos len 0 with
+    | [ (chunk, off, take, _) ] when fast_chunk_read out chunk off take -> ()
+    | tuples -> List.iter (process_chunk_window out) (split_windows tuples)
+  in
+
   let read ~pos ~len =
     if len = 0 then ""
     else begin
-      let buf = Buffer.create len in
-      let remaining = ref len and cur = ref pos in
-      while !remaining > 0 do
-        let chunk = !cur / chunk_size in
-        let offset = !cur mod chunk_size in
-        (match scheme with
-        | C.Ecb | C.Ecb_mht ->
-            let frag = offset / frag_size in
-            let lo = offset mod frag_size in
-            let take = min !remaining (frag_size - lo) in
-            Buffer.add_string buf (read_in_fragment chunk frag lo (lo + take));
-            cur := !cur + take;
-            remaining := !remaining - take
-        | C.Cbc_sha | C.Cbc_shac ->
-            let take = min !remaining (chunk_size - offset) in
-            let plain, blocks = fetch_chunk chunk in
-            if scheme = C.Cbc_shac then
-              (* decrypt only the covering blocks, each charged once *)
-              for b = offset / 8 to (offset + take - 1) / 8 do
-                if not (Hashtbl.mem blocks b) then begin
-                  Hashtbl.replace blocks b ();
-                  counters.bytes_decrypted <- counters.bytes_decrypted + 8;
-                  counters.blocks_decrypted <- counters.blocks_decrypted + 1
-                end
-              done;
-            Buffer.add_substring buf plain offset take;
-            cur := !cur + take;
-            remaining := !remaining - take)
-      done;
-      Buffer.contents buf
+      let out = Bytes.create len in
+      (match scheme with
+      | C.Ecb | C.Ecb_mht -> read_frags out ~pos ~len
+      | C.Cbc_sha | C.Cbc_shac -> read_chunks out ~pos ~len);
+      Bytes.unsafe_to_string out
     end
   in
   { Xmlac_skip_index.Decoder.read; length = payload_len }
 
-let source ?verify ?cache_fragments ~container ~key counters =
-  source_of_terminal ?verify ?cache_fragments
+let source ?verify ?cache_fragments ?cache_chunks ?pool ~container ~key
+    counters =
+  source_of_terminal ?verify ?cache_fragments ?cache_chunks ?pool
     ~terminal:(local_terminal container) ~key counters

@@ -13,6 +13,17 @@
     accounting, so local and remote runs of the same query tally the same
     [bytes_to_soe].
 
+    Reads are processed as a pipeline of fixed-size windows, each in four
+    phases: {e plan} (predict the window's terminal fetches and issue them
+    as one batched round trip, when the terminal supports it), {e fetch}
+    (all cache operations and byte accounting, on the calling domain, in
+    unit order), {e compute} (hashing, Merkle reconstruction and block
+    decryption — pure per-unit work, optionally spread over a {!Pool} of
+    worker domains), and {e commit} (verdicts, counter charges and output
+    delivery, again in unit order). Because every observable effect happens
+    in the fetch/commit phases, delivered bytes, counters and failure
+    messages are byte-identical at any job count.
+
     Every exchange is tallied in {!counters}; the {!Cost_model} turns the
     tallies into simulated seconds. The cryptography is real: tampering with
     the container makes reads raise {!Xmlac_crypto.Secure_container.Integrity_failure}. *)
@@ -31,6 +42,10 @@ type counters = {
       (** what actually ran: [false] under ECB even when requested, since
           the scheme carries no digests — the downgrade is recorded here
           (and in the remote handshake) instead of happening silently *)
+  cache : Lru.stats;
+      (** hit/miss/evicted across the session's SOE caches (fragment,
+          chunk, digest); deterministic, so gate-checked like the byte
+          counters *)
   crypto_hist : Xmlac_obs.Histogram.t;
       (** wall-time of each decrypt+verify unit — a chunk fetch or a
           fragment suffix extension; the ["wall_crypto_*"] metrics are
@@ -49,12 +64,33 @@ val metrics : counters -> Xmlac_obs.Metrics.t
     chunk digest), carrying the verdict — the chunk records of the
     provenance trace. *)
 
+val cache_metrics : counters -> Xmlac_obs.Metrics.t
+(** The {!Lru.stats} snapshot as [hits] / [misses] / [evicted] metrics
+    (emitted by sessions under a ["cache."] prefix). *)
+
+type slice = { s_data : string; s_off : int }
+(** A served byte range as a view into a larger buffer: the bytes start at
+    [s_off] in [s_data]. Lets the in-process terminal serve fragment ranges
+    without copying; the channel validates that enough bytes follow
+    [s_off] before trusting the view. *)
+
+type fetch_req =
+  | Fetch_fragment of { chunk : int; fragment : int; lo : int; hi : int }
+  | Fetch_chunk of { chunk : int }
+  | Fetch_digest of { chunk : int }
+  | Fetch_hash_state of { chunk : int; fragment : int; upto : int }
+  | Fetch_siblings of { chunk : int; fragment : int }
+      (** A fetch the channel can coalesce into a batched round trip;
+          mirrors the individual operations below. *)
+
+type fetch_reply = Bytes_reply of string | List_reply of string list
+
 type terminal = {
   t_container : Xmlac_crypto.Secure_container.t;
       (** for the local terminal, the full container; for a remote one, the
           header-only geometry from the (validated) handshake *)
-  fetch_fragment : chunk:int -> fragment:int -> lo:int -> hi:int -> string;
-      (** ciphertext bytes [\[lo, hi)] of one fragment *)
+  fetch_fragment : chunk:int -> fragment:int -> lo:int -> hi:int -> slice;
+      (** ciphertext bytes [\[lo, hi)] of one fragment, as a {!slice} view *)
   fetch_chunk : chunk:int -> string;  (** whole-chunk ciphertext *)
   fetch_digest : chunk:int -> string;  (** the encrypted digest blob *)
   fetch_hash_state : chunk:int -> fragment:int -> upto:int -> string;
@@ -62,6 +98,10 @@ type terminal = {
   fetch_siblings : chunk:int -> fragment:int -> string list;
       (** Merkle sibling digests for a one-leaf cover, in
           {!Xmlac_crypto.Merkle.sibling_cover} order *)
+  fetch_many : (fetch_req list -> fetch_reply list) option;
+      (** several fetches answered in one round trip, replies in request
+          order; [None] when the terminal has no such fast path (local, or
+          a terminal that does not advertise batching) *)
 }
 (** What the SOE asks of a terminal. Nothing a terminal returns is trusted:
     the channel validates every length and verifies cryptographically
@@ -69,13 +109,17 @@ type terminal = {
     failure. *)
 
 val local_terminal : Xmlac_crypto.Secure_container.t -> terminal
-(** The in-process terminal: serves the container directly and memoizes
+(** The in-process terminal: serves the container directly (fragment reads
+    are zero-copy {!slice} views into chunk ciphertext) and memoizes
     per-chunk fragment leaf hashes (a terminal is an ordinary computer and
-    caches freely). *)
+    caches freely). [fetch_many] is [None] — there is no round trip to
+    save. *)
 
 val source_of_terminal :
   ?verify:bool ->
   ?cache_fragments:int ->
+  ?cache_chunks:int ->
+  ?pool:Pool.t ->
   terminal:terminal ->
   key:Xmlac_crypto.Des.Triple.key ->
   counters ->
@@ -83,8 +127,15 @@ val source_of_terminal :
 (** A byte source over the terminal's decrypted payload. [verify] defaults
     to true (forced to false for the ECB scheme, which carries no digests —
     recorded in [counters.verify_active]). [cache_fragments] bounds the
-    SOE-side plaintext cache (default 8 fragments ≈ a 2 KB working set, the
-    paper's smart-card scale).
+    SOE-side fragment cache (default 8 fragments ≈ a 2 KB working set, the
+    paper's smart-card scale); [cache_chunks] the decrypted-chunk cache for
+    the CBC schemes (default 1, the paper's model of chunk-at-a-time CBC).
+    [pool] runs the compute phase of each window on worker domains;
+    omitting it (or passing a 1-job pool) computes inline. Either way the
+    delivered bytes, counter values and failure behaviour are identical.
+
+    After an [Integrity_failure] the source is poisoned — a failed
+    verification aborts the session, it is not a recoverable read error.
 
     Scheme behaviours:
     - ECB: fetch + decrypt only the 8-byte-aligned blocks covering a read;
@@ -97,6 +148,8 @@ val source_of_terminal :
 val source :
   ?verify:bool ->
   ?cache_fragments:int ->
+  ?cache_chunks:int ->
+  ?pool:Pool.t ->
   container:Xmlac_crypto.Secure_container.t ->
   key:Xmlac_crypto.Des.Triple.key ->
   counters ->

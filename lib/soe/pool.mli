@@ -1,0 +1,34 @@
+(** Domain-based worker pool for the decrypt-ahead pipeline.
+
+    [run] executes a batch of independent compute tasks (block decryption,
+    hashing, Merkle verification) across [jobs] domains, the caller
+    participating as one of them. Every task always runs; exceptions are
+    collected and the one with the smallest task index is re-raised after
+    the batch, so failures are deterministic across schedules and across
+    job counts. [jobs = 1] (the default everywhere) runs everything inline
+    with the identical protocol.
+
+    Workers must only touch the task handed to them — counters, Trace and
+    other shared session state stay on the coordinator. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawns [jobs - 1] worker domains ([jobs] is clamped to at least 1;
+    [jobs = 1] spawns none). *)
+
+val run : t -> (unit -> unit) array -> unit
+(** Run all tasks to completion, then re-raise the exception of the
+    smallest failing task index, if any. Not reentrant. *)
+
+val shutdown : t -> unit
+(** Join the worker domains. The pool must not be used afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+
+val jobs : t -> int
+val sections : t -> int
+(** Number of [run] batches executed so far. *)
+
+val tasks_run : t -> int
+(** Total tasks executed across all batches. *)

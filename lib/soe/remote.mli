@@ -31,12 +31,18 @@ val wire_stats : t -> Xmlac_wire.Stats.t
 val source :
   ?verify:bool ->
   ?cache_fragments:int ->
+  ?cache_chunks:int ->
+  ?pool:Pool.t ->
   t ->
   key:Xmlac_crypto.Des.Triple.key ->
   Channel.counters ->
   Xmlac_skip_index.Decoder.source
 (** {!Channel.source_of_terminal} over this remote terminal — the same
     evaluator-facing interface, verification included, as the in-process
-    channel. *)
+    channel. When the terminal advertises batching, the channel's window
+    planner coalesces its predicted fetches into [Batch] frames (counted in
+    the client's [batched_requests]); payload accounting is unchanged, so
+    the local/remote [bytes_to_soe] = [payload_bytes] equality still
+    holds. *)
 
 val close : t -> unit

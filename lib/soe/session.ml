@@ -58,6 +58,11 @@ type measurement = {
   event_hist : Xmlac_obs.Histogram.t;
   events : Xmlac_xml.Event.t list;
   wire : Xmlac_wire.Stats.t option;
+  jobs : int;
+  pool_sections : int;
+  pool_tasks : int;
+  gc_minor_words : float;
+  gc_major_words : float;
 }
 
 (* Wrap an input so the wall time between handing one event to the
@@ -78,18 +83,27 @@ let timed_input hist (input : Input.t) =
         e);
   }
 
+(* Run [f] with the worker pool a job count asks for: none for the
+   sequential default, a scoped pool otherwise (its domains are joined
+   before the measurement is returned). *)
+let with_optional_pool ~jobs f =
+  if jobs <= 1 then f None
+  else Pool.with_pool ~jobs (fun pool -> f (Some pool))
+
 (* Shared measurement body: run the evaluator over a prepared source and
    collect every observable — identical for local and remote terminals, so
    their measurements are directly comparable. *)
 let run_measurement ?query ?options ?provenance ~cost ~strategy ~wire ~counters
-    ~source policy =
+    ~jobs ~pool ~source policy =
   let decoder = Decoder.of_source source in
   let event_hist = Xmlac_obs.Histogram.make "wall_event" in
+  let gc0 = Gc.quick_stat () in
   let result, wall_s =
     Xmlac_obs.Span.time "session.evaluate" (fun () ->
         Evaluator.run ?query ?options ?provenance ~policy
           (timed_input event_hist (Input.of_decoder decoder)))
   in
+  let gc1 = Gc.quick_stat () in
   let result_bytes =
     String.length (Xmlac_xml.Writer.events_to_string result.Evaluator.events)
   in
@@ -111,29 +125,37 @@ let run_measurement ?query ?options ?provenance ~cost ~strategy ~wire ~counters
     event_hist;
     events = result.Evaluator.events;
     wire;
+    jobs;
+    pool_sections = (match pool with None -> 0 | Some p -> Pool.sections p);
+    pool_tasks = (match pool with None -> 0 | Some p -> Pool.tasks_run p);
+    gc_minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
+    gc_major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
   }
 
-let evaluate ?query ?(verify = true) ?strategy ?options ?provenance config
-    published policy =
+let evaluate ?query ?(verify = true) ?strategy ?options ?provenance ?(jobs = 1)
+    config published policy =
   let counters = Channel.fresh_counters () in
-  let source =
-    Channel.source ~verify ~container:published.container ~key:config.key
-      counters
-  in
   let strategy =
     match strategy with
     | Some s -> s
     | None -> Layout.to_string published.layout
   in
-  run_measurement ?query ?options ?provenance ~cost:config.cost ~strategy
-    ~wire:None ~counters ~source policy
+  with_optional_pool ~jobs (fun pool ->
+      let source =
+        Channel.source ~verify ?pool ~container:published.container
+          ~key:config.key counters
+      in
+      run_measurement ?query ?options ?provenance ~cost:config.cost ~strategy
+        ~wire:None ~counters ~jobs ~pool ~source policy)
 
 let evaluate_remote ?query ?(verify = true) ?(strategy = "REMOTE") ?options
-    ?provenance config remote policy =
+    ?provenance ?(jobs = 1) config remote policy =
   let counters = Channel.fresh_counters () in
-  let source = Remote.source ~verify remote ~key:config.key counters in
-  run_measurement ?query ?options ?provenance ~cost:config.cost ~strategy
-    ~wire:(Some (Remote.wire_stats remote)) ~counters ~source policy
+  with_optional_pool ~jobs (fun pool ->
+      let source = Remote.source ~verify ?pool remote ~key:config.key counters in
+      run_measurement ?query ?options ?provenance ~cost:config.cost ~strategy
+        ~wire:(Some (Remote.wire_stats remote)) ~counters ~jobs ~pool ~source
+        policy)
 
 let metrics (m : measurement) : Xmlac_obs.Metrics.t =
   let open Xmlac_obs.Metrics in
@@ -142,10 +164,22 @@ let metrics (m : measurement) : Xmlac_obs.Metrics.t =
   @ prefix "eval" (Xmlac_obs.Histogram.metrics m.event_hist)
   @ prefix "index" (Decoder.stats_metrics m.index)
   @ prefix "channel" (Channel.metrics m.counters)
+  @ prefix "cache" (Channel.cache_metrics m.counters)
   @ prefix "cost" (Cost_model.breakdown_metrics m.breakdown)
   @ (match m.wire with
     | None -> []
     | Some w -> prefix "wire" (Xmlac_wire.Stats.metrics w))
+  @ prefix "pool"
+      [
+        int "jobs" m.jobs;
+        int "sections" m.pool_sections;
+        int "tasks_run" m.pool_tasks;
+      ]
+  @ prefix "gc"
+      [
+        float "minor_words" m.gc_minor_words;
+        float "major_words" m.gc_major_words;
+      ]
   @ [ float "wall_s" m.wall_s ]
 
 let lwb ?(verify = true) config ~authorized_bytes =

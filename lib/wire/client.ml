@@ -20,6 +20,7 @@ let response_kind : Protocol.response -> string = function
   | Digest _ -> "digest"
   | Hash_state _ -> "hash state"
   | Siblings _ -> "siblings"
+  | Batched _ -> "batch"
   | Bye_ok -> "bye"
   | Err _ -> "error"
 
@@ -178,6 +179,46 @@ let fetch_siblings t ~chunk ~fragment =
   t.stats.payload_bytes <-
     t.stats.payload_bytes + (20 * List.length digests);
   digests
+
+(* A batch round trip charges exactly what the equivalent sequence of
+   individual fetches would have charged: per-item payload accounting with
+   the same rules as above. Validation (count, per-item kind) happens
+   before any charge is final for the session — a structural mismatch
+   aborts without retry, like any non-retryable protocol violation. *)
+let fetch_batch t reqs =
+  if reqs = [] then []
+  else begin
+    let subs =
+      call t (Protocol.Batch reqs) (function
+        | Protocol.Batched rs -> rs
+        | r -> Error.protocolf "expected batch reply, got %s" (response_kind r))
+    in
+    if List.length subs <> List.length reqs then
+      Error.protocolf "batch reply has %d items, expected %d"
+        (List.length subs) (List.length reqs);
+    t.stats.batched_requests <- t.stats.batched_requests + 1;
+    List.iter2
+      (fun req resp ->
+        match ((req : Protocol.request), (resp : Protocol.response)) with
+        | _, Protocol.Err { code; message } ->
+            raise (Error.Wire (Error.Server { code; message }))
+        | Protocol.Get_fragment _, Protocol.Fragment c ->
+            t.stats.payload_bytes <- t.stats.payload_bytes + String.length c
+        | Protocol.Get_chunk _, Protocol.Chunk c ->
+            t.stats.payload_bytes <- t.stats.payload_bytes + String.length c
+        | Protocol.Get_digest _, Protocol.Digest b ->
+            t.stats.payload_bytes <- t.stats.payload_bytes + String.length b
+        | Protocol.Get_hash_state _, Protocol.Hash_state _ ->
+            t.stats.payload_bytes <-
+              t.stats.payload_bytes + Protocol.hash_state_wire_bytes
+        | Protocol.Get_siblings _, Protocol.Siblings ds ->
+            t.stats.payload_bytes <-
+              t.stats.payload_bytes + (20 * List.length ds)
+        | _, r ->
+            Error.protocolf "batch item kind mismatch: got %s" (response_kind r))
+      reqs subs;
+    subs
+  end
 
 let close t =
   (match t.transport with

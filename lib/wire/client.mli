@@ -47,5 +47,13 @@ val fetch_hash_state : t -> chunk:int -> fragment:int -> upto:int -> string
 val fetch_siblings : t -> chunk:int -> fragment:int -> string list
 (** Merkle sibling digests in {!Xmlac_crypto.Merkle.sibling_cover} order. *)
 
+val fetch_batch : t -> Protocol.request list -> Protocol.response list
+(** Send several data requests as one [Batch] frame and return the replies
+    in request order. Per-item payload accounting matches the equivalent
+    individual fetches exactly; [batched_requests] counts the frame. A
+    per-item [Err] raises a [Server] error, a count or kind mismatch a
+    [Protocol] error. The caller must check {!Protocol.metadata.batching}
+    first and keep batches within {!Protocol.max_batch}. *)
+
 val close : t -> unit
 (** Best-effort [Bye], then drop the connection. Idempotent. *)

@@ -12,6 +12,11 @@ let max_siblings = 64
 (* a cover for one leaf has [log2 frags_per_chunk] nodes; 64 covers any
    plausible geometry and bounds hostile allocation *)
 
+let max_batch = 64
+(* decode-time cap on sub-requests in one Batch frame; also keeps a
+   worst-case Batched reply (64 chunk ciphertexts) under the client's
+   default 1 MiB frame cap for any plausible geometry *)
+
 type metadata = {
   meta_version : int;
   scheme : C.scheme;
@@ -20,6 +25,7 @@ type metadata = {
   payload_length : int;
   chunk_count : int;
   integrity : bool;  (* whether the scheme supports verification at all *)
+  batching : bool;  (* whether the terminal accepts Batch requests *)
 }
 
 type request =
@@ -29,6 +35,7 @@ type request =
   | Get_digest of { chunk : int }
   | Get_hash_state of { chunk : int; fragment : int; upto : int }
   | Get_siblings of { chunk : int; fragment : int }
+  | Batch of request list
   | Bye
 
 type response =
@@ -38,6 +45,7 @@ type response =
   | Digest of string
   | Hash_state of string
   | Siblings of string list
+  | Batched of response list
   | Bye_ok
   | Err of { code : int; message : string }
 
@@ -77,7 +85,7 @@ let add_u64 b v =
   if v < 0 then invalid_arg "Protocol: u64 out of range";
   Buffer.add_int64_be b (Int64.of_int v)
 
-let encode_request req =
+let rec encode_request req =
   let b = Buffer.create 16 in
   (match req with
   | Hello { version } ->
@@ -105,10 +113,26 @@ let encode_request req =
       add_u8 b 0x06;
       add_u32 b chunk;
       add_u16 b fragment
+  | Batch subs ->
+      let n = List.length subs in
+      if n < 1 || n > max_batch then
+        invalid_arg "Protocol: batch size out of range";
+      add_u8 b 0x08;
+      add_u16 b n;
+      List.iter
+        (fun sub ->
+          (match sub with
+          | Hello _ | Bye | Batch _ ->
+              invalid_arg "Protocol: request cannot be batched"
+          | _ -> ());
+          let encoded = encode_request sub in
+          add_u16 b (String.length encoded);
+          Buffer.add_string b encoded)
+        subs
   | Bye -> add_u8 b 0x07);
   Buffer.contents b
 
-let encode_response resp =
+let rec encode_response resp =
   let b = Buffer.create 64 in
   (match resp with
   | Hello_ok m ->
@@ -119,7 +143,7 @@ let encode_response resp =
       add_u32 b m.fragment_size;
       add_u64 b m.payload_length;
       add_u32 b m.chunk_count;
-      add_u8 b (if m.integrity then 1 else 0)
+      add_u8 b ((if m.integrity then 1 else 0) lor (if m.batching then 2 else 0))
   | Fragment cipher ->
       add_u8 b 0x82;
       Buffer.add_string b cipher
@@ -146,6 +170,22 @@ let encode_response resp =
             invalid_arg "Protocol: sibling digest must be 20 bytes";
           Buffer.add_string b d)
         digests
+  | Batched subs ->
+      let n = List.length subs in
+      if n < 1 || n > max_batch then
+        invalid_arg "Protocol: batch size out of range";
+      add_u8 b 0x88;
+      add_u16 b n;
+      List.iter
+        (fun sub ->
+          (match sub with
+          | Hello_ok _ | Bye_ok | Batched _ ->
+              invalid_arg "Protocol: response cannot be batched"
+          | _ -> ());
+          let encoded = encode_response sub in
+          add_u32 b (String.length encoded);
+          Buffer.add_string b encoded)
+        subs
   | Bye_ok -> add_u8 b 0x87
   | Err { code; message } ->
       add_u8 b 0xFF;
@@ -223,9 +263,24 @@ let decode payload ~what f =
   | v -> v
   | exception Bad msg -> Error.protocolf "%s: %s" what msg
 
-let decode_request payload =
+let rec decode_request payload =
   decode payload ~what:"request" @@ fun cur opcode ->
   match opcode with
+  | 0x08 ->
+      let count = u16 cur "batch count" in
+      if count < 1 || count > max_batch then
+        raise (Bad (Printf.sprintf "batch of %d requests exceeds limit %d"
+                      count max_batch));
+      let subs = ref [] in
+      for _ = 1 to count do
+        let len = u16 cur "batched request length" in
+        let sub_payload = take cur len "batched request" in
+        match decode_request sub_payload with
+        | Hello _ | Bye | Batch _ -> raise (Bad "request cannot be batched")
+        | sub -> subs := sub :: !subs
+      done;
+      finish cur "batch request";
+      Batch (List.rev !subs)
   | 0x01 ->
       let magic = take cur 4 "hello magic" in
       if magic <> hello_magic then raise (Bad "bad hello magic");
@@ -264,9 +319,25 @@ let decode_request payload =
       Bye
   | op -> raise (Bad (Printf.sprintf "unknown request opcode 0x%02x" op))
 
-let decode_response payload =
+let rec decode_response payload =
   decode payload ~what:"response" @@ fun cur opcode ->
   match opcode with
+  | 0x88 ->
+      let count = u16 cur "batch count" in
+      if count < 1 || count > max_batch then
+        raise (Bad (Printf.sprintf "batch of %d responses exceeds limit %d"
+                      count max_batch));
+      let subs = ref [] in
+      for _ = 1 to count do
+        let len = u32 cur "batched response length" in
+        let sub_payload = take cur len "batched response" in
+        match decode_response sub_payload with
+        | Hello_ok _ | Bye_ok | Batched _ ->
+            raise (Bad "response cannot be batched")
+        | sub -> subs := sub :: !subs
+      done;
+      finish cur "batch response";
+      Batched (List.rev !subs)
   | 0x81 ->
       let meta_version = u16 cur "metadata version" in
       let scheme_byte = u8 cur "scheme" in
@@ -281,7 +352,7 @@ let decode_response payload =
         | Some s -> s
         | None -> raise (Bad (Printf.sprintf "unknown scheme %d" scheme_byte))
       in
-      if flags land lnot 1 <> 0 then
+      if flags land lnot 3 <> 0 then
         raise (Bad (Printf.sprintf "unknown flag bits 0x%02x" flags));
       Hello_ok
         {
@@ -292,6 +363,7 @@ let decode_response payload =
           payload_length;
           chunk_count;
           integrity = flags land 1 = 1;
+          batching = flags land 2 = 2;
         }
   | 0x82 -> Fragment (rest cur)
   | 0x83 -> Chunk (rest cur)
@@ -335,6 +407,7 @@ let metadata_of_container container =
     payload_length = C.payload_length container;
     chunk_count = C.chunk_count container;
     integrity = C.scheme container <> C.Ecb;
+    batching = true;
   }
 
 let metadata_geometry m =

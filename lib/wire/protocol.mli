@@ -25,6 +25,9 @@ val hash_state_wire_bytes : int
 val max_siblings : int
 (** Decode-time cap on a [Siblings] reply (bounds hostile allocation). *)
 
+val max_batch : int
+(** Cap on the number of sub-requests one [Batch] frame may carry. *)
+
 type metadata = {
   meta_version : int;
   scheme : C.scheme;
@@ -36,6 +39,10 @@ type metadata = {
       (** whether the published scheme supports verification at all — [false]
           exactly for ECB, making the paper's silent verify-downgrade an
           explicit, visible property of the handshake *)
+  batching : bool;
+      (** whether the terminal accepts [Batch] requests (XWTP v1.1 request
+          coalescing); clients fall back to one-request-per-frame against
+          terminals that do not advertise it *)
 }
 
 type request =
@@ -49,6 +56,9 @@ type request =
   | Get_siblings of { chunk : int; fragment : int }
       (** Merkle sibling digests for a one-leaf cover, in
           {!Xmlac_crypto.Merkle.sibling_cover} order *)
+  | Batch of request list
+      (** several data requests in one frame (at most {!max_batch}; nested
+          [Batch], [Hello] and [Bye] are rejected by both codecs) *)
   | Bye
 
 type response =
@@ -58,6 +68,9 @@ type response =
   | Digest of string
   | Hash_state of string
   | Siblings of string list
+  | Batched of response list
+      (** replies to a [Batch], in request order; individual failures
+          travel as per-item [Err] values *)
   | Bye_ok
   | Err of { code : int; message : string }
 

@@ -47,11 +47,12 @@ let leaves t chunk =
       | Some l -> l
       | None ->
           let m = C.fragments_per_chunk t.container in
+          let cipher = C.chunk_ciphertext t.container chunk in
+          let fsize = C.fragment_size t.container in
           let l =
             Array.init m (fun i ->
-                C.fragment_leaf_hash t.container ~chunk ~fragment:i
-                  ~cipher:
-                    (C.fragment_ciphertext t.container ~chunk ~fragment:i))
+                C.fragment_leaf_hash_sub t.container ~chunk ~fragment:i
+                  ~cipher ~pos:(i * fsize) ~len:fsize)
           in
           Hashtbl.replace t.leaves_memo chunk l;
           l)
@@ -75,7 +76,7 @@ let check_fragment t chunk fragment k =
 (* One decoded request -> one response. Total by construction for in-range
    requests; the catch-all in [handle] turns anything unexpected into an
    [Err] so a hostile request can never kill the session thread. *)
-let handle_request t req =
+let rec handle_request t req =
   let scheme = C.scheme t.container in
   match (req : Protocol.request) with
   | Hello { version } ->
@@ -94,8 +95,11 @@ let handle_request t req =
               lo hi
               (C.fragment_size t.container)
           else
-            let cipher = C.fragment_ciphertext t.container ~chunk ~fragment in
-            Protocol.Fragment (String.sub cipher lo (hi - lo)))
+            (* slice straight out of the chunk ciphertext: one copy of the
+               requested range, not fragment copy + range copy *)
+            let cipher = C.chunk_ciphertext t.container chunk in
+            let base = fragment * C.fragment_size t.container in
+            Protocol.Fragment (String.sub cipher (base + lo) (hi - lo)))
   | Get_chunk { chunk } ->
       check_chunk t chunk @@ fun () ->
       Protocol.Chunk (C.chunk_ciphertext t.container chunk)
@@ -116,11 +120,15 @@ let handle_request t req =
             upto
             (C.fragment_size t.container)
         else begin
-          let cipher = C.fragment_ciphertext t.container ~chunk ~fragment in
+          (* hash the prefix in place from the chunk ciphertext — no
+             fragment copy just to feed [upto] of its bytes *)
+          let cipher = C.chunk_ciphertext t.container chunk in
           let ctx = Sha1.init () in
           Sha1.feed ctx (be_bytes chunk 4);
           Sha1.feed ctx (be_bytes fragment 4);
-          Sha1.feed_sub ctx cipher ~pos:0 ~len:upto;
+          Sha1.feed_sub ctx cipher
+            ~pos:(fragment * C.fragment_size t.container)
+            ~len:upto;
           Protocol.Hash_state (Sha1.export_state ctx)
         end
   | Get_siblings { chunk; fragment } ->
@@ -136,6 +144,18 @@ let handle_request t req =
         in
         let l = leaves t chunk in
         Protocol.Siblings (List.map (Merkle.node_hash l) cover)
+  | Batch subs ->
+      (* one reply per sub-request, in order; a failing sub becomes its
+         own Err item instead of poisoning its batch-mates *)
+      Protocol.Batched
+        (List.map
+           (fun sub ->
+             match handle_request t sub with
+             | resp -> resp
+             | exception e ->
+                 err Protocol.err_internal "terminal failure: %s"
+                   (Printexc.to_string e))
+           subs)
   | Bye -> Protocol.Bye_ok
 
 let handle t req =

@@ -5,6 +5,9 @@ type t = {
   mutable reconnects : int;
   mutable wire_errors : int;
   mutable payload_bytes : int;
+  mutable batched_requests : int;
+      (* Batch frames sent: each one coalesces several logical requests
+         into a single round trip *)
   mutable bytes_sent : int;
   mutable bytes_received : int;
   rtt_hist : Xmlac_obs.Histogram.t;
@@ -20,6 +23,7 @@ let make () =
     reconnects = 0;
     wire_errors = 0;
     payload_bytes = 0;
+    batched_requests = 0;
     bytes_sent = 0;
     bytes_received = 0;
     rtt_hist = Xmlac_obs.Histogram.make "wall_rtt";
@@ -34,6 +38,7 @@ let metrics (s : t) : Xmlac_obs.Metrics.t =
       int "reconnects" s.reconnects;
       int "wire_errors" s.wire_errors;
       int "payload_bytes" s.payload_bytes;
+      int "batched_requests" s.batched_requests;
       int "bytes_sent" s.bytes_sent;
       int "bytes_received" s.bytes_received;
     ]
@@ -46,6 +51,7 @@ let add ~into (s : t) =
   into.reconnects <- into.reconnects + s.reconnects;
   into.wire_errors <- into.wire_errors + s.wire_errors;
   into.payload_bytes <- into.payload_bytes + s.payload_bytes;
+  into.batched_requests <- into.batched_requests + s.batched_requests;
   into.bytes_sent <- into.bytes_sent + s.bytes_sent;
   into.bytes_received <- into.bytes_received + s.bytes_received;
   let open Xmlac_obs.Histogram in

@@ -16,6 +16,9 @@ type t = {
   mutable reconnects : int;
   mutable wire_errors : int;
   mutable payload_bytes : int;
+  mutable batched_requests : int;
+      (** [Batch] frames sent, each coalescing several logical requests
+          into one round trip *)
   mutable bytes_sent : int;
   mutable bytes_received : int;
   rtt_hist : Xmlac_obs.Histogram.t;

@@ -131,6 +131,7 @@ let cases : (string * string) list Lazy.t =
                 payload_length = ((1 lsl 22) + 1) * 512;
                 chunk_count = (1 lsl 22) + 1;
                 integrity = true;
+                batching = true;
               }) );
        (* policy — Policy.of_string must return Error, never raise *)
        ("policy__bad_sign.bin", "p1 % //a\n");

@@ -170,6 +170,65 @@ let mode_roundtrips =
         Modes.positional_decrypt c ~base:4096 (Modes.positional_encrypt c ~base:4096 s) = s);
   ]
 
+(* The in-place [_into] variants must agree with their allocating
+   counterparts on every aligned slice, and must not touch the destination
+   outside [dst_pos, dst_pos + len). *)
+let aligned_slice =
+  QCheck2.Gen.(
+    aligned_string >>= fun ct ->
+    let blocks = String.length ct / 8 in
+    int_range 0 (blocks - 1) >>= fun b0 ->
+    int_range 1 (blocks - b0) >>= fun nb ->
+    int_range 0 3 >>= fun dst_off -> return (ct, 8 * b0, 8 * nb, dst_off))
+
+let into_agrees name decrypt_into reference =
+  qtest ~count:300 name aligned_slice (fun (ct, pos, len, dst_off) ->
+      let dst = Bytes.make (dst_off + len + 5) '\xAA' in
+      decrypt_into ~src:ct ~src_pos:pos ~dst ~dst_pos:dst_off ~len;
+      Bytes.sub_string dst dst_off len = String.sub (reference ct) pos len
+      && Bytes.sub_string dst 0 dst_off = String.make dst_off '\xAA'
+      && Bytes.sub_string dst (dst_off + len) 5 = String.make 5 '\xAA')
+
+let mode_into_equivalence =
+  let c = Modes.of_triple_des (test_key ()) in
+  [
+    into_agrees "ecb_decrypt_into ≡ ecb_decrypt slice"
+      (Modes.ecb_decrypt_into c)
+      (Modes.ecb_decrypt c);
+    into_agrees "cbc_decrypt_into ≡ cbc_decrypt slice"
+      (Modes.cbc_decrypt_into c ~iv:42L)
+      (Modes.cbc_decrypt c ~iv:42L);
+    into_agrees "positional_decrypt_into ≡ positional_decrypt slice"
+      (fun ~src ~src_pos ~dst ~dst_pos ~len ->
+        Modes.positional_decrypt_into c ~base:(4096 + src_pos) ~src ~src_pos
+          ~dst ~dst_pos ~len)
+      (Modes.positional_decrypt c ~base:4096);
+  ]
+
+let test_into_rejects_misuse () =
+  let c = Modes.of_triple_des (test_key ()) in
+  let ct = String.make 32 '\x5C' in
+  let rejected f = match f () with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  check bool_t "unaligned length rejected" true
+    (rejected (fun () ->
+         Modes.ecb_decrypt_into c ~src:ct ~src_pos:0 ~dst:(Bytes.create 32)
+           ~dst_pos:0 ~len:7));
+  check bool_t "source overrun rejected" true
+    (rejected (fun () ->
+         Modes.ecb_decrypt_into c ~src:ct ~src_pos:16 ~dst:(Bytes.create 64)
+           ~dst_pos:0 ~len:24));
+  check bool_t "destination overrun rejected" true
+    (rejected (fun () ->
+         Modes.ecb_decrypt_into c ~src:ct ~src_pos:0 ~dst:(Bytes.create 8)
+           ~dst_pos:0 ~len:16));
+  check bool_t "unaligned CBC slice start rejected" true
+    (rejected (fun () ->
+         Modes.cbc_decrypt_into c ~iv:0L ~src:ct ~src_pos:4
+           ~dst:(Bytes.create 32) ~dst_pos:0 ~len:8))
+
 let test_ecb_leaks_equal_blocks () =
   let c = Modes.of_triple_des (test_key ()) in
   let s = String.make 16 'A' in
@@ -453,8 +512,9 @@ let () =
           triple_roundtrip;
         ] );
       ( "modes",
-        mode_roundtrips
+        mode_roundtrips @ mode_into_equivalence
         @ [
+            Alcotest.test_case "into-APIs reject misuse" `Quick test_into_rejects_misuse;
             Alcotest.test_case "plain ECB leaks" `Quick test_ecb_leaks_equal_blocks;
             Alcotest.test_case "positional ECB hides" `Quick test_positional_hides_equal_blocks;
             Alcotest.test_case "positional random access" `Quick test_positional_random_access;

@@ -384,6 +384,162 @@ let test_every_scheme_layout_combination () =
         [ Layout.Tc; Layout.Tcs; Layout.Tcsb; Layout.Tcsbr ])
     Container.all_schemes
 
+(* LRU cache: model-checked against a naive reference ----------------------- *)
+
+let lru_ops_gen =
+  QCheck2.Gen.(pair (int_range 1 6) (list_size (int_range 0 80) (int_range 0 15)))
+
+(* Reference model: an MRU-first assoc list. Each op is find-then-
+   insert-on-miss, the way every channel cache uses the Lru. *)
+let prop_lru_model =
+  qtest ~count:300 "LRU ≡ naive model" lru_ops_gen (fun (cap, ops) ->
+      let stats = Lru.fresh_stats () in
+      let cache = Lru.create ~capacity:cap ~stats in
+      let model = ref [] in
+      let hits = ref 0 and misses = ref 0 and evicted = ref 0 in
+      List.iter
+        (fun k ->
+          (match Lru.find cache k with
+          | Some v ->
+              incr hits;
+              if v <> 2 * k then failwith "cached value corrupted"
+          | None ->
+              incr misses;
+              Lru.insert cache k (2 * k));
+          (match List.assoc_opt k !model with
+          | Some () -> model := (k, ()) :: List.remove_assoc k !model
+          | None ->
+              model := (k, ()) :: !model;
+              if List.length !model > cap then begin
+                model := List.filteri (fun i _ -> i < cap) !model;
+                incr evicted
+              end);
+          if Lru.length cache > Lru.capacity cache then
+            failwith "capacity bound violated")
+        ops;
+      Lru.keys_mru cache = List.map fst !model
+      && stats.Lru.hits = !hits
+      && stats.Lru.misses = !misses
+      && stats.Lru.evicted = !evicted)
+
+let test_lru_peek_does_not_perturb () =
+  let stats = Lru.fresh_stats () in
+  let cache = Lru.create ~capacity:2 ~stats in
+  Lru.insert cache 1 "one";
+  Lru.insert cache 2 "two";
+  check bool_t "peek sees the entry" true (Lru.peek cache 1 = Some "one");
+  check int_t "peek does not count a hit" 0 stats.Lru.hits;
+  check bool_t "peek does not refresh recency" true
+    (Lru.keys_mru cache = [ 2; 1 ]);
+  (* had peek refreshed key 1, this insert would evict key 2 instead *)
+  Lru.insert cache 3 "three";
+  check bool_t "oldest entry evicted" true (Lru.keys_mru cache = [ 3; 2 ]);
+  check int_t "eviction counted" 1 stats.Lru.evicted
+
+let test_lru_rejects_zero_capacity () =
+  match Lru.create ~capacity:0 ~stats:(Lru.fresh_stats ()) with
+  | (_ : (int, int) Lru.t) -> Alcotest.fail "capacity 0 accepted"
+  | exception Invalid_argument _ -> ()
+
+(* Worker pool --------------------------------------------------------------- *)
+
+let test_pool_runs_all_tasks () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let n = 37 in
+          let hit = Array.make n false in
+          Pool.run pool (Array.init n (fun i () -> hit.(i) <- true));
+          check bool_t
+            (Printf.sprintf "all %d tasks ran at jobs=%d" n jobs)
+            true
+            (Array.for_all Fun.id hit);
+          Pool.run pool (Array.init 5 (fun _ () -> ()));
+          check int_t "sections counted" 2 (Pool.sections pool);
+          check int_t "tasks counted" (n + 5) (Pool.tasks_run pool)))
+    [ 1; 3 ]
+
+exception Boom of int
+
+let test_pool_exception_deterministic () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let ran = Array.make 10 false in
+          let tasks =
+            Array.init 10 (fun i () ->
+                ran.(i) <- true;
+                if i = 3 || i = 7 then raise (Boom i))
+          in
+          match Pool.run pool tasks with
+          | () -> Alcotest.fail "expected Boom"
+          | exception Boom i ->
+              check int_t
+                (Printf.sprintf "smallest failing index wins at jobs=%d" jobs)
+                3 i;
+              check bool_t "every task still ran" true (Array.for_all Fun.id ran)))
+    [ 1; 4 ]
+
+(* Determinism across --jobs ------------------------------------------------- *)
+
+let gated_metrics m =
+  List.filter (fun (n, _) -> Xmlac_obs.Gate.gated n) (Session.metrics m)
+
+let test_jobs_determinism () =
+  let doc =
+    Xmlac_workload.Hospital.generate ~seed:5
+      ~config:{ Xmlac_workload.Hospital.default_config with folders = 4 }
+      ()
+  in
+  let policy = Xmlac_workload.Profiles.doctor ~user:"dr00" in
+  List.iter
+    (fun scheme ->
+      let config =
+        {
+          (Session.default_config ~scheme ()) with
+          Session.chunk_size = 1024;
+          fragment_size = 128;
+        }
+      in
+      let published = Session.publish config ~layout:Layout.Tcsbr doc in
+      let base = Session.evaluate config published policy in
+      let base_out = Xmlac_xml.Writer.events_to_string base.Session.events in
+      List.iter
+        (fun jobs ->
+          let m = Session.evaluate ~jobs config published policy in
+          check Alcotest.string
+            (Printf.sprintf "%s: output bytes identical at jobs=%d"
+               (Container.scheme_to_string scheme) jobs)
+            base_out
+            (Xmlac_xml.Writer.events_to_string m.Session.events);
+          check bool_t
+            (Printf.sprintf "%s: gated metrics identical at jobs=%d"
+               (Container.scheme_to_string scheme) jobs)
+            true
+            (gated_metrics base = gated_metrics m);
+          check bool_t "pool activity reported" true
+            (m.Session.pool_sections > 0 && m.Session.pool_tasks > 0))
+        [ 2; 4 ])
+    [ Container.Ecb_mht; Container.Cbc_shac ]
+
+let test_cache_hits_on_multi_rule_profile () =
+  let doc =
+    Xmlac_workload.Hospital.generate ~seed:3
+      ~config:{ Xmlac_workload.Hospital.default_config with folders = 4 }
+      ()
+  in
+  let config =
+    {
+      (Session.default_config ~scheme:Container.Ecb_mht ()) with
+      Session.chunk_size = 1024;
+      fragment_size = 128;
+    }
+  in
+  let published = Session.publish config ~layout:Layout.Tcsbr doc in
+  let m = Session.evaluate config published (Xmlac_workload.Profiles.doctor ~user:"dr00") in
+  check bool_t "SOE caches hit on a multi-rule profile" true
+    (m.Session.counters.Channel.cache.Lru.hits > 0)
+
 (* Licenses ----------------------------------------------------------------- *)
 
 let soe_key = Xmlac_crypto.Des.Triple.key_of_string "the-device-soe-master-ke"
@@ -509,6 +665,26 @@ let () =
           Alcotest.test_case "all scheme × layout combinations" `Quick
             test_every_scheme_layout_combination;
           prop_full_pipeline_equals_oracle;
+        ] );
+      ( "lru",
+        [
+          prop_lru_model;
+          Alcotest.test_case "peek does not perturb" `Quick
+            test_lru_peek_does_not_perturb;
+          Alcotest.test_case "zero capacity rejected" `Quick
+            test_lru_rejects_zero_capacity;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "runs all tasks" `Quick test_pool_runs_all_tasks;
+          Alcotest.test_case "deterministic exception" `Quick
+            test_pool_exception_deterministic;
+        ] );
+      ( "jobs",
+        [
+          Alcotest.test_case "jobs 1/2/4 determinism" `Quick test_jobs_determinism;
+          Alcotest.test_case "cache hits on multi-rule profile" `Quick
+            test_cache_hits_on_multi_rule_profile;
         ] );
       ( "license",
         [

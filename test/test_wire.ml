@@ -42,6 +42,12 @@ let sample_requests =
     Wire.Protocol.Get_digest { chunk = 12 };
     Wire.Protocol.Get_hash_state { chunk = 1; fragment = 2; upto = 56 };
     Wire.Protocol.Get_siblings { chunk = 9; fragment = 0 };
+    Wire.Protocol.Batch
+      [
+        Wire.Protocol.Get_fragment { chunk = 1; fragment = 0; lo = 0; hi = 64 };
+        Wire.Protocol.Get_digest { chunk = 1 };
+        Wire.Protocol.Get_siblings { chunk = 1; fragment = 0 };
+      ];
     Wire.Protocol.Bye;
   ]
 
@@ -56,12 +62,19 @@ let sample_responses =
         payload_length = 5000;
         chunk_count = 10;
         integrity = true;
+        batching = true;
       };
     Wire.Protocol.Fragment (String.make 56 '\x42');
     Wire.Protocol.Chunk (String.make 512 '\x17');
     Wire.Protocol.Digest (String.make 24 '\x99');
     Wire.Protocol.Hash_state (String.make 29 '\x01');
     Wire.Protocol.Siblings [ String.make 20 'a'; String.make 20 'b' ];
+    Wire.Protocol.Batched
+      [
+        Wire.Protocol.Fragment (String.make 64 '\x31');
+        Wire.Protocol.Digest (String.make 24 '\x07');
+        Wire.Protocol.Err { code = 2; message = "fragment 9 out of range" };
+      ];
     Wire.Protocol.Bye_ok;
     Wire.Protocol.Err { code = 2; message = "chunk 99 out of range" };
   ]
@@ -124,6 +137,7 @@ let test_metadata_geometry_rejects () =
       payload_length;
       chunk_count;
       integrity = true;
+      batching = true;
     }
   in
   (match Wire.Protocol.metadata_geometry (meta 10 (10 * 512)) with
@@ -238,6 +252,103 @@ let test_random_pairs () =
   done;
   check bool_t "at least 25 pairs exercised" true (!pairs >= 25)
 
+(* Batch (XWTP v1.1 request coalescing) ----------------------------------- *)
+
+let test_batch_codec_limits () =
+  let sub = Wire.Protocol.Get_chunk { chunk = 0 } in
+  let rejected req =
+    match Wire.Protocol.encode_request req with
+    | (_ : string) -> false
+    | exception Invalid_argument _ -> true
+  in
+  check bool_t "empty batch rejected" true (rejected (Wire.Protocol.Batch []));
+  check bool_t "oversized batch rejected" true
+    (rejected
+       (Wire.Protocol.Batch
+          (List.init (Wire.Protocol.max_batch + 1) (fun _ -> sub))));
+  check bool_t "full batch accepted" false
+    (rejected
+       (Wire.Protocol.Batch (List.init Wire.Protocol.max_batch (fun _ -> sub))));
+  check bool_t "nested batch rejected" true
+    (rejected (Wire.Protocol.Batch [ Wire.Protocol.Batch [ sub ] ]));
+  check bool_t "Hello cannot be batched" true
+    (rejected
+       (Wire.Protocol.Batch
+          [ Wire.Protocol.Hello { version = Wire.Protocol.version } ]));
+  (* a hostile frame smuggling a batched Hello must be rejected at decode *)
+  let smuggled =
+    let sub_bytes =
+      Wire.Protocol.encode_request (Wire.Protocol.Hello { version = 1 })
+    in
+    let b = Buffer.create 16 in
+    Buffer.add_char b '\x08';
+    Buffer.add_string b "\x00\x01";
+    Buffer.add_char b (Char.chr (String.length sub_bytes lsr 8));
+    Buffer.add_char b (Char.chr (String.length sub_bytes land 0xFF));
+    Buffer.add_string b sub_bytes;
+    Buffer.contents b
+  in
+  match Wire.Protocol.decode_request smuggled with
+  | _ -> Alcotest.fail "batched Hello decoded"
+  | exception Wire.Error.Wire _ -> ()
+
+let test_fetch_batch_equivalence () =
+  let published =
+    Session.publish (cfg Container.Ecb_mht) ~layout:Layout.Tcsbr hospital
+  in
+  let server = Wire.Server.make published.Session.container in
+  let single = Wire.Client.connect (Wire.Server.loopback_connector server) in
+  let batcher = Wire.Client.connect (Wire.Server.loopback_connector server) in
+  let frag =
+    Wire.Client.fetch_fragment single ~chunk:0 ~fragment:1 ~lo:0 ~hi:64
+  in
+  let digest = Wire.Client.fetch_digest single ~chunk:0 in
+  let sibs = Wire.Client.fetch_siblings single ~chunk:0 ~fragment:1 in
+  let replies =
+    Wire.Client.fetch_batch batcher
+      [
+        Wire.Protocol.Get_fragment { chunk = 0; fragment = 1; lo = 0; hi = 64 };
+        Wire.Protocol.Get_digest { chunk = 0 };
+        Wire.Protocol.Get_siblings { chunk = 0; fragment = 1 };
+      ]
+  in
+  (match replies with
+  | [ Wire.Protocol.Fragment f; Wire.Protocol.Digest d; Wire.Protocol.Siblings s ]
+    ->
+      check Alcotest.string "batched fragment = individual fetch" frag f;
+      check Alcotest.string "batched digest = individual fetch" digest d;
+      check bool_t "batched siblings = individual fetch" true (sibs = s)
+  | _ -> Alcotest.fail "unexpected batched reply shape");
+  let ss = Wire.Client.stats single and sb = Wire.Client.stats batcher in
+  check int_t "one Batch frame counted" 1 sb.Wire.Stats.batched_requests;
+  check int_t "per-item payload accounting matches individual fetches"
+    ss.Wire.Stats.payload_bytes sb.Wire.Stats.payload_bytes;
+  check bool_t "batch saves round trips" true
+    (sb.Wire.Stats.requests < ss.Wire.Stats.requests);
+  Wire.Client.close single;
+  Wire.Client.close batcher
+
+let test_remote_jobs_determinism () =
+  let cfg0 = cfg Container.Ecb_mht in
+  let published = Session.publish cfg0 ~layout:Layout.Tcsbr hospital in
+  let policy = Profiles.doctor ~user:"dr00" in
+  let run jobs =
+    let remote = loopback_remote published in
+    let m = Session.evaluate_remote ~jobs cfg0 remote policy in
+    Remote.close remote;
+    m
+  in
+  let a = run 1 and b = run 4 in
+  check Alcotest.string "byte-identical output across jobs" (events_string a)
+    (events_string b);
+  let gated m =
+    List.filter (fun (n, _) -> Xmlac_obs.Gate.gated n) (Session.metrics m)
+  in
+  check bool_t "gated metrics (wire.* included) identical across jobs" true
+    (gated a = gated b);
+  check bool_t "prefetch coalesced requests into Batch frames" true
+    ((wire_stats a).Wire.Stats.batched_requests > 0)
+
 let test_out_of_range_is_server_error () =
   let published =
     Session.publish (cfg Container.Ecb_mht) ~layout:Layout.Tcsbr hospital
@@ -284,11 +395,39 @@ let mutating_connector server mutate_frame () =
     ~close:(fun () -> Wire.Transport.close inner)
     ~peer:"loopback+tamper"
 
-(* mutate the payload of replies with opcode [op], reframe everything *)
-let target op f payload =
-  Wire.Frame.encode
-    (if String.length payload > 0 && Char.code payload.[0] = op then f payload
-     else payload)
+(* mutate the payload of replies with opcode [op], reframe everything;
+   replies riding inside a Batched (0x88) frame are tampered in place, so
+   the matrix covers the prefetch path exactly like individual fetches *)
+let rec mutate_payload op f payload =
+  if String.length payload = 0 then payload
+  else if Char.code payload.[0] = op then f payload
+  else if Char.code payload.[0] = 0x88 then begin
+    let u32 s pos =
+      (Char.code s.[pos] lsl 24)
+      lor (Char.code s.[pos + 1] lsl 16)
+      lor (Char.code s.[pos + 2] lsl 8)
+      lor Char.code s.[pos + 3]
+    in
+    let buf = Buffer.create (String.length payload) in
+    Buffer.add_string buf (String.sub payload 0 3) (* opcode + u16 count *);
+    let pos = ref 3 in
+    while !pos + 4 <= String.length payload do
+      let len = u32 payload !pos in
+      let sub = String.sub payload (!pos + 4) len in
+      let sub' = mutate_payload op f sub in
+      let n = String.length sub' in
+      Buffer.add_char buf (Char.chr ((n lsr 24) land 0xFF));
+      Buffer.add_char buf (Char.chr ((n lsr 16) land 0xFF));
+      Buffer.add_char buf (Char.chr ((n lsr 8) land 0xFF));
+      Buffer.add_char buf (Char.chr (n land 0xFF));
+      Buffer.add_string buf sub';
+      pos := !pos + 4 + len
+    done;
+    Buffer.contents buf
+  end
+  else payload
+
+let target op f payload = Wire.Frame.encode (mutate_payload op f payload)
 
 let tamper_matrix =
   [
@@ -579,6 +718,14 @@ let () =
             Alcotest.test_case "out of range -> server error" `Quick
               test_out_of_range_is_server_error;
           ] );
+      ( "batch",
+        [
+          Alcotest.test_case "codec limits" `Quick test_batch_codec_limits;
+          Alcotest.test_case "fetch_batch ≡ individual fetches" `Quick
+            test_fetch_batch_equivalence;
+          Alcotest.test_case "remote jobs 1/4 determinism" `Quick
+            test_remote_jobs_determinism;
+        ] );
       ( "adversarial",
         [
           Alcotest.test_case "tamper matrix" `Quick test_tamper_matrix;
