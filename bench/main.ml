@@ -4,6 +4,7 @@
 
    Usage:  dune exec bench/main.exe [-- --quick] [-- --no-bechamel]
                                     [-- --json FILE] [-- --jobs N]
+                                    [-- --experiment NAME]
 
    Simulated times use the Table 1 cost model (hardware smart-card context
    unless stated); wall-clock time of this process is never reported as a
@@ -41,6 +42,21 @@ let json_path =
       if i + 1 < Array.length Sys.argv then Some Sys.argv.(i + 1)
       else begin
         prerr_endline "bench: --json needs a FILE argument";
+        exit 2
+      end
+    else find (i + 1)
+  in
+  find 1
+
+(* --experiment NAME runs only that experiment (any registered name,
+   including "fleet", the load generator excluded from the default run) *)
+let experiment_filter =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--experiment" then
+      if i + 1 < Array.length Sys.argv then Some Sys.argv.(i + 1)
+      else begin
+        prerr_endline "bench: --experiment needs a NAME argument";
         exit 2
       end
     else find (i + 1)
@@ -792,6 +808,187 @@ let pipeline () =
   note "delivered bytes are digest-checked identical at every job count;";
   note "  only wall time moves — the deterministic counters are gated as usual"
 
+(* Fleet serving ------------------------------------------------------------ *)
+
+(* Not a paper figure: a load generator for the multi-tenant terminal.
+   Hundreds of simulated SOE clients share a few multiplexed connections
+   to one registry server publishing two containers, and each runs the
+   full evaluate-verify pipeline. Every client's view is checked
+   byte-identical to the local (in-process) evaluation of its container,
+   so the numbers only count runs that delivered correct output. Client
+   counts and payload bytes are deterministic; latencies are wall-clock
+   (wall-prefixed, gate-exempt). Run it with --experiment fleet. *)
+let fleet () =
+  banner "Fleet serving: concurrent multiplexed SOE clients, two containers";
+  let module Wire = Xmlac_wire in
+  let module Remote = Xmlac_soe.Remote in
+  let clients = 200 in
+  let endpoints = 8 (* mux connections the clients share *) in
+  let tenants =
+    (* two containers under different schemes, small enough that hundreds
+       of full evaluations stay in seconds *)
+    List.map
+      (fun (id, scheme, seed) ->
+        let config =
+          {
+            (Session.default_config ~scheme ()) with
+            Session.chunk_size = 1024;
+            fragment_size = 128;
+          }
+        in
+        let doc =
+          W.Hospital.generate ~seed
+            ~config:{ W.Hospital.default_config with folders = 3 }
+            ()
+        in
+        let published = Session.publish config ~layout:Layout.Tcsbr doc in
+        let local = Session.evaluate config published W.Profiles.secretary in
+        (id, config, published, local))
+      [
+        ("records", Container.Ecb_mht, 31);
+        ("billing", Container.Cbc_sha, 32);
+      ]
+  in
+  let server = Wire.Server.create () in
+  List.iter
+    (fun (id, _, published, _) ->
+      Wire.Server.publish server ~id published.Session.container)
+    tenants;
+  let listener = Wire.Transport.listen (Wire.Transport.Tcp ("127.0.0.1", 0)) in
+  let bound = Wire.Transport.bound_addr listener in
+  let stop = ref false in
+  let server_thread =
+    Thread.create
+      (fun () ->
+        try
+          Wire.Server.serve ~max_sessions:64 ~domains:2 ~stop server listener
+        with Wire.Error.Wire _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      stop := true;
+      Thread.join server_thread;
+      Wire.Transport.close_listener listener)
+    (fun () ->
+      let connector () = Wire.Transport.connect bound in
+      let muxes =
+        Array.init endpoints (fun _ -> Wire.Mux.connect connector)
+      in
+      (* sequential v1.1 reference: one plain short-form-hello connection;
+         it binds the first published container ("records") and pins the
+         payload bytes every multiplexed records client must also meter *)
+      let v1_payload =
+        let id, config, _, local = List.hd tenants in
+        assert (id = "records");
+        let r =
+          Remote.connect
+            ~config:
+              {
+                Wire.Client.default_config with
+                Wire.Client.protocol_version = 1;
+              }
+            connector
+        in
+        let m = evaluate_remote config r W.Profiles.secretary in
+        let w = match m.Session.wire with Some w -> w | None -> assert false in
+        Remote.close r;
+        if m.Session.events <> local.Session.events then
+          failwith "fleet: v1.1 reference diverges from local evaluation";
+        w.Wire.Stats.payload_bytes
+      in
+      let hist = Xmlac_obs.Histogram.make "fleet.rtt" in
+      let hist_mutex = Mutex.create () in
+      let payload_total = ref 0 in
+      let payload_by_tenant : (string, int) Hashtbl.t = Hashtbl.create 4 in
+      let failures = Array.make clients None in
+      let worker i =
+        let id, config, _, local = List.nth tenants (i mod List.length tenants) in
+        let mux = muxes.(i mod endpoints) in
+        try
+          let (), wall_s =
+            Xmlac_obs.Span.time "fleet.client" (fun () ->
+                let r =
+                  Remote.connect ~container:id
+                    ~config:
+                      {
+                        Wire.Client.default_config with
+                        Wire.Client.retry_seed = i;
+                      }
+                    (Wire.Mux.session mux)
+                in
+                let m = evaluate_remote config r W.Profiles.secretary in
+                let w =
+                  match m.Session.wire with Some w -> w | None -> assert false
+                in
+                Remote.close r;
+                if m.Session.events <> local.Session.events then
+                  failwith "fleet client: view diverges from local evaluation";
+                Mutex.lock hist_mutex;
+                payload_total := !payload_total + w.Wire.Stats.payload_bytes;
+                (* every client of a tenant meters identical payload *)
+                (match Hashtbl.find_opt payload_by_tenant id with
+                | None ->
+                    Hashtbl.replace payload_by_tenant id
+                      w.Wire.Stats.payload_bytes
+                | Some p ->
+                    if p <> w.Wire.Stats.payload_bytes then
+                      failwith "fleet: payload bytes diverge within a tenant");
+                Mutex.unlock hist_mutex)
+          in
+          Mutex.lock hist_mutex;
+          Xmlac_obs.Histogram.observe hist wall_s;
+          Mutex.unlock hist_mutex
+        with e -> failures.(i) <- Some e
+      in
+      let threads = List.init clients (fun i -> Thread.create worker i) in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i -> function
+          | Some e ->
+              failwith
+                (Printf.sprintf "fleet client %d failed: %s" i
+                   (Printexc.to_string e))
+          | None -> ())
+        failures;
+      Array.iter Wire.Mux.close muxes;
+      (* byte-equality spot check: multiplexed v1.2 sessions meter exactly
+         what the sequential v1.1 connection did *)
+      (match Hashtbl.find_opt payload_by_tenant "records" with
+      | Some p when p = v1_payload -> ()
+      | Some p ->
+          failwith
+            (Printf.sprintf "fleet: mux payload %d <> v1.1 payload %d" p
+               v1_payload)
+      | None -> failwith "fleet: no records client completed");
+      let totals = Wire.Server.totals server in
+      let cache = Wire.Server.cache_stats server in
+      let p50 = Xmlac_obs.Histogram.quantile hist 0.5 in
+      let p99 = Xmlac_obs.Histogram.quantile hist 0.99 in
+      Printf.printf
+        "  %d clients over %d mux connections, %d containers, 2 domains\n"
+        clients endpoints (List.length tenants);
+      Printf.printf "  per-client latency: p50 %.4fs  p99 %.4fs  mean %.4fs\n"
+        p50 p99 (Xmlac_obs.Histogram.mean hist);
+      Printf.printf
+        "  server: %d requests, %d mux sessions, %d busy rejections, cache \
+         %d/%d hit/miss\n"
+        totals.Wire.Stats.requests totals.Wire.Stats.mux_sessions
+        totals.Wire.Stats.busy_rejections cache.Xmlac_runtime.Lru.hits
+        cache.Xmlac_runtime.Lru.misses;
+      record ~name:"fleet" ~profile:"all"
+        (Metrics.
+           [
+             int "clients" clients;
+             int "containers" (List.length tenants);
+             int "mux_connections" endpoints;
+             int "payload_bytes" !payload_total;
+             float "wall_p50_s" p50;
+             float "wall_p99_s" p99;
+           ]);
+      note "every client's view is byte-checked against the local evaluation;";
+      note "  latencies are wall-clock and exempt from the perf gate")
+
 (* Bechamel micro-benchmarks ------------------------------------------------ *)
 
 let bechamel_suite () =
@@ -873,25 +1070,46 @@ let bechamel_suite () =
       | None -> ())
     (List.sort compare names)
 
+(* the registry: (name, in the default run?, body). The fleet load
+   generator only runs when named with --experiment. *)
+let experiments =
+  [
+    ("table1", true, table1);
+    ("table2", true, table2);
+    ("fig8", true, fig8);
+    ("fig9", true, fig9);
+    ("fig10", true, fig10);
+    ("fig11", true, fig11);
+    ("fig12", true, fig12);
+    ("contexts", true, contexts);
+    ("ablation", true, ablation);
+    ("ablation_geometry", true, ablation_geometry);
+    ("memory_scaling", true, memory_scaling);
+    ("update_costs", true, update_costs);
+    ("remote", true, remote);
+    ("pipeline", true, pipeline);
+    ("fleet", false, fleet);
+  ]
+
 let () =
   Printf.printf
     "xmlac benchmark harness — reproducing Bouganim et al., VLDB 2004%s\n"
     (if quick then " (quick mode)" else "");
-  run_experiment "table1" table1;
-  run_experiment "table2" table2;
-  run_experiment "fig8" fig8;
-  run_experiment "fig9" fig9;
-  run_experiment "fig10" fig10;
-  run_experiment "fig11" fig11;
-  run_experiment "fig12" fig12;
-  run_experiment "contexts" contexts;
-  run_experiment "ablation" ablation;
-  run_experiment "ablation_geometry" ablation_geometry;
-  run_experiment "memory_scaling" memory_scaling;
-  run_experiment "update_costs" update_costs;
-  run_experiment "remote" remote;
-  run_experiment "pipeline" pipeline;
-  if not no_bechamel then run_experiment "bechamel" bechamel_suite;
+  (match experiment_filter with
+  | Some "bechamel" -> run_experiment "bechamel" bechamel_suite
+  | Some name -> (
+      match List.find_opt (fun (n, _, _) -> n = name) experiments with
+      | Some (n, _, f) -> run_experiment n f
+      | None ->
+          Printf.eprintf "bench: unknown experiment %S (have: %s, bechamel)\n"
+            name
+            (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+          exit 2)
+  | None ->
+      List.iter
+        (fun (n, default, f) -> if default then run_experiment n f)
+        experiments;
+      if not no_bechamel then run_experiment "bechamel" bechamel_suite);
   (match json_path with
   | None -> ()
   | Some path ->

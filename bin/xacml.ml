@@ -139,10 +139,20 @@ let expect_scheme_arg =
            advertises SCHEME — guards against a terminal downgrading the \
            integrity scheme.")
 
+let container_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "container" ] ~docv:"ID"
+        ~doc:
+          "With --remote: bind to the published container named ID on a \
+           multi-tenant terminal (default: the terminal's first \
+           published container).")
+
 (* Open the SOE byte source for view/unlock: a local container file or a
    remote terminal session. Returns the source, the scheme it speaks, and
    the session to close when done. *)
-let open_source ?pool ~input ~remote ~expect_scheme ~key counters =
+let open_source ?pool ~input ~remote ~container ~expect_scheme ~key counters =
   match remote with
   | Some addr_str ->
       let addr =
@@ -151,7 +161,8 @@ let open_source ?pool ~input ~remote ~expect_scheme ~key counters =
         | Error e -> die "--remote %s" e
       in
       let r =
-        Remote.connect ?expect_scheme (fun () -> Wire.Transport.connect addr)
+        Remote.connect ?container ?expect_scheme (fun () ->
+            Wire.Transport.connect addr)
       in
       let source = Remote.source ?pool r ~key counters in
       (source, (Remote.metadata r).Wire.Protocol.scheme, Some r)
@@ -388,15 +399,15 @@ let view_cmd =
              record per node, skip and chunk verdict, plus evaluator \
              events) to FILE, for xacml explain or audit_replay.")
   in
-  let run input pass remote expect_scheme rules policy_file query_str user
-      dummy stats_flag trace_flag trace_out jobs =
+  let run input pass remote container expect_scheme rules policy_file
+      query_str user dummy stats_flag trace_flag trace_out jobs =
     let policy = assemble_policy ~rules ~policy_file ~user in
     let query = Option.map Xmlac_xpath.Parse.path query_str in
     let key = key_of_passphrase pass in
     let counters = Channel.fresh_counters () in
     with_jobs jobs @@ fun pool ->
     let source, scheme, remote_session =
-      open_source ?pool ~input ~remote ~expect_scheme ~key counters
+      open_source ?pool ~input ~remote ~container ~expect_scheme ~key counters
     in
     let decoder = Xmlac_skip_index.Decoder.of_source source in
     if trace_flag then
@@ -480,7 +491,7 @@ let view_cmd =
     (Cmd.info "view"
        ~doc:"Evaluate an authorized view (and optional query) of a container.")
     Term.(
-      const run $ input_opt_arg $ passphrase_arg $ remote_arg
+      const run $ input_opt_arg $ passphrase_arg $ remote_arg $ container_arg
       $ expect_scheme_arg $ rules_arg $ policy_file_arg $ query_arg $ user_arg
       $ dummy $ stats_flag $ trace_flag $ trace_out $ jobs_arg)
 
@@ -607,7 +618,8 @@ let unlock_cmd =
   let stats_flag =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print SOE cost statistics.")
   in
-  let run input remote expect_scheme license_file soe_pass stats_flag jobs =
+  let run input remote container expect_scheme license_file soe_pass
+      stats_flag jobs =
     match
       Xmlac_soe.License.unseal
         ~soe_key:(key_of_passphrase soe_pass)
@@ -620,7 +632,7 @@ let unlock_cmd =
         let counters = Channel.fresh_counters () in
         with_jobs jobs @@ fun pool ->
         let source, scheme, remote_session =
-          open_source ?pool ~input ~remote ~expect_scheme
+          open_source ?pool ~input ~remote ~container ~expect_scheme
             ~key:(Xmlac_soe.License.key lic) counters
         in
         let decoder = Xmlac_skip_index.Decoder.of_source source in
@@ -656,8 +668,9 @@ let unlock_cmd =
     (Cmd.info "unlock"
        ~doc:"Evaluate a container using a sealed license (rules + key).")
     Term.(
-      const run $ input_opt_arg $ remote_arg $ expect_scheme_arg
-      $ license_file $ soe_key_arg $ stats_flag $ jobs_arg)
+      const run $ input_opt_arg $ remote_arg $ container_arg
+      $ expect_scheme_arg $ license_file $ soe_key_arg $ stats_flag
+      $ jobs_arg)
 
 (* update --------------------------------------------------------------------- *)
 

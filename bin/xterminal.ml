@@ -1,12 +1,16 @@
-(* xterminal — the untrusted terminal of the paper's architecture: holds a
-   published container (ciphertext only, no keys) and serves it to SOE
+(* xterminal — the untrusted terminal of the paper's architecture: holds
+   published containers (ciphertext only, no keys) and serves them to SOE
    clients over the framed wire protocol, many sessions concurrently.
 
      xterminal -i doc.xac --listen unix:/tmp/doc.sock
+     xterminal -i records=a.xac -i billing=b.xac --listen tcp:127.0.0.1:7007
      xacml view --remote unix:/tmp/doc.sock --rule '+//a'
 
-   SIGINT/SIGTERM stop the accept loop, drain in-flight sessions, unlink a
-   Unix socket file and exit 0. *)
+   Each [-i] publishes one container under an id ([ID=PATH], or the file's
+   basename without extension for a bare PATH); clients name the id in
+   their v1.2 hello, or omit it to get the first one published. SIGINT/
+   SIGTERM stop the accept loop, drain in-flight sessions, unlink a Unix
+   socket file and exit 0. *)
 
 open Cmdliner
 module Wire = Xmlac_wire
@@ -27,9 +31,12 @@ let die fmt =
 
 let input_arg =
   Arg.(
-    required
-    & opt (some file) None
-    & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Published container to serve.")
+    non_empty & opt_all string []
+    & info [ "i"; "input" ] ~docv:"[ID=]FILE"
+        ~doc:
+          "Published container to serve; repeatable. ID names the \
+           container for v1.2 clients (default: the file's basename \
+           without extension).")
 
 let listen_arg =
   Arg.(
@@ -57,32 +64,73 @@ let stats_arg =
     value & flag
     & info [ "stats" ] ~doc:"Print wire counters on shutdown (stderr).")
 
-let run input listen sessions timeout stats_flag =
-  let container =
-    match Container.of_bytes (read_file input) with
-    | c -> c
-    | exception Container.Corrupt msg -> die "%s: corrupt container: %s" input msg
-  in
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Accept/dispatch loops racing on the listener (default 1).")
+
+let no_mux_arg =
+  Arg.(
+    value & flag
+    & info [ "no-mux" ]
+        ~doc:
+          "Refuse the v1.2 session-multiplexing grant; every hello gets a \
+           plain single-session connection.")
+
+(* "ID=PATH" or bare "PATH" (id = basename without extension) *)
+let parse_input spec =
+  match String.index_opt spec '=' with
+  | Some i when i > 0 ->
+      (String.sub spec 0 i,
+       String.sub spec (i + 1) (String.length spec - i - 1))
+  | _ -> (Filename.remove_extension (Filename.basename spec), spec)
+
+let run inputs listen sessions timeout stats_flag domains no_mux =
+  if domains < 1 then die "--domains must be >= 1";
+  let server = Wire.Server.create () in
+  List.iter
+    (fun spec ->
+      let id, path = parse_input spec in
+      if not (Sys.file_exists path) then die "%s: no such file" path;
+      match Container.of_bytes (read_file path) with
+      | c -> (
+          match Wire.Server.publish server ~id c with
+          | () -> ()
+          | exception Invalid_argument msg -> die "-i %s: %s" spec msg)
+      | exception Container.Corrupt msg ->
+          die "%s: corrupt container: %s" path msg)
+    inputs;
   let addr =
     match Wire.Transport.parse_addr listen with
     | Ok a -> a
     | Error e -> die "--listen %s" e
   in
-  let server = Wire.Server.make container in
   let listener = Wire.Transport.listen addr in
   let stop = ref false in
   let on_signal _ = stop := true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
-  let meta = Wire.Server.metadata server in
-  Printf.printf "xterminal: serving %s (%s, %d chunks%s) on %s\n%!" input
-    (Container.scheme_to_string meta.Wire.Protocol.scheme)
-    meta.Wire.Protocol.chunk_count
-    (if meta.Wire.Protocol.integrity then "" else ", no integrity")
-    (Wire.Transport.addr_to_string (Wire.Transport.bound_addr listener));
+  Printf.printf "xterminal: serving on %s (%d domain%s%s)\n%!"
+    (Wire.Transport.addr_to_string (Wire.Transport.bound_addr listener))
+    domains
+    (if domains = 1 then "" else "s")
+    (if no_mux then ", mux off" else "");
+  List.iter
+    (fun id ->
+      match Wire.Server.metadata_of server id with
+      | None -> ()
+      | Some meta ->
+          Printf.printf "xterminal:   %s: %s, %d chunks%s\n%!" id
+            (Container.scheme_to_string meta.Wire.Protocol.scheme)
+            meta.Wire.Protocol.chunk_count
+            (if meta.Wire.Protocol.integrity then "" else ", no integrity"))
+    (Wire.Server.container_ids server);
   (* the accept loop polls [stop], so a signal lands within ~0.2 s; a
      transport error on a closed listener ends the loop the same way *)
-  (try Wire.Server.serve ~max_sessions:sessions ?timeout_s:timeout ~stop server listener
+  (try
+     Wire.Server.serve ~max_sessions:sessions ~mux:(not no_mux) ~domains
+       ?timeout_s:timeout ~stop server listener
    with Wire.Error.Wire _ -> ());
   Wire.Transport.close_listener listener;
   if stats_flag then begin
@@ -93,12 +141,12 @@ let run input listen sessions timeout stats_flag =
 let () =
   let cmd =
     Cmd.v
-      (Cmd.info "xterminal" ~version:"1.0.0"
+      (Cmd.info "xterminal" ~version:"1.2.0"
          ~doc:
-           "Serve a published container to SOE clients over the wire \
+           "Serve published containers to SOE clients over the wire \
             protocol (the untrusted terminal of the paper's architecture).")
       Term.(
         const run $ input_arg $ listen_arg $ sessions_arg $ timeout_arg
-        $ stats_arg)
+        $ stats_arg $ domains_arg $ no_mux_arg)
   in
   exit (Cmd.eval cmd)

@@ -62,7 +62,9 @@ let wire_seed_frames =
     (let open Xmlac_wire.Protocol in
      let reqs =
        [
-         Hello { version };
+         Hello { version; container = ""; mux = false };
+         Hello { version; container = "default"; mux = true };
+         Hello { version = 1; container = ""; mux = false };
          Get_fragment { chunk = 1; fragment = 2; lo = 0; hi = 64 };
          Get_chunk { chunk = 0 };
          Get_digest { chunk = 3 };
@@ -83,6 +85,7 @@ let wire_seed_frames =
              chunk_count = 4;
              integrity = true;
              batching = true;
+             mux = true;
            };
          Fragment (String.make 64 '\x2a');
          Chunk (String.make 512 '\x2a');

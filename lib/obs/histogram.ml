@@ -30,11 +30,25 @@ let make name =
     buckets = Array.make bucket_count 0;
   }
 
+(* bounds.(i) = lo·2^i. Doubling only bumps the exponent, so every bound
+   is exact and boundary values classify exactly: bucket i >= 1 holds
+   [bounds.(i-1), bounds.(i)). The previous float_of(log2) formulation put
+   values sitting exactly on a bound in the neighbouring bucket whenever
+   log2 rounded across the integer. *)
+let bounds =
+  let b = Array.make (bucket_count - 1) lo in
+  for i = 1 to bucket_count - 2 do
+    b.(i) <- b.(i - 1) *. 2.
+  done;
+  b
+
 let bucket_of v =
-  if v < lo then 0
-  else
-    let i = 1 + int_of_float (Float.log2 (v /. lo)) in
-    if i >= bucket_count then bucket_count - 1 else max 1 i
+  let rec go i =
+    if i = bucket_count - 1 then i
+    else if v < bounds.(i) then i
+    else go (i + 1)
+  in
+  go 0
 
 let observe t v =
   let v = if Float.is_nan v || v < 0. then 0. else v in
@@ -47,8 +61,9 @@ let observe t v =
 let count t = t.count
 let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
 
-(* upper bound of bucket [i]: lo for bucket 0, lo·2^i above *)
-let upper_bound i = if i = 0 then lo else lo *. Float.pow 2. (float_of_int i)
+(* upper bound of bucket [i]: lo for bucket 0, lo·2^i above; the last
+   bucket is open-ended so callers cap it with the exact max. *)
+let upper_bound i = bounds.(min i (bucket_count - 2))
 
 let quantile t q =
   if t.count = 0 then 0.
@@ -71,5 +86,6 @@ let metrics t =
     Metrics.float (t.name ^ "_mean_s") (mean t);
     Metrics.float (t.name ^ "_p50_s") (quantile t 0.5);
     Metrics.float (t.name ^ "_p95_s") (quantile t 0.95);
+    Metrics.float (t.name ^ "_p99_s") (quantile t 0.99);
     Metrics.float (t.name ^ "_max_s") t.max_value;
   ]

@@ -1,0 +1,142 @@
+(* A tiny Domain-based worker pool for the decrypt-ahead pipeline.
+
+   The channel's read path splits each request into per-fragment (or
+   per-chunk) units, fetches their ciphertext on the coordinator, and then
+   hands the pure compute — 3DES block decryption, SHA-1 hashing, Merkle
+   root reconstruction — to [run]. Workers touch only the unit handed to
+   them: no counters, no Trace, no shared mutable channel state, so the
+   observable counter stream is identical at any job count and only wall
+   time changes.
+
+   Determinism of failures: every task always runs to completion or to its
+   own exception; after the batch, the exception of the smallest task
+   index (if any) is re-raised. jobs = 1 follows the same
+   catch-all-then-raise-first protocol inline, so hostile containers
+   produce the same error regardless of --jobs. *)
+
+type job = {
+  tasks : (unit -> unit) array;
+  mutable next : int; (* next unclaimed task index *)
+  mutable remaining : int; (* tasks not yet finished *)
+  errors : exn option array;
+}
+
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  work_ready : Condition.t;
+  work_done : Condition.t;
+  mutable current : job option;
+  mutable shutdown : bool;
+  mutable domains : unit Domain.t list;
+  (* coordinator-only observability tallies *)
+  mutable sections : int;
+  mutable tasks_run : int;
+}
+
+let jobs t = t.jobs
+let sections t = t.sections
+let tasks_run t = t.tasks_run
+
+(* claim task indices until the job runs dry; must be called locked,
+   returns locked *)
+let drain t job =
+  let continue = ref true in
+  while !continue do
+    if job.next < Array.length job.tasks then begin
+      let i = job.next in
+      job.next <- i + 1;
+      Mutex.unlock t.m;
+      (try job.tasks.(i) () with e -> job.errors.(i) <- Some e);
+      Mutex.lock t.m;
+      job.remaining <- job.remaining - 1;
+      if job.remaining = 0 then Condition.broadcast t.work_done
+    end
+    else continue := false
+  done
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while (not t.shutdown) && t.current = None do
+    Condition.wait t.work_ready t.m
+  done;
+  if t.shutdown then Mutex.unlock t.m
+  else begin
+    (match t.current with Some job -> drain t job | None -> ());
+    (* job drained (though peers may still be finishing): park again so
+       this worker does not spin on the exhausted job *)
+    while
+      (not t.shutdown)
+      && (match t.current with
+         | Some job -> job.next >= Array.length job.tasks
+         | None -> false)
+    do
+      Condition.wait t.work_ready t.m
+    done;
+    Mutex.unlock t.m;
+    worker_loop t
+  end
+
+let create ~jobs =
+  let jobs = max 1 jobs in
+  let t =
+    {
+      jobs;
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      work_done = Condition.create ();
+      current = None;
+      shutdown = false;
+      domains = [];
+      sections = 0;
+      tasks_run = 0;
+    }
+  in
+  if jobs > 1 then
+    t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let raise_first job =
+  Array.iter (function Some e -> raise e | None -> ()) job.errors
+
+let run t tasks =
+  let n = Array.length tasks in
+  if n = 0 then ()
+  else begin
+    t.sections <- t.sections + 1;
+    t.tasks_run <- t.tasks_run + n;
+    if t.jobs = 1 || n = 1 || t.domains = [] then begin
+      (* inline mode: same run-everything-then-raise-first protocol *)
+      let errors = Array.make n None in
+      Array.iteri
+        (fun i task -> try task () with e -> errors.(i) <- Some e)
+        tasks;
+      raise_first { tasks; next = n; remaining = 0; errors }
+    end
+    else begin
+      let job = { tasks; next = 0; remaining = n; errors = Array.make n None } in
+      Mutex.lock t.m;
+      t.current <- Some job;
+      Condition.broadcast t.work_ready;
+      (* the coordinator participates instead of idling *)
+      drain t job;
+      while job.remaining > 0 do
+        Condition.wait t.work_done t.m
+      done;
+      t.current <- None;
+      Mutex.unlock t.m;
+      raise_first job
+    end
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.shutdown <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,14 +1,17 @@
 (** Domain-based worker pool for the decrypt-ahead pipeline.
 
-    This is the shared {!Xmlac_runtime.Pool} (the terminal server's
-    acceptor domains use the same primitive); see that module for the full
-    contract. In short: [run] executes a batch of independent compute
-    tasks across [jobs] domains with the caller participating, every task
-    always runs, and the exception of the smallest failing task index is
-    re-raised after the batch so failures are deterministic across
-    schedules and job counts. *)
+    [run] executes a batch of independent compute tasks (block decryption,
+    hashing, Merkle verification) across [jobs] domains, the caller
+    participating as one of them. Every task always runs; exceptions are
+    collected and the one with the smallest task index is re-raised after
+    the batch, so failures are deterministic across schedules and across
+    job counts. [jobs = 1] (the default everywhere) runs everything inline
+    with the identical protocol.
 
-type t = Xmlac_runtime.Pool.t
+    Workers must only touch the task handed to them — counters, Trace and
+    other shared session state stay on the coordinator. *)
+
+type t
 
 val create : jobs:int -> t
 (** Spawns [jobs - 1] worker domains ([jobs] is clamped to at least 1;

@@ -68,7 +68,16 @@ let fetch_many client reqs =
   in
   go reqs
 
-let connect ?config ?expect_scheme connector =
+let connect ?config ?container ?expect_scheme connector =
+  let config =
+    match container with
+    | None -> config
+    | Some id ->
+        let base =
+          Option.value config ~default:Wire.Client.default_config
+        in
+        Some { base with Wire.Client.container = id }
+  in
   let client = Wire.Client.connect ?config connector in
   let meta = Wire.Client.metadata client in
   (match expect_scheme with

@@ -13,10 +13,13 @@ type t
 
 val connect :
   ?config:Xmlac_wire.Client.config ->
+  ?container:string ->
   ?expect_scheme:Xmlac_crypto.Secure_container.scheme ->
   (unit -> Xmlac_wire.Transport.t) ->
   t
-(** Connect, handshake, validate the advertised geometry.
+(** Connect, handshake, validate the advertised geometry. [container]
+    names the published container to bind on a multi-tenant terminal
+    (overrides [config.container]; requires an XWTP v1.2 terminal).
     @raise Xmlac_wire.Error.Wire ([Handshake _]) when the terminal's story
     is unacceptable. *)
 

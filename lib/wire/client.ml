@@ -1,7 +1,80 @@
-type config = { attempts : int; backoff_s : float; max_payload : int }
+type config = {
+  attempts : int;
+  backoff_s : float;
+  backoff_cap_s : float;
+  retry_seed : int;
+  max_payload : int;
+  container : string;
+  protocol_version : int;
+}
 
 let default_config =
-  { attempts = 3; backoff_s = 0.05; max_payload = Frame.max_payload_default }
+  {
+    attempts = 3;
+    backoff_s = 0.05;
+    backoff_cap_s = 1.0;
+    retry_seed = 0;
+    max_payload = Frame.max_payload_default;
+    container = "";
+    protocol_version = Protocol.version;
+  }
+
+(* {2 Retry backoff}
+
+   Decorrelated jitter: each delay is drawn uniformly from
+   [base, 3 * previous], clamped to [backoff_cap_s] per sleep, and the
+   {e cumulative} sleep across one retry sequence is capped by
+   [backoff_cap_s] too — a client can stall at most that long before its
+   final attempt. The jitter stream is a deterministic splitmix64 PRNG
+   seeded from [retry_seed], so a fleet of clients seeded differently
+   de-synchronizes (no thundering herd of aligned retries) while any one
+   client's schedule is exactly reproducible. *)
+
+let splitmix64 state =
+  state := Int64.add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* uniform in [0, 1) from the top 53 bits *)
+let uniform state =
+  let bits = Int64.shift_right_logical (splitmix64 state) 11 in
+  Int64.to_float bits /. 9007199254740992. (* 2^53 *)
+
+type backoff = {
+  prng : int64 ref;
+  mutable prev : float;
+  mutable budget : float;
+  base : float;
+  cap : float;
+}
+
+let backoff_start config =
+  {
+    prng = ref (Int64.of_int config.retry_seed);
+    prev = config.backoff_s;
+    budget = config.backoff_cap_s;
+    base = config.backoff_s;
+    cap = config.backoff_cap_s;
+  }
+
+let backoff_next b =
+  if b.base <= 0. || b.budget <= 0. then 0.
+  else begin
+    let raw = b.base +. (uniform b.prng *. ((b.prev *. 3.) -. b.base)) in
+    let raw = Float.max b.base (Float.min raw b.cap) in
+    b.prev <- raw;
+    let d = Float.min raw b.budget in
+    b.budget <- b.budget -. d;
+    d
+  end
+
+(* The exact sleeps [retrying] would perform, attempt by attempt — pure,
+   for tests that pin the schedule and for capacity planning. *)
+let backoff_schedule config =
+  let b = backoff_start config in
+  List.init (max 0 (config.attempts - 1)) (fun _ -> backoff_next b)
 
 type t = {
   config : config;
@@ -36,15 +109,38 @@ let roundtrip t transport req =
   t.stats.replies <- t.stats.replies + 1;
   resp
 
+let hello ~version ~container = Protocol.Hello { version; container; mux = false }
+
+(* Version negotiation: offer our configured version; a terminal that
+   rejects it as unsupported gets one v1.1 short-form hello before we give
+   up — the graceful downgrade path against pre-fleet terminals. The
+   downgrade cannot name a container (v1 hellos have no room for one), so
+   a client pinned to a specific container refuses instead. *)
 let handshake t transport =
-  match roundtrip t transport (Protocol.Hello { version = Protocol.version }) with
-  | Protocol.Hello_ok meta -> meta
-  | Protocol.Err { code; message } ->
-      raise
-        (Error.Wire
-           (Error.Handshake
-              (Printf.sprintf "terminal refused handshake (%d): %s" code message)))
-  | resp -> Error.protocolf "expected hello reply, got %s" (response_kind resp)
+  let refuse code message =
+    raise
+      (Error.Wire
+         (Error.Handshake
+            (Printf.sprintf "terminal refused handshake (%d): %s" code message)))
+  in
+  let exchange version =
+    roundtrip t transport (hello ~version ~container:t.config.container)
+  in
+  let rec go version =
+    match exchange version with
+    | Protocol.Hello_ok meta -> meta
+    | Protocol.Err { code; message } when code = Protocol.err_busy ->
+        raise (Error.Wire (Error.Busy message))
+    | Protocol.Err { code; message }
+      when code = Protocol.err_unsupported && version > 1 ->
+        if t.config.container <> "" then
+          refuse code
+            (message ^ " (and a v1 downgrade cannot name a container)")
+        else go 1
+    | Protocol.Err { code; message } -> refuse code message
+    | resp -> Error.protocolf "expected hello reply, got %s" (response_kind resp)
+  in
+  go t.config.protocol_version
 
 let drop t =
   (match t.transport with Some tr -> Transport.close tr | None -> ());
@@ -71,12 +167,14 @@ let ensure t =
           Transport.close tr;
           raise e)
 
-(* Bounded retry with reconnect and exponential backoff. Sound because
+(* Bounded retry with reconnect and decorrelated-jitter backoff (fresh
+   schedule per operation — see {!backoff_next}). Sound because
    every request is an idempotent read of immutable published data: a retry
    can repeat work, never change state. The reply is decoded {e inside}
    this region, so a stale or duplicated frame (a desynchronized stream)
    retries on a fresh connection rather than poisoning the session. *)
 let retrying t f =
+  let backoff = backoff_start t.config in
   let rec go n =
     match f () with
     | v -> v
@@ -86,8 +184,8 @@ let retrying t f =
           t.stats.retries <- t.stats.retries + 1;
           drop t;
           t.stats.reconnects <- t.stats.reconnects + 1;
-          if t.config.backoff_s > 0. then
-            Unix.sleepf (t.config.backoff_s *. (2. ** float_of_int (n - 1)));
+          let d = backoff_next backoff in
+          if d > 0. then Unix.sleepf d;
           go (n + 1)
         end
         else raise exn
@@ -113,6 +211,8 @@ let call t req expect =
   let resp = roundtrip t tr req in
   Xmlac_obs.Histogram.observe t.stats.rtt_hist (Xmlac_obs.Span.now () -. t0);
   match resp with
+  | Protocol.Err { code; message } when code = Protocol.err_busy ->
+      raise (Error.Wire (Error.Busy message))
   | Protocol.Err { code; message } ->
       raise (Error.Wire (Error.Server { code; message }))
   | resp -> expect resp

@@ -13,20 +13,44 @@
 type config = {
   attempts : int;  (** total tries per request (default 3) *)
   backoff_s : float;
-      (** base of the exponential backoff between retries (default 0.05 s;
-          0 disables sleeping, for tests) *)
+      (** base delay of the decorrelated-jitter backoff between retries
+          (default 0.05 s; 0 disables sleeping, for tests) *)
+  backoff_cap_s : float;
+      (** ceiling on each individual delay {e and} on the cumulative sleep
+          of one retry sequence (default 1 s) — bounds how long a request
+          can stall before its final attempt *)
+  retry_seed : int;
+      (** seed of the deterministic jitter stream; seed each client of a
+          fleet differently so their retries de-synchronize *)
   max_payload : int;  (** largest acceptable reply frame *)
+  container : string;
+      (** container id the handshake binds to ([""] = terminal default;
+          requires a v2-capable terminal when non-empty) *)
+  protocol_version : int;
+      (** hello version offered (default {!Protocol.version}; set 1 to
+          speak pure XWTP v1.1) *)
 }
 
 val default_config : config
+
+val backoff_schedule : config -> float list
+(** The exact sleeps (in seconds) a retry sequence under [config] performs
+    between attempts, in order — pure and deterministic in [retry_seed].
+    Each element lies in [[backoff_s, backoff_cap_s]] (or is 0 once the
+    cumulative budget is spent) and the sum never exceeds
+    [backoff_cap_s]. *)
 
 type t
 
 val connect : ?config:config -> (unit -> Transport.t) -> t
 (** Connect and perform the version handshake (retried like any request).
-    The connector is kept for transparent reconnects; on reconnect the
-    terminal must advertise byte-identical metadata or the client refuses
-    with a [Handshake] error. *)
+    A terminal that rejects the offered version as unsupported is given
+    one v1.1 short-form hello before the client gives up — the graceful
+    downgrade path (unavailable when [config.container] is set, since a
+    v1 hello cannot name a container). A busy rejection surfaces as the
+    retryable {!Error.Busy}. The connector is kept for transparent
+    reconnects; on reconnect the terminal must advertise byte-identical
+    metadata or the client refuses with a [Handshake] error. *)
 
 val metadata : t -> Protocol.metadata
 

@@ -3,6 +3,7 @@ type t =
   | Protocol of string
   | Transport of string
   | Handshake of string
+  | Busy of string
   | Server of { code : int; message : string }
 
 exception Wire of t
@@ -12,16 +13,19 @@ let to_string = function
   | Protocol msg -> "wire protocol: " ^ msg
   | Transport msg -> "wire transport: " ^ msg
   | Handshake msg -> "wire handshake: " ^ msg
+  | Busy msg -> "terminal busy: " ^ msg
   | Server { code; message } ->
       Printf.sprintf "terminal error %d: %s" code message
 
 (* Frame/protocol/transport faults are transient as far as the client can
    tell (a flaky terminal, a dropped connection): reconnecting and
-   re-asking is safe because every request is an idempotent read. A
-   handshake refusal or an explicit terminal error is a decision, not a
-   fault — retrying would just repeat it. *)
+   re-asking is safe because every request is an idempotent read. [Busy]
+   is an explicit admission-control rejection — transient by definition,
+   so it retries (with backoff) too. A handshake refusal or any other
+   explicit terminal error is a decision, not a fault — retrying would
+   just repeat it. *)
 let retryable = function
-  | Frame _ | Protocol _ | Transport _ -> true
+  | Frame _ | Protocol _ | Transport _ | Busy _ -> true
   | Handshake _ | Server _ -> false
 
 let framef fmt = Printf.ksprintf (fun m -> raise (Wire (Frame m))) fmt

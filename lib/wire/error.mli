@@ -14,6 +14,9 @@ type t =
   | Handshake of string
       (** the terminal's advertised metadata is unacceptable (bad version,
           implausible geometry, scheme mismatch) *)
+  | Busy of string
+      (** the terminal rejected admission (session cap reached) — a typed,
+          retryable backpressure signal, never a protocol fault *)
   | Server of { code : int; message : string }
       (** an explicit [Err] reply from the terminal *)
 
@@ -24,8 +27,9 @@ val to_string : t -> string
 val retryable : t -> bool
 (** Whether a bounded retry (with reconnect) is sound: true for
     frame/protocol/transport faults — every request is an idempotent read —
-    and false for handshake refusals and server errors, which are
-    decisions, not faults. *)
+    and for [Busy] admission rejections, which are transient by definition;
+    false for handshake refusals and server errors, which are decisions,
+    not faults. *)
 
 val framef : ('a, unit, string, 'b) format4 -> 'a
 (** Raise [Wire (Frame _)] with a formatted message. *)

@@ -47,6 +47,42 @@ let read ?(max_payload = max_payload_default) t =
 
 let write t payload = Transport.write t (encode payload)
 
+(* {2 Multiplexed framing (XWTP v1.2)}
+
+   After a hello exchange grants mux, both sides switch to frames whose
+   payload is prefixed with a big-endian u32 session id:
+   [u32 (4 + |payload|)][u32 sid][payload]. A mux frame is an ordinary
+   frame to the length-prefix layer, so the same truncation/oversize
+   defenses apply; only the session-id prefix is new. *)
+
+let mux_overhead = 4
+
+let encode_mux ~sid payload =
+  let n = String.length payload in
+  if n = 0 then invalid_arg "Frame.encode_mux: empty payload";
+  if sid < 0 || sid > 0xFFFFFFFF then
+    invalid_arg "Frame.encode_mux: session id out of range";
+  if n > 0xFFFFFFFF - mux_overhead then
+    invalid_arg "Frame.encode_mux: payload too large";
+  let b = Bytes.create (header_bytes + mux_overhead + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int (mux_overhead + n));
+  Bytes.set_int32_be b header_bytes (Int32.of_int sid);
+  Bytes.blit_string payload 0 b (header_bytes + mux_overhead) n;
+  Bytes.unsafe_to_string b
+
+let demux ~peer raw =
+  if String.length raw <= mux_overhead then
+    Error.framef "%s: mux frame of %d bytes lacks a session id and payload"
+      peer (String.length raw);
+  let sid = Int32.to_int (String.get_int32_be raw 0) land 0xFFFFFFFF in
+  (sid, String.sub raw mux_overhead (String.length raw - mux_overhead))
+
+let read_mux ?(max_payload = max_payload_default) t =
+  let raw = read ~max_payload:(max_payload + mux_overhead) t in
+  demux ~peer:(Transport.peer t) raw
+
+let write_mux t ~sid payload = Transport.write t (encode_mux ~sid payload)
+
 let split ?(max_payload = max_payload_default) buf ~off =
   let avail = String.length buf - off in
   if avail < header_bytes then

@@ -28,3 +28,21 @@ val split : ?max_payload:int -> string -> off:int -> string * int
 (** Pure frame extraction from a buffer (used by the in-process loopback
     and the fuzz boundary): returns the payload and the offset just past
     it. Raises the same [Frame] errors as {!read}. *)
+
+val mux_overhead : int
+(** Extra bytes a mux frame carries over a plain one (the u32 session
+    id). *)
+
+val encode_mux : sid:int -> string -> string
+(** XWTP v1.2 multiplexed frame:
+    [u32 (4 + |payload|)][u32 sid][payload]. Used once a hello exchange
+    has granted mux on the connection.
+    @raise Invalid_argument on an empty payload or an out-of-range
+    session id. *)
+
+val read_mux : ?max_payload:int -> Transport.t -> int * string
+(** Read one mux frame and return [(sid, payload)]. [max_payload] bounds
+    the payload, not the session-id prefix. A frame too short to carry a
+    session id and payload raises a [Frame] error, like any truncation. *)
+
+val write_mux : Transport.t -> sid:int -> string -> unit

@@ -1,0 +1,244 @@
+(* Client side of XWTP v1.2 session multiplexing.
+
+   One probe hello (plain-framed) asks the terminal to switch the
+   connection to mux framing. If granted, each SOE session gets a virtual
+   transport: its writes re-frame the session's ordinary plain frames as
+   mux frames tagged with the session id, its reads reassemble plain
+   frames from demultiplexed replies. The per-session {!Client} stack is
+   reused unchanged on top — each session still performs its own hello
+   (naming its container) inside the mux stream.
+
+   Demultiplexing is leader/follower: whichever session thread needs bytes
+   first becomes the leader, drops the lock, blocks in [read_mux], routes
+   the frame to its session's inbox, and broadcasts; followers wait on the
+   condition variable. No dedicated reader thread, no reply buffering
+   beyond what sessions actually await.
+
+   A terminal that answers the probe without the mux flag (a v1.1
+   terminal, or a v1.2 one with mux disabled, or the in-process loopback)
+   downgrades the whole endpoint gracefully: every session then gets a
+   fresh plain connection from the underlying connector. *)
+
+type inbox = { q : string Queue.t; mutable cur : string; mutable cpos : int }
+
+let inbox_make () = { q = Queue.create (); cur = ""; cpos = 0 }
+let inbox_add ib s = Queue.push s ib.q
+
+let inbox_take ib buf off len =
+  if ib.cpos >= String.length ib.cur then (
+    match Queue.take_opt ib.q with
+    | Some s ->
+        ib.cur <- s;
+        ib.cpos <- 0
+    | None -> ());
+  let avail = String.length ib.cur - ib.cpos in
+  if avail <= 0 then 0
+  else begin
+    let n = min len avail in
+    Bytes.blit_string ib.cur ib.cpos buf off n;
+    ib.cpos <- ib.cpos + n;
+    n
+  end
+
+type conn = {
+  tr : Transport.t;
+  m : Mutex.t;  (* guards inboxes, leader, dead, next_sid *)
+  resume : Condition.t;
+  wm : Mutex.t;  (* serializes writes so mux frames never interleave *)
+  inboxes : (int, inbox) Hashtbl.t;
+  mutable next_sid : int;
+  mutable leader : bool;
+  mutable dead : string option;
+  max_payload : int;
+}
+
+type state = Muxed of conn | Downgraded
+type t = { connector : unit -> Transport.t; max_payload : int; m : Mutex.t; mutable state : state option }
+
+let conn_make tr max_payload =
+  {
+    tr;
+    m = Mutex.create ();
+    resume = Condition.create ();
+    wm = Mutex.create ();
+    inboxes = Hashtbl.create 16;
+    next_sid = 1;
+    leader = false;
+    dead = None;
+    max_payload;
+  }
+
+let mark_dead (conn : conn) msg =
+  Mutex.lock conn.m;
+  if conn.dead = None then conn.dead <- Some msg;
+  Condition.broadcast conn.resume;
+  Mutex.unlock conn.m
+
+(* One leader/follower step for the session [sid] waiting on [ib]:
+   returns bytes if any arrived for us, raises if the connection is dead,
+   loops otherwise. Called with [conn.m] held; returns with it held. *)
+let rec await_bytes (conn : conn) sid ib buf off len =
+  let n = inbox_take ib buf off len in
+  if n > 0 then n
+  else
+    match conn.dead with
+    | Some msg ->
+        Mutex.unlock conn.m;
+        Error.transportf "%s session %d: mux connection down: %s"
+          (Transport.peer conn.tr) sid msg
+    | None ->
+        if conn.leader then begin
+          Condition.wait conn.resume conn.m;
+          await_bytes conn sid ib buf off len
+        end
+        else begin
+          conn.leader <- true;
+          Mutex.unlock conn.m;
+          (match Frame.read_mux ~max_payload:conn.max_payload conn.tr with
+          | sid', payload -> (
+              Mutex.lock conn.m;
+              match Hashtbl.find_opt conn.inboxes sid' with
+              | Some ib' ->
+                  (* re-frame for the session's ordinary Frame.read *)
+                  inbox_add ib' (Frame.encode payload)
+              | None -> () (* session retired locally: drop the reply *))
+          | exception e ->
+              Mutex.lock conn.m;
+              if conn.dead = None then
+                conn.dead <-
+                  Some
+                    (match e with
+                    | Error.Wire we -> Error.to_string we
+                    | e -> Printexc.to_string e));
+          conn.leader <- false;
+          Condition.broadcast conn.resume;
+          await_bytes conn sid ib buf off len
+        end
+
+let session_transport (conn : conn) =
+  Mutex.lock conn.m;
+  let sid = conn.next_sid in
+  conn.next_sid <- sid + 1;
+  let ib = inbox_make () in
+  Hashtbl.replace conn.inboxes sid ib;
+  Mutex.unlock conn.m;
+  let peer = Printf.sprintf "%s#%d" (Transport.peer conn.tr) sid in
+  let read buf off len =
+    Mutex.lock conn.m;
+    if not (Hashtbl.mem conn.inboxes sid) then begin
+      Mutex.unlock conn.m;
+      0 (* locally closed: reads see end-of-stream *)
+    end
+    else begin
+      let n = await_bytes conn sid ib buf off len in
+      Mutex.unlock conn.m;
+      n
+    end
+  in
+  let write data =
+    (* [data] is one or more complete plain frames from the session's
+       client; re-frame each as a mux frame and send them in one write *)
+    (match conn.dead with
+    | Some msg -> Error.transportf "%s: mux connection down: %s" peer msg
+    | None -> ());
+    let b = Buffer.create (String.length data + Frame.mux_overhead) in
+    let off = ref 0 in
+    while !off < String.length data do
+      let payload, next =
+        Frame.split ~max_payload:conn.max_payload data ~off:!off
+      in
+      Buffer.add_string b (Frame.encode_mux ~sid payload);
+      off := next
+    done;
+    Mutex.lock conn.wm;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock conn.wm)
+      (fun () -> Transport.write conn.tr (Buffer.contents b))
+  in
+  let close () =
+    Mutex.lock conn.m;
+    Hashtbl.remove conn.inboxes sid;
+    Condition.broadcast conn.resume;
+    Mutex.unlock conn.m
+  in
+  Transport.make ~read ~write ~close ~peer
+
+let probe (t : t) =
+  let tr = t.connector () in
+  match
+    Transport.write tr
+      (Frame.encode
+         (Protocol.encode_request
+            (Protocol.Hello
+               { version = Protocol.version; container = ""; mux = true })));
+    Protocol.decode_response (Frame.read ~max_payload:t.max_payload tr)
+  with
+  | Protocol.Hello_ok meta when meta.Protocol.mux -> Muxed (conn_make tr t.max_payload)
+  | Protocol.Hello_ok _ ->
+      (* terminal spoke, but without the mux grant: downgrade *)
+      Transport.close tr;
+      Downgraded
+  | Protocol.Err { code; message } when code = Protocol.err_busy ->
+      Transport.close tr;
+      raise (Error.Wire (Error.Busy message))
+  | Protocol.Err _ ->
+      (* e.g. a v1-only terminal rejecting the v2 hello: downgrade *)
+      Transport.close tr;
+      Downgraded
+  | resp ->
+      Transport.close tr;
+      ignore resp;
+      Error.protocolf "expected hello reply to mux probe"
+  | exception e ->
+      Transport.close tr;
+      raise e
+
+let ensure (t : t) =
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      match t.state with
+      | Some (Muxed conn) when conn.dead = None -> Muxed conn
+      | Some Downgraded -> Downgraded
+      | Some (Muxed conn) ->
+          (* previous mux connection died: replace it *)
+          Transport.close conn.tr;
+          let s = probe t in
+          t.state <- Some s;
+          s
+      | None ->
+          let s = probe t in
+          t.state <- Some s;
+          s)
+
+let connect ?(max_payload = Frame.max_payload_default) connector =
+  let t = { connector; max_payload; m = Mutex.create (); state = None } in
+  ignore (ensure t : state);
+  t
+
+let is_mux (t : t) =
+  Mutex.lock t.m;
+  let r =
+    match t.state with Some (Muxed conn) -> conn.dead = None | _ -> false
+  in
+  Mutex.unlock t.m;
+  r
+
+(* The connector per-session clients plug into [Client.connect]: every
+   call yields a fresh session on the shared mux connection (re-probing a
+   dead one), or a fresh plain connection after a downgrade. *)
+let session t () =
+  match ensure t with
+  | Muxed conn -> session_transport conn
+  | Downgraded -> t.connector ()
+
+let close (t : t) =
+  Mutex.lock t.m;
+  (match t.state with
+  | Some (Muxed conn) ->
+      mark_dead conn "endpoint closed";
+      Transport.close conn.tr
+  | _ -> ());
+  t.state <- Some Downgraded;
+  Mutex.unlock t.m

@@ -1,0 +1,38 @@
+(** Client side of XWTP v1.2 session multiplexing: many SOE sessions over
+    one terminal connection.
+
+    {!connect} probes the terminal with a mux-requesting hello. If
+    granted, {!session} yields virtual transports — one fresh session id
+    each — over the shared connection; plug them into {!Client.connect}
+    as the connector and the whole per-session client stack (handshake,
+    retry, batching, accounting) works unchanged. If the terminal answers
+    without the grant (a v1.1 terminal, or mux disabled), the endpoint
+    downgrades gracefully: {!session} then hands out fresh plain
+    connections from the underlying connector.
+
+    Demultiplexing is leader/follower among the session threads
+    themselves (no dedicated reader thread); writes of distinct sessions
+    are serialized so mux frames never interleave. A dead mux connection
+    fails every open session with a retryable transport error, and the
+    next {!session} call re-probes. *)
+
+type t
+
+val connect : ?max_payload:int -> (unit -> Transport.t) -> t
+(** Probe the terminal once, establishing either a mux connection or the
+    downgraded mode. Raises {!Error.Wire} like any connect would —
+    including the retryable [Busy] when the terminal is at its session
+    cap. *)
+
+val is_mux : t -> bool
+(** Whether the endpoint currently holds a live multiplexed connection
+    ([false] after a downgrade or a connection death). *)
+
+val session : t -> unit -> Transport.t
+(** A connector for one SOE session: a fresh session id on the shared mux
+    connection (re-probing if the previous connection died), or a fresh
+    plain connection in downgraded mode. Closing the returned transport
+    retires only that session. *)
+
+val close : t -> unit
+(** Tear down the shared connection (failing any open session). *)

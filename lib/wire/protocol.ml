@@ -1,7 +1,12 @@
 module C = Xmlac_crypto.Secure_container
 
-let version = 1
+let version = 2
+let min_version = 1
 let hello_magic = "XWTP"
+
+let max_container_id = 255
+(* decode-time cap on a v2 hello's container-id length (bounds hostile
+   allocation; ids are short human-chosen names) *)
 
 let hash_state_wire_bytes = 92
 (* worst-case serialized SHA-1 mid-state (29 fixed + 63 pending); every
@@ -26,10 +31,11 @@ type metadata = {
   chunk_count : int;
   integrity : bool;  (* whether the scheme supports verification at all *)
   batching : bool;  (* whether the terminal accepts Batch requests *)
+  mux : bool;  (* whether this connection multiplexes sessions (XWTP v1.2) *)
 }
 
 type request =
-  | Hello of { version : int }
+  | Hello of { version : int; container : string; mux : bool }
   | Get_fragment of { chunk : int; fragment : int; lo : int; hi : int }
   | Get_chunk of { chunk : int }
   | Get_digest of { chunk : int }
@@ -53,6 +59,7 @@ let err_bad_request = 1
 let err_out_of_range = 2
 let err_unsupported = 3
 let err_internal = 4
+let err_busy = 5
 
 let scheme_code = function
   | C.Ecb -> 0
@@ -88,10 +95,22 @@ let add_u64 b v =
 let rec encode_request req =
   let b = Buffer.create 16 in
   (match req with
-  | Hello { version } ->
+  | Hello { version; container; mux } ->
       add_u8 b 0x01;
       Buffer.add_string b hello_magic;
-      add_u16 b version
+      add_u16 b version;
+      (* v1 hellos stop after the version — byte-identical to what an
+         XWTP v1.1 client emits; the v2 extension appends a flags byte and
+         the target container id *)
+      if version >= 2 then begin
+        if String.length container > max_container_id then
+          invalid_arg "Protocol: container id too long";
+        add_u8 b (if mux then 1 else 0);
+        add_u16 b (String.length container);
+        Buffer.add_string b container
+      end
+      else if mux || container <> "" then
+        invalid_arg "Protocol: v1 hello cannot request mux or name a container"
   | Get_fragment { chunk; fragment; lo; hi } ->
       add_u8 b 0x02;
       add_u32 b chunk;
@@ -143,7 +162,10 @@ let rec encode_response resp =
       add_u32 b m.fragment_size;
       add_u64 b m.payload_length;
       add_u32 b m.chunk_count;
-      add_u8 b ((if m.integrity then 1 else 0) lor (if m.batching then 2 else 0))
+      add_u8 b
+        ((if m.integrity then 1 else 0)
+        lor (if m.batching then 2 else 0)
+        lor if m.mux then 4 else 0)
   | Fragment cipher ->
       add_u8 b 0x82;
       Buffer.add_string b cipher
@@ -285,8 +307,23 @@ let rec decode_request payload =
       let magic = take cur 4 "hello magic" in
       if magic <> hello_magic then raise (Bad "bad hello magic");
       let version = u16 cur "hello version" in
-      finish cur "hello";
-      Hello { version }
+      if cur.pos = String.length cur.data then
+        (* v1 short form: nothing after the version *)
+        Hello { version; container = ""; mux = false }
+      else begin
+        let flags = u8 cur "hello flags" in
+        if flags land lnot 1 <> 0 then
+          raise (Bad (Printf.sprintf "unknown hello flag bits 0x%02x" flags));
+        let len = u16 cur "container id length" in
+        if len > max_container_id then
+          raise
+            (Bad
+               (Printf.sprintf "container id of %d bytes exceeds limit %d" len
+                  max_container_id));
+        let container = take cur len "container id" in
+        finish cur "hello";
+        Hello { version; container; mux = flags land 1 = 1 }
+      end
   | 0x02 ->
       let chunk = u32 cur "chunk index" in
       let fragment = u16 cur "fragment index" in
@@ -352,7 +389,7 @@ let rec decode_response payload =
         | Some s -> s
         | None -> raise (Bad (Printf.sprintf "unknown scheme %d" scheme_byte))
       in
-      if flags land lnot 3 <> 0 then
+      if flags land lnot 7 <> 0 then
         raise (Bad (Printf.sprintf "unknown flag bits 0x%02x" flags));
       Hello_ok
         {
@@ -364,6 +401,7 @@ let rec decode_response payload =
           chunk_count;
           integrity = flags land 1 = 1;
           batching = flags land 2 = 2;
+          mux = flags land 4 = 4;
         }
   | 0x82 -> Fragment (rest cur)
   | 0x83 -> Chunk (rest cur)
@@ -408,12 +446,16 @@ let metadata_of_container container =
     chunk_count = C.chunk_count container;
     integrity = C.scheme container <> C.Ecb;
     batching = true;
+    mux = false;
   }
 
 let metadata_geometry m =
-  if m.meta_version <> version then
-    Error (Printf.sprintf "terminal speaks protocol version %d, expected %d"
-             m.meta_version version)
+  if m.meta_version < min_version || m.meta_version > version then
+    Error
+      (Printf.sprintf "terminal speaks protocol version %d, expected %d..%d"
+         m.meta_version min_version version)
+  else if m.mux && m.meta_version < 2 then
+    Error "terminal advertises session multiplexing under protocol version 1"
   else if m.integrity <> (m.scheme <> C.Ecb) then
     Error "terminal integrity flag contradicts its scheme"
   else

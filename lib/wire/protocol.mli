@@ -15,7 +15,18 @@
 module C = Xmlac_crypto.Secure_container
 
 val version : int
+(** The newest protocol version this build speaks (2, XWTP v1.2: named
+    containers and session multiplexing in the hello exchange). *)
+
+val min_version : int
+(** The oldest version still served (1). A v1 hello gets a v1-shaped
+    reply: [meta_version = 1] and no mux flag, so v1.1 peers interoperate
+    unchanged. *)
+
 val hello_magic : string
+
+val max_container_id : int
+(** Decode-time cap on a v2 hello's container-id length. *)
 
 val hash_state_wire_bytes : int
 (** 92: every [Hash_state] reply is zero-padded to the worst-case serialized
@@ -43,10 +54,20 @@ type metadata = {
       (** whether the terminal accepts [Batch] requests (XWTP v1.1 request
           coalescing); clients fall back to one-request-per-frame against
           terminals that do not advertise it *)
+  mux : bool;
+      (** whether this connection was switched to XWTP v1.2 session
+          multiplexing — granted only when the hello requested it and the
+          terminal supports it; [false] in every v1-shaped reply *)
 }
 
 type request =
-  | Hello of { version : int }
+  | Hello of { version : int; container : string; mux : bool }
+      (** [version <= 1] encodes the v1.1 short form (and then [container]
+          must be [""] and [mux] false); [version >= 2] appends a flags
+          byte (bit 0: request mux) and the target container id (at most
+          {!max_container_id} bytes; [""] selects the terminal's default).
+          The decoder accepts both forms regardless of the claimed
+          version. *)
   | Get_fragment of { chunk : int; fragment : int; lo : int; hi : int }
       (** ciphertext bytes [\[lo, hi)] of one fragment *)
   | Get_chunk of { chunk : int }  (** whole-chunk ciphertext (CBC schemes) *)
@@ -78,6 +99,10 @@ val err_bad_request : int
 val err_out_of_range : int
 val err_unsupported : int
 val err_internal : int
+
+val err_busy : int
+(** Admission-control rejection: the terminal is at its session cap. The
+    client maps this code to the retryable {!Error.Busy}. *)
 
 val encode_request : request -> string
 val encode_response : response -> string

@@ -1,133 +1,249 @@
 module C = Xmlac_crypto.Secure_container
 module Merkle = Xmlac_crypto.Merkle
 module Sha1 = Xmlac_crypto.Sha1
+module Lru = Xmlac_runtime.Lru
+module Pool = Xmlac_runtime.Pool
+
+(* One published container. [gen] is unique per publication, so shared
+   cache keys survive unpublish/republish of the same id without ever
+   serving stale data. *)
+type entry = { e_id : string; gen : int; container : C.t; meta : Protocol.metadata }
 
 type t = {
-  container : C.t;
-  meta : Protocol.metadata;
-  (* memo of per-chunk fragment leaf hashes — the terminal is an ordinary
-     computer and caches freely, but sessions share it, hence the mutex *)
-  leaves_memo : (int, string array) Hashtbl.t;
-  memo_mutex : Mutex.t;
+  mutable entries : entry list;  (* publish order; head of order = default *)
+  mutable gen_counter : int;
+  registry_mutex : Mutex.t;
+  (* registry-level cache of per-chunk fragment leaf hashes, shared by
+     every session of every container — the terminal is an ordinary
+     computer and caches freely; bounded so a wide fleet of containers
+     cannot grow it without limit. Keyed by (publication generation,
+     chunk), never by id, so republishing invalidates for free. *)
+  leaves_cache : (int * int, string array) Lru.t;
+  cache_stats : Lru.stats;
+  cache_mutex : Mutex.t;
   totals : Stats.t;
   totals_mutex : Mutex.t;
 }
 
-let make container =
+let default_cache_capacity = 1024
+
+let create ?(cache_capacity = default_cache_capacity) () =
+  let cache_stats = Lru.fresh_stats () in
   {
-    container;
-    meta = Protocol.metadata_of_container container;
-    leaves_memo = Hashtbl.create 8;
-    memo_mutex = Mutex.create ();
+    entries = [];
+    gen_counter = 0;
+    registry_mutex = Mutex.create ();
+    leaves_cache = Lru.create ~capacity:cache_capacity ~stats:cache_stats;
+    cache_stats;
+    cache_mutex = Mutex.create ();
     totals = Stats.make ();
     totals_mutex = Mutex.create ();
   }
 
-let metadata t = t.meta
+let with_lock mu f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let publish t ~id container =
+  if id = "" then invalid_arg "Server.publish: empty container id";
+  if String.length id > Protocol.max_container_id then
+    invalid_arg "Server.publish: container id too long";
+  with_lock t.registry_mutex @@ fun () ->
+  t.gen_counter <- t.gen_counter + 1;
+  let e =
+    {
+      e_id = id;
+      gen = t.gen_counter;
+      container;
+      meta = Protocol.metadata_of_container container;
+    }
+  in
+  (* replace in place so a republished id keeps its position (and the
+     default keeps being the first-ever publication) *)
+  if List.exists (fun e' -> e'.e_id = id) t.entries then
+    t.entries <- List.map (fun e' -> if e'.e_id = id then e else e') t.entries
+  else t.entries <- t.entries @ [ e ]
+
+let unpublish t ~id =
+  with_lock t.registry_mutex @@ fun () ->
+  let before = List.length t.entries in
+  t.entries <- List.filter (fun e -> e.e_id <> id) t.entries;
+  List.length t.entries < before
+
+let container_ids t =
+  with_lock t.registry_mutex @@ fun () -> List.map (fun e -> e.e_id) t.entries
+
+let default_entry t =
+  with_lock t.registry_mutex @@ fun () ->
+  match t.entries with [] -> None | e :: _ -> Some e
+
+let find_entry t id =
+  with_lock t.registry_mutex @@ fun () ->
+  List.find_opt (fun e -> e.e_id = id) t.entries
+
+let make container =
+  let t = create () in
+  publish t ~id:"default" container;
+  t
+
+let metadata t =
+  match default_entry t with
+  | Some e -> e.meta
+  | None -> invalid_arg "Server.metadata: no container published"
+
+let metadata_of t id = Option.map (fun e -> e.meta) (find_entry t id)
 
 let totals t =
-  Mutex.lock t.totals_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.totals_mutex)
-    (fun () ->
-      let snapshot = Stats.make () in
-      Stats.add ~into:snapshot t.totals;
-      snapshot)
+  with_lock t.totals_mutex @@ fun () ->
+  let snapshot = Stats.make () in
+  Stats.add ~into:snapshot t.totals;
+  snapshot
+
+let merge_stats t stats =
+  with_lock t.totals_mutex @@ fun () -> Stats.add ~into:t.totals stats
+
+let cache_stats t =
+  with_lock t.cache_mutex @@ fun () ->
+  {
+    Lru.hits = t.cache_stats.Lru.hits;
+    misses = t.cache_stats.Lru.misses;
+    evicted = t.cache_stats.Lru.evicted;
+  }
 
 let be_bytes value width =
   String.init width (fun i ->
       Char.chr ((value lsr (8 * (width - 1 - i))) land 0xFF))
 
-let leaves t chunk =
-  Mutex.lock t.memo_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.memo_mutex)
-    (fun () ->
-      match Hashtbl.find_opt t.leaves_memo chunk with
-      | Some l -> l
-      | None ->
-          let m = C.fragments_per_chunk t.container in
-          let cipher = C.chunk_ciphertext t.container chunk in
-          let fsize = C.fragment_size t.container in
-          let l =
-            Array.init m (fun i ->
-                C.fragment_leaf_hash_sub t.container ~chunk ~fragment:i
-                  ~cipher ~pos:(i * fsize) ~len:fsize)
-          in
-          Hashtbl.replace t.leaves_memo chunk l;
-          l)
+(* Per-chunk fragment leaf hashes through the shared registry cache, with
+   per-session attribution into [stats] (the registry-level [cache_stats]
+   totals ride on the LRU itself). *)
+let leaves ?stats t e chunk =
+  let attribute hit =
+    match stats with
+    | None -> ()
+    | Some (s : Stats.t) ->
+        if hit then s.cache_hits <- s.cache_hits + 1
+        else s.cache_misses <- s.cache_misses + 1
+  in
+  with_lock t.cache_mutex @@ fun () ->
+  match Lru.find t.leaves_cache (e.gen, chunk) with
+  | Some l ->
+      attribute true;
+      l
+  | None ->
+      let m = C.fragments_per_chunk e.container in
+      let cipher = C.chunk_ciphertext e.container chunk in
+      let fsize = C.fragment_size e.container in
+      let l =
+        Array.init m (fun i ->
+            C.fragment_leaf_hash_sub e.container ~chunk ~fragment:i ~cipher
+              ~pos:(i * fsize) ~len:fsize)
+      in
+      Lru.insert t.leaves_cache (e.gen, chunk) l;
+      attribute false;
+      l
 
-let err code fmt = Printf.ksprintf (fun message -> Protocol.Err { code; message }) fmt
+let err code fmt =
+  Printf.ksprintf (fun message -> Protocol.Err { code; message }) fmt
 
-let check_chunk t chunk k =
-  if chunk >= C.chunk_count t.container then
+(* Negotiated hello reply: the caller passes its current [binding] (the
+   session's container, [None] before any successful hello on a fresh
+   registry) and whether mux is being granted. [""] selects the binding,
+   falling back to the registry default. Returns the resolved entry so
+   the caller can rebind. *)
+let hello_reply t ~binding ~version ~container ~grant_mux =
+  if version < Protocol.min_version || version > Protocol.version then
+    (None, err Protocol.err_unsupported "unsupported protocol version %d" version)
+  else
+    let resolved =
+      if container = "" then
+        match binding with Some _ -> binding | None -> default_entry t
+      else find_entry t container
+    in
+    match resolved with
+    | None ->
+        if container = "" then
+          (None, err Protocol.err_unsupported "no container published")
+        else (None, err Protocol.err_bad_request "unknown container %S" container)
+    | Some e ->
+        ( Some e,
+          Protocol.Hello_ok
+            {
+              e.meta with
+              Protocol.meta_version = min version Protocol.version;
+              mux = grant_mux;
+            } )
+
+let check_chunk e chunk k =
+  if chunk >= C.chunk_count e.container then
     err Protocol.err_out_of_range "chunk %d out of range (%d chunks)" chunk
-      (C.chunk_count t.container)
+      (C.chunk_count e.container)
   else k ()
 
-let check_fragment t chunk fragment k =
-  check_chunk t chunk @@ fun () ->
-  if fragment >= C.fragments_per_chunk t.container then
+let check_fragment e chunk fragment k =
+  check_chunk e chunk @@ fun () ->
+  if fragment >= C.fragments_per_chunk e.container then
     err Protocol.err_out_of_range "fragment %d out of range (%d per chunk)"
       fragment
-      (C.fragments_per_chunk t.container)
+      (C.fragments_per_chunk e.container)
   else k ()
 
-(* One decoded request -> one response. Total by construction for in-range
-   requests; the catch-all in [handle] turns anything unexpected into an
-   [Err] so a hostile request can never kill the session thread. *)
-let rec handle_request t req =
-  let scheme = C.scheme t.container in
+(* One decoded request -> one response, against one bound container. Total
+   by construction for in-range requests; the catch-all in [handle] turns
+   anything unexpected into an [Err] so a hostile request can never kill
+   the session thread. *)
+let rec handle_request ?stats t e req =
+  let scheme = C.scheme e.container in
   match (req : Protocol.request) with
-  | Hello { version } ->
-      if version <> Protocol.version then
-        err Protocol.err_unsupported "unsupported protocol version %d" version
-      else Protocol.Hello_ok t.meta
+  | Hello { version; container; mux = _ } ->
+      (* plain-path hello: rebinding and mux granting are connection
+         state, handled by the serving loops; here we just answer *)
+      snd (hello_reply t ~binding:(Some e) ~version ~container ~grant_mux:false)
   | Get_fragment { chunk; fragment; lo; hi } -> (
       match scheme with
       | C.Cbc_sha | C.Cbc_shac ->
           err Protocol.err_unsupported "no fragment access under %s"
             (C.scheme_to_string scheme)
       | C.Ecb | C.Ecb_mht ->
-          check_fragment t chunk fragment @@ fun () ->
-          if hi > C.fragment_size t.container then
+          check_fragment e chunk fragment @@ fun () ->
+          if hi > C.fragment_size e.container then
             err Protocol.err_out_of_range "range [%d, %d) exceeds fragment size %d"
               lo hi
-              (C.fragment_size t.container)
+              (C.fragment_size e.container)
           else
             (* slice straight out of the chunk ciphertext: one copy of the
                requested range, not fragment copy + range copy *)
-            let cipher = C.chunk_ciphertext t.container chunk in
-            let base = fragment * C.fragment_size t.container in
+            let cipher = C.chunk_ciphertext e.container chunk in
+            let base = fragment * C.fragment_size e.container in
             Protocol.Fragment (String.sub cipher (base + lo) (hi - lo)))
   | Get_chunk { chunk } ->
-      check_chunk t chunk @@ fun () ->
-      Protocol.Chunk (C.chunk_ciphertext t.container chunk)
+      check_chunk e chunk @@ fun () ->
+      Protocol.Chunk (C.chunk_ciphertext e.container chunk)
   | Get_digest { chunk } ->
       if scheme = C.Ecb then
         err Protocol.err_unsupported "ECB containers carry no digests"
       else
-        check_chunk t chunk @@ fun () ->
-        Protocol.Digest (C.encrypted_digest t.container chunk)
+        check_chunk e chunk @@ fun () ->
+        Protocol.Digest (C.encrypted_digest e.container chunk)
   | Get_hash_state { chunk; fragment; upto } ->
       if scheme <> C.Ecb_mht then
         err Protocol.err_unsupported "no hash states under %s"
           (C.scheme_to_string scheme)
       else
-        check_fragment t chunk fragment @@ fun () ->
-        if upto > C.fragment_size t.container then
+        check_fragment e chunk fragment @@ fun () ->
+        if upto > C.fragment_size e.container then
           err Protocol.err_out_of_range "prefix length %d exceeds fragment size %d"
             upto
-            (C.fragment_size t.container)
+            (C.fragment_size e.container)
         else begin
           (* hash the prefix in place from the chunk ciphertext — no
              fragment copy just to feed [upto] of its bytes *)
-          let cipher = C.chunk_ciphertext t.container chunk in
+          let cipher = C.chunk_ciphertext e.container chunk in
           let ctx = Sha1.init () in
           Sha1.feed ctx (be_bytes chunk 4);
           Sha1.feed ctx (be_bytes fragment 4);
           Sha1.feed_sub ctx cipher
-            ~pos:(fragment * C.fragment_size t.container)
+            ~pos:(fragment * C.fragment_size e.container)
             ~len:upto;
           Protocol.Hash_state (Sha1.export_state ctx)
         end
@@ -136,13 +252,13 @@ let rec handle_request t req =
         err Protocol.err_unsupported "no Merkle tree under %s"
           (C.scheme_to_string scheme)
       else
-        check_fragment t chunk fragment @@ fun () ->
+        check_fragment e chunk fragment @@ fun () ->
         let cover =
           Merkle.sibling_cover
-            ~leaf_count:(C.fragments_per_chunk t.container)
+            ~leaf_count:(C.fragments_per_chunk e.container)
             ~lo:fragment ~hi:fragment
         in
-        let l = leaves t chunk in
+        let l = leaves ?stats t e chunk in
         Protocol.Siblings (List.map (Merkle.node_hash l) cover)
   | Batch subs ->
       (* one reply per sub-request, in order; a failing sub becomes its
@@ -150,7 +266,7 @@ let rec handle_request t req =
       Protocol.Batched
         (List.map
            (fun sub ->
-             match handle_request t sub with
+             match handle_request ?stats t e sub with
              | resp -> resp
              | exception e ->
                  err Protocol.err_internal "terminal failure: %s"
@@ -158,89 +274,220 @@ let rec handle_request t req =
            subs)
   | Bye -> Protocol.Bye_ok
 
-let handle t req =
-  match handle_request t req with
-  | resp -> (resp, req = Protocol.Bye)
-  | exception e ->
-      (err Protocol.err_internal "terminal failure: %s" (Printexc.to_string e),
-       false)
+let no_container = err Protocol.err_unsupported "no container published"
 
-(* One raw frame payload -> one encoded reply. Total: decode failures
+let handle_bound ?stats t binding req =
+  match (req : Protocol.request) with
+  | Hello _ | Bye -> assert false (* serving loops intercept these *)
+  | _ -> (
+      match binding with
+      | None -> no_container
+      | Some e -> (
+          match handle_request ?stats t e req with
+          | resp -> resp
+          | exception e ->
+              err Protocol.err_internal "terminal failure: %s"
+                (Printexc.to_string e)))
+
+let handle t req =
+  match (req : Protocol.request) with
+  | Protocol.Bye -> (Protocol.Bye_ok, true)
+  | Protocol.Hello { version; container; mux = _ } ->
+      ( snd (hello_reply t ~binding:None ~version ~container ~grant_mux:false),
+        false )
+  | req -> (handle_bound t (default_entry t) req, false)
+
+(* One raw frame payload -> one encoded reply, with connection-scoped
+   container binding threaded through [binding]. Total: decode failures
    become [Err] replies, so the fuzz boundary can assert that no byte
    string whatsoever raises out of here. *)
-let handle_frame t payload =
+let handle_frame_bound ?stats t binding payload =
   match Protocol.decode_request payload with
-  | req ->
-      let resp, closing = handle t req in
-      (Protocol.encode_response resp, closing)
+  | Protocol.Bye -> (Protocol.encode_response Protocol.Bye_ok, true)
+  | Protocol.Hello { version; container; mux = _ } ->
+      let resolved, resp =
+        hello_reply t ~binding:!binding ~version ~container ~grant_mux:false
+      in
+      (match resolved with Some e -> binding := Some e | None -> ());
+      (Protocol.encode_response resp, false)
+  | req -> (Protocol.encode_response (handle_bound ?stats t !binding req), false)
   | exception Error.Wire e ->
       ( Protocol.encode_response
           (Protocol.Err
              { code = Protocol.err_bad_request; message = Error.to_string e }),
         false )
 
-let serve_connection t transport =
-  let stats = Stats.make () in
+let handle_frame t payload = handle_frame_bound t (ref (default_entry t)) payload
+
+(* {2 Serving loops} *)
+
+let max_mux_sessions_default = 256
+
+(* Multiplexed phase of a connection: every frame carries a session id;
+   each session binds its own container with its own hello, [Bye] retires
+   just that session, and the connection ends only when the peer goes
+   away. Frames of one connection are served in arrival order — fleet
+   concurrency comes from many connections, each a thread. *)
+let serve_mux t transport ~stats ~conn_binding ~max_mux_sessions =
+  let bindings : (int, entry) Hashtbl.t = Hashtbl.create 8 in
+  let send ~sid resp =
+    let framed = Frame.encode_mux ~sid (Protocol.encode_response resp) in
+    Transport.write transport framed;
+    stats.Stats.replies <- stats.Stats.replies + 1;
+    stats.Stats.bytes_sent <- stats.Stats.bytes_sent + String.length framed
+  in
   let rec loop () =
+    match Frame.read_mux ~max_payload:Frame.max_request_payload transport with
+    | sid, payload ->
+        stats.Stats.requests <- stats.Stats.requests + 1;
+        stats.Stats.bytes_received <-
+          stats.Stats.bytes_received + Frame.header_bytes + Frame.mux_overhead
+          + String.length payload;
+        (match Protocol.decode_request payload with
+        | Protocol.Hello { version; container; mux = _ } ->
+            if
+              (not (Hashtbl.mem bindings sid))
+              && Hashtbl.length bindings >= max_mux_sessions
+            then begin
+              stats.Stats.busy_rejections <- stats.Stats.busy_rejections + 1;
+              send ~sid
+                (err Protocol.err_busy "connection at its session cap (%d)"
+                   max_mux_sessions)
+            end
+            else begin
+              let resolved, resp =
+                hello_reply t ~binding:conn_binding ~version ~container
+                  ~grant_mux:true
+              in
+              (match resolved with
+              | Some e ->
+                  if not (Hashtbl.mem bindings sid) then
+                    stats.Stats.mux_sessions <- stats.Stats.mux_sessions + 1;
+                  Hashtbl.replace bindings sid e
+              | None -> ());
+              send ~sid resp
+            end
+        | Protocol.Bye ->
+            Hashtbl.remove bindings sid;
+            send ~sid Protocol.Bye_ok
+        | req ->
+            let binding =
+              match Hashtbl.find_opt bindings sid with
+              | Some e -> Some e
+              | None -> conn_binding
+            in
+            send ~sid (handle_bound ~stats t binding req)
+        | exception Error.Wire e ->
+            send ~sid
+              (Protocol.Err
+                 { code = Protocol.err_bad_request; message = Error.to_string e }));
+        loop ()
+    | exception Error.Wire (Error.Transport _) ->
+        (* peer closed or timed out: normal end of connection *)
+        ()
+    | exception Error.Wire _ ->
+        stats.Stats.wire_errors <- stats.Stats.wire_errors + 1
+  in
+  loop ()
+
+let serve_connection ?(mux = true) ?(max_mux_sessions = max_mux_sessions_default)
+    t transport =
+  let stats = Stats.make () in
+  let binding = ref (default_entry t) in
+  let rec plain_loop () =
     match Frame.read ~max_payload:Frame.max_request_payload transport with
-    | payload ->
-        stats.requests <- stats.requests + 1;
-        stats.bytes_received <-
-          stats.bytes_received + Frame.header_bytes + String.length payload;
-        let reply, closing = handle_frame t payload in
+    | payload -> (
+        stats.Stats.requests <- stats.Stats.requests + 1;
+        stats.Stats.bytes_received <-
+          stats.Stats.bytes_received + Frame.header_bytes + String.length payload;
+        (* a v2 hello requesting mux switches the connection over — the
+           grant travels in the (still plain) hello reply *)
+        let granted = ref false in
+        let reply, closing =
+          match Protocol.decode_request payload with
+          | Protocol.Hello { version; container; mux = want_mux } ->
+              let grant = mux && want_mux && version >= 2 in
+              let resolved, resp =
+                hello_reply t ~binding:!binding ~version ~container
+                  ~grant_mux:grant
+              in
+              (match resolved with
+              | Some e ->
+                  binding := Some e;
+                  granted := grant
+              | None -> ());
+              (Protocol.encode_response resp, false)
+          | Protocol.Bye -> (Protocol.encode_response Protocol.Bye_ok, true)
+          | req ->
+              (Protocol.encode_response (handle_bound ~stats t !binding req),
+               false)
+          | exception Error.Wire e ->
+              ( Protocol.encode_response
+                  (Protocol.Err
+                     {
+                       code = Protocol.err_bad_request;
+                       message = Error.to_string e;
+                     }),
+                false )
+        in
         let framed = Frame.encode reply in
         Transport.write transport framed;
-        stats.replies <- stats.replies + 1;
-        stats.bytes_sent <- stats.bytes_sent + String.length framed;
-        if not closing then loop ()
+        stats.Stats.replies <- stats.Stats.replies + 1;
+        stats.Stats.bytes_sent <- stats.Stats.bytes_sent + String.length framed;
+        if !granted then
+          serve_mux t transport ~stats ~conn_binding:!binding ~max_mux_sessions
+        else if not closing then plain_loop ())
     | exception Error.Wire (Error.Transport _) ->
         (* peer closed or timed out: normal end of session *)
         ()
-    | exception Error.Wire _ -> stats.wire_errors <- stats.wire_errors + 1
+    | exception Error.Wire _ ->
+        stats.Stats.wire_errors <- stats.Stats.wire_errors + 1
   in
-  (try loop () with _ -> ());
+  (try plain_loop () with _ -> ());
   Transport.close transport;
-  Mutex.lock t.totals_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.totals_mutex)
-    (fun () -> Stats.add ~into:t.totals stats)
+  merge_stats t stats
 
 (* In-process terminal: requests are served synchronously inside the
    client's write, replies drain from a per-connection outbox. Hermetic —
    no sockets, no threads required — yet it exercises the full encode /
-   frame / decode path on both sides. *)
+   frame / decode path on both sides. Plain-framed only: a hello asking
+   for mux is answered with [mux = false], which well-behaved clients
+   treat as a graceful downgrade. *)
 let loopback_connector t () =
   let outbox = ref "" in
   let opos = ref 0 in
   let finished = ref false in
   let stats = Stats.make () in
   let closed = ref false in
-  let append s = outbox := String.sub !outbox !opos (String.length !outbox - !opos) ^ s;
+  let binding = ref (default_entry t) in
+  let append s =
+    outbox := String.sub !outbox !opos (String.length !outbox - !opos) ^ s;
     opos := 0
   in
   let write data =
     if not (!finished || !closed) then begin
       let off = ref 0 in
-      (try
-         while String.length data - !off > 0 && not !finished do
-           let payload, next =
-             Frame.split ~max_payload:Frame.max_request_payload data ~off:!off
-           in
-           off := next;
-           stats.requests <- stats.requests + 1;
-           stats.bytes_received <-
-             stats.bytes_received + Frame.header_bytes + String.length payload;
-           let reply, closing = handle_frame t payload in
-           let framed = Frame.encode reply in
-           append framed;
-           stats.replies <- stats.replies + 1;
-           stats.bytes_sent <- stats.bytes_sent + String.length framed;
-           if closing then finished := true
-         done
-       with Error.Wire _ ->
-         (* a client that cannot even frame its request gets cut off *)
-         stats.wire_errors <- stats.wire_errors + 1;
-         finished := true)
+      try
+        while String.length data - !off > 0 && not !finished do
+          let payload, next =
+            Frame.split ~max_payload:Frame.max_request_payload data ~off:!off
+          in
+          off := next;
+          stats.Stats.requests <- stats.Stats.requests + 1;
+          stats.Stats.bytes_received <-
+            stats.Stats.bytes_received + Frame.header_bytes
+            + String.length payload;
+          let reply, closing = handle_frame_bound ~stats t binding payload in
+          let framed = Frame.encode reply in
+          append framed;
+          stats.Stats.replies <- stats.Stats.replies + 1;
+          stats.Stats.bytes_sent <- stats.Stats.bytes_sent + String.length framed;
+          if closing then finished := true
+        done
+      with Error.Wire _ ->
+        (* a client that cannot even frame its request gets cut off *)
+        stats.Stats.wire_errors <- stats.Stats.wire_errors + 1;
+        finished := true
     end
   in
   let read buf off len =
@@ -256,56 +503,97 @@ let loopback_connector t () =
   let close () =
     if not !closed then begin
       closed := true;
-      Mutex.lock t.totals_mutex;
-      Fun.protect
-        ~finally:(fun () -> Mutex.unlock t.totals_mutex)
-        (fun () -> Stats.add ~into:t.totals stats)
+      merge_stats t stats
     end
   in
   Transport.make ~read ~write ~close ~peer:"loopback"
 
-let serve ?(max_sessions = 64) ?timeout_s ?stop t listener =
+(* Admission control: a connection past the session cap is never parked —
+   it gets its opening frame read (so the refusal is a reply, not a
+   slammed door), a typed busy error, and a close. The short-lived
+   rejection runs on its own thread so a slow-to-speak rejected peer
+   cannot stall the acceptor. *)
+let reject_busy t ~max_sessions transport =
+  let stats = Stats.make () in
+  stats.Stats.busy_rejections <- 1;
+  (try
+     let _ : string =
+       Frame.read ~max_payload:Frame.max_request_payload transport
+     in
+     let reply =
+       Protocol.encode_response
+         (err Protocol.err_busy "terminal at session cap (%d)" max_sessions)
+     in
+     Transport.write transport (Frame.encode reply)
+   with _ -> ());
+  Transport.close transport;
+  merge_stats t stats
+
+let serve ?(max_sessions = 64) ?(mux = true) ?(domains = 1) ?timeout_s ?stop t
+    listener =
   let stopped () = match stop with Some r -> !r | None -> false in
   let active = ref 0 in
+  let rejecting = ref 0 in
   let m = Mutex.create () in
   let cond = Condition.create () in
-  let rec accept_loop () =
-    if not (stopped ()) then begin
-      Mutex.lock m;
-      while !active >= max_sessions do
-        Condition.wait cond m
-      done;
-      Mutex.unlock m;
-      (* poll so a flipped stop flag (or a closed listener) ends the loop
-         instead of blocking forever in accept *)
-      match
-        if Transport.wait_readable listener then
-          Some (Transport.accept ?timeout_s listener)
-        else None
-      with
-      | Some transport ->
+  let spawn counter f transport =
+    let _ : Thread.t =
+      Thread.create
+        (fun () ->
+          (try f transport with _ -> ());
           Mutex.lock m;
-          incr active;
-          Mutex.unlock m;
-          let _ : Thread.t =
-            Thread.create
-              (fun () ->
-                serve_connection t transport;
-                Mutex.lock m;
-                decr active;
-                Condition.signal cond;
-                Mutex.unlock m)
-              ()
-          in
-          accept_loop ()
-      | None -> accept_loop ()
-      | exception Error.Wire _ -> (* listener closed: fall through to drain *)
-          ()
-    end
+          decr counter;
+          Condition.broadcast cond;
+          Mutex.unlock m)
+        ()
+    in
+    ()
   in
-  accept_loop ();
+  let dispatch transport =
+    Mutex.lock m;
+    let admitted = !active < max_sessions in
+    if admitted then incr active else incr rejecting;
+    Mutex.unlock m;
+    if admitted then spawn active (serve_connection ~mux t) transport
+    else spawn rejecting (reject_busy t ~max_sessions) transport
+  in
+  let accept_blocking () =
+    (* poll so a flipped stop flag (or a closed listener) ends the loop
+       instead of blocking forever in accept *)
+    if Transport.wait_readable listener then
+      Some (Transport.accept ?timeout_s listener)
+    else None
+  in
+  let accept_racing () =
+    if Transport.wait_readable listener then
+      Transport.accept_opt ?timeout_s listener
+    else None
+  in
+  let accept_loop accept_one =
+    let rec loop () =
+      if not (stopped ()) then
+        match accept_one () with
+        | Some transport ->
+            dispatch transport;
+            loop ()
+        | None -> loop ()
+        | exception Error.Wire _ ->
+            (* listener closed: fall through to drain *)
+            ()
+    in
+    loop ()
+  in
+  if domains <= 1 then accept_loop accept_blocking
+  else begin
+    (* one acceptor per domain, all racing over one non-blocking listener;
+       connection threads are spawned from whichever domain wins *)
+    Transport.set_nonblocking listener;
+    Pool.with_pool ~jobs:domains (fun pool ->
+        Pool.run pool
+          (Array.init domains (fun _ () -> accept_loop accept_racing)))
+  end;
   Mutex.lock m;
-  while !active > 0 do
+  while !active > 0 || !rejecting > 0 do
     Condition.wait cond m
   done;
   Mutex.unlock m

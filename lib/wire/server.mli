@@ -1,7 +1,16 @@
-(** The terminal server: serves a published container to concurrent SOE
-    sessions. The terminal holds only ciphertext — no keys, no plaintext —
-    so everything here is computable by the adversary too; the server's job
-    is availability and byte-accounting, not secrecy.
+(** The terminal server: a runtime registry of published containers served
+    to concurrent SOE sessions. The terminal holds only ciphertext — no
+    keys, no plaintext — so everything here is computable by the adversary
+    too; the server's job is availability and byte-accounting, not
+    secrecy.
+
+    Sessions address a container by id in their hello ([""] selects the
+    default: the first-ever publication). A v2 hello may also request XWTP
+    v1.2 session multiplexing, switching the connection to session-id
+    framing so many SOE sessions share one socket. Per-chunk fragment leaf
+    hashes live in one bounded registry-level LRU shared across every
+    session of every container, with per-session hit/miss attribution in
+    that session's {!Stats}.
 
     Request handling is {e total}: malformed frames and out-of-range or
     scheme-inappropriate requests produce [Err] replies (or end the
@@ -9,39 +18,81 @@
 
 type t
 
+val create : ?cache_capacity:int -> unit -> t
+(** An empty registry. [cache_capacity] bounds the shared leaf-hash cache
+    (in per-chunk entries, default 1024). *)
+
 val make : Xmlac_crypto.Secure_container.t -> t
+(** [create] plus [publish ~id:"default"] — the single-container shape
+    every pre-fleet call site expects. *)
+
+val publish : t -> id:string -> Xmlac_crypto.Secure_container.t -> unit
+(** Publish (or atomically replace) a container under [id]. Replacing
+    keeps the id's position in {!container_ids} and invalidates its shared
+    cache entries (keys carry a publication generation).
+    @raise Invalid_argument on an empty or over-long id. *)
+
+val unpublish : t -> id:string -> bool
+(** Remove [id] from the registry; [false] when it was not published.
+    Sessions already bound to it keep serving from their binding until
+    they say [Bye]; new hellos for it are refused. *)
+
+val container_ids : t -> string list
+(** Published ids in publish order (head = default). *)
 
 val metadata : t -> Protocol.metadata
+(** The default container's metadata.
+    @raise Invalid_argument when nothing is published. *)
+
+val metadata_of : t -> string -> Protocol.metadata option
 
 val totals : t -> Stats.t
-(** Snapshot of the merged per-connection stats of all finished sessions. *)
+(** Snapshot of the merged per-connection stats of all finished sessions
+    (plus admission rejections). *)
+
+val cache_stats : t -> Xmlac_runtime.Lru.stats
+(** Snapshot of the registry-level shared leaf-hash cache counters. *)
 
 val handle : t -> Protocol.request -> Protocol.response * bool
-(** Serve one decoded request; the flag is [true] when the session should
-    close (after [Bye]). Never raises. *)
+(** Serve one decoded request against the default container; the flag is
+    [true] when the session should close (after [Bye]). Never raises. *)
 
 val handle_frame : t -> string -> string * bool
 (** Serve one raw frame payload (hostile bytes allowed): decode, handle,
     encode. Never raises — undecodable requests get an [Err] reply. *)
 
-val serve_connection : t -> Transport.t -> unit
-(** Run one session to completion: read frames, reply, stop on [Bye] or
-    when the peer goes away. Merges the session's stats into {!totals}. *)
+val serve_connection : ?mux:bool -> ?max_mux_sessions:int -> t -> Transport.t -> unit
+(** Run one connection to completion: read frames, reply, stop on [Bye]
+    or when the peer goes away. A v2 hello requesting mux (unless [mux] is
+    [false]) switches the connection to multiplexed framing, where each
+    session id binds its own container, [Bye] retires one session, and at
+    most [max_mux_sessions] (default 256) sessions may be open at once —
+    excess hellos get a typed busy rejection. Merges the connection's
+    stats into {!totals}. *)
 
 val loopback_connector : t -> unit -> Transport.t
 (** A fresh in-process connection per call: requests are served
     synchronously inside the client's write, replies drain from a
     per-connection outbox. Hermetic (no sockets or threads) but exercises
-    the full encode/frame/decode path on both sides. *)
+    the full encode/frame/decode path on both sides. Plain-framed only —
+    mux requests are answered with a graceful downgrade. *)
 
 val serve :
   ?max_sessions:int ->
+  ?mux:bool ->
+  ?domains:int ->
   ?timeout_s:float ->
   ?stop:bool ref ->
   t ->
   Transport.listener ->
   unit
 (** Accept loop, one thread per connection, at most [max_sessions]
-    (default 64) concurrent. Polls the listener so it can notice a flipped
-    [stop] flag (or a closed listener) within ~0.2 s; returns once stopped
-    and all in-flight sessions have finished. *)
+    (default 64) concurrent. Admission never blocks the acceptor: a
+    connection past the cap gets its opening frame read, a typed
+    [err_busy] reply (which clients map to the retryable {!Error.Busy}),
+    and a close. With [domains > 1], that many acceptor domains race over
+    one non-blocking listener and dispatch connection threads — one
+    accept path per core for fleet-scale churn. Polls the listener so it
+    can notice a flipped [stop] flag (or a closed listener) within
+    ~0.2 s; returns once stopped and all in-flight sessions (and
+    rejections) have finished. *)

@@ -21,6 +21,16 @@ type t = {
           into one round trip *)
   mutable bytes_sent : int;
   mutable bytes_received : int;
+  mutable busy_rejections : int;
+      (** admission-control rejections: connections (or mux sessions)
+          turned away with [err_busy] — server-side backpressure *)
+  mutable mux_sessions : int;
+      (** multiplexed sessions opened (server: per connection; client:
+          per mux connection) *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+      (** this session's share of the terminal's registry-level shared
+          caches (per-session attribution of a cross-session cache) *)
   rtt_hist : Xmlac_obs.Histogram.t;
 }
 

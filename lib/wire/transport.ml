@@ -132,16 +132,31 @@ let wait_readable ?(timeout_s = 0.2) l =
       Error.transportf "select %s: %s" (addr_to_string l.laddr)
         (Unix.error_message e)
 
+let set_nonblocking l = try Unix.set_nonblock l.lfd with Unix.Unix_error _ -> ()
+
+let accepted_peer l sa =
+  match sa with
+  | Unix.ADDR_UNIX _ -> addr_to_string l.laddr
+  | Unix.ADDR_INET (ip, port) ->
+      Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr ip) port
+
 let accept ?timeout_s l =
   match Unix.accept l.lfd with
-  | fd, sa ->
-      let peer =
-        match sa with
-        | Unix.ADDR_UNIX _ -> addr_to_string l.laddr
-        | Unix.ADDR_INET (ip, port) ->
-            Printf.sprintf "tcp:%s:%d" (Unix.string_of_inet_addr ip) port
-      in
-      of_fd ?timeout_s ~peer fd
+  | fd, sa -> of_fd ?timeout_s ~peer:(accepted_peer l sa) fd
+  | exception Unix.Unix_error (e, _, _) ->
+      Error.transportf "accept %s: %s" (addr_to_string l.laddr)
+        (Unix.error_message e)
+
+(* Non-blocking accept for competing acceptors: with several domains
+   polling one non-blocking listener, another acceptor may win the race
+   between select and accept — that is [None], not an error. Anything
+   other than a lost race still raises (as a transport error). *)
+let accept_opt ?timeout_s l =
+  match Unix.accept l.lfd with
+  | fd, sa -> Some (of_fd ?timeout_s ~peer:(accepted_peer l sa) fd)
+  | exception
+      Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ECONNABORTED | EINTR), _, _) ->
+      None
   | exception Unix.Unix_error (e, _, _) ->
       Error.transportf "accept %s: %s" (addr_to_string l.laddr)
         (Unix.error_message e)

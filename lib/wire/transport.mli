@@ -56,5 +56,15 @@ val wait_readable : ?timeout_s:float -> listener -> bool
 
 val accept : ?timeout_s:float -> listener -> t
 
+val set_nonblocking : listener -> unit
+(** Switch the listening socket to non-blocking accepts, for several
+    acceptor domains competing over one listener (see {!accept_opt}). *)
+
+val accept_opt : ?timeout_s:float -> listener -> t option
+(** Accept without blocking on a lost race: with competing acceptors on a
+    non-blocking listener, a connection that another acceptor grabbed
+    between select and accept returns [None]. Real failures still raise a
+    [Transport] error. *)
+
 val close_listener : listener -> unit
 (** Close the listening socket and unlink a Unix socket file. *)

@@ -132,7 +132,11 @@ let cases : (string * string) list Lazy.t =
                 chunk_count = (1 lsl 22) + 1;
                 integrity = true;
                 batching = true;
+                mux = false;
               }) );
+       (* a v2 hello whose container-id length field overshoots the cap *)
+       ( "wire__hello_container_bomb.bin",
+         Xmlac_wire.Frame.encode "\x01XWTP\x00\x02\x01\xff\xffx" );
        (* policy — Policy.of_string must return Error, never raise *)
        ("policy__bad_sign.bin", "p1 % //a\n");
        ("policy__bad_xpath.bin", "p1 + //a[[[\n");

@@ -151,6 +151,35 @@ let test_histogram () =
     (Metrics.find (Histogram.metrics h) "wall_test_count"
     = Some (Metrics.Int 6))
 
+(* Exact-boundary bucketing: a value sitting exactly on a bucket bound
+   lo·2^k belongs to the upper bucket (buckets are lower-inclusive) and
+   its immediate float predecessor to the lower one. The previous
+   log2-based bucket_of drifted by one whenever log2 rounded across the
+   integer at a bound. *)
+let test_histogram_boundaries () =
+  for k = 0 to Histogram.bucket_count - 2 do
+    let b = Histogram.lo *. Float.pow 2. (float_of_int k) in
+    check int_t
+      (Printf.sprintf "lo*2^%d lands in the upper bucket" k)
+      (k + 1) (Histogram.bucket_of b);
+    check int_t
+      (Printf.sprintf "pred (lo*2^%d) lands in the lower bucket" k)
+      k
+      (Histogram.bucket_of (Float.pred b))
+  done
+
+let prop_histogram_bucket_brackets =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~count:1000 ~name:"bucket brackets its value"
+       QCheck2.Gen.(map abs_float pfloat)
+       (fun v ->
+         let b = Histogram.bucket_of v in
+         let above_lower = b = 0 || v >= Histogram.upper_bound (b - 1) in
+         let below_upper =
+           b = Histogram.bucket_count - 1 || v < Histogram.upper_bound b
+         in
+         above_lower && below_upper))
+
 let test_span_trace () =
   let seen = ref [] in
   Trace.set_sink (Some (fun e -> seen := e :: !seen));
@@ -402,6 +431,9 @@ let () =
           Alcotest.test_case "span clamp" `Quick test_span_clamp;
           Alcotest.test_case "span end on raise" `Quick test_span_end_on_raise;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram boundaries" `Quick
+            test_histogram_boundaries;
+          prop_histogram_bucket_brackets;
           Alcotest.test_case "span+trace" `Quick test_span_trace;
           Alcotest.test_case "trace observation" `Quick test_trace_observation;
         ] );

@@ -36,7 +36,11 @@ let wire_stats (m : Session.measurement) =
 
 let sample_requests =
   [
-    Wire.Protocol.Hello { version = Wire.Protocol.version };
+    Wire.Protocol.Hello
+      { version = Wire.Protocol.version; container = ""; mux = false };
+    Wire.Protocol.Hello
+      { version = Wire.Protocol.version; container = "records"; mux = true };
+    Wire.Protocol.Hello { version = 1; container = ""; mux = false };
     Wire.Protocol.Get_fragment { chunk = 3; fragment = 7; lo = 8; hi = 64 };
     Wire.Protocol.Get_chunk { chunk = 0 };
     Wire.Protocol.Get_digest { chunk = 12 };
@@ -63,6 +67,19 @@ let sample_responses =
         chunk_count = 10;
         integrity = true;
         batching = true;
+        mux = false;
+      };
+    Wire.Protocol.Hello_ok
+      {
+        Wire.Protocol.meta_version = 2;
+        scheme = Container.Cbc_sha;
+        chunk_size = 512;
+        fragment_size = 64;
+        payload_length = 5000;
+        chunk_count = 10;
+        integrity = true;
+        batching = true;
+        mux = true;
       };
     Wire.Protocol.Fragment (String.make 56 '\x42');
     Wire.Protocol.Chunk (String.make 512 '\x17');
@@ -138,6 +155,7 @@ let test_metadata_geometry_rejects () =
       chunk_count;
       integrity = true;
       batching = true;
+      mux = false;
     }
   in
   (match Wire.Protocol.metadata_geometry (meta 10 (10 * 512)) with
@@ -148,7 +166,9 @@ let test_metadata_geometry_rejects () =
     (rejected (meta ((1 lsl 22) + 1) (((1 lsl 22) + 1) * 512)));
   check bool_t "count/length disagreement rejected" true (rejected (meta 3 100));
   check bool_t "wrong version rejected" true
-    (rejected { (meta 1 100) with Wire.Protocol.meta_version = 2 });
+    (rejected { (meta 1 100) with Wire.Protocol.meta_version = 99 });
+  check bool_t "mux grant under v1 metadata rejected" true
+    (rejected { (meta 1 100) with Wire.Protocol.meta_version = 1; mux = true });
   check bool_t "lying integrity flag rejected" true
     (rejected { (meta 1 100) with Wire.Protocol.integrity = false })
 
@@ -274,11 +294,15 @@ let test_batch_codec_limits () =
   check bool_t "Hello cannot be batched" true
     (rejected
        (Wire.Protocol.Batch
-          [ Wire.Protocol.Hello { version = Wire.Protocol.version } ]));
+          [
+            Wire.Protocol.Hello
+              { version = Wire.Protocol.version; container = ""; mux = false };
+          ]));
   (* a hostile frame smuggling a batched Hello must be rejected at decode *)
   let smuggled =
     let sub_bytes =
-      Wire.Protocol.encode_request (Wire.Protocol.Hello { version = 1 })
+      Wire.Protocol.encode_request
+        (Wire.Protocol.Hello { version = 1; container = ""; mux = false })
     in
     let b = Buffer.create 16 in
     Buffer.add_char b '\x08';
@@ -675,6 +699,100 @@ let test_unix_socket () =
 let test_tcp_socket () =
   socket_equivalence (Wire.Transport.Tcp ("127.0.0.1", 0)) ()
 
+(* Backoff: decorrelated jitter with a cumulative ceiling ----------------- *)
+
+let float_t = Alcotest.float 1e-12
+
+(* the schedule is a pure function of the config — these values are the
+   contract; a PRNG or clamping change must show up here *)
+let test_backoff_schedule_pinned () =
+  let cfg seed attempts =
+    { Wire.Client.default_config with attempts; retry_seed = seed }
+  in
+  List.iter
+    (fun (c, expect) ->
+      let got = Wire.Client.backoff_schedule c in
+      check int_t "schedule length" (List.length expect) (List.length got);
+      List.iter2 (fun e g -> check float_t "sleep pinned" e g) expect got)
+    [
+      ( cfg 7 6,
+        [
+          0.088982974839127149;
+          0.053642202442364513;
+          0.14991832631336527;
+          0.28302928701298324;
+          0.41154082612912329;
+        ] );
+      ( cfg 8 6,
+        [
+          0.11185046250316945;
+          0.22474262797038635;
+          0.48011133569769426;
+          (* the ceiling truncates here: 0.183… tops the budget up to
+             exactly backoff_cap_s, and the last sleep is 0 *)
+          0.18329557382874995;
+          0.;
+        ] );
+      ( { (cfg 7 10) with Wire.Client.backoff_cap_s = 0.2 },
+        [
+          0.088982974839127149;
+          0.053642202442364513;
+          0.057374822718508349;
+          0.;
+          0.;
+          0.;
+          0.;
+          0.;
+          0.;
+        ] );
+    ]
+
+let test_backoff_schedule_invariants () =
+  for seed = 0 to 19 do
+    let c =
+      { Wire.Client.default_config with attempts = 8; retry_seed = seed }
+    in
+    let s = Wire.Client.backoff_schedule c in
+    check int_t "attempts-1 sleeps" 7 (List.length s);
+    let sum = List.fold_left ( +. ) 0. s in
+    check bool_t "cumulative sleep bounded by the ceiling" true
+      (sum <= c.Wire.Client.backoff_cap_s +. 1e-9);
+    List.iter
+      (fun d ->
+        check bool_t "each sleep within [0, cap]" true
+          (d >= 0. && d <= c.Wire.Client.backoff_cap_s +. 1e-12))
+      s;
+    (* once the budget is spent, every later sleep is 0; and every
+       nonzero sleep except the budget-truncated final one respects the
+       base *)
+    let rec zeros_only_at_tail = function
+      | [] -> true
+      | 0. :: tl -> List.for_all (fun d -> d = 0.) tl
+      | _ :: tl -> zeros_only_at_tail tl
+    in
+    check bool_t "zeros only after the budget is spent" true
+      (zeros_only_at_tail s);
+    let rec all_but_last_respect_base = function
+      | [] | [ (_ : float) ] -> true
+      | d :: tl ->
+          d >= c.Wire.Client.backoff_s -. 1e-12
+          && all_but_last_respect_base tl
+    in
+    check bool_t "base respected until the budget truncates" true
+      (all_but_last_respect_base (List.filter (fun d -> d <> 0.) s));
+    check bool_t "deterministic in the seed" true
+      (s = Wire.Client.backoff_schedule c)
+  done;
+  List.iter
+    (fun d -> check float_t "backoff_s = 0 disables sleeping" 0. d)
+    (Wire.Client.backoff_schedule
+       { Wire.Client.default_config with backoff_s = 0.; attempts = 5 });
+  let sched seed =
+    Wire.Client.backoff_schedule
+      { Wire.Client.default_config with attempts = 6; retry_seed = seed }
+  in
+  check bool_t "distinct seeds de-synchronize" false (sched 1 = sched 2)
+
 let test_parse_addr () =
   (match Wire.Transport.parse_addr "unix:/tmp/t.sock" with
   | Ok (Wire.Transport.Unix_socket p) -> check Alcotest.string "path" "/tmp/t.sock" p
@@ -691,6 +809,339 @@ let test_parse_addr () =
       | Error _ -> ())
     [ ""; "garbage"; "unix:"; "tcp:"; "tcp:host"; "tcp:host:notaport"; "tcp::99999999" ]
 
+(* Registry: many published containers on one server ---------------------- *)
+
+let publish_scheme scheme =
+  Session.publish (cfg scheme) ~layout:Layout.Tcsbr hospital
+
+let test_registry () =
+  let server = Wire.Server.create () in
+  (match Wire.Server.metadata server with
+  | (_ : Wire.Protocol.metadata) -> Alcotest.fail "empty registry has metadata"
+  | exception Invalid_argument _ -> ());
+  let pa = publish_scheme Container.Ecb_mht in
+  let pb = publish_scheme Container.Cbc_sha in
+  Wire.Server.publish server ~id:"records" pa.Session.container;
+  Wire.Server.publish server ~id:"billing" pb.Session.container;
+  check bool_t "ids listed in publication order" true
+    (Wire.Server.container_ids server = [ "records"; "billing" ]);
+  (match Wire.Server.metadata_of server "billing" with
+  | Some m ->
+      check bool_t "per-id metadata" true
+        (m.Wire.Protocol.scheme = Container.Cbc_sha)
+  | None -> Alcotest.fail "billing unpublished");
+  check bool_t "unknown id has no metadata" true
+    (Wire.Server.metadata_of server "nope" = None);
+  (* empty and oversized ids are publication errors *)
+  (match Wire.Server.publish server ~id:"" pa.Session.container with
+  | () -> Alcotest.fail "empty id accepted"
+  | exception Invalid_argument _ -> ());
+  (match
+     Wire.Server.publish server
+       ~id:(String.make (Wire.Protocol.max_container_id + 1) 'x')
+       pa.Session.container
+   with
+  | () -> Alcotest.fail "oversized id accepted"
+  | exception Invalid_argument _ -> ());
+  (* a named client binds its container; default binds the first *)
+  let fetch ~config =
+    let c = Wire.Client.connect ~config (Wire.Server.loopback_connector server) in
+    let meta = Wire.Client.metadata c in
+    Wire.Client.close c;
+    meta.Wire.Protocol.scheme
+  in
+  check bool_t "default binding = first published" true
+    (fetch ~config:Wire.Client.default_config = Container.Ecb_mht);
+  check bool_t "named binding" true
+    (fetch
+       ~config:{ Wire.Client.default_config with container = "billing" }
+    = Container.Cbc_sha);
+  (* unknown container: refused at the handshake, typed *)
+  (match
+     fetch ~config:{ Wire.Client.default_config with container = "nope" }
+   with
+  | (_ : Container.scheme) -> Alcotest.fail "unknown container served"
+  | exception Wire.Error.Wire (Wire.Error.Handshake _) -> ());
+  (* unpublish: the id stops answering; republishing serves new bytes *)
+  check bool_t "unpublish removes" true
+    (Wire.Server.unpublish server ~id:"records");
+  check bool_t "unpublish is idempotent" false
+    (Wire.Server.unpublish server ~id:"records");
+  (match
+     fetch ~config:{ Wire.Client.default_config with container = "records" }
+   with
+  | (_ : Container.scheme) -> Alcotest.fail "unpublished container served"
+  | exception Wire.Error.Wire (Wire.Error.Handshake _) -> ());
+  Wire.Server.publish server ~id:"records" pb.Session.container;
+  check bool_t "republished id serves the new container" true
+    (fetch ~config:{ Wire.Client.default_config with container = "records" }
+    = Container.Cbc_sha)
+
+let test_registry_shared_cache () =
+  (* two sessions of the same container share decoded-leaf cache entries:
+     the second session's reads hit what the first session faulted in *)
+  let server = Wire.Server.create () in
+  let p = publish_scheme Container.Ecb_mht in
+  Wire.Server.publish server ~id:"doc" p.Session.container;
+  let run () =
+    let remote = Remote.connect (Wire.Server.loopback_connector server) in
+    let m = Session.evaluate_remote (cfg Container.Ecb_mht) remote Profiles.secretary in
+    Remote.close remote;
+    m
+  in
+  let (_ : Session.measurement) = run () in
+  let first = Wire.Server.cache_stats server in
+  let (_ : Session.measurement) = run () in
+  let second = Wire.Server.cache_stats server in
+  check bool_t "second session hits the shared cache" true
+    (second.Xmlac_runtime.Lru.hits > first.Xmlac_runtime.Lru.hits);
+  check int_t "no new misses for an already-cached container"
+    first.Xmlac_runtime.Lru.misses second.Xmlac_runtime.Lru.misses
+
+(* Admission control: typed Busy + wakeup on release ---------------------- *)
+
+let test_busy_churn () =
+  let cfg0 = cfg Container.Ecb_mht in
+  let published = Session.publish cfg0 ~layout:Layout.Tcsbr hospital in
+  let server = Wire.Server.make published.Session.container in
+  let listener = Wire.Transport.listen (Wire.Transport.Tcp ("127.0.0.1", 0)) in
+  let stop = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        try Wire.Server.serve ~max_sessions:2 ~stop server listener
+        with Wire.Error.Wire _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      stop := true;
+      Thread.join th;
+      Wire.Transport.close_listener listener)
+    (fun () ->
+      let bound = Wire.Transport.bound_addr listener in
+      let connector () = Wire.Transport.connect bound in
+      let no_retry =
+        { Wire.Client.default_config with attempts = 1; backoff_s = 0. }
+      in
+      let c1 = Wire.Client.connect ~config:no_retry connector in
+      let c2 = Wire.Client.connect ~config:no_retry connector in
+      (* at the cap: the next connect is rejected immediately with the
+         typed, retryable Busy — never parked on a waiting socket *)
+      (match Wire.Client.connect ~config:no_retry connector with
+      | (_ : Wire.Client.t) -> Alcotest.fail "over-cap connect admitted"
+      | exception Wire.Error.Wire (Wire.Error.Busy _ as e) ->
+          check bool_t "busy is retryable" true (Wire.Error.retryable e));
+      (* release one session: a retrying client's later attempt succeeds *)
+      Wire.Client.close c1;
+      let retrying =
+        {
+          Wire.Client.default_config with
+          attempts = 10;
+          backoff_s = 0.01;
+          backoff_cap_s = 2.0;
+        }
+      in
+      let c3 = Wire.Client.connect ~config:retrying connector in
+      check bool_t "fetch works after churn" true
+        (String.length (Wire.Client.fetch_digest c3 ~chunk:0) > 0);
+      Wire.Client.close c3;
+      Wire.Client.close c2);
+  let totals = Wire.Server.totals server in
+  check bool_t "busy rejections counted" true
+    (totals.Wire.Stats.busy_rejections >= 1)
+
+(* Mux: N concurrent sessions over one connection ≡ sequential v1.1 ------- *)
+
+(* Serve [containers] on a TCP listener, run [f], drain, then hand the
+   server to [after] — totals are only fully merged once every
+   connection's serve loop has ended, so counter checks belong there. *)
+let with_fleet_server ?(max_sessions = 8) ?(mux = true)
+    ?(after = fun (_ : Wire.Server.t) -> ()) containers f =
+  let server = Wire.Server.create () in
+  List.iter
+    (fun (id, container) -> Wire.Server.publish server ~id container)
+    containers;
+  let listener = Wire.Transport.listen (Wire.Transport.Tcp ("127.0.0.1", 0)) in
+  let stop = ref false in
+  let th =
+    Thread.create
+      (fun () ->
+        try Wire.Server.serve ~max_sessions ~mux ~stop server listener
+        with Wire.Error.Wire _ -> ())
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      stop := true;
+      Thread.join th;
+      Wire.Transport.close_listener listener;
+      after server)
+    (fun () ->
+      f server (fun () -> Wire.Transport.connect (Wire.Transport.bound_addr listener)))
+
+let test_mux_equivalence scheme () =
+  let cfg0 = cfg scheme in
+  let published = Session.publish cfg0 ~layout:Layout.Tcsbr hospital in
+  let n = 4 in
+  with_fleet_server
+    ~after:(fun server ->
+      let totals = Wire.Server.totals server in
+      check bool_t "server counted the mux sessions" true
+        (totals.Wire.Stats.mux_sessions >= 2 * n))
+    [ ("doc", published.Session.container) ]
+    (fun (_ : Wire.Server.t) connector ->
+      (* the sequential XWTP v1.1 reference: plain connection, short hello *)
+      let v1 () =
+        let r =
+          Remote.connect
+            ~config:
+              { Wire.Client.default_config with protocol_version = 1 }
+            connector
+        in
+        let m = Session.evaluate_remote cfg0 r Profiles.secretary in
+        check int_t "v1 metadata version" 1
+          (Remote.metadata r).Wire.Protocol.meta_version;
+        Remote.close r;
+        m
+      in
+      let reference = v1 () in
+      List.iter
+        (fun jobs ->
+          let mux = Wire.Mux.connect connector in
+          check bool_t "mux granted" true (Wire.Mux.is_mux mux);
+          let results = Array.make n None in
+          let failures = Array.make n None in
+          let worker i =
+            try
+              let r =
+                Remote.connect ~container:"doc" (Wire.Mux.session mux)
+              in
+              let m = Session.evaluate_remote ~jobs cfg0 r Profiles.secretary in
+              check int_t "mux metadata version" 2
+                (Remote.metadata r).Wire.Protocol.meta_version;
+              Remote.close r;
+              results.(i) <- Some m
+            with e -> failures.(i) <- Some e
+          in
+          let threads = List.init n (fun i -> Thread.create worker i) in
+          List.iter Thread.join threads;
+          Array.iteri
+            (fun i -> function
+              | Some e ->
+                  Alcotest.failf "jobs %d session %d failed: %s" jobs i
+                    (Printexc.to_string e)
+              | None -> ())
+            failures;
+          Array.iteri
+            (fun i m ->
+              match m with
+              | None -> Alcotest.failf "session %d produced nothing" i
+              | Some m ->
+                  check Alcotest.string "byte-identical to sequential v1.1"
+                    (events_string reference) (events_string m);
+                  check int_t "payload accounting identical to v1.1"
+                    (wire_stats reference).Wire.Stats.payload_bytes
+                    (wire_stats m).Wire.Stats.payload_bytes)
+            results;
+          Wire.Mux.close mux)
+        [ 1; 4 ])
+
+(* Downgrade negotiation matrix ------------------------------------------- *)
+
+(* Wrap a loopback connection as a v1.1-only terminal: any v2 hello is
+   answered locally with err_unsupported; everything else passes through
+   to the real (v2) server, which answers v1 hellos in kind. *)
+let v1_only_connector server () =
+  let inner = Wire.Server.loopback_connector server () in
+  let pending = ref "" in
+  let pos = ref 0 in
+  let write data =
+    let payload = String.sub data 4 (String.length data - 4) in
+    match Wire.Protocol.decode_request payload with
+    | Wire.Protocol.Hello { version; _ } when version >= 2 ->
+        pending :=
+          String.sub !pending !pos (String.length !pending - !pos)
+          ^ Wire.Frame.encode
+              (Wire.Protocol.encode_response
+                 (Wire.Protocol.Err
+                    {
+                      code = Wire.Protocol.err_unsupported;
+                      message = "protocol version 2 not supported";
+                    }));
+        pos := 0
+    | _ -> Wire.Transport.write inner data
+    | exception Wire.Error.Wire _ -> Wire.Transport.write inner data
+  in
+  let read buf off len =
+    if !pos >= String.length !pending then begin
+      pending := Wire.Frame.encode (Wire.Frame.read inner);
+      pos := 0
+    end;
+    let n = min len (String.length !pending - !pos) in
+    Bytes.blit_string !pending !pos buf off n;
+    pos := !pos + n;
+    n
+  in
+  Wire.Transport.make ~read ~write
+    ~close:(fun () -> Wire.Transport.close inner)
+    ~peer:"loopback+v1only"
+
+let test_downgrade_matrix () =
+  let published = publish_scheme Container.Ecb_mht in
+  let server = Wire.Server.create () in
+  Wire.Server.publish server ~id:"doc" published.Session.container;
+  let meta_of ~config connector =
+    let c = Wire.Client.connect ~config connector in
+    let m = Wire.Client.metadata c in
+    Wire.Client.close c;
+    m
+  in
+  let v2 = Wire.Client.default_config in
+  let v1 = { Wire.Client.default_config with protocol_version = 1 } in
+  (* v2 client ↔ v2 terminal: full v1.2 metadata *)
+  let m = meta_of ~config:v2 (Wire.Server.loopback_connector server) in
+  check int_t "v2<->v2 negotiates v2" 2 m.Wire.Protocol.meta_version;
+  (* v1 client ↔ v2 terminal: the terminal answers in v1.1 *)
+  let m = meta_of ~config:v1 (Wire.Server.loopback_connector server) in
+  check int_t "v1 client gets v1 metadata" 1 m.Wire.Protocol.meta_version;
+  check bool_t "no mux grant in v1 metadata" false m.Wire.Protocol.mux;
+  (* v2 client ↔ v1-only terminal: one short-form retry, connected at v1 *)
+  let m = meta_of ~config:v2 (v1_only_connector server) in
+  check int_t "v2 client downgrades to v1" 1 m.Wire.Protocol.meta_version;
+  (* a container-pinned client must refuse the downgrade: a v1 hello
+     cannot name a container *)
+  (match
+     meta_of
+       ~config:{ v2 with Wire.Client.container = "doc" }
+       (v1_only_connector server)
+   with
+  | (_ : Wire.Protocol.metadata) ->
+      Alcotest.fail "container-pinned client downgraded to v1"
+  | exception Wire.Error.Wire (Wire.Error.Handshake _) -> ());
+  (* a mux endpoint probing a v1-only terminal downgrades to plain
+     connections — sessions still work, just unmultiplexed *)
+  let mux = Wire.Mux.connect (v1_only_connector server) in
+  check bool_t "mux probe downgrades" false (Wire.Mux.is_mux mux);
+  let r = Remote.connect (Wire.Mux.session mux) in
+  let m = Session.evaluate_remote (cfg Container.Ecb_mht) r Profiles.secretary in
+  check bool_t "downgraded session still serves" true
+    (String.length (events_string m) > 0);
+  Remote.close r;
+  Wire.Mux.close mux;
+  (* a no-mux v1.2 terminal: hello succeeds at v2 but without the grant *)
+  let published2 = publish_scheme Container.Ecb_mht in
+  with_fleet_server ~mux:false
+    [ ("doc", published2.Session.container) ]
+    (fun _server connector ->
+      let mux = Wire.Mux.connect connector in
+      check bool_t "no-mux terminal refuses the grant" false
+        (Wire.Mux.is_mux mux);
+      let m = meta_of ~config:v2 connector in
+      check int_t "still v2 metadata" 2 m.Wire.Protocol.meta_version;
+      check bool_t "no mux bit" false m.Wire.Protocol.mux;
+      Wire.Mux.close mux)
+
 let () =
   Alcotest.run "wire"
     [
@@ -704,6 +1155,19 @@ let () =
           Alcotest.test_case "parse addr" `Quick test_parse_addr;
           QCheck_alcotest.to_alcotest decoders_total;
           QCheck_alcotest.to_alcotest server_total;
+        ] );
+      ( "backoff",
+        [
+          Alcotest.test_case "schedule pinned" `Quick
+            test_backoff_schedule_pinned;
+          Alcotest.test_case "schedule invariants" `Quick
+            test_backoff_schedule_invariants;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "publish/unpublish/bind" `Quick test_registry;
+          Alcotest.test_case "shared leaves cache" `Quick
+            test_registry_shared_cache;
         ] );
       ( "loopback",
         List.map
@@ -743,5 +1207,19 @@ let () =
             test_concurrent_sessions;
           Alcotest.test_case "unix socket" `Quick test_unix_socket;
           Alcotest.test_case "tcp socket" `Quick test_tcp_socket;
+          Alcotest.test_case "busy churn at the session cap" `Quick
+            test_busy_churn;
         ] );
+      ( "mux",
+        List.map
+          (fun scheme ->
+            Alcotest.test_case
+              (Container.scheme_to_string scheme ^ " mux ≡ sequential v1.1")
+              `Quick
+              (test_mux_equivalence scheme))
+          Container.all_schemes
+        @ [
+            Alcotest.test_case "downgrade matrix" `Quick
+              test_downgrade_matrix;
+          ] );
     ]
