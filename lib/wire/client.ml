@@ -112,10 +112,14 @@ let roundtrip t transport req =
 let hello ~version ~container = Protocol.Hello { version; container; mux = false }
 
 (* Version negotiation: offer our configured version; a terminal that
-   rejects it as unsupported gets one v1.1 short-form hello before we give
-   up — the graceful downgrade path against pre-fleet terminals. The
-   downgrade cannot name a container (v1 hellos have no room for one), so
-   a client pinned to a specific container refuses instead. *)
+   rejects it gets one v1.1 short-form hello before we give up — the
+   graceful downgrade path against pre-fleet terminals. Rejection arrives
+   in two shapes: a v1.2-era terminal answers a too-new version with
+   [err_unsupported], but a genuine v1.1 decoder cannot even parse the v2
+   hello's trailing flags/container bytes and answers [err_bad_request]
+   ("trailing bytes"), so both codes downgrade. The downgrade cannot name
+   a container (v1 hellos have no room for one), so a client pinned to a
+   specific container refuses instead. *)
 let handshake t transport =
   let refuse code message =
     raise
@@ -132,7 +136,8 @@ let handshake t transport =
     | Protocol.Err { code; message } when code = Protocol.err_busy ->
         raise (Error.Wire (Error.Busy message))
     | Protocol.Err { code; message }
-      when code = Protocol.err_unsupported && version > 1 ->
+      when (code = Protocol.err_unsupported || code = Protocol.err_bad_request)
+           && version > 1 ->
         if t.config.container <> "" then
           refuse code
             (message ^ " (and a v1 downgrade cannot name a container)")

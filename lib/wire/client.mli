@@ -36,21 +36,24 @@ val default_config : config
 val backoff_schedule : config -> float list
 (** The exact sleeps (in seconds) a retry sequence under [config] performs
     between attempts, in order — pure and deterministic in [retry_seed].
-    Each element lies in [[backoff_s, backoff_cap_s]] (or is 0 once the
-    cumulative budget is spent) and the sum never exceeds
-    [backoff_cap_s]. *)
+    Each element lies in [[backoff_s, backoff_cap_s]], except that the
+    last non-zero sleep may be truncated below [backoff_s] to whatever
+    remains of the cumulative budget, and every element after the budget
+    is spent is 0; the sum never exceeds [backoff_cap_s]. *)
 
 type t
 
 val connect : ?config:config -> (unit -> Transport.t) -> t
 (** Connect and perform the version handshake (retried like any request).
-    A terminal that rejects the offered version as unsupported is given
-    one v1.1 short-form hello before the client gives up — the graceful
-    downgrade path (unavailable when [config.container] is set, since a
-    v1 hello cannot name a container). A busy rejection surfaces as the
-    retryable {!Error.Busy}. The connector is kept for transparent
-    reconnects; on reconnect the terminal must advertise byte-identical
-    metadata or the client refuses with a [Handshake] error. *)
+    A terminal that rejects a v2 hello — with [err_unsupported] (a version
+    it knows it cannot speak) or [err_bad_request] (a genuine v1.1 decoder
+    choking on the v2 hello's trailing bytes) — is given one v1.1
+    short-form hello before the client gives up — the graceful downgrade
+    path (unavailable when [config.container] is set, since a v1 hello
+    cannot name a container). A busy rejection surfaces as the retryable
+    {!Error.Busy}. The connector is kept for transparent reconnects; on
+    reconnect the terminal must advertise byte-identical metadata or the
+    client refuses with a [Handshake] error. *)
 
 val metadata : t -> Protocol.metadata
 

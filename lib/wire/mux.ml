@@ -138,7 +138,10 @@ let session_transport (conn : conn) =
   let write data =
     (* [data] is one or more complete plain frames from the session's
        client; re-frame each as a mux frame and send them in one write *)
-    (match conn.dead with
+    Mutex.lock conn.m;
+    let dead = conn.dead in
+    Mutex.unlock conn.m;
+    (match dead with
     | Some msg -> Error.transportf "%s: mux connection down: %s" peer msg
     | None -> ());
     let b = Buffer.create (String.length data + Frame.mux_overhead) in
@@ -157,9 +160,25 @@ let session_transport (conn : conn) =
   in
   let close () =
     Mutex.lock conn.m;
+    let live = Hashtbl.mem conn.inboxes sid && conn.dead = None in
     Hashtbl.remove conn.inboxes sid;
     Condition.broadcast conn.resume;
-    Mutex.unlock conn.m
+    Mutex.unlock conn.m;
+    (* Best-effort Bye so the terminal retires this sid's per-connection
+       binding: the client's retry path closes a session transport without
+       a protocol Bye, and a terminal that only evicts on Bye would creep
+       toward its per-connection session cap under churn. Our inbox is
+       already gone, so the Bye_ok reply (including the duplicate one
+       after [Client.close]'s own Bye round trip) is dropped by the
+       demultiplexer. *)
+    if live then
+      try
+        let frame = Frame.encode_mux ~sid (Protocol.encode_request Protocol.Bye) in
+        Mutex.lock conn.wm;
+        Fun.protect
+          ~finally:(fun () -> Mutex.unlock conn.wm)
+          (fun () -> Transport.write conn.tr frame)
+      with _ -> ()
   in
   Transport.make ~read ~write ~close ~peer
 

@@ -1050,9 +1050,14 @@ let test_mux_equivalence scheme () =
 (* Downgrade negotiation matrix ------------------------------------------- *)
 
 (* Wrap a loopback connection as a v1.1-only terminal: any v2 hello is
-   answered locally with err_unsupported; everything else passes through
-   to the real (v2) server, which answers v1 hellos in kind. *)
-let v1_only_connector server () =
+   answered locally with a refusal; everything else passes through to the
+   real (v2) server, which answers v1 hellos in kind. By default the
+   refusal is [err_bad_request] with a "trailing bytes" message — exactly
+   what the real pre-fleet decoder produced, since it called [finish]
+   right after the hello version and choked on the v2 hello's appended
+   flags/container bytes. [~reject:err_unsupported] models a terminal
+   that recognizes the offered version and refuses it explicitly. *)
+let v1_only_connector ?(reject = Wire.Protocol.err_bad_request) server () =
   let inner = Wire.Server.loopback_connector server () in
   let pending = ref "" in
   let pos = ref 0 in
@@ -1060,15 +1065,16 @@ let v1_only_connector server () =
     let payload = String.sub data 4 (String.length data - 4) in
     match Wire.Protocol.decode_request payload with
     | Wire.Protocol.Hello { version; _ } when version >= 2 ->
+        let message =
+          if reject = Wire.Protocol.err_bad_request then
+            "request: 3 trailing bytes after hello"
+          else "protocol version 2 not supported"
+        in
         pending :=
           String.sub !pending !pos (String.length !pending - !pos)
           ^ Wire.Frame.encode
               (Wire.Protocol.encode_response
-                 (Wire.Protocol.Err
-                    {
-                      code = Wire.Protocol.err_unsupported;
-                      message = "protocol version 2 not supported";
-                    }));
+                 (Wire.Protocol.Err { code = reject; message }));
         pos := 0
     | _ -> Wire.Transport.write inner data
     | exception Wire.Error.Wire _ -> Wire.Transport.write inner data
@@ -1106,9 +1112,15 @@ let test_downgrade_matrix () =
   let m = meta_of ~config:v1 (Wire.Server.loopback_connector server) in
   check int_t "v1 client gets v1 metadata" 1 m.Wire.Protocol.meta_version;
   check bool_t "no mux grant in v1 metadata" false m.Wire.Protocol.mux;
-  (* v2 client ↔ v1-only terminal: one short-form retry, connected at v1 *)
-  let m = meta_of ~config:v2 (v1_only_connector server) in
-  check int_t "v2 client downgrades to v1" 1 m.Wire.Protocol.meta_version;
+  (* v2 client ↔ v1-only terminal: one short-form retry, connected at v1.
+     A genuine pre-fleet decoder refuses the v2 hello with err_bad_request
+     (it cannot parse the trailing bytes); a version-aware terminal with
+     err_unsupported — the client must downgrade on both. *)
+  List.iter
+    (fun reject ->
+      let m = meta_of ~config:v2 (v1_only_connector ~reject server) in
+      check int_t "v2 client downgrades to v1" 1 m.Wire.Protocol.meta_version)
+    [ Wire.Protocol.err_bad_request; Wire.Protocol.err_unsupported ];
   (* a container-pinned client must refuse the downgrade: a v1 hello
      cannot name a container *)
   (match
@@ -1141,6 +1153,69 @@ let test_downgrade_matrix () =
       check int_t "still v2 metadata" 2 m.Wire.Protocol.meta_version;
       check bool_t "no mux bit" false m.Wire.Protocol.mux;
       Wire.Mux.close mux)
+
+(* Session churn on one mux connection: closing a session transport
+   without a protocol Bye (the shape of the client's retry-path [drop])
+   must still retire the server-side binding — otherwise a long-lived
+   multiplexed connection creeps toward [max_mux_sessions] under churn
+   and spuriously busy-rejects fresh sessions. *)
+let test_mux_session_churn () =
+  let published = publish_scheme Container.Ecb_mht in
+  let server = Wire.Server.create () in
+  Wire.Server.publish server ~id:"doc" published.Session.container;
+  let cap = 2 in
+  let listener = Wire.Transport.listen (Wire.Transport.Tcp ("127.0.0.1", 0)) in
+  let th =
+    Thread.create
+      (fun () ->
+        let tr = Wire.Transport.accept listener in
+        Wire.Server.serve_connection ~max_mux_sessions:cap server tr)
+      ()
+  in
+  let tr = Wire.Transport.connect (Wire.Transport.bound_addr listener) in
+  let mux = Wire.Mux.connect (fun () -> tr) in
+  check bool_t "mux granted" true (Wire.Mux.is_mux mux);
+  let hello s =
+    Wire.Transport.write s
+      (Wire.Frame.encode
+         (Wire.Protocol.encode_request
+            (Wire.Protocol.Hello
+               { version = Wire.Protocol.version; container = ""; mux = false })));
+    Wire.Protocol.decode_response (Wire.Frame.read s)
+  in
+  (* churn well past the cap; every close is transport-level only *)
+  for i = 1 to (3 * cap) + 1 do
+    let s = Wire.Mux.session mux () in
+    (match hello s with
+    | Wire.Protocol.Hello_ok _ -> ()
+    | Wire.Protocol.Err { code; message } ->
+        Alcotest.fail
+          (Printf.sprintf "churned session %d refused (%d): %s" i code message)
+    | _ -> Alcotest.fail "unexpected hello reply");
+    Wire.Transport.close s
+  done;
+  (* the cap still binds for genuinely concurrent sessions… *)
+  let s1 = Wire.Mux.session mux () in
+  let s2 = Wire.Mux.session mux () in
+  (match (hello s1, hello s2) with
+  | Wire.Protocol.Hello_ok _, Wire.Protocol.Hello_ok _ -> ()
+  | _ -> Alcotest.fail "concurrent sessions within the cap refused");
+  let s3 = Wire.Mux.session mux () in
+  (match hello s3 with
+  | Wire.Protocol.Err { code; _ } when code = Wire.Protocol.err_busy -> ()
+  | _ -> Alcotest.fail "session past the cap not busy-rejected");
+  Wire.Transport.close s3;
+  (* …and a transport-level close frees its slot for the next session *)
+  Wire.Transport.close s1;
+  let s4 = Wire.Mux.session mux () in
+  (match hello s4 with
+  | Wire.Protocol.Hello_ok _ -> ()
+  | _ -> Alcotest.fail "slot freed by transport close not reusable");
+  Wire.Transport.close s4;
+  Wire.Transport.close s2;
+  Wire.Mux.close mux;
+  Thread.join th;
+  Wire.Transport.close_listener listener
 
 let () =
   Alcotest.run "wire"
@@ -1221,5 +1296,7 @@ let () =
         @ [
             Alcotest.test_case "downgrade matrix" `Quick
               test_downgrade_matrix;
+            Alcotest.test_case "session churn retires bindings" `Quick
+              test_mux_session_churn;
           ] );
     ]
