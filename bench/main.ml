@@ -48,6 +48,22 @@ let json_path =
   in
   find 1
 
+(* --trace FILE captures every trace event of the run — client spans,
+   server spans (the fleet's terminal runs in this process), channel phase
+   events — as one merged JSONL file; xtop --check-trace validates it *)
+let trace_path =
+  let rec find i =
+    if i >= Array.length Sys.argv then None
+    else if Sys.argv.(i) = "--trace" then
+      if i + 1 < Array.length Sys.argv then Some Sys.argv.(i + 1)
+      else begin
+        prerr_endline "bench: --trace needs a FILE argument";
+        exit 2
+      end
+    else find (i + 1)
+  in
+  find 1
+
 (* --experiment NAME runs only that experiment (any registered name,
    including "fleet", the load generator excluded from the default run) *)
 let experiment_filter =
@@ -98,9 +114,15 @@ let record ~name ~profile metrics =
   records := { Bench_report.name; profile; metrics; wall_s } :: !records
 
 let run_experiment name f =
-  experiment_span := Some (Xmlac_obs.Span.start name);
-  f ();
-  experiment_span := None
+  let span = Xmlac_obs.Span.start name in
+  experiment_span := Some span;
+  Fun.protect
+    ~finally:(fun () ->
+      experiment_span := None;
+      (* balanced finish so experiment spans never stack as parents of
+         the next experiment in the ambient trace context *)
+      ignore (Xmlac_obs.Span.finish span : float))
+    f
 
 let scale n = if quick then n / 8 else n
 
@@ -872,8 +894,12 @@ let fleet () =
       Wire.Transport.close_listener listener)
     (fun () ->
       let connector () = Wire.Transport.connect bound in
+      (* every endpoint negotiates traced mux framing under its own trace
+         id; per-client ids below rebind each session's trace, so one
+         merged --trace file separates tenants and clients *)
       let muxes =
-        Array.init endpoints (fun _ -> Wire.Mux.connect connector)
+        Array.init endpoints (fun e ->
+            Wire.Mux.connect ~trace:(Printf.sprintf "fleet-ep-%d" e) connector)
       in
       (* sequential v1.1 reference: one plain short-form-hello connection;
          it binds the first published container ("records") and pins the
@@ -910,6 +936,7 @@ let fleet () =
             Xmlac_obs.Span.time "fleet.client" (fun () ->
                 let r =
                   Remote.connect ~container:id
+                    ~trace_id:(Printf.sprintf "fleet-client-%d" i)
                     ~config:
                       {
                         Wire.Client.default_config with
@@ -976,8 +1003,50 @@ let fleet () =
         totals.Wire.Stats.requests totals.Wire.Stats.mux_sessions
         totals.Wire.Stats.busy_rejections cache.Xmlac_runtime.Lru.hits
         cache.Xmlac_runtime.Lru.misses;
+      (* admin plane cross-check: the Stats frame a local client fetches
+         must agree with the registry's own snapshot, tenant for tenant *)
+      let wire_view =
+        let c = Wire.Client.connect connector in
+        let json = Wire.Client.fetch_stats c in
+        Wire.Client.close c;
+        match Wire.Telemetry.of_string json with
+        | Ok v -> v
+        | Error msg -> failwith ("fleet: Stats frame rejected: " ^ msg)
+      in
+      let own_view = Wire.Server.telemetry_snapshot server in
+      List.iter2
+        (fun (a : Wire.Telemetry.tenant_view) (b : Wire.Telemetry.tenant_view)
+           ->
+          let sa = a.Wire.Telemetry.tv_service
+          and sb = b.Wire.Telemetry.tv_service in
+          if
+            a.Wire.Telemetry.tv_id <> b.Wire.Telemetry.tv_id
+            || a.Wire.Telemetry.tv_requests <> b.Wire.Telemetry.tv_requests
+            || sa.Wire.Telemetry.sv_count <> sb.Wire.Telemetry.sv_count
+            || abs_float
+                 (sa.Wire.Telemetry.sv_p50_s -. sb.Wire.Telemetry.sv_p50_s)
+               > 1e-9
+            || abs_float
+                 (sa.Wire.Telemetry.sv_p99_s -. sb.Wire.Telemetry.sv_p99_s)
+               > 1e-9
+          then
+            failwith
+              (Printf.sprintf
+                 "fleet: Stats frame diverges from registry snapshot for %s"
+                 a.Wire.Telemetry.tv_id))
+        wire_view.Wire.Telemetry.tenants own_view.Wire.Telemetry.tenants;
+      Printf.printf "  per-tenant service time (Stats frame):\n";
+      List.iter
+        (fun (t : Wire.Telemetry.tenant_view) ->
+          let sv = t.Wire.Telemetry.tv_service in
+          Printf.printf
+            "    %-10s %d sessions, %d requests, p50 %.5fs p99 %.5fs\n"
+            t.Wire.Telemetry.tv_id t.Wire.Telemetry.tv_sessions
+            t.Wire.Telemetry.tv_requests sv.Wire.Telemetry.sv_p50_s
+            sv.Wire.Telemetry.sv_p99_s)
+        wire_view.Wire.Telemetry.tenants;
       record ~name:"fleet" ~profile:"all"
-        (Metrics.
+        (Metrics.(
            [
              int "clients" clients;
              int "containers" (List.length tenants);
@@ -985,9 +1054,25 @@ let fleet () =
              int "payload_bytes" !payload_total;
              float "wall_p50_s" p50;
              float "wall_p99_s" p99;
-           ]);
+           ]
+           (* server-side telemetry columns: request counts vary with
+              retries and the latencies with load, so every derived column
+              keeps the gate-exempt wall prefix on its final segment *)
+           @ List.concat_map
+               (fun (t : Wire.Telemetry.tenant_view) ->
+                 let sv = t.Wire.Telemetry.tv_service in
+                 prefix ("server." ^ t.Wire.Telemetry.tv_id)
+                   [
+                     float "wall_requests" (float_of_int t.Wire.Telemetry.tv_requests);
+                     float "wall_service_p50_s" sv.Wire.Telemetry.sv_p50_s;
+                     float "wall_service_p99_s" sv.Wire.Telemetry.sv_p99_s;
+                   ])
+               wire_view.Wire.Telemetry.tenants));
       note "every client's view is byte-checked against the local evaluation;";
-      note "  latencies are wall-clock and exempt from the perf gate")
+      note
+        "  latencies are wall-clock and exempt from the perf gate; the \
+         per-tenant";
+      note "  columns are cross-checked against the Get_stats admin frame")
 
 (* Bechamel micro-benchmarks ------------------------------------------------ *)
 
@@ -1095,21 +1180,26 @@ let () =
   Printf.printf
     "xmlac benchmark harness — reproducing Bouganim et al., VLDB 2004%s\n"
     (if quick then " (quick mode)" else "");
-  (match experiment_filter with
-  | Some "bechamel" -> run_experiment "bechamel" bechamel_suite
-  | Some name -> (
-      match List.find_opt (fun (n, _, _) -> n = name) experiments with
-      | Some (n, _, f) -> run_experiment n f
-      | None ->
-          Printf.eprintf "bench: unknown experiment %S (have: %s, bechamel)\n"
-            name
-            (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
-          exit 2)
-  | None ->
-      List.iter
-        (fun (n, default, f) -> if default then run_experiment n f)
-        experiments;
-      if not no_bechamel then run_experiment "bechamel" bechamel_suite);
+  let run_all () =
+    match experiment_filter with
+    | Some "bechamel" -> run_experiment "bechamel" bechamel_suite
+    | Some name -> (
+        match List.find_opt (fun (n, _, _) -> n = name) experiments with
+        | Some (n, _, f) -> run_experiment n f
+        | None ->
+            Printf.eprintf
+              "bench: unknown experiment %S (have: %s, bechamel)\n" name
+              (String.concat ", " (List.map (fun (n, _, _) -> n) experiments));
+            exit 2)
+    | None ->
+        List.iter
+          (fun (n, default, f) -> if default then run_experiment n f)
+          experiments;
+        if not no_bechamel then run_experiment "bechamel" bechamel_suite
+  in
+  (match trace_path with
+  | None -> run_all ()
+  | Some path -> Xmlac_obs.Trace.with_jsonl_file path run_all);
   (match json_path with
   | None -> ()
   | Some path ->

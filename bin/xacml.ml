@@ -152,7 +152,8 @@ let container_arg =
 (* Open the SOE byte source for view/unlock: a local container file or a
    remote terminal session. Returns the source, the scheme it speaks, and
    the session to close when done. *)
-let open_source ?pool ~input ~remote ~container ~expect_scheme ~key counters =
+let open_source ?pool ?trace_id ~input ~remote ~container ~expect_scheme ~key
+    counters =
   match remote with
   | Some addr_str ->
       let addr =
@@ -161,7 +162,7 @@ let open_source ?pool ~input ~remote ~container ~expect_scheme ~key counters =
         | Error e -> die "--remote %s" e
       in
       let r =
-        Remote.connect ?container ?expect_scheme (fun () ->
+        Remote.connect ?container ?trace_id ?expect_scheme (fun () ->
             Wire.Transport.connect addr)
       in
       let source = Remote.source ?pool r ~key counters in
@@ -399,15 +400,27 @@ let view_cmd =
              record per node, skip and chunk verdict, plus evaluator \
              events) to FILE, for xacml explain or audit_replay.")
   in
+  let trace_id =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-id" ] ~docv:"ID"
+          ~doc:
+            "With --remote: offer ID as a trace id in the hello so the \
+             terminal links its server.request spans to this run's \
+             wire.request spans (visible in the terminal's --trace file \
+             and this run's --trace-out).")
+  in
   let run input pass remote container expect_scheme rules policy_file
-      query_str user dummy stats_flag trace_flag trace_out jobs =
+      query_str user dummy stats_flag trace_flag trace_out trace_id jobs =
     let policy = assemble_policy ~rules ~policy_file ~user in
     let query = Option.map Xmlac_xpath.Parse.path query_str in
     let key = key_of_passphrase pass in
     let counters = Channel.fresh_counters () in
     with_jobs jobs @@ fun pool ->
     let source, scheme, remote_session =
-      open_source ?pool ~input ~remote ~container ~expect_scheme ~key counters
+      open_source ?pool ?trace_id ~input ~remote ~container ~expect_scheme
+        ~key counters
     in
     let decoder = Xmlac_skip_index.Decoder.of_source source in
     if trace_flag then
@@ -493,7 +506,7 @@ let view_cmd =
     Term.(
       const run $ input_opt_arg $ passphrase_arg $ remote_arg $ container_arg
       $ expect_scheme_arg $ rules_arg $ policy_file_arg $ query_arg $ user_arg
-      $ dummy $ stats_flag $ trace_flag $ trace_out $ jobs_arg)
+      $ dummy $ stats_flag $ trace_flag $ trace_out $ trace_id $ jobs_arg)
 
 (* explain -------------------------------------------------------------------- *)
 

@@ -78,6 +78,32 @@ let no_mux_arg =
           "Refuse the v1.2 session-multiplexing grant; every hello gets a \
            plain single-session connection.")
 
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"FILE"
+        ~doc:
+          "Export the telemetry snapshot (JSON, schema xwtp.telemetry.v1) \
+           to FILE periodically and on shutdown; written atomically \
+           (tmp+rename). SIGUSR1 forces an immediate export.")
+
+let telemetry_interval_arg =
+  Arg.(
+    value & opt float 2.0
+    & info [ "telemetry-interval" ] ~docv:"SECONDS"
+        ~doc:"Seconds between telemetry exports (default 2).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write server-side trace events (server.request spans, cache \
+           events) as JSONL to FILE; clients that negotiate trace \
+           propagation get their request timelines linked here.")
+
 (* "ID=PATH" or bare "PATH" (id = basename without extension) *)
 let parse_input spec =
   match String.index_opt spec '=' with
@@ -86,8 +112,23 @@ let parse_input spec =
        String.sub spec (i + 1) (String.length spec - i - 1))
   | _ -> (Filename.remove_extension (Filename.basename spec), spec)
 
-let run inputs listen sessions timeout stats_flag domains no_mux =
+(* Atomic snapshot export: write to a sibling tmp file, then rename, so a
+   poller (xtop) never reads a torn document. *)
+let export_telemetry server path =
+  let json = Wire.Telemetry.to_string (Wire.Server.telemetry_snapshot server) in
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc json;
+      output_char oc '\n');
+  Sys.rename tmp path
+
+let run inputs listen sessions timeout stats_flag domains no_mux telemetry_file
+    telemetry_interval trace_file =
   if domains < 1 then die "--domains must be >= 1";
+  if telemetry_interval <= 0. then die "--telemetry-interval must be positive";
   let server = Wire.Server.create () in
   List.iter
     (fun spec ->
@@ -111,6 +152,38 @@ let run inputs listen sessions timeout stats_flag domains no_mux =
   let on_signal _ = stop := true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
+  (* SIGUSR1 only flips a flag; the exporter thread does the file I/O *)
+  let dump_requested = ref false in
+  Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump_requested := true));
+  let export_once () =
+    match telemetry_file with
+    | Some path -> (
+        try export_telemetry server path
+        with Sys_error msg ->
+          Printf.eprintf "xterminal: telemetry export: %s\n%!" msg)
+    | None ->
+        (* no export file: a SIGUSR1 dump goes to stderr *)
+        Printf.eprintf "%s\n%!"
+          (Wire.Telemetry.to_string (Wire.Server.telemetry_snapshot server))
+  in
+  let exporter =
+    Thread.create
+      (fun () ->
+        let last = ref (Unix.gettimeofday ()) in
+        while not !stop do
+          Thread.delay 0.2;
+          let now = Unix.gettimeofday () in
+          let periodic =
+            telemetry_file <> None && now -. !last >= telemetry_interval
+          in
+          if !dump_requested || periodic then begin
+            dump_requested := false;
+            last := now;
+            export_once ()
+          end
+        done)
+      ()
+  in
   Printf.printf "xterminal: serving on %s (%d domain%s%s)\n%!"
     (Wire.Transport.addr_to_string (Wire.Transport.bound_addr listener))
     domains
@@ -128,14 +201,42 @@ let run inputs listen sessions timeout stats_flag domains no_mux =
     (Wire.Server.container_ids server);
   (* the accept loop polls [stop], so a signal lands within ~0.2 s; a
      transport error on a closed listener ends the loop the same way *)
-  (try
-     Wire.Server.serve ~max_sessions:sessions ~mux:(not no_mux) ~domains
-       ?timeout_s:timeout ~stop server listener
-   with Wire.Error.Wire _ -> ());
+  let serve () =
+    try
+      Wire.Server.serve ~max_sessions:sessions ~mux:(not no_mux) ~domains
+        ?timeout_s:timeout ~stop server listener
+    with Wire.Error.Wire _ -> ()
+  in
+  (match trace_file with
+  | None -> serve ()
+  | Some path -> Xmlac_obs.Trace.with_jsonl_file path serve);
+  stop := true;
+  Thread.join exporter;
+  (match telemetry_file with Some _ -> export_once () | None -> ());
   Wire.Transport.close_listener listener;
+  (* shutdown summary: the counters an operator actually asks about first *)
+  let view = Wire.Server.telemetry_snapshot server in
+  let sr = view.Wire.Telemetry.server in
+  Printf.eprintf
+    "xterminal: served %d requests over %d connections (%d busy-rejected), \
+     shared cache %d hits / %d misses\n\
+     %!"
+    sr.Wire.Telemetry.sr_requests sr.Wire.Telemetry.sr_admitted
+    sr.Wire.Telemetry.sr_busy_rejections sr.Wire.Telemetry.sr_cache_hits
+    sr.Wire.Telemetry.sr_cache_misses;
   if stats_flag then begin
     let metrics = Wire.Stats.metrics (Wire.Server.totals server) in
-    List.iter (Printf.eprintf "%s\n") (Xmlac_obs.Metrics.render metrics)
+    List.iter (Printf.eprintf "%s\n") (Xmlac_obs.Metrics.render metrics);
+    let cache = Wire.Server.cache_stats server in
+    List.iter (Printf.eprintf "%s\n")
+      (Xmlac_obs.Metrics.render
+         (Xmlac_obs.Metrics.prefix "registry_cache"
+            Xmlac_obs.Metrics.
+              [
+                int "hits" cache.Xmlac_runtime.Lru.hits;
+                int "misses" cache.Xmlac_runtime.Lru.misses;
+                int "evicted" cache.Xmlac_runtime.Lru.evicted;
+              ]))
   end
 
 let () =
@@ -147,6 +248,7 @@ let () =
             protocol (the untrusted terminal of the paper's architecture).")
       Term.(
         const run $ input_arg $ listen_arg $ sessions_arg $ timeout_arg
-        $ stats_arg $ domains_arg $ no_mux_arg)
+        $ stats_arg $ domains_arg $ no_mux_arg $ telemetry_arg
+        $ telemetry_interval_arg $ trace_arg)
   in
   exit (Cmd.eval cmd)

@@ -123,7 +123,14 @@ let wire_frame bytes =
               (* advertised geometry is hostile too; validation returns
                  [Error], it must not raise *)
               ignore (Wire.Protocol.metadata_geometry meta)
+          | Wire.Protocol.Stats_reply json ->
+              (* admin-plane snapshots come from the terminal, i.e. the
+                 adversary: the decoder returns [Error], never raises *)
+              ignore (Wire.Telemetry.of_string json)
           | _ -> ());
+          (* telemetry decoder on the raw bytes too, so mutated JSON
+             documents reach it without having to survive framing *)
+          ignore (Wire.Telemetry.of_string bytes);
           let payload, _next = Wire.Frame.split bytes ~off:0 in
           ignore (Wire.Protocol.decode_request payload))
 

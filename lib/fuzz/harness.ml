@@ -62,14 +62,16 @@ let wire_seed_frames =
     (let open Xmlac_wire.Protocol in
      let reqs =
        [
-         Hello { version; container = ""; mux = false };
-         Hello { version; container = "default"; mux = true };
-         Hello { version = 1; container = ""; mux = false };
+         Hello { version; container = ""; mux = false; trace = "" };
+         Hello { version; container = "default"; mux = true; trace = "" };
+         Hello { version; container = "default"; mux = true; trace = "fuzz-1" };
+         Hello { version = 1; container = ""; mux = false; trace = "" };
          Get_fragment { chunk = 1; fragment = 2; lo = 0; hi = 64 };
          Get_chunk { chunk = 0 };
          Get_digest { chunk = 3 };
          Get_hash_state { chunk = 0; fragment = 1; upto = 32 };
          Get_siblings { chunk = 2; fragment = 0 };
+         Get_stats;
          Bye;
        ]
      in
@@ -86,6 +88,7 @@ let wire_seed_frames =
              integrity = true;
              batching = true;
              mux = true;
+             trace = true;
            };
          Fragment (String.make 64 '\x2a');
          Chunk (String.make 512 '\x2a');
@@ -93,6 +96,7 @@ let wire_seed_frames =
          Hash_state (String.make 29 '\x2a');
          Siblings [ String.make 20 's'; String.make 20 't' ];
          Bye_ok;
+         Stats_reply "{\"schema\":\"xwtp.telemetry.v1\"}";
          Err { code = 2; message = "chunk out of range" };
        ]
      in
@@ -395,7 +399,7 @@ let run ?(progress = fun ~done_:_ ~total:_ -> ()) ~seed ~iterations () =
     rejected = !rejected;
     failures = List.rev !failures;
     per_boundary;
-    wall_s = Xmlac_obs.Span.elapsed span;
+    wall_s = Xmlac_obs.Span.finish span;
   }
 
 (* Replay a channel-eval failure with a provenance collector and a

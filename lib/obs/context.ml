@@ -1,0 +1,119 @@
+(* Per-thread ambient trace context: which trace the current thread is
+   working for, and the stack of open spans above it. {!Span.start} pushes
+   and {!Span.finish} pops, so any event emitted in between can name its
+   parent span without the call site threading ids by hand — that linkage
+   is what lets one JSONL file reconstruct a nested timeline.
+
+   Keyed by [Thread.id] (unique across domains), guarded by one mutex:
+   every operation is a handful of hashtable words, and none of them sit
+   on a hot path — hot paths guard on [Trace.enabled] before touching
+   spans at all. Entries are removed as soon as a thread's context empties,
+   so thread churn (the wire server spawns a thread per connection) leaks
+   nothing. *)
+
+type frame = { mutable trace : string option; mutable spans : int list }
+
+let m = Mutex.create ()
+let table : (int, frame) Hashtbl.t = Hashtbl.create 64
+
+let with_lock f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let key () = Thread.id (Thread.self ())
+
+let frame_of key =
+  match Hashtbl.find_opt table key with
+  | Some f -> f
+  | None ->
+      let f = { trace = None; spans = [] } in
+      Hashtbl.replace table key f;
+      f
+
+let drop_if_empty key f =
+  if f.trace = None && f.spans = [] then Hashtbl.remove table key
+
+(* {2 Span ids}
+
+   Unique {e across processes}: the SOE client and the terminal server
+   emit into traces that get merged into one file, so a plain counter on
+   both sides would collide. Each process mixes its counter through
+   splitmix64 seeded from pid and start time; ids are positive 62-bit ints
+   (exact in JSON doubles) and never 0 — 0 is the wire's "no span". *)
+
+let splitmix64 z =
+  let z = Int64.add z 0x9E3779B97F4A7C15L in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL
+  in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let process_seed =
+  Int64.logxor
+    (Int64.of_int (Unix.getpid ()))
+    (Int64.of_float (Unix.gettimeofday () *. 1e6))
+
+let span_counter = Atomic.make 1
+
+let fresh_span_id () =
+  let n = Atomic.fetch_and_add span_counter 1 in
+  let mixed = splitmix64 (Int64.add process_seed (Int64.of_int n)) in
+  let id = Int64.to_int (Int64.shift_right_logical mixed 2) in
+  if id = 0 then 1 else id
+
+(* {2 Ambient context} *)
+
+let trace_id () =
+  with_lock @@ fun () ->
+  match Hashtbl.find_opt table (key ()) with
+  | Some f -> f.trace
+  | None -> None
+
+let current_span () =
+  with_lock @@ fun () ->
+  match Hashtbl.find_opt table (key ()) with
+  | Some { spans = s :: _; _ } -> Some s
+  | _ -> None
+
+let push_span id =
+  with_lock @@ fun () ->
+  let f = frame_of (key ()) in
+  f.spans <- id :: f.spans
+
+(* pops [id] specifically: unbalanced finishes (a span finished twice, or
+   out of order across threads) must not corrupt unrelated spans *)
+let pop_span id =
+  with_lock @@ fun () ->
+  let k = key () in
+  match Hashtbl.find_opt table k with
+  | None -> ()
+  | Some f ->
+      (match f.spans with
+      | s :: rest when s = id -> f.spans <- rest
+      | spans -> f.spans <- List.filter (fun s -> s <> id) spans);
+      drop_if_empty k f
+
+let set_trace t =
+  with_lock @@ fun () ->
+  let k = key () in
+  match t with
+  | Some _ ->
+      let f = frame_of k in
+      f.trace <- t
+  | None -> (
+      match Hashtbl.find_opt table k with
+      | None -> ()
+      | Some f ->
+          f.trace <- None;
+          drop_if_empty k f)
+
+(* Scoped trace id for the current thread; restores the previous one (and
+   cleans the table entry) even when [f] raises. Worker threads spawned
+   inside [f] do {e not} inherit the trace — they carry their own. *)
+let with_trace trace f =
+  let previous = trace_id () in
+  set_trace (Some trace);
+  Fun.protect ~finally:(fun () -> set_trace previous) f

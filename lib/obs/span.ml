@@ -1,15 +1,44 @@
 (* Wall-clock span timings. Simulated SOE costs come from the cost model,
    never from these; spans time the *harness* (bench experiments, fuzz
-   campaigns) so machine-readable reports can carry real wall time next to
-   modeled time. *)
+   campaigns) and the wire's request path so machine-readable reports can
+   carry real wall time next to modeled time.
 
-type t = { name : string; started_at : float }
+   Every span has a process-unique [id] and links to the span it was
+   started inside ([parent], from the per-thread ambient {!Context}) and
+   the ambient trace id, so nested spans emitted from both ends of a wire
+   reconstruct into one timeline instead of flattening. [span.start] /
+   [span.end] events carry [ts] (absolute wall clock) for cross-process
+   ordering; [wall_s] on the end event stays the measured duration. *)
+
+type t = {
+  name : string;
+  id : int;
+  parent : int option;
+  trace : string option;
+  started_at : float;
+}
 
 let now () = Unix.gettimeofday ()
 
+let context_fields ~id ~parent ~trace =
+  (match trace with
+  | Some tr -> [ ("trace", Json.String tr) ]
+  | None -> [])
+  @ [ ("span", Json.Int id) ]
+  @ match parent with Some p -> [ ("parent", Json.Int p) ] | None -> []
+
 let start name =
-  if Trace.enabled () then Trace.emit "span.start" [ ("name", Json.String name) ];
-  { name; started_at = now () }
+  let parent = Context.current_span () in
+  let trace = Context.trace_id () in
+  let id = Context.fresh_span_id () in
+  Context.push_span id;
+  let started_at = now () in
+  if Trace.enabled () then
+    Trace.emit "span.start"
+      (("name", Json.String name)
+      :: context_fields ~id ~parent ~trace
+      @ [ ("ts", Json.Float started_at) ]);
+  { name; id; parent; trace; started_at }
 
 (* clamped: the wall clock can step backwards (NTP), and a negative
    duration would poison downstream sums and histograms *)
@@ -17,9 +46,12 @@ let elapsed t = Float.max 0. (now () -. t.started_at)
 
 let finish t =
   let e = elapsed t in
+  Context.pop_span t.id;
   if Trace.enabled () then
     Trace.emit "span.end"
-      [ ("name", Json.String t.name); ("wall_s", Json.Float e) ];
+      (("name", Json.String t.name)
+      :: context_fields ~id:t.id ~parent:t.parent ~trace:t.trace
+      @ [ ("ts", Json.Float (now ())); ("wall_s", Json.Float e) ]);
   e
 
 (* run [f], returning its result and the wall seconds it took; [span.end]
@@ -29,3 +61,22 @@ let time name f =
   let wall = ref 0. in
   let r = Fun.protect ~finally:(fun () -> wall := finish s) f in
   (r, !wall)
+
+(* A point event stamped with the ambient context: trace id, innermost
+   open span as [span] (the event's {e parent} — point events open no span
+   of their own), and the wall clock. The cheap building block for hot
+   paths that want to appear on a timeline without span bookkeeping;
+   everything beyond the [enabled] read happens only when a sink is on. *)
+let event name fields =
+  if Trace.enabled () then begin
+    let ctx =
+      (match Context.trace_id () with
+      | Some tr -> [ ("trace", Json.String tr) ]
+      | None -> [])
+      @
+      match Context.current_span () with
+      | Some p -> [ ("parent", Json.Int p) ]
+      | None -> []
+    in
+    Trace.emit name ((("ts", Json.Float (now ())) :: ctx) @ fields)
+  end

@@ -30,18 +30,33 @@ let jsonl_line e =
   Json.to_string (Json.Obj (("event", Json.String e.name) :: e.fields))
 
 (* Buffered JSONL sink over an out_channel. Returns the sink and a flush
-   function; the caller owns the channel and must flush before closing. *)
+   function; the caller owns the channel and must flush before closing.
+   Mutex-protected: trace events arrive from every thread of a process
+   (the wire server emits per-request spans from connection threads), and
+   an unguarded Buffer would interleave or crash. The lock costs nothing
+   on the paths that matter — hot paths only reach a sink when tracing is
+   explicitly on. *)
 let jsonl_sink ?(buffer_bytes = 65536) oc =
+  let m = Mutex.create () in
   let buf = Buffer.create (min buffer_bytes 65536) in
-  let flush_buf () =
+  let flush_locked () =
     Buffer.output_buffer oc buf;
     Buffer.clear buf;
     flush oc
   in
+  let flush_buf () =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) flush_locked
+  in
   let emit e =
-    Buffer.add_string buf (jsonl_line e);
-    Buffer.add_char buf '\n';
-    if Buffer.length buf >= buffer_bytes then flush_buf ()
+    let line = jsonl_line e in
+    Mutex.lock m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock m)
+      (fun () ->
+        Buffer.add_string buf line;
+        Buffer.add_char buf '\n';
+        if Buffer.length buf >= buffer_bytes then flush_locked ())
   in
   (emit, flush_buf)
 

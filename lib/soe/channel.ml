@@ -566,6 +566,18 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
     Bytes.blit e.fe_plain u.fu_lo out u.fu_out (u.fu_hi - u.fu_lo)
   in
   let process_frag_window out tuples =
+    (* phase events bracket the window when a trace sink is on; field
+       construction stays behind the guard like [emit_chunk_verdict] *)
+    let traced = Xmlac_obs.Trace.enabled () in
+    let phase name =
+      if traced then
+        Xmlac_obs.Span.event name
+          [
+            ("kind", Xmlac_obs.Json.String "fragment");
+            ("units", Xmlac_obs.Json.Int (List.length tuples));
+          ]
+    in
+    phase "channel.plan";
     (match terminal.fetch_many with
     | Some fetch_many ->
         let reqs = plan_frag_window tuples in
@@ -574,12 +586,15 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
     | None -> ());
     let units = List.map fetch_frag_unit tuples in
     assert (!prefetched = []);
+    phase "channel.fetch";
     run_tasks
       (Array.of_list
          (List.filter_map
             (fun u -> if frag_needs_compute u then Some (compute_frag u) else None)
             units));
-    List.iter (commit_frag out) units
+    phase "channel.compute";
+    List.iter (commit_frag out) units;
+    phase "channel.commit"
   in
   (* the hot case — a small read fully inside an already-decrypted
      fragment — skips the window machinery: one counted cache hit, one
@@ -744,6 +759,16 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
     Bytes.blit e.ce_plain u.cu_off out u.cu_out u.cu_take
   in
   let process_chunk_window out tuples =
+    let traced = Xmlac_obs.Trace.enabled () in
+    let phase name =
+      if traced then
+        Xmlac_obs.Span.event name
+          [
+            ("kind", Xmlac_obs.Json.String "chunk");
+            ("units", Xmlac_obs.Json.Int (List.length tuples));
+          ]
+    in
+    phase "channel.plan";
     (match terminal.fetch_many with
     | Some fetch_many ->
         let reqs = plan_chunk_window tuples in
@@ -752,13 +777,16 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
     | None -> ());
     let units = List.map fetch_chunk_unit tuples in
     assert (!prefetched = []);
+    phase "channel.fetch";
     run_tasks
       (Array.of_list
          (List.filter_map
             (fun u ->
               if chunk_needs_compute u then Some (compute_chunk u) else None)
             units));
-    List.iter (commit_chunk out) units
+    phase "channel.compute";
+    List.iter (commit_chunk out) units;
+    phase "channel.commit"
   in
   let fast_chunk_read out chunk off take =
     match Lru.peek chunk_cache chunk with

@@ -68,7 +68,7 @@ let fetch_many client reqs =
   in
   go reqs
 
-let connect ?config ?container ?expect_scheme connector =
+let connect ?config ?container ?trace_id ?expect_scheme connector =
   let config =
     match container with
     | None -> config
@@ -77,6 +77,15 @@ let connect ?config ?container ?expect_scheme connector =
           Option.value config ~default:Wire.Client.default_config
         in
         Some { base with Wire.Client.container = id }
+  in
+  let config =
+    match trace_id with
+    | None -> config
+    | Some trace ->
+        let base =
+          Option.value config ~default:Wire.Client.default_config
+        in
+        Some { base with Wire.Client.trace }
   in
   let client = Wire.Client.connect ?config connector in
   let meta = Wire.Client.metadata client in
@@ -122,6 +131,9 @@ let terminal t = t.terminal
 let metadata t = Wire.Client.metadata t.client
 let geometry t = t.terminal.Channel.t_container
 let wire_stats t = Wire.Client.stats t.client
+let trace_granted t = Wire.Client.trace_granted t.client
+let trace_id t = Wire.Client.trace t.client
+let fetch_stats t = Wire.Client.fetch_stats t.client
 
 let source ?verify ?cache_fragments ?cache_chunks ?pool t ~key counters =
   Channel.source_of_terminal ?verify ?cache_fragments ?cache_chunks ?pool

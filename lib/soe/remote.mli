@@ -14,17 +14,32 @@ type t
 val connect :
   ?config:Xmlac_wire.Client.config ->
   ?container:string ->
+  ?trace_id:string ->
   ?expect_scheme:Xmlac_crypto.Secure_container.scheme ->
   (unit -> Xmlac_wire.Transport.t) ->
   t
 (** Connect, handshake, validate the advertised geometry. [container]
     names the published container to bind on a multi-tenant terminal
     (overrides [config.container]; requires an XWTP v1.2 terminal).
+    [trace_id] (overrides [config.trace]) offers trace propagation in the
+    hello; see {!Xmlac_wire.Client.config}.
     @raise Xmlac_wire.Error.Wire ([Handshake _]) when the terminal's story
     is unacceptable. *)
 
 val terminal : t -> Channel.terminal
 val metadata : t -> Xmlac_wire.Protocol.metadata
+
+val trace_granted : t -> bool
+(** Whether the terminal granted the offered trace id (always [false]
+    when none was offered). *)
+
+val trace_id : t -> string
+(** The trace id this session's wire connection offers ([""] when
+    untraced). *)
+
+val fetch_stats : t -> string
+(** Admin plane: the terminal's telemetry snapshot as JSON (schema
+    {!Xmlac_wire.Telemetry.schema}); only served on local transports. *)
 
 val geometry : t -> Xmlac_crypto.Secure_container.t
 (** The validated header-only container view. *)

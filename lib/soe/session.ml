@@ -151,11 +151,20 @@ let evaluate ?query ?(verify = true) ?strategy ?options ?provenance ?(jobs = 1)
 let evaluate_remote ?query ?(verify = true) ?(strategy = "REMOTE") ?options
     ?provenance ?(jobs = 1) config remote policy =
   let counters = Channel.fresh_counters () in
-  with_optional_pool ~jobs (fun pool ->
-      let source = Remote.source ~verify ?pool remote ~key:config.key counters in
-      run_measurement ?query ?options ?provenance ~cost:config.cost ~strategy
-        ~wire:(Some (Remote.wire_stats remote)) ~counters ~jobs ~pool ~source
-        policy)
+  let run () =
+    with_optional_pool ~jobs (fun pool ->
+        let source =
+          Remote.source ~verify ?pool remote ~key:config.key counters
+        in
+        run_measurement ?query ?options ?provenance ~cost:config.cost ~strategy
+          ~wire:(Some (Remote.wire_stats remote)) ~counters ~jobs ~pool ~source
+          policy)
+  in
+  (* Evaluate inside the connection's trace context so session spans and
+     channel phase events land in the same trace as the wire spans. *)
+  match Remote.trace_id remote with
+  | "" -> run ()
+  | trace -> Xmlac_obs.Context.with_trace trace run
 
 let metrics (m : measurement) : Xmlac_obs.Metrics.t =
   let open Xmlac_obs.Metrics in

@@ -6,6 +6,7 @@ type config = {
   max_payload : int;
   container : string;
   protocol_version : int;
+  trace : string;
 }
 
 let default_config =
@@ -17,6 +18,7 @@ let default_config =
     max_payload = Frame.max_payload_default;
     container = "";
     protocol_version = Protocol.version;
+    trace = "";
   }
 
 (* {2 Retry backoff}
@@ -81,6 +83,10 @@ type t = {
   connector : unit -> Transport.t;
   mutable transport : Transport.t option;
   mutable meta : Protocol.metadata option;
+  mutable trace_sent : string;
+      (* the trace id the current connection's hello actually carried:
+         "" once the trace-strip downgrade fires, so reconnects do not
+         re-offer an extension the terminal already rejected *)
   stats : Stats.t;
 }
 
@@ -94,6 +100,7 @@ let response_kind : Protocol.response -> string = function
   | Hash_state _ -> "hash state"
   | Siblings _ -> "siblings"
   | Batched _ -> "batch"
+  | Stats_reply _ -> "stats"
   | Bye_ok -> "bye"
   | Err _ -> "error"
 
@@ -109,7 +116,14 @@ let roundtrip t transport req =
   t.stats.replies <- t.stats.replies + 1;
   resp
 
-let hello ~version ~container = Protocol.Hello { version; container; mux = false }
+let hello ~version ~container ~trace =
+  Protocol.Hello
+    {
+      version;
+      container;
+      mux = false;
+      trace = (if version >= 2 then trace else "");
+    }
 
 (* Version negotiation: offer our configured version; a terminal that
    rejects it gets one v1.1 short-form hello before we give up — the
@@ -117,9 +131,14 @@ let hello ~version ~container = Protocol.Hello { version; container; mux = false
    in two shapes: a v1.2-era terminal answers a too-new version with
    [err_unsupported], but a genuine v1.1 decoder cannot even parse the v2
    hello's trailing flags/container bytes and answers [err_bad_request]
-   ("trailing bytes"), so both codes downgrade. The downgrade cannot name
-   a container (v1 hellos have no room for one), so a client pinned to a
-   specific container refuses instead. *)
+   ("trailing bytes"), so both codes downgrade. The ladder has one extra
+   rung when the hello carried a trace id: a pre-telemetry v1.2 terminal
+   rejects the unknown trace flag bit with [err_bad_request] even though
+   it speaks our version fine, so the first retry re-offers the {e same}
+   version with the trace extension stripped, and only then does the
+   version drop. The v1 downgrade cannot name a container (v1 hellos
+   have no room for one), so a client pinned to a specific container
+   refuses instead. *)
 let handshake t transport =
   let refuse code message =
     raise
@@ -127,25 +146,32 @@ let handshake t transport =
          (Error.Handshake
             (Printf.sprintf "terminal refused handshake (%d): %s" code message)))
   in
-  let exchange version =
-    roundtrip t transport (hello ~version ~container:t.config.container)
+  let exchange ~trace version =
+    roundtrip t transport (hello ~version ~container:t.config.container ~trace)
   in
-  let rec go version =
-    match exchange version with
-    | Protocol.Hello_ok meta -> meta
+  let rec go ~trace version =
+    match exchange ~trace version with
+    | Protocol.Hello_ok meta ->
+        t.trace_sent <- (if version >= 2 then trace else "");
+        meta
     | Protocol.Err { code; message } when code = Protocol.err_busy ->
         raise (Error.Wire (Error.Busy message))
+    | Protocol.Err { code; _ }
+      when (code = Protocol.err_unsupported || code = Protocol.err_bad_request)
+           && trace <> "" && version >= 2 ->
+        (* trace-strip rung: same version, no trace extension *)
+        go ~trace:"" version
     | Protocol.Err { code; message }
       when (code = Protocol.err_unsupported || code = Protocol.err_bad_request)
            && version > 1 ->
         if t.config.container <> "" then
           refuse code
             (message ^ " (and a v1 downgrade cannot name a container)")
-        else go 1
+        else go ~trace:"" 1
     | Protocol.Err { code; message } -> refuse code message
     | resp -> Error.protocolf "expected hello reply, got %s" (response_kind resp)
   in
-  go t.config.protocol_version
+  go ~trace:t.trace_sent t.config.protocol_version
 
 let drop t =
   (match t.transport with Some tr -> Transport.close tr | None -> ());
@@ -199,7 +225,14 @@ let retrying t f =
 
 let connect ?(config = default_config) connector =
   let t =
-    { config; connector; transport = None; meta = None; stats = Stats.make () }
+    {
+      config;
+      connector;
+      transport = None;
+      meta = None;
+      trace_sent = config.trace;
+      stats = Stats.make ();
+    }
   in
   retrying t (fun () -> ignore (ensure t : Transport.t));
   t
@@ -209,11 +242,31 @@ let metadata t =
   | Some m -> m
   | None -> assert false (* connect performed the handshake *)
 
+let trace_granted t =
+  match t.meta with Some m -> m.Protocol.trace | None -> false
+
+let trace t = t.trace_sent
+
+(* One round trip inside a "wire.request" span when this connection
+   negotiated trace linkage and a sink is on. The span is open {e across}
+   the write, so a traced mux transport underneath reads it from the
+   ambient context and stamps its id on the frame — that id is what the
+   server's [server.request] span names as parent. *)
+let traced_roundtrip t tr req =
+  if t.trace_sent = "" || not (Xmlac_obs.Trace.enabled ()) then
+    roundtrip t tr req
+  else
+    Xmlac_obs.Context.with_trace t.trace_sent @@ fun () ->
+    let s = Xmlac_obs.Span.start "wire.request" in
+    Fun.protect
+      ~finally:(fun () -> ignore (Xmlac_obs.Span.finish s : float))
+      (fun () -> roundtrip t tr req)
+
 let call t req expect =
   retrying t @@ fun () ->
   let tr = ensure t in
   let t0 = Xmlac_obs.Span.now () in
-  let resp = roundtrip t tr req in
+  let resp = traced_roundtrip t tr req in
   Xmlac_obs.Histogram.observe t.stats.rtt_hist (Xmlac_obs.Span.now () -. t0);
   match resp with
   | Protocol.Err { code; message } when code = Protocol.err_busy ->
@@ -324,6 +377,14 @@ let fetch_batch t reqs =
       reqs subs;
     subs
   end
+
+(* Admin plane: ask the terminal for its telemetry snapshot. The terminal
+   answers only on local transports; elsewhere this surfaces the server's
+   [err_unsupported] as a typed [Server] error. *)
+let fetch_stats t =
+  call t Protocol.Get_stats (function
+    | Protocol.Stats_reply json -> json
+    | r -> Error.protocolf "expected stats reply, got %s" (response_kind r))
 
 let close t =
   (match t.transport with

@@ -29,6 +29,14 @@ type config = {
   protocol_version : int;
       (** hello version offered (default {!Protocol.version}; set 1 to
           speak pure XWTP v1.1) *)
+  trace : string;
+      (** trace id offered in the hello ([""], the default, disables
+          tracing; at most {!Protocol.max_trace_id} bytes). When granted,
+          each request runs in a ["wire.request"] span tied to this trace
+          (emitted only while a {!Xmlac_obs.Trace} sink is installed). A
+          pre-telemetry terminal that rejects the trace extension costs
+          one extra handshake round trip (the trace-strip rung of the
+          downgrade ladder) and the session proceeds untraced. *)
 }
 
 val default_config : config
@@ -57,7 +65,22 @@ val connect : ?config:config -> (unit -> Transport.t) -> t
 
 val metadata : t -> Protocol.metadata
 
+val trace_granted : t -> bool
+(** Whether the negotiated connection carries trace linkage — [false]
+    when no trace id was configured, or the terminal stripped it on the
+    downgrade ladder. *)
+
+val trace : t -> string
+(** The trace id this connection actually offers in its hellos — the
+    configured one, or [""] after the trace-strip rung fired. *)
+
 val stats : t -> Stats.t
+
+val fetch_stats : t -> string
+(** Admin plane: the terminal's telemetry snapshot as a JSON document
+    (schema {!Telemetry.schema}). Served only on local transports — a
+    remote terminal answers with [err_unsupported], surfacing here as a
+    [Server] error. *)
 
 val fetch_fragment :
   t -> chunk:int -> fragment:int -> lo:int -> hi:int -> string

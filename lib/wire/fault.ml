@@ -87,9 +87,10 @@ let wrap ~rng ?(plan = default_plan) inner =
     end
   in
   let t =
-    Transport.make ~read
+    Transport.make ~local:(Transport.local inner) ~read
       ~write:(fun s -> if not !closed then Transport.write inner s)
       ~close:(fun () -> Transport.close inner)
       ~peer:(Transport.peer inner ^ "+faults")
+      ()
   in
   (t, fun () -> !injected)

@@ -33,16 +33,26 @@ val mux_overhead : int
 (** Extra bytes a mux frame carries over a plain one (the u32 session
     id). *)
 
-val encode_mux : sid:int -> string -> string
+val span_overhead : int
+(** Further bytes a {e traced} mux frame carries (the u64 span id). *)
+
+val encode_mux : sid:int -> ?span:int -> string -> string
 (** XWTP v1.2 multiplexed frame:
     [u32 (4 + |payload|)][u32 sid][payload]. Used once a hello exchange
-    has granted mux on the connection.
+    has granted mux on the connection. With [?span] (trace propagation
+    negotiated at the connection's probe hello), the traced shape
+    [u32 len][u32 sid][u64 span][payload] is emitted instead — span 0
+    means "no span"; whether frames are traced is a connection-wide
+    agreement, never a per-frame flag.
     @raise Invalid_argument on an empty payload or an out-of-range
-    session id. *)
+    session or span id. *)
 
-val read_mux : ?max_payload:int -> Transport.t -> int * string
-(** Read one mux frame and return [(sid, payload)]. [max_payload] bounds
-    the payload, not the session-id prefix. A frame too short to carry a
-    session id and payload raises a [Frame] error, like any truncation. *)
+val read_mux :
+  ?max_payload:int -> ?traced:bool -> Transport.t -> int * int * string
+(** Read one mux frame and return [(sid, span, payload)]; [span] is [0]
+    unless [traced] (the connection negotiated trace propagation) and the
+    peer stamped one. [max_payload] bounds the payload, not the prefix. A
+    frame too short to carry its prefix and payload raises a [Frame]
+    error, like any truncation. *)
 
-val write_mux : Transport.t -> sid:int -> string -> unit
+val write_mux : Transport.t -> sid:int -> ?span:int -> string -> unit

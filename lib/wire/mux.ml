@@ -50,12 +50,22 @@ type conn = {
   mutable leader : bool;
   mutable dead : string option;
   max_payload : int;
+  traced : bool;
+      (* probe hello negotiated trace propagation: every frame on this
+         connection carries a u64 span id after the session id *)
 }
 
 type state = Muxed of conn | Downgraded
-type t = { connector : unit -> Transport.t; max_payload : int; m : Mutex.t; mutable state : state option }
 
-let conn_make tr max_payload =
+type t = {
+  connector : unit -> Transport.t;
+  max_payload : int;
+  trace : string;  (* trace id offered by the endpoint's probe hello *)
+  m : Mutex.t;
+  mutable state : state option;
+}
+
+let conn_make tr max_payload traced =
   {
     tr;
     m = Mutex.create ();
@@ -66,6 +76,7 @@ let conn_make tr max_payload =
     leader = false;
     dead = None;
     max_payload;
+    traced;
   }
 
 let mark_dead (conn : conn) msg =
@@ -94,8 +105,11 @@ let rec await_bytes (conn : conn) sid ib buf off len =
         else begin
           conn.leader <- true;
           Mutex.unlock conn.m;
-          (match Frame.read_mux ~max_payload:conn.max_payload conn.tr with
-          | sid', payload -> (
+          (match
+             Frame.read_mux ~max_payload:conn.max_payload ~traced:conn.traced
+               conn.tr
+           with
+          | sid', _span, payload -> (
               Mutex.lock conn.m;
               match Hashtbl.find_opt conn.inboxes sid' with
               | Some ib' ->
@@ -144,13 +158,24 @@ let session_transport (conn : conn) =
     (match dead with
     | Some msg -> Error.transportf "%s: mux connection down: %s" peer msg
     | None -> ());
+    (* On a traced connection every frame carries the writing thread's
+       innermost open span (the client's wire.request span) so the server
+       can parent its own span under it; 0 when nothing is open. *)
+    let span =
+      if not conn.traced then None
+      else
+        Some
+          (match Xmlac_obs.Context.current_span () with
+          | Some s -> s
+          | None -> 0)
+    in
     let b = Buffer.create (String.length data + Frame.mux_overhead) in
     let off = ref 0 in
     while !off < String.length data do
       let payload, next =
         Frame.split ~max_payload:conn.max_payload data ~off:!off
       in
-      Buffer.add_string b (Frame.encode_mux ~sid payload);
+      Buffer.add_string b (Frame.encode_mux ~sid ?span payload);
       off := next
     done;
     Mutex.lock conn.wm;
@@ -173,26 +198,34 @@ let session_transport (conn : conn) =
        demultiplexer. *)
     if live then
       try
-        let frame = Frame.encode_mux ~sid (Protocol.encode_request Protocol.Bye) in
+        let frame =
+          Frame.encode_mux ~sid
+            ?span:(if conn.traced then Some 0 else None)
+            (Protocol.encode_request Protocol.Bye)
+        in
         Mutex.lock conn.wm;
         Fun.protect
           ~finally:(fun () -> Mutex.unlock conn.wm)
           (fun () -> Transport.write conn.tr frame)
       with _ -> ()
   in
-  Transport.make ~read ~write ~close ~peer
+  Transport.make
+    ~local:(Transport.local conn.tr)
+    ~read ~write ~close ~peer ()
 
-let probe (t : t) =
+let rec probe ?trace (t : t) =
+  let trace = match trace with Some tr -> tr | None -> t.trace in
   let tr = t.connector () in
   match
     Transport.write tr
       (Frame.encode
          (Protocol.encode_request
             (Protocol.Hello
-               { version = Protocol.version; container = ""; mux = true })));
+               { version = Protocol.version; container = ""; mux = true; trace })));
     Protocol.decode_response (Frame.read ~max_payload:t.max_payload tr)
   with
-  | Protocol.Hello_ok meta when meta.Protocol.mux -> Muxed (conn_make tr t.max_payload)
+  | Protocol.Hello_ok meta when meta.Protocol.mux ->
+      Muxed (conn_make tr t.max_payload meta.Protocol.trace)
   | Protocol.Hello_ok _ ->
       (* terminal spoke, but without the mux grant: downgrade *)
       Transport.close tr;
@@ -200,6 +233,14 @@ let probe (t : t) =
   | Protocol.Err { code; message } when code = Protocol.err_busy ->
       Transport.close tr;
       raise (Error.Wire (Error.Busy message))
+  | Protocol.Err { code; _ }
+    when (code = Protocol.err_unsupported || code = Protocol.err_bad_request)
+         && trace <> "" ->
+      (* trace-strip rung, mirroring the client handshake ladder: a
+         pre-telemetry v1.2 terminal rejects the trace flag bit but muxes
+         fine, so re-probe without the extension before giving up mux *)
+      Transport.close tr;
+      probe ~trace:"" t
   | Protocol.Err _ ->
       (* e.g. a v1-only terminal rejecting the v2 hello: downgrade *)
       Transport.close tr;
@@ -231,8 +272,11 @@ let ensure (t : t) =
           t.state <- Some s;
           s)
 
-let connect ?(max_payload = Frame.max_payload_default) connector =
-  let t = { connector; max_payload; m = Mutex.create (); state = None } in
+let connect ?(max_payload = Frame.max_payload_default) ?(trace = "") connector
+    =
+  if String.length trace > Protocol.max_trace_id then
+    invalid_arg "Mux.connect: trace id too long";
+  let t = { connector; max_payload; trace; m = Mutex.create (); state = None } in
   ignore (ensure t : state);
   t
 

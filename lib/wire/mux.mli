@@ -18,11 +18,18 @@
 
 type t
 
-val connect : ?max_payload:int -> (unit -> Transport.t) -> t
+val connect : ?max_payload:int -> ?trace:string -> (unit -> Transport.t) -> t
 (** Probe the terminal once, establishing either a mux connection or the
     downgraded mode. Raises {!Error.Wire} like any connect would —
     including the retryable [Busy] when the terminal is at its session
-    cap. *)
+    cap. A non-empty [trace] (at most {!Protocol.max_trace_id} bytes) is
+    offered in the probe hello; when the terminal grants it the whole
+    connection switches to traced mux framing, every frame carrying the
+    writing thread's current {!Xmlac_obs.Context} span id so the terminal
+    can parent its server spans under the client's request spans. A
+    pre-telemetry terminal that rejects the extension costs one extra
+    probe round trip and the connection proceeds untraced.
+    @raise Invalid_argument when [trace] exceeds the cap. *)
 
 val is_mux : t -> bool
 (** Whether the endpoint currently holds a live multiplexed connection

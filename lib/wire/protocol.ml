@@ -8,6 +8,11 @@ let max_container_id = 255
 (* decode-time cap on a v2 hello's container-id length (bounds hostile
    allocation; ids are short human-chosen names) *)
 
+let max_trace_id = 64
+(* cap on the trace-id extension a v2 hello may carry: trace ids are short
+   correlation tokens ("fleet-client-17"), and the u8 length field bounds
+   hostile allocation at decode time *)
+
 let hash_state_wire_bytes = 92
 (* worst-case serialized SHA-1 mid-state (29 fixed + 63 pending); every
    Hash_state reply is zero-padded to this size so the wire cost of a hash
@@ -32,16 +37,21 @@ type metadata = {
   integrity : bool;  (* whether the scheme supports verification at all *)
   batching : bool;  (* whether the terminal accepts Batch requests *)
   mux : bool;  (* whether this connection multiplexes sessions (XWTP v1.2) *)
+  trace : bool;
+      (* whether the terminal accepted the hello's trace id and will link
+         its own spans to it — granted only when the hello carried one,
+         because pre-telemetry clients reject unknown reply flag bits *)
 }
 
 type request =
-  | Hello of { version : int; container : string; mux : bool }
+  | Hello of { version : int; container : string; mux : bool; trace : string }
   | Get_fragment of { chunk : int; fragment : int; lo : int; hi : int }
   | Get_chunk of { chunk : int }
   | Get_digest of { chunk : int }
   | Get_hash_state of { chunk : int; fragment : int; upto : int }
   | Get_siblings of { chunk : int; fragment : int }
   | Batch of request list
+  | Get_stats
   | Bye
 
 type response =
@@ -52,6 +62,7 @@ type response =
   | Hash_state of string
   | Siblings of string list
   | Batched of response list
+  | Stats_reply of string
   | Bye_ok
   | Err of { code : int; message : string }
 
@@ -95,22 +106,30 @@ let add_u64 b v =
 let rec encode_request req =
   let b = Buffer.create 16 in
   (match req with
-  | Hello { version; container; mux } ->
+  | Hello { version; container; mux; trace } ->
       add_u8 b 0x01;
       Buffer.add_string b hello_magic;
       add_u16 b version;
       (* v1 hellos stop after the version — byte-identical to what an
          XWTP v1.1 client emits; the v2 extension appends a flags byte and
-         the target container id *)
+         the target container id, and the trace extension (flag bit 1)
+         appends a u8-length trace id after the container. A hello with no
+         trace id is byte-identical to a pre-telemetry v2 hello. *)
       if version >= 2 then begin
         if String.length container > max_container_id then
           invalid_arg "Protocol: container id too long";
-        add_u8 b (if mux then 1 else 0);
+        if String.length trace > max_trace_id then
+          invalid_arg "Protocol: trace id too long";
+        add_u8 b ((if mux then 1 else 0) lor if trace <> "" then 2 else 0);
         add_u16 b (String.length container);
-        Buffer.add_string b container
+        Buffer.add_string b container;
+        if trace <> "" then begin
+          add_u8 b (String.length trace);
+          Buffer.add_string b trace
+        end
       end
-      else if mux || container <> "" then
-        invalid_arg "Protocol: v1 hello cannot request mux or name a container"
+      else if mux || container <> "" || trace <> "" then
+        invalid_arg "Protocol: v1 hello cannot carry v2 extensions"
   | Get_fragment { chunk; fragment; lo; hi } ->
       add_u8 b 0x02;
       add_u32 b chunk;
@@ -141,13 +160,14 @@ let rec encode_request req =
       List.iter
         (fun sub ->
           (match sub with
-          | Hello _ | Bye | Batch _ ->
+          | Hello _ | Bye | Batch _ | Get_stats ->
               invalid_arg "Protocol: request cannot be batched"
           | _ -> ());
           let encoded = encode_request sub in
           add_u16 b (String.length encoded);
           Buffer.add_string b encoded)
         subs
+  | Get_stats -> add_u8 b 0x0A
   | Bye -> add_u8 b 0x07);
   Buffer.contents b
 
@@ -165,7 +185,8 @@ let rec encode_response resp =
       add_u8 b
         ((if m.integrity then 1 else 0)
         lor (if m.batching then 2 else 0)
-        lor if m.mux then 4 else 0)
+        lor (if m.mux then 4 else 0)
+        lor if m.trace then 8 else 0)
   | Fragment cipher ->
       add_u8 b 0x82;
       Buffer.add_string b cipher
@@ -201,13 +222,16 @@ let rec encode_response resp =
       List.iter
         (fun sub ->
           (match sub with
-          | Hello_ok _ | Bye_ok | Batched _ ->
+          | Hello_ok _ | Bye_ok | Batched _ | Stats_reply _ ->
               invalid_arg "Protocol: response cannot be batched"
           | _ -> ());
           let encoded = encode_response sub in
           add_u32 b (String.length encoded);
           Buffer.add_string b encoded)
         subs
+  | Stats_reply json ->
+      add_u8 b 0x89;
+      Buffer.add_string b json
   | Bye_ok -> add_u8 b 0x87
   | Err { code; message } ->
       add_u8 b 0xFF;
@@ -298,7 +322,8 @@ let rec decode_request payload =
         let len = u16 cur "batched request length" in
         let sub_payload = take cur len "batched request" in
         match decode_request sub_payload with
-        | Hello _ | Bye | Batch _ -> raise (Bad "request cannot be batched")
+        | Hello _ | Bye | Batch _ | Get_stats ->
+            raise (Bad "request cannot be batched")
         | sub -> subs := sub :: !subs
       done;
       finish cur "batch request";
@@ -309,10 +334,10 @@ let rec decode_request payload =
       let version = u16 cur "hello version" in
       if cur.pos = String.length cur.data then
         (* v1 short form: nothing after the version *)
-        Hello { version; container = ""; mux = false }
+        Hello { version; container = ""; mux = false; trace = "" }
       else begin
         let flags = u8 cur "hello flags" in
-        if flags land lnot 1 <> 0 then
+        if flags land lnot 3 <> 0 then
           raise (Bad (Printf.sprintf "unknown hello flag bits 0x%02x" flags));
         let len = u16 cur "container id length" in
         if len > max_container_id then
@@ -321,8 +346,20 @@ let rec decode_request payload =
                (Printf.sprintf "container id of %d bytes exceeds limit %d" len
                   max_container_id));
         let container = take cur len "container id" in
+        let trace =
+          if flags land 2 = 0 then ""
+          else begin
+            let tlen = u8 cur "trace id length" in
+            if tlen = 0 || tlen > max_trace_id then
+              raise
+                (Bad
+                   (Printf.sprintf "trace id of %d bytes outside 1..%d" tlen
+                      max_trace_id));
+            take cur tlen "trace id"
+          end
+        in
         finish cur "hello";
-        Hello { version; container; mux = flags land 1 = 1 }
+        Hello { version; container; mux = flags land 1 = 1; trace }
       end
   | 0x02 ->
       let chunk = u32 cur "chunk index" in
@@ -351,6 +388,9 @@ let rec decode_request payload =
       let fragment = u16 cur "fragment index" in
       finish cur "siblings request";
       Get_siblings { chunk; fragment }
+  | 0x0A ->
+      finish cur "stats request";
+      Get_stats
   | 0x07 ->
       finish cur "bye";
       Bye
@@ -369,7 +409,7 @@ let rec decode_response payload =
         let len = u32 cur "batched response length" in
         let sub_payload = take cur len "batched response" in
         match decode_response sub_payload with
-        | Hello_ok _ | Bye_ok | Batched _ ->
+        | Hello_ok _ | Bye_ok | Batched _ | Stats_reply _ ->
             raise (Bad "response cannot be batched")
         | sub -> subs := sub :: !subs
       done;
@@ -389,7 +429,7 @@ let rec decode_response payload =
         | Some s -> s
         | None -> raise (Bad (Printf.sprintf "unknown scheme %d" scheme_byte))
       in
-      if flags land lnot 7 <> 0 then
+      if flags land lnot 15 <> 0 then
         raise (Bad (Printf.sprintf "unknown flag bits 0x%02x" flags));
       Hello_ok
         {
@@ -402,6 +442,7 @@ let rec decode_response payload =
           integrity = flags land 1 = 1;
           batching = flags land 2 = 2;
           mux = flags land 4 = 4;
+          trace = flags land 8 = 8;
         }
   | 0x82 -> Fragment (rest cur)
   | 0x83 -> Chunk (rest cur)
@@ -425,6 +466,7 @@ let rec decode_response payload =
       done;
       finish cur "siblings reply";
       Siblings (List.rev !digests)
+  | 0x89 -> Stats_reply (rest cur)
   | 0x87 ->
       finish cur "bye reply";
       Bye_ok
@@ -447,6 +489,7 @@ let metadata_of_container container =
     integrity = C.scheme container <> C.Ecb;
     batching = true;
     mux = false;
+    trace = false;
   }
 
 let metadata_geometry m =
@@ -456,6 +499,8 @@ let metadata_geometry m =
          m.meta_version min_version version)
   else if m.mux && m.meta_version < 2 then
     Error "terminal advertises session multiplexing under protocol version 1"
+  else if m.trace && m.meta_version < 2 then
+    Error "terminal advertises trace propagation under protocol version 1"
   else if m.integrity <> (m.scheme <> C.Ecb) then
     Error "terminal integrity flag contradicts its scheme"
   else

@@ -28,6 +28,10 @@ val hello_magic : string
 val max_container_id : int
 (** Decode-time cap on a v2 hello's container-id length. *)
 
+val max_trace_id : int
+(** Decode-time cap on the trace-id extension a v2 hello may carry (64) —
+    trace ids are short correlation tokens, not payloads. *)
+
 val hash_state_wire_bytes : int
 (** 92: every [Hash_state] reply is zero-padded to the worst-case serialized
     SHA-1 mid-state, so the wire cost of a hash state is the same constant
@@ -58,16 +62,28 @@ type metadata = {
       (** whether this connection was switched to XWTP v1.2 session
           multiplexing — granted only when the hello requested it and the
           terminal supports it; [false] in every v1-shaped reply *)
+  trace : bool;
+      (** whether the terminal accepted the hello's trace id and will link
+          its server-side spans to it. Granted only when the hello carried
+          a trace id: pre-telemetry clients reject unknown reply flag
+          bits, so the terminal never volunteers the bit unprompted.
+          [false] in every v1-shaped reply. *)
 }
 
 type request =
-  | Hello of { version : int; container : string; mux : bool }
+  | Hello of { version : int; container : string; mux : bool; trace : string }
       (** [version <= 1] encodes the v1.1 short form (and then [container]
-          must be [""] and [mux] false); [version >= 2] appends a flags
-          byte (bit 0: request mux) and the target container id (at most
+          must be [""], [mux] false and [trace] [""]); [version >= 2]
+          appends a flags byte (bit 0: request mux; bit 1: trace id
+          present) and the target container id (at most
           {!max_container_id} bytes; [""] selects the terminal's default).
-          The decoder accepts both forms regardless of the claimed
-          version. *)
+          A non-empty [trace] (at most {!max_trace_id} bytes) is appended
+          after the container as a u8-length string and sets flag bit 1 —
+          pre-telemetry v1.2 terminals reject that bit with
+          [err_bad_request], which the client answers by retrying the same
+          version without the trace extension before considering a version
+          downgrade. The decoder accepts both forms regardless of the
+          claimed version. *)
   | Get_fragment of { chunk : int; fragment : int; lo : int; hi : int }
       (** ciphertext bytes [\[lo, hi)] of one fragment *)
   | Get_chunk of { chunk : int }  (** whole-chunk ciphertext (CBC schemes) *)
@@ -79,7 +95,14 @@ type request =
           {!Xmlac_crypto.Merkle.sibling_cover} order *)
   | Batch of request list
       (** several data requests in one frame (at most {!max_batch}; nested
-          [Batch], [Hello] and [Bye] are rejected by both codecs) *)
+          [Batch], [Hello], [Bye] and [Get_stats] are rejected by both
+          codecs) *)
+  | Get_stats
+      (** ask the terminal for a telemetry snapshot ({!Stats_reply}).
+          Admin-plane only: terminals answer it exclusively on loopback
+          transports and reject it with [err_unsupported] elsewhere, so
+          remote tenants cannot harvest cross-tenant traffic shapes. Not
+          batchable. *)
   | Bye
 
 type response =
@@ -92,6 +115,10 @@ type response =
   | Batched of response list
       (** replies to a [Batch], in request order; individual failures
           travel as per-item [Err] values *)
+  | Stats_reply of string
+      (** the telemetry snapshot as a JSON document (schema
+          ["xwtp.telemetry.v1"], see {!Telemetry.to_json}); opaque to the
+          protocol layer. Not batchable. *)
   | Bye_ok
   | Err of { code : int; message : string }
 

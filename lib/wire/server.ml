@@ -23,6 +23,7 @@ type t = {
   cache_mutex : Mutex.t;
   totals : Stats.t;
   totals_mutex : Mutex.t;
+  telemetry : Telemetry.t;
 }
 
 let default_cache_capacity = 1024
@@ -38,6 +39,7 @@ let create ?(cache_capacity = default_cache_capacity) () =
     cache_mutex = Mutex.create ();
     totals = Stats.make ();
     totals_mutex = Mutex.create ();
+    telemetry = Telemetry.create ();
   }
 
 let with_lock mu f =
@@ -110,6 +112,16 @@ let cache_stats t =
     evicted = t.cache_stats.Lru.evicted;
   }
 
+let telemetry t = t.telemetry
+
+let telemetry_snapshot t =
+  let cs = cache_stats t in
+  let containers =
+    with_lock t.registry_mutex @@ fun () -> List.length t.entries
+  in
+  Telemetry.snapshot t.telemetry ~cache_hits:cs.Lru.hits
+    ~cache_misses:cs.Lru.misses ~cache_evicted:cs.Lru.evicted ~containers
+
 let be_bytes value width =
   String.init width (fun i ->
       Char.chr ((value lsr (8 * (width - 1 - i))) land 0xFF))
@@ -119,6 +131,14 @@ let be_bytes value width =
    totals ride on the LRU itself). *)
 let leaves ?stats t e chunk =
   let attribute hit =
+    (* linked to the enclosing server.request span via the ambient
+       context; free (one ref read) when tracing is off *)
+    Xmlac_obs.Span.event "server.cache"
+      [
+        ("container", Xmlac_obs.Json.String e.e_id);
+        ("chunk", Xmlac_obs.Json.Int chunk);
+        ("hit", Xmlac_obs.Json.Bool hit);
+      ];
     match stats with
     | None -> ()
     | Some (s : Stats.t) ->
@@ -148,10 +168,12 @@ let err code fmt =
 
 (* Negotiated hello reply: the caller passes its current [binding] (the
    session's container, [None] before any successful hello on a fresh
-   registry) and whether mux is being granted. [""] selects the binding,
-   falling back to the registry default. Returns the resolved entry so
-   the caller can rebind. *)
-let hello_reply t ~binding ~version ~container ~grant_mux =
+   registry) and whether mux and trace linkage are being granted. [""]
+   selects the binding, falling back to the registry default. Returns the
+   resolved entry so the caller can rebind. [grant_trace] must be true
+   only when the hello itself carried a trace id — clients that never
+   asked reject the unknown reply flag bit. *)
+let hello_reply t ~binding ~version ~container ~grant_mux ~grant_trace =
   if version < Protocol.min_version || version > Protocol.version then
     (None, err Protocol.err_unsupported "unsupported protocol version %d" version)
   else
@@ -172,6 +194,7 @@ let hello_reply t ~binding ~version ~container ~grant_mux =
               e.meta with
               Protocol.meta_version = min version Protocol.version;
               mux = grant_mux;
+              trace = grant_trace;
             } )
 
 let check_chunk e chunk k =
@@ -195,10 +218,12 @@ let check_fragment e chunk fragment k =
 let rec handle_request ?stats t e req =
   let scheme = C.scheme e.container in
   match (req : Protocol.request) with
-  | Hello { version; container; mux = _ } ->
-      (* plain-path hello: rebinding and mux granting are connection
+  | Hello { version; container; mux = _; trace = _ } ->
+      (* plain-path hello: rebinding and mux/trace granting are connection
          state, handled by the serving loops; here we just answer *)
-      snd (hello_reply t ~binding:(Some e) ~version ~container ~grant_mux:false)
+      snd
+        (hello_reply t ~binding:(Some e) ~version ~container ~grant_mux:false
+           ~grant_trace:false)
   | Get_fragment { chunk; fragment; lo; hi } -> (
       match scheme with
       | C.Cbc_sha | C.Cbc_shac ->
@@ -272,6 +297,10 @@ let rec handle_request ?stats t e req =
                  err Protocol.err_internal "terminal failure: %s"
                    (Printexc.to_string e))
            subs)
+  | Get_stats ->
+      (* only the serving loops answer this, and only on local
+         transports; reaching it through any other path is a refusal *)
+      err Protocol.err_unsupported "stats are served only on local transports"
   | Bye -> Protocol.Bye_ok
 
 let no_container = err Protocol.err_unsupported "no container published"
@@ -292,25 +321,152 @@ let handle_bound ?stats t binding req =
 let handle t req =
   match (req : Protocol.request) with
   | Protocol.Bye -> (Protocol.Bye_ok, true)
-  | Protocol.Hello { version; container; mux = _ } ->
-      ( snd (hello_reply t ~binding:None ~version ~container ~grant_mux:false),
+  | Protocol.Hello { version; container; mux = _; trace = _ } ->
+      ( snd
+          (hello_reply t ~binding:None ~version ~container ~grant_mux:false
+             ~grant_trace:false),
         false )
   | req -> (handle_bound t (default_entry t) req, false)
+
+(* {2 Per-request tracing and telemetry} *)
+
+let request_kind : Protocol.request -> string = function
+  | Protocol.Hello _ -> "hello"
+  | Protocol.Get_fragment _ -> "fragment"
+  | Protocol.Get_chunk _ -> "chunk"
+  | Protocol.Get_digest _ -> "digest"
+  | Protocol.Get_hash_state _ -> "hash_state"
+  | Protocol.Get_siblings _ -> "siblings"
+  | Protocol.Batch _ -> "batch"
+  | Protocol.Get_stats -> "stats"
+  | Protocol.Bye -> "bye"
+
+(* Run [f] inside a hand-rolled "server.request" span linked to the
+   client: the ambient context gets the request's trace id and the span's
+   id pushed, so anything [f] emits (cache events, nested spans) links up,
+   and the span itself names the client's wire span as parent when the
+   traced mux framing carried one. Everything is skipped — no context
+   writes, no clock reads — unless a sink is installed and the request
+   belongs to a trace. *)
+let with_server_span ~trace ~client_span ~sid ~kind f =
+  if trace = "" || not (Xmlac_obs.Trace.enabled ()) then f ()
+  else begin
+    let module J = Xmlac_obs.Json in
+    Xmlac_obs.Context.with_trace trace @@ fun () ->
+    let id = Xmlac_obs.Context.fresh_span_id () in
+    let ctx =
+      [
+        ("name", J.String "server.request");
+        ("trace", J.String trace);
+        ("span", J.Int id);
+      ]
+      @ if client_span <> 0 then [ ("parent", J.Int client_span) ] else []
+    in
+    let t0 = Xmlac_obs.Span.now () in
+    Xmlac_obs.Trace.emit "span.start"
+      (ctx
+      @ [ ("ts", J.Float t0); ("sid", J.Int sid); ("kind", J.String kind) ]);
+    Xmlac_obs.Context.push_span id;
+    Fun.protect
+      ~finally:(fun () ->
+        Xmlac_obs.Context.pop_span id;
+        let t1 = Xmlac_obs.Span.now () in
+        Xmlac_obs.Trace.emit "span.end"
+          (ctx
+          @ [
+              ("ts", J.Float t1);
+              ("wall_s", J.Float (Float.max 0. (t1 -. t0)));
+            ]))
+      f
+  end
+
+(* One data request end to end: handle under a server span, encode, and
+   attribute outcome / reply bytes / shared-cache delta / service wall
+   time to the bound tenant. *)
+let serve_data ~stats ~tel ~trace ~client_span ~sid t binding req =
+  let h0 = stats.Stats.cache_hits and m0 = stats.Stats.cache_misses in
+  let t0 = Xmlac_obs.Span.now () in
+  let resp =
+    with_server_span ~trace ~client_span ~sid ~kind:(request_kind req)
+      (fun () -> handle_bound ~stats t binding req)
+  in
+  let encoded = Protocol.encode_response resp in
+  (match binding with
+  | Some e ->
+      Telemetry.record tel ~tenant:e.e_id
+        ~ok:(match resp with Protocol.Err _ -> false | _ -> true)
+        ~reply_bytes:(String.length encoded)
+        ~cache_hits:(stats.Stats.cache_hits - h0)
+        ~cache_misses:(stats.Stats.cache_misses - m0)
+        ~service_s:(Float.max 0. (Xmlac_obs.Span.now () -. t0))
+  | None -> ());
+  encoded
+
+(* The admin-plane reply: a telemetry snapshot, only ever for a provably
+   local peer. The asking connection flushes its own accumulator first so
+   the snapshot covers its traffic too. *)
+let stats_reply ~local ~tel t =
+  if not local then
+    err Protocol.err_unsupported "stats are served only on local transports"
+  else begin
+    Telemetry.flush tel;
+    Protocol.Stats_reply (Telemetry.to_string (telemetry_snapshot t))
+  end
 
 (* One raw frame payload -> one encoded reply, with connection-scoped
    container binding threaded through [binding]. Total: decode failures
    become [Err] replies, so the fuzz boundary can assert that no byte
-   string whatsoever raises out of here. *)
-let handle_frame_bound ?stats t binding payload =
+   string whatsoever raises out of here. [tel] enables per-tenant
+   telemetry attribution; [local] gates the admin-plane [Get_stats];
+   [conn_trace], when given, holds the connection's negotiated trace id
+   and enables the trace grant — the loopback serves synchronously on the
+   caller's thread, so the ambient context already carries the client's
+   open [wire.request] span and linkage costs nothing. *)
+let handle_frame_bound ?stats ?tel ?(local = false) ?conn_trace t binding
+    payload =
   match Protocol.decode_request payload with
   | Protocol.Bye -> (Protocol.encode_response Protocol.Bye_ok, true)
-  | Protocol.Hello { version; container; mux = _ } ->
+  | Protocol.Hello { version; container; mux = _; trace } ->
+      let grant_trace = conn_trace <> None && trace <> "" && version >= 2 in
       let resolved, resp =
         hello_reply t ~binding:!binding ~version ~container ~grant_mux:false
+          ~grant_trace
       in
-      (match resolved with Some e -> binding := Some e | None -> ());
+      (match resolved with
+      | Some e ->
+          binding := Some e;
+          (match conn_trace with
+          | Some r -> r := (if grant_trace then trace else "")
+          | None -> ());
+          (match tel with
+          | Some a -> Telemetry.session a ~tenant:e.e_id ~generation:e.gen
+          | None -> ())
+      | None -> ());
       (Protocol.encode_response resp, false)
-  | req -> (Protocol.encode_response (handle_bound ?stats t !binding req), false)
+  | Protocol.Get_stats -> (
+      match tel with
+      | Some a -> (Protocol.encode_response (stats_reply ~local ~tel:a t), false)
+      | None ->
+          ( Protocol.encode_response
+              (err Protocol.err_unsupported
+                 "stats are served only on local transports"),
+            false ))
+  | req -> (
+      match tel with
+      | Some a ->
+          let trace = match conn_trace with Some r -> !r | None -> "" in
+          let client_span =
+            if trace = "" then 0
+            else
+              match Xmlac_obs.Context.current_span () with
+              | Some s -> s
+              | None -> 0
+          in
+          (serve_data ~stats:(Option.value stats ~default:(Stats.make ()))
+             ~tel:a ~trace ~client_span ~sid:0 t !binding req,
+           false)
+      | None ->
+          (Protocol.encode_response (handle_bound ?stats t !binding req), false))
   | exception Error.Wire e ->
       ( Protocol.encode_response
           (Protocol.Err
@@ -327,58 +483,91 @@ let max_mux_sessions_default = 256
    each session binds its own container with its own hello, [Bye] retires
    just that session, and the connection ends only when the peer goes
    away. Frames of one connection are served in arrival order — fleet
-   concurrency comes from many connections, each a thread. *)
-let serve_mux t transport ~stats ~conn_binding ~max_mux_sessions =
+   concurrency comes from many connections, each a thread.
+
+   When the probe hello negotiated trace propagation, every frame also
+   carries a u64 span id ([traced]); replies echo the request's span, and
+   each mux session's own hello may rebind the session to its own trace
+   id (many tenants' sessions share one endpoint connection), tracked in
+   [traces]. *)
+let serve_mux t transport ~stats ~tel ~conn_binding ~conn_trace ~traced
+    ~max_mux_sessions =
   let bindings : (int, entry) Hashtbl.t = Hashtbl.create 8 in
-  let send ~sid resp =
-    let framed = Frame.encode_mux ~sid (Protocol.encode_response resp) in
+  let traces : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let prefix_bytes =
+    Frame.header_bytes + Frame.mux_overhead
+    + if traced then Frame.span_overhead else 0
+  in
+  let send_raw ~sid ~span encoded =
+    let framed =
+      Frame.encode_mux ~sid ?span:(if traced then Some span else None) encoded
+    in
     Transport.write transport framed;
     stats.Stats.replies <- stats.Stats.replies + 1;
     stats.Stats.bytes_sent <- stats.Stats.bytes_sent + String.length framed
   in
+  let send ~sid ~span resp = send_raw ~sid ~span (Protocol.encode_response resp) in
   let rec loop () =
-    match Frame.read_mux ~max_payload:Frame.max_request_payload transport with
-    | sid, payload ->
+    match
+      Frame.read_mux ~max_payload:Frame.max_request_payload ~traced transport
+    with
+    | sid, span, payload ->
         stats.Stats.requests <- stats.Stats.requests + 1;
         stats.Stats.bytes_received <-
-          stats.Stats.bytes_received + Frame.header_bytes + Frame.mux_overhead
-          + String.length payload;
+          stats.Stats.bytes_received + prefix_bytes + String.length payload;
         (match Protocol.decode_request payload with
-        | Protocol.Hello { version; container; mux = _ } ->
+        | Protocol.Hello { version; container; mux = _; trace } ->
             if
               (not (Hashtbl.mem bindings sid))
               && Hashtbl.length bindings >= max_mux_sessions
             then begin
               stats.Stats.busy_rejections <- stats.Stats.busy_rejections + 1;
-              send ~sid
+              Telemetry.busy_rejected t.telemetry;
+              send ~sid ~span
                 (err Protocol.err_busy "connection at its session cap (%d)"
                    max_mux_sessions)
             end
             else begin
               let resolved, resp =
                 hello_reply t ~binding:conn_binding ~version ~container
-                  ~grant_mux:true
+                  ~grant_mux:true ~grant_trace:(traced && trace <> "")
               in
               (match resolved with
               | Some e ->
-                  if not (Hashtbl.mem bindings sid) then
+                  if not (Hashtbl.mem bindings sid) then begin
                     stats.Stats.mux_sessions <- stats.Stats.mux_sessions + 1;
-                  Hashtbl.replace bindings sid e
+                    Telemetry.mux_opened t.telemetry
+                  end;
+                  Hashtbl.replace bindings sid e;
+                  Telemetry.session tel ~tenant:e.e_id ~generation:e.gen;
+                  if traced && trace <> "" then
+                    Hashtbl.replace traces sid trace
               | None -> ());
-              send ~sid resp
+              send ~sid ~span resp
             end
         | Protocol.Bye ->
+            if Hashtbl.mem bindings sid then Telemetry.mux_retired t.telemetry;
             Hashtbl.remove bindings sid;
-            send ~sid Protocol.Bye_ok
+            Hashtbl.remove traces sid;
+            send ~sid ~span Protocol.Bye_ok
+        | Protocol.Get_stats ->
+            send ~sid ~span (stats_reply ~local:(Transport.local transport) ~tel t)
         | req ->
             let binding =
               match Hashtbl.find_opt bindings sid with
               | Some e -> Some e
               | None -> conn_binding
             in
-            send ~sid (handle_bound ~stats t binding req)
+            let trace =
+              match Hashtbl.find_opt traces sid with
+              | Some tr -> tr
+              | None -> conn_trace
+            in
+            send_raw ~sid ~span
+              (serve_data ~stats ~tel ~trace ~client_span:span ~sid t binding
+                 req)
         | exception Error.Wire e ->
-            send ~sid
+            send ~sid ~span
               (Protocol.Err
                  { code = Protocol.err_bad_request; message = Error.to_string e }));
         loop ()
@@ -393,7 +582,12 @@ let serve_mux t transport ~stats ~conn_binding ~max_mux_sessions =
 let serve_connection ?(mux = true) ?(max_mux_sessions = max_mux_sessions_default)
     t transport =
   let stats = Stats.make () in
+  let tel = Telemetry.acc t.telemetry in
+  Telemetry.connection_admitted t.telemetry;
   let binding = ref (default_entry t) in
+  (* the connection's negotiated trace id: set by the last successful
+     hello that carried one, "" otherwise *)
+  let conn_trace = ref "" in
   let rec plain_loop () =
     match Frame.read ~max_payload:Frame.max_request_payload transport with
     | payload -> (
@@ -405,22 +599,30 @@ let serve_connection ?(mux = true) ?(max_mux_sessions = max_mux_sessions_default
         let granted = ref false in
         let reply, closing =
           match Protocol.decode_request payload with
-          | Protocol.Hello { version; container; mux = want_mux } ->
+          | Protocol.Hello { version; container; mux = want_mux; trace } ->
               let grant = mux && want_mux && version >= 2 in
+              let grant_trace = trace <> "" && version >= 2 in
               let resolved, resp =
                 hello_reply t ~binding:!binding ~version ~container
-                  ~grant_mux:grant
+                  ~grant_mux:grant ~grant_trace
               in
               (match resolved with
               | Some e ->
                   binding := Some e;
-                  granted := grant
+                  granted := grant;
+                  conn_trace := (if grant_trace then trace else "");
+                  Telemetry.session tel ~tenant:e.e_id ~generation:e.gen
               | None -> ());
               (Protocol.encode_response resp, false)
           | Protocol.Bye -> (Protocol.encode_response Protocol.Bye_ok, true)
+          | Protocol.Get_stats ->
+              ( Protocol.encode_response
+                  (stats_reply ~local:(Transport.local transport) ~tel t),
+                false )
           | req ->
-              (Protocol.encode_response (handle_bound ~stats t !binding req),
-               false)
+              ( serve_data ~stats ~tel ~trace:!conn_trace ~client_span:0 ~sid:0
+                  t !binding req,
+                false )
           | exception Error.Wire e ->
               ( Protocol.encode_response
                   (Protocol.Err
@@ -435,7 +637,9 @@ let serve_connection ?(mux = true) ?(max_mux_sessions = max_mux_sessions_default
         stats.Stats.replies <- stats.Stats.replies + 1;
         stats.Stats.bytes_sent <- stats.Stats.bytes_sent + String.length framed;
         if !granted then
-          serve_mux t transport ~stats ~conn_binding:!binding ~max_mux_sessions
+          serve_mux t transport ~stats ~tel ~conn_binding:!binding
+            ~conn_trace:!conn_trace ~traced:(!conn_trace <> "")
+            ~max_mux_sessions
         else if not closing then plain_loop ())
     | exception Error.Wire (Error.Transport _) ->
         (* peer closed or timed out: normal end of session *)
@@ -445,6 +649,8 @@ let serve_connection ?(mux = true) ?(max_mux_sessions = max_mux_sessions_default
   in
   (try plain_loop () with _ -> ());
   Transport.close transport;
+  Telemetry.flush tel;
+  Telemetry.connection_closed t.telemetry;
   merge_stats t stats
 
 (* In-process terminal: requests are served synchronously inside the
@@ -452,14 +658,19 @@ let serve_connection ?(mux = true) ?(max_mux_sessions = max_mux_sessions_default
    no sockets, no threads required — yet it exercises the full encode /
    frame / decode path on both sides. Plain-framed only: a hello asking
    for mux is answered with [mux = false], which well-behaved clients
-   treat as a graceful downgrade. *)
+   treat as a graceful downgrade. Traces are granted: the server work runs
+   inside the client's open [wire.request] span, so server.request spans
+   link to it straight from the ambient context. *)
 let loopback_connector t () =
   let outbox = ref "" in
   let opos = ref 0 in
   let finished = ref false in
   let stats = Stats.make () in
+  let tel = Telemetry.acc t.telemetry in
+  Telemetry.connection_admitted t.telemetry;
   let closed = ref false in
   let binding = ref (default_entry t) in
+  let conn_trace = ref "" in
   let append s =
     outbox := String.sub !outbox !opos (String.length !outbox - !opos) ^ s;
     opos := 0
@@ -477,7 +688,10 @@ let loopback_connector t () =
           stats.Stats.bytes_received <-
             stats.Stats.bytes_received + Frame.header_bytes
             + String.length payload;
-          let reply, closing = handle_frame_bound ~stats t binding payload in
+          let reply, closing =
+            handle_frame_bound ~stats ~tel ~local:true ~conn_trace t binding
+              payload
+          in
           let framed = Frame.encode reply in
           append framed;
           stats.Stats.replies <- stats.Stats.replies + 1;
@@ -503,10 +717,13 @@ let loopback_connector t () =
   let close () =
     if not !closed then begin
       closed := true;
+      Telemetry.flush tel;
+      Telemetry.connection_closed t.telemetry;
       merge_stats t stats
     end
   in
-  Transport.make ~read ~write ~close ~peer:"loopback"
+  (* in-process by construction, so the admin plane is reachable *)
+  Transport.make ~local:true ~read ~write ~close ~peer:"loopback" ()
 
 (* Admission control: a connection past the session cap is never parked —
    it gets its opening frame read (so the refusal is a reply, not a
@@ -516,6 +733,7 @@ let loopback_connector t () =
 let reject_busy t ~max_sessions transport =
   let stats = Stats.make () in
   stats.Stats.busy_rejections <- 1;
+  Telemetry.busy_rejected t.telemetry;
   (try
      let _ : string =
        Frame.read ~max_payload:Frame.max_request_payload transport

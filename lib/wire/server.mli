@@ -53,6 +53,15 @@ val totals : t -> Stats.t
 val cache_stats : t -> Xmlac_runtime.Lru.stats
 (** Snapshot of the registry-level shared leaf-hash cache counters. *)
 
+val telemetry : t -> Telemetry.t
+(** The registry's telemetry: per-tenant counters and service-time
+    histograms, fed by the serving loops. *)
+
+val telemetry_snapshot : t -> Telemetry.view
+(** Consistent telemetry snapshot including the shared-cache counters and
+    published-container count — exactly what a [Get_stats] frame
+    returns. *)
+
 val handle : t -> Protocol.request -> Protocol.response * bool
 (** Serve one decoded request against the default container; the flag is
     [true] when the session should close (after [Bye]). Never raises. *)
@@ -67,15 +76,21 @@ val serve_connection : ?mux:bool -> ?max_mux_sessions:int -> t -> Transport.t ->
     [false]) switches the connection to multiplexed framing, where each
     session id binds its own container, [Bye] retires one session, and at
     most [max_mux_sessions] (default 256) sessions may be open at once —
-    excess hellos get a typed busy rejection. Merges the connection's
-    stats into {!totals}. *)
+    excess hellos get a typed busy rejection. A hello carrying a trace id
+    is granted trace linkage: the server emits [server.request] spans tied
+    to that trace, and (under mux) the connection switches to traced
+    framing whose per-frame span ids become the spans' parents. Merges the
+    connection's stats into {!totals} and its telemetry into
+    {!telemetry}. *)
 
 val loopback_connector : t -> unit -> Transport.t
 (** A fresh in-process connection per call: requests are served
     synchronously inside the client's write, replies drain from a
     per-connection outbox. Hermetic (no sockets or threads) but exercises
     the full encode/frame/decode path on both sides. Plain-framed only —
-    mux requests are answered with a graceful downgrade. *)
+    mux requests are answered with a graceful downgrade; trace ids are
+    granted, with [server.request] spans parented on the client's ambient
+    span (the serving happens on the client's own thread). *)
 
 val serve :
   ?max_sessions:int ->

@@ -72,11 +72,4 @@ let add ~into (s : t) =
   into.mux_sessions <- into.mux_sessions + s.mux_sessions;
   into.cache_hits <- into.cache_hits + s.cache_hits;
   into.cache_misses <- into.cache_misses + s.cache_misses;
-  let open Xmlac_obs.Histogram in
-  into.rtt_hist.count <- into.rtt_hist.count + s.rtt_hist.count;
-  into.rtt_hist.sum <- into.rtt_hist.sum +. s.rtt_hist.sum;
-  if s.rtt_hist.max_value > into.rtt_hist.max_value then
-    into.rtt_hist.max_value <- s.rtt_hist.max_value;
-  Array.iteri
-    (fun i n -> into.rtt_hist.buckets.(i) <- into.rtt_hist.buckets.(i) + n)
-    s.rtt_hist.buckets
+  Xmlac_obs.Histogram.merge ~into:into.rtt_hist s.rtt_hist

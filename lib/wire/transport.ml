@@ -5,13 +5,19 @@ type t = {
   write : string -> unit;
   close : unit -> unit;
   peer : string;
+  local : bool;
+      (* whether the peer is provably on this machine (unix socket or
+         loopback ip) — gates the admin-plane Stats frame *)
 }
 
-let make ~read ~write ~close ~peer = { read; write; close; peer }
+let make ?(local = false) ~read ~write ~close ~peer () =
+  { read; write; close; peer; local }
+
 let read t buf off len = t.read buf off len
 let write t s = t.write s
 let close t = try t.close () with _ -> ()
 let peer t = t.peer
+let local t = t.local
 
 let addr_to_string = function
   | Unix_socket path -> "unix:" ^ path
@@ -52,7 +58,17 @@ let sockaddr_of_addr = function
       in
       Unix.ADDR_INET (ip, port)
 
-let of_fd ?(timeout_s = 5.0) ~peer fd =
+(* A peer is "local" when the socket address proves it cannot be off-box:
+   a unix socket, or an inet address in 127/8 or ::1. This is the entire
+   authentication story of the admin plane — the Stats frame is answered
+   only on local transports. *)
+let sockaddr_local = function
+  | Unix.ADDR_UNIX _ -> true
+  | Unix.ADDR_INET (ip, _) ->
+      let s = Unix.string_of_inet_addr ip in
+      s = "::1" || (String.length s >= 4 && String.sub s 0 4 = "127.")
+
+let of_fd ?(timeout_s = 5.0) ?(local = false) ~peer fd =
   (try
      Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
      Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
@@ -77,7 +93,7 @@ let of_fd ?(timeout_s = 5.0) ~peer fd =
         Error.transportf "%s: peer closed connection" peer
   in
   let close () = try Unix.close fd with Unix.Unix_error _ -> () in
-  make ~read ~write ~close ~peer
+  make ~local ~read ~write ~close ~peer ()
 
 let connect ?timeout_s addr =
   let sockaddr = sockaddr_of_addr addr in
@@ -89,7 +105,9 @@ let connect ?timeout_s addr =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error.transportf "connect %s: %s" (addr_to_string addr)
         (Unix.error_message e));
-  of_fd ?timeout_s ~peer:(addr_to_string addr) fd
+  of_fd ?timeout_s
+    ~local:(sockaddr_local sockaddr)
+    ~peer:(addr_to_string addr) fd
 
 type listener = { lfd : Unix.file_descr; laddr : addr }
 
@@ -128,6 +146,10 @@ let wait_readable ?(timeout_s = 0.2) l =
   match Unix.select [ l.lfd ] [] [] timeout_s with
   | [], _, _ -> false
   | _ -> true
+  (* a signal (SIGUSR1 telemetry dump, SIGTERM) interrupting the poll is
+     not a listener failure: report "nothing yet" so the accept loop gets
+     back to its stop-flag check instead of tearing the server down *)
+  | exception Unix.Unix_error (EINTR, _, _) -> false
   | exception Unix.Unix_error (e, _, _) ->
       Error.transportf "select %s: %s" (addr_to_string l.laddr)
         (Unix.error_message e)
@@ -142,7 +164,8 @@ let accepted_peer l sa =
 
 let accept ?timeout_s l =
   match Unix.accept l.lfd with
-  | fd, sa -> of_fd ?timeout_s ~peer:(accepted_peer l sa) fd
+  | fd, sa ->
+      of_fd ?timeout_s ~local:(sockaddr_local sa) ~peer:(accepted_peer l sa) fd
   | exception Unix.Unix_error (e, _, _) ->
       Error.transportf "accept %s: %s" (addr_to_string l.laddr)
         (Unix.error_message e)
@@ -153,7 +176,10 @@ let accept ?timeout_s l =
    other than a lost race still raises (as a transport error). *)
 let accept_opt ?timeout_s l =
   match Unix.accept l.lfd with
-  | fd, sa -> Some (of_fd ?timeout_s ~peer:(accepted_peer l sa) fd)
+  | fd, sa ->
+      Some
+        (of_fd ?timeout_s ~local:(sockaddr_local sa)
+           ~peer:(accepted_peer l sa) fd)
   | exception
       Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ECONNABORTED | EINTR), _, _) ->
       None

@@ -11,14 +11,18 @@ type addr = Unix_socket of string | Tcp of string * int
 type t
 
 val make :
+  ?local:bool ->
   read:(bytes -> int -> int -> int) ->
   write:(string -> unit) ->
   close:(unit -> unit) ->
   peer:string ->
+  unit ->
   t
 (** Build a transport from raw callbacks. [read buf off len] returns the
     number of bytes read (0 at end of stream); [write] must write the whole
-    string or raise. *)
+    string or raise. [local] (default [false]) asserts the peer is on this
+    machine — see {!local}; custom transports must not claim it for
+    anything reachable off-box. *)
 
 val read : t -> bytes -> int -> int -> int
 val write : t -> string -> unit
@@ -28,6 +32,11 @@ val close : t -> unit
 
 val peer : t -> string
 (** Human-readable peer label for error messages. *)
+
+val local : t -> bool
+(** Whether the peer is provably on this machine (unix socket, 127/8 or
+    [::1]). The terminal's admin plane answers {!Protocol.Get_stats} only
+    on local transports; everything else gets [err_unsupported]. *)
 
 val parse_addr : string -> (addr, string) result
 (** Parse ["unix:PATH"] or ["tcp:HOST:PORT"]. *)

@@ -133,7 +133,11 @@ let cases : (string * string) list Lazy.t =
                 integrity = true;
                 batching = true;
                 mux = false;
+                trace = false;
               }) );
+       (* a v2 hello whose trace-id length field is zero (reserved) *)
+       ( "wire__hello_trace_zero_len.bin",
+         Xmlac_wire.Frame.encode "\x01XWTP\x00\x02\x02\x00\x00\x00" );
        (* a v2 hello whose container-id length field overshoots the cap *)
        ( "wire__hello_container_bomb.bin",
          Xmlac_wire.Frame.encode "\x01XWTP\x00\x02\x01\xff\xffx" );

@@ -109,7 +109,15 @@ let test_counter () =
 (* the wall clock can step backwards (NTP); elapsed must clamp to zero
    rather than poison downstream sums and histograms *)
 let test_span_clamp () =
-  let future = { Span.name = "clamp"; started_at = Span.now () +. 3600. } in
+  let future =
+    {
+      Span.name = "clamp";
+      id = Context.fresh_span_id ();
+      parent = None;
+      trace = None;
+      started_at = Span.now () +. 3600.;
+    }
+  in
   check bool_t "backwards clock clamps to zero" true (Span.elapsed future = 0.)
 
 (* span.end is emitted even when the timed function raises, so traces of
@@ -167,6 +175,85 @@ let test_histogram_boundaries () =
       k
       (Histogram.bucket_of (Float.pred b))
   done
+
+(* merge/snapshot: the fleet-telemetry aggregation primitives. Merging
+   per-session histograms must be indistinguishable from having observed
+   everything into one, and a snapshot must stay stable while the
+   original keeps observing. *)
+let test_histogram_merge () =
+  let a = Histogram.make "wall_merge" and b = Histogram.make "wall_merge" in
+  let xs_a = [ 1e-4; 2e-4; 5e-2 ] and xs_b = [ 3e-4; 0.2 ] in
+  List.iter (Histogram.observe a) xs_a;
+  List.iter (Histogram.observe b) xs_b;
+  let into = Histogram.make "wall_merge" in
+  Histogram.merge ~into a;
+  Histogram.merge ~into b;
+  let all = Histogram.make "wall_merge" in
+  List.iter (Histogram.observe all) (xs_a @ xs_b);
+  check int_t "counts add" 5 (Histogram.count into);
+  check bool_t "max is the max of both" true (Histogram.max_value into = 0.2);
+  check bool_t "mean matches one-histogram run" true
+    (Float.abs (Histogram.mean into -. Histogram.mean all) < 1e-12);
+  List.iter
+    (fun q ->
+      check bool_t
+        (Printf.sprintf "p%.0f matches one-histogram run" (q *. 100.))
+        true
+        (Histogram.quantile into q = Histogram.quantile all q))
+    [ 0.5; 0.95; 0.99 ];
+  let s = Histogram.snapshot into in
+  let p50 = Histogram.quantile s 0.5 in
+  Histogram.observe into 10.;
+  check int_t "snapshot count frozen" 5 (Histogram.count s);
+  check bool_t "snapshot quantile frozen" true
+    (Histogram.quantile s 0.5 = p50);
+  check int_t "original kept observing" 6 (Histogram.count into)
+
+(* Parent linkage: a span started inside another names it as parent (from
+   the ambient per-thread context), point events name the innermost open
+   span, and the emitted start events carry the same ids — that linkage
+   is what lets one JSONL file rebuild a nested timeline. *)
+let test_span_nesting () =
+  let seen = ref [] in
+  Trace.set_sink (Some (fun e -> seen := e :: !seen));
+  Fun.protect
+    ~finally:(fun () -> Trace.set_sink None)
+    (fun () ->
+      let outer_ref = ref None and inner_ref = ref None in
+      Context.with_trace "nest-1" (fun () ->
+          let outer = Span.start "outer" in
+          let inner = Span.start "inner" in
+          Span.event "tick" [];
+          ignore (Span.finish inner : float);
+          ignore (Span.finish outer : float);
+          outer_ref := Some outer;
+          inner_ref := Some inner);
+      let outer = Option.get !outer_ref and inner = Option.get !inner_ref in
+      check bool_t "outer has no parent" true (outer.Span.parent = None);
+      check bool_t "inner parent is outer" true
+        (inner.Span.parent = Some outer.Span.id);
+      check bool_t "trace id carried" true (inner.Span.trace = Some "nest-1");
+      check bool_t "context empty after finish" true
+        (Context.current_span () = None);
+      let events = List.rev !seen in
+      let find_start name =
+        List.find
+          (fun e ->
+            e.Trace.name = "span.start"
+            && List.assoc_opt "name" e.Trace.fields
+               = Some (Json.String name))
+          events
+      in
+      let field name e = List.assoc_opt name e.Trace.fields in
+      check bool_t "emitted inner start names its parent" true
+        (field "parent" (find_start "inner") = Some (Json.Int outer.Span.id));
+      check bool_t "emitted inner start names its trace" true
+        (field "trace" (find_start "inner") = Some (Json.String "nest-1"));
+      let tick = List.find (fun e -> e.Trace.name = "tick") events in
+      check bool_t "point event parented on the innermost span" true
+        (field "parent" tick = Some (Json.Int inner.Span.id));
+      check bool_t "point event carries the trace" true
+        (field "trace" tick = Some (Json.String "nest-1")))
 
 let prop_histogram_bucket_brackets =
   QCheck_alcotest.to_alcotest
@@ -433,6 +520,9 @@ let () =
           Alcotest.test_case "histogram" `Quick test_histogram;
           Alcotest.test_case "histogram boundaries" `Quick
             test_histogram_boundaries;
+          Alcotest.test_case "histogram merge+snapshot" `Quick
+            test_histogram_merge;
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
           prop_histogram_bucket_brackets;
           Alcotest.test_case "span+trace" `Quick test_span_trace;
           Alcotest.test_case "trace observation" `Quick test_trace_observation;

@@ -70,8 +70,10 @@ let test_json_roundtrip () =
 
 (* Trace determinism -------------------------------------------------------- *)
 
-(* drop top-level fields whose name starts with "wall" — the only
-   nondeterministic payload a trace line may carry *)
+(* drop top-level fields whose name starts with "wall", plus the trace
+   linkage fields (span ids are process-unique by design, timestamps are
+   clock reads) — the only nondeterministic payload a trace line may
+   carry *)
 let strip_wall line =
   match Json.parse line with
   | Ok (Json.Obj fields) ->
@@ -79,7 +81,10 @@ let strip_wall line =
         (Json.Obj
            (List.filter
               (fun (name, _) ->
-                not (String.length name >= 4 && String.sub name 0 4 = "wall"))
+                (not
+                   (String.length name >= 4 && String.sub name 0 4 = "wall"))
+                && not
+                     (List.mem name [ "ts"; "span"; "parent"; "trace" ]))
               fields))
   | _ -> line
 

@@ -37,15 +37,24 @@ let wire_stats (m : Session.measurement) =
 let sample_requests =
   [
     Wire.Protocol.Hello
-      { version = Wire.Protocol.version; container = ""; mux = false };
+      { version = Wire.Protocol.version; container = ""; mux = false;
+        trace = "" };
     Wire.Protocol.Hello
-      { version = Wire.Protocol.version; container = "records"; mux = true };
-    Wire.Protocol.Hello { version = 1; container = ""; mux = false };
+      { version = Wire.Protocol.version; container = "records"; mux = true;
+        trace = "" };
+    Wire.Protocol.Hello
+      { version = Wire.Protocol.version; container = "records"; mux = true;
+        trace = "client-42" };
+    Wire.Protocol.Hello
+      { version = Wire.Protocol.version; container = ""; mux = false;
+        trace = String.make Wire.Protocol.max_trace_id 't' };
+    Wire.Protocol.Hello { version = 1; container = ""; mux = false; trace = "" };
     Wire.Protocol.Get_fragment { chunk = 3; fragment = 7; lo = 8; hi = 64 };
     Wire.Protocol.Get_chunk { chunk = 0 };
     Wire.Protocol.Get_digest { chunk = 12 };
     Wire.Protocol.Get_hash_state { chunk = 1; fragment = 2; upto = 56 };
     Wire.Protocol.Get_siblings { chunk = 9; fragment = 0 };
+    Wire.Protocol.Get_stats;
     Wire.Protocol.Batch
       [
         Wire.Protocol.Get_fragment { chunk = 1; fragment = 0; lo = 0; hi = 64 };
@@ -68,6 +77,7 @@ let sample_responses =
         integrity = true;
         batching = true;
         mux = false;
+        trace = false;
       };
     Wire.Protocol.Hello_ok
       {
@@ -80,6 +90,7 @@ let sample_responses =
         integrity = true;
         batching = true;
         mux = true;
+        trace = true;
       };
     Wire.Protocol.Fragment (String.make 56 '\x42');
     Wire.Protocol.Chunk (String.make 512 '\x17');
@@ -93,6 +104,7 @@ let sample_responses =
         Wire.Protocol.Err { code = 2; message = "fragment 9 out of range" };
       ];
     Wire.Protocol.Bye_ok;
+    Wire.Protocol.Stats_reply "{\"schema\":\"xwtp.telemetry.v1\"}";
     Wire.Protocol.Err { code = 2; message = "chunk 99 out of range" };
   ]
 
@@ -156,6 +168,7 @@ let test_metadata_geometry_rejects () =
       integrity = true;
       batching = true;
       mux = false;
+      trace = false;
     }
   in
   (match Wire.Protocol.metadata_geometry (meta 10 (10 * 512)) with
@@ -169,6 +182,9 @@ let test_metadata_geometry_rejects () =
     (rejected { (meta 1 100) with Wire.Protocol.meta_version = 99 });
   check bool_t "mux grant under v1 metadata rejected" true
     (rejected { (meta 1 100) with Wire.Protocol.meta_version = 1; mux = true });
+  check bool_t "trace grant under v1 metadata rejected" true
+    (rejected
+       { (meta 1 100) with Wire.Protocol.meta_version = 1; trace = true });
   check bool_t "lying integrity flag rejected" true
     (rejected { (meta 1 100) with Wire.Protocol.integrity = false })
 
@@ -296,13 +312,17 @@ let test_batch_codec_limits () =
        (Wire.Protocol.Batch
           [
             Wire.Protocol.Hello
-              { version = Wire.Protocol.version; container = ""; mux = false };
+              { version = Wire.Protocol.version; container = ""; mux = false;
+                trace = "" };
           ]));
+  check bool_t "Get_stats cannot be batched" true
+    (rejected (Wire.Protocol.Batch [ Wire.Protocol.Get_stats ]));
   (* a hostile frame smuggling a batched Hello must be rejected at decode *)
   let smuggled =
     let sub_bytes =
       Wire.Protocol.encode_request
-        (Wire.Protocol.Hello { version = 1; container = ""; mux = false })
+        (Wire.Protocol.Hello
+           { version = 1; container = ""; mux = false; trace = "" })
     in
     let b = Buffer.create 16 in
     Buffer.add_char b '\x08';
@@ -417,7 +437,7 @@ let mutating_connector server mutate_frame () =
   Wire.Transport.make ~read
     ~write:(fun s -> Wire.Transport.write inner s)
     ~close:(fun () -> Wire.Transport.close inner)
-    ~peer:"loopback+tamper"
+    ~peer:"loopback+tamper" ()
 
 (* mutate the payload of replies with opcode [op], reframe everything;
    replies riding inside a Batched (0x88) frame are tampered in place, so
@@ -1091,7 +1111,7 @@ let v1_only_connector ?(reject = Wire.Protocol.err_bad_request) server () =
   in
   Wire.Transport.make ~read ~write
     ~close:(fun () -> Wire.Transport.close inner)
-    ~peer:"loopback+v1only"
+    ~peer:"loopback+v1only" ()
 
 let test_downgrade_matrix () =
   let published = publish_scheme Container.Ecb_mht in
@@ -1154,6 +1174,130 @@ let test_downgrade_matrix () =
       check bool_t "no mux bit" false m.Wire.Protocol.mux;
       Wire.Mux.close mux)
 
+(* An "old v1.2" terminal: speaks v2 (metadata, container binding, mux)
+   but predates the trace extension, so a hello carrying the trace flag
+   is refused as a malformed request — the shape of a pre-telemetry
+   decoder choking on an unknown flag bit. Everything else (including the
+   trace-stripped retry, and mux framing after the handshake, whose
+   writes do not decode as requests) passes through untouched. *)
+let reject_trace_connector inner_connector () =
+  let inner = inner_connector () in
+  let pending = ref "" in
+  let pos = ref 0 in
+  let write data =
+    let payload = String.sub data 4 (String.length data - 4) in
+    match Wire.Protocol.decode_request payload with
+    | Wire.Protocol.Hello { version; trace; _ }
+      when version >= 2 && trace <> "" ->
+        pending :=
+          String.sub !pending !pos (String.length !pending - !pos)
+          ^ Wire.Frame.encode
+              (Wire.Protocol.encode_response
+                 (Wire.Protocol.Err
+                    {
+                      code = Wire.Protocol.err_bad_request;
+                      message = "request: unknown hello flag 0x2";
+                    }));
+        pos := 0
+    | _ -> Wire.Transport.write inner data
+    | exception Wire.Error.Wire _ -> Wire.Transport.write inner data
+  in
+  let read buf off len =
+    if !pos >= String.length !pending then begin
+      pending := Wire.Frame.encode (Wire.Frame.read inner);
+      pos := 0
+    end;
+    let n = min len (String.length !pending - !pos) in
+    Bytes.blit_string !pending !pos buf off n;
+    pos := !pos + n;
+    n
+  in
+  Wire.Transport.make ~read ~write
+    ~close:(fun () -> Wire.Transport.close inner)
+    ~peer:"loopback+notrace" ()
+
+(* Trace rows of the downgrade matrix: a traced client against every
+   terminal generation must land on a working session with byte-identical
+   evaluation — the trace extension buys linkage when granted and costs
+   nothing but a handshake round trip when not. *)
+let test_downgrade_trace_matrix () =
+  let cfg0 = cfg Container.Ecb_mht in
+  let published = publish_scheme Container.Ecb_mht in
+  let reference =
+    events_string (Session.evaluate cfg0 published Profiles.secretary)
+  in
+  let server = Wire.Server.create () in
+  Wire.Server.publish server ~id:"doc" published.Session.container;
+  let evaluate connector =
+    let r = Remote.connect ~trace_id:"trace-dm" connector in
+    let m = Session.evaluate_remote cfg0 r Profiles.secretary in
+    let granted = Remote.trace_granted r in
+    let meta = Remote.metadata r in
+    Remote.close r;
+    check Alcotest.string "byte-identical evaluation" reference
+      (events_string m);
+    (granted, meta)
+  in
+  (* v2 traced client ↔ v2 terminal: granted, id intact *)
+  let granted, meta = evaluate (Wire.Server.loopback_connector server) in
+  check bool_t "v1.2 terminal grants the trace" true granted;
+  check int_t "still v2 metadata" 2 meta.Wire.Protocol.meta_version;
+  (* v2 traced client ↔ v1-only terminal: the strip rung fires, then the
+     version ladder — connected at v1, untraced, same bytes. Both refusal
+     codes a real old terminal can produce. *)
+  List.iter
+    (fun reject ->
+      let granted, meta =
+        evaluate (v1_only_connector ~reject server)
+      in
+      check bool_t "v1 terminal: no trace grant" false granted;
+      check int_t "v1 terminal: v1 metadata" 1 meta.Wire.Protocol.meta_version)
+    [ Wire.Protocol.err_bad_request; Wire.Protocol.err_unsupported ];
+  (* v2 traced client ↔ pre-telemetry v1.2 terminal: the strip keeps the
+     session at v2 (container binding intact), only the trace is gone *)
+  let granted, meta =
+    evaluate (reject_trace_connector (Wire.Server.loopback_connector server))
+  in
+  check bool_t "pre-telemetry terminal: no trace grant" false granted;
+  check int_t "pre-telemetry terminal: still v2 metadata" 2
+    meta.Wire.Protocol.meta_version;
+  (* the stripped client remembers: its next hellos offer no trace *)
+  let c =
+    Wire.Client.connect
+      ~config:{ Wire.Client.default_config with trace = "trace-dm" }
+      (reject_trace_connector (Wire.Server.loopback_connector server))
+  in
+  check Alcotest.string "strip is sticky on the connection" ""
+    (Wire.Client.trace c);
+  check bool_t "stripped client reports no grant" false
+    (Wire.Client.trace_granted c);
+  Wire.Client.close c;
+  (* a traced mux probe against the same old terminal: the strip rung
+     re-probes on a fresh connection, so mux survives losing the trace *)
+  let published2 = publish_scheme Container.Ecb_mht in
+  with_fleet_server
+    [ ("doc", published2.Session.container) ]
+    (fun _server connector ->
+      let mux =
+        Wire.Mux.connect ~trace:"trace-dm" (reject_trace_connector connector)
+      in
+      check bool_t "old terminal still grants mux to a traced probe" true
+        (Wire.Mux.is_mux mux);
+      let r = Remote.connect ~container:"doc" (Wire.Mux.session mux) in
+      let m = Session.evaluate_remote cfg0 r Profiles.secretary in
+      check bool_t "mux session serves after the strip" true
+        (String.length (events_string m) > 0);
+      Remote.close r;
+      Wire.Mux.close mux);
+  (* an over-long trace id never reaches the wire *)
+  match
+    Wire.Mux.connect
+      ~trace:(String.make (Wire.Protocol.max_trace_id + 1) 'x')
+      (Wire.Server.loopback_connector server)
+  with
+  | (_ : Wire.Mux.t) -> Alcotest.fail "oversized trace id accepted"
+  | exception Invalid_argument _ -> ()
+
 (* Session churn on one mux connection: closing a session transport
    without a protocol Bye (the shape of the client's retry-path [drop])
    must still retire the server-side binding — otherwise a long-lived
@@ -1180,7 +1324,12 @@ let test_mux_session_churn () =
       (Wire.Frame.encode
          (Wire.Protocol.encode_request
             (Wire.Protocol.Hello
-               { version = Wire.Protocol.version; container = ""; mux = false })));
+               {
+                 version = Wire.Protocol.version;
+                 container = "";
+                 mux = false;
+                 trace = "";
+               })));
     Wire.Protocol.decode_response (Wire.Frame.read s)
   in
   (* churn well past the cap; every close is transport-level only *)
@@ -1296,6 +1445,8 @@ let () =
         @ [
             Alcotest.test_case "downgrade matrix" `Quick
               test_downgrade_matrix;
+            Alcotest.test_case "downgrade matrix: trace rows" `Quick
+              test_downgrade_trace_matrix;
             Alcotest.test_case "session churn retires bindings" `Quick
               test_mux_session_churn;
           ] );
