@@ -1074,6 +1074,248 @@ let fleet () =
          per-tenant";
       note "  columns are cross-checked against the Get_stats admin frame")
 
+(* Dissemination ------------------------------------------------------------ *)
+
+(* The dissemination subsystem end to end, per scheme: a publisher
+   republishes a small Hospital document with chunk deltas through an
+   in-process registry server while a syncing mirror pulls each delta
+   over the wire. Every round is cross-checked three ways — the synced
+   ciphertext decrypts to the publisher's exact payload, a fresh full
+   fetch agrees byte for byte, and the SOE evaluation of the replica
+   matches the origin. A final key rotation revokes a subject and
+   proves the old epoch's key and license are dead. The byte counters
+   are deterministic (the gate pins delta_bytes < full_bytes); the
+   latencies carry the gate-exempt wall prefix. *)
+let dissem () =
+  banner "Dissemination: chunk-delta sync vs full re-fetch, key rotation";
+  let module Wire = Xmlac_wire in
+  let module Publisher = Xmlac_dissem.Publisher in
+  let module Update = Xmlac_skip_index.Update in
+  let module License = Xmlac_soe.License in
+  let rounds = if quick then 4 else 8 in
+  let folders = 3 in
+  let policy = W.Profiles.secretary in
+  List.iter
+    (fun (label, scheme) ->
+      let doc =
+        W.Hospital.generate ~seed:47
+          ~config:{ W.Hospital.default_config with folders }
+          ()
+      in
+      let payload0 =
+        Xmlac_skip_index.Encoder.encode ~layout:Layout.Tcsbr doc
+      in
+      let master = "dissem-bench-master-" ^ label in
+      let p =
+        Publisher.create ~chunk_size:1024 ~fragment_size:128 ~scheme ~master
+          payload0
+      in
+      let server = Wire.Server.create () in
+      Wire.Server.publish server ~id:"doc" (Publisher.container p);
+      let listener =
+        Wire.Transport.listen (Wire.Transport.Tcp ("127.0.0.1", 0))
+      in
+      let bound = Wire.Transport.bound_addr listener in
+      let stop = ref false in
+      let server_thread =
+        Thread.create
+          (fun () ->
+            try
+              Wire.Server.serve ~max_sessions:16 ~domains:1 ~stop server
+                listener
+            with Wire.Error.Wire _ -> ())
+          ()
+      in
+      Fun.protect
+        ~finally:(fun () ->
+          stop := true;
+          Thread.join server_thread;
+          Wire.Transport.close_listener listener)
+        (fun () ->
+          let connector () = Wire.Transport.connect bound in
+          let cfg =
+            { Wire.Client.default_config with Wire.Client.container = "doc" }
+          in
+          let sync_hist = Xmlac_obs.Histogram.make "dissem.sync" in
+          let read_hist = Xmlac_obs.Histogram.make "dissem.read" in
+          let delta_bytes = ref 0 in
+          let full_bytes = ref 0 in
+          let delta_chunks = ref 0 in
+          (* bootstrap fetch: common to both strategies, counted in neither *)
+          let m = Wire.Mirror.fetch ~config:cfg connector in
+          let replica () =
+            {
+              Session.layout = Layout.Tcsbr;
+              container = Wire.Mirror.container m;
+              encoded_bytes = String.length (Publisher.payload p);
+              source_text_bytes = String.length (Writer.tree_to_string doc);
+            }
+          in
+          let sconfig () =
+            {
+              (Session.default_config ~scheme ()) with
+              Session.chunk_size = 1024;
+              fragment_size = 128;
+              key = Publisher.key p;
+            }
+          in
+          (* the synced replica, a fresh full fetch, and the publisher's
+             own payload must agree byte for byte; the fetch meters what a
+             non-syncing client would have paid for this republication *)
+          let check_round tag =
+            let key = Publisher.key p in
+            let pt_sync =
+              Container.decrypt_all (Wire.Mirror.container m) ~key
+                ~verify:true
+            in
+            if pt_sync <> Publisher.payload p then
+              failwith (tag ^ ": synced replica diverges from publisher");
+            let m2 = Wire.Mirror.fetch ~config:cfg connector in
+            full_bytes :=
+              !full_bytes + (Wire.Mirror.stats m2).Wire.Stats.payload_bytes;
+            let pt_full =
+              Container.decrypt_all (Wire.Mirror.container m2) ~key
+                ~verify:true
+            in
+            Wire.Mirror.close m2;
+            if pt_full <> pt_sync then
+              failwith (tag ^ ": full re-fetch diverges from synced replica")
+          in
+          for r = 1 to rounds do
+            (* the canonical small edit: a same-length SSN rewrite, so only
+               the chunks covering that text go dirty *)
+            let folder = (r - 1) mod folders in
+            let digits =
+              Printf.sprintf "%09d" (r * 1_000_037 mod 1_000_000_000)
+            in
+            let payload', cost =
+              Update.update_encoded ~chunk_size:1024 ~layout:Layout.Tcsbr
+                (Publisher.payload p)
+                (Update.Set_text ([ folder; 0; 0; 0 ], digits))
+            in
+            let delta, rewritten = Publisher.update p ~payload:payload' in
+            if rewritten <> cost.Update.chunks_dirty then
+              failwith "dissem: cost model disagrees with the re-encryptor";
+            delta_chunks := !delta_chunks + List.length rewritten;
+            (match Wire.Server.apply_delta server ~id:"doc" delta with
+            | Ok _ -> ()
+            | Error e -> failwith ("dissem: apply_delta: " ^ e));
+            let outcome, wall_s =
+              Xmlac_obs.Span.time "dissem.sync" (fun () -> Wire.Mirror.sync m)
+            in
+            Xmlac_obs.Histogram.observe sync_hist wall_s;
+            (match outcome with
+            | Wire.Mirror.Applied { delta_bytes = b; _ } ->
+                delta_bytes := !delta_bytes + b
+            | Wire.Mirror.Uptodate | Wire.Mirror.Refetched _ ->
+                failwith "dissem: expected a chunk delta");
+            check_round (Printf.sprintf "dissem %s round %d" label r);
+            (* read throughput on the synced replica, checked against the
+               origin container's evaluation *)
+            let published = replica () and sconfig = sconfig () in
+            let view, wall_read =
+              Xmlac_obs.Span.time "dissem.read" (fun () ->
+                  evaluate sconfig published policy)
+            in
+            Xmlac_obs.Histogram.observe read_hist wall_read;
+            let origin =
+              evaluate sconfig
+                { published with Session.container = Publisher.container p }
+                policy
+            in
+            if view.Session.events <> origin.Session.events then
+              failwith "dissem: synced replica view diverges from origin"
+          done;
+          (* key rotation: revoke a subject; the delta covers every chunk
+             and carries the revocation list *)
+          let old_key = Publisher.key p in
+          let rot = Publisher.rotate p ~revoke:[ "mallory" ] in
+          (match Wire.Server.apply_delta server ~id:"doc" rot with
+          | Ok _ -> ()
+          | Error e -> failwith ("dissem: rotation apply_delta: " ^ e));
+          (match Wire.Mirror.sync m with
+          | Wire.Mirror.Applied { delta_bytes = b; revoked; _ } ->
+              delta_bytes := !delta_bytes + b;
+              if revoked <> [ "mallory" ] then
+                failwith "dissem: rotation delta lost the revocation list"
+          | Wire.Mirror.Uptodate | Wire.Mirror.Refetched _ ->
+              failwith "dissem: rotation delta expected");
+          check_round (Printf.sprintf "dissem %s rotation" label);
+          (* the old epoch is dead: its key no longer decrypts the rotated
+             container, and a stale or revoked license is refused before
+             any ciphertext is touched *)
+          (match
+             Container.decrypt_all (Wire.Mirror.container m) ~key:old_key
+               ~verify:(scheme <> Container.Ecb)
+           with
+          | exception _ -> ()
+          | pt ->
+              if pt = Publisher.payload p then
+                failwith "dissem: pre-rotation key still decrypts");
+          let epoch = Container.key_epoch (Wire.Mirror.container m) in
+          let stale =
+            License.make ~subject:"mallory"
+              ~document_key:(Publisher.epoch_key_bytes ~master ~epoch:0)
+              []
+          in
+          (match License.authorize stale ~container_epoch:epoch with
+          | Error _ -> ()
+          | Ok () -> failwith "dissem: stale-epoch license accepted");
+          let reissued =
+            License.make ~subject:"mallory" ~key_epoch:epoch
+              ~document_key:(Publisher.epoch_key_bytes ~master ~epoch)
+              []
+          in
+          (match
+             License.authorize reissued ~revoked:(Wire.Mirror.revoked m)
+               ~container_epoch:epoch
+           with
+          | Error _ -> ()
+          | Ok () -> failwith "dissem: revoked subject still authorized");
+          (* the replica is job-count independent like any container *)
+          let published = replica () and sconfig = sconfig () in
+          let j1 = Session.evaluate ~jobs:1 sconfig published policy in
+          let j4 = Session.evaluate ~jobs:4 sconfig published policy in
+          if j1.Session.events <> j4.Session.events then
+            failwith "dissem: job counts disagree on the synced replica";
+          Wire.Mirror.close m;
+          let chunks = Container.chunk_count (Publisher.container p) in
+          Printf.printf
+            "  %-8s %d updates + 1 rotation: delta %6d B vs full re-fetch \
+             %7d B (%4.1fx), %d/%d chunks rewritten\n"
+            label rounds !delta_bytes !full_bytes
+            (float_of_int !full_bytes /. float_of_int !delta_bytes)
+            !delta_chunks
+            (chunks * rounds);
+          record ~name:"dissem" ~profile:label
+            Metrics.
+              [
+                int "updates" rounds;
+                int "chunks" chunks;
+                int "delta_chunks" !delta_chunks;
+                int "delta_bytes" !delta_bytes;
+                int "full_bytes" !full_bytes;
+                int "generation" (Publisher.generation p);
+                int "key_epoch" (Publisher.epoch p);
+                float "wall_sync_p50_s"
+                  (Xmlac_obs.Histogram.quantile sync_hist 0.5);
+                float "wall_sync_p99_s"
+                  (Xmlac_obs.Histogram.quantile sync_hist 0.99);
+                float "wall_read_p50_s"
+                  (Xmlac_obs.Histogram.quantile read_hist 0.5);
+                float "wall_read_p99_s"
+                  (Xmlac_obs.Histogram.quantile read_hist 0.99);
+              ]))
+    [
+      ("ecb", Container.Ecb);
+      ("ecb_mht", Container.Ecb_mht);
+      ("cbc_sha", Container.Cbc_sha);
+      ("cbc_shac", Container.Cbc_shac);
+    ];
+  note "every round byte-checks synced ciphertext against a full re-fetch and";
+  note "  the publisher's payload; the gate pins delta_bytes < full_bytes and";
+  note "  the rotation proves stale keys and licenses are dead"
+
 (* Bechamel micro-benchmarks ------------------------------------------------ *)
 
 let bechamel_suite () =
@@ -1173,6 +1415,7 @@ let experiments =
     ("update_costs", true, update_costs);
     ("remote", true, remote);
     ("pipeline", true, pipeline);
+    ("dissem", true, dissem);
     ("fleet", false, fleet);
   ]
 

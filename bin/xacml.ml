@@ -43,11 +43,19 @@ let die fmt =
       exit 2)
     fmt
 
-(* a 24-byte 3DES key derived from a passphrase *)
-let key_of_passphrase pass =
-  let h1 = Xmlac_crypto.Sha1.digest pass in
-  let h2 = Xmlac_crypto.Sha1.digest (pass ^ "/2") in
-  Xmlac_crypto.Des.Triple.key_of_string (String.sub (h1 ^ h2) 0 24)
+(* 24 bytes of 3DES key material derived from a passphrase. Epoch 0 is
+   the historical derivation (containers published before key rotation
+   existed keep decrypting); later epochs use the publisher's derivation,
+   so a rotated container and a license minted with --key-epoch agree. *)
+let document_key_bytes ?(epoch = 0) pass =
+  if epoch = 0 then
+    let h1 = Xmlac_crypto.Sha1.digest pass in
+    let h2 = Xmlac_crypto.Sha1.digest (pass ^ "/2") in
+    String.sub (h1 ^ h2) 0 24
+  else Xmlac_dissem.Publisher.epoch_key_bytes ~master:pass ~epoch
+
+let key_of_passphrase ?epoch pass =
+  Xmlac_crypto.Des.Triple.key_of_string (document_key_bytes ?epoch pass)
 
 (* Common arguments --------------------------------------------------------- *)
 
@@ -150,10 +158,13 @@ let container_arg =
            published container).")
 
 (* Open the SOE byte source for view/unlock: a local container file or a
-   remote terminal session. Returns the source, the scheme it speaks, and
-   the session to close when done. *)
-let open_source ?pool ?trace_id ~input ~remote ~container ~expect_scheme ~key
-    counters =
+   remote terminal session. [key_for] maps the container's key epoch (0
+   pre-dissemination, or when a downgraded handshake could not carry it)
+   to the document key — passphrase-derived per epoch for view, the
+   license's fixed key for unlock. Returns the source, the scheme it
+   speaks, the epoch, and the session to close when done. *)
+let open_source ?pool ?trace_id ~input ~remote ~container ~expect_scheme
+    ~key_for counters =
   match remote with
   | Some addr_str ->
       let addr =
@@ -165,15 +176,20 @@ let open_source ?pool ?trace_id ~input ~remote ~container ~expect_scheme ~key
         Remote.connect ?container ?trace_id ?expect_scheme (fun () ->
             Wire.Transport.connect addr)
       in
-      let source = Remote.source ?pool r ~key counters in
-      (source, (Remote.metadata r).Wire.Protocol.scheme, Some r)
+      let meta = Remote.metadata r in
+      let epoch = meta.Wire.Protocol.key_epoch in
+      let source = Remote.source ?pool r ~key:(key_for epoch) counters in
+      (source, meta.Wire.Protocol.scheme, epoch, Some r)
   | None -> (
       match input with
       | None -> die "no container: give --input FILE or --remote ADDR"
       | Some f ->
           let container = Container.of_bytes (read_file f) in
-          let source = Channel.source ?pool ~container ~key counters in
-          (source, Container.scheme container, None))
+          let epoch = Container.key_epoch container in
+          let source =
+            Channel.source ?pool ~container ~key:(key_for epoch) counters
+          in
+          (source, Container.scheme container, epoch, None))
 
 (* the paper's schemes silently skip verification under plain ECB; say so
    instead of letting --stats quietly report zero hashed bytes *)
@@ -353,9 +369,10 @@ let publish_cmd =
 let verify_cmd =
   let run input pass =
     let container = Container.of_bytes (read_file input) in
-    match
-      Container.decrypt_all container ~key:(key_of_passphrase pass) ~verify:true
-    with
+    let key =
+      key_of_passphrase ~epoch:(Container.key_epoch container) pass
+    in
+    match Container.decrypt_all container ~key ~verify:true with
     | exception Container.Integrity_failure reason ->
         Printf.printf "INTEGRITY FAILURE: %s\n" reason;
         exit 1
@@ -415,12 +432,12 @@ let view_cmd =
       query_str user dummy stats_flag trace_flag trace_out trace_id jobs =
     let policy = assemble_policy ~rules ~policy_file ~user in
     let query = Option.map Xmlac_xpath.Parse.path query_str in
-    let key = key_of_passphrase pass in
     let counters = Channel.fresh_counters () in
     with_jobs jobs @@ fun pool ->
-    let source, scheme, remote_session =
+    let source, scheme, _epoch, remote_session =
       open_source ?pool ?trace_id ~input ~remote ~container ~expect_scheme
-        ~key counters
+        ~key_for:(fun epoch -> key_of_passphrase ~epoch pass)
+        counters
     in
     let decoder = Xmlac_skip_index.Decoder.of_source source in
     if trace_flag then
@@ -591,7 +608,17 @@ let license_cmd =
       & opt (some int) None
       & info [ "valid-until" ] ~docv:"N" ~doc:"Issuer-defined expiry stamp.")
   in
-  let run output subject rules valid_until doc_pass soe_pass =
+  let key_epoch =
+    Arg.(
+      value & opt int 0
+      & info [ "key-epoch" ] ~docv:"N"
+          ~doc:
+            "Document-key epoch the license is minted for (default 0). \
+             After a rotation (publish-update --rotate) reissue surviving \
+             subjects' licenses at the new epoch; an old-epoch license is \
+             refused, typed, by unlock.")
+  in
+  let run output subject rules valid_until key_epoch doc_pass soe_pass =
     let parse_rule i spec =
       if spec = "" then die "--rule: empty rule (expected +XPATH or -XPATH)";
       let sign =
@@ -602,24 +629,22 @@ let license_cmd =
       in
       (Printf.sprintf "L%d" i, sign, String.sub spec 1 (String.length spec - 1))
     in
-    let h1 = Xmlac_crypto.Sha1.digest doc_pass in
-    let h2 = Xmlac_crypto.Sha1.digest (doc_pass ^ "/2") in
     let lic =
-      Xmlac_soe.License.make ?valid_until ~subject
-        ~document_key:(String.sub (h1 ^ h2) 0 24)
+      Xmlac_soe.License.make ?valid_until ~key_epoch ~subject
+        ~document_key:(document_key_bytes ~epoch:key_epoch doc_pass)
         (List.mapi parse_rule rules)
     in
     write_file output
       (Xmlac_soe.License.seal ~soe_key:(key_of_passphrase soe_pass) lic);
-    Printf.printf "sealed license for %s (%d rules) -> %s\n" subject
-      (List.length rules) output
+    Printf.printf "sealed license for %s (%d rules, key epoch %d) -> %s\n"
+      subject (List.length rules) key_epoch output
   in
   Cmd.v
     (Cmd.info "license"
        ~doc:"Issue a sealed license (rules + document key) for a subject.")
     Term.(
-      const run $ output_arg $ subject $ rules $ valid_until $ passphrase_arg
-      $ soe_key_arg)
+      const run $ output_arg $ subject $ rules $ valid_until $ key_epoch
+      $ passphrase_arg $ soe_key_arg)
 
 let unlock_cmd =
   let license_file =
@@ -644,10 +669,20 @@ let unlock_cmd =
     | Ok lic ->
         let counters = Channel.fresh_counters () in
         with_jobs jobs @@ fun pool ->
-        let source, scheme, remote_session =
+        let source, scheme, container_epoch, remote_session =
           open_source ?pool ~input ~remote ~container ~expect_scheme
-            ~key:(Xmlac_soe.License.key lic) counters
+            ~key_for:(fun _ -> Xmlac_soe.License.key lic)
+            counters
         in
+        (* the revocation gate: refuse a pre- (or post-) rotation license
+           before its key touches any ciphertext — under plain ECB a stale
+           key would otherwise decrypt to garbage instead of failing *)
+        (match Xmlac_soe.License.authorize lic ~container_epoch with
+        | Ok () -> ()
+        | Error e ->
+            Option.iter Remote.close remote_session;
+            Printf.eprintf "license rejected: %s\n" e;
+            exit 1);
         let decoder = Xmlac_skip_index.Decoder.of_source source in
         let result =
           Xmlac_core.Evaluator.run
@@ -687,77 +722,270 @@ let unlock_cmd =
 
 (* update --------------------------------------------------------------------- *)
 
+let parse_update_path s =
+  if s = "" then []
+  else
+    List.map
+      (fun seg ->
+        match int_of_string_opt seg with
+        | Some i when i >= 0 -> i
+        | _ -> die "bad path %S: expected dot-separated child indices" s)
+      (String.split_on_char '.' s)
+
+let delete_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "delete" ] ~docv:"PATH"
+        ~doc:"Delete the subtree at PATH (dot-separated child indexes).")
+
+let set_text_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "set-text" ] ~docv:"PATH=TEXT" ~doc:"Replace a text node.")
+
+(* --delete / --set-text into an [Update.operation]; [None] when neither
+   was given (publish-update --rotate needs no edit) *)
+let parse_operation ~delete ~set_text =
+  match (delete, set_text) with
+  | Some p, None ->
+      Some (Xmlac_skip_index.Update.Delete_subtree (parse_update_path p))
+  | None, Some spec -> (
+      match String.index_opt spec '=' with
+      | Some i ->
+          Some
+            (Xmlac_skip_index.Update.Set_text
+               ( parse_update_path (String.sub spec 0 i),
+                 String.sub spec (i + 1) (String.length spec - i - 1) ))
+      | None -> die "--set-text %S: expected PATH=TEXT" spec)
+  | None, None -> None
+  | Some _, Some _ -> die "--delete and --set-text are exclusive"
+
+(* decrypt + apply one edit, returning everything publish-update/update
+   need: the old and new encoded payloads and the predicted cost *)
+let apply_edit container ~key ~operation =
+  let encoded = Container.decrypt_all container ~key ~verify:true in
+  let layout =
+    (Xmlac_skip_index.Encoder.read_header
+       (Xmlac_skip_index.Bitio.Reader.of_string encoded))
+      .Xmlac_skip_index.Encoder.layout
+  in
+  match operation with
+  | None -> (encoded, encoded, None)
+  | Some op ->
+      let encoded', cost =
+        Xmlac_skip_index.Update.update_encoded ~layout
+          ~chunk_size:(Container.chunk_size container)
+          encoded op
+      in
+      (encoded, encoded', Some cost)
+
+let report_cost = function
+  | None -> ()
+  | Some cost ->
+      Printf.printf
+        "updated: %d -> %d bytes; rewrote %d bytes (%d chunks to \
+         re-encrypt%s)\n"
+        cost.Xmlac_skip_index.Update.old_bytes
+        cost.Xmlac_skip_index.Update.new_bytes
+        cost.Xmlac_skip_index.Update.rewritten_bytes
+        cost.Xmlac_skip_index.Update.chunks_to_reencrypt
+        (if cost.Xmlac_skip_index.Update.dictionary_changed then
+           ", dictionary changed"
+         else "")
+
 let update_cmd =
-  let parse_path s =
-    if s = "" then []
-    else
-      List.map
-        (fun seg ->
-          match int_of_string_opt seg with
-          | Some i when i >= 0 -> i
-          | _ -> die "bad path %S: expected dot-separated child indices" s)
-        (String.split_on_char '.' s)
-  in
-  let delete =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "delete" ] ~docv:"PATH"
-          ~doc:"Delete the subtree at PATH (dot-separated child indexes).")
-  in
-  let set_text =
-    Arg.(
-      value
-      & opt (some string) None
-      & info [ "set-text" ] ~docv:"PATH=TEXT" ~doc:"Replace a text node.")
-  in
   let run input output pass delete set_text =
     let container = Container.of_bytes (read_file input) in
-    let key = key_of_passphrase pass in
-    let encoded = Container.decrypt_all container ~key ~verify:true in
-    let layout =
-      (Xmlac_skip_index.Encoder.read_header
-         (Xmlac_skip_index.Bitio.Reader.of_string encoded))
-        .Xmlac_skip_index.Encoder.layout
-    in
-    let operation =
-      match (delete, set_text) with
-      | Some p, None -> Xmlac_skip_index.Update.Delete_subtree (parse_path p)
-      | None, Some spec -> (
-          match String.index_opt spec '=' with
-          | Some i ->
-              Xmlac_skip_index.Update.Set_text
-                ( parse_path (String.sub spec 0 i),
-                  String.sub spec (i + 1) (String.length spec - i - 1) )
-          | None -> die "--set-text %S: expected PATH=TEXT" spec)
-      | _ -> die "exactly one of --delete / --set-text is required"
-    in
-    let encoded', cost =
-      Xmlac_skip_index.Update.update_encoded ~layout
-        ~chunk_size:(Container.chunk_size container)
-        encoded operation
-    in
+    let epoch = Container.key_epoch container in
+    let key = key_of_passphrase ~epoch pass in
+    let operation = parse_operation ~delete ~set_text in
+    if operation = None then
+      die "exactly one of --delete / --set-text is required";
+    let _, encoded', cost = apply_edit container ~key ~operation in
+    (* full re-encryption, but the lineage survives: the next generation,
+       same epoch (publish-update is the incremental path) *)
     let container' =
       Container.encrypt
         ~chunk_size:(Container.chunk_size container)
         ~fragment_size:(Container.fragment_size container)
+        ~generation:(Container.generation container + 1)
+        ~key_epoch:epoch
         ~scheme:(Container.scheme container) ~key encoded'
     in
     write_file output (Container.to_bytes container');
-    Printf.printf
-      "updated: %d -> %d bytes; rewrote %d bytes (%d chunks to re-encrypt%s)\n"
-      cost.Xmlac_skip_index.Update.old_bytes
-      cost.Xmlac_skip_index.Update.new_bytes
-      cost.Xmlac_skip_index.Update.rewritten_bytes
-      cost.Xmlac_skip_index.Update.chunks_to_reencrypt
-      (if cost.Xmlac_skip_index.Update.dictionary_changed then
-         ", dictionary changed"
-       else "")
+    report_cost cost
   in
   Cmd.v
     (Cmd.info "update"
-       ~doc:"Edit an encrypted document in place and report the update cost.")
-    Term.(const run $ input_arg $ output_arg $ passphrase_arg $ delete $ set_text)
+       ~doc:
+         "Edit an encrypted document and re-encrypt it in full, reporting \
+          what the incremental path would have cost.")
+    Term.(
+      const run $ input_arg $ output_arg $ passphrase_arg $ delete_arg
+      $ set_text_arg)
+
+(* publish-update ------------------------------------------------------------- *)
+
+let publish_update_cmd =
+  let delta_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "delta-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the one-generation chunk delta (what a syncing \
+             terminal transfers instead of the whole container).")
+  in
+  let revoke =
+    Arg.(
+      value & opt_all string []
+      & info [ "revoke" ] ~docv:"SUBJECT"
+          ~doc:
+            "Subject whose license is revoked as of this republication \
+             (repeatable); distributed on the delta's revocation list. \
+             Only cryptographically binding together with --rotate.")
+  in
+  let rotate =
+    Arg.(
+      value & flag
+      & info [ "rotate" ]
+          ~doc:
+            "Rotate the document key: bump the key epoch and re-encrypt \
+             every chunk under the next epoch's key (derived from the \
+             passphrase), so licenses of earlier epochs fail typed. May \
+             be combined with an edit, or used alone to revoke.")
+  in
+  let run input output pass delete set_text delta_out revoke rotate =
+    let container = Container.of_bytes (read_file input) in
+    let epoch = Container.key_epoch container in
+    let from_gen = Container.generation container in
+    let key = key_of_passphrase ~epoch pass in
+    let operation = parse_operation ~delete ~set_text in
+    if operation = None && not rotate then
+      die "give --delete/--set-text, --rotate, or both";
+    let encoded, encoded', cost = apply_edit container ~key ~operation in
+    let container', rewritten =
+      if rotate then
+        let epoch' = epoch + 1 in
+        ( Container.encrypt
+            ~chunk_size:(Container.chunk_size container)
+            ~fragment_size:(Container.fragment_size container)
+            ~generation:(from_gen + 1) ~key_epoch:epoch'
+            ~scheme:(Container.scheme container)
+            ~key:(key_of_passphrase ~epoch:epoch' pass)
+            encoded',
+          List.init (Container.chunk_count container) Fun.id )
+      else Container.reencrypt container ~key ~old_payload:encoded ~payload:encoded'
+    in
+    write_file output (Container.to_bytes container');
+    report_cost cost;
+    (match delta_out with
+    | None ->
+        if revoke <> [] && not rotate then
+          Printf.eprintf
+            "xacml: note: --revoke without --delta-out reaches no \
+             terminal; pair it with --delta-out (and --rotate to make it \
+             cryptographic)\n"
+    | Some path ->
+        let d =
+          Xmlac_dissem.Delta.of_container ~from_gen ~revoked:revoke container'
+        in
+        write_file path (Xmlac_dissem.Delta.encode d);
+        Printf.printf "delta: gen %d -> %d, %d bytes (container %d bytes)\n"
+          from_gen
+          (Container.generation container')
+          (Xmlac_dissem.Delta.wire_bytes d)
+          (String.length (Container.to_bytes container')));
+    Printf.printf
+      "republished: generation %d -> %d, key epoch %d, %d/%d chunks \
+       rewritten%s\n"
+      from_gen
+      (Container.generation container')
+      (Container.key_epoch container')
+      (List.length rewritten)
+      (Container.chunk_count container')
+      (match revoke with
+      | [] -> ""
+      | l -> Printf.sprintf ", revoking %s" (String.concat ", " l))
+  in
+  Cmd.v
+    (Cmd.info "publish-update"
+       ~doc:
+         "Incrementally republish a container: apply an edit re-encrypting \
+          only dirty chunks, optionally rotate the document key, and emit \
+          the chunk delta terminals sync.")
+    Term.(
+      const run $ input_arg $ output_arg $ passphrase_arg $ delete_arg
+      $ set_text_arg $ delta_out $ revoke $ rotate)
+
+(* sync ----------------------------------------------------------------------- *)
+
+let sync_cmd =
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Where the synced container copy is written.")
+  in
+  let run input remote container_id output =
+    let addr_str =
+      match remote with Some a -> a | None -> die "--remote ADDR is required"
+    in
+    let addr =
+      match Wire.Transport.parse_addr addr_str with
+      | Ok a -> a
+      | Error e -> die "--remote %s" e
+    in
+    let config =
+      {
+        Wire.Client.default_config with
+        Wire.Client.container = Option.value container_id ~default:"";
+      }
+    in
+    let connector () = Wire.Transport.connect addr in
+    let report_revoked = function
+      | [] -> ()
+      | l -> List.iter (Printf.printf "revoked: %s\n") l
+    in
+    let m =
+      match input with
+      | None ->
+          let m = Wire.Mirror.fetch ~config connector in
+          Printf.printf "fetched: generation %d (%d chunks)\n"
+            (Wire.Mirror.generation m)
+            (Container.chunk_count (Wire.Mirror.container m));
+          m
+      | Some f ->
+          let local = Container.of_bytes (read_file f) in
+          let m = Wire.Mirror.of_container ~config connector local in
+          (match Wire.Mirror.sync m with
+          | Wire.Mirror.Uptodate ->
+              Printf.printf "up to date: generation %d\n"
+                (Wire.Mirror.generation m)
+          | Wire.Mirror.Applied { from_gen; to_gen; delta_bytes; revoked } ->
+              Printf.printf "synced: delta gen %d -> %d, %d bytes\n" from_gen
+                to_gen delta_bytes;
+              report_revoked revoked
+          | Wire.Mirror.Refetched { to_gen; bytes } ->
+              Printf.printf
+                "refetched: generation %d, %d payload bytes (origin could \
+                 not bridge ours)\n"
+                to_gen bytes);
+          m
+    in
+    write_file output (Container.to_bytes (Wire.Mirror.container m));
+    Wire.Mirror.close m
+  in
+  Cmd.v
+    (Cmd.info "sync"
+       ~doc:
+         "Pull a published container from a terminal: a chunk delta when a \
+          local copy (-i) can be bridged, a full fetch otherwise; the \
+          synced ciphertext copy is written to -o.")
+    Term.(const run $ input_opt_arg $ remote_arg $ container_arg $ output)
 
 let () =
   let doc =
@@ -784,6 +1012,8 @@ let () =
             license_cmd;
             unlock_cmd;
             update_cmd;
+            publish_update_cmd;
+            sync_cmd;
           ])
   with
   | code -> exit code

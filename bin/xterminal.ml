@@ -8,9 +8,13 @@
 
    Each [-i] publishes one container under an id ([ID=PATH], or the file's
    basename without extension for a bare PATH); clients name the id in
-   their v1.2 hello, or omit it to get the first one published. SIGINT/
-   SIGTERM stop the accept loop, drain in-flight sessions, unlink a Unix
-   socket file and exit 0. *)
+   their v1.2 hello, or omit it to get the first one published. SIGHUP
+   re-reads every -i file (and the --revoked list) and republishes —
+   the dissemination path: a publisher overwrites the container file
+   with `xacml publish-update`, signals the terminal, and syncing
+   clients pull the chunk delta on their next Sync. SIGINT/SIGTERM stop
+   the accept loop, drain in-flight sessions, unlink a Unix socket file
+   and exit 0. *)
 
 open Cmdliner
 module Wire = Xmlac_wire
@@ -94,6 +98,16 @@ let telemetry_interval_arg =
     & info [ "telemetry-interval" ] ~docv:"SECONDS"
         ~doc:"Seconds between telemetry exports (default 2).")
 
+let revoked_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "revoked" ] ~docv:"FILE"
+        ~doc:
+          "Revocation list: one subject per line (# comments allowed), \
+           re-read on SIGHUP and distributed to syncing clients on every \
+           chunk delta.")
+
 let trace_arg =
   Arg.(
     value
@@ -125,23 +139,52 @@ let export_telemetry server path =
       output_char oc '\n');
   Sys.rename tmp path
 
+let read_revoked = function
+  | None -> []
+  | Some path ->
+      String.split_on_char '\n' (read_file path)
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+
 let run inputs listen sessions timeout stats_flag domains no_mux telemetry_file
-    telemetry_interval trace_file =
+    telemetry_interval revoked_file trace_file =
   if domains < 1 then die "--domains must be >= 1";
   if telemetry_interval <= 0. then die "--telemetry-interval must be positive";
   let server = Wire.Server.create () in
-  List.iter
-    (fun spec ->
-      let id, path = parse_input spec in
-      if not (Sys.file_exists path) then die "%s: no such file" path;
-      match Container.of_bytes (read_file path) with
-      | c -> (
-          match Wire.Server.publish server ~id c with
-          | () -> ()
-          | exception Invalid_argument msg -> die "-i %s: %s" spec msg)
-      | exception Container.Corrupt msg ->
-          die "%s: corrupt container: %s" path msg)
-    inputs;
+  let publish_all ~fatal =
+    let revoked =
+      match read_revoked revoked_file with
+      | l -> l
+      | exception Sys_error msg ->
+          if fatal then die "--revoked %s" msg
+          else begin
+            Printf.eprintf "xterminal: reload: --revoked %s\n%!" msg;
+            []
+          end
+    in
+    List.iter
+      (fun spec ->
+        let id, path = parse_input spec in
+        let oops fmt =
+          Printf.ksprintf
+            (fun msg ->
+              if fatal then die "%s" msg
+              else Printf.eprintf "xterminal: reload: %s\n%!" msg)
+            fmt
+        in
+        if not (Sys.file_exists path) then oops "%s: no such file" path
+        else
+          match Container.of_bytes (read_file path) with
+          | c -> (
+              match Wire.Server.publish server ~revoked ~id c with
+              | () -> ()
+              | exception Invalid_argument msg -> oops "-i %s: %s" spec msg)
+          | exception Container.Corrupt msg ->
+              oops "%s: corrupt container: %s" path msg
+          | exception Sys_error msg -> oops "%s" msg)
+      inputs
+  in
+  publish_all ~fatal:true;
   let addr =
     match Wire.Transport.parse_addr listen with
     | Ok a -> a
@@ -152,9 +195,11 @@ let run inputs listen sessions timeout stats_flag domains no_mux telemetry_file
   let on_signal _ = stop := true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
-  (* SIGUSR1 only flips a flag; the exporter thread does the file I/O *)
+  (* signals only flip flags; the maintenance thread does the file I/O *)
   let dump_requested = ref false in
   Sys.set_signal Sys.sigusr1 (Sys.Signal_handle (fun _ -> dump_requested := true));
+  let reload_requested = ref false in
+  Sys.set_signal Sys.sighup (Sys.Signal_handle (fun _ -> reload_requested := true));
   let export_once () =
     match telemetry_file with
     | Some path -> (
@@ -172,6 +217,20 @@ let run inputs listen sessions timeout stats_flag domains no_mux telemetry_file
         let last = ref (Unix.gettimeofday ()) in
         while not !stop do
           Thread.delay 0.2;
+          if !reload_requested then begin
+            reload_requested := false;
+            publish_all ~fatal:false;
+            List.iter
+              (fun id ->
+                match Wire.Server.metadata_of server id with
+                | None -> ()
+                | Some meta ->
+                    Printf.eprintf
+                      "xterminal: reloaded %s: generation %d, key epoch %d\n%!"
+                      id meta.Wire.Protocol.generation
+                      meta.Wire.Protocol.key_epoch)
+              (Wire.Server.container_ids server)
+          end;
           let now = Unix.gettimeofday () in
           let periodic =
             telemetry_file <> None && now -. !last >= telemetry_interval
@@ -249,6 +308,6 @@ let () =
       Term.(
         const run $ input_arg $ listen_arg $ sessions_arg $ timeout_arg
         $ stats_arg $ domains_arg $ no_mux_arg $ telemetry_arg
-        $ telemetry_interval_arg $ trace_arg)
+        $ telemetry_interval_arg $ revoked_arg $ trace_arg)
   in
   exit (Cmd.eval cmd)

@@ -49,10 +49,16 @@ let render_view (v : Telemetry.view) =
   Buffer.add_string b
     (Printf.sprintf
        "requests %d  shared cache %d hits / %d misses / %d evicted  \
-        containers %d\n\n"
+        containers %d\n"
        sr.Telemetry.sr_requests sr.Telemetry.sr_cache_hits
        sr.Telemetry.sr_cache_misses sr.Telemetry.sr_cache_evicted
        sr.Telemetry.sr_containers);
+  Buffer.add_string b
+    (Printf.sprintf
+       "dissem %d republishes  %d syncs (%d up-to-date)  %d delta bytes \
+        served\n\n"
+       sr.Telemetry.sr_republishes sr.Telemetry.sr_syncs
+       sr.Telemetry.sr_sync_uptodate sr.Telemetry.sr_delta_bytes);
   Buffer.add_string b
     (Printf.sprintf "%-20s %4s %5s %8s %6s %8s %8s %10s %8s %8s\n" "TENANT"
        "GEN" "SESS" "REQS" "ERRS" "HITS" "MISSES" "BYTES" "P50ms" "P99ms");

@@ -1,0 +1,10 @@
+let equal a b =
+  let n = String.length a in
+  if String.length b <> n then false
+  else begin
+    let acc = ref 0 in
+    for i = 0 to n - 1 do
+      acc := !acc lor (Char.code a.[i] lxor Char.code b.[i])
+    done;
+    !acc = 0
+  end

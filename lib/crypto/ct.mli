@@ -1,0 +1,13 @@
+(** Constant-time byte-string comparison.
+
+    [String.equal] short-circuits at the first differing byte, so comparing
+    a secret-derived value (a keyed authentication tag, a decrypted chunk
+    digest, a Merkle root) against attacker-influenced input leaks the
+    length of the matching prefix through timing. Every comparison whose
+    inputs depend on key material must go through {!equal} instead. *)
+
+val equal : string -> string -> bool
+(** [equal a b] is [String.equal a b], computed without data-dependent
+    branches over the bytes: the full length is always scanned and the
+    verdict accumulated bitwise. Lengths are compared first (the length of
+    a tag is public, so that branch leaks nothing). *)

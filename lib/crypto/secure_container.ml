@@ -36,6 +36,13 @@ type t = {
   payload_len : int;
   chunks : string array;  (* ciphertext, each exactly chunk_size bytes *)
   digests : string array;  (* encrypted digest blobs, "" for Ecb *)
+  generation : int;  (* bumped once per (incremental) republication *)
+  key_epoch : int;  (* bumped on document-key rotation *)
+  versions : int array;  (* generation at which each chunk was last rewritten *)
+  roots : string array;
+      (* publisher-side cache of clear MHT roots ("" when absent): lets an
+         incremental republish reseal an untouched chunk without re-hashing
+         its fragments. Never serialized; terminals reconstruct nothing. *)
 }
 
 let chunk_size t = t.chunk_size
@@ -55,7 +62,16 @@ let digest_blob_size = 24 (* 20-byte SHA-1 padded to three DES blocks *)
 let digest_position_base chunk = (1 lsl 40) + (chunk * digest_blob_size)
 
 let magic = "XACR1"
+let magic_v2 = "XACR2"
 let header_size = String.length magic + 1 + 4 + 4 + 8
+
+(* v2 adds generation (8) and key epoch (2) to the header, and prefixes every
+   chunk with its 8-byte version (the generation that last rewrote it). *)
+let header_size_v2 = header_size + 8 + 2
+
+let generation t = t.generation
+let key_epoch t = t.key_epoch
+let chunk_version t i = t.versions.(i)
 
 let be_bytes value width =
   String.init width (fun i -> Char.chr ((value lsr (8 * (width - 1 - i))) land 0xFF))
@@ -144,13 +160,38 @@ let decrypt_digest t ~key chunk =
   | "" -> invalid_arg "Secure_container.decrypt_digest: scheme has no digests"
   | blob -> decrypt_digest_blob ~key ~chunk blob
 
-let encrypt ?(chunk_size = 2048) ?(fragment_size = 256) ~scheme ~key payload =
+(* The MHT root of a chunk depends only on the chunk index and ciphertext
+   (not the header tag), so a cached root survives header-only changes. *)
+let clear_root t ~chunk ~cipher =
+  match t.scheme with Ecb_mht -> mht_root t ~chunk ~cipher | _ -> ""
+
+let encrypt_chunk_payload t ~cipher ~chunk plain =
+  match t.scheme with
+  | Ecb | Ecb_mht ->
+      Modes.positional_encrypt cipher ~base:(chunk * t.chunk_size) plain
+  | Cbc_sha | Cbc_shac -> Modes.cbc_encrypt cipher ~iv:(Int64.of_int chunk) plain
+
+(* Digest of a chunk, reusing the cached clear MHT root when available so
+   resealing an untouched chunk costs one small hash, not a tree rebuild. *)
+let seal_chunk t ~key ~chunk ~plain ~encrypted =
+  let digest =
+    match t.scheme with
+    | Ecb_mht when t.roots.(chunk) <> "" ->
+        seal_root t ~chunk ~root:t.roots.(chunk)
+    | _ -> clear_digest t ~key ~chunk ~plain ~cipher:encrypted
+  in
+  encrypt_digest ~key ~chunk digest
+
+let encrypt ?(chunk_size = 2048) ?(fragment_size = 256) ?(generation = 0)
+    ?(key_epoch = 0) ~scheme ~key payload =
   if chunk_size mod 8 <> 0 || fragment_size mod 8 <> 0 then
     invalid_arg "Secure_container.encrypt: sizes must be multiples of 8";
   if chunk_size mod fragment_size <> 0
      || not (is_power_of_two (chunk_size / fragment_size)) then
     invalid_arg
       "Secure_container.encrypt: chunk/fragment ratio must be a power of two";
+  if generation < 0 || key_epoch < 0 || key_epoch > 0xFFFF then
+    invalid_arg "Secure_container.encrypt: bad generation or key epoch";
   let payload_len = String.length payload in
   let nchunks = max 1 ((payload_len + chunk_size - 1) / chunk_size) in
   let padded = payload ^ String.make ((nchunks * chunk_size) - payload_len) '\000' in
@@ -163,42 +204,145 @@ let encrypt ?(chunk_size = 2048) ?(fragment_size = 256) ~scheme ~key payload =
       payload_len;
       chunks = Array.make nchunks "";
       digests = Array.make nchunks "";
+      generation;
+      key_epoch;
+      versions = Array.make nchunks generation;
+      roots = Array.make nchunks "";
     }
   in
   for i = 0 to nchunks - 1 do
     let plain = String.sub padded (i * chunk_size) chunk_size in
-    let encrypted =
-      match scheme with
-      | Ecb | Ecb_mht ->
-          Modes.positional_encrypt cipher ~base:(i * chunk_size) plain
-      | Cbc_sha | Cbc_shac ->
-          Modes.cbc_encrypt cipher ~iv:(Int64.of_int i) plain
-    in
+    let encrypted = encrypt_chunk_payload t ~cipher ~chunk:i plain in
     t.chunks.(i) <- encrypted;
-    t.digests.(i) <-
-      encrypt_digest ~key ~chunk:i
-        (clear_digest t ~key ~chunk:i ~plain ~cipher:encrypted)
+    t.roots.(i) <- clear_root t ~chunk:i ~cipher:encrypted;
+    t.digests.(i) <- seal_chunk t ~key ~chunk:i ~plain ~encrypted
   done;
   t
 
+(* Incremental republication: re-encrypt only the chunks whose padded
+   plaintext actually moved, reuse everything else physically, and bump the
+   generation. Returns the new container and the (sorted) list of rewritten
+   chunks — by construction the chunks [Skip_index.Update] predicts.
+
+   When the payload length changes, every chunk digest changes too (the
+   digest binds the header, and the header binds the payload length): clean
+   chunks are {e resealed} — their ciphertext, and for ECB-MHT their cached
+   subtree hashes, are reused — which is hashing work only, never payload
+   re-encryption. *)
+let reencrypt t ~key ~old_payload ~payload =
+  if String.length old_payload <> t.payload_len then
+    invalid_arg "Secure_container.reencrypt: old payload length mismatch";
+  if Array.exists (fun c -> c = "") t.chunks then
+    invalid_arg "Secure_container.reencrypt: container has no ciphertext";
+  let chunk_size = t.chunk_size in
+  let old_len = t.payload_len and new_len = String.length payload in
+  let old_chunks = Array.length t.chunks in
+  let nchunks = max 1 ((new_len + chunk_size - 1) / chunk_size) in
+  let padded = payload ^ String.make ((nchunks * chunk_size) - new_len) '\000' in
+  let old_padded =
+    old_payload ^ String.make ((old_chunks * chunk_size) - old_len) '\000'
+  in
+  let generation = t.generation + 1 in
+  let dirty = Array.make nchunks false in
+  for i = 0 to nchunks - 1 do
+    if i >= old_chunks then dirty.(i) <- true
+    else
+      let base = i * chunk_size in
+      let rec differs j =
+        j < chunk_size && (old_padded.[base + j] <> padded.[base + j] || differs (j + 1))
+      in
+      if differs 0 then dirty.(i) <- true
+  done;
+  (* shrinking truncates trailing chunks: the last surviving chunk is
+     re-sealed even when its bytes happen to be unchanged (mirrors the
+     [Update] cost rule, so predicted and actual chunk sets coincide) *)
+  if new_len < old_len && new_len > 0 then dirty.((new_len - 1) / chunk_size) <- true;
+  let t' =
+    {
+      t with
+      payload_len = new_len;
+      chunks = Array.make nchunks "";
+      digests = Array.make nchunks "";
+      generation;
+      versions = Array.make nchunks generation;
+      roots = Array.make nchunks "";
+    }
+  in
+  let cipher = Modes.of_triple_des key in
+  let reseal_all = new_len <> old_len in
+  let rewritten = ref [] in
+  for i = nchunks - 1 downto 0 do
+    let plain () = String.sub padded (i * chunk_size) chunk_size in
+    if dirty.(i) then begin
+      rewritten := i :: !rewritten;
+      let plain = plain () in
+      let encrypted = encrypt_chunk_payload t' ~cipher ~chunk:i plain in
+      t'.chunks.(i) <- encrypted;
+      t'.roots.(i) <- clear_root t' ~chunk:i ~cipher:encrypted;
+      t'.digests.(i) <- seal_chunk t' ~key ~chunk:i ~plain ~encrypted
+    end
+    else begin
+      (* physical reuse: unchanged ciphertext (and subtree hashes) are the
+         same strings, so a delta only ever carries dirty chunks *)
+      t'.chunks.(i) <- t.chunks.(i);
+      t'.roots.(i) <- t.roots.(i);
+      t'.versions.(i) <- t.versions.(i);
+      t'.digests.(i) <-
+        (if reseal_all then seal_chunk t' ~key ~chunk:i ~plain:(plain ()) ~encrypted:t.chunks.(i)
+         else t.digests.(i))
+    end
+  done;
+  (t', !rewritten)
+
+(* A pristine (generation 0, epoch 0) container serializes in the original
+   XACR1 layout, so every byte stream the seed produced is still produced;
+   any versioned state promotes the stream to XACR2. *)
+let is_v1 t =
+  t.generation = 0 && t.key_epoch = 0 && Array.for_all (( = ) 0) t.versions
+
 let to_bytes t =
-  let b = Buffer.create (header_size + ciphertext_bytes t + digest_bytes t) in
-  Buffer.add_string b magic;
+  let v1 = is_v1 t in
+  let per_chunk_version = if v1 then 0 else 8 in
+  let b =
+    Buffer.create
+      ((if v1 then header_size else header_size_v2)
+      + ciphertext_bytes t + digest_bytes t
+      + (Array.length t.chunks * per_chunk_version))
+  in
+  Buffer.add_string b (if v1 then magic else magic_v2);
   Buffer.add_char b (Char.chr (scheme_byte t.scheme));
   Buffer.add_string b (be_bytes t.chunk_size 4);
   Buffer.add_string b (be_bytes t.fragment_size 4);
   Buffer.add_string b (be_bytes t.payload_len 8);
+  if not v1 then begin
+    Buffer.add_string b (be_bytes t.generation 8);
+    Buffer.add_string b (be_bytes t.key_epoch 2)
+  end;
   Array.iteri
     (fun i chunk ->
+      if not v1 then Buffer.add_string b (be_bytes t.versions.(i) 8);
       Buffer.add_string b chunk;
       Buffer.add_string b t.digests.(i))
     t.chunks;
   Buffer.contents b
 
 let of_bytes s =
-  if String.length s < header_size then corrupt "truncated header";
-  if String.sub s 0 (String.length magic) <> magic then corrupt "bad magic";
-  let scheme = scheme_of_byte (Char.code s.[String.length magic]) in
+  let magic_len = String.length magic in
+  if String.length s < magic_len then corrupt "truncated header";
+  let version =
+    match String.sub s 0 magic_len with
+    | m when m = magic -> 1
+    | m when m = magic_v2 -> 2
+    | m when String.sub m 0 4 = "XACR" && m.[4] > '2' && m.[4] <= '9' ->
+        (* a container from a future writer, not garbage: tell the operator
+           to upgrade rather than claiming the file is corrupt *)
+        corrupt "unsupported container version %c (this build reads up to 2)"
+          m.[4]
+    | _ -> corrupt "bad magic"
+  in
+  let hsize = if version = 1 then header_size else header_size_v2 in
+  if String.length s < hsize then corrupt "truncated header";
+  let scheme = scheme_of_byte (Char.code s.[magic_len]) in
   let chunk_size = be_value s 6 4 in
   let fragment_size = be_value s 10 4 in
   let payload_len = be_value s 14 8 in
@@ -213,20 +357,49 @@ let of_bytes s =
      otherwise turn into out-of-bounds accesses during decryption *)
   if payload_len < 0 || payload_len > String.length s then
     corrupt "implausible payload length";
+  let generation = if version = 1 then 0 else be_value s 22 8 in
+  let key_epoch = if version = 1 then 0 else be_value s 30 2 in
+  if generation < 0 then corrupt "implausible generation";
   let nchunks = max 1 ((payload_len + chunk_size - 1) / chunk_size) in
   let blob = if scheme = Ecb then 0 else digest_blob_size in
-  let expected = header_size + (nchunks * (chunk_size + blob)) in
+  let version_bytes = if version = 1 then 0 else 8 in
+  let stride = version_bytes + chunk_size + blob in
+  let expected = hsize + (nchunks * stride) in
   if String.length s <> expected then corrupt "bad total length";
+  let versions =
+    Array.init nchunks (fun i ->
+        if version = 1 then 0
+        else begin
+          let v = be_value s (hsize + (i * stride)) 8 in
+          if v < 0 || v > generation then
+            corrupt "chunk %d version exceeds generation" i;
+          v
+        end)
+  in
   let chunks =
     Array.init nchunks (fun i ->
-        String.sub s (header_size + (i * (chunk_size + blob))) chunk_size)
+        String.sub s (hsize + (i * stride) + version_bytes) chunk_size)
   in
   let digests =
     Array.init nchunks (fun i ->
         if blob = 0 then ""
-        else String.sub s (header_size + (i * (chunk_size + blob)) + chunk_size) blob)
+        else
+          String.sub s
+            (hsize + (i * stride) + version_bytes + chunk_size)
+            blob)
   in
-  { scheme; chunk_size; fragment_size; payload_len; chunks; digests }
+  {
+    scheme;
+    chunk_size;
+    fragment_size;
+    payload_len;
+    chunks;
+    digests;
+    generation;
+    key_epoch;
+    versions;
+    roots = Array.make nchunks "";
+  }
 
 let of_bytes_result s =
   match of_bytes s with t -> Ok t | exception Corrupt msg -> Error msg
@@ -236,7 +409,8 @@ let of_bytes_result s =
    bounded well above any plausible document. *)
 let max_remote_chunks = 1 lsl 22
 
-let geometry ~scheme ~chunk_size ~fragment_size ~payload_length ~chunk_count =
+let geometry ?(generation = 0) ?(key_epoch = 0) ~scheme ~chunk_size
+    ~fragment_size ~payload_length ~chunk_count () =
   if
     chunk_size <= 0 || fragment_size <= 0
     || chunk_size mod 8 <> 0
@@ -248,6 +422,8 @@ let geometry ~scheme ~chunk_size ~fragment_size ~payload_length ~chunk_count =
   else if chunk_count <> max 1 ((payload_length + chunk_size - 1) / chunk_size)
   then Error "chunk count disagrees with payload length"
   else if chunk_count > max_remote_chunks then Error "implausible chunk count"
+  else if generation < 0 || key_epoch < 0 || key_epoch > 0xFFFF then
+    Error "bad generation or key epoch"
   else
     Ok
       {
@@ -257,7 +433,78 @@ let geometry ~scheme ~chunk_size ~fragment_size ~payload_length ~chunk_count =
         payload_len = payload_length;
         chunks = Array.make chunk_count "";
         digests = Array.make chunk_count "";
+        generation;
+        key_epoch;
+        versions = Array.make chunk_count 0;
+        roots = Array.make chunk_count "";
       }
+
+(* Keyless republication: graft new ciphertext/digest material onto an
+   existing container view. This is what a terminal (mirror) does when it
+   applies a chunk delta — no secrets involved, the SOE's digest checks
+   remain the integrity boundary. Every structural rule of [of_bytes] is
+   re-validated so a hostile delta cannot forge an inconsistent container. *)
+let patch t ~payload_length ~generation ~key_epoch ~full ~reseals =
+  let exception Reject of string in
+  let reject fmt = Printf.ksprintf (fun m -> raise (Reject m)) fmt in
+  try
+    let chunk_size = t.chunk_size in
+    let blob = if t.scheme = Ecb then 0 else digest_blob_size in
+    if payload_length < 0 then reject "negative payload length";
+    if generation < t.generation then
+      reject "generation %d moves backwards from %d" generation t.generation;
+    if key_epoch < t.key_epoch || key_epoch > 0xFFFF then
+      reject "key epoch %d moves backwards from %d" key_epoch t.key_epoch;
+    let nchunks = max 1 ((payload_length + chunk_size - 1) / chunk_size) in
+    if nchunks > max_remote_chunks then reject "implausible chunk count";
+    let old_n = Array.length t.chunks in
+    let chunks = Array.make nchunks "" in
+    let digests = Array.make nchunks "" in
+    let versions = Array.make nchunks 0 in
+    let carried = min old_n nchunks in
+    Array.blit t.chunks 0 chunks 0 carried;
+    Array.blit t.digests 0 digests 0 carried;
+    Array.blit t.versions 0 versions 0 carried;
+    List.iter
+      (fun (i, version, cipher, digest) ->
+        if i < 0 || i >= nchunks then reject "chunk %d outside new geometry" i;
+        if String.length cipher <> chunk_size then
+          reject "chunk %d ciphertext of %d bytes, expected %d" i
+            (String.length cipher) chunk_size;
+        if String.length digest <> blob then
+          reject "chunk %d digest blob of %d bytes, expected %d" i
+            (String.length digest) blob;
+        if version < 0 || version > generation then
+          reject "chunk %d version %d exceeds generation %d" i version generation;
+        chunks.(i) <- cipher;
+        digests.(i) <- digest;
+        versions.(i) <- version)
+      full;
+    List.iter
+      (fun (i, digest) ->
+        if i < 0 || i >= nchunks then reject "reseal %d outside new geometry" i;
+        if blob = 0 then reject "reseal under a digest-less scheme";
+        if String.length digest <> blob then
+          reject "reseal %d digest blob of %d bytes, expected %d" i
+            (String.length digest) blob;
+        digests.(i) <- digest)
+      reseals;
+    Array.iteri
+      (fun i c -> if c = "" then reject "chunk %d has no ciphertext" i)
+      chunks;
+    Ok
+      {
+        t with
+        payload_len = payload_length;
+        chunks;
+        digests;
+        generation;
+        key_epoch;
+        versions;
+        (* grafted ciphertext invalidates any cached subtree hashes *)
+        roots = Array.make nchunks "";
+      }
+  with Reject msg -> Error msg
 
 let chunk_ciphertext t i = t.chunks.(i)
 let encrypted_digest t i = t.digests.(i)
@@ -320,7 +567,8 @@ let verify_chunk t ~key i ~plain =
   match expected with
   | None -> ()
   | Some expected ->
-      if not (String.equal expected (decrypt_digest t ~key i)) then
+      (* constant-time: the decrypted digest derives from the key *)
+      if not (Ct.equal expected (decrypt_digest t ~key i)) then
         raise (Integrity_failure (Printf.sprintf "chunk %d digest mismatch" i))
 
 let decrypt_all t ~key ~verify =

@@ -37,39 +37,84 @@ val chunk_count : t -> int
 val ciphertext_bytes : t -> int
 (** Total encrypted payload size (excludes digests). *)
 
+val generation : t -> int
+(** Publication generation: 0 for a freshly encrypted container, bumped by
+    one per (incremental) republication. A generation-0, epoch-0 container
+    serializes in the original [XACR1] layout; anything else as [XACR2]. *)
+
+val key_epoch : t -> int
+(** Document-key epoch: bumped on key rotation (revocation). Licenses carry
+    the epoch their key belongs to; a pre-rotation license fails typed. *)
+
+val chunk_version : t -> int -> int
+(** The generation at which chunk [i] was last rewritten ([<= generation]).
+    The per-chunk version vector is what lets a server compute the delta
+    against any older generation from the current container alone. *)
+
 val digest_bytes : t -> int
 (** Total size of the (encrypted) chunk digests. *)
 
 val encrypt :
   ?chunk_size:int ->
   ?fragment_size:int ->
+  ?generation:int ->
+  ?key_epoch:int ->
   scheme:scheme ->
   key:Des.Triple.key ->
   string ->
   t
 (** Build a container. [chunk_size] (default 2048) must be a multiple of
     [fragment_size] (default 256) with a power-of-two ratio; both must be
-    multiples of 8. *)
+    multiples of 8. [generation] and [key_epoch] default to 0 (a pristine
+    publication); a key rotation republishes with both bumped. *)
+
+val reencrypt :
+  t ->
+  key:Des.Triple.key ->
+  old_payload:string ->
+  payload:string ->
+  t * int list
+(** Incremental republication: produce the container of [payload] at
+    generation [generation t + 1], re-encrypting {e only} the chunks whose
+    padded plaintext differs from [old_payload]'s at the same absolute
+    position (plus appended chunks, plus the last surviving chunk on a
+    shrink) — the same rule [Skip_index.Update] uses to predict
+    [chunks_to_reencrypt]. Unchanged chunks physically reuse the old
+    ciphertext strings (and, for ECB-MHT, the cached subtree hashes: a
+    reseal recomputes no fragment hash). Returns the new container and the
+    sorted rewritten-chunk list. When the payload length changes, clean
+    chunks are resealed (digest-only rewrite) because every digest binds
+    the header geometry. @raise Invalid_argument if [old_payload] does not
+    match [payload_length t], or on a ciphertext-less geometry view. *)
 
 val to_bytes : t -> string
 (** Serialized container (header + chunks), as stored on the server /
-    untrusted terminal. *)
+    untrusted terminal. Generation-0, epoch-0 containers serialize as
+    [XACR1] (byte-compatible with pre-versioning builds); versioned state
+    promotes the stream to [XACR2] (generation + key epoch in the header,
+    a version word before every chunk). *)
 
 val of_bytes : string -> t
 (** Parse a serialized container without verifying anything (the terminal
-    side). @raise Corrupt on malformed headers — including oversized or
-    negative (integer-overflowed) payload lengths, which would otherwise
-    surface as out-of-bounds accesses during decryption. *)
+    side). Reads both [XACR1] and [XACR2]. @raise Corrupt on malformed
+    headers — including oversized or negative (integer-overflowed) payload
+    lengths, which would otherwise surface as out-of-bounds accesses
+    during decryption. A well-formed magic from a {e newer} writer
+    ([XACR3]..[XACR9]) fails with the distinct, actionable
+    ["unsupported container version ..."] rather than ["bad magic"]. *)
 
 val of_bytes_result : string -> (t, string) result
 (** {!of_bytes} as a [result]; never raises. *)
 
 val geometry :
+  ?generation:int ->
+  ?key_epoch:int ->
   scheme:scheme ->
   chunk_size:int ->
   fragment_size:int ->
   payload_length:int ->
   chunk_count:int ->
+  unit ->
   (t, string) result
 (** A header-only container view for the SOE end of a remote session: the
     geometry an untrusted terminal advertises in its wire handshake,
@@ -77,6 +122,24 @@ val geometry :
     the allocation-controlling [chunk_count]). The value carries no
     ciphertext — payload bytes only ever reach the SOE through the wire,
     via {!decrypt_digest_blob} and {!decrypt_chunk_cipher}. *)
+
+val patch :
+  t ->
+  payload_length:int ->
+  generation:int ->
+  key_epoch:int ->
+  full:(int * int * string * string) list ->
+  reseals:(int * string) list ->
+  (t, string) result
+(** Keyless republication (the terminal/mirror side of delta sync): graft
+    [full] entries [(chunk, version, ciphertext, encrypted digest)] and
+    [reseals] [(chunk, encrypted digest)] onto [t], extending or
+    truncating to [payload_length]'s geometry and moving to [generation] /
+    [key_epoch]. Chunks not named keep their ciphertext, digest and
+    version. Structural rules are re-validated (sizes, hole-freedom,
+    monotone generation/epoch, versions bounded by [generation]), so a
+    hostile delta yields [Error], never an inconsistent container; content
+    authenticity stays with the SOE's digest checks. *)
 
 (** {2 Terminal-side accessors (no secrets involved)} *)
 

@@ -89,6 +89,8 @@ let wire_seed_frames =
              batching = true;
              mux = true;
              trace = true;
+             generation = 0;
+             key_epoch = 0;
            };
          Fragment (String.make 64 '\x2a');
          Chunk (String.make 512 '\x2a');

@@ -123,6 +123,12 @@ let orderings = function
         le "lwb_int_kbps" "lwb_kbps";
       ]
   | "ablation" -> [ le "full_s" "no_skipping_s" ]
+  | "dissem" ->
+      (* dissemination is only worth shipping if syncing is cheaper than
+         re-fetching: the delta bytes for a whole update run (including
+         the full-coverage rotation delta) must stay under the bytes the
+         same run of full re-fetches paid *)
+      [ le "delta_bytes" "full_bytes" ]
   | "remote" ->
       (* the wire ships exactly what the in-process channel meters: the
          equality is pinned as an ordering in both directions *)

@@ -83,6 +83,7 @@ type cost = {
   unchanged_suffix : int;
   rewritten_bytes : int;
   chunks_to_reencrypt : int;
+  chunks_dirty : int list;
   dictionary_changed : bool;
 }
 
@@ -130,7 +131,9 @@ let update_encoded ?(chunk_size = 2048) ~layout encoded operation =
   if new_len < old_len && new_len > 0 then
     Hashtbl.replace chunks ((new_len - 1) / chunk_size) ();
   let rewritten_bytes = !rewritten_bytes in
-  let chunks_to_reencrypt = Hashtbl.length chunks in
+  let chunks_dirty =
+    List.sort compare (Hashtbl.fold (fun c () acc -> c :: acc) chunks [])
+  in
   ( encoded',
     {
       old_bytes = String.length encoded;
@@ -138,7 +141,8 @@ let update_encoded ?(chunk_size = 2048) ~layout encoded operation =
       unchanged_prefix;
       unchanged_suffix;
       rewritten_bytes;
-      chunks_to_reencrypt;
+      chunks_to_reencrypt = List.length chunks_dirty;
+      chunks_dirty;
       dictionary_changed =
         Dict.tags old_dict <> Dict.tags new_dict;
     } )

@@ -38,6 +38,10 @@ type cost = {
           encryption this is exactly what must be re-encrypted — a shifted
           tail counts in full, a truncated tail costs nothing *)
   chunks_to_reencrypt : int;  (** container chunks covering those bytes *)
+  chunks_dirty : int list;
+      (** the chunks themselves, sorted ascending — the exact set an
+          incremental re-encryptor
+          ({!Xmlac_crypto.Secure_container.reencrypt}) rewrites *)
   dictionary_changed : bool;  (** a tag entered or left the dictionary *)
 }
 

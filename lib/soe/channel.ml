@@ -526,8 +526,10 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
         | Some r -> r
         | None -> raise (C.Integrity_failure "incomplete Merkle cover")
       in
+      (* constant-time: the sealed root derives from the key, the digest
+         came from the untrusted terminal *)
       u.fu_ok <-
-        String.equal
+        Xmlac_crypto.Ct.equal
           (C.seal_root container ~chunk:u.fu_chunk ~root)
           u.fu_digest
     end;
@@ -718,7 +720,7 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
                 ~cipher:u.cu_cipher
           | C.Ecb | C.Ecb_mht -> assert false
         in
-        u.cu_ok <- String.equal expected u.cu_digest
+        u.cu_ok <- Xmlac_crypto.Ct.equal expected u.cu_digest
       end
     end;
     if scheme = C.Cbc_shac then

@@ -7,13 +7,16 @@ type t = {
   rules : (string * Rule.sign * string) list;
   document_key : string;
   valid_until : int option;
+  key_epoch : int;
 }
 
-let make ?valid_until ~subject ~document_key rules =
+let make ?valid_until ?(key_epoch = 0) ~subject ~document_key rules =
   if String.length document_key <> 24 then
     invalid_arg "License.make: document key must be 24 bytes";
+  if key_epoch < 0 || key_epoch > 0xFFFF then
+    invalid_arg "License.make: key epoch out of range";
   (* validate rules eagerly: ids distinct, paths parseable *)
-  let t = { subject; rules; document_key; valid_until } in
+  let t = { subject; rules; document_key; valid_until; key_epoch } in
   let _ =
     Policy.make
       (List.map (fun (id, sign, path) -> Rule.parse ~id ~sign path) rules)
@@ -30,16 +33,37 @@ let key t = Xmlac_crypto.Des.Triple.key_of_string t.document_key
 let is_valid_at t ~now =
   match t.valid_until with None -> true | Some limit -> now <= limit
 
+let authorize ?(revoked = []) t ~container_epoch =
+  if List.mem t.subject revoked then
+    Error (Printf.sprintf "license for %S has been revoked" t.subject)
+  else if t.key_epoch < container_epoch then
+    Error
+      (Printf.sprintf
+         "license key epoch %d predates container epoch %d: the document \
+          key was rotated, obtain a reissued license"
+         t.key_epoch container_epoch)
+  else if t.key_epoch > container_epoch then
+    Error
+      (Printf.sprintf
+         "license key epoch %d is newer than container epoch %d: this copy \
+          of the document predates the rotation"
+         t.key_epoch container_epoch)
+  else Ok ()
+
 (* Serialization ------------------------------------------------------------ *)
 
+(* v2 appends the key epoch; v1 blobs (sealed by pre-rotation builds) are
+   still accepted and read as epoch 0 *)
 let magic = "XLIC1"
+let magic_v2 = "XLIC2"
 
 let serialize t =
   let w = Bitio.Writer.create () in
-  Bitio.Writer.bytes w magic;
+  Bitio.Writer.bytes w (if t.key_epoch = 0 then magic else magic_v2);
   Bitio.Writer.varint w (String.length t.subject);
   Bitio.Writer.bytes w t.subject;
   Bitio.Writer.bytes w t.document_key;
+  if t.key_epoch > 0 then Bitio.Writer.varint w t.key_epoch;
   (match t.valid_until with
   | None -> Bitio.Writer.bits w ~width:8 0
   | Some v ->
@@ -60,10 +84,11 @@ let deserialize payload =
   try
     let r = Bitio.Reader.of_string payload in
     let m = Bitio.Reader.bytes r (String.length magic) in
-    if m <> magic then Error "bad license magic"
+    if m <> magic && m <> magic_v2 then Error "bad license magic"
     else begin
       let subject = Bitio.Reader.bytes r (Bitio.Reader.varint r) in
       let document_key = Bitio.Reader.bytes r 24 in
+      let key_epoch = if m = magic then 0 else Bitio.Reader.varint r in
       let valid_until =
         match Bitio.Reader.bits r ~width:8 with
         | 0 -> None
@@ -79,7 +104,7 @@ let deserialize payload =
             let path = Bitio.Reader.bytes r (Bitio.Reader.varint r) in
             (id, sign, path))
       in
-      Ok (make ?valid_until ~subject ~document_key rules)
+      Ok (make ?valid_until ~key_epoch ~subject ~document_key rules)
     end
   with
   | Invalid_argument msg -> Error msg
@@ -127,7 +152,9 @@ let unseal ~soe_key blob =
           let payload = String.sub tagged 0 (n - Xmlac_crypto.Sha1.digest_size) in
           let tag = String.sub tagged (n - Xmlac_crypto.Sha1.digest_size)
               Xmlac_crypto.Sha1.digest_size in
-          if not (String.equal tag (auth_tag ~soe_key payload)) then
+          (* constant-time: the expected tag derives from the SOE key, and
+             the blob is attacker-supplied *)
+          if not (Xmlac_crypto.Ct.equal tag (auth_tag ~soe_key payload)) then
             Error "license authentication failed"
           else deserialize payload
         end

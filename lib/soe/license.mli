@@ -18,16 +18,22 @@ type t = {
           [subject] in {!policy} *)
   document_key : string;  (** 24 bytes *)
   valid_until : int option;  (** issuer-defined clock, e.g. epoch days *)
+  key_epoch : int;
+      (** which rotation of the document key this license carries; a
+          container past a key rotation refuses (typed) any license whose
+          epoch is older — that is how revocation is enforced
+          cryptographically rather than by terminal goodwill *)
 }
 
 val make :
   ?valid_until:int ->
+  ?key_epoch:int ->
   subject:string ->
   document_key:string ->
   (string * Xmlac_core.Rule.sign * string) list ->
   t
-(** @raise Invalid_argument if the key is not 24 bytes, or a rule does not
-    parse. *)
+(** @raise Invalid_argument if the key is not 24 bytes, a rule does not
+    parse, or [key_epoch] (default 0) is outside [0, 65535]. *)
 
 val policy : t -> Xmlac_core.Policy.t
 (** The subject's policy, USER-resolved. *)
@@ -35,6 +41,17 @@ val policy : t -> Xmlac_core.Policy.t
 val key : t -> Xmlac_crypto.Des.Triple.key
 
 val is_valid_at : t -> now:int -> bool
+
+val authorize :
+  ?revoked:string list -> t -> container_epoch:int -> (unit, string) result
+(** The dissemination-era gate, checked {e before} the document key ever
+    touches ciphertext: [Error] when the subject appears on [revoked] (the
+    list a delta distributed), or when [key_epoch] differs from the
+    container's. A stale license holds a pre-rotation key — under plain
+    ECB it would silently decrypt to garbage; this check turns that into
+    a deterministic typed refusal. A {e newer} epoch is refused too: each
+    epoch derives a distinct key, so the mismatch cannot decrypt either
+    direction. *)
 
 val seal : soe_key:Xmlac_crypto.Des.Triple.key -> t -> string
 (** Serialize, authenticate and encrypt. *)

@@ -101,6 +101,8 @@ let response_kind : Protocol.response -> string = function
   | Siblings _ -> "siblings"
   | Batched _ -> "batch"
   | Stats_reply _ -> "stats"
+  | Sync_delta _ -> "sync delta"
+  | Sync_uptodate -> "sync up-to-date"
   | Bye_ok -> "bye"
   | Err _ -> "error"
 
@@ -377,6 +379,26 @@ let fetch_batch t reqs =
       reqs subs;
     subs
   end
+
+(* Dissemination plane: one Sync round trip. The encoded delta is opaque
+   here — decoding and applying it is [Xmlac_dissem.Delta]'s job (via
+   [Mirror]), keeping the client free of any container dependency beyond
+   what the data plane already has. *)
+let sync t ~have_gen =
+  let r =
+    call t
+      (Protocol.Sync { have_gen })
+      (function
+        | Protocol.Sync_delta d -> `Delta d
+        | Protocol.Sync_uptodate -> `Uptodate
+        | r -> Error.protocolf "expected sync reply, got %s" (response_kind r))
+  in
+  t.stats.syncs <- t.stats.syncs + 1;
+  (match r with
+  | `Delta d ->
+      t.stats.sync_delta_bytes <- t.stats.sync_delta_bytes + String.length d
+  | `Uptodate -> ());
+  r
 
 (* Admin plane: ask the terminal for its telemetry snapshot. The terminal
    answers only on local transports; elsewhere this surfaces the server's

@@ -76,6 +76,10 @@ val trace : t -> string
 
 val stats : t -> Stats.t
 
+val response_kind : Protocol.response -> string
+(** Human-readable response-kind label, for error messages of callers
+    that pattern-match replies themselves (e.g. batch consumers). *)
+
 val fetch_stats : t -> string
 (** Admin plane: the terminal's telemetry snapshot as a JSON document
     (schema {!Telemetry.schema}). Served only on local transports — a
@@ -96,6 +100,16 @@ val fetch_hash_state : t -> chunk:int -> fragment:int -> upto:int -> string
 
 val fetch_siblings : t -> chunk:int -> fragment:int -> string list
 (** Merkle sibling digests in {!Xmlac_crypto.Merkle.sibling_cover} order. *)
+
+val sync : t -> have_gen:int -> [ `Delta of string | `Uptodate ]
+(** Dissemination plane (XWTP v1.3): ask the terminal for what changed
+    since generation [have_gen] of the bound container. [`Delta d] is an
+    encoded chunk delta — opaque here; decode and apply it with
+    [Xmlac_dissem.Delta] (or use [Mirror], which drives the whole sync
+    loop). A terminal that cannot bridge the gap (republished-from-scratch
+    lineage, or a pre-v1.3 terminal rejecting the opcode) surfaces as a
+    [Server] error; the caller falls back to a full fetch. Counted in
+    {!Stats.t.syncs} / {!Stats.t.sync_delta_bytes}. *)
 
 val fetch_batch : t -> Protocol.request list -> Protocol.response list
 (** Send several data requests as one [Batch] frame and return the replies

@@ -1,6 +1,6 @@
 module C = Xmlac_crypto.Secure_container
 
-let version = 2
+let version = 3
 let min_version = 1
 let hello_magic = "XWTP"
 
@@ -41,6 +41,14 @@ type metadata = {
       (* whether the terminal accepted the hello's trace id and will link
          its own spans to it — granted only when the hello carried one,
          because pre-telemetry clients reject unknown reply flag bits *)
+  generation : int;
+      (* publication generation of the bound container (XWTP v1.3): what a
+         mirror compares its own generation against to decide whether to
+         Sync. Encoded only when [meta_version >= 3], so replies to older
+         clients keep their exact pre-dissemination shape. *)
+  key_epoch : int;
+      (* document-key epoch of the bound container (v1.3): lets an SOE
+         refuse a stale license before fetching anything *)
 }
 
 type request =
@@ -52,6 +60,7 @@ type request =
   | Get_siblings of { chunk : int; fragment : int }
   | Batch of request list
   | Get_stats
+  | Sync of { have_gen : int }
   | Bye
 
 type response =
@@ -63,6 +72,8 @@ type response =
   | Siblings of string list
   | Batched of response list
   | Stats_reply of string
+  | Sync_delta of string
+  | Sync_uptodate
   | Bye_ok
   | Err of { code : int; message : string }
 
@@ -160,7 +171,7 @@ let rec encode_request req =
       List.iter
         (fun sub ->
           (match sub with
-          | Hello _ | Bye | Batch _ | Get_stats ->
+          | Hello _ | Bye | Batch _ | Get_stats | Sync _ ->
               invalid_arg "Protocol: request cannot be batched"
           | _ -> ());
           let encoded = encode_request sub in
@@ -168,6 +179,9 @@ let rec encode_request req =
           Buffer.add_string b encoded)
         subs
   | Get_stats -> add_u8 b 0x0A
+  | Sync { have_gen } ->
+      add_u8 b 0x0B;
+      add_u64 b have_gen
   | Bye -> add_u8 b 0x07);
   Buffer.contents b
 
@@ -186,7 +200,16 @@ let rec encode_response resp =
         ((if m.integrity then 1 else 0)
         lor (if m.batching then 2 else 0)
         lor (if m.mux then 4 else 0)
-        lor if m.trace then 8 else 0)
+        lor if m.trace then 8 else 0);
+      (* the v1.3 extension: generation and key epoch, only when the
+         negotiated version speaks them — v1/v2 replies keep their exact
+         historical shape (old decoders reject trailing bytes) *)
+      if m.meta_version >= 3 then begin
+        add_u64 b m.generation;
+        add_u16 b m.key_epoch
+      end
+      (* under a negotiated v1/v2 the fields are simply not spoken: a
+         downgraded client sees the container as an unversioned whole *)
   | Fragment cipher ->
       add_u8 b 0x82;
       Buffer.add_string b cipher
@@ -222,7 +245,8 @@ let rec encode_response resp =
       List.iter
         (fun sub ->
           (match sub with
-          | Hello_ok _ | Bye_ok | Batched _ | Stats_reply _ ->
+          | Hello_ok _ | Bye_ok | Batched _ | Stats_reply _ | Sync_delta _
+          | Sync_uptodate ->
               invalid_arg "Protocol: response cannot be batched"
           | _ -> ());
           let encoded = encode_response sub in
@@ -232,6 +256,10 @@ let rec encode_response resp =
   | Stats_reply json ->
       add_u8 b 0x89;
       Buffer.add_string b json
+  | Sync_delta delta ->
+      add_u8 b 0x8A;
+      Buffer.add_string b delta
+  | Sync_uptodate -> add_u8 b 0x8B
   | Bye_ok -> add_u8 b 0x87
   | Err { code; message } ->
       add_u8 b 0xFF;
@@ -322,7 +350,7 @@ let rec decode_request payload =
         let len = u16 cur "batched request length" in
         let sub_payload = take cur len "batched request" in
         match decode_request sub_payload with
-        | Hello _ | Bye | Batch _ | Get_stats ->
+        | Hello _ | Bye | Batch _ | Get_stats | Sync _ ->
             raise (Bad "request cannot be batched")
         | sub -> subs := sub :: !subs
       done;
@@ -391,6 +419,10 @@ let rec decode_request payload =
   | 0x0A ->
       finish cur "stats request";
       Get_stats
+  | 0x0B ->
+      let have_gen = u64 cur "sync generation" in
+      finish cur "sync request";
+      Sync { have_gen }
   | 0x07 ->
       finish cur "bye";
       Bye
@@ -409,7 +441,8 @@ let rec decode_response payload =
         let len = u32 cur "batched response length" in
         let sub_payload = take cur len "batched response" in
         match decode_response sub_payload with
-        | Hello_ok _ | Bye_ok | Batched _ | Stats_reply _ ->
+        | Hello_ok _ | Bye_ok | Batched _ | Stats_reply _ | Sync_delta _
+        | Sync_uptodate ->
             raise (Bad "response cannot be batched")
         | sub -> subs := sub :: !subs
       done;
@@ -423,6 +456,10 @@ let rec decode_response payload =
       let payload_length = u64 cur "payload length" in
       let chunk_count = u32 cur "chunk count" in
       let flags = u8 cur "flags" in
+      let generation =
+        if meta_version >= 3 then u64 cur "generation" else 0
+      in
+      let key_epoch = if meta_version >= 3 then u16 cur "key epoch" else 0 in
       finish cur "hello reply";
       let scheme =
         match scheme_of_code scheme_byte with
@@ -443,6 +480,8 @@ let rec decode_response payload =
           batching = flags land 2 = 2;
           mux = flags land 4 = 4;
           trace = flags land 8 = 8;
+          generation;
+          key_epoch;
         }
   | 0x82 -> Fragment (rest cur)
   | 0x83 -> Chunk (rest cur)
@@ -467,6 +506,10 @@ let rec decode_response payload =
       finish cur "siblings reply";
       Siblings (List.rev !digests)
   | 0x89 -> Stats_reply (rest cur)
+  | 0x8A -> Sync_delta (rest cur)
+  | 0x8B ->
+      finish cur "sync up-to-date reply";
+      Sync_uptodate
   | 0x87 ->
       finish cur "bye reply";
       Bye_ok
@@ -490,6 +533,8 @@ let metadata_of_container container =
     batching = true;
     mux = false;
     trace = false;
+    generation = C.generation container;
+    key_epoch = C.key_epoch container;
   }
 
 let metadata_geometry m =
@@ -503,7 +548,9 @@ let metadata_geometry m =
     Error "terminal advertises trace propagation under protocol version 1"
   else if m.integrity <> (m.scheme <> C.Ecb) then
     Error "terminal integrity flag contradicts its scheme"
+  else if (m.generation <> 0 || m.key_epoch <> 0) && m.meta_version < 3 then
+    Error "terminal advertises versioned metadata under protocol version < 3"
   else
-    C.geometry ~scheme:m.scheme ~chunk_size:m.chunk_size
-      ~fragment_size:m.fragment_size ~payload_length:m.payload_length
-      ~chunk_count:m.chunk_count
+    C.geometry ~generation:m.generation ~key_epoch:m.key_epoch ~scheme:m.scheme
+      ~chunk_size:m.chunk_size ~fragment_size:m.fragment_size
+      ~payload_length:m.payload_length ~chunk_count:m.chunk_count ()

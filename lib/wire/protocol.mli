@@ -15,8 +15,10 @@
 module C = Xmlac_crypto.Secure_container
 
 val version : int
-(** The newest protocol version this build speaks (2, XWTP v1.2: named
-    containers and session multiplexing in the hello exchange). *)
+(** The newest protocol version this build speaks (3, XWTP v1.3: container
+    generation and key epoch in the hello reply, and the [Sync] delta
+    exchange — on top of v1.2's named containers and session
+    multiplexing). *)
 
 val min_version : int
 (** The oldest version still served (1). A v1 hello gets a v1-shaped
@@ -68,6 +70,16 @@ type metadata = {
           a trace id: pre-telemetry clients reject unknown reply flag
           bits, so the terminal never volunteers the bit unprompted.
           [false] in every v1-shaped reply. *)
+  generation : int;
+      (** publication generation of the bound container (XWTP v1.3) — what
+          a mirror compares its local generation against before issuing a
+          [Sync]. On the wire only when [meta_version >= 3]; replies to
+          older clients keep their exact historical shape and this decodes
+          as 0. *)
+  key_epoch : int;
+      (** document-key epoch of the bound container (v1.3): an SOE holding
+          a license of an older epoch can refuse before fetching anything.
+          On the wire only when [meta_version >= 3]. *)
 }
 
 type request =
@@ -103,6 +115,14 @@ type request =
           transports and reject it with [err_unsupported] elsewhere, so
           remote tenants cannot harvest cross-tenant traffic shapes. Not
           batchable. *)
+  | Sync of { have_gen : int }
+      (** "I hold generation [have_gen] of the bound container; send me
+          what changed since." Answered with {!Sync_delta} (an encoded
+          chunk delta, see [Xmlac_dissem.Delta]), {!Sync_uptodate} when
+          [have_gen] is current, or [err_out_of_range] when the terminal
+          cannot bridge the gap (the mirror then falls back to a full
+          fetch). XWTP v1.3; not batchable (a delta reply can dwarf every
+          other response kind). *)
   | Bye
 
 type response =
@@ -119,6 +139,11 @@ type response =
       (** the telemetry snapshot as a JSON document (schema
           ["xwtp.telemetry.v1"], see {!Telemetry.to_json}); opaque to the
           protocol layer. Not batchable. *)
+  | Sync_delta of string
+      (** the encoded chunk delta bridging the requested generation to the
+          current one; opaque to the protocol layer (decoded and applied by
+          [Xmlac_dissem.Delta]). Not batchable. *)
+  | Sync_uptodate  (** the mirror's generation is already current *)
   | Bye_ok
   | Err of { code : int; message : string }
 

@@ -4,10 +4,19 @@ module Sha1 = Xmlac_crypto.Sha1
 module Lru = Xmlac_runtime.Lru
 module Pool = Xmlac_runtime.Pool
 
-(* One published container. [gen] is unique per publication, so shared
-   cache keys survive unpublish/republish of the same id without ever
-   serving stale data. *)
-type entry = { e_id : string; gen : int; container : C.t; meta : Protocol.metadata }
+(* One published container. [gen] is unique per full publication, so
+   shared cache keys survive unpublish/republish of the same id without
+   ever serving stale data; a delta republish ([apply_delta]) keeps [gen]
+   — cache keys carry the per-chunk version instead, so untouched chunks
+   keep their cached leaf hashes across the republish. [revoked] is the
+   cumulative revocation list the container's deltas carry. *)
+type entry = {
+  e_id : string;
+  gen : int;
+  container : C.t;
+  meta : Protocol.metadata;
+  revoked : string list;
+}
 
 type t = {
   mutable entries : entry list;  (* publish order; head of order = default *)
@@ -17,16 +26,23 @@ type t = {
      every session of every container — the terminal is an ordinary
      computer and caches freely; bounded so a wide fleet of containers
      cannot grow it without limit. Keyed by (publication generation,
-     chunk), never by id, so republishing invalidates for free. *)
-  leaves_cache : (int * int, string array) Lru.t;
+     chunk, chunk version), never by id: a full republish invalidates via
+     the fresh generation, a delta republish via the bumped versions of
+     exactly the rewritten chunks. *)
+  leaves_cache : (int * int * int, string array) Lru.t;
   cache_stats : Lru.stats;
   cache_mutex : Mutex.t;
+  (* encoded Sync answers, keyed (id, from_gen, to_gen): a fleet of
+     mirrors trailing by the same generation hits one computation *)
+  delta_cache : (string * int * int, string) Lru.t;
+  delta_mutex : Mutex.t;
   totals : Stats.t;
   totals_mutex : Mutex.t;
   telemetry : Telemetry.t;
 }
 
 let default_cache_capacity = 1024
+let delta_cache_capacity = 8
 
 let create ?(cache_capacity = default_cache_capacity) () =
   let cache_stats = Lru.fresh_stats () in
@@ -37,6 +53,9 @@ let create ?(cache_capacity = default_cache_capacity) () =
     leaves_cache = Lru.create ~capacity:cache_capacity ~stats:cache_stats;
     cache_stats;
     cache_mutex = Mutex.create ();
+    delta_cache =
+      Lru.create ~capacity:delta_cache_capacity ~stats:(Lru.fresh_stats ());
+    delta_mutex = Mutex.create ();
     totals = Stats.make ();
     totals_mutex = Mutex.create ();
     telemetry = Telemetry.create ();
@@ -46,7 +65,7 @@ let with_lock mu f =
   Mutex.lock mu;
   Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
 
-let publish t ~id container =
+let publish ?(revoked = []) t ~id container =
   if id = "" then invalid_arg "Server.publish: empty container id";
   if String.length id > Protocol.max_container_id then
     invalid_arg "Server.publish: container id too long";
@@ -58,6 +77,7 @@ let publish t ~id container =
       gen = t.gen_counter;
       container;
       meta = Protocol.metadata_of_container container;
+      revoked;
     }
   in
   (* replace in place so a republished id keeps its position (and the
@@ -65,6 +85,32 @@ let publish t ~id container =
   if List.exists (fun e' -> e'.e_id = id) t.entries then
     t.entries <- List.map (fun e' -> if e'.e_id = id then e else e') t.entries
   else t.entries <- t.entries @ [ e ]
+
+(* Delta republish: advance [id]'s container by one (or more) generations
+   without touching the clean chunks' identity — [gen] is kept, so their
+   shared leaf-hash cache entries (keyed by chunk version) stay warm.
+   Sessions already bound keep serving their immutable snapshot; new
+   hellos and [Sync]s see the new generation. *)
+let apply_delta t ~id delta =
+  with_lock t.registry_mutex @@ fun () ->
+  match List.find_opt (fun e -> e.e_id = id) t.entries with
+  | None -> Error (Printf.sprintf "unknown container %S" id)
+  | Some e -> (
+      match Xmlac_dissem.Delta.apply e.container delta with
+      | Error _ as err -> err
+      | Ok container ->
+          let e' =
+            {
+              e with
+              container;
+              meta = Protocol.metadata_of_container container;
+              revoked = delta.Xmlac_dissem.Delta.revoked;
+            }
+          in
+          t.entries <-
+            List.map (fun e0 -> if e0.e_id = id then e' else e0) t.entries;
+          Telemetry.republished t.telemetry;
+          Ok container)
 
 let unpublish t ~id =
   with_lock t.registry_mutex @@ fun () ->
@@ -146,7 +192,9 @@ let leaves ?stats t e chunk =
         else s.cache_misses <- s.cache_misses + 1
   in
   with_lock t.cache_mutex @@ fun () ->
-  match Lru.find t.leaves_cache (e.gen, chunk) with
+  match
+    Lru.find t.leaves_cache (e.gen, chunk, C.chunk_version e.container chunk)
+  with
   | Some l ->
       attribute true;
       l
@@ -159,12 +207,31 @@ let leaves ?stats t e chunk =
             C.fragment_leaf_hash_sub e.container ~chunk ~fragment:i ~cipher
               ~pos:(i * fsize) ~len:fsize)
       in
-      Lru.insert t.leaves_cache (e.gen, chunk) l;
+      Lru.insert t.leaves_cache
+        (e.gen, chunk, C.chunk_version e.container chunk)
+        l;
       attribute false;
       l
 
 let err code fmt =
   Printf.ksprintf (fun message -> Protocol.Err { code; message }) fmt
+
+(* The encoded answer to "I have [from_gen]" against [e]'s current
+   container, through the shared delta cache: a fleet of mirrors trailing
+   by the same span costs one delta computation. *)
+let delta_for t e ~from_gen =
+  let key = (e.e_id, from_gen, C.generation e.container) in
+  with_lock t.delta_mutex @@ fun () ->
+  match Lru.find t.delta_cache key with
+  | Some d -> d
+  | None ->
+      let d =
+        Xmlac_dissem.Delta.encode
+          (Xmlac_dissem.Delta.of_container ~from_gen ~revoked:e.revoked
+             e.container)
+      in
+      Lru.insert t.delta_cache key d;
+      d
 
 (* Negotiated hello reply: the caller passes its current [binding] (the
    session's container, [None] before any successful hello on a fresh
@@ -301,6 +368,34 @@ let rec handle_request ?stats t e req =
       (* only the serving loops answer this, and only on local
          transports; reaching it through any other path is a refusal *)
       err Protocol.err_unsupported "stats are served only on local transports"
+  | Sync { have_gen } ->
+      (* answered against the id's CURRENT registry entry, not the
+         session's bound snapshot: data requests keep serving the
+         immutable binding, but a sync's whole point is to move the peer
+         forward. The per-chunk version vector bridges any generation the
+         current lineage ever published; a [have_gen] above the current
+         generation means the id was republished from scratch (fresh
+         lineage, generation reset) and the peer must refetch. *)
+      let cur =
+        match find_entry t e.e_id with Some c -> c | None -> e
+      in
+      let gen = C.generation cur.container in
+      if have_gen < 0 || have_gen > gen then begin
+        Telemetry.sync_served t.telemetry ~uptodate:false ~bytes:0;
+        err Protocol.err_out_of_range
+          "cannot bridge generation %d (current lineage is at %d)" have_gen
+          gen
+      end
+      else if have_gen = gen then begin
+        Telemetry.sync_served t.telemetry ~uptodate:true ~bytes:0;
+        Protocol.Sync_uptodate
+      end
+      else begin
+        let d = delta_for t cur ~from_gen:have_gen in
+        Telemetry.sync_served t.telemetry ~uptodate:false
+          ~bytes:(String.length d);
+        Protocol.Sync_delta d
+      end
   | Bye -> Protocol.Bye_ok
 
 let no_container = err Protocol.err_unsupported "no container published"
@@ -339,6 +434,7 @@ let request_kind : Protocol.request -> string = function
   | Protocol.Get_siblings _ -> "siblings"
   | Protocol.Batch _ -> "batch"
   | Protocol.Get_stats -> "stats"
+  | Protocol.Sync _ -> "sync"
   | Protocol.Bye -> "bye"
 
 (* Run [f] inside a hand-rolled "server.request" span linked to the

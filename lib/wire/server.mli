@@ -26,11 +26,31 @@ val make : Xmlac_crypto.Secure_container.t -> t
 (** [create] plus [publish ~id:"default"] — the single-container shape
     every pre-fleet call site expects. *)
 
-val publish : t -> id:string -> Xmlac_crypto.Secure_container.t -> unit
+val publish :
+  ?revoked:string list ->
+  t ->
+  id:string ->
+  Xmlac_crypto.Secure_container.t ->
+  unit
 (** Publish (or atomically replace) a container under [id]. Replacing
     keeps the id's position in {!container_ids} and invalidates its shared
-    cache entries (keys carry a publication generation).
+    cache entries (keys carry a publication generation). [revoked] seeds
+    the cumulative revocation list served with this id's deltas (e.g. when
+    seeding a terminal with a post-rotation container).
     @raise Invalid_argument on an empty or over-long id. *)
+
+val apply_delta :
+  t ->
+  id:string ->
+  Xmlac_dissem.Delta.t ->
+  (Xmlac_crypto.Secure_container.t, string) result
+(** Advance [id]'s container by a chunk delta (the registry republish
+    path): validates and grafts via {!Xmlac_dissem.Delta.apply}, replaces
+    the entry in place, and adopts the delta's revocation list. Unlike
+    {!publish}, untouched chunks keep their shared leaf-hash cache entries
+    (cache keys carry per-chunk versions), and subsequent [Sync]s are
+    answered from the new generation — sessions already bound keep
+    serving their immutable snapshot. Returns the advanced container. *)
 
 val unpublish : t -> id:string -> bool
 (** Remove [id] from the registry; [false] when it was not published.

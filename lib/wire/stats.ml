@@ -16,6 +16,10 @@ type t = {
   mutable cache_hits : int;
   mutable cache_misses : int;
       (* per-session attribution of the terminal's shared caches *)
+  mutable syncs : int;
+      (* Sync round trips performed (delta or up-to-date answers both) *)
+  mutable sync_delta_bytes : int;
+      (* encoded delta bytes received via Sync_delta replies *)
   rtt_hist : Xmlac_obs.Histogram.t;
       (* round-trip wall time per request; "wall"-prefixed so its derived
          metrics escape the perf gate's drift check *)
@@ -36,6 +40,8 @@ let make () =
     mux_sessions = 0;
     cache_hits = 0;
     cache_misses = 0;
+    syncs = 0;
+    sync_delta_bytes = 0;
     rtt_hist = Xmlac_obs.Histogram.make "wall_rtt";
   }
 
@@ -55,6 +61,8 @@ let metrics (s : t) : Xmlac_obs.Metrics.t =
       int "mux_sessions" s.mux_sessions;
       int "cache_hits" s.cache_hits;
       int "cache_misses" s.cache_misses;
+      int "syncs" s.syncs;
+      int "sync_delta_bytes" s.sync_delta_bytes;
     ]
   @ Xmlac_obs.Histogram.metrics s.rtt_hist
 
@@ -72,4 +80,6 @@ let add ~into (s : t) =
   into.mux_sessions <- into.mux_sessions + s.mux_sessions;
   into.cache_hits <- into.cache_hits + s.cache_hits;
   into.cache_misses <- into.cache_misses + s.cache_misses;
+  into.syncs <- into.syncs + s.syncs;
+  into.sync_delta_bytes <- into.sync_delta_bytes + s.sync_delta_bytes;
   Xmlac_obs.Histogram.merge ~into:into.rtt_hist s.rtt_hist

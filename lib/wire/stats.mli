@@ -31,6 +31,13 @@ type t = {
   mutable cache_misses : int;
       (** this session's share of the terminal's registry-level shared
           caches (per-session attribution of a cross-session cache) *)
+  mutable syncs : int;
+      (** [Sync] round trips performed, whether answered with a delta or
+          with up-to-date (XWTP v1.3 dissemination) *)
+  mutable sync_delta_bytes : int;
+      (** encoded delta bytes received in [Sync_delta] replies — the
+          number the bench compares against a full fetch's
+          [payload_bytes] *)
   rtt_hist : Xmlac_obs.Histogram.t;
 }
 

@@ -49,6 +49,12 @@ type t = {
   mutable mux_opened : int;
   mutable mux_retired : int;
   mutable requests : int;
+  (* dissemination plane (XWTP v1.3): registry-level because republishes
+     and syncs are rare compared to data requests — no accumulator hop *)
+  mutable republishes : int;
+  mutable syncs : int;
+  mutable sync_uptodate : int;
+  mutable delta_bytes : int;
   tenants : (string, tenant) Hashtbl.t;
 }
 
@@ -61,6 +67,10 @@ let create () =
     mux_opened = 0;
     mux_retired = 0;
     requests = 0;
+    republishes = 0;
+    syncs = 0;
+    sync_uptodate = 0;
+    delta_bytes = 0;
     tenants = Hashtbl.create 7;
   }
 
@@ -85,6 +95,13 @@ let connection_closed t = locked t (fun () -> t.active <- t.active - 1)
 let busy_rejected t = locked t (fun () -> t.busy_rejections <- t.busy_rejections + 1)
 let mux_opened t = locked t (fun () -> t.mux_opened <- t.mux_opened + 1)
 let mux_retired t = locked t (fun () -> t.mux_retired <- t.mux_retired + 1)
+let republished t = locked t (fun () -> t.republishes <- t.republishes + 1)
+
+let sync_served t ~uptodate ~bytes =
+  locked t (fun () ->
+      t.syncs <- t.syncs + 1;
+      if uptodate then t.sync_uptodate <- t.sync_uptodate + 1;
+      t.delta_bytes <- t.delta_bytes + bytes)
 
 (* {2 Connection-local accumulator} *)
 
@@ -203,6 +220,10 @@ type server_view = {
   sr_mux_opened : int;
   sr_mux_retired : int;
   sr_requests : int;
+  sr_republishes : int;
+  sr_syncs : int;
+  sr_sync_uptodate : int;
+  sr_delta_bytes : int;
   sr_cache_hits : int;
   sr_cache_misses : int;
   sr_cache_evicted : int;
@@ -250,6 +271,10 @@ let snapshot t ~cache_hits ~cache_misses ~cache_evicted ~containers =
             sr_mux_opened = t.mux_opened;
             sr_mux_retired = t.mux_retired;
             sr_requests = t.requests;
+            sr_republishes = t.republishes;
+            sr_syncs = t.syncs;
+            sr_sync_uptodate = t.sync_uptodate;
+            sr_delta_bytes = t.delta_bytes;
             sr_cache_hits = cache_hits;
             sr_cache_misses = cache_misses;
             sr_cache_evicted = cache_evicted;
@@ -298,6 +323,10 @@ let to_json v =
             ("mux_opened", Json.Int v.server.sr_mux_opened);
             ("mux_retired", Json.Int v.server.sr_mux_retired);
             ("requests", Json.Int v.server.sr_requests);
+            ("republishes", Json.Int v.server.sr_republishes);
+            ("syncs", Json.Int v.server.sr_syncs);
+            ("sync_uptodate", Json.Int v.server.sr_sync_uptodate);
+            ("delta_bytes", Json.Int v.server.sr_delta_bytes);
             ("cache_hits", Json.Int v.server.sr_cache_hits);
             ("cache_misses", Json.Int v.server.sr_cache_misses);
             ("cache_evicted", Json.Int v.server.sr_cache_evicted);
@@ -328,6 +357,13 @@ let nonneg name v =
 let int_field_nn name j =
   let* v = int_field name j in
   nonneg name v
+
+(* fields added after v1 shipped: absent in old snapshots, so default 0
+   instead of rejecting the whole document *)
+let int_field_opt name j =
+  match Json.member name j with
+  | None -> Ok 0
+  | Some _ -> int_field_nn name j
 
 let service_of_json j =
   let* sv_count = int_field_nn "count" j in
@@ -389,6 +425,10 @@ let of_json j =
     let* sr_mux_opened = int_field_nn "mux_opened" server_j in
     let* sr_mux_retired = int_field_nn "mux_retired" server_j in
     let* sr_requests = int_field_nn "requests" server_j in
+    let* sr_republishes = int_field_opt "republishes" server_j in
+    let* sr_syncs = int_field_opt "syncs" server_j in
+    let* sr_sync_uptodate = int_field_opt "sync_uptodate" server_j in
+    let* sr_delta_bytes = int_field_opt "delta_bytes" server_j in
     let* sr_cache_hits = int_field_nn "cache_hits" server_j in
     let* sr_cache_misses = int_field_nn "cache_misses" server_j in
     let* sr_cache_evicted = int_field_nn "cache_evicted" server_j in
@@ -409,6 +449,10 @@ let of_json j =
             sr_mux_opened;
             sr_mux_retired;
             sr_requests;
+            sr_republishes;
+            sr_syncs;
+            sr_sync_uptodate;
+            sr_delta_bytes;
             sr_cache_hits;
             sr_cache_misses;
             sr_cache_evicted;

@@ -31,6 +31,13 @@ val busy_rejected : t -> unit
 val mux_opened : t -> unit
 val mux_retired : t -> unit
 
+val republished : t -> unit
+(** A container was replaced in place via a chunk delta ([apply_delta]). *)
+
+val sync_served : t -> uptodate:bool -> bytes:int -> unit
+(** One answered [Sync]: whether the peer was already current, and how
+    many encoded delta bytes went out ([0] when up to date). *)
+
 (** {2 Connection-local accumulator} *)
 
 type acc
@@ -90,6 +97,14 @@ type server_view = {
   sr_mux_opened : int;
   sr_mux_retired : int;
   sr_requests : int;
+  sr_republishes : int;
+  sr_syncs : int;
+  sr_sync_uptodate : int;
+  sr_delta_bytes : int;
+      (** dissemination plane: delta republishes accepted, [Sync]s
+          answered (of which already-up-to-date), encoded delta bytes
+          served. Encoded in every snapshot; absent in pre-dissemination
+          documents, where they decode as 0. *)
   sr_cache_hits : int;
   sr_cache_misses : int;
   sr_cache_evicted : int;

@@ -1,3 +1,11 @@
+(* A peer that disconnects mid-reply must surface as EPIPE on our write, not
+   deliver SIGPIPE and kill the whole process.  Installed once, when any
+   program links the wire library. *)
+let () =
+  match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ()
+
 type addr = Unix_socket of string | Tcp of string * int
 
 type t = {

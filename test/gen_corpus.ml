@@ -134,6 +134,8 @@ let cases : (string * string) list Lazy.t =
                 batching = true;
                 mux = false;
                 trace = false;
+                generation = 0;
+                key_epoch = 0;
               }) );
        (* a v2 hello whose trace-id length field is zero (reserved) *)
        ( "wire__hello_trace_zero_len.bin",

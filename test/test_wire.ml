@@ -78,6 +78,8 @@ let sample_responses =
         batching = true;
         mux = false;
         trace = false;
+        generation = 0;
+        key_epoch = 0;
       };
     Wire.Protocol.Hello_ok
       {
@@ -91,6 +93,23 @@ let sample_responses =
         batching = true;
         mux = true;
         trace = true;
+        generation = 0;
+        key_epoch = 0;
+      };
+    Wire.Protocol.Hello_ok
+      {
+        Wire.Protocol.meta_version = 3;
+        scheme = Container.Ecb_mht;
+        chunk_size = 512;
+        fragment_size = 64;
+        payload_length = 5000;
+        chunk_count = 10;
+        integrity = true;
+        batching = true;
+        mux = false;
+        trace = false;
+        generation = 7;
+        key_epoch = 2;
       };
     Wire.Protocol.Fragment (String.make 56 '\x42');
     Wire.Protocol.Chunk (String.make 512 '\x17');
@@ -169,6 +188,8 @@ let test_metadata_geometry_rejects () =
       batching = true;
       mux = false;
       trace = false;
+      generation = 0;
+      key_epoch = 0;
     }
   in
   (match Wire.Protocol.metadata_geometry (meta 10 (10 * 512)) with
@@ -615,7 +636,11 @@ let test_fault_sweep () =
   in
   let server = Wire.Server.make published.Session.container in
   let survived = ref 0 and rejected = ref 0 in
-  for seed = 0 to 29 do
+  (* 100 seeds: survival is a statistical property (a run survives only
+     when no fault lands in verified data), and the deterministic fault
+     stream shifts whenever reply shapes change — a wide sweep keeps the
+     assertion meaningful across protocol evolution *)
+  for seed = 0 to 99 do
     let prng = Xmlac_workload.Prng.make ~seed in
     let rng n = Xmlac_workload.Prng.int prng n in
     let connector () =
@@ -642,7 +667,7 @@ let test_fault_sweep () =
     | exception Wire.Error.Wire _ -> incr rejected
     | exception Container.Integrity_failure _ -> incr rejected
   done;
-  check int_t "every seed accounted for" 30 (!survived + !rejected);
+  check int_t "every seed accounted for" 100 (!survived + !rejected);
   check bool_t "some runs survive their faults" true (!survived > 0)
 
 (* Concurrency and sockets ------------------------------------------------ *)
@@ -1038,7 +1063,7 @@ let test_mux_equivalence scheme () =
                 Remote.connect ~container:"doc" (Wire.Mux.session mux)
               in
               let m = Session.evaluate_remote ~jobs cfg0 r Profiles.secretary in
-              check int_t "mux metadata version" 2
+              check int_t "mux metadata version" Wire.Protocol.version
                 (Remote.metadata r).Wire.Protocol.meta_version;
               Remote.close r;
               results.(i) <- Some m
@@ -1127,7 +1152,8 @@ let test_downgrade_matrix () =
   let v1 = { Wire.Client.default_config with protocol_version = 1 } in
   (* v2 client ↔ v2 terminal: full v1.2 metadata *)
   let m = meta_of ~config:v2 (Wire.Server.loopback_connector server) in
-  check int_t "v2<->v2 negotiates v2" 2 m.Wire.Protocol.meta_version;
+  check int_t "v2<->v2 negotiates the full version" Wire.Protocol.version
+    m.Wire.Protocol.meta_version;
   (* v1 client ↔ v2 terminal: the terminal answers in v1.1 *)
   let m = meta_of ~config:v1 (Wire.Server.loopback_connector server) in
   check int_t "v1 client gets v1 metadata" 1 m.Wire.Protocol.meta_version;
@@ -1170,7 +1196,8 @@ let test_downgrade_matrix () =
       check bool_t "no-mux terminal refuses the grant" false
         (Wire.Mux.is_mux mux);
       let m = meta_of ~config:v2 connector in
-      check int_t "still v2 metadata" 2 m.Wire.Protocol.meta_version;
+      check int_t "still full-version metadata" Wire.Protocol.version
+        m.Wire.Protocol.meta_version;
       check bool_t "no mux bit" false m.Wire.Protocol.mux;
       Wire.Mux.close mux)
 
@@ -1241,7 +1268,8 @@ let test_downgrade_trace_matrix () =
   (* v2 traced client ↔ v2 terminal: granted, id intact *)
   let granted, meta = evaluate (Wire.Server.loopback_connector server) in
   check bool_t "v1.2 terminal grants the trace" true granted;
-  check int_t "still v2 metadata" 2 meta.Wire.Protocol.meta_version;
+  check int_t "still full-version metadata" Wire.Protocol.version
+    meta.Wire.Protocol.meta_version;
   (* v2 traced client ↔ v1-only terminal: the strip rung fires, then the
      version ladder — connected at v1, untraced, same bytes. Both refusal
      codes a real old terminal can produce. *)
@@ -1259,8 +1287,8 @@ let test_downgrade_trace_matrix () =
     evaluate (reject_trace_connector (Wire.Server.loopback_connector server))
   in
   check bool_t "pre-telemetry terminal: no trace grant" false granted;
-  check int_t "pre-telemetry terminal: still v2 metadata" 2
-    meta.Wire.Protocol.meta_version;
+  check int_t "pre-telemetry terminal: still full-version metadata"
+    Wire.Protocol.version meta.Wire.Protocol.meta_version;
   (* the stripped client remembers: its next hellos offer no trace *)
   let c =
     Wire.Client.connect
