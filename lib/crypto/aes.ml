@@ -1,0 +1,184 @@
+(* AES-128 (FIPS 197), from scratch, for the fifth container scheme
+   (AES-CTR + SHA-256). Only encryption is implemented: CTR mode uses the
+   forward cipher for both directions, which also gives the scheme
+   byte-granular random access — exactly what the SOE's positional reads
+   want. The S-box is generated from the GF(2^8) inverse plus the affine
+   transform rather than transcribed, and the whole cipher is pinned by
+   the FIPS-197 known-answer vector in the test suite. *)
+
+let block_size = 16
+
+(* GF(2^8) modulo x^8 + x^4 + x^3 + x + 1 *)
+let xtime x = ((x lsl 1) lxor (if x land 0x80 <> 0 then 0x11b else 0)) land 0xFF
+
+let gf_mul a b =
+  let acc = ref 0 and a = ref a and b = ref b in
+  while !b <> 0 do
+    if !b land 1 = 1 then acc := !acc lxor !a;
+    a := xtime !a;
+    b := !b lsr 1
+  done;
+  !acc
+
+let sbox =
+  (* log/antilog tables over generator 3 give the multiplicative inverse;
+     the affine transform is b ^ rotl(b,1..4) ^ 0x63 *)
+  let log = Array.make 256 0 and alog = Array.make 256 0 in
+  let x = ref 1 in
+  for i = 0 to 254 do
+    alog.(i) <- !x;
+    log.(!x) <- i;
+    x := gf_mul !x 3
+  done;
+  let inv v = if v = 0 then 0 else alog.(255 - log.(v)) in
+  let rotl8 v n = ((v lsl n) lor (v lsr (8 - n))) land 0xFF in
+  Array.init 256 (fun v ->
+      let b = inv v in
+      b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 lxor 0x63)
+
+let rcon =
+  let r = Array.make 10 0 in
+  let x = ref 1 in
+  for i = 0 to 9 do
+    r.(i) <- !x;
+    x := xtime !x
+  done;
+  r
+
+type key = int array (* 44 expanded round-key words, big-endian packed *)
+
+let mask32 = 0xFFFFFFFF
+
+let sub_word w =
+  (sbox.((w lsr 24) land 0xFF) lsl 24)
+  lor (sbox.((w lsr 16) land 0xFF) lsl 16)
+  lor (sbox.((w lsr 8) land 0xFF) lsl 8)
+  lor sbox.(w land 0xFF)
+
+let expand s =
+  if String.length s <> 16 then invalid_arg "Aes.expand: need a 16-byte key";
+  let w = Array.make 44 0 in
+  for i = 0 to 3 do
+    w.(i) <-
+      (Char.code s.[4 * i] lsl 24)
+      lor (Char.code s.[(4 * i) + 1] lsl 16)
+      lor (Char.code s.[(4 * i) + 2] lsl 8)
+      lor Char.code s.[(4 * i) + 3]
+  done;
+  for i = 4 to 43 do
+    let t = w.(i - 1) in
+    let t =
+      if i mod 4 = 0 then
+        sub_word (((t lsl 8) lor (t lsr 24)) land mask32)
+        lxor (rcon.((i / 4) - 1) lsl 24)
+      else t
+    in
+    w.(i) <- w.(i - 4) lxor t
+  done;
+  w
+
+(* One block, state held as four big-endian column words. *)
+let encrypt_block_words w c0 c1 c2 c3 =
+  let s0 = ref (c0 lxor w.(0))
+  and s1 = ref (c1 lxor w.(1))
+  and s2 = ref (c2 lxor w.(2))
+  and s3 = ref (c3 lxor w.(3)) in
+  let mix a0 a1 a2 a3 =
+    (* SubBytes already applied to a0..a3 (one column, rows 0..3) *)
+    let m2 = xtime a0 lxor xtime a1 lxor a1 lxor a2 lxor a3 in
+    let m1 = a0 lxor xtime a1 lxor xtime a2 lxor a2 lxor a3 in
+    let m0 = a0 lxor a1 lxor xtime a2 lxor xtime a3 lxor a3 in
+    let m3 = xtime a0 lxor a0 lxor a1 lxor a2 lxor xtime a3 in
+    (m2 lsl 24) lor (m1 lsl 16) lor (m0 lsl 8) lor m3
+  in
+  let round r last =
+    let a = !s0 and b = !s1 and c = !s2 and d = !s3 in
+    let col x0 x1 x2 x3 =
+      let b0 = sbox.((x0 lsr 24) land 0xFF)
+      and b1 = sbox.((x1 lsr 16) land 0xFF)
+      and b2 = sbox.((x2 lsr 8) land 0xFF)
+      and b3 = sbox.(x3 land 0xFF) in
+      if last then (b0 lsl 24) lor (b1 lsl 16) lor (b2 lsl 8) lor b3
+      else mix b0 b1 b2 b3
+    in
+    s0 := col a b c d lxor w.(4 * r);
+    s1 := col b c d a lxor w.((4 * r) + 1);
+    s2 := col c d a b lxor w.((4 * r) + 2);
+    s3 := col d a b c lxor w.((4 * r) + 3)
+  in
+  for r = 1 to 9 do
+    round r false
+  done;
+  round 10 true;
+  (!s0, !s1, !s2, !s3)
+
+let word32 s pos =
+  (Char.code (String.unsafe_get s pos) lsl 24)
+  lor (Char.code (String.unsafe_get s (pos + 1)) lsl 16)
+  lor (Char.code (String.unsafe_get s (pos + 2)) lsl 8)
+  lor Char.code (String.unsafe_get s (pos + 3))
+
+let encrypt_block w src =
+  if String.length src <> 16 then invalid_arg "Aes.encrypt_block";
+  let s0, s1, s2, s3 =
+    encrypt_block_words w (word32 src 0) (word32 src 4) (word32 src 8)
+      (word32 src 12)
+  in
+  let out = Bytes.create 16 in
+  let put i v =
+    Bytes.set out (4 * i) (Char.chr ((v lsr 24) land 0xFF));
+    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set out ((4 * i) + 3) (Char.chr (v land 0xFF))
+  in
+  put 0 s0;
+  put 1 s1;
+  put 2 s2;
+  put 3 s3;
+  Bytes.unsafe_to_string out
+
+(* CTR keystream addressed by absolute byte offset: counter block i is
+   nonce(8 bytes, big-endian words) ‖ 64-bit big-endian i, so any byte of
+   the stream can be regenerated independently. *)
+let ctr_xor_into w ~nonce ~src ~src_pos ~dst ~dst_pos ~len ~stream_pos =
+  if String.length nonce <> 8 then invalid_arg "Aes.ctr_xor_into: nonce";
+  if
+    src_pos < 0 || len < 0 || stream_pos < 0
+    || src_pos + len > String.length src
+    || dst_pos < 0
+    || dst_pos + len > Bytes.length dst
+  then invalid_arg "Aes.ctr_xor_into: range out of bounds";
+  let n0 = word32 nonce 0 and n1 = word32 nonce 4 in
+  let ks = Bytes.create 16 in
+  let i = ref 0 in
+  while !i < len do
+    let pos = stream_pos + !i in
+    let blk = pos / 16 and off = pos mod 16 in
+    let c2 = (blk lsr 32) land mask32 and c3 = blk land mask32 in
+    let s0, s1, s2, s3 = encrypt_block_words w n0 n1 c2 c3 in
+    let put j v =
+      Bytes.unsafe_set ks (4 * j) (Char.unsafe_chr ((v lsr 24) land 0xFF));
+      Bytes.unsafe_set ks ((4 * j) + 1) (Char.unsafe_chr ((v lsr 16) land 0xFF));
+      Bytes.unsafe_set ks ((4 * j) + 2) (Char.unsafe_chr ((v lsr 8) land 0xFF));
+      Bytes.unsafe_set ks ((4 * j) + 3) (Char.unsafe_chr (v land 0xFF))
+    in
+    put 0 s0;
+    put 1 s1;
+    put 2 s2;
+    put 3 s3;
+    let take = min (16 - off) (len - !i) in
+    for j = 0 to take - 1 do
+      Bytes.unsafe_set dst
+        (dst_pos + !i + j)
+        (Char.unsafe_chr
+           (Char.code (String.unsafe_get src (src_pos + !i + j))
+           lxor Char.code (Bytes.unsafe_get ks (off + j))))
+    done;
+    i := !i + take
+  done
+
+let ctr_transform w ~nonce ~stream_pos s =
+  let len = String.length s in
+  let out = Bytes.create len in
+  ctr_xor_into w ~nonce ~src:s ~src_pos:0 ~dst:out ~dst_pos:0 ~len ~stream_pos;
+  Bytes.unsafe_to_string out

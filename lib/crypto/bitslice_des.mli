@@ -1,0 +1,28 @@
+(** Bitsliced 3DES decryption: 63 blocks per pass over 63-bit native-int
+    lanes, with machine-generated S-box circuits (see gen/). This is the
+    fast engine's DES kernel — byte-for-byte equal to
+    {!Des.Triple.decrypt_block} applied blockwise, differential-tested in
+    the test suite, and reached through
+    {!Modes.of_triple_des_fast}. Decryption only: the fast path serves
+    the SOE read side. *)
+
+val blocks_per_pass : int
+(** 63 — one block per usable native-int lane bit. *)
+
+type schedule
+(** Precomputed per-session lane masks (48 rounds x 48 bits, EDE-decrypt
+    order). Immutable once built: safe to share across worker domains. *)
+
+val decrypt_schedule : Des.Triple.key -> schedule
+
+val decrypt_blocks :
+  schedule ->
+  src:string ->
+  src_pos:int ->
+  dst:Bytes.t ->
+  dst_pos:int ->
+  nblocks:int ->
+  unit
+(** Raw-ECB-direction decryption of [nblocks] 8-byte blocks; mode XORs
+    (CBC chaining, positional masks) are applied by {!Modes} on top.
+    @raise Invalid_argument on an out-of-bounds range. *)

@@ -207,32 +207,46 @@ let block_to_bytes b ~pos (v : int64) =
       (Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * (7 - i))) 0xFFL)))
   done
 
+let subkeys k = Array.copy k
+
+(* The bitsliced engine relabels lanes through IP/FP instead of permuting
+   bits; it needs the raw tables, not the byte-indexed fast tables. *)
+module Internal = struct
+  let initial_permutation = initial_permutation
+  let final_permutation = final_permutation
+end
+
 module Triple = struct
   let des_encrypt = encrypt_block
   let des_decrypt = decrypt_block
 
-  type nonrec key = { k1 : key; k2 : key; k3 : key }
+  type des_key = key
+  type key = { k1 : des_key; k2 : des_key; k3 : des_key; raw : string }
 
   let key_of_string s =
     match String.length s with
     | 8 ->
         let k = key_of_string s in
-        { k1 = k; k2 = k; k3 = k }
+        { k1 = k; k2 = k; k3 = k; raw = s ^ s ^ s }
     | 16 ->
         let k1 = key_of_string (String.sub s 0 8) in
         let k2 = key_of_string (String.sub s 8 8) in
-        { k1; k2; k3 = k1 }
+        { k1; k2; k3 = k1; raw = s ^ String.sub s 0 8 }
     | 24 ->
         {
           k1 = key_of_string (String.sub s 0 8);
           k2 = key_of_string (String.sub s 8 8);
           k3 = key_of_string (String.sub s 16 8);
+          raw = s;
         }
     | _ -> invalid_arg "Des.Triple.key_of_string: need 8, 16 or 24 bytes"
 
-  let encrypt_block { k1; k2; k3 } b =
+  let components { k1; k2; k3; _ } = (k1, k2, k3)
+  let bytes { raw; _ } = raw
+
+  let encrypt_block { k1; k2; k3; _ } b =
     des_encrypt k3 (des_decrypt k2 (des_encrypt k1 b))
 
-  let decrypt_block { k1; k2; k3 } b =
+  let decrypt_block { k1; k2; k3; _ } b =
     des_decrypt k1 (des_encrypt k2 (des_decrypt k3 b))
 end

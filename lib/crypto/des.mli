@@ -23,14 +23,34 @@ val block_of_bytes : string -> pos:int -> int64
 
 val block_to_bytes : Bytes.t -> pos:int -> int64 -> unit
 
+val subkeys : key -> int array
+(** The 16 expanded round subkeys (48 bits each, MSB-first in native ints)
+    — the raw material the bitsliced engine turns into lane masks. *)
+
 (** Triple DES in EDE mode with three independent subkeys. *)
 module Triple : sig
+  type des_key = key
   type key
 
   val key_of_string : string -> key
   (** 24-byte key = k1 ‖ k2 ‖ k3; 8-byte and 16-byte keys are also accepted
       (k1=k2=k3, resp. k3=k1). @raise Invalid_argument otherwise. *)
 
+  val components : key -> des_key * des_key * des_key
+  (** The three single-DES component keys, in EDE order. *)
+
+  val bytes : key -> string
+  (** The normalized 24-byte raw key material the key was expanded from —
+      what scheme-agnostic key derivation (e.g. the AES-CTR scheme) feeds
+      into its own schedule. *)
+
   val encrypt_block : key -> int64 -> int64
   val decrypt_block : key -> int64 -> int64
+end
+
+(**/**)
+
+module Internal : sig
+  val initial_permutation : int array
+  val final_permutation : int array
 end

@@ -1,0 +1,24 @@
+(* Engine selection: which implementations serve a session's decrypt and
+   verify work. [Reference] is the scalar, straight-off-the-spec path the
+   repo has always had; [Fast] swaps in the bitsliced DES kernel and
+   batched Merkle verification. The two are byte-for-byte interchangeable
+   — the differential suite and CI pin Fast ≡ Reference on every scheme —
+   so the choice is purely a performance knob. *)
+
+type t = Reference | Fast
+
+let default = Reference
+
+let to_string = function Reference -> "reference" | Fast -> "fast"
+
+let of_string = function
+  | "reference" -> Some Reference
+  | "fast" -> Some Fast
+  | _ -> None
+
+let all = [ Reference; Fast ]
+
+let cipher t key =
+  match t with
+  | Reference -> Modes.of_triple_des key
+  | Fast -> Modes.of_triple_des_fast key

@@ -2,7 +2,13 @@ type node = { level : int; index : int }
 
 let is_power_of_two n = n > 0 && n land (n - 1) = 0
 
-let combine a b = Sha1.digest (a ^ b)
+(* feed both halves into one context: no [a ^ b] intermediate on the
+   verification hot path *)
+let combine a b =
+  let c = Sha1.init () in
+  Sha1.feed c a;
+  Sha1.feed c b;
+  Sha1.finalize c
 
 let levels leaf_count =
   let rec go l n = if n = 1 then l else go (l + 1) (n / 2) in

@@ -1,13 +1,44 @@
-type cipher = { encrypt : int64 -> int64; decrypt : int64 -> int64 }
+type cipher = {
+  encrypt : int64 -> int64;
+  decrypt : int64 -> int64;
+  decrypt_blocks :
+    (src:string ->
+    src_pos:int ->
+    dst:Bytes.t ->
+    dst_pos:int ->
+    nblocks:int ->
+    unit)
+    option;
+      (* optional batched raw-ECB-direction kernel; mode XORs are applied
+         on top as a second pass over [dst] *)
+}
 
 let of_des k =
-  { encrypt = Des.encrypt_block k; decrypt = Des.decrypt_block k }
+  {
+    encrypt = Des.encrypt_block k;
+    decrypt = Des.decrypt_block k;
+    decrypt_blocks = None;
+  }
 
 let of_triple_des k =
   {
     encrypt = Des.Triple.encrypt_block k;
     decrypt = Des.Triple.decrypt_block k;
+    decrypt_blocks = None;
   }
+
+let of_triple_des_fast k =
+  let sched = Bitslice_des.decrypt_schedule k in
+  {
+    encrypt = Des.Triple.encrypt_block k;
+    decrypt = Des.Triple.decrypt_block k;
+    decrypt_blocks = Some (Bitslice_des.decrypt_blocks sched);
+  }
+
+(* Below this many blocks the bitsliced kernel's fixed per-pass cost (the
+   transposes run over all 63 lanes regardless) cancels its gain, so short
+   runs stay on the scalar path. *)
+let batch_threshold = 16
 
 let check_aligned name s =
   if String.length s mod 8 <> 0 then
@@ -25,10 +56,6 @@ let ecb_encrypt c s =
   check_aligned "Modes.ecb_encrypt" s;
   map_blocks (fun _ b -> c.encrypt b) s
 
-let ecb_decrypt c s =
-  check_aligned "Modes.ecb_decrypt" s;
-  map_blocks (fun _ b -> c.decrypt b) s
-
 let cbc_encrypt c ~iv s =
   check_aligned "Modes.cbc_encrypt" s;
   let prev = ref iv in
@@ -39,16 +66,6 @@ let cbc_encrypt c ~iv s =
       e)
     s
 
-let cbc_decrypt c ~iv s =
-  check_aligned "Modes.cbc_decrypt" s;
-  let prev = ref iv in
-  map_blocks
-    (fun _ b ->
-      let p = Int64.logxor (c.decrypt b) !prev in
-      prev := b;
-      p)
-    s
-
 let position_mask ~base i = Int64.of_int (base + (8 * i))
 
 let positional_encrypt c ~base s =
@@ -56,57 +73,145 @@ let positional_encrypt c ~base s =
   if base mod 8 <> 0 then invalid_arg "Modes.positional_encrypt: unaligned base";
   map_blocks (fun i b -> c.encrypt (Int64.logxor b (position_mask ~base i))) s
 
-let positional_decrypt c ~base s =
-  check_aligned "Modes.positional_decrypt" s;
-  if base mod 8 <> 0 then invalid_arg "Modes.positional_decrypt: unaligned base";
-  map_blocks (fun i b -> Int64.logxor (c.decrypt b) (position_mask ~base i)) s
-
 (* In-place variants: decrypt a slice of [src] straight into [dst] without
-   materialising an intermediate string. The hot read path decrypts one
-   8-byte block at a time, so avoiding a String.sub + fresh result string
-   per call is what kills the per-block churn. *)
+   materialising an intermediate string. When the cipher carries a batched
+   kernel and the run is long enough, all blocks go through it in one call
+   and the mode XOR is applied as a bytewise second pass over [dst] —
+   native-int arithmetic only, no boxed Int64 per block. *)
 
 let check_into name ~src ~src_pos ~dst ~dst_pos ~len =
   if len mod 8 <> 0 then invalid_arg (name ^ ": length must be a multiple of 8");
   if src_pos < 0 || len < 0 || src_pos + len > String.length src then
     invalid_arg (name ^ ": source range out of bounds");
   if dst_pos < 0 || dst_pos + len > Bytes.length dst then
-    invalid_arg (name ^ ": destination range out of bounds")
+    invalid_arg (name ^ ": destination range out of bounds");
+  (* a Bytes.t smuggled in as the source would let raw and mode-XORed
+     bytes interleave mid-pass; reject the only aliasing OCaml allows *)
+  if Obj.repr src == Obj.repr dst then
+    invalid_arg (name ^ ": src and dst must not alias")
+
+(* XOR the 8 big-endian bytes of a native-int mask into dst at [pos]
+   (the positional masks always fit: document offsets are well under
+   2^62). *)
+let xor_mask_bytes dst pos m =
+  let k = ref 7 and m = ref m in
+  while !m <> 0 do
+    let byte = !m land 0xFF in
+    if byte <> 0 then
+      Bytes.unsafe_set dst (pos + !k)
+        (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst (pos + !k)) lxor byte));
+    m := !m lsr 8;
+    decr k
+  done
+
+let xor_iv_bytes dst pos iv =
+  for k = 0 to 7 do
+    let byte =
+      Int64.to_int (Int64.shift_right_logical iv (8 * (7 - k))) land 0xFF
+    in
+    if byte <> 0 then
+      Bytes.unsafe_set dst (pos + k)
+        (Char.unsafe_chr (Char.code (Bytes.unsafe_get dst (pos + k)) lxor byte))
+  done
 
 let ecb_decrypt_into c ~src ~src_pos ~dst ~dst_pos ~len =
   check_into "Modes.ecb_decrypt_into" ~src ~src_pos ~dst ~dst_pos ~len;
-  for i = 0 to (len / 8) - 1 do
-    Des.block_to_bytes dst
-      ~pos:(dst_pos + (8 * i))
-      (c.decrypt (Des.block_of_bytes src ~pos:(src_pos + (8 * i))))
-  done
+  let nblocks = len / 8 in
+  match c.decrypt_blocks with
+  | Some f when nblocks >= batch_threshold ->
+      f ~src ~src_pos ~dst ~dst_pos ~nblocks
+  | _ ->
+      for i = 0 to nblocks - 1 do
+        Des.block_to_bytes dst
+          ~pos:(dst_pos + (8 * i))
+          (c.decrypt (Des.block_of_bytes src ~pos:(src_pos + (8 * i))))
+      done
 
 let cbc_decrypt_into c ~iv ~src ~src_pos ~dst ~dst_pos ~len =
   check_into "Modes.cbc_decrypt_into" ~src ~src_pos ~dst ~dst_pos ~len;
   if src_pos mod 8 <> 0 then
     invalid_arg "Modes.cbc_decrypt_into: unaligned source position";
-  let prev =
-    ref (if src_pos = 0 then iv else Des.block_of_bytes src ~pos:(src_pos - 8))
-  in
-  for i = 0 to (len / 8) - 1 do
-    let b = Des.block_of_bytes src ~pos:(src_pos + (8 * i)) in
-    Des.block_to_bytes dst
-      ~pos:(dst_pos + (8 * i))
-      (Int64.logxor (c.decrypt b) !prev);
-    prev := b
-  done
+  let nblocks = len / 8 in
+  match c.decrypt_blocks with
+  | Some f when nblocks >= batch_threshold ->
+      f ~src ~src_pos ~dst ~dst_pos ~nblocks;
+      (* chain XOR second pass: block i XORs the previous cipher block,
+         still pristine in [src] (aliasing was rejected above) *)
+      if src_pos = 0 then xor_iv_bytes dst dst_pos iv
+      else
+        for k = 0 to 7 do
+          Bytes.unsafe_set dst (dst_pos + k)
+            (Char.unsafe_chr
+               (Char.code (Bytes.unsafe_get dst (dst_pos + k))
+               lxor Char.code (String.unsafe_get src (src_pos - 8 + k))))
+        done;
+      for i = 1 to nblocks - 1 do
+        let dp = dst_pos + (8 * i) and sp = src_pos + (8 * (i - 1)) in
+        for k = 0 to 7 do
+          Bytes.unsafe_set dst (dp + k)
+            (Char.unsafe_chr
+               (Char.code (Bytes.unsafe_get dst (dp + k))
+               lxor Char.code (String.unsafe_get src (sp + k))))
+        done
+      done
+  | _ ->
+      let prev =
+        ref
+          (if src_pos = 0 then iv else Des.block_of_bytes src ~pos:(src_pos - 8))
+      in
+      for i = 0 to nblocks - 1 do
+        let b = Des.block_of_bytes src ~pos:(src_pos + (8 * i)) in
+        Des.block_to_bytes dst
+          ~pos:(dst_pos + (8 * i))
+          (Int64.logxor (c.decrypt b) !prev);
+        prev := b
+      done
 
 let positional_decrypt_into c ~base ~src ~src_pos ~dst ~dst_pos ~len =
   check_into "Modes.positional_decrypt_into" ~src ~src_pos ~dst ~dst_pos ~len;
   if base mod 8 <> 0 then
     invalid_arg "Modes.positional_decrypt_into: unaligned base";
-  for i = 0 to (len / 8) - 1 do
-    Des.block_to_bytes dst
-      ~pos:(dst_pos + (8 * i))
-      (Int64.logxor
-         (c.decrypt (Des.block_of_bytes src ~pos:(src_pos + (8 * i))))
-         (position_mask ~base i))
-  done
+  let nblocks = len / 8 in
+  match c.decrypt_blocks with
+  | Some f when nblocks >= batch_threshold ->
+      f ~src ~src_pos ~dst ~dst_pos ~nblocks;
+      for i = 0 to nblocks - 1 do
+        xor_mask_bytes dst (dst_pos + (8 * i)) (base + (8 * i))
+      done
+  | _ ->
+      for i = 0 to nblocks - 1 do
+        Des.block_to_bytes dst
+          ~pos:(dst_pos + (8 * i))
+          (Int64.logxor
+             (c.decrypt (Des.block_of_bytes src ~pos:(src_pos + (8 * i))))
+             (position_mask ~base i))
+      done
+
+(* Allocating decrypts ride on the [_into] kernels: one output buffer per
+   call (instead of per-block closures and boxed chaining state), and the
+   batched path when the cipher has one. *)
+
+let ecb_decrypt c s =
+  check_aligned "Modes.ecb_decrypt" s;
+  let len = String.length s in
+  let out = Bytes.create len in
+  ecb_decrypt_into c ~src:s ~src_pos:0 ~dst:out ~dst_pos:0 ~len;
+  Bytes.unsafe_to_string out
+
+let cbc_decrypt c ~iv s =
+  check_aligned "Modes.cbc_decrypt" s;
+  let len = String.length s in
+  let out = Bytes.create len in
+  cbc_decrypt_into c ~iv ~src:s ~src_pos:0 ~dst:out ~dst_pos:0 ~len;
+  Bytes.unsafe_to_string out
+
+let positional_decrypt c ~base s =
+  check_aligned "Modes.positional_decrypt" s;
+  if base mod 8 <> 0 then invalid_arg "Modes.positional_decrypt: unaligned base";
+  let len = String.length s in
+  let out = Bytes.create len in
+  positional_decrypt_into c ~base ~src:s ~src_pos:0 ~dst:out ~dst_pos:0 ~len;
+  Bytes.unsafe_to_string out
 
 let positional_decrypt_sub c ~base s ~pos ~len =
   if pos mod 8 <> 0 || len mod 8 <> 0 then

@@ -7,10 +7,38 @@
       plaintexts yield different ciphertexts while any block remains
       independently decryptable. *)
 
-type cipher = { encrypt : int64 -> int64; decrypt : int64 -> int64 }
+type cipher = {
+  encrypt : int64 -> int64;
+  decrypt : int64 -> int64;
+  decrypt_blocks :
+    (src:string ->
+    src_pos:int ->
+    dst:Bytes.t ->
+    dst_pos:int ->
+    nblocks:int ->
+    unit)
+    option;
+      (** Optional batched raw-ECB-direction decrypt kernel. When present,
+          the [_into] decrypt functions hand whole runs of blocks to it in
+          one call and apply the mode XOR (CBC chaining, positional masks)
+          as a bytewise second pass — this is how the bitsliced DES engine
+          plugs in without the modes knowing about lanes. *)
+}
 
 val of_des : Des.key -> cipher
 val of_triple_des : Des.Triple.key -> cipher
+
+val of_triple_des_fast : Des.Triple.key -> cipher
+(** Same cipher as {!of_triple_des} plus the bitsliced batch kernel
+    ({!Bitslice_des}) for long decrypt runs; short runs and encryption
+    fall back to the scalar path. Byte-for-byte interchangeable with
+    {!of_triple_des} — the differential suite pins this. *)
+
+val batch_threshold : int
+(** Minimum run length (in blocks) at which the [_into] decryptors hand a
+    run to [decrypt_blocks] instead of the scalar loop — the kernel's
+    break-even point. Exposed so callers can account batched work
+    deterministically. *)
 
 val ecb_encrypt : cipher -> string -> string
 (** @raise Invalid_argument if the length is not a multiple of 8. *)
@@ -42,8 +70,10 @@ val ecb_decrypt_into :
   unit
 (** Decrypt [len] bytes of [src] at [src_pos] straight into [dst] at
     [dst_pos], with no intermediate allocation. [len] must be a multiple
-    of 8.
-    @raise Invalid_argument on misalignment or an out-of-bounds range. *)
+    of 8. [src] and [dst] must not be the same buffer (the batched path
+    reads [src] after writing [dst]).
+    @raise Invalid_argument on misalignment, an out-of-bounds range, or
+    an aliased [src]/[dst]. *)
 
 val cbc_decrypt_into :
   cipher ->

@@ -1,4 +1,4 @@
-type scheme = Ecb | Cbc_sha | Cbc_shac | Ecb_mht
+type scheme = Ecb | Cbc_sha | Cbc_shac | Ecb_mht | Aes_ctr
 
 exception Integrity_failure of string
 exception Corrupt of string
@@ -10,23 +10,31 @@ let scheme_to_string = function
   | Cbc_sha -> "CBC-SHA"
   | Cbc_shac -> "CBC-SHAC"
   | Ecb_mht -> "ECB-MHT"
+  | Aes_ctr -> "AES-CTR"
 
 let scheme_of_string = function
   | "ECB" -> Some Ecb
   | "CBC-SHA" -> Some Cbc_sha
   | "CBC-SHAC" -> Some Cbc_shac
   | "ECB-MHT" -> Some Ecb_mht
+  | "AES-CTR" -> Some Aes_ctr
   | _ -> None
 
-let all_schemes = [ Ecb; Cbc_sha; Cbc_shac; Ecb_mht ]
+let all_schemes = [ Ecb; Cbc_sha; Cbc_shac; Ecb_mht; Aes_ctr ]
 
-let scheme_byte = function Ecb -> 0 | Cbc_sha -> 1 | Cbc_shac -> 2 | Ecb_mht -> 3
+let scheme_byte = function
+  | Ecb -> 0
+  | Cbc_sha -> 1
+  | Cbc_shac -> 2
+  | Ecb_mht -> 3
+  | Aes_ctr -> 4
 
 let scheme_of_byte = function
   | 0 -> Ecb
   | 1 -> Cbc_sha
   | 2 -> Cbc_shac
   | 3 -> Ecb_mht
+  | 4 -> Aes_ctr
   | b -> corrupt "unknown scheme byte %d" b
 
 type t = {
@@ -59,7 +67,37 @@ let digest_bytes t =
 (* Encrypted digests live in a disjoint position space so their blocks can
    never be confused with payload blocks. *)
 let digest_blob_size = 24 (* 20-byte SHA-1 padded to three DES blocks *)
-let digest_position_base chunk = (1 lsl 40) + (chunk * digest_blob_size)
+
+(* Per-scheme digest geometry. The DES schemes carry a SHA-1 digest padded
+   to DES blocks; AES-CTR carries a SHA-256 digest raw (CTR needs no block
+   alignment). Every size-dependent structure — wire frames, dissemination
+   deltas, channel cost counters — derives from these two functions. *)
+let digest_size_for = function
+  | Ecb -> 0
+  | Cbc_sha | Cbc_shac | Ecb_mht -> Sha1.digest_size
+  | Aes_ctr -> Sha256.digest_size
+
+let digest_blob_size_for = function
+  | Ecb -> 0
+  | Cbc_sha | Cbc_shac | Ecb_mht -> digest_blob_size
+  | Aes_ctr -> Sha256.digest_size
+
+let digest_position_base scheme chunk =
+  (1 lsl 40) + (chunk * digest_blob_size_for scheme)
+
+(* The AES-CTR scheme derives its key material from the container's 3DES
+   key so every key-handling surface (licenses, rotation, the XLIC format)
+   stays scheme-agnostic: they move 24 bytes of raw material and never
+   learn which cipher consumes it. *)
+let aes_material key =
+  let raw = Des.Triple.bytes key in
+  let ak =
+    Aes.expand (String.sub (Sha256.digest ("xmlac:aes-ctr:key:" ^ raw)) 0 16)
+  in
+  let nonce =
+    String.sub (Sha256.digest ("xmlac:aes-ctr:nonce:" ^ raw)) 0 8
+  in
+  (ak, nonce)
 
 let magic = "XACR1"
 let magic_v2 = "XACR2"
@@ -94,11 +132,19 @@ let header_tag t =
 
 let chunk_payload_digest t ~chunk ~data =
   (* fed incrementally: concatenating would copy the whole chunk per digest *)
-  let ctx = Sha1.init () in
-  Sha1.feed ctx (header_tag t);
-  Sha1.feed ctx (be_bytes chunk 8);
-  Sha1.feed ctx data;
-  Sha1.finalize ctx
+  match t.scheme with
+  | Aes_ctr ->
+      let ctx = Sha256.init () in
+      Sha256.feed ctx (header_tag t);
+      Sha256.feed ctx (be_bytes chunk 8);
+      Sha256.feed ctx data;
+      Sha256.finalize ctx
+  | _ ->
+      let ctx = Sha1.init () in
+      Sha1.feed ctx (header_tag t);
+      Sha1.feed ctx (be_bytes chunk 8);
+      Sha1.feed ctx data;
+      Sha1.finalize ctx
 
 let expected_digest_of_plain t ~chunk ~plain = chunk_payload_digest t ~chunk ~data:plain
 let expected_digest_of_cipher t ~chunk ~cipher = chunk_payload_digest t ~chunk ~data:cipher
@@ -130,46 +176,67 @@ let clear_digest t ~key:_ ~chunk ~plain ~cipher =
   match t.scheme with
   | Ecb -> ""
   | Cbc_sha -> expected_digest_of_plain t ~chunk ~plain
-  | Cbc_shac -> expected_digest_of_cipher t ~chunk ~cipher
+  | Cbc_shac | Aes_ctr -> expected_digest_of_cipher t ~chunk ~cipher
   | Ecb_mht -> seal_root t ~chunk ~root:(mht_root t ~chunk ~cipher)
 
-let encrypt_digest ~key ~chunk digest =
+let encrypt_digest ~scheme ~key ~chunk digest =
   if digest = "" then ""
-  else begin
-    let padded = digest ^ String.make (digest_blob_size - String.length digest) '\000' in
-    Modes.positional_encrypt (Modes.of_triple_des key)
-      ~base:(digest_position_base chunk) padded
-  end
+  else
+    match scheme with
+    | Aes_ctr ->
+        let ak, nonce = aes_material key in
+        Aes.ctr_transform ak ~nonce
+          ~stream_pos:(digest_position_base scheme chunk)
+          digest
+    | _ ->
+        let padded =
+          digest ^ String.make (digest_blob_size - String.length digest) '\000'
+        in
+        Modes.positional_encrypt (Modes.of_triple_des key)
+          ~base:(digest_position_base scheme chunk)
+          padded
 
 (* Blob-taking variant: over the wire the digest arrives from an untrusted
    terminal, so its size is validated as an integrity property, not assumed. *)
-let decrypt_digest_blob ~key ~chunk blob =
-  if String.length blob <> digest_blob_size then
+let decrypt_digest_blob ~scheme ~key ~chunk blob =
+  let expected = digest_blob_size_for scheme in
+  if String.length blob <> expected then
     raise
       (Integrity_failure
          (Printf.sprintf "chunk %d: digest blob of %d bytes, expected %d" chunk
-            (String.length blob) digest_blob_size));
-  let plain =
-    Modes.positional_decrypt (Modes.of_triple_des key)
-      ~base:(digest_position_base chunk) blob
-  in
-  String.sub plain 0 Sha1.digest_size
+            (String.length blob) expected));
+  match scheme with
+  | Aes_ctr ->
+      let ak, nonce = aes_material key in
+      Aes.ctr_transform ak ~nonce
+        ~stream_pos:(digest_position_base scheme chunk)
+        blob
+  | _ ->
+      let plain =
+        Modes.positional_decrypt (Modes.of_triple_des key)
+          ~base:(digest_position_base scheme chunk)
+          blob
+      in
+      String.sub plain 0 Sha1.digest_size
 
 let decrypt_digest t ~key chunk =
   match t.digests.(chunk) with
   | "" -> invalid_arg "Secure_container.decrypt_digest: scheme has no digests"
-  | blob -> decrypt_digest_blob ~key ~chunk blob
+  | blob -> decrypt_digest_blob ~scheme:t.scheme ~key ~chunk blob
 
 (* The MHT root of a chunk depends only on the chunk index and ciphertext
    (not the header tag), so a cached root survives header-only changes. *)
 let clear_root t ~chunk ~cipher =
   match t.scheme with Ecb_mht -> mht_root t ~chunk ~cipher | _ -> ""
 
-let encrypt_chunk_payload t ~cipher ~chunk plain =
+let encrypt_chunk_payload t ~key ~cipher ~chunk plain =
   match t.scheme with
   | Ecb | Ecb_mht ->
       Modes.positional_encrypt cipher ~base:(chunk * t.chunk_size) plain
   | Cbc_sha | Cbc_shac -> Modes.cbc_encrypt cipher ~iv:(Int64.of_int chunk) plain
+  | Aes_ctr ->
+      let ak, nonce = aes_material key in
+      Aes.ctr_transform ak ~nonce ~stream_pos:(chunk * t.chunk_size) plain
 
 (* Digest of a chunk, reusing the cached clear MHT root when available so
    resealing an untouched chunk costs one small hash, not a tree rebuild. *)
@@ -180,7 +247,7 @@ let seal_chunk t ~key ~chunk ~plain ~encrypted =
         seal_root t ~chunk ~root:t.roots.(chunk)
     | _ -> clear_digest t ~key ~chunk ~plain ~cipher:encrypted
   in
-  encrypt_digest ~key ~chunk digest
+  encrypt_digest ~scheme:t.scheme ~key ~chunk digest
 
 let encrypt ?(chunk_size = 2048) ?(fragment_size = 256) ?(generation = 0)
     ?(key_epoch = 0) ~scheme ~key payload =
@@ -212,7 +279,7 @@ let encrypt ?(chunk_size = 2048) ?(fragment_size = 256) ?(generation = 0)
   in
   for i = 0 to nchunks - 1 do
     let plain = String.sub padded (i * chunk_size) chunk_size in
-    let encrypted = encrypt_chunk_payload t ~cipher ~chunk:i plain in
+    let encrypted = encrypt_chunk_payload t ~key ~cipher ~chunk:i plain in
     t.chunks.(i) <- encrypted;
     t.roots.(i) <- clear_root t ~chunk:i ~cipher:encrypted;
     t.digests.(i) <- seal_chunk t ~key ~chunk:i ~plain ~encrypted
@@ -276,7 +343,7 @@ let reencrypt t ~key ~old_payload ~payload =
     if dirty.(i) then begin
       rewritten := i :: !rewritten;
       let plain = plain () in
-      let encrypted = encrypt_chunk_payload t' ~cipher ~chunk:i plain in
+      let encrypted = encrypt_chunk_payload t' ~key ~cipher ~chunk:i plain in
       t'.chunks.(i) <- encrypted;
       t'.roots.(i) <- clear_root t' ~chunk:i ~cipher:encrypted;
       t'.digests.(i) <- seal_chunk t' ~key ~chunk:i ~plain ~encrypted
@@ -361,7 +428,7 @@ let of_bytes s =
   let key_epoch = if version = 1 then 0 else be_value s 30 2 in
   if generation < 0 then corrupt "implausible generation";
   let nchunks = max 1 ((payload_len + chunk_size - 1) / chunk_size) in
-  let blob = if scheme = Ecb then 0 else digest_blob_size in
+  let blob = digest_blob_size_for scheme in
   let version_bytes = if version = 1 then 0 else 8 in
   let stride = version_bytes + chunk_size + blob in
   let expected = hsize + (nchunks * stride) in
@@ -449,7 +516,7 @@ let patch t ~payload_length ~generation ~key_epoch ~full ~reseals =
   let reject fmt = Printf.ksprintf (fun m -> raise (Reject m)) fmt in
   try
     let chunk_size = t.chunk_size in
-    let blob = if t.scheme = Ecb then 0 else digest_blob_size in
+    let blob = digest_blob_size_for t.scheme in
     if payload_length < 0 then reject "negative payload length";
     if generation < t.generation then
       reject "generation %d moves backwards from %d" generation t.generation;
@@ -521,7 +588,7 @@ let substitute_block t ~chunk ~block replacement =
   chunks.(chunk) <- Bytes.to_string b;
   { t with chunks }
 
-let decrypt_chunk_cipher_into t ~key ~chunk ~cipher ~dst =
+let decrypt_chunk_cipher_into ?ctx t ~key ~chunk ~cipher ~dst =
   if String.length cipher <> t.chunk_size then
     raise
       (Integrity_failure
@@ -529,18 +596,27 @@ let decrypt_chunk_cipher_into t ~key ~chunk ~cipher ~dst =
             (String.length cipher) t.chunk_size));
   if Bytes.length dst < t.chunk_size then
     invalid_arg "Secure_container.decrypt_chunk_cipher_into: destination too small";
-  let c = Modes.of_triple_des key in
   match t.scheme with
-  | Ecb | Ecb_mht ->
-      Modes.positional_decrypt_into c ~base:(chunk * t.chunk_size) ~src:cipher
-        ~src_pos:0 ~dst ~dst_pos:0 ~len:t.chunk_size
-  | Cbc_sha | Cbc_shac ->
-      Modes.cbc_decrypt_into c ~iv:(Int64.of_int chunk) ~src:cipher ~src_pos:0
-        ~dst ~dst_pos:0 ~len:t.chunk_size
+  | Aes_ctr ->
+      let ak, nonce = aes_material key in
+      Aes.ctr_xor_into ak ~nonce ~src:cipher ~src_pos:0 ~dst ~dst_pos:0
+        ~len:t.chunk_size ~stream_pos:(chunk * t.chunk_size)
+  | _ -> (
+      (* an engine-selected cipher (e.g. the bitsliced one) can be passed
+         in so a session builds it once instead of per chunk *)
+      let c = match ctx with Some c -> c | None -> Modes.of_triple_des key in
+      match t.scheme with
+      | Ecb | Ecb_mht ->
+          Modes.positional_decrypt_into c ~base:(chunk * t.chunk_size)
+            ~src:cipher ~src_pos:0 ~dst ~dst_pos:0 ~len:t.chunk_size
+      | Cbc_sha | Cbc_shac ->
+          Modes.cbc_decrypt_into c ~iv:(Int64.of_int chunk) ~src:cipher
+            ~src_pos:0 ~dst ~dst_pos:0 ~len:t.chunk_size
+      | Aes_ctr -> assert false)
 
-let decrypt_chunk_cipher t ~key ~chunk ~cipher =
+let decrypt_chunk_cipher ?ctx t ~key ~chunk ~cipher =
   let dst = Bytes.create t.chunk_size in
-  decrypt_chunk_cipher_into t ~key ~chunk ~cipher ~dst;
+  decrypt_chunk_cipher_into ?ctx t ~key ~chunk ~cipher ~dst;
   Bytes.unsafe_to_string dst
 
 let decrypt_chunk t ~key i =
@@ -554,13 +630,19 @@ let decrypt_fragment t ~key ~chunk ~fragment ~cipher =
       Modes.positional_decrypt (Modes.of_triple_des key)
         ~base:((chunk * t.chunk_size) + (fragment * t.fragment_size))
         cipher
+  | Aes_ctr ->
+      let ak, nonce = aes_material key in
+      Aes.ctr_transform ak ~nonce
+        ~stream_pos:((chunk * t.chunk_size) + (fragment * t.fragment_size))
+        cipher
 
 let verify_chunk t ~key i ~plain =
   let expected =
     match t.scheme with
     | Ecb -> None (* no digests to check *)
     | Cbc_sha -> Some (expected_digest_of_plain t ~chunk:i ~plain)
-    | Cbc_shac -> Some (expected_digest_of_cipher t ~chunk:i ~cipher:t.chunks.(i))
+    | Cbc_shac | Aes_ctr ->
+        Some (expected_digest_of_cipher t ~chunk:i ~cipher:t.chunks.(i))
     | Ecb_mht ->
         Some (seal_root t ~chunk:i ~root:(mht_root t ~chunk:i ~cipher:t.chunks.(i)))
   in

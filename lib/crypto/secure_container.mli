@@ -3,7 +3,7 @@
     A payload (here: a skip-index-encoded XML document) is split into
     {e chunks} (default 2 KB), divided into {e fragments} (default 256 B),
     themselves made of 8-byte cipher {e blocks}. Four schemes are compared
-    in the paper's Figure 11:
+    in the paper's Figure 11, plus one modern addition:
 
     - [Ecb]: positional-ECB encryption, no integrity (confidentiality only);
     - [Cbc_sha]: CBC per chunk + SHA-1 digest of the {e plaintext} chunk —
@@ -13,16 +13,33 @@
       terminal supplying the intermediate hash state of the prefix;
     - [Ecb_mht]: the paper's scheme — positional ECB + a Merkle hash tree
       over ciphertext fragments, allowing verified random access at
-      fragment granularity.
+      fragment granularity;
+    - [Aes_ctr]: AES-128-CTR + SHA-256 ciphertext digest — the post-paper
+      scheme proving the stack is scheme-agnostic end to end. The keystream
+      is addressed by absolute document offset (byte-granular random
+      access, like positional ECB without the alignment rules), the chunk
+      digest is SHA-256 over ciphertext, and its 32-byte blob is
+      CTR-encrypted in the same disjoint position space the DES schemes
+      use. Key material is derived from the container's 24-byte key, so
+      licenses and rotation stay cipher-blind.
 
     Chunk digests embed the chunk index, and every digest is encrypted, so
     block/chunk substitutions and tampering are detectable by the SOE. *)
 
-type scheme = Ecb | Cbc_sha | Cbc_shac | Ecb_mht
+type scheme = Ecb | Cbc_sha | Cbc_shac | Ecb_mht | Aes_ctr
 
 val scheme_to_string : scheme -> string
 val scheme_of_string : string -> scheme option
 val all_schemes : scheme list
+
+val digest_size_for : scheme -> int
+(** Clear digest size: 0 for [Ecb], 20 (SHA-1) for the paper schemes, 32
+    (SHA-256) for [Aes_ctr]. *)
+
+val digest_blob_size_for : scheme -> int
+(** Encrypted digest blob size as serialized and sent over the wire: 0 for
+    [Ecb], 24 (SHA-1 padded to DES blocks) for the paper schemes, 32 for
+    [Aes_ctr] (CTR needs no padding). *)
 
 type t
 
@@ -158,12 +175,13 @@ val substitute_block : t -> chunk:int -> block:int -> string -> t
 (** {2 SOE-side primitives (hold the key)} *)
 
 val decrypt_digest : t -> key:Des.Triple.key -> int -> string
-(** Decrypt the 20-byte chunk digest of chunk [i]. *)
+(** Decrypt the chunk digest of chunk [i] ([digest_size_for] bytes). *)
 
-val decrypt_digest_blob : key:Des.Triple.key -> chunk:int -> string -> string
+val decrypt_digest_blob :
+  scheme:scheme -> key:Des.Triple.key -> chunk:int -> string -> string
 (** Like {!decrypt_digest}, but taking the encrypted blob itself (as served
     by a remote terminal). @raise Integrity_failure if the blob is not
-    exactly the 24-byte digest size. *)
+    exactly [digest_blob_size_for scheme] bytes. *)
 
 val expected_digest_of_plain : t -> chunk:int -> plain:string -> string
 val expected_digest_of_cipher : t -> chunk:int -> cipher:string -> string
@@ -185,16 +203,30 @@ val decrypt_chunk : t -> key:Des.Triple.key -> int -> string
     scheme); the caller strips padding via {!payload_length}. *)
 
 val decrypt_chunk_cipher :
-  t -> key:Des.Triple.key -> chunk:int -> cipher:string -> string
+  ?ctx:Modes.cipher ->
+  t ->
+  key:Des.Triple.key ->
+  chunk:int ->
+  cipher:string ->
+  string
 (** Like {!decrypt_chunk}, but taking the chunk ciphertext itself (as served
     by a remote terminal). @raise Integrity_failure if [cipher] is not
     exactly [chunk_size t] bytes. *)
 
 val decrypt_chunk_cipher_into :
-  t -> key:Des.Triple.key -> chunk:int -> cipher:string -> dst:Bytes.t -> unit
+  ?ctx:Modes.cipher ->
+  t ->
+  key:Des.Triple.key ->
+  chunk:int ->
+  cipher:string ->
+  dst:Bytes.t ->
+  unit
 (** In-place variant of {!decrypt_chunk_cipher}: decrypts the whole chunk
     into the first [chunk_size t] bytes of [dst] without allocating a
     result string, so a session can reuse one plaintext buffer per chunk.
+    The optional [?ctx] cipher context (for the DES-block schemes) lets a
+    session pass an engine-selected cipher — e.g. the bitsliced fast one —
+    built once instead of per chunk; it must wrap the same [key].
     @raise Invalid_argument if [dst] is smaller than [chunk_size t]. *)
 
 val decrypt_fragment :

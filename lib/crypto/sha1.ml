@@ -101,7 +101,9 @@ let feed_sub c s ~pos ~len =
 
 let feed c s = feed_sub c s ~pos:0 ~len:(String.length s)
 
-let finalize c =
+let finalize_into c ~dst ~dst_pos =
+  if dst_pos < 0 || dst_pos + 20 > Bytes.length dst then
+    invalid_arg "Sha1.finalize_into";
   let c = copy c in
   let bit_len = c.total * 8 in
   (* padding: 0x80, zeros, 64-bit big-endian length *)
@@ -118,24 +120,32 @@ let finalize c =
   done;
   feed c (Bytes.to_string padding);
   assert (c.fill = 0);
-  let out = Bytes.create 20 in
   let put i v =
-    Bytes.set out (4 * i) (Char.chr ((v lsr 24) land 0xFF));
-    Bytes.set out ((4 * i) + 1) (Char.chr ((v lsr 16) land 0xFF));
-    Bytes.set out ((4 * i) + 2) (Char.chr ((v lsr 8) land 0xFF));
-    Bytes.set out ((4 * i) + 3) (Char.chr (v land 0xFF))
+    Bytes.set dst (dst_pos + (4 * i)) (Char.chr ((v lsr 24) land 0xFF));
+    Bytes.set dst (dst_pos + (4 * i) + 1) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.set dst (dst_pos + (4 * i) + 2) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set dst (dst_pos + (4 * i) + 3) (Char.chr (v land 0xFF))
   in
   put 0 c.h0;
   put 1 c.h1;
   put 2 c.h2;
   put 3 c.h3;
-  put 4 c.h4;
-  Bytes.to_string out
+  put 4 c.h4
+
+let finalize c =
+  let out = Bytes.create 20 in
+  finalize_into c ~dst:out ~dst_pos:0;
+  Bytes.unsafe_to_string out
 
 let digest s =
   let c = init () in
   feed c s;
   finalize c
+
+let digest_into s ~dst ~dst_pos =
+  let c = init () in
+  feed c s;
+  finalize_into c ~dst ~dst_pos
 
 let hex s =
   let b = Buffer.create (2 * String.length s) in

@@ -11,6 +11,11 @@ val digest_size : int
 val digest : string -> string
 (** [digest msg] is the 20-byte binary SHA-1 of [msg]. *)
 
+val digest_into : string -> dst:Bytes.t -> dst_pos:int -> unit
+(** Like {!digest} but writes the 20 bytes into [dst] at [dst_pos] —
+    the allocation-free form the Merkle and container hot paths use.
+    @raise Invalid_argument if the destination range is out of bounds. *)
+
 val hex : string -> string
 (** Lowercase hexadecimal of a binary string. *)
 
@@ -22,6 +27,11 @@ val init : unit -> ctx
 val feed : ctx -> string -> unit
 val feed_sub : ctx -> string -> pos:int -> len:int -> unit
 val finalize : ctx -> string
+
+val finalize_into : ctx -> dst:Bytes.t -> dst_pos:int -> unit
+(** [finalize] writing into a caller buffer; the context itself is left
+    reusable (finalization works on a copy), like {!finalize}. *)
+
 val copy : ctx -> ctx
 
 val export_state : ctx -> string

@@ -1,0 +1,168 @@
+(* SHA-256 over 32-bit words in native ints, mirroring Sha1. The round
+   and initial-hash constants are derived the way FIPS 180-4 defines them
+   — fractional parts of cube/square roots of the first primes — rather
+   than transcribed, and pinned by the FIPS vectors in the test suite. *)
+
+let digest_size = 32
+let mask32 = 0xFFFFFFFF
+
+let primes =
+  let rec is_prime n d =
+    if d * d > n then true else if n mod d = 0 then false else is_prime n (d + 1)
+  in
+  let rec collect acc n count =
+    if count = 0 then List.rev acc
+    else if is_prime n 2 then collect (n :: acc) (n + 1) (count - 1)
+    else collect acc (n + 1) count
+  in
+  Array.of_list (collect [] 2 64)
+
+let frac_word x = int_of_float ((x -. Float.of_int (int_of_float x)) *. 4294967296.0) land mask32
+
+let k = Array.map (fun p -> frac_word (Float.cbrt (float_of_int p))) primes
+
+let initial_h =
+  Array.init 8 (fun i -> frac_word (sqrt (float_of_int primes.(i))))
+
+type ctx = {
+  h : int array; (* 8 chaining words *)
+  mutable total : int; (* message bytes fed so far *)
+  block : Bytes.t; (* 64-byte block buffer *)
+  mutable fill : int; (* bytes currently in [block] *)
+  w : int array;
+      (* per-context message schedule so concurrent computations on
+         separate domains never share scratch state *)
+}
+
+let init () =
+  {
+    h = Array.copy initial_h;
+    total = 0;
+    block = Bytes.create 64;
+    fill = 0;
+    w = Array.make 64 0;
+  }
+
+let copy c =
+  { c with h = Array.copy c.h; block = Bytes.copy c.block; w = Array.make 64 0 }
+
+let rotr x n = ((x lsr n) lor (x lsl (32 - n))) land mask32
+
+let process_block c (b : Bytes.t) off =
+  let w = c.w in
+  for i = 0 to 15 do
+    w.(i) <-
+      (Char.code (Bytes.get b (off + (4 * i))) lsl 24)
+      lor (Char.code (Bytes.get b (off + (4 * i) + 1)) lsl 16)
+      lor (Char.code (Bytes.get b (off + (4 * i) + 2)) lsl 8)
+      lor Char.code (Bytes.get b (off + (4 * i) + 3))
+  done;
+  for i = 16 to 63 do
+    let s0 =
+      let v = w.(i - 15) in
+      rotr v 7 lxor rotr v 18 lxor (v lsr 3)
+    and s1 =
+      let v = w.(i - 2) in
+      rotr v 17 lxor rotr v 19 lxor (v lsr 10)
+    in
+    w.(i) <- (w.(i - 16) + s0 + w.(i - 7) + s1) land mask32
+  done;
+  let h = c.h in
+  let a = ref h.(0) and b' = ref h.(1) and c' = ref h.(2) and d = ref h.(3) in
+  let e = ref h.(4) and f = ref h.(5) and g = ref h.(6) and hh = ref h.(7) in
+  for i = 0 to 63 do
+    let s1 = rotr !e 6 lxor rotr !e 11 lxor rotr !e 25 in
+    let ch = (!e land !f) lxor (lnot !e land !g land mask32) in
+    let t1 = (!hh + s1 + ch + k.(i) + w.(i)) land mask32 in
+    let s0 = rotr !a 2 lxor rotr !a 13 lxor rotr !a 22 in
+    let maj = (!a land !b') lxor (!a land !c') lxor (!b' land !c') in
+    let t2 = (s0 + maj) land mask32 in
+    hh := !g;
+    g := !f;
+    f := !e;
+    e := (!d + t1) land mask32;
+    d := !c';
+    c' := !b';
+    b' := !a;
+    a := (t1 + t2) land mask32
+  done;
+  h.(0) <- (h.(0) + !a) land mask32;
+  h.(1) <- (h.(1) + !b') land mask32;
+  h.(2) <- (h.(2) + !c') land mask32;
+  h.(3) <- (h.(3) + !d) land mask32;
+  h.(4) <- (h.(4) + !e) land mask32;
+  h.(5) <- (h.(5) + !f) land mask32;
+  h.(6) <- (h.(6) + !g) land mask32;
+  h.(7) <- (h.(7) + !hh) land mask32
+
+let feed_sub c s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Sha256.feed_sub";
+  c.total <- c.total + len;
+  let remaining = ref len and src = ref pos in
+  if c.fill > 0 then begin
+    let take = min !remaining (64 - c.fill) in
+    Bytes.blit_string s !src c.block c.fill take;
+    c.fill <- c.fill + take;
+    src := !src + take;
+    remaining := !remaining - take;
+    if c.fill = 64 then begin
+      process_block c c.block 0;
+      c.fill <- 0
+    end
+  end;
+  while !remaining >= 64 do
+    Bytes.blit_string s !src c.block 0 64;
+    process_block c c.block 0;
+    src := !src + 64;
+    remaining := !remaining - 64
+  done;
+  if !remaining > 0 then begin
+    Bytes.blit_string s !src c.block c.fill !remaining;
+    c.fill <- c.fill + !remaining
+  end
+
+let feed c s = feed_sub c s ~pos:0 ~len:(String.length s)
+
+let finalize_into c ~dst ~dst_pos =
+  if dst_pos < 0 || dst_pos + digest_size > Bytes.length dst then
+    invalid_arg "Sha256.finalize_into";
+  let c = copy c in
+  let bit_len = c.total * 8 in
+  let pad_len =
+    let r = (c.total + 1 + 8) mod 64 in
+    if r = 0 then 1 + 8 else 1 + 8 + (64 - r)
+  in
+  let padding = Bytes.make pad_len '\000' in
+  Bytes.set padding 0 '\x80';
+  for i = 0 to 7 do
+    Bytes.set padding
+      (pad_len - 1 - i)
+      (Char.chr ((bit_len lsr (8 * i)) land 0xFF))
+  done;
+  feed c (Bytes.to_string padding);
+  assert (c.fill = 0);
+  for i = 0 to 7 do
+    let v = c.h.(i) in
+    Bytes.set dst (dst_pos + (4 * i)) (Char.chr ((v lsr 24) land 0xFF));
+    Bytes.set dst (dst_pos + (4 * i) + 1) (Char.chr ((v lsr 16) land 0xFF));
+    Bytes.set dst (dst_pos + (4 * i) + 2) (Char.chr ((v lsr 8) land 0xFF));
+    Bytes.set dst (dst_pos + (4 * i) + 3) (Char.chr (v land 0xFF))
+  done
+
+let finalize c =
+  let out = Bytes.create digest_size in
+  finalize_into c ~dst:out ~dst_pos:0;
+  Bytes.unsafe_to_string out
+
+let digest s =
+  let c = init () in
+  feed c s;
+  finalize c
+
+let digest_into s ~dst ~dst_pos =
+  let c = init () in
+  feed c s;
+  finalize_into c ~dst ~dst_pos
+
+let hex = Sha1.hex

@@ -1,0 +1,31 @@
+(** SHA-256 (FIPS 180-4), implemented from scratch for the sealed
+    environment. The AES-CTR scheme uses it for chunk digests and key
+    derivation; constants are derived from prime roots as the standard
+    defines them and pinned by FIPS vectors in the test suite. *)
+
+val digest_size : int
+(** 32 bytes. *)
+
+val digest : string -> string
+(** [digest msg] is the 32-byte binary SHA-256 of [msg]. *)
+
+val digest_into : string -> dst:Bytes.t -> dst_pos:int -> unit
+(** Like {!digest} but writes the 32 bytes into [dst] at [dst_pos].
+    @raise Invalid_argument if the destination range is out of bounds. *)
+
+val hex : string -> string
+(** Lowercase hexadecimal of a binary string. *)
+
+type ctx
+(** Incremental hashing context. *)
+
+val init : unit -> ctx
+val feed : ctx -> string -> unit
+val feed_sub : ctx -> string -> pos:int -> len:int -> unit
+val finalize : ctx -> string
+
+val finalize_into : ctx -> dst:Bytes.t -> dst_pos:int -> unit
+(** [finalize] writing into a caller buffer; the context itself is left
+    reusable (finalization works on a copy). *)
+
+val copy : ctx -> ctx

@@ -14,7 +14,6 @@ type t = {
 }
 
 let magic = "XDLT1"
-let digest_blob_size = 24
 
 (* Decode-time caps: a delta arrives over the wire from an untrusted
    terminal (or is read back from a spool file an untrusted terminal
@@ -29,12 +28,14 @@ let scheme_byte = function
   | C.Cbc_sha -> 1
   | C.Cbc_shac -> 2
   | C.Ecb_mht -> 3
+  | C.Aes_ctr -> 4
 
 let scheme_of_byte = function
   | 0 -> Some C.Ecb
   | 1 -> Some C.Cbc_sha
   | 2 -> Some C.Cbc_shac
   | 3 -> Some C.Ecb_mht
+  | 4 -> Some C.Aes_ctr
   | _ -> None
 
 let chunk_count t = max 1 ((t.payload_len + t.chunk_size - 1) / t.chunk_size)
@@ -151,7 +152,7 @@ let decode s =
     if payload_len < 0 || from_gen < 0 || to_gen < 0 then
       reject "negative field";
     if to_gen <= from_gen then reject "non-forward generation span";
-    let blob = if scheme = C.Ecb then 0 else digest_blob_size in
+    let blob = C.digest_blob_size_for scheme in
     let nrevoked = u 2 in
     if nrevoked > max_revoked then reject "implausible revocation count";
     let revoked =
@@ -176,12 +177,12 @@ let decode s =
     let nreseals = u 4 in
     if
       nreseals > max_chunk_entries
-      || nreseals * (4 + digest_blob_size) > String.length s - !pos
+      || nreseals * (4 + blob) > String.length s - !pos
     then reject "implausible reseal count";
     let reseals =
       List.init nreseals (fun _ ->
           let i = u 4 in
-          let digest = str digest_blob_size in
+          let digest = str blob in
           (i, digest))
     in
     if !pos <> String.length s then reject "trailing bytes after delta";

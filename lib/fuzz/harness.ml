@@ -92,9 +92,25 @@ let wire_seed_frames =
              generation = 0;
              key_epoch = 0;
            };
+         Hello_ok
+           {
+             meta_version = version;
+             scheme = C.Aes_ctr;
+             chunk_size = 512;
+             fragment_size = 64;
+             payload_length = 2048;
+             chunk_count = 4;
+             integrity = true;
+             batching = true;
+             mux = false;
+             trace = false;
+             generation = 0;
+             key_epoch = 0;
+           };
          Fragment (String.make 64 '\x2a');
          Chunk (String.make 512 '\x2a');
          Digest (String.make 24 '\x2a');
+         Digest (String.make 32 '\x2a');
          Hash_state (String.make 29 '\x2a');
          Siblings [ String.make 20 's'; String.make 20 't' ];
          Bye_ok;

@@ -2,6 +2,7 @@ module C = Xmlac_crypto.Secure_container
 module Merkle = Xmlac_crypto.Merkle
 module Sha1 = Xmlac_crypto.Sha1
 module Modes = Xmlac_crypto.Modes
+module Engine = Xmlac_crypto.Engine
 
 type counters = {
   mutable bytes_to_soe : int;
@@ -12,6 +13,8 @@ type counters = {
   mutable hashes_verified : int;
   mutable fragment_fetches : int;
   mutable chunk_fetches : int;
+  mutable engine_batched_blocks : int;
+  mutable engine_merkle_groups : int;
   mutable verify_requested : bool;
   mutable verify_active : bool;
   cache : Lru.stats;
@@ -34,6 +37,8 @@ let fresh_counters () =
     hashes_verified = 0;
     fragment_fetches = 0;
     chunk_fetches = 0;
+    engine_batched_blocks = 0;
+    engine_merkle_groups = 0;
     verify_requested = false;
     verify_active = false;
     cache = Lru.fresh_stats ();
@@ -51,6 +56,8 @@ let metrics (c : counters) : Xmlac_obs.Metrics.t =
       int "hashes_verified" c.hashes_verified;
       int "fragment_fetches" c.fragment_fetches;
       int "chunk_fetches" c.chunk_fetches;
+      int "engine.batched_blocks" c.engine_batched_blocks;
+      int "engine.merkle_groups" c.engine_merkle_groups;
       int "verify_requested" (Bool.to_int c.verify_requested);
       int "verify_active" (Bool.to_int c.verify_active);
     ]
@@ -76,8 +83,7 @@ let emit_chunk_verdict ~chunk ~ok detail =
     Xmlac_obs.Trace.emit name fields
   end
 
-let digest_blob_bytes = 24
-let digest_bytes = 20
+let digest_bytes = 20 (* SHA-1: Merkle leaves and sibling digests *)
 let hash_state_bytes = 29 + 63 (* serialized mid-stream SHA-1 state, worst case *)
 
 let be_bytes value width =
@@ -198,7 +204,10 @@ type frag_unit = {
   mutable fu_ext : int; (* aligned lo of the extension *)
   mutable fu_state : string; (* imported SHA-1 mid-state (verify) *)
   mutable fu_digest : string; (* expected chunk digest (verify) *)
+  mutable fu_leaf : string; (* computed leaf hash (fast engine: verdict is
+                               grouped per chunk after the compute phase) *)
   mutable fu_new_blocks : int;
+  mutable fu_batched : int; (* blocks decrypted through the batch kernel *)
   mutable fu_ok : bool;
   mutable fu_wall : float;
 }
@@ -213,6 +222,7 @@ type chunk_unit = {
   mutable cu_fresh : bool;
   mutable cu_digest : string;
   mutable cu_new_blocks : int;
+  mutable cu_batched : int;
   mutable cu_ok : bool;
   mutable cu_wall : float;
 }
@@ -261,7 +271,8 @@ let rec split_windows lst =
       w :: split_windows rest
 
 let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
-    ?(cache_chunks = 1) ?pool ~terminal ~key counters =
+    ?(cache_chunks = 1) ?pool ?(engine = Engine.default) ~terminal ~key
+    counters =
   let container = terminal.t_container in
   let scheme = C.scheme container in
   let verify_requested = verify in
@@ -272,8 +283,17 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
   let frag_size = C.fragment_size container in
   let frags_per_chunk = C.fragments_per_chunk container in
   let payload_len = C.payload_length container in
-  let cipher = Modes.of_triple_des key in
+  let cipher = Engine.cipher engine key in
   (* one key schedule per source, not per decrypted block *)
+  let fast = engine = Engine.Fast in
+  (* did a positional/CBC decrypt of [nblocks] hit the batch kernel? pure
+     arithmetic over the engine choice, so the engine.* counters stay
+     deterministic and jobs-independent *)
+  let run_batched nblocks =
+    cipher.Modes.decrypt_blocks <> None && nblocks >= Modes.batch_threshold
+  in
+  let cipher_block = match scheme with C.Aes_ctr -> 16 | _ -> 8 in
+  let digest_blob_bytes = C.digest_blob_size_for scheme in
   let tree_levels =
     let rec go l n = if n <= 1 then l else go (l + 1) (n / 2) in
     go 0 frags_per_chunk
@@ -353,11 +373,11 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
         counters.bytes_to_soe <- counters.bytes_to_soe + digest_blob_bytes;
         counters.bytes_decrypted <- counters.bytes_decrypted + digest_blob_bytes;
         counters.blocks_decrypted <-
-          counters.blocks_decrypted + (digest_blob_bytes / 8);
+          counters.blocks_decrypted + (digest_blob_bytes / cipher_block);
         counters.digests_decrypted <- counters.digests_decrypted + 1;
         let blob = q_digest ~chunk in
         (* validates the blob size before decrypting *)
-        let d = C.decrypt_digest_blob ~key ~chunk blob in
+        let d = C.decrypt_digest_blob ~scheme ~key ~chunk blob in
         Lru.insert digest_cache chunk d;
         d
   in
@@ -439,7 +459,9 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
         fu_ext = 0;
         fu_state = "";
         fu_digest = "";
+        fu_leaf = "";
         fu_new_blocks = 0;
+        fu_batched = 0;
         fu_ok = false;
         fu_wall = 0.;
       }
@@ -509,41 +531,132 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
         (Bytes.unsafe_to_string e.fe_cipher)
         ~pos:u.fu_ext ~len:(frag_size - u.fu_ext);
       let leaf = Sha1.finalize ctx in
-      let cover =
-        Merkle.sibling_cover ~leaf_count:frags_per_chunk ~lo:u.fu_frag
-          ~hi:u.fu_frag
-      in
-      let digests =
-        match e.siblings with Some ds -> ds | None -> assert false
-      in
-      let supplied = List.combine cover digests in
-      let root =
-        match
-          Merkle.root_from_cover ~leaf_count:frags_per_chunk
-            ~known:[ (u.fu_frag, leaf) ]
-            ~supplied
-        with
-        | Some r -> r
-        | None -> raise (C.Integrity_failure "incomplete Merkle cover")
-      in
-      (* constant-time: the sealed root derives from the key, the digest
-         came from the untrusted terminal *)
-      u.fu_ok <-
-        Xmlac_crypto.Ct.equal
-          (C.seal_root container ~chunk:u.fu_chunk ~root)
-          u.fu_digest
+      if fast then
+        (* batched Merkle: keep the leaf; the window groups all leaves of a
+           chunk into one root recombination after the compute phase *)
+        u.fu_leaf <- leaf
+      else begin
+        let cover =
+          Merkle.sibling_cover ~leaf_count:frags_per_chunk ~lo:u.fu_frag
+            ~hi:u.fu_frag
+        in
+        let digests =
+          match e.siblings with Some ds -> ds | None -> assert false
+        in
+        let supplied = List.combine cover digests in
+        let root =
+          match
+            Merkle.root_from_cover ~leaf_count:frags_per_chunk
+              ~known:[ (u.fu_frag, leaf) ]
+              ~supplied
+          with
+          | Some r -> r
+          | None -> raise (C.Integrity_failure "incomplete Merkle cover")
+        in
+        (* constant-time: the sealed root derives from the key, the digest
+           came from the untrusted terminal *)
+        u.fu_ok <-
+          Xmlac_crypto.Ct.equal
+            (C.seal_root container ~chunk:u.fu_chunk ~root)
+            u.fu_digest
+      end
     end;
+    (* decrypt each maximal run of still-encrypted blocks in one call, so
+       whole-fragment extensions (32 blocks) reach the bitsliced kernel
+       instead of going block-at-a-time *)
     let src = Bytes.unsafe_to_string e.fe_cipher in
-    for b = u.fu_lo / 8 to (u.fu_hi - 1) / 8 do
-      if Bytes.get e.fe_flags b = '\000' then begin
+    let b1 = (u.fu_hi - 1) / 8 in
+    let b = ref (u.fu_lo / 8) in
+    while !b <= b1 do
+      if Bytes.get e.fe_flags !b <> '\000' then incr b
+      else begin
+        let run = !b in
+        while !b <= b1 && Bytes.get e.fe_flags !b = '\000' do
+          Bytes.set e.fe_flags !b '\001';
+          incr b
+        done;
+        let nblocks = !b - run in
         Modes.positional_decrypt_into cipher
-          ~base:((u.fu_chunk * chunk_size) + (u.fu_frag * frag_size) + (b * 8))
-          ~src ~src_pos:(b * 8) ~dst:e.fe_plain ~dst_pos:(b * 8) ~len:8;
-        Bytes.set e.fe_flags b '\001';
-        u.fu_new_blocks <- u.fu_new_blocks + 1
+          ~base:
+            ((u.fu_chunk * chunk_size) + (u.fu_frag * frag_size) + (run * 8))
+          ~src ~src_pos:(run * 8) ~dst:e.fe_plain ~dst_pos:(run * 8)
+          ~len:(nblocks * 8);
+        u.fu_new_blocks <- u.fu_new_blocks + nblocks;
+        if run_batched nblocks then u.fu_batched <- u.fu_batched + nblocks
       end
     done;
     u.fu_wall <- Xmlac_obs.Span.now () -. t0
+  in
+  (* Batched Merkle verification (fast engine): one root-path recombination
+     per distinct chunk in the window. All the window's computed leaves of
+     a chunk go in as known nodes; the union of their sibling covers backs
+     the rest of the tree, minus any supplied node whose subtree contains a
+     known leaf — those must be recomputed from the leaves or a tampered
+     fragment could hide behind its own fetched cover. Runs on the
+     coordinator between compute and commit, so verdict order, counters and
+     failure behaviour stay independent of the job count. *)
+  let node_covers_known knowns (n : Merkle.node) =
+    let w = 1 lsl n.Merkle.level in
+    List.exists
+      (fun f -> f >= n.Merkle.index * w && f < (n.Merkle.index + 1) * w)
+      knowns
+  in
+  let verify_frag_group us =
+    match us with
+    | [] -> ()
+    | u0 :: _ ->
+        let knowns = List.map (fun u -> u.fu_frag) us in
+        let known = List.map (fun u -> (u.fu_frag, u.fu_leaf)) us in
+        let supplied =
+          List.concat_map
+            (fun u ->
+              let cover =
+                Merkle.sibling_cover ~leaf_count:frags_per_chunk ~lo:u.fu_frag
+                  ~hi:u.fu_frag
+              in
+              let ds =
+                match u.fu_entry.siblings with
+                | Some ds -> ds
+                | None -> assert false
+              in
+              List.combine cover ds)
+            us
+          |> List.filter (fun (n, _) -> not (node_covers_known knowns n))
+        in
+        let root =
+          match
+            Merkle.root_from_cover ~leaf_count:frags_per_chunk ~known ~supplied
+          with
+          | Some r -> r
+          | None -> raise (C.Integrity_failure "incomplete Merkle cover")
+        in
+        let ok =
+          Xmlac_crypto.Ct.equal
+            (C.seal_root container ~chunk:u0.fu_chunk ~root)
+            u0.fu_digest
+        in
+        List.iter (fun u -> u.fu_ok <- ok) us;
+        counters.engine_merkle_groups <- counters.engine_merkle_groups + 1
+  in
+  let verify_frag_groups units =
+    let order = ref [] in
+    let by_chunk : (int, frag_unit list) Hashtbl.t = Hashtbl.create 4 in
+    List.iter
+      (fun u ->
+        if u.fu_did_ext then begin
+          if not (Hashtbl.mem by_chunk u.fu_chunk) then
+            order := u.fu_chunk :: !order;
+          let prev =
+            match Hashtbl.find_opt by_chunk u.fu_chunk with
+            | Some l -> l
+            | None -> []
+          in
+          Hashtbl.replace by_chunk u.fu_chunk (u :: prev)
+        end)
+      units;
+    List.iter
+      (fun chunk -> verify_frag_group (List.rev (Hashtbl.find by_chunk chunk)))
+      (List.rev !order)
   in
   let commit_frag out u =
     let e = u.fu_entry in
@@ -563,6 +676,9 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
       counters.bytes_decrypted <- counters.bytes_decrypted + (8 * u.fu_new_blocks);
       counters.blocks_decrypted <- counters.blocks_decrypted + u.fu_new_blocks
     end;
+    if u.fu_batched > 0 then
+      counters.engine_batched_blocks <-
+        counters.engine_batched_blocks + u.fu_batched;
     if u.fu_did_ext && verify then
       Xmlac_obs.Histogram.observe counters.crypto_hist u.fu_wall;
     Bytes.blit e.fe_plain u.fu_lo out u.fu_out (u.fu_hi - u.fu_lo)
@@ -595,6 +711,7 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
             (fun u -> if frag_needs_compute u then Some (compute_frag u) else None)
             units));
     phase "channel.compute";
+    if fast && verify then verify_frag_groups units;
     List.iter (commit_frag out) units;
     phase "channel.commit"
   in
@@ -683,6 +800,7 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
         cu_fresh = fresh;
         cu_digest = "";
         cu_new_blocks = 0;
+        cu_batched = 0;
         cu_ok = false;
         cu_wall = 0.;
       }
@@ -706,16 +824,20 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
     let t0 = Xmlac_obs.Span.now () in
     let e = u.cu_entry in
     if u.cu_fresh then begin
-      (* validates the ciphertext size before decrypting *)
-      C.decrypt_chunk_cipher_into container ~key ~chunk:u.cu_chunk
+      (* validates the ciphertext size before decrypting; [ctx] is the
+         engine-selected cipher (unused by the AES-CTR scheme) *)
+      C.decrypt_chunk_cipher_into ~ctx:cipher container ~key ~chunk:u.cu_chunk
         ~cipher:u.cu_cipher ~dst:e.ce_plain;
+      (match scheme with
+      | C.Aes_ctr -> ()
+      | _ -> u.cu_batched <- (if run_batched (chunk_size / 8) then chunk_size / 8 else 0));
       if verify then begin
         let expected =
           match scheme with
           | C.Cbc_sha ->
               C.expected_digest_of_plain container ~chunk:u.cu_chunk
                 ~plain:(Bytes.unsafe_to_string e.ce_plain)
-          | C.Cbc_shac ->
+          | C.Cbc_shac | C.Aes_ctr ->
               C.expected_digest_of_cipher container ~chunk:u.cu_chunk
                 ~cipher:u.cu_cipher
           | C.Ecb | C.Ecb_mht -> assert false
@@ -736,11 +858,16 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
     let e = u.cu_entry in
     if u.cu_fresh then begin
       (match scheme with
-      | C.Cbc_sha ->
+      | C.Cbc_sha | C.Aes_ctr ->
+          (* whole-chunk decrypt on fetch; CBC-SHAC instead charges blocks
+             as they are requested, below *)
           counters.bytes_decrypted <- counters.bytes_decrypted + chunk_size;
           counters.blocks_decrypted <-
-            counters.blocks_decrypted + (chunk_size / 8)
+            counters.blocks_decrypted + (chunk_size / cipher_block)
       | _ -> ());
+      if u.cu_batched > 0 then
+        counters.engine_batched_blocks <-
+          counters.engine_batched_blocks + u.cu_batched;
       if verify then begin
         counters.bytes_hashed <- counters.bytes_hashed + chunk_size;
         emit_chunk_verdict ~chunk:u.cu_chunk ~ok:u.cu_ok
@@ -829,13 +956,13 @@ let source_of_terminal ?(verify = true) ?(cache_fragments = 8)
       let out = Bytes.create len in
       (match scheme with
       | C.Ecb | C.Ecb_mht -> read_frags out ~pos ~len
-      | C.Cbc_sha | C.Cbc_shac -> read_chunks out ~pos ~len);
+      | C.Cbc_sha | C.Cbc_shac | C.Aes_ctr -> read_chunks out ~pos ~len);
       Bytes.unsafe_to_string out
     end
   in
   { Xmlac_skip_index.Decoder.read; length = payload_len }
 
-let source ?verify ?cache_fragments ?cache_chunks ?pool ~container ~key
-    counters =
-  source_of_terminal ?verify ?cache_fragments ?cache_chunks ?pool
+let source ?verify ?cache_fragments ?cache_chunks ?pool ?engine ~container
+    ~key counters =
+  source_of_terminal ?verify ?cache_fragments ?cache_chunks ?pool ?engine
     ~terminal:(local_terminal container) ~key counters

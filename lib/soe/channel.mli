@@ -32,11 +32,20 @@ type counters = {
   mutable bytes_to_soe : int;  (** payload + digest + hash-state bytes sent *)
   mutable bytes_decrypted : int;
   mutable bytes_hashed : int;  (** hashed inside the SOE *)
-  mutable blocks_decrypted : int;  (** 8-byte 3DES blocks (incl. digests) *)
+  mutable blocks_decrypted : int;
+      (** cipher blocks, incl. digests: 8-byte 3DES blocks for the paper
+          schemes, 16-byte AES blocks for [Aes_ctr] *)
   mutable digests_decrypted : int;
   mutable hashes_verified : int;  (** integrity comparisons that passed *)
   mutable fragment_fetches : int;
   mutable chunk_fetches : int;
+  mutable engine_batched_blocks : int;
+      (** blocks decrypted through the fast engine's batch kernel — 0 under
+          the reference engine; deterministic at any job count, like all
+          other counters, because batching depends only on run lengths *)
+  mutable engine_merkle_groups : int;
+      (** chunk-grouped Merkle recombinations the fast engine performed in
+          place of per-fragment root walks (0 under reference) *)
   mutable verify_requested : bool;  (** what the caller asked for *)
   mutable verify_active : bool;
       (** what actually ran: [false] under ECB even when requested, since
@@ -120,6 +129,7 @@ val source_of_terminal :
   ?cache_fragments:int ->
   ?cache_chunks:int ->
   ?pool:Pool.t ->
+  ?engine:Xmlac_crypto.Engine.t ->
   terminal:terminal ->
   key:Xmlac_crypto.Des.Triple.key ->
   counters ->
@@ -134,6 +144,16 @@ val source_of_terminal :
     omitting it (or passing a 1-job pool) computes inline. Either way the
     delivered bytes, counter values and failure behaviour are identical.
 
+    [engine] (default {!Xmlac_crypto.Engine.Reference}) selects the crypto
+    kernels: [Fast] decrypts block runs at or above
+    {!Xmlac_crypto.Modes.batch_threshold} through the bitsliced DES kernel
+    and verifies Merkle roots once per window chunk-group instead of once
+    per fragment. Delivered bytes and the cost-model counters are
+    byte-identical across engines (pinned by the differential suite); only
+    wall-clock and the [engine.*] counters change. Under [Fast], a Merkle
+    mismatch is attributed to the first extended fragment of the failing
+    chunk's window group rather than the precise fragment.
+
     After an [Integrity_failure] the source is poisoned — a failed
     verification aborts the session, it is not a recoverable read error.
 
@@ -143,13 +163,16 @@ val source_of_terminal :
       chunk's Merkle root using terminal-supplied sibling digests;
     - CBC-SHAC: fetch a whole chunk's ciphertext once, hash it inside the
       SOE against the decrypted digest, then decrypt only requested blocks;
-    - CBC-SHA: fetch and decrypt a whole chunk, then hash its plaintext. *)
+    - CBC-SHA: fetch and decrypt a whole chunk, then hash its plaintext;
+    - AES-CTR: like CBC-SHA on the fetch side (whole-chunk units) with a
+      SHA-256 ciphertext digest and 16-byte cipher blocks. *)
 
 val source :
   ?verify:bool ->
   ?cache_fragments:int ->
   ?cache_chunks:int ->
   ?pool:Pool.t ->
+  ?engine:Xmlac_crypto.Engine.t ->
   container:Xmlac_crypto.Secure_container.t ->
   key:Xmlac_crypto.Des.Triple.key ->
   counters ->

@@ -135,8 +135,8 @@ let trace_granted t = Wire.Client.trace_granted t.client
 let trace_id t = Wire.Client.trace t.client
 let fetch_stats t = Wire.Client.fetch_stats t.client
 
-let source ?verify ?cache_fragments ?cache_chunks ?pool t ~key counters =
+let source ?verify ?cache_fragments ?cache_chunks ?pool ?engine t ~key counters =
   Channel.source_of_terminal ?verify ?cache_fragments ?cache_chunks ?pool
-    ~terminal:t.terminal ~key counters
+    ?engine ~terminal:t.terminal ~key counters
 
 let close t = Wire.Client.close t.client

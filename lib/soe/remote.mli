@@ -51,6 +51,7 @@ val source :
   ?cache_fragments:int ->
   ?cache_chunks:int ->
   ?pool:Pool.t ->
+  ?engine:Xmlac_crypto.Engine.t ->
   t ->
   key:Xmlac_crypto.Des.Triple.key ->
   Channel.counters ->

@@ -12,16 +12,18 @@ type config = {
   chunk_size : int;
   fragment_size : int;
   key : Xmlac_crypto.Des.Triple.key;
+  engine : Xmlac_crypto.Engine.t;
 }
 
 let default_config ?(context = Cost_model.Hardware)
-    ?(scheme = Container.Ecb_mht) () =
+    ?(scheme = Container.Ecb_mht) ?(engine = Xmlac_crypto.Engine.default) () =
   {
     cost = Cost_model.of_context context;
     scheme;
     chunk_size = 2048;
     fragment_size = 256;
     key = Xmlac_crypto.Des.Triple.key_of_string "xmlac-demo-24-byte-key!!";
+    engine;
   }
 
 type published = {
@@ -142,8 +144,8 @@ let evaluate ?query ?(verify = true) ?strategy ?options ?provenance ?(jobs = 1)
   in
   with_optional_pool ~jobs (fun pool ->
       let source =
-        Channel.source ~verify ?pool ~container:published.container
-          ~key:config.key counters
+        Channel.source ~verify ?pool ~engine:config.engine
+          ~container:published.container ~key:config.key counters
       in
       run_measurement ?query ?options ?provenance ~cost:config.cost ~strategy
         ~wire:None ~counters ~jobs ~pool ~source policy)
@@ -154,7 +156,8 @@ let evaluate_remote ?query ?(verify = true) ?(strategy = "REMOTE") ?options
   let run () =
     with_optional_pool ~jobs (fun pool ->
         let source =
-          Remote.source ~verify ?pool remote ~key:config.key counters
+          Remote.source ~verify ?pool ~engine:config.engine remote
+            ~key:config.key counters
         in
         run_measurement ?query ?options ?provenance ~cost:config.cost ~strategy
           ~wire:(Some (Remote.wire_stats remote)) ~counters ~jobs ~pool ~source
@@ -193,7 +196,9 @@ let metrics (m : measurement) : Xmlac_obs.Metrics.t =
 
 let lwb ?(verify = true) config ~authorized_bytes =
   let chunks = max 1 ((authorized_bytes + config.chunk_size - 1) / config.chunk_size) in
-  let digest_overhead = if verify then chunks * 24 else 0 in
+  let digest_overhead =
+    if verify then chunks * Container.digest_blob_size_for config.scheme else 0
+  in
   let hashed = if verify then authorized_bytes else 0 in
   Cost_model.breakdown config.cost
     ~bytes_in:(authorized_bytes + digest_overhead)

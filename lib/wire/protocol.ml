@@ -88,12 +88,14 @@ let scheme_code = function
   | C.Cbc_sha -> 1
   | C.Cbc_shac -> 2
   | C.Ecb_mht -> 3
+  | C.Aes_ctr -> 4
 
 let scheme_of_code = function
   | 0 -> Some C.Ecb
   | 1 -> Some C.Cbc_sha
   | 2 -> Some C.Cbc_shac
   | 3 -> Some C.Ecb_mht
+  | 4 -> Some C.Aes_ctr
   | _ -> None
 
 (* {2 Encoding} *)

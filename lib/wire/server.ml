@@ -293,7 +293,7 @@ let rec handle_request ?stats t e req =
            ~grant_trace:false)
   | Get_fragment { chunk; fragment; lo; hi } -> (
       match scheme with
-      | C.Cbc_sha | C.Cbc_shac ->
+      | C.Cbc_sha | C.Cbc_shac | C.Aes_ctr ->
           err Protocol.err_unsupported "no fragment access under %s"
             (C.scheme_to_string scheme)
       | C.Ecb | C.Ecb_mht ->

@@ -75,6 +75,70 @@ let test_sha1_import_rejects_garbage () =
   Alcotest.check_raises "padded" (Invalid_argument "Sha1.import_state: malformed")
     (fun () -> ignore (Sha1.import_state (s ^ "junk")))
 
+(* SHA-256 ---------------------------------------------------------------- *)
+
+let test_sha256_vectors () =
+  let cases =
+    [
+      ("", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+      ("abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+      ( "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+        "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1" );
+      ( String.make 1000000 'a',
+        "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0" );
+    ]
+  in
+  List.iter
+    (fun (msg, expected) ->
+      check string_t
+        (Printf.sprintf "sha256 of %d bytes" (String.length msg))
+        expected
+        (Sha256.hex (Sha256.digest msg)))
+    cases
+
+let test_sha256_incremental () =
+  let msg = String.init 1000 (fun i -> Char.chr (i mod 256)) in
+  let c = Sha256.init () in
+  let rec go pos step =
+    if pos < String.length msg then begin
+      let len = min step (String.length msg - pos) in
+      Sha256.feed_sub c msg ~pos ~len;
+      go (pos + len) ((step * 2) + 1)
+    end
+  in
+  go 0 1;
+  check string_t "incremental = whole" (Sha256.hex (Sha256.digest msg))
+    (Sha256.hex (Sha256.finalize c));
+  (* finalize works on a copy: the context keeps accepting input *)
+  Sha256.feed c "!";
+  check string_t "context survives finalize"
+    (Sha256.hex (Sha256.digest (msg ^ "!")))
+    (Sha256.hex (Sha256.finalize c))
+
+(* Both hashes expose an allocation-free [digest_into]; it must write the
+   exact digest and nothing outside [dst_pos, dst_pos + size). *)
+let digest_into_agrees name size digest digest_into =
+  qtest ~count:200 (name ^ ".digest_into ≡ digest")
+    QCheck2.Gen.(pair (string_size (int_range 0 300)) (int_range 0 5))
+    (fun (msg, off) ->
+      let dst = Bytes.make (off + size + 3) '\xAA' in
+      digest_into msg ~dst ~dst_pos:off;
+      Bytes.sub_string dst off size = digest msg
+      && Bytes.sub_string dst 0 off = String.make off '\xAA'
+      && Bytes.sub_string dst (off + size) 3 = String.make 3 '\xAA')
+
+let test_digest_into_bounds_checked () =
+  let rejected f = match f () with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  check bool_t "sha1 overrun rejected" true
+    (rejected (fun () -> Sha1.digest_into "msg" ~dst:(Bytes.create 19) ~dst_pos:0));
+  check bool_t "sha256 overrun rejected" true
+    (rejected (fun () -> Sha256.digest_into "msg" ~dst:(Bytes.create 40) ~dst_pos:9));
+  check bool_t "negative position rejected" true
+    (rejected (fun () -> Sha256.digest_into "msg" ~dst:(Bytes.create 40) ~dst_pos:(-1)))
+
 (* DES -------------------------------------------------------------------- *)
 
 let hex64 = Printf.sprintf "%016Lx"
@@ -189,21 +253,31 @@ let into_agrees name decrypt_into reference =
       && Bytes.sub_string dst 0 dst_off = String.make dst_off '\xAA'
       && Bytes.sub_string dst (dst_off + len) 5 = String.make 5 '\xAA')
 
+(* Run the slice-equivalence property on both engines: with the fast
+   cipher, slices of >= 16 blocks route through the bitsliced kernel at
+   arbitrary src/dst offsets, the reference decrypts stay scalar, and the
+   two must still agree bit-for-bit. *)
 let mode_into_equivalence =
-  let c = Modes.of_triple_des (test_key ()) in
-  [
-    into_agrees "ecb_decrypt_into ≡ ecb_decrypt slice"
-      (Modes.ecb_decrypt_into c)
-      (Modes.ecb_decrypt c);
-    into_agrees "cbc_decrypt_into ≡ cbc_decrypt slice"
-      (Modes.cbc_decrypt_into c ~iv:42L)
-      (Modes.cbc_decrypt c ~iv:42L);
-    into_agrees "positional_decrypt_into ≡ positional_decrypt slice"
-      (fun ~src ~src_pos ~dst ~dst_pos ~len ->
-        Modes.positional_decrypt_into c ~base:(4096 + src_pos) ~src ~src_pos
-          ~dst ~dst_pos ~len)
-      (Modes.positional_decrypt c ~base:4096);
-  ]
+  List.concat_map
+    (fun (tag, c) ->
+      let reference = Modes.of_triple_des (test_key ()) in
+      [
+        into_agrees (tag ^ " ecb_decrypt_into ≡ ecb_decrypt slice")
+          (Modes.ecb_decrypt_into c)
+          (Modes.ecb_decrypt reference);
+        into_agrees (tag ^ " cbc_decrypt_into ≡ cbc_decrypt slice")
+          (Modes.cbc_decrypt_into c ~iv:42L)
+          (Modes.cbc_decrypt reference ~iv:42L);
+        into_agrees (tag ^ " positional_decrypt_into ≡ positional_decrypt slice")
+          (fun ~src ~src_pos ~dst ~dst_pos ~len ->
+            Modes.positional_decrypt_into c ~base:(4096 + src_pos) ~src ~src_pos
+              ~dst ~dst_pos ~len)
+          (Modes.positional_decrypt reference ~base:4096);
+      ])
+    [
+      ("reference", Modes.of_triple_des (test_key ()));
+      ("fast", Modes.of_triple_des_fast (test_key ()));
+    ]
 
 let test_into_rejects_misuse () =
   let c = Modes.of_triple_des (test_key ()) in
@@ -228,6 +302,130 @@ let test_into_rejects_misuse () =
     (rejected (fun () ->
          Modes.cbc_decrypt_into c ~iv:0L ~src:ct ~src_pos:4
            ~dst:(Bytes.create 32) ~dst_pos:0 ~len:8))
+
+let test_into_zero_length () =
+  (* len = 0 is a valid no-op on every mode and both engines *)
+  List.iter
+    (fun c ->
+      let dst = Bytes.make 16 '\xAA' in
+      let src = String.make 32 '\x5C' in
+      Modes.ecb_decrypt_into c ~src ~src_pos:8 ~dst ~dst_pos:4 ~len:0;
+      Modes.cbc_decrypt_into c ~iv:7L ~src ~src_pos:8 ~dst ~dst_pos:4 ~len:0;
+      Modes.positional_decrypt_into c ~base:64 ~src ~src_pos:8 ~dst ~dst_pos:4
+        ~len:0;
+      check string_t "destination untouched" (String.make 16 '\xAA')
+        (Bytes.to_string dst))
+    [ Modes.of_triple_des (test_key ()); Modes.of_triple_des_fast (test_key ()) ]
+
+let test_into_rejects_aliasing () =
+  (* a Bytes.t smuggled in as the source must be rejected: the batched
+     kernel reads [src] after writing [dst] *)
+  List.iter
+    (fun c ->
+      let buf = Bytes.make 256 '\x51' in
+      let aliased = Bytes.unsafe_to_string buf in
+      let rejected f = match f () with
+        | () -> false
+        | exception Invalid_argument _ -> true
+      in
+      check bool_t "ecb aliasing rejected" true
+        (rejected (fun () ->
+             Modes.ecb_decrypt_into c ~src:aliased ~src_pos:0 ~dst:buf
+               ~dst_pos:0 ~len:256));
+      check bool_t "cbc aliasing rejected" true
+        (rejected (fun () ->
+             Modes.cbc_decrypt_into c ~iv:0L ~src:aliased ~src_pos:0 ~dst:buf
+               ~dst_pos:0 ~len:256));
+      check bool_t "positional aliasing rejected" true
+        (rejected (fun () ->
+             Modes.positional_decrypt_into c ~base:0 ~src:aliased ~src_pos:0
+               ~dst:buf ~dst_pos:0 ~len:256)))
+    [ Modes.of_triple_des (test_key ()); Modes.of_triple_des_fast (test_key ()) ]
+
+let test_positional_into_rejects_unaligned_base () =
+  let c = Modes.of_triple_des_fast (test_key ()) in
+  match
+    Modes.positional_decrypt_into c ~base:4 ~src:(String.make 16 'x')
+      ~src_pos:0 ~dst:(Bytes.create 16) ~dst_pos:0 ~len:16
+  with
+  | () -> Alcotest.fail "unaligned base accepted"
+  | exception Invalid_argument _ -> ()
+
+(* Bitsliced DES ≡ scalar reference ---------------------------------------- *)
+
+(* The raw kernel, across run lengths straddling the batch threshold (16)
+   and the 63-block lane width: partial lanes, exactly-full passes, and
+   multi-pass runs with scalar tails. *)
+let test_bitslice_kernel_differential () =
+  let key = test_key () in
+  let sched = Bitslice_des.decrypt_schedule key in
+  let reference = Modes.of_triple_des key in
+  let src = String.init (8 * 260) (fun i -> Char.chr ((i * 89 + 3) mod 256)) in
+  List.iter
+    (fun nblocks ->
+      List.iter
+        (fun b0 ->
+          if 8 * (b0 + nblocks) <= String.length src then begin
+            let dst = Bytes.make ((8 * nblocks) + 4) '\xEE' in
+            Bitslice_des.decrypt_blocks sched ~src ~src_pos:(8 * b0) ~dst
+              ~dst_pos:0 ~nblocks;
+            let expected =
+              Modes.ecb_decrypt reference (String.sub src (8 * b0) (8 * nblocks))
+            in
+            check string_t
+              (Printf.sprintf "bitslice = scalar (%d blocks at %d)" nblocks b0)
+              expected
+              (Bytes.sub_string dst 0 (8 * nblocks));
+            check string_t "no overwrite past the run" "\xEE\xEE\xEE\xEE"
+              (Bytes.sub_string dst (8 * nblocks) 4)
+          end)
+        [ 0; 1; 3 ])
+    [ 1; 2; 15; 16; 17; 62; 63; 64; 126; 127; 128; 256 ]
+
+let test_bitslice_kernel_bounds_checked () =
+  let sched = Bitslice_des.decrypt_schedule (test_key ()) in
+  let rejected f = match f () with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  check bool_t "source overrun rejected" true
+    (rejected (fun () ->
+         Bitslice_des.decrypt_blocks sched ~src:(String.make 64 'x') ~src_pos:8
+           ~dst:(Bytes.create 64) ~dst_pos:0 ~nblocks:8));
+  check bool_t "destination overrun rejected" true
+    (rejected (fun () ->
+         Bitslice_des.decrypt_blocks sched ~src:(String.make 64 'x') ~src_pos:0
+           ~dst:(Bytes.create 63) ~dst_pos:0 ~nblocks:8))
+
+(* The fast cipher must be byte-for-byte the reference cipher through every
+   mode, on buffers long enough to cross into the batched kernel. *)
+let long_aligned_string =
+  QCheck2.Gen.(
+    map
+      (fun (n, seed) ->
+        String.init
+          (8 * (1 + (abs n mod 200)))
+          (fun i -> Char.chr ((seed + (i * 31)) mod 256)))
+      (pair small_int small_int))
+
+let fast_engine_differential =
+  let reference = Modes.of_triple_des (test_key ()) in
+  let fast = Modes.of_triple_des_fast (test_key ()) in
+  [
+    qtest ~count:300 "fast ECB decrypt ≡ reference" long_aligned_string
+      (fun s -> Modes.ecb_decrypt fast s = Modes.ecb_decrypt reference s);
+    qtest ~count:300 "fast CBC decrypt ≡ reference" long_aligned_string
+      (fun s ->
+        Modes.cbc_decrypt fast ~iv:42L s = Modes.cbc_decrypt reference ~iv:42L s);
+    qtest ~count:300 "fast positional decrypt ≡ reference" long_aligned_string
+      (fun s ->
+        Modes.positional_decrypt fast ~base:4096 s
+        = Modes.positional_decrypt reference ~base:4096 s);
+    qtest ~count:300 "fast positional roundtrip" long_aligned_string (fun s ->
+        Modes.positional_decrypt fast ~base:0
+          (Modes.positional_encrypt fast ~base:0 s)
+        = s);
+  ]
 
 let test_ecb_leaks_equal_blocks () =
   let c = Modes.of_triple_des (test_key ()) in
@@ -264,6 +462,72 @@ let test_unpad_rejects_garbage () =
     (fun () -> ignore (Modes.unpad "1234567"));
   Alcotest.check_raises "no marker" (Invalid_argument "Modes.unpad: no padding marker")
     (fun () -> ignore (Modes.unpad (String.make 8 '\000')))
+
+(* AES-128 / CTR ------------------------------------------------------------ *)
+
+let aes_key_bytes = String.init 16 Char.chr
+let aes_nonce = "\x01\x02\x03\x04\x05\x06\x07\x08"
+
+let test_aes_fips197_vector () =
+  (* FIPS-197 Appendix C.1 *)
+  let key = Aes.expand aes_key_bytes in
+  let pt = String.init 16 (fun i -> Char.chr ((i * 0x11) land 0xFF)) in
+  check string_t "AES-128 known answer" "69c4e0d86a7b0430d8cdb78070b4c55a"
+    (Sha256.hex (Aes.encrypt_block key pt))
+
+let test_aes_key_length_checked () =
+  Alcotest.check_raises "15-byte key"
+    (Invalid_argument "Aes.expand: need a 16-byte key")
+    (fun () -> ignore (Aes.expand (String.make 15 'k')))
+
+let aes_ctr_involution =
+  qtest ~count:300 "AES-CTR transform is an involution"
+    QCheck2.Gen.(
+      triple (string_size (int_range 0 200)) (string_size (return 8))
+        (int_range 0 100_000))
+    (fun (msg, nonce, stream_pos) ->
+      let k = Aes.expand aes_key_bytes in
+      Aes.ctr_transform k ~nonce ~stream_pos
+        (Aes.ctr_transform k ~nonce ~stream_pos msg)
+      = msg)
+
+(* Byte-granular random access: decrypting any sub-range with the right
+   absolute stream position must match the same bytes of a whole-stream
+   transform — including ranges that start mid-counter-block. *)
+let aes_ctr_random_access =
+  qtest ~count:300 "AES-CTR slice ≡ whole-stream slice"
+    QCheck2.Gen.(
+      string_size (int_range 1 300) >>= fun msg ->
+      int_range 0 (String.length msg - 1) >>= fun pos ->
+      int_range 1 (String.length msg - pos) >>= fun len ->
+      int_range 0 10_000 >>= fun stream_pos -> return (msg, pos, len, stream_pos))
+    (fun (msg, pos, len, stream_pos) ->
+      let k = Aes.expand aes_key_bytes in
+      let whole = Aes.ctr_transform k ~nonce:aes_nonce ~stream_pos msg in
+      let dst = Bytes.make (len + 4) '\xAA' in
+      Aes.ctr_xor_into k ~nonce:aes_nonce ~src:msg ~src_pos:pos ~dst ~dst_pos:0
+        ~len ~stream_pos:(stream_pos + pos);
+      Bytes.sub_string dst 0 len = String.sub whole pos len
+      && Bytes.sub_string dst len 4 = String.make 4 '\xAA')
+
+let test_aes_ctr_rejects_misuse () =
+  let k = Aes.expand aes_key_bytes in
+  let rejected f = match f () with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  check bool_t "7-byte nonce rejected" true
+    (rejected (fun () ->
+         Aes.ctr_xor_into k ~nonce:"1234567" ~src:"01234567" ~src_pos:0
+           ~dst:(Bytes.create 8) ~dst_pos:0 ~len:8 ~stream_pos:0));
+  check bool_t "source overrun rejected" true
+    (rejected (fun () ->
+         Aes.ctr_xor_into k ~nonce:aes_nonce ~src:"0123" ~src_pos:0
+           ~dst:(Bytes.create 8) ~dst_pos:0 ~len:8 ~stream_pos:0));
+  check bool_t "destination overrun rejected" true
+    (rejected (fun () ->
+         Aes.ctr_xor_into k ~nonce:aes_nonce ~src:"01234567" ~src_pos:0
+           ~dst:(Bytes.create 4) ~dst_pos:0 ~len:8 ~stream_pos:0))
 
 (* Merkle ----------------------------------------------------------------- *)
 
@@ -458,7 +722,13 @@ let prop_any_corruption_detected =
   qtest ~count:300 "single-byte corruption never silently alters the payload"
     QCheck2.Gen.(
       triple
-        (oneofl [ Secure_container.Cbc_sha; Secure_container.Cbc_shac; Secure_container.Ecb_mht ])
+        (oneofl
+           [
+             Secure_container.Cbc_sha;
+             Secure_container.Cbc_shac;
+             Secure_container.Ecb_mht;
+             Secure_container.Aes_ctr;
+           ])
         (int_range 0 100_000) (int_range 1 255))
     (fun (scheme, pos_seed, delta) ->
       let key = test_key () in
@@ -501,6 +771,22 @@ let () =
           Alcotest.test_case "finalize is non-destructive" `Quick test_sha1_finalize_idempotent;
           Alcotest.test_case "import rejects garbage" `Quick test_sha1_import_rejects_garbage;
         ] );
+      ( "sha256",
+        [
+          Alcotest.test_case "FIPS vectors" `Quick test_sha256_vectors;
+          Alcotest.test_case "incremental feeding" `Quick test_sha256_incremental;
+          digest_into_agrees "sha1" 20 Sha1.digest Sha1.digest_into;
+          digest_into_agrees "sha256" 32 Sha256.digest Sha256.digest_into;
+          Alcotest.test_case "digest_into bounds" `Quick test_digest_into_bounds_checked;
+        ] );
+      ( "aes",
+        [
+          Alcotest.test_case "FIPS-197 known answer" `Quick test_aes_fips197_vector;
+          Alcotest.test_case "key length check" `Quick test_aes_key_length_checked;
+          aes_ctr_involution;
+          aes_ctr_random_access;
+          Alcotest.test_case "CTR misuse rejected" `Quick test_aes_ctr_rejects_misuse;
+        ] );
       ( "des",
         [
           Alcotest.test_case "FIPS vectors" `Quick test_des_vectors;
@@ -515,12 +801,24 @@ let () =
         mode_roundtrips @ mode_into_equivalence
         @ [
             Alcotest.test_case "into-APIs reject misuse" `Quick test_into_rejects_misuse;
+            Alcotest.test_case "into-APIs accept len=0" `Quick test_into_zero_length;
+            Alcotest.test_case "into-APIs reject aliasing" `Quick test_into_rejects_aliasing;
+            Alcotest.test_case "positional base alignment" `Quick
+              test_positional_into_rejects_unaligned_base;
             Alcotest.test_case "plain ECB leaks" `Quick test_ecb_leaks_equal_blocks;
             Alcotest.test_case "positional ECB hides" `Quick test_positional_hides_equal_blocks;
             Alcotest.test_case "positional random access" `Quick test_positional_random_access;
             Alcotest.test_case "pad/unpad" `Quick test_pad_unpad;
             Alcotest.test_case "unpad rejects garbage" `Quick test_unpad_rejects_garbage;
           ] );
+      ( "bitslice",
+        [
+          Alcotest.test_case "kernel ≡ scalar across run lengths" `Quick
+            test_bitslice_kernel_differential;
+          Alcotest.test_case "kernel bounds checks" `Quick
+            test_bitslice_kernel_bounds_checked;
+        ]
+        @ fast_engine_differential );
       ( "merkle",
         [
           Alcotest.test_case "deterministic root" `Quick test_merkle_root_deterministic;
